@@ -1,0 +1,35 @@
+"""E9 — Figure 10: end-to-end RRQ comparison on TPC-H.
+
+Same four panels as Fig. 3, on the TPC-H-shaped dataset.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.end_to_end import format_end_to_end, run_end_to_end
+
+
+def test_fig10_end_to_end_tpch(benchmark):
+    cells = benchmark.pedantic(
+        run_end_to_end,
+        kwargs=dict(
+            dataset="tpch",
+            epsilons=(0.4, 0.8, 1.6, 3.2, 6.4),
+            schedules=("round_robin", "random"),
+            queries_per_analyst=150,
+            repeats=2,
+            num_rows=12000,
+            seed=0,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(format_end_to_end(cells, dataset="tpch"))
+
+    def answered(system, eps, schedule="round_robin"):
+        return next(c.answered for c in cells
+                    if c.system == system and c.epsilon == eps
+                    and c.schedule == schedule)
+
+    for eps in (0.4, 0.8, 1.6):
+        assert answered("dprovdb", eps) >= answered("vanilla", eps) * 0.95
+        assert answered("dprovdb", eps) > answered("chorus", eps)

@@ -1,0 +1,38 @@
+"""E10 — Figure 11: additive GM vs vanilla on TPC-H."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.additive_vs_vanilla import (
+    format_component,
+    run_analyst_sweep,
+    run_epsilon_sweep,
+)
+
+
+def test_fig11_analyst_sweep_tpch(benchmark):
+    cells = benchmark.pedantic(
+        run_analyst_sweep,
+        kwargs=dict(dataset="tpch", analyst_counts=(2, 3, 4, 5, 6),
+                    epsilon=3.2, queries_per_analyst=150, repeats=2,
+                    num_rows=12000, seed=0),
+        rounds=1, iterations=1,
+    )
+    emit(format_component(cells, by="num_analysts"))
+
+    def answered(system, count):
+        return next(c.answered for c in cells
+                    if c.system == system and c.num_analysts == count)
+
+    assert answered("dprovdb", 6) > answered("vanilla", 6)
+
+
+def test_fig11_epsilon_sweep_tpch(benchmark):
+    cells = benchmark.pedantic(
+        run_epsilon_sweep,
+        kwargs=dict(dataset="tpch", epsilons=(0.4, 0.8, 1.6, 3.2, 6.4),
+                    queries_per_analyst=150, repeats=2, num_rows=12000,
+                    seed=0),
+        rounds=1, iterations=1,
+    )
+    emit(format_component(cells, by="epsilon"))

@@ -1,0 +1,42 @@
+"""E1 — Figure 3: end-to-end RRQ comparison on Adult.
+
+Regenerates all four panels: #queries answered vs epsilon (round-robin and
+randomized) and the nDCFG fairness bars.  Expected shape: DProvDB >= Vanilla
+>= sPrivateSQL >> Chorus/ChorusP on utility; provenance-enforcing systems
+score higher nDCFG than plain Chorus.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.end_to_end import format_end_to_end, run_end_to_end
+
+
+def test_fig3_end_to_end_adult(benchmark):
+    cells = benchmark.pedantic(
+        run_end_to_end,
+        kwargs=dict(
+            dataset="adult",
+            epsilons=(0.4, 0.8, 1.6, 3.2, 6.4),
+            schedules=("round_robin", "random"),
+            queries_per_analyst=150,
+            repeats=2,
+            num_rows=12000,
+            seed=0,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(format_end_to_end(cells, dataset="adult"))
+
+    # Shape assertions (the paper's qualitative claims).
+    def answered(system, eps, schedule="round_robin"):
+        return next(c.answered for c in cells
+                    if c.system == system and c.epsilon == eps
+                    and c.schedule == schedule)
+
+    for schedule in ("round_robin", "random"):
+        for eps in (0.4, 0.8, 1.6):
+            assert answered("dprovdb", eps, schedule) >= \
+                answered("vanilla", eps, schedule) * 0.95
+            assert answered("dprovdb", eps, schedule) > \
+                answered("chorus", eps, schedule)

@@ -1,0 +1,42 @@
+"""E2 — Figure 4: BFS cumulative budget vs workload index (Adult + TPC-H).
+
+Expected shape: Chorus/ChorusP budgets grow roughly linearly with the
+workload; Vanilla and DProvDB flatten to near-constant consumption once
+their synopses cover the traversal.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.bfs_budget import format_bfs_budget, run_bfs_budget
+
+
+def _check_shapes(series):
+    by_name = {s.system: s for s in series}
+    for view_based in ("dprovdb", "vanilla"):
+        budgets = by_name[view_based].budgets
+        mid = len(budgets) // 2
+        # Near-constant tail: second-half growth bounded by first-half growth.
+        assert budgets[-1] - budgets[mid] <= max(
+            budgets[mid] - budgets[0], 1e-9
+        )
+
+
+def test_fig4_bfs_budget_adult(benchmark):
+    series = benchmark.pedantic(
+        run_bfs_budget,
+        kwargs=dict(dataset="adult", num_rows=12000, max_steps=1500, seed=0),
+        rounds=1, iterations=1,
+    )
+    emit(format_bfs_budget(series))
+    _check_shapes(series)
+
+
+def test_fig4_bfs_budget_tpch(benchmark):
+    series = benchmark.pedantic(
+        run_bfs_budget,
+        kwargs=dict(dataset="tpch", num_rows=12000, max_steps=1500, seed=0),
+        rounds=1, iterations=1,
+    )
+    emit(format_bfs_budget(series))
+    _check_shapes(series)

@@ -1,0 +1,43 @@
+"""E4 — Figure 5: cached synopses vs workload size.
+
+Expected shape: at fixed budget, DProvDB/Vanilla answer more queries as the
+workload grows (cache hits are free); Chorus/ChorusP saturate at a constant
+once their budget depletes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.cached_synopses import (
+    format_cached_synopses,
+    run_cached_synopses,
+)
+
+
+def test_fig5_cached_synopses(benchmark):
+    cells = benchmark.pedantic(
+        run_cached_synopses,
+        kwargs=dict(
+            dataset="adult",
+            epsilons=(0.4, 1.6, 6.4),
+            sizes=(100, 400, 1200, 2400),
+            repeats=2,
+            num_rows=12000,
+            seed=0,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(format_cached_synopses(cells))
+
+    def answered(system, eps, size):
+        return next(c.answered for c in cells
+                    if c.system == system and c.epsilon == eps
+                    and c.workload_size == size)
+
+    for eps in (1.6, 6.4):
+        # Cached systems keep growing with workload size...
+        assert answered("dprovdb", eps, 2400) > answered("dprovdb", eps, 100)
+        # ...and eventually dominate budget-per-query systems.
+        assert answered("dprovdb", eps, 2400) > answered("chorus", eps, 2400)
+        # Chorus saturates: growth from 400 -> 2400 is marginal.
+        assert answered("chorus", eps, 2400) <= answered("chorus", eps, 400) * 1.5 + 5

@@ -1,0 +1,54 @@
+"""E5 — Figure 6: additive GM vs vanilla, on Adult.
+
+Left panel: utility vs #analysts at eps=3.2 — the additive approach's
+advantage grows with the analyst count.  Right panel: utility vs epsilon with
+two analysts.  ``DProvDB-l_max`` (Def. 11) dominates ``DProvDB-l_sum`` and
+``Vanilla-l_sum`` (Def. 10).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.additive_vs_vanilla import (
+    format_component,
+    run_analyst_sweep,
+    run_epsilon_sweep,
+)
+
+
+def test_fig6_analyst_sweep_adult(benchmark):
+    cells = benchmark.pedantic(
+        run_analyst_sweep,
+        kwargs=dict(dataset="adult", analyst_counts=(2, 3, 4, 5, 6),
+                    epsilon=3.2, queries_per_analyst=150, repeats=2,
+                    num_rows=12000, seed=0),
+        rounds=1, iterations=1,
+    )
+    emit(format_component(cells, by="num_analysts"))
+
+    def answered(system, count):
+        return next(c.answered for c in cells
+                    if c.system == system and c.num_analysts == count)
+
+    # The l_max advantage grows with the number of analysts.
+    ratio_2 = answered("dprovdb", 2) / max(1.0, answered("vanilla", 2))
+    ratio_6 = answered("dprovdb", 6) / max(1.0, answered("vanilla", 6))
+    assert ratio_6 > ratio_2
+    assert answered("dprovdb", 6) > 1.5 * answered("vanilla", 6)
+
+
+def test_fig6_epsilon_sweep_adult(benchmark):
+    cells = benchmark.pedantic(
+        run_epsilon_sweep,
+        kwargs=dict(dataset="adult", epsilons=(0.8, 1.6, 3.2, 6.4),
+                    queries_per_analyst=150, repeats=2, num_rows=12000,
+                    seed=0),
+        rounds=1, iterations=1,
+    )
+    emit(format_component(cells, by="epsilon"))
+    for eps in (0.8, 1.6, 3.2, 6.4):
+        best = next(c.answered for c in cells
+                    if c.system == "dprovdb" and c.epsilon == eps)
+        others = [c.answered for c in cells
+                  if c.system != "dprovdb" and c.epsilon == eps]
+        assert best >= max(others) * 0.9

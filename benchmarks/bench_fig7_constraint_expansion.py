@@ -1,0 +1,42 @@
+"""E6 — Figure 7: constraint expansion (tau) fairness/utility trade-off.
+
+Expected shape: larger tau answers more queries (idle budget is oversold)
+while the nDCFG fairness score drops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments.constraint_expansion import (
+    format_constraint_expansion,
+    run_constraint_expansion,
+)
+
+
+def test_fig7_constraint_expansion(benchmark):
+    cells = benchmark.pedantic(
+        run_constraint_expansion,
+        kwargs=dict(
+            dataset="adult",
+            taus=(1.0, 1.3, 1.6, 1.9),
+            epsilons=(0.4, 0.8, 1.6, 3.2),
+            schedules=("round_robin", "random"),
+            queries_per_analyst=150,
+            repeats=2,
+            num_rows=12000,
+            seed=0,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(format_constraint_expansion(cells))
+
+    # Aggregated over epsilons: utility non-decreasing, fairness
+    # non-increasing in tau.
+    def mean(metric, tau):
+        return float(np.mean([getattr(c, metric) for c in cells
+                              if c.tau == tau]))
+
+    assert mean("answered", 1.9) >= mean("answered", 1.0)
+    assert mean("ndcfg", 1.9) <= mean("ndcfg", 1.0) + 0.05

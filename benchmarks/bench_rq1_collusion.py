@@ -1,0 +1,44 @@
+"""RQ1 — collusion bounds: additive GM achieves the lower bound.
+
+Theorems 3.2 / 5.2: all-analyst collusion loss is lower-bounded by
+``max_i eps_i`` and trivially upper-bounded by ``sum_i eps_i``.  The
+additive approach's realised bound tracks the max (flat in the number of
+analysts); vanilla's tracks the sum (grows linearly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.collusion import format_collusion, run_collusion
+
+
+def test_rq1_collusion_bounds(benchmark):
+    cells = benchmark.pedantic(
+        run_collusion,
+        kwargs=dict(dataset="adult", analyst_counts=(2, 3, 4, 5, 6),
+                    epsilon=20.0, queries_per_analyst=50, num_rows=12000,
+                    seed=0),
+        rounds=1, iterations=1,
+    )
+    emit(format_collusion(cells))
+
+    def bound(mechanism, count):
+        return next(c.collusion_bound for c in cells
+                    if c.mechanism == mechanism and c.num_analysts == count)
+
+    for count in (2, 4, 6):
+        additive = next(c for c in cells if c.mechanism == "dprovdb"
+                        and c.num_analysts == count)
+        vanilla = next(c for c in cells if c.mechanism == "vanilla"
+                       and c.num_analysts == count)
+        # Additive collusion loss stays below vanilla's at every n...
+        assert additive.collusion_bound < vanilla.collusion_bound
+        # ...and vanilla's equals the trivial upper bound (sum of rows).
+        assert vanilla.collusion_bound == pytest.approx(vanilla.sum_rows)
+
+    # The additive bound is ~flat in n (it tracks the max-eps lower bound);
+    # vanilla's grows roughly linearly with the analyst count.
+    assert bound("dprovdb", 6) <= bound("dprovdb", 2) * 1.5
+    assert bound("vanilla", 6) > bound("vanilla", 2) * 1.8

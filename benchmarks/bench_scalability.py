@@ -1,0 +1,29 @@
+"""Appendix C.1 — provenance overhead stays flat as analysts multiply.
+
+The provenance matrix grows as n x m, but lookups and constraint checks are
+O(n + m) per query and the matrix stays sparse (most analysts touch few
+views), so per-query latency should be roughly constant in the analyst
+count.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.scalability import format_scalability, run_scalability
+
+
+def test_scalability_analyst_count(benchmark):
+    rows = benchmark.pedantic(
+        run_scalability,
+        kwargs=dict(dataset="adult", analyst_counts=(2, 4, 8, 16, 32),
+                    queries_per_analyst=40, num_rows=12000, seed=0),
+        rounds=1, iterations=1,
+    )
+    emit(format_scalability(rows))
+
+    by_count = {r.num_analysts: r for r in rows}
+    # Per-query latency grows sublinearly: 16x the analysts, < 4x the time.
+    assert by_count[32].per_query_ms < 4 * max(by_count[2].per_query_ms,
+                                               0.05)
+    # Matrix cells grow linearly with analysts, as designed.
+    assert by_count[32].matrix_entries == 16 * by_count[2].matrix_entries

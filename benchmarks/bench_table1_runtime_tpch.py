@@ -1,0 +1,33 @@
+"""E3 — Table 1: runtime performance comparison on TPC-H.
+
+Expected shape: view-based systems (DProvDB, Vanilla, sPrivateSQL) pay a
+setup cost but answer each query in well under the Chorus-based systems'
+per-query time; Chorus/ChorusP have no setup (N/A) and pay a full data scan
+per query.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.runtime_table import (
+    format_runtime_table,
+    run_runtime_table,
+)
+
+
+def test_table1_runtime_tpch(benchmark):
+    rows = benchmark.pedantic(
+        run_runtime_table,
+        kwargs=dict(dataset="tpch", queries_per_analyst=150, repeats=4,
+                    num_rows=60000, seed=0),
+        rounds=1, iterations=1,
+    )
+    emit(format_runtime_table(rows, "tpch"))
+
+    by_name = {r.system: r for r in rows}
+    # Chorus-based systems have no view setup phase.
+    assert by_name["chorus"].setup_ms == 0.0
+    assert by_name["chorus_p"].setup_ms == 0.0
+    # Per-query latency: views beat per-query scans.
+    assert by_name["dprovdb"].per_query_ms < by_name["chorus"].per_query_ms
+    assert by_name["vanilla"].per_query_ms < by_name["chorus"].per_query_ms

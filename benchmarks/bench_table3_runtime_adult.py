@@ -1,0 +1,23 @@
+"""E11 — Table 3: runtime performance comparison on Adult."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.runtime_table import (
+    format_runtime_table,
+    run_runtime_table,
+)
+
+
+def test_table3_runtime_adult(benchmark):
+    rows = benchmark.pedantic(
+        run_runtime_table,
+        kwargs=dict(dataset="adult", queries_per_analyst=150, repeats=4,
+                    num_rows=None, seed=0),   # full 45,224-row Adult
+        rounds=1, iterations=1,
+    )
+    emit(format_runtime_table(rows, "adult"))
+
+    by_name = {r.system: r for r in rows}
+    assert by_name["chorus"].setup_ms == 0.0
+    assert by_name["dprovdb"].per_query_ms < by_name["chorus"].per_query_ms

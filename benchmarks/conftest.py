@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure at a reduced-but-faithful
+scale (same systems, same sweeps, smaller workloads/datasets) and prints the
+rows/series the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Scales are chosen so the full suite finishes in minutes on a laptop; the
+``run_*`` functions accept paper-scale parameters (see each module's
+docstring) for full-fidelity runs.
+"""
+
+from __future__ import annotations
+
+
+def emit(report: str) -> None:
+    """Print a regenerated table/figure under the benchmark output."""
+    print("\n" + report + "\n")

@@ -1,0 +1,68 @@
+"""Operational features: cost quotes, delegation grants, state snapshots.
+
+DProvDB is a *stateful* system.  This example exercises the operational
+surface a deployment needs around that state:
+
+* ``engine.quote`` — preview what a query would charge before asking it;
+* delegation (paper Sec. 9) — a senior analyst grants an intern temporary
+  use of their budget/synopses, capped, auditable, revocable;
+* persistence — snapshot the provenance table, synopses and grants to JSON
+  and restore them into a fresh engine (e.g. after a restart).
+
+Run:  python examples/delegation_and_persistence.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Analyst, DProvDB, load_adult
+from repro.core.persistence import load_engine_state, save_engine_state
+
+
+def main() -> None:
+    bundle = load_adult(seed=13)
+    analysts = [Analyst("senior", privilege=8), Analyst("intern", privilege=1)]
+    engine = DProvDB(bundle, analysts, epsilon=2.0, seed=13)
+
+    sql = "SELECT COUNT(*) FROM adult WHERE education_num >= 13"
+
+    # --- quotes ---------------------------------------------------------------
+    cost = engine.quote("senior", sql, accuracy=2500.0)
+    print(f"quoted cost for senior: eps={cost:.4f} "
+          f"(limit {engine.constraints.analyst_limit('senior')})")
+
+    # --- delegation -----------------------------------------------------------
+    grant = engine.grant_delegation("senior", "intern",
+                                    epsilon_cap=cost * 1.5)
+    print(f"grant #{grant}: senior -> intern, cap eps={cost * 1.5:.4f}")
+
+    answer = engine.submit("intern", sql, accuracy=2500.0, delegation=grant)
+    print(f"intern (delegated) -> {answer.value:.1f}, "
+          f"charged to senior: eps={answer.epsilon_charged:.4f}")
+    print(f"  senior consumed: {engine.analyst_consumed('senior'):.4f}, "
+          f"intern consumed: {engine.analyst_consumed('intern'):.4f}")
+
+    for g in engine.delegations.audit("senior"):
+        print(f"  audit: grant #{g.grant_id} -> {g.grantee}: "
+              f"{g.queries} queries, eps={g.consumed:.4f} "
+              f"(remaining {g.remaining:.4f})")
+    engine.revoke_delegation(grant)
+    print("  grant revoked\n")
+
+    # --- persistence ------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "dprovdb-state.json"
+        save_engine_state(engine, path)
+        print(f"snapshot written: {path.stat().st_size} bytes")
+
+        revived = DProvDB(bundle, analysts, epsilon=2.0, seed=99)
+        load_engine_state(revived, path)
+        repeat = revived.submit("senior", sql, accuracy=2500.0)
+        print(f"after restore: repeat query cache_hit={repeat.cache_hit}, "
+              f"value={repeat.value:.1f} (same synopsis, zero charge)")
+        print(f"restored consumption ledgers: "
+              f"senior={revived.analyst_consumed('senior'):.4f}")
+
+
+if __name__ == "__main__":
+    main()

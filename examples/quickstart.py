@@ -1,0 +1,60 @@
+"""Quickstart: multi-analyst DP querying with privacy provenance.
+
+Two analysts with different privilege levels query the same synthetic census
+table.  DProvDB answers both from one shared (hidden) global synopsis: the
+high-privilege analyst gets a more accurate answer, the low-privilege one a
+noisier, *correlated* answer — and even if they collude, the total privacy
+loss stays bounded by the budget spent on the global synopsis.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Analyst, DProvDB, load_adult
+
+
+def main() -> None:
+    # 1. Load data and register analysts with privilege levels (1..10).
+    bundle = load_adult(seed=7)
+    internal = Analyst("internal", privilege=8)
+    external = Analyst("external", privilege=2)
+
+    # 2. Build the engine: overall budget eps=2.0, additive Gaussian approach.
+    engine = DProvDB(bundle, [internal, external], epsilon=2.0, seed=7)
+
+    sql = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+    exact = bundle.database.execute(sql).scalar()
+    print(f"query: {sql}")
+    print(f"exact answer (curator-side only): {exact:.0f}\n")
+
+    # 3. Accuracy-oriented mode: bound the expected squared error.
+    a = engine.submit("internal", sql, accuracy=400.0)
+    print(f"internal  -> {a.value:10.1f}   (+-{a.answer_variance ** 0.5:6.1f} "
+          f"std, charged eps={a.epsilon_charged:.3f})")
+
+    b = engine.submit("external", sql, accuracy=40000.0)
+    print(f"external  -> {b.value:10.1f}   (+-{b.answer_variance ** 0.5:6.1f} "
+          f"std, charged eps={b.epsilon_charged:.3f})")
+
+    # 4. Repeats are served from cached synopses — free.
+    again = engine.submit("external", sql, accuracy=40000.0)
+    print(f"external (repeat) -> cache_hit={again.cache_hit}, "
+          f"charged eps={again.epsilon_charged}\n")
+
+    # 5. Privacy-oriented mode also works: spend an explicit budget.
+    c = engine.submit("internal",
+                      "SELECT COUNT(*) FROM adult WHERE hours_per_week >= 50",
+                      epsilon=0.3)
+    print(f"privacy-oriented submit -> {c.value:.1f} "
+          f"(view {c.view_name})\n")
+
+    # 6. Provenance: who consumed what, and the worst-case collusion loss.
+    print("per-analyst consumption:")
+    for name in ("internal", "external"):
+        print(f"  {name:9s} {engine.analyst_consumed(name):.3f} "
+              f"(limit {engine.constraints.analyst_limit(name):.3f})")
+    print(f"collusion bound: {engine.collusion_bound():.3f} "
+          f"(table constraint {engine.constraints.table})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` in the
+offline environment (no wheel package available for PEP 660 builds)."""
+
+from setuptools import setup
+
+setup()

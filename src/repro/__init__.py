@@ -1,0 +1,83 @@
+"""DProvDB reproduction: DP query processing with multi-analyst provenance.
+
+Quick start::
+
+    from repro import Analyst, DProvDB, load_adult
+
+    bundle = load_adult(seed=7)
+    alice = Analyst("alice", privilege=4)
+    bob = Analyst("bob", privilege=1)
+    engine = DProvDB(bundle, [alice, bob], epsilon=1.6, seed=7)
+    answer = engine.submit(
+        "alice",
+        "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40",
+        accuracy=2500.0,
+    )
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.core import (
+    AdditiveGaussianMechanism,
+    Analyst,
+    Answer,
+    ConfidenceInterval,
+    Constraints,
+    CorruptionGraph,
+    DProvDB,
+    ProvenanceTable,
+    Synopsis,
+    SynopsisStore,
+    VanillaMechanism,
+    VarianceBound,
+    ZCdpVanillaMechanism,
+    load_engine_state,
+    save_engine_state,
+)
+from repro.baselines import ChorusBaseline, ChorusPBaseline, SimulatedPrivateSQL
+from repro.datasets import DatasetBundle, load_adult, load_tpch
+from repro.db import Database, Schema, Table
+from repro.exceptions import (
+    QueryRejected,
+    ReproError,
+    TranslationError,
+    UnanswerableQuery,
+)
+from repro.metrics import dcfg, ndcfg, relative_error
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdditiveGaussianMechanism",
+    "Analyst",
+    "Answer",
+    "ChorusBaseline",
+    "ChorusPBaseline",
+    "ConfidenceInterval",
+    "Constraints",
+    "CorruptionGraph",
+    "DProvDB",
+    "Database",
+    "DatasetBundle",
+    "ProvenanceTable",
+    "QueryRejected",
+    "ReproError",
+    "Schema",
+    "SimulatedPrivateSQL",
+    "Synopsis",
+    "SynopsisStore",
+    "Table",
+    "TranslationError",
+    "UnanswerableQuery",
+    "VanillaMechanism",
+    "VarianceBound",
+    "ZCdpVanillaMechanism",
+    "dcfg",
+    "load_adult",
+    "load_engine_state",
+    "load_tpch",
+    "ndcfg",
+    "relative_error",
+    "save_engine_state",
+]

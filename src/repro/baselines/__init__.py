@@ -1,0 +1,27 @@
+"""Baseline systems the paper compares against (Sec. 6.1.1).
+
+* :class:`ChorusBaseline` — plain Chorus: per-query Gaussian noise straight
+  on the query answer, no views, no analyst distinction, one overall budget.
+* :class:`ChorusPBaseline` — Chorus plus the privacy provenance table
+  (per-analyst row constraints via Def. 10) but no cached synopses.
+* :class:`SimulatedPrivateSQL` — static per-view budgets spent upfront on
+  one synopsis per view; queries that need more accuracy than the static
+  synopses provide are rejected.
+
+The *vanilla* baseline is :class:`repro.core.vanilla.VanillaMechanism` run
+through the :class:`repro.core.engine.DProvDB` engine with Def. 10
+constraints — see :func:`repro.experiments.systems.make_system`.
+"""
+
+from repro.baselines.chorus import ChorusBaseline
+from repro.baselines.chorus_p import ChorusPBaseline
+from repro.baselines.private_sql import SimulatedPrivateSQL
+from repro.baselines.strawman import SeededCacheBaseline, SyntheticDataRelease
+
+__all__ = [
+    "ChorusBaseline",
+    "ChorusPBaseline",
+    "SeededCacheBaseline",
+    "SimulatedPrivateSQL",
+    "SyntheticDataRelease",
+]

@@ -1,0 +1,129 @@
+"""Plain Chorus baseline: stateless per-query Gaussian releases.
+
+Each query is executed against the database (the expensive part the paper's
+Table 1 shows) and perturbed with analytic Gaussian noise calibrated to the
+requested accuracy; the budget is drawn first-come-first-served from a single
+overall pool with no analyst distinction and no synopsis reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.analyst import Analyst
+from repro.core.engine import Answer
+from repro.core.translation import DEFAULT_PRECISION, epsilon_for_variance
+from repro.datasets.base import DatasetBundle
+from repro.db.schema import IntegerDomain
+from repro.db.sql.ast import SelectStatement
+from repro.db.sql.parser import parse
+from repro.dp.gaussian import analytic_gaussian_sigma
+from repro.dp.rng import SeedLike, ensure_generator
+from repro.exceptions import (
+    QueryRejected,
+    ReproError,
+    TranslationError,
+    UnanswerableQuery,
+    UnknownAnalyst,
+)
+
+
+class ChorusBaseline:
+    """Per-query Gaussian mechanism over the raw database."""
+
+    name = "chorus"
+
+    def __init__(self, bundle: DatasetBundle, analysts: Sequence[Analyst],
+                 epsilon: float, delta: float = 1e-9,
+                 precision: float = DEFAULT_PRECISION,
+                 seed: SeedLike = None) -> None:
+        if epsilon <= 0:
+            raise ReproError(f"overall budget must be positive, got {epsilon}")
+        self.bundle = bundle
+        self.analysts = {a.name: a for a in analysts}
+        self.table_budget = epsilon
+        self.delta = delta
+        self.precision = precision
+        self.rng = ensure_generator(seed)
+        self._consumed: dict[str, float] = {a.name: 0.0 for a in analysts}
+
+    # -- helpers -----------------------------------------------------------------
+    def setup(self) -> float:
+        """Chorus has no views to materialise (Table 1 reports N/A)."""
+        return 0.0
+
+    def _scalar_sensitivity(self, statement: SelectStatement) -> float:
+        agg = statement.aggregates[0]
+        if agg.func == "COUNT":
+            return 1.0
+        if agg.func == "SUM":
+            schema = self.bundle.database.table(statement.table).schema
+            domain = schema.domain(agg.column)
+            if not isinstance(domain, IntegerDomain):
+                raise UnanswerableQuery(f"SUM over non-numeric {agg.column!r}")
+            return float(max(abs(domain.low), abs(domain.high)))
+        raise UnanswerableQuery(f"aggregate {agg.func} not supported by Chorus")
+
+    def _check_analyst(self, analyst: str) -> None:
+        if analyst not in self.analysts:
+            raise UnknownAnalyst(f"analyst {analyst!r} not registered")
+
+    def _charge(self, analyst: str, epsilon: float) -> None:
+        if self.total_consumed() + epsilon > self.table_budget + 1e-12:
+            raise QueryRejected(
+                f"overall budget {self.table_budget} would be exceeded",
+                constraint="table",
+            )
+        self._consumed[analyst] += epsilon
+
+    # -- submission ----------------------------------------------------------------
+    def submit(self, analyst: str, sql, accuracy: float | None = None,
+               epsilon: float | None = None) -> Answer:
+        self._check_analyst(analyst)
+        statement = sql if isinstance(sql, SelectStatement) else parse(sql)
+        if not statement.is_scalar():
+            raise UnanswerableQuery("Chorus baseline answers scalar queries")
+        sensitivity = self._scalar_sensitivity(statement)
+
+        if (accuracy is None) == (epsilon is None):
+            raise ReproError("provide exactly one of accuracy= or epsilon=")
+        if accuracy is not None:
+            try:
+                eps = epsilon_for_variance(accuracy, self.delta, sensitivity,
+                                           upper=self.table_budget,
+                                           precision=self.precision)
+            except TranslationError as exc:
+                raise QueryRejected(str(exc), constraint="translation") from exc
+        else:
+            eps = epsilon
+        self._charge(analyst, eps)
+
+        # The slow path: execute the query on the raw data every time.
+        exact = self.bundle.database.execute(statement).scalar()
+        sigma = analytic_gaussian_sigma(eps, self.delta, sensitivity)
+        value = exact + float(self.rng.normal(0.0, sigma))
+        return Answer(analyst, value, eps, view_name="(direct)",
+                      per_bin_variance=sigma ** 2,
+                      answer_variance=sigma ** 2, cache_hit=False)
+
+    def try_submit(self, analyst: str, sql, accuracy: float | None = None,
+                   epsilon: float | None = None) -> Answer | None:
+        try:
+            return self.submit(analyst, sql, accuracy=accuracy, epsilon=epsilon)
+        except QueryRejected:
+            return None
+
+    # -- reporting -------------------------------------------------------------------
+    def analyst_consumed(self, analyst: str) -> float:
+        self._check_analyst(analyst)
+        return self._consumed[analyst]
+
+    def total_consumed(self) -> float:
+        return sum(self._consumed.values())
+
+    def collusion_bound(self) -> float:
+        """Independent releases: collusion loss is the consumed total."""
+        return self.total_consumed()
+
+
+__all__ = ["ChorusBaseline"]

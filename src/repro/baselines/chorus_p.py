@@ -1,0 +1,44 @@
+"""ChorusP: Chorus plus the privacy provenance table, minus cached views.
+
+The ablation of the paper's Sec. 6.1.1: per-analyst row constraints are
+enforced (Def. 10 proportional split, so fairness improves over plain
+Chorus), but every query still spends fresh budget — nothing is cached, so
+utility depletes linearly like Chorus.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.chorus import ChorusBaseline
+from repro.core.analyst import Analyst
+from repro.core.policies import analyst_constraints_proportional
+from repro.datasets.base import DatasetBundle
+from repro.dp.rng import SeedLike
+from repro.exceptions import QueryRejected
+
+
+class ChorusPBaseline(ChorusBaseline):
+    """Chorus with per-analyst provenance constraints."""
+
+    name = "chorus_p"
+
+    def __init__(self, bundle: DatasetBundle, analysts: Sequence[Analyst],
+                 epsilon: float, delta: float = 1e-9,
+                 precision: float = 1e-6, seed: SeedLike = None) -> None:
+        super().__init__(bundle, analysts, epsilon, delta, precision, seed)
+        self.analyst_limits = analyst_constraints_proportional(
+            list(analysts), epsilon
+        )
+
+    def _charge(self, analyst: str, epsilon: float) -> None:
+        limit = self.analyst_limits[analyst]
+        if self._consumed[analyst] + epsilon > limit + 1e-12:
+            raise QueryRejected(
+                f"analyst constraint {limit} for {analyst!r} would be exceeded",
+                constraint="row",
+            )
+        super()._charge(analyst, epsilon)
+
+
+__all__ = ["ChorusPBaseline"]

@@ -1,0 +1,129 @@
+"""Simulated PrivateSQL (paper Sec. 6.1.1, "sPrivateSQL").
+
+Static view-based DP: the whole budget is split across the registered views
+upfront (proportional to inverse sensitivity — equal here, since all
+single-attribute counting views share sensitivity), one synopsis per view is
+generated at setup, and every incoming query is answered from those frozen
+synopses.  Queries whose accuracy requirement the static synopsis cannot meet
+are rejected; no analyst distinction is made (all analysts see the same
+synopses).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.analyst import Analyst
+from repro.core.engine import Answer
+from repro.core.policies import static_view_constraints
+from repro.core.synopsis import Synopsis, SynopsisStore
+from repro.datasets.base import DatasetBundle
+from repro.db.sql.ast import SelectStatement
+from repro.db.sql.parser import parse
+from repro.dp.gaussian import analytic_gaussian_sigma
+from repro.dp.rng import SeedLike, ensure_generator
+from repro.exceptions import QueryRejected, ReproError, UnknownAnalyst
+from repro.views.registry import ViewRegistry
+
+
+class SimulatedPrivateSQL:
+    """Static per-view synopses generated once at setup."""
+
+    name = "sprivatesql"
+
+    def __init__(self, bundle: DatasetBundle, analysts: Sequence[Analyst],
+                 epsilon: float, delta: float = 1e-9,
+                 seed: SeedLike = None) -> None:
+        if epsilon <= 0:
+            raise ReproError(f"overall budget must be positive, got {epsilon}")
+        self.bundle = bundle
+        self.analysts = {a.name: a for a in analysts}
+        self.table_budget = epsilon
+        self.delta = delta
+        self.rng = ensure_generator(seed)
+
+        self.registry = ViewRegistry(bundle.database)
+        self.registry.add_attribute_views(bundle.fact_table,
+                                          bundle.view_attributes)
+        sensitivities = {
+            name: self.registry.view(name).sensitivity()
+            for name in self.registry.view_names
+        }
+        self.view_budgets = static_view_constraints(sensitivities, epsilon)
+        self.store = SynopsisStore()
+        self._consumed: dict[str, float] = {a.name: 0.0 for a in analysts}
+        self._setup_done = False
+
+    # -- lifecycle --------------------------------------------------------------
+    def setup(self) -> float:
+        """Materialise exact views and spend the static budgets on synopses."""
+        if self._setup_done:
+            return self.registry.setup_seconds
+        for name, view_eps in self.view_budgets.items():
+            view = self.registry.view(name)
+            exact = self.registry.exact_values(name)
+            sigma = analytic_gaussian_sigma(view_eps, self.delta,
+                                            view.sensitivity())
+            values = exact + self.rng.normal(0.0, sigma, size=exact.shape)
+            self.store.put_global(Synopsis(
+                view_name=name, values=values, epsilon=view_eps,
+                delta=self.delta, variance=sigma ** 2, analyst=None,
+            ))
+        self._setup_done = True
+        return self.registry.setup_seconds
+
+    def _check_analyst(self, analyst: str) -> None:
+        if analyst not in self.analysts:
+            raise UnknownAnalyst(f"analyst {analyst!r} not registered")
+
+    # -- submission ----------------------------------------------------------------
+    def submit(self, analyst: str, sql, accuracy: float | None = None,
+               epsilon: float | None = None) -> Answer:
+        self._check_analyst(analyst)
+        if not self._setup_done:
+            self.setup()
+        statement = sql if isinstance(sql, SelectStatement) else parse(sql)
+        view, query = self.registry.compile(statement)
+        synopsis = self.store.global_synopsis(view.name)
+        assert synopsis is not None  # setup populated every view
+
+        if (accuracy is None) == (epsilon is None):
+            raise ReproError("provide exactly one of accuracy= or epsilon=")
+        if accuracy is None:
+            sigma = analytic_gaussian_sigma(epsilon, self.delta,
+                                            view.sensitivity())
+            accuracy = sigma ** 2 * query.weight_norm_sq
+        per_bin = query.per_bin_variance_for(accuracy)
+        if synopsis.variance > per_bin:
+            raise QueryRejected(
+                f"static synopsis for {view.name!r} too noisy "
+                f"({synopsis.variance:.3f} > {per_bin:.3f})",
+                constraint="column",
+            )
+        return Answer(analyst, query.answer(synopsis.values),
+                      epsilon_charged=0.0, view_name=view.name,
+                      per_bin_variance=synopsis.variance,
+                      answer_variance=query.answer_variance(synopsis.variance),
+                      cache_hit=True)
+
+    def try_submit(self, analyst: str, sql, accuracy: float | None = None,
+                   epsilon: float | None = None) -> Answer | None:
+        try:
+            return self.submit(analyst, sql, accuracy=accuracy, epsilon=epsilon)
+        except QueryRejected:
+            return None
+
+    # -- reporting -------------------------------------------------------------------
+    def analyst_consumed(self, analyst: str) -> float:
+        self._check_analyst(analyst)
+        return self._consumed[analyst]
+
+    def total_consumed(self) -> float:
+        """The whole budget is committed at setup."""
+        return self.table_budget if self._setup_done else 0.0
+
+    def collusion_bound(self) -> float:
+        return self.total_consumed()
+
+
+__all__ = ["SimulatedPrivateSQL"]

@@ -1,0 +1,168 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro fig3  --dataset adult --rows 12000
+    python -m repro fig4  --dataset tpch
+    python -m repro table1
+    python -m repro fig6 --queries 200
+    python -m repro list
+
+Each subcommand maps to one experiment regenerator (see DESIGN.md §3);
+options control the reduced scale.  Output is the same text tables the
+benchmarks print.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.experiments.additive_vs_vanilla import (
+    format_component,
+    run_analyst_sweep,
+    run_epsilon_sweep,
+)
+from repro.experiments.bfs_budget import format_bfs_budget, run_bfs_budget
+from repro.experiments.cached_synopses import (
+    format_cached_synopses,
+    run_cached_synopses,
+)
+from repro.experiments.constraint_expansion import (
+    format_constraint_expansion,
+    run_constraint_expansion,
+)
+from repro.experiments.delta_sweep import format_delta_sweep, run_delta_sweep
+from repro.experiments.end_to_end import format_end_to_end, run_end_to_end
+from repro.experiments.runtime_table import (
+    format_runtime_table,
+    run_runtime_table,
+)
+from repro.experiments.collusion import format_collusion, run_collusion
+from repro.experiments.translation_validation import (
+    format_translation_validation,
+    run_translation_validation,
+)
+
+
+def _fig3(args) -> str:
+    cells = run_end_to_end(dataset=args.dataset,
+                           queries_per_analyst=args.queries,
+                           repeats=args.repeats, num_rows=args.rows,
+                           seed=args.seed)
+    return format_end_to_end(cells, dataset=args.dataset)
+
+
+def _fig4(args) -> str:
+    series = run_bfs_budget(dataset=args.dataset, num_rows=args.rows,
+                            max_steps=args.queries * 10, seed=args.seed)
+    return format_bfs_budget(series)
+
+
+def _fig5(args) -> str:
+    cells = run_cached_synopses(dataset=args.dataset, repeats=args.repeats,
+                                num_rows=args.rows, seed=args.seed)
+    return format_cached_synopses(cells)
+
+
+def _fig6(args) -> str:
+    sweep = run_analyst_sweep(dataset=args.dataset,
+                              queries_per_analyst=args.queries,
+                              repeats=args.repeats, num_rows=args.rows,
+                              seed=args.seed)
+    eps = run_epsilon_sweep(dataset=args.dataset,
+                            queries_per_analyst=args.queries,
+                            repeats=args.repeats, num_rows=args.rows,
+                            seed=args.seed)
+    return (format_component(sweep, by="num_analysts") + "\n\n"
+            + format_component(eps, by="epsilon"))
+
+
+def _fig7(args) -> str:
+    cells = run_constraint_expansion(dataset=args.dataset,
+                                     queries_per_analyst=args.queries,
+                                     repeats=args.repeats,
+                                     num_rows=args.rows, seed=args.seed)
+    return format_constraint_expansion(cells)
+
+
+def _fig8(args) -> str:
+    cells = run_delta_sweep(dataset=args.dataset, num_rows=args.rows,
+                            max_steps=args.queries * 10, seed=args.seed)
+    return format_delta_sweep(cells)
+
+
+def _fig9(args) -> str:
+    reports = run_translation_validation(dataset=args.dataset,
+                                         num_rows=args.rows,
+                                         max_steps=args.queries * 10,
+                                         seed=args.seed)
+    return format_translation_validation(reports)
+
+
+def _table(dataset: str) -> Callable:
+    def runner(args) -> str:
+        rows = run_runtime_table(dataset=dataset,
+                                 queries_per_analyst=args.queries,
+                                 repeats=args.repeats, num_rows=args.rows,
+                                 seed=args.seed)
+        return format_runtime_table(rows, dataset)
+    return runner
+
+
+def _rq1(args) -> str:
+    cells = run_collusion(dataset=args.dataset,
+                          queries_per_analyst=args.queries,
+                          num_rows=args.rows, seed=args.seed)
+    return format_collusion(cells)
+
+
+COMMANDS: dict[str, tuple[Callable, str]] = {
+    "rq1": (_rq1, "worst-case collusion bounds vs #analysts (RQ1)"),
+    "fig3": (_fig3, "end-to-end RRQ comparison (Fig. 3 / Fig. 10)"),
+    "fig4": (_fig4, "BFS cumulative budget (Fig. 4)"),
+    "fig5": (_fig5, "cached synopses vs workload size (Fig. 5)"),
+    "fig6": (_fig6, "additive GM vs vanilla (Fig. 6 / Fig. 11)"),
+    "fig7": (_fig7, "constraint expansion tau (Fig. 7)"),
+    "fig8": (_fig8, "delta sweep (Fig. 8)"),
+    "fig9": (_fig9, "translation validation (Fig. 9)"),
+    "table1": (_table("tpch"), "runtime comparison on TPC-H (Table 1)"),
+    "table3": (_table("adult"), "runtime comparison on Adult (Table 3)"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the DProvDB paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    for name, (_, help_text) in COMMANDS.items():
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--dataset", choices=("adult", "tpch"),
+                         default="adult")
+        cmd.add_argument("--rows", type=int, default=12000,
+                         help="dataset rows (0 = paper scale)")
+        cmd.add_argument("--queries", type=int, default=150,
+                         help="queries per analyst")
+        cmd.add_argument("--repeats", type=int, default=2)
+        cmd.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (_, help_text) in COMMANDS.items():
+            print(f"{name:8s} {help_text}")
+        return 0
+    if args.rows == 0:
+        args.rows = None
+    runner, _ = COMMANDS[args.command]
+    print(runner(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""DProvDB core: the paper's primary contribution.
+
+* :mod:`repro.core.analyst` — analysts with privilege levels.
+* :mod:`repro.core.provenance` — the privacy provenance table (Def. 8):
+  per-(analyst, view) cumulative loss matrix plus row/column/table
+  constraints.
+* :mod:`repro.core.synopsis` — global and local DP synopses.
+* :mod:`repro.core.additive_gm` — the additive Gaussian noise-calibration
+  primitive (Algorithm 3).
+* :mod:`repro.core.translation` — accuracy-to-privacy translation (Def. 9 and
+  the friction-aware Eq. 3 variant).
+* :mod:`repro.core.vanilla` / :mod:`repro.core.additive` — the two DProvDB
+  mechanisms (Algorithms 2 and 4).
+* :mod:`repro.core.policies` — analyst/view constraint specifications
+  (Defs. 10, 11, 12 and the tau-expansion of Sec. 6.2.2).
+* :mod:`repro.core.engine` — the online query-processing loop (Algorithm 1)
+  with the dual submission modes.
+* :mod:`repro.core.corruption` — (t, n)-compromised corruption graphs
+  (Sec. 7.1).
+"""
+
+from repro.core.analyst import Analyst
+from repro.core.provenance import Constraints, ProvenanceTable
+from repro.core.synopsis import Synopsis, SynopsisStore
+from repro.core.additive_gm import additive_gaussian_release
+from repro.core.translation import (
+    additive_budget_request,
+    fresh_variance_for_target,
+    vanilla_translate,
+)
+from repro.core.policies import (
+    analyst_constraints_max,
+    analyst_constraints_proportional,
+    expand_constraints,
+    static_view_constraints,
+    water_filling_view_constraints,
+)
+from repro.core.vanilla import VanillaMechanism
+from repro.core.additive import AdditiveGaussianMechanism
+from repro.core.zcdp_vanilla import ZCdpVanillaMechanism
+from repro.core.engine import Answer, DProvDB
+from repro.core.corruption import CorruptionGraph
+from repro.core.accuracy import ConfidenceInterval, VarianceBound
+from repro.core.delegation import DelegationManager, Grant
+from repro.core.local_combine import local_combination_weights
+from repro.core.persistence import (
+    load_engine_state,
+    restore_engine_state,
+    save_engine_state,
+)
+
+__all__ = [
+    "AdditiveGaussianMechanism",
+    "Analyst",
+    "Answer",
+    "ConfidenceInterval",
+    "Constraints",
+    "CorruptionGraph",
+    "DProvDB",
+    "DelegationManager",
+    "Grant",
+    "ProvenanceTable",
+    "Synopsis",
+    "SynopsisStore",
+    "VanillaMechanism",
+    "VarianceBound",
+    "ZCdpVanillaMechanism",
+    "load_engine_state",
+    "local_combination_weights",
+    "restore_engine_state",
+    "save_engine_state",
+    "additive_budget_request",
+    "additive_gaussian_release",
+    "analyst_constraints_max",
+    "analyst_constraints_proportional",
+    "expand_constraints",
+    "fresh_variance_for_target",
+    "static_view_constraints",
+    "vanilla_translate",
+    "water_filling_view_constraints",
+]

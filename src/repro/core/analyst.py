@@ -1,0 +1,33 @@
+"""Data analysts with privilege levels.
+
+Privilege levels are integers in 1..10 (paper Sec. 3, RQ 3); a higher number
+means the administrator trusts the analyst with a larger share of the privacy
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MIN_PRIVILEGE = 1
+MAX_PRIVILEGE = 10
+
+
+@dataclass(frozen=True, order=True)
+class Analyst:
+    """A registered data analyst."""
+
+    name: str
+    privilege: int = MIN_PRIVILEGE
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("analyst name cannot be empty")
+        if not MIN_PRIVILEGE <= self.privilege <= MAX_PRIVILEGE:
+            raise ValueError(
+                f"privilege must be in [{MIN_PRIVILEGE}, {MAX_PRIVILEGE}], "
+                f"got {self.privilege}"
+            )
+
+
+__all__ = ["Analyst", "MAX_PRIVILEGE", "MIN_PRIVILEGE"]

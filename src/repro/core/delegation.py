@@ -1,0 +1,105 @@
+"""Privilege delegation (paper Sec. 9, "other problems with access control").
+
+The paper sketches a "grant" operator: an analyst temporarily delegates
+their privilege to another, and budget consumed by the grantee during the
+delegation is *accounted to the grantor*.  The provenance table makes this a
+small extension: a grant is a capability token; a query submitted under it
+runs against the grantor's row constraints and synopses, while the grant
+records how much of the grantor's budget the grantee spent (so grantors can
+audit and cap their exposure).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryRejected, ReproError
+
+
+@dataclass
+class Grant:
+    """One active delegation capability."""
+
+    grant_id: int
+    grantor: str
+    grantee: str
+    epsilon_cap: float | None = None
+    consumed: float = 0.0
+    revoked: bool = False
+    queries: int = 0
+
+    @property
+    def remaining(self) -> float:
+        if self.epsilon_cap is None:
+            return float("inf")
+        return max(0.0, self.epsilon_cap - self.consumed)
+
+
+@dataclass
+class DelegationManager:
+    """Issues, validates and accounts delegation grants."""
+
+    _grants: dict[int, Grant] = field(default_factory=dict)
+    _counter: itertools.count = field(default_factory=itertools.count)
+
+    def grant(self, grantor: str, grantee: str,
+              epsilon_cap: float | None = None) -> int:
+        """Create a delegation from ``grantor`` to ``grantee``.
+
+        ``epsilon_cap`` bounds how much of the grantor's budget the grantee
+        may spend through this grant (``None`` = the grantor's own limits).
+        """
+        if grantor == grantee:
+            raise ReproError("cannot delegate to oneself")
+        if epsilon_cap is not None and epsilon_cap <= 0:
+            raise ReproError(f"epsilon_cap must be positive, got {epsilon_cap}")
+        grant_id = next(self._counter)
+        self._grants[grant_id] = Grant(grant_id, grantor, grantee,
+                                       epsilon_cap)
+        return grant_id
+
+    def revoke(self, grant_id: int) -> None:
+        self._lookup(grant_id).revoked = True
+
+    def _lookup(self, grant_id: int) -> Grant:
+        try:
+            return self._grants[grant_id]
+        except KeyError:
+            raise ReproError(f"unknown grant {grant_id}") from None
+
+    def validate(self, grant_id: int, grantee: str) -> Grant:
+        """Check the grant is usable by ``grantee``; returns it."""
+        grant = self._lookup(grant_id)
+        if grant.revoked:
+            raise ReproError(f"grant {grant_id} has been revoked")
+        if grant.grantee != grantee:
+            raise ReproError(
+                f"grant {grant_id} belongs to {grant.grantee!r}, "
+                f"not {grantee!r}"
+            )
+        return grant
+
+    def check_budget(self, grant: Grant, epsilon: float) -> None:
+        """Refuse charges beyond the grant's cap (pre-charge check).
+
+        Raises :class:`QueryRejected` so workload loops treat an exhausted
+        grant like any other budget refusal.
+        """
+        if epsilon > grant.remaining + 1e-12:
+            raise QueryRejected(
+                f"grant {grant.grant_id} cap exhausted "
+                f"(remaining {grant.remaining:.4f}, needs {epsilon:.4f})",
+                constraint="row",
+            )
+
+    def record(self, grant: Grant, epsilon: float) -> None:
+        grant.consumed += epsilon
+        grant.queries += 1
+
+    def audit(self, grantor: str) -> list[Grant]:
+        """All grants issued by ``grantor`` (for budget exposure review)."""
+        return [g for g in self._grants.values() if g.grantor == grantor]
+
+
+__all__ = ["DelegationManager", "Grant"]

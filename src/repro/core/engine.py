@@ -1,0 +1,394 @@
+"""The DProvDB engine: the online loop of Algorithm 1 with dual modes.
+
+``DProvDB`` wires the substrates together: a view registry over the database,
+a provenance table with constraint policies, and one of the two mechanisms.
+Analysts submit SQL in either submission mode:
+
+* **accuracy-oriented** — ``submit(analyst, sql, accuracy=v)`` bounds the
+  expected squared error of the answer;
+* **privacy-oriented** — ``submit(analyst, sql, epsilon=e)`` spends an
+  explicit budget, internally converted to the equivalent accuracy so both
+  modes share one code path.
+
+Queries that would violate a row/column/table constraint raise
+:class:`QueryRejected`; :meth:`DProvDB.try_submit` converts rejections to
+``None`` for workload loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.analyst import Analyst
+from repro.core.additive import AdditiveGaussianMechanism
+from repro.core.mechanism import GaussianAccountant, MechanismBase
+from repro.core.policies import build_constraints
+from repro.core.provenance import Constraints, ProvenanceTable
+from repro.core.vanilla import VanillaMechanism
+from repro.core.zcdp_vanilla import ZCdpVanillaMechanism
+from repro.core.translation import DEFAULT_PRECISION
+from repro.datasets.base import DatasetBundle
+from repro.db.sql.ast import SelectStatement
+from repro.db.sql.parser import parse
+from repro.dp.gaussian import analytic_gaussian_sigma
+from repro.dp.rng import SeedLike, ensure_generator
+from repro.exceptions import QueryRejected, ReproError, UnknownAnalyst
+from repro.views.registry import ViewRegistry
+from repro.views.transform import transform_avg_parts, transform_group_by
+
+_MECHANISMS = {
+    "additive": AdditiveGaussianMechanism,
+    "vanilla": VanillaMechanism,
+    "vanilla_zcdp": ZCdpVanillaMechanism,
+}
+
+
+@dataclass(frozen=True)
+class Answer:
+    """A released query answer plus its provenance metadata."""
+
+    analyst: str
+    value: float
+    epsilon_charged: float
+    view_name: str
+    per_bin_variance: float
+    answer_variance: float
+    cache_hit: bool
+
+
+class DProvDB:
+    """Multi-analyst DP query processing with privacy provenance."""
+
+    def __init__(self, bundle: DatasetBundle, analysts: Sequence[Analyst],
+                 epsilon: float, delta: float = 1e-9,
+                 mechanism: str = "additive", tau: float = 1.0,
+                 l_max: int | None = None,
+                 constraints: Constraints | None = None,
+                 accountant: GaussianAccountant | None = None,
+                 precision: float = DEFAULT_PRECISION,
+                 combine_local: bool = False,
+                 seed: SeedLike = None) -> None:
+        if not analysts:
+            raise ReproError("need at least one analyst")
+        names = [a.name for a in analysts]
+        if len(set(names)) != len(names):
+            raise ReproError("duplicate analyst names")
+        if mechanism not in _MECHANISMS:
+            raise ReproError(f"unknown mechanism {mechanism!r}; "
+                             f"choose from {sorted(_MECHANISMS)}")
+
+        #: Display name used in experiment reports (overridable).
+        self.name = f"dprovdb-{mechanism}"
+        self.bundle = bundle
+        self.analysts = {a.name: a for a in analysts}
+        self.registry = ViewRegistry(bundle.database)
+        self.registry.add_attribute_views(bundle.fact_table,
+                                          bundle.view_attributes)
+
+        if constraints is None:
+            # zCDP-checked vanilla shares the Def. 10 constraint pairing.
+            style = "vanilla" if mechanism.startswith("vanilla") else "additive"
+            constraints = build_constraints(
+                list(analysts), self.registry.view_names, epsilon,
+                mechanism=style, tau=tau, delta=delta,
+                delta_cap=bundle.delta_cap(), l_max=l_max,
+            )
+        self.constraints = constraints
+        self.provenance = ProvenanceTable.for_analysts(
+            analysts, self.registry.view_names
+        )
+        from repro.core.delegation import DelegationManager
+        from repro.core.history import QueryLog
+
+        self.delegations = DelegationManager()
+        self.log = QueryLog()
+        mechanism_kwargs = {"rng": ensure_generator(seed),
+                            "accountant": accountant,
+                            "precision": precision}
+        if mechanism == "additive":
+            mechanism_kwargs["combine_local"] = combine_local
+        elif combine_local:
+            raise ReproError("combine_local requires the additive mechanism")
+        self.mechanism: MechanismBase = _MECHANISMS[mechanism](
+            self.registry, self.provenance, constraints, **mechanism_kwargs,
+        )
+
+    @classmethod
+    def with_corruption_graph(cls, bundle: DatasetBundle,
+                              analysts: Sequence[Analyst], graph,
+                              epsilon: float, policy: str = "max",
+                              delta: float = 1e-9,
+                              seed: SeedLike = None,
+                              **kwargs) -> "DProvDB":
+        """Build an engine under the (t, n)-compromised model (Sec. 7.1).
+
+        Each coalition of the corruption ``graph`` receives its own table
+        budget ``epsilon`` (Thm. 7.2), enforced as a per-coalition sum cap;
+        the overall table constraint becomes ``k * epsilon``.  Only the
+        vanilla mechanism is supported: the additive approach shares global
+        synopses *across* coalitions, which collapses the per-component
+        accounting back to a single ``psi_P``.
+        """
+        if kwargs.get("mechanism", "vanilla") != "vanilla":
+            raise ReproError(
+                "corruption-graph budgeting requires mechanism='vanilla'"
+            )
+        kwargs.pop("mechanism", None)
+        view_names = tuple(f"{bundle.fact_table}.{attr}"
+                           for attr in bundle.view_attributes)
+        total = graph.total_budget(epsilon)
+        constraints = Constraints(
+            analyst=graph.component_constraints(epsilon, policy=policy),
+            view={name: total for name in view_names},
+            table=total, delta=delta, delta_cap=bundle.delta_cap(),
+            groups=tuple(graph.components()), group_limit=epsilon,
+        )
+        return cls(bundle, analysts, epsilon=total, delta=delta,
+                   mechanism="vanilla", constraints=constraints, seed=seed,
+                   **kwargs)
+
+    # -- lifecycle --------------------------------------------------------------
+    def setup(self) -> float:
+        """Materialise all exact views; returns setup seconds."""
+        return self.registry.materialize_all()
+
+    def register_analyst(self, analyst: Analyst,
+                         constraint: float | None = None) -> None:
+        """Admit a new analyst online (possible under Def. 11 policies)."""
+        if analyst.name in self.analysts:
+            raise ReproError(f"analyst {analyst.name!r} already registered")
+        if constraint is None:
+            l_max = max((a.privilege for a in self.analysts.values()),
+                        default=analyst.privilege)
+            l_max = max(l_max, analyst.privilege)
+            constraint = analyst.privilege / l_max * self.constraints.table
+        self.analysts[analyst.name] = analyst
+        self.provenance.register_analyst(analyst.name)
+        updated = dict(self.constraints.analyst)
+        updated[analyst.name] = constraint
+        self.constraints = Constraints(
+            analyst=updated, view=self.constraints.view,
+            table=self.constraints.table, delta=self.constraints.delta,
+            delta_cap=self.constraints.delta_cap,
+        )
+        self.mechanism.constraints = self.constraints
+
+    def register_view(self, attributes: tuple[str, ...],
+                      constraint: float | None = None) -> str:
+        """Add a (possibly multi-way) histogram view online (Def. 12 allows
+        adding views over time under water-filling constraints).
+
+        Returns the new view's name.  ``constraint`` defaults to the table
+        constraint (water-filling).
+        """
+        from repro.views.histogram import HistogramView
+
+        table = self.bundle.fact_table
+        schema = self.bundle.database.table(table).schema
+        name = f"{table}.{'_'.join(attributes)}"
+        view = HistogramView(name, table, tuple(attributes), schema)
+        self.registry.add(view)
+        self.provenance.register_view(name)
+        updated_views = dict(self.constraints.view)
+        updated_views[name] = (self.constraints.table if constraint is None
+                               else constraint)
+        self.constraints = Constraints(
+            analyst=self.constraints.analyst, view=updated_views,
+            table=self.constraints.table, delta=self.constraints.delta,
+            delta_cap=self.constraints.delta_cap,
+        )
+        self.mechanism.constraints = self.constraints
+        return name
+
+    def register_hierarchical_view(self, attribute: str,
+                                   constraint: float | None = None) -> str:
+        """Add a dyadic-tree view for wide range queries (see
+        :mod:`repro.views.hierarchical`); returns the view name."""
+        name = self.registry.add_hierarchical_view(self.bundle.fact_table,
+                                                   attribute)
+        self.provenance.register_view(name)
+        updated_views = dict(self.constraints.view)
+        updated_views[name] = (self.constraints.table if constraint is None
+                               else constraint)
+        self.constraints = Constraints(
+            analyst=self.constraints.analyst, view=updated_views,
+            table=self.constraints.table, delta=self.constraints.delta,
+            delta_cap=self.constraints.delta_cap,
+        )
+        self.mechanism.constraints = self.constraints
+        return name
+
+    # -- submission --------------------------------------------------------------
+    def _resolve(self, sql_or_statement) -> SelectStatement:
+        if isinstance(sql_or_statement, SelectStatement):
+            return sql_or_statement
+        return parse(sql_or_statement)
+
+    def _accuracy_for(self, statement_query, accuracy, epsilon: float | None,
+                      view) -> float:
+        """Collapse the dual modes to a single variance requirement.
+
+        ``accuracy`` may be a raw variance bound or any spec object with a
+        ``to_variance()`` method (e.g. :class:`repro.core.accuracy
+        .ConfidenceInterval`).
+        """
+        if (accuracy is None) == (epsilon is None):
+            raise ReproError("provide exactly one of accuracy= or epsilon=")
+        if accuracy is not None:
+            from repro.core.accuracy import resolve_accuracy
+
+            return resolve_accuracy(accuracy)
+        sigma = analytic_gaussian_sigma(epsilon, self.constraints.delta,
+                                        view.sensitivity())
+        return sigma ** 2 * statement_query.weight_norm_sq
+
+    def _check_analyst(self, analyst: str) -> None:
+        if analyst not in self.analysts:
+            raise UnknownAnalyst(f"analyst {analyst!r} not registered")
+
+    def submit(self, analyst: str, sql, accuracy: float | None = None,
+               epsilon: float | None = None,
+               delegation: int | None = None) -> Answer:
+        """Answer a scalar query; raises :class:`QueryRejected` on refusal.
+
+        With ``delegation=<grant id>``, the query runs under the *grantor's*
+        identity (their constraints, synopses, and provenance row are used
+        and charged) while the answer is returned to the submitting grantee
+        — the paper's "grant" operator (Sec. 9).
+        """
+        self._check_analyst(analyst)
+        statement = self._resolve(sql)
+        agg = statement.aggregates[0] if statement.aggregates else None
+        if agg is not None and agg.func == "AVG" and statement.is_scalar():
+            if delegation is not None:
+                raise ReproError("delegation supports plain scalar queries")
+            return self._submit_avg(analyst, statement, accuracy, epsilon)
+
+        view, query = self.registry.compile(statement)
+        target = self._accuracy_for(query, accuracy, epsilon, view)
+
+        effective = analyst
+        grant = None
+        if delegation is not None:
+            grant = self.delegations.validate(delegation, analyst)
+            self._check_analyst(grant.grantor)
+            effective = grant.grantor
+            estimate = self.mechanism.quote(effective, view, query, target)
+            self.delegations.check_budget(grant, estimate)
+
+        from repro.db.sql.unparse import to_sql
+
+        sql_text = sql if isinstance(sql, str) else to_sql(statement)
+        try:
+            outcome = self.mechanism.answer(effective, view, query, target)
+        except QueryRejected as exc:
+            self.log.record(analyst, sql_text, view.name, 0.0, False,
+                            answered=False, rejection_reason=exc.reason,
+                            delegated_from=grant.grantor if grant else None)
+            raise
+        if grant is not None:
+            self.delegations.record(grant, outcome.epsilon_charged)
+        self.log.record(analyst, sql_text, outcome.view_name,
+                        outcome.epsilon_charged, outcome.cache_hit,
+                        answered=True,
+                        delegated_from=grant.grantor if grant else None)
+        return Answer(analyst, outcome.value, outcome.epsilon_charged,
+                      outcome.view_name, outcome.per_bin_variance,
+                      outcome.answer_variance, outcome.cache_hit)
+
+    def quote(self, analyst: str, sql, accuracy: float | None = None,
+              epsilon: float | None = None) -> float:
+        """Budget a query would charge right now, without answering it."""
+        self._check_analyst(analyst)
+        statement = self._resolve(sql)
+        view, query = self.registry.compile(statement)
+        target = self._accuracy_for(query, accuracy, epsilon, view)
+        return self.mechanism.quote(analyst, view, query, target)
+
+    def grant_delegation(self, grantor: str, grantee: str,
+                         epsilon_cap: float | None = None) -> int:
+        """Issue a delegation capability (budget accounted to ``grantor``)."""
+        self._check_analyst(grantor)
+        self._check_analyst(grantee)
+        return self.delegations.grant(grantor, grantee, epsilon_cap)
+
+    def revoke_delegation(self, grant_id: int) -> None:
+        self.delegations.revoke(grant_id)
+
+    def _submit_avg(self, analyst: str, statement: SelectStatement,
+                    accuracy: float | None, epsilon: float | None) -> Answer:
+        """AVG = noisy SUM / noisy COUNT (post-processing)."""
+        view = self.registry.select(statement)
+        sum_query, count_query = transform_avg_parts(statement, view)
+        target = self._accuracy_for(sum_query, accuracy, epsilon, view)
+        sum_outcome = self.mechanism.answer(analyst, view, sum_query, target)
+        count_target = target * (count_query.weight_norm_sq
+                                 / sum_query.weight_norm_sq)
+        count_outcome = self.mechanism.answer(analyst, view, count_query,
+                                              count_target)
+        denominator = count_outcome.value
+        value = float("nan") if denominator <= 0 else sum_outcome.value / denominator
+        charged = sum_outcome.epsilon_charged + count_outcome.epsilon_charged
+        return Answer(analyst, value, charged, view.name,
+                      sum_outcome.per_bin_variance,
+                      sum_outcome.answer_variance,
+                      sum_outcome.cache_hit and count_outcome.cache_hit)
+
+    def submit_group_by(self, analyst: str, sql,
+                        accuracy: float | None = None,
+                        epsilon: float | None = None
+                        ) -> list[tuple[tuple, Answer]]:
+        """Answer a GROUP BY query with full-domain semantics (Appendix D).
+
+        ``accuracy`` applies per group.  All groups are answered from the
+        same synopsis, so after the first group the rest are cache hits.
+        """
+        self._check_analyst(analyst)
+        statement = self._resolve(sql)
+        view = self.registry.select(statement)
+        results = []
+        for key, query in transform_group_by(statement, view):
+            if not np.any(query.weights):
+                # Group excluded by the predicate: exact zero, no privacy cost.
+                results.append((key, Answer(analyst, 0.0, 0.0, view.name,
+                                            0.0, 0.0, True)))
+                continue
+            target = self._accuracy_for(query, accuracy, epsilon, view)
+            outcome = self.mechanism.answer(analyst, view, query, target)
+            results.append((key, Answer(analyst, outcome.value,
+                                        outcome.epsilon_charged,
+                                        outcome.view_name,
+                                        outcome.per_bin_variance,
+                                        outcome.answer_variance,
+                                        outcome.cache_hit)))
+        return results
+
+    def try_submit(self, analyst: str, sql, accuracy: float | None = None,
+                   epsilon: float | None = None) -> Answer | None:
+        """Like :meth:`submit`, returning ``None`` instead of raising on
+        rejection (workload loops)."""
+        try:
+            return self.submit(analyst, sql, accuracy=accuracy, epsilon=epsilon)
+        except QueryRejected:
+            return None
+
+    # -- reporting --------------------------------------------------------------
+    def analyst_consumed(self, analyst: str) -> float:
+        self._check_analyst(analyst)
+        return self.mechanism.analyst_consumed(analyst)
+
+    def total_consumed(self) -> float:
+        """Cumulative budget consumed by all analysts (sum of rows)."""
+        return sum(self.mechanism.analyst_consumed(a) for a in self.analysts)
+
+    def collusion_bound(self) -> float:
+        return self.mechanism.collusion_bound()
+
+    def provenance_matrix(self) -> np.ndarray:
+        return self.provenance.as_matrix()
+
+
+__all__ = ["Answer", "DProvDB"]

@@ -1,0 +1,83 @@
+"""Query provenance log.
+
+Definition-level provenance in the paper is "the metadata about where the
+query comes from, how the query is computed, and how many times each result
+is produced".  The provenance *table* keeps the compact privacy ledger; this
+log keeps the full per-query trail for auditing: who asked, what SQL, which
+view answered it, what was charged, and whether the result was produced from
+a cached synopsis (the "how many times" dimension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One processed query (answered or rejected)."""
+
+    sequence: int
+    analyst: str
+    sql: str
+    view_name: str | None
+    epsilon_charged: float
+    cache_hit: bool
+    answered: bool
+    rejection_reason: str | None = None
+    delegated_from: str | None = None
+
+
+@dataclass
+class QueryLog:
+    """Append-only audit trail of every submission."""
+
+    _entries: list[LogEntry] = field(default_factory=list)
+
+    def record(self, analyst: str, sql: str, view_name: str | None,
+               epsilon_charged: float, cache_hit: bool, answered: bool,
+               rejection_reason: str | None = None,
+               delegated_from: str | None = None) -> LogEntry:
+        entry = LogEntry(
+            sequence=len(self._entries), analyst=analyst, sql=sql,
+            view_name=view_name, epsilon_charged=epsilon_charged,
+            cache_hit=cache_hit, answered=answered,
+            rejection_reason=rejection_reason,
+            delegated_from=delegated_from,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def entries(self, analyst: str | None = None,
+                view_name: str | None = None,
+                answered: bool | None = None) -> list[LogEntry]:
+        """Filtered view of the trail."""
+        out = list(self._entries)
+        if analyst is not None:
+            out = [e for e in out if e.analyst == analyst]
+        if view_name is not None:
+            out = [e for e in out if e.view_name == view_name]
+        if answered is not None:
+            out = [e for e in out if e.answered == answered]
+        return out
+
+    def times_produced(self, analyst: str, sql: str) -> int:
+        """How many times this analyst received an answer to this SQL."""
+        return sum(1 for e in self._entries
+                   if e.analyst == analyst and e.sql == sql and e.answered)
+
+    def cache_hit_rate(self) -> float:
+        answered = [e for e in self._entries if e.answered]
+        if not answered:
+            return 0.0
+        return sum(1 for e in answered if e.cache_hit) / len(answered)
+
+
+__all__ = ["LogEntry", "QueryLog"]

@@ -1,0 +1,100 @@
+"""Optimal combination of correlated local synopses (paper Sec. 5.2.6).
+
+When the global synopsis for a view is upgraded from ``V^{e_{t-1}}`` to
+``V' = w_prev * V^{e_{t-1}} + w_fresh * V^{delta}``, an analyst holding a
+local synopsis ``V_A = V^{e_{t-1}} + eta_prev`` can *combine* it with a fresh
+local release ``V'_A = V' + eta_new`` instead of discarding it.  Because the
+two local synopses share the ``V^{e_{t-1}}`` component, the optimal unbiased
+weights differ from plain inverse-variance weighting; the paper sets up the
+minimisation
+
+    min  (k_prev + k_fresh*w_prev)^2 v_prev + k_fresh^2 w_fresh^2 v_delta
+         + k_prev^2 s_prev + k_fresh^2 s_new
+    s.t. k_prev + k_fresh*(w_prev + w_fresh) = 1
+
+(with ``v_prev``/``v_delta`` the global components' variances and
+``s_prev``/``s_new`` the local noise variances).  Since ``w_prev + w_fresh
+= 1`` the constraint is ``k_prev + k_fresh = 1`` and the problem is a
+one-dimensional quadratic with the closed form implemented here.
+
+DProvDB's default mechanism does *not* combine local synopses (the nested
+variance tracking is what the paper calls impractical for deep histories);
+:class:`repro.core.additive.AdditiveGaussianMechanism` exposes it as the
+opt-in ``combine_local`` mode, applied only one step deep — exactly the
+case the paper's derivation covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class LocalCombination:
+    """Optimal one-step local combination and its resulting variance."""
+
+    k_prev: float
+    k_fresh: float
+    variance: float
+
+
+def local_combination_weights(w_prev: float, w_fresh: float, v_prev: float,
+                              v_delta: float, s_prev: float,
+                              s_new: float) -> LocalCombination:
+    """Closed-form minimiser of the Sec. 5.2.6 objective.
+
+    Parameters
+    ----------
+    w_prev, w_fresh:
+        Weights of the last *global* combination (sum to 1).
+    v_prev, v_delta:
+        Variances of the previous global synopsis and the fresh delta
+        synopsis that were combined.
+    s_prev:
+        Variance of the additive-GM noise in the analyst's existing local
+        synopsis (on top of the previous global).
+    s_new:
+        Variance of the additive-GM noise in the fresh local release (on top
+        of the new global).
+
+    Returns the weights ``(k_prev, k_fresh)`` with ``k_prev + k_fresh = 1``
+    and the combined estimator's variance.
+    """
+    if abs(w_prev + w_fresh - 1.0) > 1e-9:
+        raise ReproError("global combination weights must sum to 1")
+    for name, value in (("v_prev", v_prev), ("v_delta", v_delta),
+                        ("s_prev", s_prev), ("s_new", s_new)):
+        if value < 0:
+            raise ReproError(f"{name} must be non-negative, got {value}")
+
+    # v(a) with a = k_fresh:
+    #   (1 - a*w_fresh)^2 v_prev + a^2 w_fresh^2 v_delta
+    #   + (1-a)^2 s_prev + a^2 s_new
+    denominator = (w_fresh ** 2 * (v_prev + v_delta) + s_prev + s_new)
+    if denominator <= 0:
+        # Everything is exact; any convex weights work — keep the fresh one.
+        return LocalCombination(0.0, 1.0, 0.0)
+    a = (w_fresh * v_prev + s_prev) / denominator
+    a = min(1.0, max(0.0, a))
+    variance = ((1.0 - a * w_fresh) ** 2 * v_prev
+                + a ** 2 * w_fresh ** 2 * v_delta
+                + (1.0 - a) ** 2 * s_prev
+                + a ** 2 * s_new)
+    return LocalCombination(k_prev=1.0 - a, k_fresh=a, variance=variance)
+
+
+def combination_objective(a: float, w_prev: float, w_fresh: float,
+                          v_prev: float, v_delta: float, s_prev: float,
+                          s_new: float) -> float:
+    """The raw objective ``v(k_fresh = a)`` — used by tests to cross-check
+    the closed form against a numerical optimiser."""
+    return ((1.0 - a * w_fresh) ** 2 * v_prev
+            + a ** 2 * w_fresh ** 2 * v_delta
+            + (1.0 - a) ** 2 * s_prev
+            + a ** 2 * s_new)
+
+
+__all__ = ["LocalCombination", "combination_objective",
+           "local_combination_weights"]

@@ -1,0 +1,163 @@
+"""Shared mechanism machinery for the vanilla and additive approaches.
+
+A mechanism owns the synopsis store and implements the paper's three
+interfaces (``privacyTranslate``, ``constraintCheck``, ``run``) behind a
+single :meth:`MechanismBase.answer` template:
+
+1. derive the per-bin variance the request implies;
+2. serve from the analyst's cached local synopsis when it is accurate
+   enough (free — this is what Theorem 5.6's proof calls "answered with
+   cached synopsis");
+3. otherwise translate to a budget, check the provenance constraints, and
+   run the noise machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.provenance import Constraints, ProvenanceTable
+from repro.core.synopsis import SynopsisStore
+from repro.dp.rng import SeedLike, ensure_generator
+from repro.exceptions import QueryRejected, TranslationError
+from repro.views.histogram import HistogramView
+from repro.views.linear import LinearQuery
+from repro.views.registry import ViewRegistry
+
+
+class GaussianAccountant(Protocol):
+    """Anything that can record a Gaussian data access (RDP/zCDP trackers)."""
+
+    def record_gaussian(self, sigma: float, sensitivity: float = 1.0) -> None: ...
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Result of answering one query."""
+
+    value: float
+    epsilon_charged: float
+    per_bin_variance: float
+    answer_variance: float
+    view_name: str
+    cache_hit: bool
+
+
+class MechanismBase:
+    """State and helpers common to both DProvDB mechanisms."""
+
+    name = "base"
+
+    def __init__(self, registry: ViewRegistry, provenance: ProvenanceTable,
+                 constraints: Constraints, rng: SeedLike = None,
+                 accountant: GaussianAccountant | None = None,
+                 precision: float = 1e-6) -> None:
+        self.registry = registry
+        self.provenance = provenance
+        self.constraints = constraints
+        self.store = SynopsisStore()
+        self.rng = ensure_generator(rng)
+        self.accountant = accountant
+        self.precision = precision
+        #: Per-analyst count of fresh releases charged to them — the delta
+        #: ledger (each release adds one per-query delta, Theorem 3.1).
+        self._release_counts: dict[str, int] = {}
+
+    # -- delta accounting (paper's Remark after Algorithm 1) --------------------
+    def analyst_delta(self, analyst: str) -> float:
+        """Cumulative delta released to one analyst (basic composition)."""
+        return self._release_counts.get(analyst, 0) * self.constraints.delta
+
+    def _check_delta(self, analyst: str) -> None:
+        """One more release must keep the analyst's delta under the cap."""
+        next_delta = (self._release_counts.get(analyst, 0) + 1) \
+            * self.constraints.delta
+        if next_delta > self.constraints.delta_cap + 1e-18:
+            raise QueryRejected(
+                f"cumulative delta {next_delta:.3g} would exceed the cap "
+                f"{self.constraints.delta_cap:.3g} for analyst {analyst!r}",
+                constraint="row",
+            )
+
+    def _count_release(self, analyst: str) -> None:
+        self._release_counts[analyst] = \
+            self._release_counts.get(analyst, 0) + 1
+
+    # -- helpers --------------------------------------------------------------
+    def _sensitivity(self, view: HistogramView) -> float:
+        return view.sensitivity()
+
+    def _record_access(self, sigma: float, view: HistogramView) -> None:
+        if self.accountant is not None:
+            self.accountant.record_gaussian(sigma, self._sensitivity(view))
+
+    def _cached_answer(self, analyst: str, view: HistogramView,
+                       query: LinearQuery, per_bin: float) -> Outcome | None:
+        cached = self.store.local_synopsis(analyst, view.name)
+        if cached is None or cached.variance > per_bin:
+            return None
+        return Outcome(
+            value=query.answer(cached.values),
+            epsilon_charged=0.0,
+            per_bin_variance=cached.variance,
+            answer_variance=query.answer_variance(cached.variance),
+            view_name=view.name,
+            cache_hit=True,
+        )
+
+    def _exact(self, view: HistogramView) -> np.ndarray:
+        return self.registry.exact_values(view.name)
+
+    # -- template -------------------------------------------------------------
+    def answer(self, analyst: str, view: HistogramView, query: LinearQuery,
+               accuracy: float) -> Outcome:
+        """Answer ``query`` for ``analyst`` within expected squared error
+        ``accuracy``; raises :class:`QueryRejected` when constraints forbid it.
+        """
+        per_bin = query.per_bin_variance_for(accuracy)
+        cached = self._cached_answer(analyst, view, query, per_bin)
+        if cached is not None:
+            return cached
+        try:
+            return self._answer_fresh(analyst, view, query, per_bin)
+        except TranslationError as exc:
+            raise QueryRejected(str(exc), constraint="translation") from exc
+
+    def _answer_fresh(self, analyst: str, view: HistogramView,
+                      query: LinearQuery, per_bin: float) -> Outcome:
+        raise NotImplementedError
+
+    def quote(self, analyst: str, view: HistogramView, query: LinearQuery,
+              accuracy: float) -> float:
+        """Epsilon that answering would charge ``analyst`` right now.
+
+        Returns 0 for cache hits; raises :class:`QueryRejected` if the query
+        would be refused.  Does not mutate any state — the basis for budget
+        pre-authorisation (delegation caps) and cost previews.
+        """
+        per_bin = query.per_bin_variance_for(accuracy)
+        if self._cached_answer(analyst, view, query, per_bin) is not None:
+            return 0.0
+        try:
+            return self._quote_fresh(analyst, view, query, per_bin)
+        except TranslationError as exc:
+            raise QueryRejected(str(exc), constraint="translation") from exc
+
+    def _quote_fresh(self, analyst: str, view: HistogramView,
+                     query: LinearQuery, per_bin: float) -> float:
+        raise NotImplementedError
+
+    # -- reporting --------------------------------------------------------------
+    def analyst_consumed(self, analyst: str) -> float:
+        """Cumulative epsilon consumed by one analyst (row composite)."""
+        return self.provenance.row_total(analyst)
+
+    def collusion_bound(self) -> float:
+        """Worst-case DP loss if all analysts collude (mechanism-specific)."""
+        raise NotImplementedError
+
+
+__all__ = ["GaussianAccountant", "MechanismBase", "Outcome"]

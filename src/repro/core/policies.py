@@ -1,0 +1,113 @@
+"""Constraint-specification policies for the provenance table (Sec. 5.3).
+
+Analyst (row) constraints:
+
+* :func:`analyst_constraints_proportional` — Def. 10, for the vanilla
+  approach: ``psi_{A_i} = l_i / sum_j l_j * psi_P``.
+* :func:`analyst_constraints_max` — Def. 11, for the additive approach:
+  ``psi_{A_i} = l_i / l_max * psi_P``, so the top-privilege analyst can use
+  the full table budget and new analysts may join later.
+* :func:`expand_constraints` — the tau-expansion of Sec. 6.2.2 ("overselling"
+  idle budget): scale every row constraint by ``tau >= 1``, capped at
+  ``psi_P``; trades fairness for utility while the table constraint still
+  bounds overall privacy.
+
+View (column) constraints:
+
+* :func:`water_filling_view_constraints` — Def. 12: every view constraint
+  equals the table constraint; budget flows to views on demand.
+* :func:`static_view_constraints` — the PrivateSQL-style static split,
+  proportional to inverse view sensitivity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.analyst import Analyst
+from repro.core.provenance import Constraints
+from repro.exceptions import ReproError
+
+
+def analyst_constraints_proportional(analysts: Sequence[Analyst],
+                                     table_budget: float) -> dict[str, float]:
+    """Def. 10: proportional-normalisation row constraints."""
+    if not analysts:
+        raise ReproError("need at least one analyst")
+    total = sum(a.privilege for a in analysts)
+    return {a.name: a.privilege / total * table_budget for a in analysts}
+
+
+def analyst_constraints_max(analysts: Sequence[Analyst], table_budget: float,
+                            l_max: int | None = None) -> dict[str, float]:
+    """Def. 11: max-normalised row constraints.
+
+    ``l_max`` defaults to the highest privilege among the given analysts so
+    that analyst saturates the table budget (the setting the paper's
+    experiments call ``DProvDB-l_max``); pass the system-wide maximum (e.g.
+    10) to reserve headroom for analysts registered later.
+    """
+    if not analysts:
+        raise ReproError("need at least one analyst")
+    if l_max is None:
+        l_max = max(a.privilege for a in analysts)
+    if l_max < max(a.privilege for a in analysts):
+        raise ReproError("l_max below an analyst's privilege level")
+    return {a.name: a.privilege / l_max * table_budget for a in analysts}
+
+
+def expand_constraints(constraints: Mapping[str, float], tau: float,
+                       cap: float) -> dict[str, float]:
+    """Sec. 6.2.2: scale row constraints by ``tau >= 1``, capped at ``cap``."""
+    if tau < 1.0:
+        raise ReproError(f"expansion rate tau must be >= 1, got {tau}")
+    return {name: min(value * tau, cap) for name, value in constraints.items()}
+
+
+def water_filling_view_constraints(view_names: Iterable[str],
+                                   table_budget: float) -> dict[str, float]:
+    """Def. 12: every view constraint equals the table constraint."""
+    return {name: table_budget for name in view_names}
+
+
+def static_view_constraints(view_sensitivities: Mapping[str, float],
+                            table_budget: float) -> dict[str, float]:
+    """PrivateSQL-style static split, proportional to 1/sensitivity."""
+    if not view_sensitivities:
+        raise ReproError("need at least one view")
+    inverse = {name: 1.0 / s for name, s in view_sensitivities.items()}
+    total = sum(inverse.values())
+    return {name: table_budget * inv / total for name, inv in inverse.items()}
+
+
+def build_constraints(analysts: Sequence[Analyst], view_names: Sequence[str],
+                      table_budget: float, mechanism: str = "additive",
+                      tau: float = 1.0, delta: float = 1e-9,
+                      delta_cap: float = 1.0,
+                      l_max: int | None = None) -> Constraints:
+    """Assemble a full constraint set with the paper's default pairings.
+
+    ``mechanism='additive'`` pairs Def. 11 rows with water-filling columns;
+    ``mechanism='vanilla'`` pairs Def. 10 rows with water-filling columns.
+    """
+    if mechanism == "additive":
+        rows = analyst_constraints_max(analysts, table_budget, l_max)
+    elif mechanism == "vanilla":
+        rows = analyst_constraints_proportional(analysts, table_budget)
+    else:
+        raise ReproError(f"unknown mechanism {mechanism!r}")
+    if tau != 1.0:
+        rows = expand_constraints(rows, tau, table_budget)
+    columns = water_filling_view_constraints(view_names, table_budget)
+    return Constraints(analyst=rows, view=columns, table=table_budget,
+                       delta=delta, delta_cap=delta_cap)
+
+
+__all__ = [
+    "analyst_constraints_max",
+    "analyst_constraints_proportional",
+    "build_constraints",
+    "expand_constraints",
+    "static_view_constraints",
+    "water_filling_view_constraints",
+]

@@ -1,0 +1,199 @@
+"""The privacy provenance table (paper Definition 8).
+
+State is the triplet ``(A, V, P)``: analysts, views, and the provenance
+table ``P`` — a matrix of cumulative per-(analyst, view) privacy losses
+``S^{A_i}_{V_j}`` plus the constraint set ``Psi``:
+
+* row constraints ``psi_{A_i}`` — maximum loss allowed to each analyst;
+* column constraints ``psi_{V_j}`` — maximum loss allowed on each view;
+* the table constraint ``psi_P`` — the overall budget of the database.
+
+Composition inside the table uses basic sequential composition (sums), as
+the paper recommends for constraint checking; the engine separately feeds
+every Gaussian release into an optional RDP/zCDP accountant for tighter
+*reporting* of realised loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.analyst import Analyst
+from repro.exceptions import ReproError, UnknownAnalyst
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """The constraint set ``Psi`` of the provenance table.
+
+    Epsilon-valued, matching the paper's simplification of tracking epsilon
+    and fixing a single small per-query delta system-wide; ``delta`` here is
+    that per-query value and ``delta_cap`` the table-level cap (at most the
+    inverse dataset size).
+
+    ``groups``/``group_limit`` implement the (t, n)-compromised relaxation
+    of Sec. 7.1: analysts are partitioned into possible coalitions, each
+    coalition's *summed* loss is capped at ``group_limit`` (one ``psi_P``
+    per coalition, Thm. 7.2), and ``table`` is then typically
+    ``k * group_limit``.
+    """
+
+    analyst: Mapping[str, float]
+    view: Mapping[str, float]
+    table: float
+    delta: float = 1e-9
+    delta_cap: float = 1.0
+    groups: tuple[frozenset, ...] = ()
+    group_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.table <= 0:
+            raise ReproError(f"table constraint must be positive, got {self.table}")
+        if not 0 < self.delta <= self.delta_cap <= 1:
+            raise ReproError(
+                f"need 0 < delta <= delta_cap <= 1, got "
+                f"delta={self.delta}, cap={self.delta_cap}"
+            )
+        for name, value in self.analyst.items():
+            if value < 0:
+                raise ReproError(f"analyst constraint {name!r} negative: {value}")
+        for name, value in self.view.items():
+            if value < 0:
+                raise ReproError(f"view constraint {name!r} negative: {value}")
+        if self.groups:
+            if self.group_limit is None or self.group_limit <= 0:
+                raise ReproError("groups require a positive group_limit")
+            seen: set = set()
+            for group in self.groups:
+                if seen & group:
+                    raise ReproError("coalition groups must be disjoint")
+                seen |= group
+
+    def analyst_limit(self, analyst: str) -> float:
+        try:
+            return self.analyst[analyst]
+        except KeyError:
+            raise UnknownAnalyst(f"no constraint for analyst {analyst!r}") from None
+
+    def view_limit(self, view: str) -> float:
+        try:
+            return self.view[view]
+        except KeyError:
+            raise ReproError(f"no constraint for view {view!r}") from None
+
+    def group_of(self, analyst: str) -> frozenset | None:
+        """The coalition containing ``analyst`` (``None`` without groups)."""
+        for group in self.groups:
+            if analyst in group:
+                return group
+        return None
+
+
+@dataclass
+class ProvenanceTable:
+    """Cumulative privacy-loss matrix ``P[analyst, view]``.
+
+    Entries are epsilons; missing entries are zero.  The table is a plain
+    dense dict-of-dicts — the paper notes real deployments may store it
+    sparsely by row or column, which this interface permits swapping in.
+    """
+
+    analysts: tuple[str, ...]
+    views: tuple[str, ...]
+    _entries: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.analysts)) != len(self.analysts):
+            raise ReproError("duplicate analyst names")
+        if len(set(self.views)) != len(self.views):
+            raise ReproError("duplicate view names")
+        for analyst in self.analysts:
+            self._entries.setdefault(analyst, {})
+
+    @classmethod
+    def for_analysts(cls, analysts: Iterable[Analyst],
+                     views: Iterable[str]) -> "ProvenanceTable":
+        return cls(tuple(a.name for a in analysts), tuple(views))
+
+    # -- membership ----------------------------------------------------------
+    def register_analyst(self, name: str) -> None:
+        """Admit a new analyst later in the system's life (Def. 11 allows it)."""
+        if name in self._entries:
+            raise ReproError(f"analyst {name!r} already registered")
+        self.analysts = self.analysts + (name,)
+        self._entries[name] = {}
+
+    def register_view(self, name: str) -> None:
+        """Admit a new view over time (water-filling allows it)."""
+        if name in self.views:
+            raise ReproError(f"view {name!r} already registered")
+        self.views = self.views + (name,)
+
+    def _check(self, analyst: str, view: str) -> None:
+        if analyst not in self._entries:
+            raise UnknownAnalyst(f"unknown analyst {analyst!r}")
+        if view not in self.views:
+            raise ReproError(f"unknown view {view!r}")
+
+    # -- entries ---------------------------------------------------------------
+    def get(self, analyst: str, view: str) -> float:
+        self._check(analyst, view)
+        return self._entries[analyst].get(view, 0.0)
+
+    def set(self, analyst: str, view: str, epsilon: float) -> None:
+        self._check(analyst, view)
+        if epsilon < 0:
+            raise ReproError(f"cumulative loss cannot be negative: {epsilon}")
+        if epsilon < self._entries[analyst].get(view, 0.0) - 1e-12:
+            raise ReproError("cumulative privacy loss cannot decrease")
+        self._entries[analyst][view] = epsilon
+
+    def add(self, analyst: str, view: str, epsilon: float) -> float:
+        """``P[A, V] += eps`` (vanilla update); returns the new entry."""
+        updated = self.get(analyst, view) + epsilon
+        self.set(analyst, view, updated)
+        return updated
+
+    # -- composites (basic sequential composition) ----------------------------
+    def row_total(self, analyst: str) -> float:
+        """``P.composite(axis=Row)``: analyst's loss across all views."""
+        if analyst not in self._entries:
+            raise UnknownAnalyst(f"unknown analyst {analyst!r}")
+        return sum(self._entries[analyst].values())
+
+    def column_total(self, view: str) -> float:
+        """``P.composite(axis=Column)``: total loss on a view (vanilla)."""
+        if view not in self.views:
+            raise ReproError(f"unknown view {view!r}")
+        return sum(self._entries[a].get(view, 0.0) for a in self.analysts)
+
+    def column_max(self, view: str) -> float:
+        """Tight per-view loss under the additive approach: max over column."""
+        if view not in self.views:
+            raise ReproError(f"unknown view {view!r}")
+        return max(
+            (self._entries[a].get(view, 0.0) for a in self.analysts),
+            default=0.0,
+        )
+
+    def table_total(self) -> float:
+        """``P.composite()``: grand total (vanilla table composition)."""
+        return sum(self.row_total(a) for a in self.analysts)
+
+    def table_max_composite(self) -> float:
+        """Additive-approach table composition: sum over views of column max."""
+        return sum(self.column_max(v) for v in self.views)
+
+    def as_matrix(self) -> np.ndarray:
+        """Dense snapshot, rows = analysts (declared order), cols = views."""
+        matrix = np.zeros((len(self.analysts), len(self.views)))
+        for i, analyst in enumerate(self.analysts):
+            for j, view in enumerate(self.views):
+                matrix[i, j] = self._entries[analyst].get(view, 0.0)
+        return matrix
+
+
+__all__ = ["Constraints", "ProvenanceTable"]

@@ -1,0 +1,101 @@
+"""DP synopses: noisy materialised views.
+
+A *global* synopsis ``V^eps`` is the curator's most accurate noisy copy of a
+view; it is never released.  A *local* synopsis ``V^eps'_{A_i}`` is what an
+analyst actually sees — derived from the global one by adding more Gaussian
+noise (the additive approach) or drawn independently from the exact view (the
+vanilla approach).  Each synopsis tracks both the budget it embodies and the
+*actual* per-bin noise variance, which can exceed the analytic-GM variance of
+its budget when combination friction has accumulated (Sec. 5.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Synopsis:
+    """A noisy view materialisation.
+
+    Attributes
+    ----------
+    view_name:
+        The view this synopsis answers.
+    values:
+        Flattened noisy bin counts.
+    epsilon, delta:
+        The privacy budget this synopsis embodies (for a local synopsis, the
+        loss to its analyst; for a global one, the worst-case collusion loss).
+    variance:
+        Actual per-bin noise variance of ``values``.
+    analyst:
+        Owner for local synopses; ``None`` marks the hidden global synopsis.
+    """
+
+    view_name: str
+    values: np.ndarray
+    epsilon: float
+    delta: float
+    variance: float
+    analyst: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {self.epsilon}")
+        if self.variance < 0:
+            raise ValueError(f"variance must be non-negative, got {self.variance}")
+        object.__setattr__(
+            self, "values", np.asarray(self.values, dtype=np.float64)
+        )
+
+    @property
+    def is_global(self) -> bool:
+        return self.analyst is None
+
+    def with_values(self, values: np.ndarray, **changes) -> "Synopsis":
+        return replace(self, values=values, **changes)
+
+
+class SynopsisStore:
+    """Holds the global synopsis per view and local synopses per (analyst, view)."""
+
+    def __init__(self) -> None:
+        self._global: dict[str, Synopsis] = {}
+        self._local: dict[tuple[str, str], Synopsis] = {}
+
+    # -- global ----------------------------------------------------------------
+    def global_synopsis(self, view: str) -> Synopsis | None:
+        return self._global.get(view)
+
+    def put_global(self, synopsis: Synopsis) -> None:
+        if not synopsis.is_global:
+            raise ValueError("global synopsis cannot have an analyst owner")
+        self._global[synopsis.view_name] = synopsis
+
+    # -- local -----------------------------------------------------------------
+    def local_synopsis(self, analyst: str, view: str) -> Synopsis | None:
+        return self._local.get((analyst, view))
+
+    def put_local(self, synopsis: Synopsis) -> None:
+        if synopsis.analyst is None:
+            raise ValueError("local synopsis needs an analyst owner")
+        self._local[(synopsis.analyst, synopsis.view_name)] = synopsis
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def global_views(self) -> tuple[str, ...]:
+        return tuple(self._global)
+
+    @property
+    def local_keys(self) -> tuple[tuple[str, str], ...]:
+        return tuple(self._local)
+
+    def clear(self) -> None:
+        self._global.clear()
+        self._local.clear()
+
+
+__all__ = ["Synopsis", "SynopsisStore"]

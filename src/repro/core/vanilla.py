@@ -1,0 +1,117 @@
+"""The vanilla approach (paper Algorithm 2).
+
+Independent Gaussian noise per (analyst, query): every fresh request draws a
+new synopsis directly from the exact view at the translated budget, and the
+analyst's provenance entry grows by the full budget (basic sequential
+composition).  Caching still applies — a repeated request that an existing
+local synopsis satisfies is free — but synopses are never shared across
+analysts, which is exactly the budget waste the additive approach removes.
+"""
+
+from __future__ import annotations
+
+from repro.core.mechanism import MechanismBase, Outcome
+from repro.core.synopsis import Synopsis
+from repro.core.translation import vanilla_translate
+from repro.dp.gaussian import analytic_gaussian_sigma
+from repro.exceptions import QueryRejected
+from repro.views.histogram import HistogramView
+from repro.views.linear import LinearQuery
+
+
+class VanillaMechanism(MechanismBase):
+    """Algorithm 2: per-analyst independent synopses."""
+
+    name = "vanilla"
+
+    def _answer_fresh(self, analyst: str, view: HistogramView,
+                      query: LinearQuery, per_bin: float) -> Outcome:
+        epsilon, _ = vanilla_translate(
+            query, per_bin * query.weight_norm_sq, self.constraints.delta,
+            self._sensitivity(view), upper=self.constraints.table,
+            precision=self.precision,
+        )
+        self._check_delta(analyst)
+        self._constraint_check(analyst, view.name, epsilon)
+        self._count_release(analyst)
+
+        sigma = analytic_gaussian_sigma(
+            epsilon, self.constraints.delta, self._sensitivity(view)
+        )
+        values = self._exact(view) + self.rng.normal(0.0, sigma,
+                                                     size=self._exact(view).shape)
+        self._record_access(sigma, view)
+        self.provenance.add(analyst, view.name, epsilon)
+
+        synopsis = Synopsis(
+            view_name=view.name, values=values, epsilon=epsilon,
+            delta=self.constraints.delta, variance=sigma ** 2, analyst=analyst,
+        )
+        self._keep_better(analyst, view.name, synopsis)
+        return Outcome(
+            value=query.answer(values),
+            epsilon_charged=epsilon,
+            per_bin_variance=sigma ** 2,
+            answer_variance=query.answer_variance(sigma ** 2),
+            view_name=view.name,
+            cache_hit=False,
+        )
+
+    def _quote_fresh(self, analyst: str, view: HistogramView,
+                     query: LinearQuery, per_bin: float) -> float:
+        epsilon, _ = vanilla_translate(
+            query, per_bin * query.weight_norm_sq, self.constraints.delta,
+            self._sensitivity(view), upper=self.constraints.table,
+            precision=self.precision,
+        )
+        self._constraint_check(analyst, view.name, epsilon)
+        return epsilon
+
+    def _keep_better(self, analyst: str, view_name: str,
+                     synopsis: Synopsis) -> None:
+        cached = self.store.local_synopsis(analyst, view_name)
+        if cached is None or synopsis.variance < cached.variance:
+            self.store.put_local(synopsis)
+
+    def _constraint_check(self, analyst: str, view_name: str,
+                          epsilon: float) -> None:
+        """Algorithm 2, ``constraintCheck``: basic composition everywhere.
+
+        With coalition groups configured (Sec. 7.1), the requesting
+        analyst's coalition must also stay within its per-coalition budget.
+        """
+        if self.provenance.table_total() + epsilon > self.constraints.table + 1e-12:
+            raise QueryRejected(
+                f"table constraint {self.constraints.table} would be exceeded",
+                constraint="table",
+            )
+        group = self.constraints.group_of(analyst)
+        if group is not None:
+            group_total = sum(self.provenance.row_total(member)
+                              for member in group
+                              if member in self.provenance.analysts)
+            if group_total + epsilon > self.constraints.group_limit + 1e-12:
+                raise QueryRejected(
+                    f"coalition budget {self.constraints.group_limit} "
+                    f"would be exceeded",
+                    constraint="table",
+                )
+        row_limit = self.constraints.analyst_limit(analyst)
+        if self.provenance.row_total(analyst) + epsilon > row_limit + 1e-12:
+            raise QueryRejected(
+                f"analyst constraint {row_limit} for {analyst!r} would be exceeded",
+                constraint="row",
+            )
+        column_limit = self.constraints.view_limit(view_name)
+        if self.provenance.column_total(view_name) + epsilon > column_limit + 1e-12:
+            raise QueryRejected(
+                f"view constraint {column_limit} for {view_name!r} would be exceeded",
+                constraint="column",
+            )
+
+    def collusion_bound(self) -> float:
+        """Vanilla releases are independent: collusion composes by summation."""
+        return self.provenance.table_total()
+
+
+__all__ = ["VanillaMechanism"]

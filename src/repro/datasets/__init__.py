@@ -1,0 +1,22 @@
+"""Synthetic datasets matching the paper's evaluation data.
+
+The paper evaluates on the UCI Adult census table (15 attributes, ~45k rows)
+and on TPC-H at 1 GB.  Neither raw dataset is available offline here, so this
+subpackage ships seeded synthetic generators that reproduce the *schemas*,
+*domain sizes* and *row-count scales* of both.  Every mechanism sees the same
+synthetic instance, so the comparative results (who answers more queries, how
+budgets deplete) exercise the same code paths as the originals; absolute
+counts differ, which the paper's evaluation does not depend on.
+"""
+
+from repro.datasets.base import DatasetBundle
+from repro.datasets.adult import load_adult, ADULT_NUM_ROWS
+from repro.datasets.tpch import load_tpch, TPCH_DEFAULT_LINEITEM_ROWS
+
+__all__ = [
+    "ADULT_NUM_ROWS",
+    "DatasetBundle",
+    "TPCH_DEFAULT_LINEITEM_ROWS",
+    "load_adult",
+    "load_tpch",
+]

@@ -1,0 +1,41 @@
+"""Common dataset container used by experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """A database plus the metadata experiments need.
+
+    Attributes
+    ----------
+    name:
+        Dataset tag ("adult", "tpch") used in reports and seeds.
+    database:
+        The catalog of relations.
+    fact_table:
+        Relation the query workloads target.
+    view_attributes:
+        Attributes over which one histogram view each is built (the paper
+        generates "one histogram view on each attribute").
+    """
+
+    name: str
+    database: Database
+    fact_table: str
+    view_attributes: tuple[str, ...]
+
+    @property
+    def num_rows(self) -> int:
+        return self.database.table(self.fact_table).num_rows
+
+    def delta_cap(self) -> float:
+        """Upper cap for privacy-constraint deltas: 1 / dataset size."""
+        return 1.0 / max(1, self.num_rows)
+
+
+__all__ = ["DatasetBundle"]

@@ -1,0 +1,28 @@
+"""In-memory relational substrate.
+
+The original DProvDB runs against PostgreSQL through Chorus.  This subpackage
+replaces that stack with a small columnar engine: typed attribute domains
+(:mod:`repro.db.schema`), NumPy-backed relations (:mod:`repro.db.table`), a
+catalog (:mod:`repro.db.database`), and a SQL front end for the aggregate
+subset DProvDB answers (:mod:`repro.db.sql`).
+"""
+
+from repro.db.schema import (
+    Attribute,
+    CategoricalDomain,
+    Domain,
+    IntegerDomain,
+    Schema,
+)
+from repro.db.table import Table
+from repro.db.database import Database
+
+__all__ = [
+    "Attribute",
+    "CategoricalDomain",
+    "Database",
+    "Domain",
+    "IntegerDomain",
+    "Schema",
+    "Table",
+]

@@ -1,0 +1,50 @@
+"""Database catalog: named relations plus a SQL entry point."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.db.sql.ast import SelectStatement
+from repro.db.sql.executor import QueryResult, execute
+from repro.db.sql.parser import parse
+from repro.db.table import Table
+from repro.exceptions import SQLError
+
+
+class Database:
+    """A catalog of named :class:`Table` instances.
+
+    Plays the role PostgreSQL plays for the original system: the trusted
+    store that only the curator-side code (view materialisation, ground-truth
+    metrics) may touch.  Analyst-facing code paths never call
+    :meth:`execute` directly — they go through DP synopses.
+    """
+
+    def __init__(self, tables: Mapping[str, Table] | None = None) -> None:
+        self._tables: dict[str, Table] = dict(tables or {})
+
+    def register(self, name: str, table: Table) -> None:
+        if name in self._tables:
+            raise SQLError(f"table {name!r} already registered")
+        self._tables[name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SQLError(f"unknown table {name!r}") from None
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def execute(self, sql_or_statement) -> QueryResult:
+        """Run a SQL string or a pre-parsed statement exactly (non-private)."""
+        if isinstance(sql_or_statement, SelectStatement):
+            statement = sql_or_statement
+        else:
+            statement = parse(sql_or_statement)
+        return execute(statement, self.table(statement.table))
+
+
+__all__ = ["Database"]

@@ -1,0 +1,183 @@
+"""Schemas: attributes with explicit, finite domains.
+
+Full-domain histogram views (paper Definition 16) require every attribute to
+carry its *domain*, not just its active values — otherwise the view itself
+would leak which values are absent.  Two domain kinds cover the paper's
+datasets: categorical (enumerated values) and bounded integers (optionally
+bucketised into fixed-width bins, which is how large numeric attributes such
+as TPC-H prices are handled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+
+class Domain:
+    """Abstract finite attribute domain.
+
+    A domain maps raw attribute values to dense bin indices ``0..size-1``;
+    histogram views are vectors indexed by these bins.
+    """
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def index_of(self, value) -> int:
+        """Bin index of ``value``; raises :class:`SchemaError` if outside."""
+        raise NotImplementedError
+
+    def indices_of(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`index_of` (subclasses override for speed)."""
+        return np.array([self.index_of(v) for v in values], dtype=np.int64)
+
+    def value_of(self, index: int):
+        """Representative raw value of bin ``index`` (inverse of index_of)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class CategoricalDomain(Domain):
+    """Enumerated domain; bin order follows the declared value order."""
+
+    values: tuple[Hashable, ...]
+    _index: dict = field(init=False, repr=False, hash=False, compare=False)
+
+    def __init__(self, values: Sequence[Hashable]) -> None:
+        values = tuple(values)
+        if len(values) != len(set(values)):
+            raise SchemaError("categorical domain values must be distinct")
+        if not values:
+            raise SchemaError("categorical domain cannot be empty")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_index", {v: i for i, v in enumerate(values)})
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    def index_of(self, value) -> int:
+        try:
+            return self._index[value]
+        except KeyError:
+            raise SchemaError(f"value {value!r} not in categorical domain") from None
+
+    def value_of(self, index: int):
+        return self.values[index]
+
+
+@dataclass(frozen=True)
+class IntegerDomain(Domain):
+    """Bounded integer domain ``[low, high]`` bucketised into ``bin_size`` bins.
+
+    With ``bin_size == 1`` every integer is its own bin.  Wider bins trade
+    resolution for smaller views, exactly like domain discretisation in the
+    paper's Appendix D.
+    """
+
+    low: int
+    high: int
+    bin_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise SchemaError(f"empty integer domain [{self.low}, {self.high}]")
+        if self.bin_size < 1:
+            raise SchemaError(f"bin_size must be >= 1, got {self.bin_size}")
+
+    @property
+    def size(self) -> int:
+        return (self.high - self.low) // self.bin_size + 1
+
+    def index_of(self, value) -> int:
+        v = int(value)
+        if v < self.low or v > self.high:
+            raise SchemaError(
+                f"value {v} outside integer domain [{self.low}, {self.high}]"
+            )
+        return (v - self.low) // self.bin_size
+
+    def indices_of(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.size and (arr.min() < self.low or arr.max() > self.high):
+            raise SchemaError(
+                f"values outside integer domain [{self.low}, {self.high}]"
+            )
+        return (arr - self.low) // self.bin_size
+
+    def value_of(self, index: int):
+        if not 0 <= index < self.size:
+            raise SchemaError(f"bin index {index} out of range")
+        return self.low + index * self.bin_size
+
+    def bin_bounds(self, index: int) -> tuple[int, int]:
+        """Inclusive value range covered by bin ``index``."""
+        lo = self.low + index * self.bin_size
+        return lo, min(lo + self.bin_size - 1, self.high)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named column with a finite domain."""
+
+    name: str
+    domain: Domain
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid attribute name {self.name!r}")
+
+    @property
+    def domain_size(self) -> int:
+        return self.domain.size
+
+
+class Schema:
+    """Ordered collection of attributes for one relation."""
+
+    def __init__(self, attributes: Sequence[Attribute]) -> None:
+        names = [a.name for a in attributes]
+        if len(names) != len(set(names)):
+            raise SchemaError("duplicate attribute names in schema")
+        if not names:
+            raise SchemaError("schema must have at least one attribute")
+        self._attributes = tuple(attributes)
+        self._by_name = {a.name: a for a in attributes}
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def domain(self, name: str) -> Domain:
+        return self.attribute(name).domain
+
+
+__all__ = ["Attribute", "CategoricalDomain", "Domain", "IntegerDomain", "Schema"]

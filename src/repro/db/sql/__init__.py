@@ -1,0 +1,47 @@
+"""SQL front end for the aggregate subset DProvDB answers.
+
+Grammar (case-insensitive keywords)::
+
+    query   := SELECT items FROM ident [WHERE pred] [GROUP BY ident {, ident}]
+    items   := item {, item}
+    item    := COUNT ( * ) | COUNT ( ident ) | SUM ( ident ) | AVG ( ident )
+             | ident                      -- only as a GROUP BY key echo
+    pred    := cond {AND cond}
+    cond    := ident op literal
+             | ident BETWEEN literal AND literal
+             | ident IN ( literal {, literal} )
+    op      := = | != | <> | < | <= | > | >=
+    literal := number | 'string'
+
+This covers every query class the paper evaluates: counting range queries,
+GROUP BY histograms, and clipped SUM/AVG aggregates (Appendix D).
+"""
+
+from repro.db.sql.lexer import Token, TokenType, tokenize
+from repro.db.sql.ast import (
+    Aggregate,
+    Between,
+    Comparison,
+    InList,
+    Predicate,
+    SelectStatement,
+)
+from repro.db.sql.parser import parse
+from repro.db.sql.unparse import to_sql
+from repro.db.sql.executor import QueryResult, execute
+
+__all__ = [
+    "Aggregate",
+    "Between",
+    "Comparison",
+    "InList",
+    "Predicate",
+    "QueryResult",
+    "SelectStatement",
+    "Token",
+    "TokenType",
+    "execute",
+    "parse",
+    "to_sql",
+    "tokenize",
+]

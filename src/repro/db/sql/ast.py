@@ -1,0 +1,99 @@
+"""AST node definitions for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Literal = Union[int, float, str]
+
+#: Aggregate functions the executor understands.
+AGGREGATE_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``FUNC(column)`` or ``COUNT(*)`` (column is None)."""
+
+    func: str
+    column: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCS:
+            raise ValueError(f"unsupported aggregate {self.func!r}")
+        if self.func != "COUNT" and self.column is None:
+            raise ValueError(f"{self.func} requires a column")
+
+    def label(self) -> str:
+        inner = "*" if self.column is None else self.column
+        return f"{self.func.lower()}({inner})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column OP literal`` with OP in =, !=, <, <=, >, >=."""
+
+    column: str
+    op: str
+    value: Literal
+
+
+@dataclass(frozen=True)
+class Between:
+    """``column BETWEEN low AND high`` (inclusive on both ends)."""
+
+    column: str
+    low: Literal
+    high: Literal
+
+
+@dataclass(frozen=True)
+class InList:
+    """``column IN (v1, v2, ...)``."""
+
+    column: str
+    values: tuple[Literal, ...]
+
+
+Condition = Union[Comparison, Between, InList]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Conjunction of conditions (the subset has no OR / NOT)."""
+
+    conditions: tuple[Condition, ...] = ()
+
+    def columns(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for cond in self.conditions:
+            if cond.column not in seen:
+                seen.append(cond.column)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT."""
+
+    aggregates: tuple[Aggregate, ...]
+    table: str
+    predicate: Predicate = field(default_factory=Predicate)
+    group_by: tuple[str, ...] = ()
+
+    def is_scalar(self) -> bool:
+        """True when the statement returns a single row (no GROUP BY)."""
+        return not self.group_by
+
+
+__all__ = [
+    "AGGREGATE_FUNCS",
+    "Aggregate",
+    "Between",
+    "Comparison",
+    "Condition",
+    "InList",
+    "Literal",
+    "Predicate",
+    "SelectStatement",
+]

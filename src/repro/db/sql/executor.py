@@ -1,0 +1,126 @@
+"""Executor: evaluates a parsed SELECT against a columnar table.
+
+This is the *non-private* execution path — the ground truth used when a view
+synopsis is first materialised, and by tests/metrics that need exact answers.
+GROUP BY here has standard SQL semantics (active domain only); the DP side
+answers GROUP BY through *full-domain* histogram views precisely to avoid the
+active-domain leakage the paper discusses in Appendix D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.sql.ast import (
+    Aggregate,
+    Between,
+    Comparison,
+    InList,
+    Predicate,
+    SelectStatement,
+)
+from repro.db.table import Table
+from repro.exceptions import SQLError
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Relational result: column labels plus row tuples."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def scalar(self) -> float:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SQLError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def as_dict(self) -> dict:
+        """For grouped results: map group key (tuple or value) -> aggregates."""
+        n_keys = len(self.columns) - 1
+        out = {}
+        for row in self.rows:
+            key = row[:n_keys] if n_keys > 1 else row[0]
+            out[key] = row[n_keys:] if len(row) - n_keys > 1 else row[n_keys]
+        return out
+
+
+def predicate_mask(table: Table, predicate: Predicate) -> np.ndarray:
+    """Boolean row mask for a conjunctive predicate."""
+    mask = np.ones(table.num_rows, dtype=bool)
+    for cond in predicate.conditions:
+        mask &= _condition_mask(table, cond)
+    return mask
+
+
+def _condition_mask(table: Table, cond) -> np.ndarray:
+    column = table.decoded(cond.column)
+    if isinstance(cond, Comparison):
+        ops = {
+            "=": lambda c, v: c == v,
+            "!=": lambda c, v: c != v,
+            "<": lambda c, v: c < v,
+            "<=": lambda c, v: c <= v,
+            ">": lambda c, v: c > v,
+            ">=": lambda c, v: c >= v,
+        }
+        if cond.op in ("<", "<=", ">", ">=") and column.dtype == object:
+            raise SQLError(
+                f"ordering comparison on categorical column {cond.column!r}"
+            )
+        return np.asarray(ops[cond.op](column, cond.value))
+    if isinstance(cond, Between):
+        if column.dtype == object:
+            raise SQLError(f"BETWEEN on categorical column {cond.column!r}")
+        return np.asarray((column >= cond.low) & (column <= cond.high))
+    if isinstance(cond, InList):
+        return np.isin(column, np.array(cond.values, dtype=column.dtype))
+    raise SQLError(f"unknown condition type {type(cond).__name__}")
+
+
+def _evaluate_aggregate(agg: Aggregate, table: Table) -> float:
+    if agg.func == "COUNT":
+        return float(table.num_rows)
+    values = table.decoded(agg.column)
+    if values.dtype == object:
+        raise SQLError(f"{agg.func} on categorical column {agg.column!r}")
+    if table.num_rows == 0:
+        return 0.0 if agg.func == "SUM" else float("nan")
+    funcs = {"SUM": np.sum, "AVG": np.mean, "MIN": np.min, "MAX": np.max}
+    return float(funcs[agg.func](values))
+
+
+def execute(statement: SelectStatement, table: Table) -> QueryResult:
+    """Evaluate ``statement`` against ``table`` exactly."""
+    for name in statement.predicate.columns():
+        table.schema.attribute(name)  # raises SchemaError for unknown columns
+    filtered = table.filter(predicate_mask(table, statement.predicate))
+
+    labels = tuple(a.label() for a in statement.aggregates)
+    if statement.is_scalar():
+        row = tuple(_evaluate_aggregate(a, filtered) for a in statement.aggregates)
+        return QueryResult(labels, (row,))
+
+    # GROUP BY: active-domain groups, keyed by decoded values.
+    key_codes = np.stack([filtered.codes(k) for k in statement.group_by], axis=1) \
+        if filtered.num_rows else np.zeros((0, len(statement.group_by)), dtype=np.int64)
+    unique_keys, inverse = np.unique(key_codes, axis=0, return_inverse=True)
+    rows = []
+    for gid, key in enumerate(unique_keys):
+        group = filtered.filter(inverse == gid)
+        decoded_key = tuple(
+            table.schema.domain(k).value_of(int(code))
+            for k, code in zip(statement.group_by, key)
+        )
+        rows.append(decoded_key + tuple(
+            _evaluate_aggregate(a, group) for a in statement.aggregates
+        ))
+    return QueryResult(statement.group_by + labels, tuple(rows))
+
+
+__all__ = ["QueryResult", "execute", "predicate_mask"]

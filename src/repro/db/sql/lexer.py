@@ -1,0 +1,119 @@
+"""Tokeniser for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import SQLError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "BETWEEN", "IN",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "AS",
+}
+
+OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    STAR = "star"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise SQL ``text``; raises :class:`SQLError` on bad characters."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "*":
+            yield Token(TokenType.STAR, "*", i)
+            i += 1
+            continue
+        if ch == ",":
+            yield Token(TokenType.COMMA, ",", i)
+            i += 1
+            continue
+        if ch == "(":
+            yield Token(TokenType.LPAREN, "(", i)
+            i += 1
+            continue
+        if ch == ")":
+            yield Token(TokenType.RPAREN, ")", i)
+            i += 1
+            continue
+        if ch == "'":
+            # Standard SQL escaping: '' inside a literal is a single quote.
+            parts: list[str] = []
+            j = i + 1
+            while True:
+                end = text.find("'", j)
+                if end == -1:
+                    raise SQLError(
+                        f"unterminated string literal at position {i}"
+                    )
+                if end + 1 < n and text[end + 1] == "'":
+                    parts.append(text[j:end + 1])
+                    j = end + 2
+                else:
+                    parts.append(text[j:end])
+                    break
+            yield Token(TokenType.STRING, "".join(parts), i)
+            i = end + 1
+            continue
+        matched_op = next((op for op in OPERATORS if text.startswith(op, i)), None)
+        if matched_op:
+            yield Token(TokenType.OPERATOR, matched_op, i)
+            i += len(matched_op)
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            yield Token(TokenType.NUMBER, text[i:j], i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenType.KEYWORD, upper, i)
+            else:
+                yield Token(TokenType.IDENT, word, i)
+            i = j
+            continue
+        raise SQLError(f"unexpected character {ch!r} at position {i}")
+    yield Token(TokenType.EOF, "", n)
+
+
+__all__ = ["KEYWORDS", "OPERATORS", "Token", "TokenType", "tokenize"]

@@ -1,0 +1,123 @@
+"""Composition theorems for (epsilon, delta)-DP.
+
+The provenance table composes privacy losses with *basic* sequential
+composition by default — the paper explicitly recommends this for constraint
+checking because the per-(analyst, view) count of releases is small.  Advanced
+composition (Dwork-Rothblum-Vadhan) and the optimal homogeneous composition of
+Kairouz-Oh-Viswanath (the paper's Theorem A.1) are provided for accounting
+over long query sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class PrivacyLoss:
+    """An ``(epsilon, delta)`` pair with component-wise addition."""
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {self.epsilon}")
+        if not 0 <= self.delta <= 1:
+            raise ValueError(f"delta must be in [0, 1], got {self.delta}")
+
+    def __add__(self, other: "PrivacyLoss") -> "PrivacyLoss":
+        return PrivacyLoss(self.epsilon + other.epsilon,
+                           min(1.0, self.delta + other.delta))
+
+    def __radd__(self, other):
+        # Supports sum(...) with the default start value 0.
+        if other == 0:
+            return self
+        return NotImplemented
+
+
+ZERO_LOSS = PrivacyLoss(0.0, 0.0)
+
+
+def basic_composition(losses: Iterable[PrivacyLoss]) -> PrivacyLoss:
+    """Sequential composition (Theorem 2.1): epsilons and deltas add."""
+    total_eps = 0.0
+    total_delta = 0.0
+    for loss in losses:
+        total_eps += loss.epsilon
+        total_delta += loss.delta
+    return PrivacyLoss(total_eps, min(1.0, total_delta))
+
+
+def advanced_composition(epsilon: float, delta: float, k: int,
+                         delta_slack: float) -> PrivacyLoss:
+    """Dwork-Rothblum-Vadhan advanced composition for ``k`` identical losses.
+
+    The k-fold composition of ``(eps, delta)``-DP mechanisms satisfies
+    ``(eps', k*delta + delta_slack)``-DP with
+
+        eps' = sqrt(2k ln(1/delta_slack)) * eps + k * eps * (e^eps - 1).
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return ZERO_LOSS
+    if not 0 < delta_slack < 1:
+        raise ValueError(f"delta_slack must be in (0, 1), got {delta_slack}")
+    eps_prime = (math.sqrt(2.0 * k * math.log(1.0 / delta_slack)) * epsilon
+                 + k * epsilon * (math.expm1(epsilon)))
+    return PrivacyLoss(eps_prime, min(1.0, k * delta + delta_slack))
+
+
+def _log_comb(n: int, k: int) -> float:
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def kairouz_composition(epsilon: float, delta: float, k: int) -> list[PrivacyLoss]:
+    """Optimal homogeneous composition (paper's Theorem A.1).
+
+    Returns the family of valid guarantees ``((k - 2i) eps,
+    1 - (1 - delta)^k (1 - delta_i))`` for ``i = 0..floor(k/2)``; callers pick
+    the member matching their delta tolerance.  Computed in log space to stay
+    stable for moderate ``k``.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    results: list[PrivacyLoss] = []
+    log_denom = k * math.log1p(math.exp(epsilon)) if epsilon < 700 else k * epsilon
+    for i in range(k // 2 + 1):
+        acc = 0.0
+        for ell in range(i):
+            log_c = _log_comb(k, ell)
+            a = (k - ell) * epsilon
+            b = (k - 2 * i + ell) * epsilon
+            # exp(a) - exp(b) with a > b, in a numerically safe form.
+            diff = math.exp(min(a, 700.0)) - math.exp(min(b, 700.0))
+            acc += math.exp(min(log_c, 700.0)) * diff
+        delta_i = acc / math.exp(min(log_denom, 700.0)) if acc else 0.0
+        total_delta = 1.0 - (1.0 - delta) ** k * (1.0 - min(delta_i, 1.0))
+        results.append(PrivacyLoss(max(0.0, (k - 2 * i) * epsilon),
+                                   min(1.0, total_delta)))
+    return results
+
+
+def best_epsilon_for_delta(candidates: Sequence[PrivacyLoss],
+                           delta_budget: float) -> PrivacyLoss:
+    """Pick the smallest-epsilon guarantee whose delta fits the budget."""
+    feasible = [c for c in candidates if c.delta <= delta_budget]
+    if not feasible:
+        raise ValueError(f"no candidate satisfies delta <= {delta_budget}")
+    return min(feasible, key=lambda c: c.epsilon)
+
+
+__all__ = [
+    "PrivacyLoss",
+    "ZERO_LOSS",
+    "advanced_composition",
+    "basic_composition",
+    "best_epsilon_for_delta",
+    "kairouz_composition",
+]

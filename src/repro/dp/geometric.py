@@ -1,0 +1,75 @@
+"""Two-sided geometric mechanism (discrete Laplace), pure epsilon-DP.
+
+The paper's future-work list mentions supporting other noise distributions.
+For integer-valued counting queries the two-sided geometric mechanism is the
+canonical discrete choice: noise ``k`` has probability proportional to
+``exp(-|k| * eps / Δ)``, giving exact ``eps``-DP with integer outputs (no
+floating-point side channels).  Sampled as the difference of two geometric
+variables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.rng import SeedLike, ensure_generator
+
+
+def geometric_parameter(epsilon: float, sensitivity: float = 1.0) -> float:
+    """``alpha = exp(-eps / Δ)`` — the mechanism's decay parameter."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if sensitivity <= 0:
+        raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+    return math.exp(-epsilon / sensitivity)
+
+
+def geometric_variance(epsilon: float, sensitivity: float = 1.0) -> float:
+    """Variance of two-sided geometric noise: ``2a / (1 - a)^2``."""
+    alpha = geometric_parameter(epsilon, sensitivity)
+    return 2.0 * alpha / (1.0 - alpha) ** 2
+
+
+@dataclass(frozen=True)
+class GeometricMechanism:
+    """Additive two-sided geometric noise on an integer vector."""
+
+    epsilon: float
+    sensitivity: float = 1.0
+
+    @property
+    def alpha(self) -> float:
+        return geometric_parameter(self.epsilon, self.sensitivity)
+
+    @property
+    def variance(self) -> float:
+        return geometric_variance(self.epsilon, self.sensitivity)
+
+    def sample_noise(self, size, rng: SeedLike = None) -> np.ndarray:
+        """Two-sided geometric noise as the difference of two geometrics.
+
+        If ``G1, G2`` are i.i.d. geometric (number of failures) with success
+        probability ``1 - alpha``, then ``G1 - G2`` has the two-sided
+        geometric law with parameter ``alpha``.
+        """
+        gen = ensure_generator(rng)
+        p = 1.0 - self.alpha
+        # numpy's geometric counts trials (support 1..inf); failures = k - 1.
+        g1 = gen.geometric(p, size=size) - 1
+        g2 = gen.geometric(p, size=size) - 1
+        return (g1 - g2).astype(np.int64)
+
+    def release(self, values: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        arr = np.asarray(values)
+        if not np.issubdtype(arr.dtype, np.integer):
+            rounded = np.rint(arr)
+            if not np.allclose(arr, rounded):
+                raise ValueError("geometric mechanism needs integer values")
+            arr = rounded.astype(np.int64)
+        return arr + self.sample_noise(arr.shape, rng)
+
+
+__all__ = ["GeometricMechanism", "geometric_parameter", "geometric_variance"]

@@ -1,0 +1,49 @@
+"""Laplace mechanism (pure epsilon-DP).
+
+Not used by the DProvDB mechanisms themselves (which are Gaussian throughout,
+as the additive approach relies on the stability of Gaussians under
+convolution), but part of the DP toolbox so baselines and examples can show a
+pure-DP alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.rng import SeedLike, ensure_generator
+
+
+def laplace_scale(epsilon: float, sensitivity: float = 1.0) -> float:
+    """Scale ``b = Δ₁/ε`` of the Laplace mechanism."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if sensitivity <= 0:
+        raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+    return sensitivity / epsilon
+
+
+@dataclass(frozen=True)
+class LaplaceMechanism:
+    """Additive Laplace noise on a numeric vector (``epsilon``-DP)."""
+
+    epsilon: float
+    sensitivity: float = 1.0
+
+    @property
+    def scale(self) -> float:
+        return laplace_scale(self.epsilon, self.sensitivity)
+
+    @property
+    def variance(self) -> float:
+        """Per-coordinate noise variance ``2b²``."""
+        return 2.0 * self.scale ** 2
+
+    def release(self, values: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        gen = ensure_generator(rng)
+        arr = np.asarray(values, dtype=np.float64)
+        return arr + gen.laplace(0.0, self.scale, size=arr.shape)
+
+
+__all__ = ["LaplaceMechanism", "laplace_scale"]

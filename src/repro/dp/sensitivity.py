@@ -1,0 +1,53 @@
+"""Sensitivity conventions.
+
+All DProvDB views are counting histograms, so the only sensitivities the
+system needs are:
+
+* the L2 sensitivity of a full-domain histogram — 1 under the add/remove-one
+  (unbounded) neighbouring relation, sqrt(2) under replace-one (bounded),
+  because replacing a tuple moves one unit out of one bin and into another;
+* the sensitivity of a *linear query over an already-noised histogram*, which
+  is zero (post-processing) — queries never touch the raw data directly.
+
+Aggregates like SUM are answered as weighted linear queries over histogram
+bins (Appendix D of the paper), so clipping bounds enter through the query
+weights, not through the view sensitivity.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class Neighboring(enum.Enum):
+    """Neighbouring-database convention."""
+
+    #: Databases differ by adding or removing one tuple.
+    UNBOUNDED = "unbounded"
+    #: Databases differ by replacing the value of one tuple.
+    BOUNDED = "bounded"
+
+
+def histogram_l2_sensitivity(neighboring: Neighboring = Neighboring.UNBOUNDED) -> float:
+    """L2 sensitivity of a full-domain counting histogram."""
+    if neighboring is Neighboring.UNBOUNDED:
+        return 1.0
+    return math.sqrt(2.0)
+
+
+def clipped_value_bound(lower: float, upper: float, bin_size: float = 1.0) -> float:
+    """Per-tuple magnitude bound for SUM answered over a clipped histogram.
+
+    With values clipped to ``[lower, upper]`` and bins of width ``bin_size``,
+    the worst-case contribution of one tuple to a weighted bin-count query is
+    ``(upper - lower) / bin_size`` (paper, Appendix D footnote 3).
+    """
+    if upper <= lower:
+        raise ValueError(f"need upper > lower, got [{lower}, {upper}]")
+    if bin_size <= 0:
+        raise ValueError(f"bin_size must be positive, got {bin_size}")
+    return (upper - lower) / bin_size
+
+
+__all__ = ["Neighboring", "clipped_value_bound", "histogram_l2_sensitivity"]

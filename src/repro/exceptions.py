@@ -1,0 +1,57 @@
+"""Exception hierarchy for the DProvDB reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can install a single ``except ReproError`` guard around calls
+into the system.  The distinction that matters operationally is between
+*rejections* (a query was refused because answering it would violate a privacy
+constraint — the system is still healthy) and *errors* (misuse of the API or
+an internal invariant violation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class QueryRejected(ReproError):
+    """A query was refused because it would violate a privacy constraint.
+
+    Attributes
+    ----------
+    reason:
+        Human-readable explanation (which constraint failed).
+    constraint:
+        Short machine tag: ``"row"``, ``"column"``, ``"table"`` or
+        ``"translation"``.
+    """
+
+    def __init__(self, reason: str, constraint: str = "table") -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.constraint = constraint
+
+
+class BudgetExceeded(ReproError):
+    """An operation asked for more privacy budget than remains available."""
+
+
+class TranslationError(ReproError):
+    """Accuracy-to-privacy translation could not find a feasible budget."""
+
+
+class UnanswerableQuery(ReproError):
+    """No registered view can answer the submitted query (Def. 6)."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema construction or a reference to an unknown attribute."""
+
+
+class SQLError(ReproError):
+    """SQL text could not be tokenised, parsed, or executed."""
+
+
+class UnknownAnalyst(ReproError):
+    """A query arrived from an analyst not registered in the provenance table."""

@@ -1,0 +1,89 @@
+"""E2 — Figure 4: BFS task, cumulative budget vs workload index.
+
+The BFS exploration task has a bounded natural workload, so the interesting
+series is how fast each system's cumulative budget grows as queries stream
+in: Chorus/ChorusP grow linearly (fresh budget per query) while Vanilla and
+DProvDB flatten once their synopses cover the traversal, with DProvDB
+flattening lowest (shared global synopses across analysts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dp.rng import stable_seed
+from repro.experiments.end_to_end import load_bundle
+from repro.experiments.reporting import format_table
+from repro.experiments.systems import default_analysts, make_system
+from repro.workloads.bfs import BfsTrace, make_explorers, run_bfs_workload
+
+DEFAULT_SYSTEMS = ("chorus_p", "chorus", "vanilla", "dprovdb")
+
+
+@dataclass(frozen=True)
+class BfsSeries:
+    """Cumulative-budget trace for one system on one dataset."""
+
+    system: str
+    dataset: str
+    budgets: tuple[float, ...]      # cumulative budget after each query
+    answered: int
+    total_queries: int
+
+
+def run_bfs_budget(dataset: str = "adult",
+                   systems: tuple[str, ...] = DEFAULT_SYSTEMS,
+                   epsilon: float = 6.4, threshold: float = 500.0,
+                   accuracy: float = 40000.0,
+                   privileges: tuple[int, ...] = (1, 4),
+                   num_rows: int | None = None,
+                   max_steps: int = 4000, seed: int = 0) -> list[BfsSeries]:
+    """Regenerate the Fig. 4 series for one dataset."""
+    analysts = default_analysts(privileges)
+    series: list[BfsSeries] = []
+    for system_name in systems:
+        run_seed = stable_seed("bfs", dataset, system_name, seed)
+        bundle = load_bundle(dataset, num_rows, seed)
+        system = make_system(system_name, bundle, analysts, epsilon,
+                             seed=run_seed)
+        system.setup()
+        explorers = make_explorers(bundle, analysts, threshold=threshold,
+                                   accuracy=accuracy)
+        trace: BfsTrace = run_bfs_workload(system, explorers,
+                                           schedule="round_robin",
+                                           seed=run_seed,
+                                           max_steps=max_steps)
+        series.append(BfsSeries(
+            system=system_name, dataset=dataset,
+            budgets=tuple(trace.cumulative_budgets()),
+            answered=trace.total_answered,
+            total_queries=trace.total_queries,
+        ))
+    return series
+
+
+def format_bfs_budget(series: list[BfsSeries], points: int = 8) -> str:
+    """Sampled cumulative-budget curves, one row per system."""
+    if not series:
+        return "(no series)"
+    longest = max(len(s.budgets) for s in series)
+    indices = [int(round(i * (longest - 1) / max(1, points - 1)))
+               for i in range(points)]
+    rows = []
+    for s in series:
+        row = [s.system]
+        for idx in indices:
+            if idx < len(s.budgets):
+                row.append(s.budgets[idx])
+            else:
+                row.append(s.budgets[-1] if s.budgets else 0.0)
+        row.append(s.answered)
+        rows.append(row)
+    headers = ["system"] + [f"q{idx}" for idx in indices] + ["#answered"]
+    return format_table(
+        headers, rows,
+        title=f"[{series[0].dataset}] BFS cumulative budget vs workload index",
+    )
+
+
+__all__ = ["BfsSeries", "format_bfs_budget", "run_bfs_budget"]

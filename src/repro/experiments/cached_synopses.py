@@ -1,0 +1,92 @@
+"""E4 — Figure 5: effect of cached synopses as the workload grows.
+
+With a fixed overall budget, systems with cached synopses (DProvDB, Vanilla)
+answer ever more queries as the workload size grows — later queries hit the
+caches for free — while Chorus/ChorusP saturate once the budget is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.rng import stable_seed
+from repro.experiments.end_to_end import load_bundle
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_workload
+from repro.experiments.systems import default_analysts, make_system
+from repro.workloads.rrq import generate_rrq
+from repro.workloads.scheduler import interleave_round_robin
+
+PAPER_SIZES = (100, 800, 2000, 4000, 8000, 14000)
+DEFAULT_SYSTEMS = ("dprovdb", "vanilla", "chorus", "chorus_p")
+
+
+@dataclass(frozen=True)
+class CachedSynopsesCell:
+    system: str
+    epsilon: float
+    workload_size: int
+    answered: float
+
+
+def run_cached_synopses(dataset: str = "adult",
+                        epsilons: tuple[float, ...] = (0.4, 1.6, 6.4),
+                        sizes: tuple[int, ...] = (100, 400, 1200),
+                        systems: tuple[str, ...] = DEFAULT_SYSTEMS,
+                        accuracy: float = 10000.0,
+                        privileges: tuple[int, ...] = (1, 4),
+                        repeats: int = 2, num_rows: int | None = None,
+                        seed: int = 0) -> list[CachedSynopsesCell]:
+    """Fig. 5 series (paper scale: ``sizes=PAPER_SIZES``, 5 epsilons)."""
+    analysts = default_analysts(privileges)
+    cells: list[CachedSynopsesCell] = []
+    for epsilon in epsilons:
+        for size in sizes:
+            per_analyst = max(1, size // len(analysts))
+            for system_name in systems:
+                counts = []
+                for repeat in range(repeats):
+                    run_seed = stable_seed("fig5", system_name, epsilon,
+                                           size, repeat, seed)
+                    bundle = load_bundle(dataset, num_rows, seed)
+                    workload = generate_rrq(
+                        bundle, analysts, per_analyst, accuracy=accuracy,
+                        seed=stable_seed("rrq5", size, seed),
+                    )
+                    items = interleave_round_robin(workload)
+                    system = make_system(system_name, bundle, analysts,
+                                         epsilon, seed=run_seed)
+                    result = run_workload(system, items, epsilon, "round_robin")
+                    counts.append(result.total_answered)
+                cells.append(CachedSynopsesCell(
+                    system=system_name, epsilon=epsilon, workload_size=size,
+                    answered=float(np.mean(counts)),
+                ))
+    return cells
+
+
+def format_cached_synopses(cells: list[CachedSynopsesCell]) -> str:
+    parts = []
+    for epsilon in sorted({c.epsilon for c in cells}):
+        subset = [c for c in cells if c.epsilon == epsilon]
+        systems = list(dict.fromkeys(c.system for c in subset))
+        sizes = sorted({c.workload_size for c in subset})
+        rows = []
+        for system in systems:
+            row = [system]
+            for size in sizes:
+                cell = next(c for c in subset
+                            if c.system == system and c.workload_size == size)
+                row.append(cell.answered)
+            rows.append(row)
+        parts.append(format_table(
+            ["system"] + [f"|Q|={s}" for s in sizes], rows,
+            title=f"#answered vs workload size (eps={epsilon})",
+        ))
+    return "\n\n".join(parts)
+
+
+__all__ = ["CachedSynopsesCell", "PAPER_SIZES", "format_cached_synopses",
+           "run_cached_synopses"]

@@ -1,0 +1,82 @@
+"""E7 — Figure 8: varying the per-query delta parameter.
+
+At a fixed overall epsilon, a larger per-query delta lets the translation
+module return a smaller epsilon for the same accuracy requirement, so the
+budget depletes more slowly and slightly more BFS queries are answered.
+Delta must stay below the inverse dataset size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dp.rng import stable_seed
+from repro.experiments.end_to_end import load_bundle
+from repro.experiments.reporting import format_table
+from repro.experiments.systems import default_analysts, make_system
+from repro.workloads.bfs import make_explorers, run_bfs_workload
+
+PAPER_DELTAS = (1e-13, 1e-12, 1e-11, 1e-10, 1e-9)
+
+
+@dataclass(frozen=True)
+class DeltaCell:
+    system: str
+    delta: float
+    schedule: str
+    answered: int
+
+
+def run_delta_sweep(dataset: str = "adult",
+                    deltas: tuple[float, ...] = PAPER_DELTAS,
+                    systems: tuple[str, ...] = ("dprovdb", "vanilla"),
+                    schedules: tuple[str, ...] = ("round_robin", "random"),
+                    epsilon: float = 6.4, threshold: float = 500.0,
+                    accuracy: float = 40000.0,
+                    privileges: tuple[int, ...] = (1, 4),
+                    num_rows: int | None = None, max_steps: int = 4000,
+                    seed: int = 0) -> list[DeltaCell]:
+    """Fig. 8 series: #BFS queries answered vs per-query delta."""
+    analysts = default_analysts(privileges)
+    cells: list[DeltaCell] = []
+    for schedule in schedules:
+        for delta in deltas:
+            for system_name in systems:
+                run_seed = stable_seed("fig8", schedule, delta, system_name,
+                                       seed)
+                bundle = load_bundle(dataset, num_rows, seed)
+                system = make_system(system_name, bundle, analysts, epsilon,
+                                     delta=delta, seed=run_seed)
+                system.setup()
+                explorers = make_explorers(bundle, analysts,
+                                           threshold=threshold,
+                                           accuracy=accuracy)
+                trace = run_bfs_workload(system, explorers, schedule=schedule,
+                                         seed=run_seed, max_steps=max_steps)
+                cells.append(DeltaCell(system_name, delta, schedule,
+                                       trace.total_answered))
+    return cells
+
+
+def format_delta_sweep(cells: list[DeltaCell]) -> str:
+    parts = []
+    for schedule in sorted({c.schedule for c in cells}):
+        subset = [c for c in cells if c.schedule == schedule]
+        deltas = sorted({c.delta for c in subset})
+        systems = list(dict.fromkeys(c.system for c in subset))
+        rows = []
+        for system in systems:
+            row = [system]
+            for delta in deltas:
+                cell = next(c for c in subset
+                            if c.system == system and c.delta == delta)
+                row.append(cell.answered)
+            rows.append(row)
+        parts.append(format_table(
+            ["system"] + [f"delta={d:g}" for d in deltas], rows,
+            title=f"#BFS queries answered vs delta ({schedule})",
+        ))
+    return "\n\n".join(parts)
+
+
+__all__ = ["DeltaCell", "PAPER_DELTAS", "format_delta_sweep", "run_delta_sweep"]

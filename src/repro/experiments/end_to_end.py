@@ -1,0 +1,123 @@
+"""E1 / E9 — Figures 3 and 10: end-to-end RRQ comparison.
+
+Utility (#queries answered) versus overall budget epsilon for the five
+systems under round-robin and randomized analyst schedules, plus the nDCFG
+fairness comparison, on Adult (Fig. 3) or TPC-H (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets import load_adult, load_tpch
+from repro.dp.rng import stable_seed
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import RunResult, run_workload
+from repro.experiments.systems import default_analysts, make_system
+from repro.workloads.rrq import generate_rrq
+from repro.workloads.scheduler import interleave_random, interleave_round_robin
+
+PAPER_EPSILONS = (0.4, 0.8, 1.6, 3.2, 6.4)
+DEFAULT_SYSTEMS = ("dprovdb", "vanilla", "sprivatesql", "chorus", "chorus_p")
+
+
+def load_bundle(dataset: str, num_rows: int | None, seed: int):
+    if dataset == "adult":
+        return load_adult(seed=seed) if num_rows is None \
+            else load_adult(num_rows=num_rows, seed=seed)
+    if dataset == "tpch":
+        return load_tpch(seed=seed) if num_rows is None \
+            else load_tpch(lineitem_rows=num_rows, seed=seed)
+    raise ValueError(f"unknown dataset {dataset!r}")
+
+
+@dataclass(frozen=True)
+class EndToEndCell:
+    """Mean over repeats for one (system, epsilon, schedule) cell."""
+
+    system: str
+    epsilon: float
+    schedule: str
+    answered: float
+    ndcfg: float
+    consumed: float
+
+
+def run_end_to_end(dataset: str = "adult",
+                   epsilons: tuple[float, ...] = PAPER_EPSILONS,
+                   schedules: tuple[str, ...] = ("round_robin", "random"),
+                   systems: tuple[str, ...] = DEFAULT_SYSTEMS,
+                   queries_per_analyst: int = 400,
+                   accuracy: float = 10000.0,
+                   privileges: tuple[int, ...] = (1, 4),
+                   repeats: int = 4, num_rows: int | None = None,
+                   seed: int = 0) -> list[EndToEndCell]:
+    """Regenerate the Fig. 3 / Fig. 10 series (reduced scale by default)."""
+    analysts = default_analysts(privileges)
+    cells: list[EndToEndCell] = []
+    for schedule in schedules:
+        for epsilon in epsilons:
+            for system_name in systems:
+                answered, fairness, consumed = [], [], []
+                for repeat in range(repeats):
+                    run_seed = stable_seed(dataset, system_name, schedule,
+                                           epsilon, repeat, seed)
+                    bundle = load_bundle(dataset, num_rows, seed)
+                    workload = generate_rrq(
+                        bundle, analysts, queries_per_analyst,
+                        accuracy=accuracy, seed=stable_seed("rrq", seed),
+                    )
+                    if schedule == "round_robin":
+                        items = interleave_round_robin(workload)
+                    else:
+                        items = interleave_random(workload, seed=run_seed)
+                    system = make_system(system_name, bundle, analysts,
+                                         epsilon, seed=run_seed)
+                    result: RunResult = run_workload(system, items, epsilon,
+                                                     schedule)
+                    answered.append(result.total_answered)
+                    fairness.append(result.fairness(analysts))
+                    consumed.append(result.consumed)
+                cells.append(EndToEndCell(
+                    system=system_name, epsilon=epsilon, schedule=schedule,
+                    answered=float(np.mean(answered)),
+                    ndcfg=float(np.mean(fairness)),
+                    consumed=float(np.mean(consumed)),
+                ))
+    return cells
+
+
+def format_end_to_end(cells: list[EndToEndCell], dataset: str = "adult") -> str:
+    """Print the four panels of Fig. 3 / Fig. 10 as text tables."""
+    parts = []
+    for schedule in sorted({c.schedule for c in cells}):
+        subset = [c for c in cells if c.schedule == schedule]
+        systems = list(dict.fromkeys(c.system for c in subset))
+        epsilons = sorted({c.epsilon for c in subset})
+        utility_rows = []
+        for system in systems:
+            row = [system]
+            for eps in epsilons:
+                cell = next(c for c in subset
+                            if c.system == system and c.epsilon == eps)
+                row.append(cell.answered)
+            utility_rows.append(row)
+        parts.append(format_table(
+            ["system"] + [f"eps={e}" for e in epsilons], utility_rows,
+            title=f"[{dataset}] #queries answered ({schedule})",
+        ))
+        fairness_rows = []
+        for system in systems:
+            values = [c.ndcfg for c in subset if c.system == system]
+            fairness_rows.append([system, float(np.mean(values))])
+        parts.append(format_table(
+            ["system", "nDCFG"], fairness_rows,
+            title=f"[{dataset}] fairness ({schedule})",
+        ))
+    return "\n\n".join(parts)
+
+
+__all__ = ["EndToEndCell", "PAPER_EPSILONS", "format_end_to_end",
+           "load_bundle", "run_end_to_end"]

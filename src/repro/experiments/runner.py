@@ -1,0 +1,65 @@
+"""Generic workload runner shared by the figure regenerators."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.analyst import Analyst
+from repro.metrics.fairness import ndcfg
+from repro.workloads.rrq import QueryItem
+
+
+@dataclass
+class RunResult:
+    """Outcome of feeding one interleaved workload to one system."""
+
+    system: str
+    epsilon: float
+    schedule: str
+    answered_by: dict[str, int] = field(default_factory=dict)
+    rejected: int = 0
+    setup_seconds: float = 0.0
+    running_seconds: float = 0.0
+    consumed: float = 0.0
+    answers: list = field(default_factory=list)
+
+    @property
+    def total_answered(self) -> int:
+        return sum(self.answered_by.values())
+
+    def fairness(self, analysts: list[Analyst]) -> float:
+        privileges = {a.name: a.privilege for a in analysts}
+        return ndcfg(self.answered_by, privileges)
+
+    @property
+    def per_query_ms(self) -> float:
+        if self.total_answered == 0:
+            return 0.0
+        return self.running_seconds * 1000.0 / self.total_answered
+
+
+def run_workload(system, items: list[QueryItem], epsilon: float,
+                 schedule: str, keep_answers: bool = False) -> RunResult:
+    """Feed the interleaved ``items`` to ``system``, collecting statistics."""
+    result = RunResult(system=system.name, epsilon=epsilon, schedule=schedule)
+    result.setup_seconds = system.setup()
+
+    started = time.perf_counter()
+    for item in items:
+        answer = system.try_submit(item.analyst, item.sql,
+                                   accuracy=item.accuracy)
+        if answer is None:
+            result.rejected += 1
+            continue
+        result.answered_by[item.analyst] = (
+            result.answered_by.get(item.analyst, 0) + 1
+        )
+        if keep_answers:
+            result.answers.append((item, answer))
+    result.running_seconds = time.perf_counter() - started
+    result.consumed = system.total_consumed()
+    return result
+
+
+__all__ = ["RunResult", "run_workload"]

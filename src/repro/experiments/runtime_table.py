@@ -1,0 +1,92 @@
+"""E3 / E11 — Tables 1 and 3: runtime performance comparison.
+
+Setup time (materialising exact views / static synopses), running time over
+a fixed workload, number of queries answered, and per-query time — for the
+five systems, on TPC-H (Table 1) or Adult (Table 3).  View-based systems pay
+a large setup cost but answer queries in milliseconds; Chorus-based systems
+skip setup and pay a full scan per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.rng import stable_seed
+from repro.experiments.end_to_end import load_bundle
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_workload
+from repro.experiments.systems import default_analysts, make_system
+from repro.workloads.rrq import generate_rrq
+from repro.workloads.scheduler import interleave_round_robin
+
+DEFAULT_SYSTEMS = ("dprovdb", "vanilla", "sprivatesql", "chorus", "chorus_p")
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    system: str
+    setup_ms: float
+    running_ms: float
+    answered: float
+    per_query_ms: float
+
+
+def run_runtime_table(dataset: str = "tpch",
+                      systems: tuple[str, ...] = DEFAULT_SYSTEMS,
+                      epsilon: float = 3.2,
+                      queries_per_analyst: int = 100,
+                      accuracy: float = 40000.0,
+                      privileges: tuple[int, ...] = (1, 4),
+                      repeats: int = 4, num_rows: int | None = None,
+                      seed: int = 0) -> list[RuntimeRow]:
+    """Regenerate Table 1 (``dataset='tpch'``) or Table 3 (``'adult'``)."""
+    analysts = default_analysts(privileges)
+    rows: list[RuntimeRow] = []
+    for system_name in systems:
+        setup_ms, running_ms, answered = [], [], []
+        for repeat in range(repeats):
+            run_seed = stable_seed("runtime", dataset, system_name, repeat,
+                                   seed)
+            bundle = load_bundle(dataset, num_rows, seed)
+            workload = generate_rrq(
+                bundle, analysts, queries_per_analyst, accuracy=accuracy,
+                seed=stable_seed("rrq_rt", dataset, seed),
+            )
+            items = interleave_round_robin(workload)
+            system = make_system(system_name, bundle, analysts, epsilon,
+                                 seed=run_seed)
+            result = run_workload(system, items, epsilon, "round_robin")
+            setup_ms.append(result.setup_seconds * 1000.0)
+            running_ms.append(result.running_seconds * 1000.0)
+            answered.append(result.total_answered)
+        mean_answered = float(np.mean(answered))
+        mean_running = float(np.mean(running_ms))
+        rows.append(RuntimeRow(
+            system=system_name,
+            setup_ms=float(np.mean(setup_ms)),
+            running_ms=mean_running,
+            answered=mean_answered,
+            per_query_ms=(mean_running / mean_answered
+                          if mean_answered else 0.0),
+        ))
+    return rows
+
+
+def format_runtime_table(rows: list[RuntimeRow], dataset: str) -> str:
+    table_rows = []
+    for row in rows:
+        setup = "N/A" if row.setup_ms == 0.0 else f"{row.setup_ms:.2f}"
+        table_rows.append([row.system, setup, row.running_ms, row.answered,
+                           row.per_query_ms])
+    return format_table(
+        ["system", "setup (ms)", "running (ms)", "#queries",
+         "per-query (ms)"],
+        table_rows,
+        title=f"runtime performance comparison ({dataset})",
+    )
+
+
+__all__ = ["DEFAULT_SYSTEMS", "RuntimeRow", "format_runtime_table",
+           "run_runtime_table"]

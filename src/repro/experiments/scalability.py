@@ -1,0 +1,88 @@
+"""Scalability of the provenance machinery (paper Appendix C.1).
+
+The provenance table is an ``n x m`` matrix over analysts and views; the
+paper argues its overhead stays negligible and its storage can be sparse.
+This experiment measures per-query latency and provenance-table footprint as
+the analyst count grows, holding the workload per analyst fixed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.dp.rng import stable_seed
+from repro.experiments.end_to_end import load_bundle
+from repro.experiments.reporting import format_table
+from repro.experiments.systems import default_analysts, make_system
+from repro.workloads.rrq import generate_rrq
+from repro.workloads.scheduler import interleave_round_robin
+
+
+@dataclass(frozen=True)
+class ScalabilityRow:
+    mechanism: str
+    num_analysts: int
+    num_views: int
+    answered: int
+    per_query_ms: float
+    matrix_entries: int
+    nonzero_entries: int
+
+
+def run_scalability(dataset: str = "adult",
+                    analyst_counts: tuple[int, ...] = (2, 4, 8, 16, 32),
+                    mechanism: str = "dprovdb",
+                    queries_per_analyst: int = 40,
+                    accuracy: float = 20000.0, epsilon: float = 6.4,
+                    num_rows: int | None = None,
+                    seed: int = 0) -> list[ScalabilityRow]:
+    """Per-query latency and table footprint vs analyst count."""
+    rows: list[ScalabilityRow] = []
+    for count in analyst_counts:
+        privileges = tuple(min(10, 1 + i % 10) for i in range(count))
+        analysts = default_analysts(privileges)
+        bundle = load_bundle(dataset, num_rows, seed)
+        workload = generate_rrq(
+            bundle, analysts, queries_per_analyst, accuracy=accuracy,
+            seed=stable_seed("rrq_scal", count, seed),
+        )
+        items = interleave_round_robin(workload)
+        system = make_system(mechanism, bundle, analysts, epsilon,
+                             seed=stable_seed("scal", mechanism, count,
+                                              seed))
+        system.setup()
+        answered = 0
+        started = time.perf_counter()
+        for item in items:
+            if system.try_submit(item.analyst, item.sql,
+                                 accuracy=item.accuracy) is not None:
+                answered += 1
+        elapsed = time.perf_counter() - started
+        matrix = system.provenance_matrix()
+        rows.append(ScalabilityRow(
+            mechanism=mechanism, num_analysts=count,
+            num_views=matrix.shape[1], answered=answered,
+            per_query_ms=(elapsed * 1000.0 / max(1, len(items))),
+            matrix_entries=int(matrix.size),
+            nonzero_entries=int((matrix > 0).sum()),
+        ))
+    return rows
+
+
+def format_scalability(rows: list[ScalabilityRow]) -> str:
+    table = [
+        [r.num_analysts, r.num_views, r.answered, r.per_query_ms,
+         r.matrix_entries, r.nonzero_entries,
+         r.nonzero_entries / max(1, r.matrix_entries)]
+        for r in rows
+    ]
+    return format_table(
+        ["#analysts", "#views", "#answered", "per-query ms",
+         "matrix cells", "nonzero", "density"],
+        table,
+        title=f"provenance scalability ({rows[0].mechanism})" if rows else "",
+    )
+
+
+__all__ = ["ScalabilityRow", "format_scalability", "run_scalability"]

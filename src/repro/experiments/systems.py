@@ -1,0 +1,84 @@
+"""System factory: builds each compared system under identical conditions.
+
+Names follow the paper's legends:
+
+* ``dprovdb``       — additive Gaussian approach, Def. 11 constraints
+  (the paper's ``DProvDB`` / ``DProvDB-l_max``).
+* ``dprovdb_lsum``  — additive approach with Def. 10 constraints
+  (``DProvDB-l_sum`` in Fig. 6).
+* ``vanilla``       — vanilla approach, Def. 10 constraints
+  (``Vanilla`` / ``Vanilla-l_sum``).
+* ``sprivatesql``   — simulated PrivateSQL (static views).
+* ``chorus``        — plain Chorus.
+* ``chorus_p``      — Chorus + provenance constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import ChorusBaseline, ChorusPBaseline, SimulatedPrivateSQL
+from repro.core.analyst import Analyst
+from repro.core.engine import DProvDB
+from repro.core.policies import build_constraints
+from repro.datasets.base import DatasetBundle
+from repro.dp.rng import SeedLike
+from repro.exceptions import ReproError
+
+SYSTEM_NAMES = ("dprovdb", "dprovdb_lsum", "vanilla", "sprivatesql",
+                "chorus", "chorus_p")
+
+#: Default pair of analysts used throughout the paper's experiments.
+DEFAULT_PRIVILEGES = (1, 4)
+
+
+def default_analysts(privileges: Sequence[int] = DEFAULT_PRIVILEGES
+                     ) -> list[Analyst]:
+    """Analysts named ``a1..an`` with the given privilege levels."""
+    return [Analyst(f"a{i + 1}", privilege)
+            for i, privilege in enumerate(privileges)]
+
+
+def make_system(name: str, bundle: DatasetBundle, analysts: list[Analyst],
+                epsilon: float, delta: float = 1e-9, tau: float = 1.0,
+                seed: SeedLike = None):
+    """Instantiate a compared system by its paper legend name."""
+    if name == "dprovdb":
+        system = DProvDB(bundle, analysts, epsilon, delta=delta,
+                         mechanism="additive", tau=tau, seed=seed)
+        system.name = name
+        return system
+    if name == "dprovdb_lsum":
+        constraints = build_constraints(
+            analysts, _view_names(bundle), epsilon, mechanism="vanilla",
+            tau=tau, delta=delta, delta_cap=bundle.delta_cap(),
+        )
+        system = DProvDB(bundle, analysts, epsilon, delta=delta,
+                         mechanism="additive", constraints=constraints,
+                         seed=seed)
+        system.name = name
+        return system
+    if name == "vanilla":
+        system = DProvDB(bundle, analysts, epsilon, delta=delta,
+                         mechanism="vanilla", tau=tau, seed=seed)
+        system.name = name
+        return system
+    if name == "sprivatesql":
+        return SimulatedPrivateSQL(bundle, analysts, epsilon, delta=delta,
+                                   seed=seed)
+    if name == "chorus":
+        return ChorusBaseline(bundle, analysts, epsilon, delta=delta,
+                              seed=seed)
+    if name == "chorus_p":
+        return ChorusPBaseline(bundle, analysts, epsilon, delta=delta,
+                               seed=seed)
+    raise ReproError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
+
+
+def _view_names(bundle: DatasetBundle) -> tuple[str, ...]:
+    return tuple(f"{bundle.fact_table}.{attr}"
+                 for attr in bundle.view_attributes)
+
+
+__all__ = ["DEFAULT_PRIVILEGES", "SYSTEM_NAMES", "default_analysts",
+           "make_system"]

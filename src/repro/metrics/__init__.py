@@ -1,0 +1,7 @@
+"""Evaluation metrics (paper Sec. 6.1.3 and Appendix E)."""
+
+from repro.metrics.fairness import dcfg, ndcfg
+from repro.metrics.utility import relative_error
+from repro.metrics.runtime import Stopwatch
+
+__all__ = ["Stopwatch", "dcfg", "ndcfg", "relative_error"]

@@ -1,0 +1,52 @@
+"""Fairness metrics: DCFG and nDCFG (paper Definitions 17 and 18).
+
+The discounted cumulative fairness gain rewards answering queries for
+high-privilege analysts:
+
+    DCFG = sum_i |Q_{A_i}| / log2(1/l_i + 1)
+
+— the discount ``log2(1/l + 1)`` *decreases* with privilege ``l``, so a
+query answered to a privilege-4 analyst contributes ~3.1x what the same
+query to a privilege-1 analyst does (Example 7's numbers).  nDCFG divides by
+the total answered so systems with different throughputs are comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.exceptions import ReproError
+
+
+def _discount(privilege: int) -> float:
+    if privilege < 1:
+        raise ReproError(f"privilege must be >= 1, got {privilege}")
+    return math.log2(1.0 / privilege + 1.0)
+
+
+def dcfg(answered: Mapping[str, int], privileges: Mapping[str, int]) -> float:
+    """Discounted cumulative fairness gain (Def. 17)."""
+    total = 0.0
+    for analyst, count in answered.items():
+        if count < 0:
+            raise ReproError(f"negative query count for {analyst!r}")
+        if analyst not in privileges:
+            raise ReproError(f"no privilege level for analyst {analyst!r}")
+        total += count / _discount(privileges[analyst])
+    return total
+
+
+def ndcfg(answered: Mapping[str, int], privileges: Mapping[str, int]) -> float:
+    """Normalised DCFG (Def. 18): DCFG divided by total answered queries.
+
+    Returns 0.0 when nothing was answered (a system that answers nothing is
+    vacuously unfair-neutral rather than an error).
+    """
+    total_answered = sum(answered.values())
+    if total_answered == 0:
+        return 0.0
+    return dcfg(answered, privileges) / total_answered
+
+
+__all__ = ["dcfg", "ndcfg"]

@@ -1,0 +1,36 @@
+"""Wall-clock measurement helpers for the runtime tables."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Context manager accumulating wall-clock seconds across uses.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     pass
+    >>> watch.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._started is not None
+        self.seconds += time.perf_counter() - self._started
+        self._started = None
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1000.0
+
+
+__all__ = ["Stopwatch"]

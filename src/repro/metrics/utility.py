@@ -1,0 +1,35 @@
+"""Data-dependent utility metrics (paper Sec. 6.2.2, "other experiments")."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ReproError
+
+
+def relative_error(true_answer: float, noisy_answer: float,
+                   floor: float = 1.0) -> float:
+    """``|true - noisy| / max(true, floor)`` (Xiao et al., iReduct).
+
+    ``floor`` is the constant ``c`` that keeps the metric defined when the
+    true answer is zero or tiny.
+    """
+    if floor <= 0:
+        raise ReproError(f"floor must be positive, got {floor}")
+    return abs(true_answer - noisy_answer) / max(true_answer, floor)
+
+
+def mean_relative_error(true_answers: Sequence[float],
+                        noisy_answers: Sequence[float],
+                        floor: float = 1.0) -> float:
+    """Average relative error over a workload's answered queries."""
+    if len(true_answers) != len(noisy_answers):
+        raise ReproError("answer sequences must have equal length")
+    if not true_answers:
+        return 0.0
+    errors = [relative_error(t, n, floor)
+              for t, n in zip(true_answers, noisy_answers)]
+    return sum(errors) / len(errors)
+
+
+__all__ = ["mean_relative_error", "relative_error"]

@@ -1,0 +1,21 @@
+"""Histogram views and query transformation.
+
+DProvDB answers queries from *views* rather than from the database: a view is
+a full-domain (contingency-table) histogram over one or more attributes, a
+*synopsis* is a noisy materialisation of a view, and incoming SQL is compiled
+into *linear queries* — weight vectors over the view's bins (the paper's
+``q(D) = q̂(V(D))`` answerability, Def. 6).
+"""
+
+from repro.views.histogram import HistogramView
+from repro.views.linear import LinearQuery
+from repro.views.transform import transform, transform_group_by
+from repro.views.registry import ViewRegistry
+
+__all__ = [
+    "HistogramView",
+    "LinearQuery",
+    "ViewRegistry",
+    "transform",
+    "transform_group_by",
+]

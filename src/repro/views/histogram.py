@@ -1,0 +1,84 @@
+"""Full-domain histogram views (paper Definition 16).
+
+A view is defined over the *declared* domain of its attributes, never the
+active domain, so a synopsis reveals nothing about which values are absent —
+this is what makes the DP ``GROUP BY`` treatment of Appendix D sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.dp.sensitivity import Neighboring, histogram_l2_sensitivity
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class HistogramView:
+    """A (possibly multi-way) full-domain histogram over one relation.
+
+    Attributes
+    ----------
+    name:
+        Unique view identifier (rows of the provenance table's column axis).
+    table:
+        Relation the view is defined over.
+    attributes:
+        Attribute names; the view is their full cross product.
+    schema:
+        Schema of the relation, used for domain arithmetic.
+    """
+
+    name: str
+    table: str
+    attributes: tuple[str, ...]
+    schema: Schema
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError("view needs at least one attribute")
+        for attr in self.attributes:
+            self.schema.attribute(attr)  # validate
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.schema.domain(a).size for a in self.attributes)
+
+    @property
+    def size(self) -> int:
+        """Number of bins (flattened)."""
+        return int(np.prod(self.shape))
+
+    def sensitivity(self, neighboring: Neighboring = Neighboring.UNBOUNDED) -> float:
+        """L2 sensitivity of the exact histogram."""
+        return histogram_l2_sensitivity(neighboring)
+
+    def materialize(self, database: Database) -> np.ndarray:
+        """Exact flattened bin counts (curator-side only)."""
+        table = database.table(self.table)
+        return table.histogram(self.attributes).reshape(-1).astype(np.float64)
+
+    def axis_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"attribute {attribute!r} not in view {self.name!r}"
+            ) from None
+
+
+def attribute_views(schema: Schema, table: str,
+                    attributes: tuple[str, ...]) -> list[HistogramView]:
+    """One single-attribute view per name — the paper's default view set."""
+    return [
+        HistogramView(name=f"{table}.{attr}", table=table,
+                      attributes=(attr,), schema=schema)
+        for attr in attributes
+    ]
+
+
+__all__ = ["HistogramView", "attribute_views"]

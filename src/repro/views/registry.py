@@ -1,0 +1,149 @@
+"""View registry: catalog, selection, and cached exact materialisations.
+
+The registry is curator-side: it holds the exact (non-noisy) view answers so
+mechanisms can create synopses, and it picks which view answers each incoming
+statement (smallest answerable view wins, so a single-attribute query is not
+routed through a wide marginal).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.db.sql.ast import SelectStatement
+from repro.exceptions import SchemaError, UnanswerableQuery
+from repro.views.hierarchical import HierarchicalView
+from repro.views.histogram import HistogramView, attribute_views
+from repro.views.linear import LinearQuery
+from repro.views.transform import is_answerable, transform
+
+#: Views the registry accepts: flat histograms and dyadic trees.
+AnyView = HistogramView | HierarchicalView
+
+
+class ViewRegistry:
+    """Holds the system's views and their exact materialisations."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._views: dict[str, AnyView] = {}
+        self._exact: dict[str, np.ndarray] = {}
+        #: Wall-clock seconds spent materialising exact views ("setup time").
+        self.setup_seconds = 0.0
+
+    # -- catalog ------------------------------------------------------------
+    def add(self, view: AnyView) -> None:
+        if view.name in self._views:
+            raise SchemaError(f"view {view.name!r} already registered")
+        self._views[view.name] = view
+
+    def add_attribute_views(self, table: str,
+                            attributes: tuple[str, ...]) -> None:
+        """Register one histogram view per attribute (the paper's default)."""
+        schema = self._database.table(table).schema
+        for view in attribute_views(schema, table, attributes):
+            self.add(view)
+
+    def add_hierarchical_view(self, table: str, attribute: str) -> str:
+        """Register a dyadic-tree view over one integer attribute."""
+        from repro.views.hierarchical import hierarchical_view
+
+        schema = self._database.table(table).schema
+        view = hierarchical_view(schema, table, attribute)
+        self.add(view)
+        return view.name
+
+    @property
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    def view(self, name: str) -> AnyView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise SchemaError(f"unknown view {name!r}") from None
+
+    def schema(self, table: str) -> Schema:
+        return self._database.table(table).schema
+
+    # -- materialisation ----------------------------------------------------
+    def exact_values(self, view_name: str) -> np.ndarray:
+        """Exact flattened histogram for the view (cached; curator-side)."""
+        if view_name not in self._exact:
+            started = time.perf_counter()
+            view = self.view(view_name)
+            self._exact[view_name] = view.materialize(self._database)
+            self.setup_seconds += time.perf_counter() - started
+        return self._exact[view_name]
+
+    def materialize_all(self) -> float:
+        """Materialise every registered view; returns total setup seconds."""
+        for name in self._views:
+            self.exact_values(name)
+        return self.setup_seconds
+
+    # -- selection ----------------------------------------------------------
+    @staticmethod
+    def _answerable(view: AnyView, statement: SelectStatement) -> bool:
+        if isinstance(view, HierarchicalView):
+            return view.answerable(statement)
+        return is_answerable(statement, view)
+
+    @staticmethod
+    def _compile_one(view: AnyView, statement: SelectStatement,
+                     clip: tuple[float, float] | None) -> LinearQuery:
+        if isinstance(view, HierarchicalView):
+            return view.to_linear(statement)
+        return transform(statement, view, clip)
+
+    def select(self, statement: SelectStatement) -> HistogramView:
+        """Smallest *flat* view answering ``statement``.
+
+        Used for GROUP BY / AVG compilation, which dyadic views do not
+        support; scalar counting queries should go through :meth:`compile`,
+        which also considers hierarchical views with a cost criterion.
+        """
+        candidates = [v for v in self._views.values()
+                      if isinstance(v, HistogramView)
+                      and is_answerable(statement, v)]
+        if not candidates:
+            raise UnanswerableQuery(
+                f"no registered view answers: {statement}"
+            )
+        return min(candidates, key=lambda v: v.size)
+
+    def compile(self, statement: SelectStatement,
+                clip: tuple[float, float] | None = None
+                ) -> tuple[AnyView, LinearQuery]:
+        """Compile ``statement`` over the cheapest answerable view.
+
+        The cost of answering a query over a view at fixed accuracy scales
+        with ``sensitivity^2 * ||w||^2`` (the per-bin variance the synopsis
+        must reach, times the noise a unit budget buys), so the registry
+        compiles every answerable candidate and keeps the minimiser — flat
+        histograms win for narrow predicates, dyadic trees for wide ranges.
+        """
+        best: tuple[AnyView, LinearQuery] | None = None
+        best_cost = float("inf")
+        for view in self._views.values():
+            if not self._answerable(view, statement):
+                continue
+            try:
+                query = self._compile_one(view, statement, clip)
+            except UnanswerableQuery:
+                continue
+            cost = view.sensitivity() ** 2 * query.weight_norm_sq
+            if cost < best_cost:
+                best, best_cost = (view, query), cost
+        if best is None:
+            raise UnanswerableQuery(
+                f"no registered view answers: {statement}"
+            )
+        return best
+
+
+__all__ = ["ViewRegistry"]

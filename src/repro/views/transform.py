@@ -1,0 +1,298 @@
+"""Query transformation: SQL -> linear query over a view (Def. 6).
+
+A statement is *answerable* over a view ``V`` when
+
+* it targets the view's relation;
+* every predicate column is one of the view's attributes;
+* the aggregate is ``COUNT(*)`` (indicator weights) or ``SUM``/``AVG`` over a
+  numeric view attribute (value-weighted bins, optionally clipped per the
+  paper's Appendix D).
+
+``GROUP BY`` over view attributes is compiled to one linear query per group
+bin (full-domain semantics, so absent values appear as noisy-zero bins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.schema import CategoricalDomain, Domain, IntegerDomain
+from repro.db.sql.ast import (
+    Aggregate,
+    Between,
+    Comparison,
+    Condition,
+    InList,
+    SelectStatement,
+)
+from repro.exceptions import UnanswerableQuery
+from repro.views.histogram import HistogramView
+from repro.views.linear import LinearQuery
+
+
+def is_answerable(statement: SelectStatement, view: HistogramView) -> bool:
+    """Full answerability check (Def. 6).
+
+    Structural coverage (table, predicate/aggregate columns) plus, for
+    scalar statements, bin alignment: a range that cuts through a
+    bucketised bin cannot be answered exactly and makes the view
+    inapplicable.  GROUP BY statements are checked structurally only
+    (their per-group compilation happens in :func:`transform_group_by`).
+    """
+    try:
+        _check_answerable(statement, view)
+        if not statement.group_by:
+            transform(statement, view)
+        return True
+    except UnanswerableQuery:
+        return False
+
+
+def _check_answerable(statement: SelectStatement, view: HistogramView) -> None:
+    if statement.table != view.table:
+        raise UnanswerableQuery(
+            f"query targets {statement.table!r}, view is over {view.table!r}"
+        )
+    view_attrs = set(view.attributes)
+    for column in statement.predicate.columns():
+        if column not in view_attrs:
+            raise UnanswerableQuery(
+                f"predicate column {column!r} not covered by view {view.name!r}"
+            )
+    for key in statement.group_by:
+        if key not in view_attrs:
+            raise UnanswerableQuery(
+                f"GROUP BY key {key!r} not covered by view {view.name!r}"
+            )
+    if len(statement.aggregates) != 1:
+        raise UnanswerableQuery("view transformation supports one aggregate")
+    agg = statement.aggregates[0]
+    if agg.func == "COUNT":
+        return
+    if agg.func in ("SUM", "AVG"):
+        if agg.column not in view_attrs:
+            raise UnanswerableQuery(
+                f"{agg.func} column {agg.column!r} not covered by view"
+            )
+        if not isinstance(view.schema.domain(agg.column), IntegerDomain):
+            raise UnanswerableQuery(f"{agg.func} needs a numeric attribute")
+        return
+    raise UnanswerableQuery(f"aggregate {agg.func} not answerable over views")
+
+
+def _bin_mask_for_condition(domain: Domain, cond: Condition) -> np.ndarray:
+    """Inclusion vector for one condition over one attribute's bins.
+
+    For integer domains with ``bin_size > 1`` a bin is included only when
+    its *entire* value range satisfies the condition; a partial overlap
+    makes the query unanswerable over this view (bin-misaligned ranges
+    cannot be answered exactly from bucketised counts — Appendix D's
+    discretisation caveat).
+    """
+    is_wide_integer = (isinstance(domain, IntegerDomain)
+                       and domain.bin_size > 1)
+
+    def evaluate(value) -> bool:
+        if isinstance(cond, Comparison):
+            ops = {
+                "=": lambda v: v == cond.value,
+                "!=": lambda v: v != cond.value,
+                "<": lambda v: v < cond.value,
+                "<=": lambda v: v <= cond.value,
+                ">": lambda v: v > cond.value,
+                ">=": lambda v: v >= cond.value,
+            }
+            return bool(ops[cond.op](value))
+        if isinstance(cond, Between):
+            return bool(cond.low <= value <= cond.high)
+        if isinstance(cond, InList):
+            return value in set(cond.values)
+        raise UnanswerableQuery(  # pragma: no cover - parser limited
+            f"unsupported condition {type(cond).__name__}"
+        )
+
+    ordered = isinstance(cond, Between) or (
+        isinstance(cond, Comparison) and cond.op in ("<", "<=", ">", ">=")
+    )
+    if ordered and isinstance(domain, CategoricalDomain):
+        raise UnanswerableQuery(
+            f"ordering comparison on categorical column {cond.column!r}"
+        )
+
+    def wide_bin_inclusion(low: int, high: int) -> bool:
+        """All-in -> True, all-out -> False, partial -> unanswerable."""
+        if ordered:
+            in_low, in_high = evaluate(low), evaluate(high)
+            if in_low != in_high:
+                raise UnanswerableQuery(
+                    f"predicate on {cond.column!r} is not aligned with the "
+                    f"view's bin boundaries (bin [{low}, {high}])"
+                )
+            return in_low
+        # Set-membership conditions: count how many bin values satisfy.
+        if isinstance(cond, (Comparison, InList)):
+            if isinstance(cond, InList):
+                targets = {v for v in cond.values
+                           if isinstance(v, (int, float))
+                           and low <= v <= high}
+                satisfied = len(targets)
+            elif cond.op == "=":
+                satisfied = 1 if low <= cond.value <= high else 0
+            else:  # "!="
+                excluded = 1 if low <= cond.value <= high else 0
+                satisfied = (high - low + 1) - excluded
+            bin_width = high - low + 1
+            if satisfied == 0:
+                return False
+            if satisfied == bin_width:
+                return True
+            raise UnanswerableQuery(
+                f"predicate on {cond.column!r} selects part of a bucketised "
+                f"bin [{low}, {high}]"
+            )
+        raise UnanswerableQuery(  # pragma: no cover
+            f"unsupported condition {type(cond).__name__}"
+        )
+
+    mask = np.zeros(domain.size, dtype=bool)
+    for i in range(domain.size):
+        if is_wide_integer:
+            low, high = domain.bin_bounds(i)
+            mask[i] = wide_bin_inclusion(low, high)
+        else:
+            mask[i] = evaluate(domain.value_of(i))
+    return mask
+
+
+def _condition_bin_mask(domain: Domain, conditions: list[Condition]) -> np.ndarray:
+    """Boolean inclusion vector over one attribute's bins (conjunction)."""
+    mask = np.ones(domain.size, dtype=bool)
+    for cond in conditions:
+        mask &= _bin_mask_for_condition(domain, cond)
+    return mask
+
+
+def _indicator(statement: SelectStatement, view: HistogramView) -> np.ndarray:
+    """Flattened 0/1 inclusion weights for the predicate over the view grid."""
+    per_axis: list[np.ndarray] = []
+    for attr in view.attributes:
+        conditions = [c for c in statement.predicate.conditions if c.column == attr]
+        per_axis.append(
+            _condition_bin_mask(view.schema.domain(attr), conditions).astype(np.float64)
+        )
+    grid = per_axis[0]
+    for axis_mask in per_axis[1:]:
+        grid = np.multiply.outer(grid, axis_mask)
+    return grid.reshape(-1)
+
+
+def _value_weights(view: HistogramView, column: str,
+                   clip: tuple[float, float] | None) -> np.ndarray:
+    """Per-bin representative values of ``column``, optionally clipped."""
+    domain = view.schema.domain(column)
+    axis = view.axis_of(column)
+    values = np.array([float(domain.value_of(i)) for i in range(domain.size)])
+    if clip is not None:
+        lower, upper = clip
+        if upper <= lower:
+            raise UnanswerableQuery(f"invalid clip bounds [{lower}, {upper}]")
+        values = np.clip(values, lower, upper)
+    # Broadcast along the view grid so each bin carries its column value.
+    shape = [1] * len(view.shape)
+    shape[axis] = domain.size
+    grid = np.broadcast_to(values.reshape(shape), view.shape)
+    return np.ascontiguousarray(grid).reshape(-1)
+
+
+def transform(statement: SelectStatement, view: HistogramView,
+              clip: tuple[float, float] | None = None) -> LinearQuery:
+    """Compile a scalar statement into a :class:`LinearQuery` over ``view``.
+
+    ``AVG`` is compiled as its SUM numerator — callers divide by a noisy
+    count (post-processing); see :func:`transform_avg_parts`.
+    """
+    _check_answerable(statement, view)
+    if statement.group_by:
+        raise UnanswerableQuery(
+            "use transform_group_by for GROUP BY statements"
+        )
+    agg = statement.aggregates[0]
+    indicator = _indicator(statement, view)
+    if agg.func == "COUNT":
+        weights = indicator
+    else:  # SUM or AVG numerator
+        weights = indicator * _value_weights(view, agg.column, clip)
+    if not np.any(weights):
+        # An all-zero query is answerable trivially but meaningless; treat as
+        # an empty-support linear query the caller may answer with 0 noise...
+        # except variance calibration needs support, so reject it instead.
+        raise UnanswerableQuery("predicate selects no bins of the view")
+    return LinearQuery(view.name, weights, label=agg.label())
+
+
+def transform_avg_parts(statement: SelectStatement, view: HistogramView,
+                        clip: tuple[float, float] | None = None
+                        ) -> tuple[LinearQuery, LinearQuery]:
+    """(numerator SUM, denominator COUNT) pair for an AVG statement."""
+    agg = statement.aggregates[0]
+    if agg.func != "AVG":
+        raise UnanswerableQuery("transform_avg_parts requires an AVG aggregate")
+    sum_stmt = SelectStatement(
+        (Aggregate("SUM", agg.column),), statement.table, statement.predicate
+    )
+    count_stmt = SelectStatement(
+        (Aggregate("COUNT", None),), statement.table, statement.predicate
+    )
+    return transform(sum_stmt, view, clip), transform(count_stmt, view)
+
+
+def transform_group_by(statement: SelectStatement, view: HistogramView
+                       ) -> list[tuple[tuple, LinearQuery]]:
+    """One linear query per group over the *full domain* of the keys.
+
+    Returns ``[(group_key_values, LinearQuery), ...]`` covering every
+    combination of the GROUP BY keys' domains — the DP-safe ``GROUP BY*``
+    semantics of Appendix D.
+    """
+    _check_answerable(statement, view)
+    if not statement.group_by:
+        raise UnanswerableQuery("statement has no GROUP BY keys")
+    agg = statement.aggregates[0]
+    if agg.func not in ("COUNT", "SUM"):
+        raise UnanswerableQuery(f"GROUP BY with {agg.func} not supported")
+
+    base = _indicator(statement, view)
+    value_grid = (_value_weights(view, agg.column, None)
+                  if agg.func == "SUM" else None)
+
+    key_domains = [view.schema.domain(k) for k in statement.group_by]
+    key_axes = [view.axis_of(k) for k in statement.group_by]
+    results: list[tuple[tuple, LinearQuery]] = []
+    for flat_key in np.ndindex(*[d.size for d in key_domains]):
+        # Select the slice of the view grid matching this key combination.
+        selector = np.ones(view.shape, dtype=np.float64)
+        for axis, bin_idx, domain in zip(key_axes, flat_key, key_domains):
+            axis_mask = np.zeros(domain.size)
+            axis_mask[bin_idx] = 1.0
+            shape = [1] * len(view.shape)
+            shape[axis] = domain.size
+            selector = selector * axis_mask.reshape(shape)
+        weights = base * selector.reshape(-1)
+        if value_grid is not None:
+            weights = weights * value_grid
+        key_values = tuple(
+            d.value_of(i) for d, i in zip(key_domains, flat_key)
+        )
+        results.append(
+            (key_values, LinearQuery(view.name, weights,
+                                     label=f"{agg.label()}@{key_values}"))
+        )
+    return results
+
+
+__all__ = [
+    "is_answerable",
+    "transform",
+    "transform_avg_parts",
+    "transform_group_by",
+]

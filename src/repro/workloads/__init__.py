@@ -1,0 +1,27 @@
+"""Query workloads from the paper's evaluation (Sec. 6.1.2).
+
+* :mod:`repro.workloads.rrq` — randomized range queries: per-analyst random
+  range predicates over biased-chosen ordered attributes.
+* :mod:`repro.workloads.bfs` — the breadth-first domain-exploration task:
+  adaptive traversal of a decomposition tree looking for under-represented
+  regions.
+* :mod:`repro.workloads.scheduler` — round-robin and randomized interleaving
+  of per-analyst query streams.
+"""
+
+from repro.workloads.rrq import QueryItem, generate_rrq
+from repro.workloads.bfs import BfsExplorer, BfsTrace, run_bfs_workload
+from repro.workloads.bfs_grid import BfsGridExplorer, make_grid_explorers
+from repro.workloads.scheduler import interleave_random, interleave_round_robin
+
+__all__ = [
+    "BfsExplorer",
+    "BfsGridExplorer",
+    "BfsTrace",
+    "QueryItem",
+    "generate_rrq",
+    "interleave_random",
+    "interleave_round_robin",
+    "make_grid_explorers",
+    "run_bfs_workload",
+]

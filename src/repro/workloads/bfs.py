@@ -1,0 +1,154 @@
+"""The breadth-first search (BFS) exploration task (paper Sec. 6.1.2).
+
+Each analyst traverses a binary decomposition tree over an ordered
+attribute's domain, looking for under-represented regions: query the noisy
+count of a range; if the count is at most the threshold, the region is
+reported and the branch terminates; otherwise the range splits in half and
+both children are enqueued (breadth-first).  The workload is *adaptive* —
+later queries depend on earlier noisy answers — and has a natural fixed
+size, which is why the paper reports cumulative budget rather than query
+counts for it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.analyst import Analyst
+from repro.datasets.base import DatasetBundle
+from repro.dp.rng import SeedLike, ensure_generator
+from repro.exceptions import ReproError
+from repro.workloads.rrq import ordered_attributes
+
+
+@dataclass
+class BfsExplorer:
+    """One analyst's breadth-first traversal state."""
+
+    analyst: str
+    table: str
+    attribute: str
+    low: int
+    high: int
+    threshold: float
+    accuracy: float
+    frontier: deque = field(default_factory=deque)
+    regions_found: list[tuple[int, int]] = field(default_factory=list)
+    queries_issued: int = 0
+    queries_answered: int = 0
+    queries_rejected: int = 0
+
+    def __post_init__(self) -> None:
+        self.frontier.append((self.low, self.high))
+
+    @property
+    def done(self) -> bool:
+        return not self.frontier
+
+    def next_sql(self) -> str:
+        low, high = self.frontier[0]
+        return (f"SELECT COUNT(*) FROM {self.table} "
+                f"WHERE {self.attribute} BETWEEN {low} AND {high}")
+
+    def consume(self, noisy_count: float | None) -> None:
+        """Advance the traversal given the system's (possibly refused) answer."""
+        low, high = self.frontier.popleft()
+        self.queries_issued += 1
+        if noisy_count is None:
+            # Refused: the branch cannot be explored further.
+            self.queries_rejected += 1
+            return
+        self.queries_answered += 1
+        if noisy_count <= self.threshold:
+            self.regions_found.append((low, high))
+            return
+        if low < high:
+            mid = (low + high) // 2
+            self.frontier.append((low, mid))
+            self.frontier.append((mid + 1, high))
+
+
+@dataclass(frozen=True)
+class BfsTrace:
+    """Outcome of a BFS workload run."""
+
+    #: Per step: (workload index, analyst, answered?, cumulative budget).
+    steps: tuple[tuple[int, str, bool, float], ...]
+    explorers: tuple[BfsExplorer, ...]
+
+    @property
+    def total_queries(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_answered(self) -> int:
+        return sum(1 for _, _, answered, _ in self.steps if answered)
+
+    def cumulative_budgets(self) -> list[float]:
+        return [budget for _, _, _, budget in self.steps]
+
+    def answered_by(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for _, analyst, answered, _ in self.steps:
+            if answered:
+                counts[analyst] = counts.get(analyst, 0) + 1
+        return counts
+
+
+def make_explorers(bundle: DatasetBundle, analysts: list[Analyst],
+                   threshold: float = 500.0, accuracy: float = 40000.0,
+                   attributes: tuple[str, ...] | None = None
+                   ) -> list[BfsExplorer]:
+    """One explorer per (analyst, ordered attribute)."""
+    if attributes is None:
+        attributes = ordered_attributes(bundle)
+    if not attributes:
+        raise ReproError("no ordered attributes available for BFS")
+    schema = bundle.database.table(bundle.fact_table).schema
+    explorers = []
+    for analyst in analysts:
+        for attr in attributes:
+            domain = schema.domain(attr)
+            explorers.append(BfsExplorer(
+                analyst=analyst.name, table=bundle.fact_table,
+                attribute=attr, low=domain.low, high=domain.high,
+                threshold=threshold, accuracy=accuracy,
+            ))
+    return explorers
+
+
+def run_bfs_workload(system, explorers: list[BfsExplorer],
+                     schedule: str = "round_robin", seed: SeedLike = 0,
+                     max_steps: int = 100000) -> BfsTrace:
+    """Drive explorers against any query system with a ``try_submit`` API.
+
+    ``schedule`` interleaves the live explorers round-robin or uniformly at
+    random; ``max_steps`` guards against pathological noise keeping a
+    traversal alive indefinitely.
+    """
+    if schedule not in ("round_robin", "random"):
+        raise ReproError(f"unknown schedule {schedule!r}")
+    rng = ensure_generator(seed)
+    steps: list[tuple[int, str, bool, float]] = []
+    index = 0
+    position = 0
+    while index < max_steps:
+        live = [e for e in explorers if not e.done]
+        if not live:
+            break
+        if schedule == "round_robin":
+            explorer = live[position % len(live)]
+            position += 1
+        else:
+            explorer = live[int(rng.integers(0, len(live)))]
+        answer = system.try_submit(explorer.analyst, explorer.next_sql(),
+                                   accuracy=explorer.accuracy)
+        explorer.consume(None if answer is None else answer.value)
+        steps.append((index, explorer.analyst, answer is not None,
+                      system.total_consumed()))
+        index += 1
+    return BfsTrace(tuple(steps), tuple(explorers))
+
+
+__all__ = ["BfsExplorer", "BfsTrace", "make_explorers", "run_bfs_workload"]

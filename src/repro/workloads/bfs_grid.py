@@ -1,0 +1,131 @@
+"""Multi-attribute BFS: decomposition trees over attribute cross products.
+
+The paper's BFS task traverses "a decomposition tree of the cross product
+over the selected attributes".  :class:`BfsGridExplorer` generalises the
+1-D explorer to k-dimensional hyper-rectangles: a region is one range per
+attribute, a high noisy count splits the region's *widest* dimension in
+half, and regions at or below the threshold are reported.  Queries are
+conjunctive ranges, so they need a k-way marginal view — register one via
+``DProvDB.register_view(attributes)`` before running.
+
+Duck-type compatible with :func:`repro.workloads.bfs.run_bfs_workload`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.analyst import Analyst
+from repro.datasets.base import DatasetBundle
+from repro.db.schema import IntegerDomain
+from repro.exceptions import ReproError
+
+#: A region: attribute -> inclusive (low, high) value range.
+Region = tuple[tuple[str, int, int], ...]
+
+
+def _widest_dimension(region: Region) -> int:
+    """Index of the widest still-splittable dimension, or -1 if none."""
+    best, best_width = -1, 0
+    for i, (_, low, high) in enumerate(region):
+        width = high - low
+        if width > best_width:
+            best, best_width = i, width
+    return best
+
+
+def _split(region: Region) -> tuple[Region, Region]:
+    axis = _widest_dimension(region)
+    attr, low, high = region[axis]
+    mid = (low + high) // 2
+    left = region[:axis] + ((attr, low, mid),) + region[axis + 1:]
+    right = region[:axis] + ((attr, mid + 1, high),) + region[axis + 1:]
+    return left, right
+
+
+def _region_sql(table: str, region: Region) -> str:
+    conditions = " AND ".join(
+        f"{attr} BETWEEN {low} AND {high}" for attr, low, high in region
+    )
+    return f"SELECT COUNT(*) FROM {table} WHERE {conditions}"
+
+
+@dataclass
+class BfsGridExplorer:
+    """One analyst's BFS over a k-dimensional attribute grid."""
+
+    analyst: str
+    table: str
+    attributes: tuple[str, ...]
+    root: Region
+    threshold: float
+    accuracy: float
+    frontier: deque = field(default_factory=deque)
+    regions_found: list[Region] = field(default_factory=list)
+    queries_issued: int = 0
+    queries_answered: int = 0
+    queries_rejected: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ReproError("grid BFS needs at least one attribute")
+        self.frontier.append(self.root)
+
+    @property
+    def done(self) -> bool:
+        return not self.frontier
+
+    def next_sql(self) -> str:
+        return _region_sql(self.table, self.frontier[0])
+
+    def consume(self, noisy_count: float | None) -> None:
+        region = self.frontier.popleft()
+        self.queries_issued += 1
+        if noisy_count is None:
+            self.queries_rejected += 1
+            return
+        self.queries_answered += 1
+        if noisy_count <= self.threshold:
+            self.regions_found.append(region)
+            return
+        if _widest_dimension(region) >= 0:
+            left, right = _split(region)
+            self.frontier.append(left)
+            self.frontier.append(right)
+
+
+def make_grid_explorers(bundle: DatasetBundle, analysts: list[Analyst],
+                        attributes: tuple[str, ...],
+                        threshold: float = 200.0,
+                        accuracy: float = 40000.0,
+                        bounds: Mapping[str, tuple[int, int]] | None = None
+                        ) -> list[BfsGridExplorer]:
+    """One k-D explorer per analyst over the cross product of ``attributes``.
+
+    ``bounds`` optionally restricts the root region per attribute; the
+    default is each attribute's full domain.
+    """
+    schema = bundle.database.table(bundle.fact_table).schema
+    root: list[tuple[str, int, int]] = []
+    for attr in attributes:
+        domain = schema.domain(attr)
+        if not isinstance(domain, IntegerDomain):
+            raise ReproError(f"grid BFS needs integer attributes, "
+                             f"got {attr!r}")
+        low, high = (bounds or {}).get(attr, (domain.low, domain.high))
+        if not domain.low <= low <= high <= domain.high:
+            raise ReproError(f"bounds for {attr!r} outside its domain")
+        root.append((attr, low, high))
+    return [
+        BfsGridExplorer(
+            analyst=analyst.name, table=bundle.fact_table,
+            attributes=tuple(attributes), root=tuple(root),
+            threshold=threshold, accuracy=accuracy,
+        )
+        for analyst in analysts
+    ]
+
+
+__all__ = ["BfsGridExplorer", "Region", "make_grid_explorers"]

@@ -1,0 +1,93 @@
+"""Randomized range queries (RRQ).
+
+Mirrors the paper's generator: per analyst, a stream of counting range
+queries ``[s, s+o]`` with the start and offset drawn from normal
+distributions, over an *ordered* attribute chosen with a shared bias (all
+analysts favour the same attributes, which is what makes synopsis sharing
+valuable and is how two analysts come to "ask similar queries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.analyst import Analyst
+from repro.datasets.base import DatasetBundle
+from repro.db.schema import IntegerDomain
+from repro.dp.rng import SeedLike, ensure_generator
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class QueryItem:
+    """One workload entry: who asks what, with which accuracy bound."""
+
+    analyst: str
+    sql: str
+    accuracy: float
+    attribute: str = field(default="", compare=False)
+
+
+def ordered_attributes(bundle: DatasetBundle) -> tuple[str, ...]:
+    """View attributes with ordered (integer) domains — range-queryable."""
+    schema = bundle.database.table(bundle.fact_table).schema
+    return tuple(
+        attr for attr in bundle.view_attributes
+        if isinstance(schema.domain(attr), IntegerDomain)
+    )
+
+
+def _attribute_weights(num_attributes: int, bias: float,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Zipf-like selection bias over attributes (shared across analysts)."""
+    if num_attributes < 1:
+        raise ReproError("need at least one ordered attribute for RRQ")
+    ranks = np.arange(1, num_attributes + 1, dtype=np.float64)
+    weights = ranks ** (-bias)
+    rng.shuffle(weights)
+    return weights / weights.sum()
+
+
+def generate_rrq(bundle: DatasetBundle, analysts: list[Analyst],
+                 queries_per_analyst: int, accuracy: float = 2500.0,
+                 bias: float = 1.2, seed: SeedLike = 0
+                 ) -> dict[str, list[QueryItem]]:
+    """Generate the RRQ workload: ``{analyst: [QueryItem, ...]}``.
+
+    Parameters mirror the paper's setup: each query selects one ordered
+    attribute with bias, then a range ``[s, s+o]`` whose start ``s`` and
+    offset ``o`` are normal draws scaled to the attribute's domain width.
+    ``accuracy`` is the expected-squared-error requirement attached to every
+    query (the paper's accuracy-oriented mode).
+    """
+    if queries_per_analyst < 0:
+        raise ReproError("queries_per_analyst must be non-negative")
+    rng = ensure_generator(seed)
+    attributes = ordered_attributes(bundle)
+    weights = _attribute_weights(len(attributes), bias, rng)
+    schema = bundle.database.table(bundle.fact_table).schema
+    table = bundle.fact_table
+
+    workload: dict[str, list[QueryItem]] = {}
+    for analyst in analysts:
+        items: list[QueryItem] = []
+        for _ in range(queries_per_analyst):
+            attr = attributes[int(rng.choice(len(attributes), p=weights))]
+            domain = schema.domain(attr)
+            width = domain.high - domain.low
+            start = int(np.clip(
+                rng.normal(domain.low + width / 2.0, width / 4.0),
+                domain.low, domain.high,
+            ))
+            offset = int(np.clip(abs(rng.normal(width / 8.0, width / 8.0)),
+                                 0, domain.high - start))
+            sql = (f"SELECT COUNT(*) FROM {table} "
+                   f"WHERE {attr} BETWEEN {start} AND {start + offset}")
+            items.append(QueryItem(analyst.name, sql, accuracy, attr))
+        workload[analyst.name] = items
+    return workload
+
+
+__all__ = ["QueryItem", "generate_rrq", "ordered_attributes"]

@@ -1,0 +1,40 @@
+"""Interleaving per-analyst query streams (paper's two query sequences)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, TypeVar
+
+from repro.dp.rng import SeedLike, ensure_generator
+
+T = TypeVar("T")
+
+
+def interleave_round_robin(per_analyst: Mapping[str, Sequence[T]]) -> list[T]:
+    """Analysts take turns; exhausted analysts drop out of the rotation."""
+    queues = {name: list(items) for name, items in per_analyst.items()}
+    order = list(queues)
+    merged: list[T] = []
+    position = 0
+    while any(queues.values()):
+        name = order[position % len(order)]
+        if queues[name]:
+            merged.append(queues[name].pop(0))
+        position += 1
+    return merged
+
+
+def interleave_random(per_analyst: Mapping[str, Sequence[T]],
+                      seed: SeedLike = 0) -> list[T]:
+    """A uniformly random non-exhausted analyst is selected each step."""
+    rng = ensure_generator(seed)
+    queues = {name: list(items) for name, items in per_analyst.items()}
+    merged: list[T] = []
+    while True:
+        live = [name for name, queue in queues.items() if queue]
+        if not live:
+            return merged
+        name = live[int(rng.integers(0, len(live)))]
+        merged.append(queues[name].pop(0))
+
+
+__all__ = ["interleave_random", "interleave_round_robin"]

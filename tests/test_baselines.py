@@ -1,0 +1,169 @@
+"""Tests for the Chorus, ChorusP and simulated PrivateSQL baselines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    Analyst,
+    ChorusBaseline,
+    ChorusPBaseline,
+    QueryRejected,
+    ReproError,
+    SimulatedPrivateSQL,
+    UnanswerableQuery,
+)
+from repro.exceptions import UnknownAnalyst
+
+SQL = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+
+
+class TestChorus:
+    def test_answer_close_to_truth(self, adult_bundle, analysts):
+        system = ChorusBaseline(adult_bundle, analysts, epsilon=2.0, seed=3)
+        exact = adult_bundle.database.execute(SQL).scalar()
+        answer = system.submit("high", SQL, accuracy=2500.0)
+        assert abs(answer.value - exact) < 6 * math.sqrt(2500.0)
+        assert answer.view_name == "(direct)"
+
+    def test_every_query_costs_budget(self, adult_bundle, analysts):
+        system = ChorusBaseline(adult_bundle, analysts, epsilon=2.0, seed=3)
+        first = system.submit("high", SQL, accuracy=2500.0)
+        second = system.submit("high", SQL, accuracy=2500.0)
+        assert first.epsilon_charged > 0
+        assert second.epsilon_charged > 0  # no caching: repeats cost again
+        assert system.total_consumed() == pytest.approx(
+            first.epsilon_charged + second.epsilon_charged
+        )
+
+    def test_no_analyst_distinction(self, adult_bundle, analysts):
+        """First-come-first-served: 'low' may consume the entire budget."""
+        system = ChorusBaseline(adult_bundle, analysts, epsilon=0.2, seed=3)
+        answered = 0
+        while system.try_submit("low", SQL, accuracy=2500.0) is not None:
+            answered += 1
+            assert answered < 1000
+        assert answered > 0
+        # Budget exhausted for everyone, including the high-privilege analyst.
+        assert system.try_submit("high", SQL, accuracy=2500.0) is None
+
+    def test_scalar_sensitivity_for_sum(self, adult_bundle, analysts):
+        system = ChorusBaseline(adult_bundle, analysts, epsilon=5.0, seed=3)
+        answer = system.submit("high",
+                               "SELECT SUM(hours_per_week) FROM adult",
+                               epsilon=1.0)
+        exact = adult_bundle.database.execute(
+            "SELECT SUM(hours_per_week) FROM adult"
+        ).scalar()
+        assert answer.value == pytest.approx(exact, rel=0.05)
+
+    def test_group_by_rejected(self, adult_bundle, analysts):
+        system = ChorusBaseline(adult_bundle, analysts, epsilon=2.0)
+        with pytest.raises(UnanswerableQuery):
+            system.submit("high",
+                          "SELECT sex, COUNT(*) FROM adult GROUP BY sex",
+                          accuracy=2500.0)
+
+    def test_unknown_analyst(self, adult_bundle, analysts):
+        system = ChorusBaseline(adult_bundle, analysts, epsilon=2.0)
+        with pytest.raises(UnknownAnalyst):
+            system.submit("mallory", SQL, accuracy=2500.0)
+
+    def test_both_modes_rejected(self, adult_bundle, analysts):
+        system = ChorusBaseline(adult_bundle, analysts, epsilon=2.0)
+        with pytest.raises(ReproError):
+            system.submit("high", SQL, accuracy=100.0, epsilon=0.5)
+
+    def test_setup_is_free(self, adult_bundle, analysts):
+        assert ChorusBaseline(adult_bundle, analysts, 2.0).setup() == 0.0
+
+
+class TestChorusP:
+    def test_per_analyst_constraints(self, adult_bundle, analysts):
+        system = ChorusPBaseline(adult_bundle, analysts, epsilon=1.0, seed=3)
+        # Def. 10: low=0.2, high=0.8.
+        assert system.analyst_limits["low"] == pytest.approx(0.2)
+        assert system.analyst_limits["high"] == pytest.approx(0.8)
+
+    def test_low_analyst_cannot_starve_high(self, adult_bundle, analysts):
+        system = ChorusPBaseline(adult_bundle, analysts, epsilon=1.0, seed=3)
+        while system.try_submit("low", SQL, accuracy=2500.0) is not None:
+            pass
+        # 'high' still has budget left.
+        assert system.try_submit("high", SQL, accuracy=2500.0) is not None
+
+    def test_rejection_reports_constraint(self, adult_bundle, analysts):
+        system = ChorusPBaseline(adult_bundle, analysts, epsilon=0.1, seed=3)
+        with pytest.raises(QueryRejected) as info:
+            system.submit("low", SQL, accuracy=1.0)
+        assert info.value.constraint in ("row", "translation")
+
+    def test_row_constraint_rejection(self, adult_bundle, analysts):
+        system = ChorusPBaseline(adult_bundle, analysts, epsilon=1.0, seed=3)
+        # Deplete 'low' (limit 0.2) with feasible queries, then hit the wall.
+        while system.try_submit("low", SQL, accuracy=2500.0) is not None:
+            pass
+        with pytest.raises(QueryRejected) as info:
+            system.submit("low", SQL, accuracy=2500.0)
+        assert info.value.constraint == "row"
+
+
+class TestSimulatedPrivateSQL:
+    def test_setup_spends_everything(self, adult_bundle, analysts):
+        system = SimulatedPrivateSQL(adult_bundle, analysts, epsilon=3.2,
+                                     seed=3)
+        assert system.total_consumed() == 0.0
+        system.setup()
+        assert system.total_consumed() == pytest.approx(3.2)
+
+    def test_static_split_is_even_for_equal_sensitivities(self, adult_bundle,
+                                                          analysts):
+        system = SimulatedPrivateSQL(adult_bundle, analysts, epsilon=3.0)
+        budgets = list(system.view_budgets.values())
+        assert all(b == pytest.approx(budgets[0]) for b in budgets)
+        assert sum(budgets) == pytest.approx(3.0)
+
+    def test_answers_feasible_queries_for_free(self, adult_bundle, analysts):
+        system = SimulatedPrivateSQL(adult_bundle, analysts, epsilon=6.4,
+                                     seed=3)
+        answer = system.submit("low", SQL, accuracy=100000.0)
+        assert answer.cache_hit
+        assert answer.epsilon_charged == 0.0
+
+    def test_rejects_demanding_queries(self, adult_bundle, analysts):
+        system = SimulatedPrivateSQL(adult_bundle, analysts, epsilon=0.4,
+                                     seed=3)
+        with pytest.raises(QueryRejected):
+            system.submit("high", SQL, accuracy=1.0)
+
+    def test_all_analysts_see_identical_synopses(self, adult_bundle, analysts):
+        system = SimulatedPrivateSQL(adult_bundle, analysts, epsilon=6.4,
+                                     seed=3)
+        a = system.submit("low", SQL, accuracy=100000.0)
+        b = system.submit("high", SQL, accuracy=100000.0)
+        assert a.value == pytest.approx(b.value)  # no multi-analyst DP
+
+    def test_answers_are_repeatable(self, adult_bundle, analysts):
+        """Static synopses: the same query always gets the same answer."""
+        system = SimulatedPrivateSQL(adult_bundle, analysts, epsilon=6.4,
+                                     seed=3)
+        assert system.submit("low", SQL, accuracy=100000.0).value == \
+            system.submit("low", SQL, accuracy=100000.0).value
+
+    def test_privacy_oriented_mode(self, adult_bundle, analysts):
+        """epsilon= mode converts to the equivalent accuracy check."""
+        system = SimulatedPrivateSQL(adult_bundle, analysts, epsilon=6.4,
+                                     seed=3)
+        # A tiny requested budget implies huge tolerated variance: accepted.
+        assert system.try_submit("low", SQL, epsilon=0.01) is not None
+        # A budget far above the static per-view share: rejected.
+        assert system.try_submit("low", SQL, epsilon=6.0) is None
+
+    def test_both_modes_rejected(self, adult_bundle, analysts):
+        system = SimulatedPrivateSQL(adult_bundle, analysts, epsilon=6.4)
+        with pytest.raises(ReproError):
+            system.submit("low", SQL, accuracy=1.0, epsilon=0.5)
+        with pytest.raises(ReproError):
+            system.submit("low", SQL)

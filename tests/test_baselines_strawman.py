@@ -1,0 +1,121 @@
+"""Tests for the Sec. 7.2 strawman systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Analyst, QueryRejected, ReproError
+from repro.baselines.strawman import SeededCacheBaseline, SyntheticDataRelease
+from repro.core.engine import DProvDB
+
+SQL = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+
+
+class TestSyntheticDataRelease:
+    def test_everyone_sees_identical_answers(self, adult_bundle, analysts):
+        system = SyntheticDataRelease(adult_bundle, analysts, epsilon=6.4,
+                                      seed=3)
+        a = system.submit("low", SQL, accuracy=100000.0)
+        b = system.submit("high", SQL, accuracy=100000.0)
+        # The multi-analyst DP failure the paper points out: no discrepancy.
+        assert a.value == pytest.approx(b.value)
+
+    def test_budget_all_spent_at_setup(self, adult_bundle, analysts):
+        system = SyntheticDataRelease(adult_bundle, analysts, epsilon=3.2,
+                                      seed=3)
+        system.setup()
+        assert system.total_consumed() == pytest.approx(3.2)
+        assert system.collusion_bound() == pytest.approx(3.2)
+
+    def test_rejects_too_demanding(self, adult_bundle, analysts):
+        system = SyntheticDataRelease(adult_bundle, analysts, epsilon=0.4,
+                                      seed=3)
+        with pytest.raises(QueryRejected):
+            system.submit("high", SQL, accuracy=1.0)
+
+    def test_answers_are_free(self, adult_bundle, analysts):
+        system = SyntheticDataRelease(adult_bundle, analysts, epsilon=6.4,
+                                      seed=3)
+        answer = system.submit("low", SQL, accuracy=100000.0)
+        assert answer.epsilon_charged == 0.0
+        assert system.analyst_consumed("low") == 0.0
+
+
+class TestSeededCache:
+    def test_ladder_variances_decrease_with_level(self, adult_bundle,
+                                                  analysts):
+        system = SeededCacheBaseline(adult_bundle, analysts, epsilon=6.4,
+                                     levels=4, seed=3)
+        system.setup()
+        ladder = system._ladders[next(iter(system._ladders))]
+        variances = [s.variance for s in ladder]
+        assert variances == sorted(variances, reverse=True)
+        epsilons = [s.epsilon for s in ladder]
+        assert epsilons == sorted(epsilons)
+
+    def test_snaps_to_cheapest_sufficient_level(self, adult_bundle, analysts):
+        system = SeededCacheBaseline(adult_bundle, analysts, epsilon=6.4,
+                                     levels=4, seed=3)
+        coarse = system.submit("high", SQL, accuracy=1e6)
+        assert coarse.epsilon_charged > 0
+        # A second coarse query is covered by the entitled level.
+        again = system.submit("high", SQL, accuracy=1e6)
+        assert again.epsilon_charged == 0.0
+        assert again.cache_hit
+
+    def test_upgrades_charge_the_difference(self, adult_bundle, analysts):
+        system = SeededCacheBaseline(adult_bundle, analysts, epsilon=6.4,
+                                     levels=4, seed=3)
+        coarse = system.submit("high", SQL, accuracy=1e6)
+        fine = system.submit("high", SQL, accuracy=3000.0)
+        assert fine.epsilon_charged > 0
+        total = system.analyst_consumed("high")
+        assert total == pytest.approx(coarse.epsilon_charged
+                                      + fine.epsilon_charged)
+
+    def test_rejects_beyond_ladder(self, adult_bundle, analysts):
+        system = SeededCacheBaseline(adult_bundle, analysts, epsilon=0.4,
+                                     levels=2, seed=3)
+        with pytest.raises(QueryRejected):
+            system.submit("high", SQL, accuracy=1.0)
+
+    def test_per_analyst_share_enforced(self, adult_bundle, analysts):
+        system = SeededCacheBaseline(adult_bundle, analysts, epsilon=1.0,
+                                     levels=4, seed=3)
+        # Consume 'low''s share across many views until a refusal happens.
+        queries = [
+            f"SELECT COUNT(*) FROM adult WHERE {attr} >= 1"
+            for attr in ("age", "hours_per_week", "education_num",
+                         "fnlwgt", "capital_gain", "capital_loss")
+        ]
+        rejected = False
+        for sql in queries:
+            if system.try_submit("low", sql, accuracy=3000.0) is None:
+                rejected = True
+        assert rejected
+
+    def test_accuracy_mode_required(self, adult_bundle, analysts):
+        system = SeededCacheBaseline(adult_bundle, analysts, epsilon=1.0,
+                                     seed=3)
+        with pytest.raises(ReproError):
+            system.submit("high", SQL, epsilon=0.1)
+
+    def test_rejects_bad_levels(self, adult_bundle, analysts):
+        with pytest.raises(ReproError):
+            SeededCacheBaseline(adult_bundle, analysts, epsilon=1.0, levels=0)
+
+
+class TestStrawmanVsDProvDB:
+    def test_seeded_cache_loses_translation_precision(self, adult_bundle,
+                                                      analysts):
+        """The paper's argument: snapping to pre-computed rungs wastes budget
+        relative to online translation for the same accuracy."""
+        accuracy = 50000.0
+        cache = SeededCacheBaseline(adult_bundle, analysts, epsilon=6.4,
+                                    levels=4, seed=3)
+        online = DProvDB(adult_bundle, analysts, epsilon=6.4, seed=3)
+        cache_cost = cache.submit("high", SQL, accuracy=accuracy) \
+                          .epsilon_charged
+        online_cost = online.submit("high", SQL, accuracy=accuracy) \
+                            .epsilon_charged
+        assert online_cost <= cache_cost + 1e-9

@@ -1,0 +1,85 @@
+"""Tests for the additive Gaussian primitive (Algorithm 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.additive_gm import additive_gaussian_release, degrade
+from repro.dp.gaussian import analytic_gaussian_sigma
+
+
+class TestAdditiveRelease:
+    def test_each_analyst_gets_their_calibrated_variance(self, rng):
+        true = np.zeros(40000)
+        budgets = {"a": (1.0, 1e-9), "b": (0.5, 1e-9), "c": (0.2, 1e-9)}
+        releases = additive_gaussian_release(true, budgets, rng=rng)
+        for name, (eps, delta) in budgets.items():
+            expected = analytic_gaussian_sigma(eps, delta)
+            assert releases[name].sigma == pytest.approx(expected)
+            assert releases[name].values.std() == pytest.approx(expected,
+                                                                rel=0.05)
+
+    def test_noise_is_cumulative(self, rng):
+        """Lower-budget releases equal higher-budget ones plus extra noise."""
+        true = np.zeros(1000)
+        budgets = {"hi": (2.0, 1e-9), "lo": (0.5, 1e-9)}
+        releases = additive_gaussian_release(true, budgets, rng=rng)
+        diff = releases["lo"].values - releases["hi"].values
+        expected_extra = np.sqrt(releases["lo"].sigma ** 2
+                                 - releases["hi"].sigma ** 2)
+        assert diff.std() == pytest.approx(expected_extra, rel=0.1)
+
+    def test_identical_budgets_share_one_release(self, rng):
+        true = np.zeros(100)
+        budgets = {"a": (1.0, 1e-9), "b": (1.0, 1e-9)}
+        releases = additive_gaussian_release(true, budgets, rng=rng)
+        assert (releases["a"].values == releases["b"].values).all()
+
+    def test_single_analyst(self, rng):
+        releases = additive_gaussian_release(
+            np.array([100.0]), {"solo": (1.0, 1e-9)}, rng=rng
+        )
+        assert set(releases) == {"solo"}
+
+    def test_heterogeneous_deltas_order_by_sigma(self, rng):
+        """With mixed deltas, ordering follows sigma, not epsilon."""
+        true = np.zeros(10)
+        # Same epsilon, tighter delta -> larger sigma -> later in chain.
+        budgets = {"loose": (1.0, 1e-3), "tight": (1.0, 1e-12)}
+        releases = additive_gaussian_release(true, budgets, rng=rng)
+        assert releases["loose"].sigma < releases["tight"].sigma
+
+    def test_empty_budgets_rejected(self, rng):
+        with pytest.raises(ValueError):
+            additive_gaussian_release(np.zeros(3), {}, rng=rng)
+
+    def test_sensitivity_scales_all_sigmas(self, rng):
+        true = np.zeros(10)
+        one = additive_gaussian_release(true, {"a": (1.0, 1e-9)},
+                                        sensitivity=1.0, rng=rng)
+        three = additive_gaussian_release(true, {"a": (1.0, 1e-9)},
+                                          sensitivity=3.0, rng=rng)
+        assert three["a"].sigma == pytest.approx(3 * one["a"].sigma)
+
+
+class TestDegrade:
+    def test_adds_exactly_missing_variance(self, rng):
+        values = np.zeros(40000)
+        degraded = degrade(values, current_variance=4.0, target_variance=13.0,
+                           rng=rng)
+        assert (degraded - values).std() == pytest.approx(3.0, rel=0.05)
+
+    def test_noop_when_target_not_larger(self, rng):
+        values = np.arange(10, dtype=float)
+        out = degrade(values, current_variance=5.0, target_variance=5.0,
+                      rng=rng)
+        assert (out == values).all()
+        out = degrade(values, current_variance=5.0, target_variance=2.0,
+                      rng=rng)
+        assert (out == values).all()
+
+    def test_preserves_mean(self, rng):
+        values = np.full(40000, 250.0)
+        degraded = degrade(values, 0.0, 9.0, rng=rng)
+        assert degraded.mean() == pytest.approx(250.0, abs=0.2)

@@ -1,0 +1,67 @@
+"""Tests for cumulative delta accounting (paper's Remark after Alg. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Analyst, DProvDB, QueryRejected
+from repro.core.provenance import Constraints
+
+SQL = "SELECT COUNT(*) FROM adult WHERE age BETWEEN {} AND {}"
+
+
+def tight_delta_engine(bundle, mechanism, releases_allowed):
+    """An engine whose delta cap permits exactly N fresh releases."""
+    delta = 1e-6
+    views = {f"adult.{a}": 100.0 for a in bundle.view_attributes}
+    constraints = Constraints(
+        analyst={"a": 100.0}, view=views, table=100.0,
+        delta=delta, delta_cap=releases_allowed * delta,
+    )
+    return DProvDB(bundle, [Analyst("a", 5)], epsilon=100.0,
+                   mechanism=mechanism, constraints=constraints, seed=1)
+
+
+@pytest.mark.parametrize("mechanism", ["vanilla", "additive"])
+class TestDeltaCap:
+    def test_releases_capped(self, adult_bundle, mechanism):
+        engine = tight_delta_engine(adult_bundle, mechanism,
+                                    releases_allowed=3)
+        # Distinct accuracies on one view force a fresh release each time.
+        for i in range(3):
+            engine.submit("a", SQL.format(20, 60), accuracy=10000.0 / 4**i)
+        with pytest.raises(QueryRejected) as info:
+            engine.submit("a", SQL.format(20, 60), accuracy=10000.0 / 4**3)
+        assert "delta" in info.value.reason
+
+    def test_cache_hits_are_delta_free(self, adult_bundle, mechanism):
+        engine = tight_delta_engine(adult_bundle, mechanism,
+                                    releases_allowed=1)
+        engine.submit("a", SQL.format(20, 60), accuracy=10000.0)
+        # Repeats are post-processing of the cached synopsis: no delta.
+        for _ in range(5):
+            answer = engine.submit("a", SQL.format(20, 60),
+                                   accuracy=10000.0)
+            assert answer.cache_hit
+        assert engine.mechanism.analyst_delta("a") == pytest.approx(1e-6)
+
+    def test_delta_ledger_reports(self, adult_bundle, mechanism):
+        engine = tight_delta_engine(adult_bundle, mechanism,
+                                    releases_allowed=10)
+        assert engine.mechanism.analyst_delta("a") == 0.0
+        engine.submit("a", SQL.format(20, 60), accuracy=10000.0)
+        engine.submit("a", SQL.format(20, 60), accuracy=900.0)
+        assert engine.mechanism.analyst_delta("a") == pytest.approx(2e-6)
+
+
+class TestDefaultsNonBinding:
+    def test_paper_defaults_allow_realistic_workloads(self, adult_bundle):
+        """delta=1e-9 with cap 1/|D| leaves thousands of releases of slack;
+        normal experiment workloads never trip the delta cap."""
+        engine = DProvDB(adult_bundle, [Analyst("a", 5)], epsilon=6.4,
+                         seed=1)
+        for i in range(30):
+            engine.try_submit("a", SQL.format(17 + i, 40 + i),
+                              accuracy=20000.0)
+        assert engine.mechanism.analyst_delta("a") <= \
+            engine.constraints.delta_cap

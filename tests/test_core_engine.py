@@ -1,0 +1,169 @@
+"""Tests for the DProvDB engine: dual modes, AVG, GROUP BY, registration."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Analyst, DProvDB, QueryRejected, ReproError, UnanswerableQuery
+from repro.exceptions import UnknownAnalyst
+
+SQL = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+
+
+@pytest.fixture
+def engine(adult_bundle, analysts):
+    return DProvDB(adult_bundle, analysts, epsilon=2.0, seed=7)
+
+
+class TestSubmission:
+    def test_accuracy_mode_answer_close_to_truth(self, adult_bundle, engine):
+        exact = adult_bundle.database.execute(SQL).scalar()
+        answer = engine.submit("high", SQL, accuracy=2500.0)
+        assert abs(answer.value - exact) < 6 * math.sqrt(2500.0)
+
+    def test_privacy_mode(self, engine):
+        answer = engine.submit("high", SQL, epsilon=0.5)
+        assert answer.epsilon_charged <= 0.5 * (1 + 1e-3)
+        assert answer.answer_variance > 0
+
+    def test_both_modes_rejected(self, engine):
+        with pytest.raises(ReproError):
+            engine.submit("high", SQL, accuracy=100.0, epsilon=0.5)
+        with pytest.raises(ReproError):
+            engine.submit("high", SQL)
+
+    def test_nonpositive_accuracy_rejected(self, engine):
+        with pytest.raises(ReproError):
+            engine.submit("high", SQL, accuracy=0.0)
+
+    def test_unknown_analyst(self, engine):
+        with pytest.raises(UnknownAnalyst):
+            engine.submit("mallory", SQL, accuracy=100.0)
+
+    def test_unanswerable_query(self, engine):
+        with pytest.raises(UnanswerableQuery):
+            engine.submit("high",
+                          "SELECT COUNT(*) FROM adult WHERE age = 30 AND "
+                          "hours_per_week = 40", accuracy=2500.0)
+
+    def test_try_submit_swallows_rejections(self, adult_bundle, analysts):
+        engine = DProvDB(adult_bundle, analysts, epsilon=0.05, seed=7)
+        assert engine.try_submit("low", SQL, accuracy=1.0) is None
+
+    def test_try_submit_returns_answer(self, engine):
+        assert engine.try_submit("high", SQL, accuracy=2500.0) is not None
+
+    def test_accepts_parsed_statement(self, engine):
+        from repro.db.sql.parser import parse
+        answer = engine.submit("high", parse(SQL), accuracy=2500.0)
+        assert answer.view_name == "adult.age"
+
+
+class TestAvg:
+    def test_avg_is_ratio_of_sum_and_count(self, adult_bundle, engine):
+        sql = "SELECT AVG(hours_per_week) FROM adult"
+        exact = adult_bundle.database.execute(sql).scalar()
+        answer = engine.submit("high", sql, accuracy=4e7)
+        assert answer.value == pytest.approx(exact, rel=0.2)
+
+    def test_avg_charges_for_both_parts(self, engine):
+        answer = engine.submit("high",
+                               "SELECT AVG(hours_per_week) FROM adult",
+                               accuracy=4e7)
+        assert answer.epsilon_charged > 0
+
+
+class TestGroupBy:
+    def test_group_by_covers_full_domain(self, engine):
+        results = engine.submit_group_by(
+            "high", "SELECT sex, COUNT(*) FROM adult GROUP BY sex",
+            accuracy=2500.0,
+        )
+        assert [key for key, _ in results] == [("female",), ("male",)]
+
+    def test_group_by_counts_near_truth(self, adult_bundle, engine):
+        results = engine.submit_group_by(
+            "high", "SELECT sex, COUNT(*) FROM adult GROUP BY sex",
+            accuracy=2500.0,
+        )
+        exact = adult_bundle.database.execute(
+            "SELECT sex, COUNT(*) FROM adult GROUP BY sex"
+        ).as_dict()
+        for (key,), answer in results:
+            assert abs(answer.value - exact[key]) < 6 * math.sqrt(2500.0)
+
+    def test_group_by_shares_one_synopsis(self, engine):
+        results = engine.submit_group_by(
+            "high", "SELECT race, COUNT(*) FROM adult GROUP BY race",
+            accuracy=2500.0,
+        )
+        charged = [a.epsilon_charged for _, a in results]
+        assert charged[0] > 0
+        assert all(c == 0.0 for c in charged[1:])  # cache hits after first
+
+    def test_group_by_excluded_groups_are_free_zero(self, engine):
+        results = engine.submit_group_by(
+            "high",
+            "SELECT sex, COUNT(*) FROM adult WHERE sex = 'male' GROUP BY sex",
+            accuracy=2500.0,
+        )
+        by_key = {key[0]: answer for key, answer in results}
+        assert by_key["female"].value == 0.0
+        assert by_key["female"].epsilon_charged == 0.0
+
+
+class TestRegistration:
+    def test_register_analyst_later(self, engine):
+        engine.register_analyst(Analyst("carol", 2))
+        answer = engine.submit("carol", SQL, accuracy=2500.0)
+        assert answer.analyst == "carol"
+        assert engine.constraints.analyst_limit("carol") == pytest.approx(
+            2 / 4 * 2.0
+        )
+
+    def test_register_duplicate_rejected(self, engine):
+        with pytest.raises(ReproError):
+            engine.register_analyst(Analyst("high", 2))
+
+    def test_register_with_explicit_constraint(self, engine):
+        engine.register_analyst(Analyst("dave", 1), constraint=0.123)
+        assert engine.constraints.analyst_limit("dave") == pytest.approx(0.123)
+
+
+class TestConstruction:
+    def test_needs_analysts(self, adult_bundle):
+        with pytest.raises(ReproError):
+            DProvDB(adult_bundle, [], epsilon=1.0)
+
+    def test_duplicate_analysts(self, adult_bundle):
+        with pytest.raises(ReproError):
+            DProvDB(adult_bundle, [Analyst("a", 1), Analyst("a", 2)],
+                    epsilon=1.0)
+
+    def test_unknown_mechanism(self, adult_bundle, analysts):
+        with pytest.raises(ReproError):
+            DProvDB(adult_bundle, analysts, 1.0, mechanism="bogus")
+
+    def test_setup_returns_seconds(self, engine):
+        assert engine.setup() >= 0.0
+
+    def test_provenance_matrix_shape(self, engine, adult_bundle):
+        matrix = engine.provenance_matrix()
+        assert matrix.shape == (2, len(adult_bundle.view_attributes))
+
+
+class TestDeterminism:
+    def test_same_seed_same_answers(self, adult_bundle, analysts):
+        values = []
+        for _ in range(2):
+            engine = DProvDB(adult_bundle, analysts, 2.0, seed=123)
+            values.append(engine.submit("high", SQL, accuracy=2500.0).value)
+        assert values[0] == values[1]
+
+    def test_different_seeds_differ(self, adult_bundle, analysts):
+        a = DProvDB(adult_bundle, analysts, 2.0, seed=1)
+        b = DProvDB(adult_bundle, analysts, 2.0, seed=2)
+        assert a.submit("high", SQL, accuracy=2500.0).value != \
+            b.submit("high", SQL, accuracy=2500.0).value

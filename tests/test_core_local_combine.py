@@ -1,0 +1,213 @@
+"""Tests for the Sec. 5.2.6 local-synopsis combination."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import minimize_scalar
+
+from repro import Analyst, DProvDB
+from repro.core.local_combine import (
+    combination_objective,
+    local_combination_weights,
+)
+from repro.exceptions import ReproError
+
+SQL = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+
+
+class TestClosedForm:
+    def test_weights_sum_to_one(self):
+        result = local_combination_weights(0.4, 0.6, 100.0, 400.0, 50.0, 80.0)
+        assert result.k_prev + result.k_fresh == pytest.approx(1.0)
+
+    def test_variance_matches_objective(self):
+        result = local_combination_weights(0.4, 0.6, 100.0, 400.0, 50.0, 80.0)
+        assert result.variance == pytest.approx(combination_objective(
+            result.k_fresh, 0.4, 0.6, 100.0, 400.0, 50.0, 80.0
+        ))
+
+    def test_degenerate_all_exact(self):
+        result = local_combination_weights(0.5, 0.5, 0.0, 0.0, 0.0, 0.0)
+        assert result.variance == 0.0
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ReproError):
+            local_combination_weights(0.5, 0.6, 1.0, 1.0, 1.0, 1.0)
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ReproError):
+            local_combination_weights(0.5, 0.5, -1.0, 1.0, 1.0, 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        w_fresh=st.floats(min_value=0.01, max_value=0.99),
+        v_prev=st.floats(min_value=0.1, max_value=1000.0),
+        v_delta=st.floats(min_value=0.1, max_value=1000.0),
+        s_prev=st.floats(min_value=0.0, max_value=1000.0),
+        s_new=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_property_closed_form_is_optimal(self, w_fresh, v_prev, v_delta,
+                                             s_prev, s_new):
+        w_prev = 1.0 - w_fresh
+        closed = local_combination_weights(w_prev, w_fresh, v_prev, v_delta,
+                                           s_prev, s_new)
+        numeric = minimize_scalar(
+            lambda a: combination_objective(a, w_prev, w_fresh, v_prev,
+                                            v_delta, s_prev, s_new),
+            bounds=(0.0, 1.0), method="bounded",
+        )
+        assert closed.variance <= numeric.fun + 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        w_fresh=st.floats(min_value=0.01, max_value=0.99),
+        v_prev=st.floats(min_value=0.1, max_value=1000.0),
+        v_delta=st.floats(min_value=0.1, max_value=1000.0),
+        s_prev=st.floats(min_value=0.0, max_value=1000.0),
+        s_new=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_property_beats_either_endpoint(self, w_fresh, v_prev, v_delta,
+                                            s_prev, s_new):
+        """The combination is at least as good as keeping either synopsis."""
+        w_prev = 1.0 - w_fresh
+        closed = local_combination_weights(w_prev, w_fresh, v_prev, v_delta,
+                                           s_prev, s_new)
+        keep_old = combination_objective(0.0, w_prev, w_fresh, v_prev,
+                                         v_delta, s_prev, s_new)
+        keep_new = combination_objective(1.0, w_prev, w_fresh, v_prev,
+                                         v_delta, s_prev, s_new)
+        assert closed.variance <= min(keep_old, keep_new) + 1e-9
+
+
+class TestMechanismIntegration:
+    def _engine(self, bundle, combine_local):
+        return DProvDB(bundle, [Analyst("a", 4)], epsilon=4.0,
+                       combine_local=combine_local, seed=17)
+
+    def test_combination_improves_variance(self, adult_bundle):
+        plain = self._engine(adult_bundle, combine_local=False)
+        combining = self._engine(adult_bundle, combine_local=True)
+        # Coarse answer first, then an accuracy upgrade on the same view.
+        for engine in (plain, combining):
+            engine.submit("a", SQL, accuracy=250000.0)
+        plain_up = plain.submit("a", SQL, accuracy=2500.0)
+        combo_up = combining.submit("a", SQL, accuracy=2500.0)
+        # Both satisfy the requirement; the combining engine over-delivers.
+        assert plain_up.answer_variance <= 2500.0 * (1 + 1e-6)
+        assert combo_up.answer_variance < plain_up.answer_variance
+
+    def test_same_charge_either_way(self, adult_bundle):
+        plain = self._engine(adult_bundle, combine_local=False)
+        combining = self._engine(adult_bundle, combine_local=True)
+        for engine in (plain, combining):
+            engine.submit("a", SQL, accuracy=250000.0)
+        assert plain.submit("a", SQL, accuracy=2500.0).epsilon_charged == \
+            pytest.approx(
+                combining.submit("a", SQL, accuracy=2500.0).epsilon_charged
+            )
+
+    def test_combined_answer_still_meets_requirement(self, adult_bundle):
+        engine = self._engine(adult_bundle, combine_local=True)
+        engine.submit("a", SQL, accuracy=250000.0)
+        upgraded = engine.submit("a", SQL, accuracy=2500.0)
+        assert upgraded.answer_variance <= 2500.0 * (1 + 1e-6)
+
+    def test_combined_value_is_accurate(self, adult_bundle):
+        exact = adult_bundle.database.execute(SQL).scalar()
+        values = []
+        for seed in range(20):
+            engine = DProvDB(adult_bundle, [Analyst("a", 4)], epsilon=4.0,
+                             combine_local=True, seed=seed)
+            engine.submit("a", SQL, accuracy=250000.0)
+            values.append(engine.submit("a", SQL, accuracy=2500.0).value)
+        errors = np.array(values) - exact
+        # Empirical MSE within the promised bound (generous slack).
+        assert np.mean(errors ** 2) < 3 * 2500.0
+
+    def test_combine_local_requires_additive(self, adult_bundle):
+        with pytest.raises(ReproError):
+            DProvDB(adult_bundle, [Analyst("a", 4)], epsilon=2.0,
+                    mechanism="vanilla", combine_local=True)
+
+    def test_second_upgrade_falls_back_gracefully(self, adult_bundle):
+        """After one combination the synopsis is non-fresh: further upgrades
+        use the standard path but still meet their requirements."""
+        engine = self._engine(adult_bundle, combine_local=True)
+        engine.submit("a", SQL, accuracy=250000.0)
+        engine.submit("a", SQL, accuracy=2500.0)
+        third = engine.submit("a", SQL, accuracy=900.0)
+        assert third.answer_variance <= 900.0 * (1 + 1e-6)
+
+
+class TestSameGenerationCombination:
+    """A coarse analyst tightening beneath the global accuracy: successive
+    local releases from the *same* global share its component, so their
+    independent extras average away."""
+
+    @pytest.fixture
+    def engine(self, adult_bundle):
+        analysts = [Analyst("junior", 1), Analyst("power", 8)]
+        return DProvDB(adult_bundle, analysts, epsilon=3.2,
+                       combine_local=True, seed=31)
+
+    def test_over_delivery(self, adult_bundle, engine):
+        # Power analyst drives the global very accurate.
+        engine.submit("power", SQL, accuracy=900.0)
+        # Junior tightens: 640k -> 160k, both coarser than the global.
+        engine.submit("junior", SQL, accuracy=640000.0)
+        upgraded = engine.submit("junior", SQL, accuracy=160000.0)
+        # The combination over-delivers: realised variance strictly below
+        # the requested bound by a non-trivial margin.
+        assert upgraded.answer_variance < 160000.0 * 0.95
+
+    def test_plain_mode_delivers_exactly(self, adult_bundle):
+        analysts = [Analyst("junior", 1), Analyst("power", 8)]
+        engine = DProvDB(adult_bundle, analysts, epsilon=3.2,
+                         combine_local=False, seed=31)
+        engine.submit("power", SQL, accuracy=900.0)
+        engine.submit("junior", SQL, accuracy=640000.0)
+        upgraded = engine.submit("junior", SQL, accuracy=160000.0)
+        assert upgraded.answer_variance == pytest.approx(160000.0, rel=1e-6)
+
+    def test_combined_stays_combinable(self, adult_bundle, engine):
+        """Same-generation combination keeps the synopsis fresh, so a third
+        tightening combines again and keeps over-delivering."""
+        engine.submit("power", SQL, accuracy=900.0)
+        engine.submit("junior", SQL, accuracy=640000.0)
+        engine.submit("junior", SQL, accuracy=160000.0)
+        third = engine.submit("junior", SQL, accuracy=40000.0)
+        assert third.answer_variance < 40000.0 * 0.95
+
+    def test_charge_is_unchanged_by_combination(self, adult_bundle):
+        charges = {}
+        for combine in (False, True):
+            analysts = [Analyst("junior", 1), Analyst("power", 8)]
+            engine = DProvDB(adult_bundle, analysts, epsilon=3.2,
+                             combine_local=combine, seed=31)
+            engine.submit("power", SQL, accuracy=900.0)
+            engine.submit("junior", SQL, accuracy=640000.0)
+            answer = engine.submit("junior", SQL, accuracy=160000.0)
+            charges[combine] = answer.epsilon_charged
+        assert charges[True] == pytest.approx(charges[False])
+
+    def test_empirical_variance_of_combined_release(self, adult_bundle):
+        """The tracked variance of the combined release matches reality."""
+        exact = adult_bundle.database.execute(SQL).scalar()
+        errors = []
+        tracked = None
+        for seed in range(25):
+            analysts = [Analyst("junior", 1), Analyst("power", 8)]
+            engine = DProvDB(adult_bundle, analysts, epsilon=3.2,
+                             combine_local=True, seed=seed)
+            engine.submit("power", SQL, accuracy=900.0)
+            engine.submit("junior", SQL, accuracy=640000.0)
+            answer = engine.submit("junior", SQL, accuracy=160000.0)
+            errors.append(answer.value - exact)
+            tracked = answer.answer_variance
+        import numpy as np
+        empirical = float(np.mean(np.square(errors)))
+        # Loose statistical agreement (25 samples): within a factor ~3.
+        assert empirical < 3.5 * tracked

@@ -1,0 +1,190 @@
+"""Behavioural tests for the vanilla and additive Gaussian mechanisms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Analyst, DProvDB, QueryRejected
+
+SQL = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+SQL_NARROW = "SELECT COUNT(*) FROM adult WHERE age = 35"
+SQL_OTHER_VIEW = "SELECT COUNT(*) FROM adult WHERE hours_per_week BETWEEN 35 AND 45"
+
+
+def make_engine(bundle, mechanism, epsilon=2.0, analysts=None, **kwargs):
+    if analysts is None:
+        analysts = [Analyst("low", 1), Analyst("high", 4)]
+    return DProvDB(bundle, analysts, epsilon, mechanism=mechanism, seed=99,
+                   **kwargs)
+
+
+class TestCaching:
+    @pytest.mark.parametrize("mechanism", ["vanilla", "additive"])
+    def test_repeat_query_hits_cache(self, adult_bundle, mechanism):
+        engine = make_engine(adult_bundle, mechanism)
+        first = engine.submit("high", SQL, accuracy=2500.0)
+        second = engine.submit("high", SQL, accuracy=2500.0)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.epsilon_charged == 0.0
+        assert second.value == pytest.approx(first.value)
+
+    @pytest.mark.parametrize("mechanism", ["vanilla", "additive"])
+    def test_looser_accuracy_also_hits_cache(self, adult_bundle, mechanism):
+        engine = make_engine(adult_bundle, mechanism)
+        engine.submit("high", SQL, accuracy=2500.0)
+        relaxed = engine.submit("high", SQL, accuracy=250000.0)
+        assert relaxed.cache_hit
+
+    @pytest.mark.parametrize("mechanism", ["vanilla", "additive"])
+    def test_same_view_different_query_hits_cache(self, adult_bundle,
+                                                  mechanism):
+        engine = make_engine(adult_bundle, mechanism)
+        engine.submit("high", SQL, accuracy=2500.0)
+        # Narrower query on the same view needs per-bin variance 2500 >= the
+        # cached one (2500/11 bins), so it is served from cache.
+        other = engine.submit("high", SQL_NARROW, accuracy=2500.0)
+        assert other.cache_hit
+
+    def test_tighter_accuracy_misses_cache(self, adult_bundle):
+        engine = make_engine(adult_bundle, "additive")
+        engine.submit("high", SQL, accuracy=250000.0)
+        tight = engine.submit("high", SQL, accuracy=900.0)
+        assert not tight.cache_hit
+        assert tight.epsilon_charged > 0.0
+
+
+class TestVanillaAccounting:
+    def test_each_analyst_pays_full_budget(self, adult_bundle):
+        engine = make_engine(adult_bundle, "vanilla")
+        a = engine.submit("high", SQL, accuracy=2500.0)
+        b = engine.submit("low", SQL, accuracy=2500.0)
+        assert a.epsilon_charged > 0
+        assert b.epsilon_charged == pytest.approx(a.epsilon_charged)
+        # Vanilla collusion bound is the sum of the two.
+        assert engine.collusion_bound() == pytest.approx(
+            a.epsilon_charged + b.epsilon_charged
+        )
+
+    def test_provenance_entries_accumulate(self, adult_bundle):
+        engine = make_engine(adult_bundle, "vanilla")
+        first = engine.submit("high", SQL, accuracy=2500.0)
+        tighter = engine.submit("high", SQL, accuracy=400.0)
+        entry = engine.provenance.get("high", first.view_name)
+        assert entry == pytest.approx(first.epsilon_charged
+                                      + tighter.epsilon_charged)
+
+    def test_rejects_when_analyst_constraint_hit(self, adult_bundle):
+        engine = make_engine(adult_bundle, "vanilla", epsilon=0.5)
+        # Def. 10: low gets 0.1 of 0.5 — a demanding query must be refused.
+        with pytest.raises(QueryRejected) as info:
+            engine.submit("low", SQL, accuracy=100.0)
+        assert info.value.constraint in ("row", "translation")
+
+
+class TestAdditiveAccounting:
+    def test_second_analyst_costs_no_extra_collusion_budget(self, adult_bundle):
+        engine = make_engine(adult_bundle, "additive")
+        first = engine.submit("high", SQL, accuracy=2500.0)
+        engine.submit("low", SQL, accuracy=2500.0)
+        # The global synopsis was built once; collusion loss is its budget.
+        assert engine.collusion_bound() == pytest.approx(first.epsilon_charged)
+
+    def test_per_analyst_cost_capped_by_global(self, adult_bundle):
+        engine = make_engine(adult_bundle, "additive")
+        engine.submit("high", SQL, accuracy=2500.0)
+        view = engine.registry.select(engine._resolve(SQL)).name
+        global_eps = engine.mechanism.store.global_synopsis(view).epsilon
+        # Repeated tighter requests: the analyst entry never exceeds the
+        # global budget (P[A,V] <- min(eps_global, P + eps_i)).
+        for accuracy in (1600.0, 900.0, 400.0):
+            engine.submit("high", SQL, accuracy=accuracy)
+            global_eps = engine.mechanism.store.global_synopsis(view).epsilon
+            assert engine.provenance.get("high", view) <= global_eps + 1e-9
+
+    def test_global_synopsis_shared_across_analysts(self, adult_bundle):
+        engine = make_engine(adult_bundle, "additive")
+        engine.submit("high", SQL, accuracy=2500.0)
+        view = engine.registry.select(engine._resolve(SQL)).name
+        before = engine.mechanism.store.global_synopsis(view)
+        engine.submit("low", SQL, accuracy=2500.0)
+        after = engine.mechanism.store.global_synopsis(view)
+        assert before is after  # no new data access for the second analyst
+
+    def test_local_synopsis_noisier_than_global(self, adult_bundle):
+        engine = make_engine(adult_bundle, "additive")
+        engine.submit("high", SQL, accuracy=2500.0)
+        engine.submit("low", SQL, accuracy=250000.0)
+        view = engine.registry.select(engine._resolve(SQL)).name
+        global_syn = engine.mechanism.store.global_synopsis(view)
+        local = engine.mechanism.store.local_synopsis("low", view)
+        assert local.variance >= global_syn.variance
+
+    def test_accuracy_upgrade_combines_views(self, adult_bundle):
+        """Example 4's flow: a tighter request triggers a delta synopsis."""
+        engine = make_engine(adult_bundle, "additive")
+        engine.submit("high", SQL, accuracy=250000.0)
+        view = engine.registry.select(engine._resolve(SQL)).name
+        eps_before = engine.mechanism.store.global_synopsis(view).epsilon
+        engine.submit("high", SQL, accuracy=2500.0)
+        synopsis = engine.mechanism.store.global_synopsis(view)
+        assert synopsis.epsilon > eps_before
+        # Combined variance reaches the requested per-bin accuracy.
+        assert synopsis.variance <= 2500.0 / 11 * (1 + 1e-6)
+
+    def test_collusion_bound_tighter_than_vanilla(self, adult_bundle):
+        additive = make_engine(adult_bundle, "additive")
+        vanilla = make_engine(adult_bundle, "vanilla")
+        for analyst in ("high", "low"):
+            for sql in (SQL, SQL_OTHER_VIEW):
+                additive.try_submit(analyst, sql, accuracy=2500.0)
+                vanilla.try_submit(analyst, sql, accuracy=2500.0)
+        assert additive.collusion_bound() < vanilla.collusion_bound()
+
+    def test_view_constraint_rejection(self, adult_bundle, analysts):
+        from repro.core.provenance import Constraints
+        views = {f"adult.{a}": 0.05 for a in adult_bundle.view_attributes}
+        constraints = Constraints(
+            analyst={"low": 2.0, "high": 2.0}, view=views, table=2.0,
+        )
+        engine = DProvDB(adult_bundle, analysts, 2.0, mechanism="additive",
+                         constraints=constraints, seed=1)
+        with pytest.raises(QueryRejected) as info:
+            engine.submit("high", SQL, accuracy=2500.0)
+        assert info.value.constraint == "column"
+
+
+class TestTheorem56:
+    """Additive answers at least as many queries as vanilla (same setup)."""
+
+    @pytest.mark.parametrize("epsilon", [0.8, 1.6])
+    def test_additive_geq_vanilla(self, adult_bundle, epsilon):
+        from repro.core.policies import build_constraints
+        analysts = [Analyst("low", 1), Analyst("high", 4)]
+        rng = np.random.default_rng(7)
+        queries = []
+        for _ in range(60):
+            start = int(rng.integers(17, 80))
+            width = int(rng.integers(0, 10))
+            analyst = "low" if rng.random() < 0.5 else "high"
+            queries.append((analyst,
+                            f"SELECT COUNT(*) FROM adult WHERE age BETWEEN "
+                            f"{start} AND {min(90, start + width)}"))
+        counts = {}
+        for mechanism in ("vanilla", "additive"):
+            # Same constraint setup for both (the theorem's precondition).
+            constraints = build_constraints(
+                analysts,
+                [f"adult.{a}" for a in adult_bundle.view_attributes],
+                epsilon, mechanism="vanilla",
+            )
+            engine = DProvDB(adult_bundle, analysts, epsilon,
+                             mechanism=mechanism, constraints=constraints,
+                             seed=5)
+            answered = sum(
+                engine.try_submit(analyst, sql, accuracy=10000.0) is not None
+                for analyst, sql in queries
+            )
+            counts[mechanism] = answered
+        assert counts["additive"] >= counts["vanilla"]

@@ -1,0 +1,170 @@
+"""Tests for engine state persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Analyst, DProvDB, ReproError
+from repro.core.persistence import (
+    engine_state,
+    load_engine_state,
+    restore_engine_state,
+    save_engine_state,
+)
+
+SQL = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+SQL2 = "SELECT COUNT(*) FROM adult WHERE hours_per_week BETWEEN 35 AND 45"
+
+
+def build(bundle, mechanism="additive"):
+    return DProvDB(bundle, [Analyst("boss", 8), Analyst("intern", 1)],
+                   epsilon=2.0, mechanism=mechanism, seed=77)
+
+
+class TestRoundTrip:
+    def test_provenance_and_consumption_survive(self, adult_bundle, tmp_path):
+        engine = build(adult_bundle)
+        engine.submit("boss", SQL, accuracy=2500.0)
+        engine.submit("intern", SQL2, accuracy=40000.0)
+        path = tmp_path / "state.json"
+        save_engine_state(engine, path)
+
+        revived = build(adult_bundle)
+        load_engine_state(revived, path)
+        for analyst in ("boss", "intern"):
+            assert revived.analyst_consumed(analyst) == pytest.approx(
+                engine.analyst_consumed(analyst)
+            )
+        assert revived.collusion_bound() == pytest.approx(
+            engine.collusion_bound()
+        )
+
+    def test_delta_ledger_survives(self, adult_bundle, tmp_path):
+        engine = build(adult_bundle)
+        engine.submit("boss", SQL, accuracy=2500.0)
+        engine.submit("boss", SQL2, accuracy=2500.0)
+        save_engine_state(engine, tmp_path / "s.json")
+        revived = build(adult_bundle)
+        load_engine_state(revived, tmp_path / "s.json")
+        assert revived.mechanism.analyst_delta("boss") == pytest.approx(
+            engine.mechanism.analyst_delta("boss")
+        )
+
+    def test_synopses_survive_and_serve_cache_hits(self, adult_bundle,
+                                                   tmp_path):
+        engine = build(adult_bundle)
+        first = engine.submit("boss", SQL, accuracy=2500.0)
+        path = tmp_path / "state.json"
+        save_engine_state(engine, path)
+
+        revived = build(adult_bundle)
+        load_engine_state(revived, path)
+        repeat = revived.submit("boss", SQL, accuracy=2500.0)
+        assert repeat.cache_hit
+        assert repeat.value == pytest.approx(first.value)
+        assert repeat.epsilon_charged == 0.0
+
+    def test_vanilla_round_trip(self, adult_bundle, tmp_path):
+        engine = build(adult_bundle, mechanism="vanilla")
+        engine.submit("boss", SQL, accuracy=2500.0)
+        path = tmp_path / "state.json"
+        save_engine_state(engine, path)
+        revived = build(adult_bundle, mechanism="vanilla")
+        load_engine_state(revived, path)
+        assert revived.submit("boss", SQL, accuracy=2500.0).cache_hit
+
+    def test_grants_survive(self, adult_bundle, tmp_path):
+        engine = build(adult_bundle)
+        grant = engine.grant_delegation("boss", "intern", epsilon_cap=1.0)
+        engine.submit("intern", SQL, accuracy=2500.0, delegation=grant)
+        save_engine_state(engine, tmp_path / "s.json")
+
+        revived = build(adult_bundle)
+        load_engine_state(revived, tmp_path / "s.json")
+        audit = revived.delegations.audit("boss")
+        assert len(audit) == 1
+        assert audit[0].consumed > 0
+        # Grant still usable after restore.
+        answer = revived.submit("intern", SQL, accuracy=2500.0,
+                                delegation=grant)
+        assert answer.cache_hit
+
+    def test_additive_metadata_survives(self, adult_bundle, tmp_path):
+        engine = DProvDB(adult_bundle,
+                         [Analyst("boss", 8), Analyst("intern", 1)],
+                         epsilon=4.0, combine_local=True, seed=77)
+        engine.submit("boss", SQL, accuracy=250000.0)
+        engine.submit("boss", SQL, accuracy=2500.0)  # forces a combination
+        save_engine_state(engine, tmp_path / "s.json")
+
+        revived = DProvDB(adult_bundle,
+                          [Analyst("boss", 8), Analyst("intern", 1)],
+                          epsilon=4.0, combine_local=True, seed=78)
+        load_engine_state(revived, tmp_path / "s.json")
+        upgraded = revived.submit("boss", SQL, accuracy=900.0)
+        assert upgraded.answer_variance <= 900.0 * (1 + 1e-6)
+
+
+class TestValidation:
+    def test_mechanism_mismatch(self, adult_bundle):
+        engine = build(adult_bundle)
+        state = engine_state(engine)
+        other = build(adult_bundle, mechanism="vanilla")
+        with pytest.raises(ReproError):
+            restore_engine_state(other, state)
+
+    def test_dataset_mismatch(self, adult_bundle, tpch_bundle):
+        engine = build(adult_bundle)
+        state = engine_state(engine)
+        other = DProvDB(tpch_bundle,
+                        [Analyst("boss", 8), Analyst("intern", 1)],
+                        epsilon=2.0, seed=1)
+        with pytest.raises(ReproError):
+            restore_engine_state(other, state)
+
+    def test_missing_analyst(self, adult_bundle):
+        engine = build(adult_bundle)
+        state = engine_state(engine)
+        other = DProvDB(adult_bundle, [Analyst("boss", 8)], epsilon=2.0,
+                        seed=1)
+        with pytest.raises(ReproError):
+            restore_engine_state(other, state)
+
+    def test_privilege_mismatch(self, adult_bundle):
+        engine = build(adult_bundle)
+        state = engine_state(engine)
+        other = DProvDB(adult_bundle,
+                        [Analyst("boss", 3), Analyst("intern", 1)],
+                        epsilon=2.0, seed=1)
+        with pytest.raises(ReproError):
+            restore_engine_state(other, state)
+
+    def test_version_check(self, adult_bundle):
+        engine = build(adult_bundle)
+        state = engine_state(engine)
+        state["version"] = 999
+        with pytest.raises(ReproError):
+            restore_engine_state(build(adult_bundle), state)
+
+    def test_missing_custom_view_reported(self, adult_bundle):
+        engine = build(adult_bundle)
+        engine.register_view(("age", "sex"))
+        state = engine_state(engine)
+        plain = build(adult_bundle)  # lacks the custom view
+        with pytest.raises(ReproError) as info:
+            restore_engine_state(plain, state)
+        assert "re-register" in str(info.value)
+
+    def test_custom_view_round_trip_after_reregistration(self, adult_bundle,
+                                                         tmp_path):
+        engine = build(adult_bundle)
+        engine.register_view(("age", "sex"))
+        sql = ("SELECT COUNT(*) FROM adult WHERE age >= 40 "
+               "AND sex = 'male'")
+        engine.submit("boss", sql, accuracy=40000.0)
+        save_engine_state(engine, tmp_path / "s.json")
+
+        revived = build(adult_bundle)
+        revived.register_view(("age", "sex"))
+        load_engine_state(revived, tmp_path / "s.json")
+        assert revived.submit("boss", sql, accuracy=40000.0).cache_hit

@@ -1,0 +1,130 @@
+"""Tests for constraint-specification policies (Defs. 10-12, tau)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyst import Analyst
+from repro.core.policies import (
+    analyst_constraints_max,
+    analyst_constraints_proportional,
+    build_constraints,
+    expand_constraints,
+    static_view_constraints,
+    water_filling_view_constraints,
+)
+from repro.exceptions import ReproError
+
+
+@pytest.fixture
+def pair():
+    return [Analyst("low", 1), Analyst("high", 4)]
+
+
+class TestProportional:
+    def test_def10_split(self, pair):
+        rows = analyst_constraints_proportional(pair, table_budget=1.0)
+        assert rows["low"] == pytest.approx(0.2)
+        assert rows["high"] == pytest.approx(0.8)
+
+    def test_sums_to_table_budget(self, pair):
+        rows = analyst_constraints_proportional(pair, 3.2)
+        assert sum(rows.values()) == pytest.approx(3.2)
+
+    def test_max_row_below_table_with_multiple_analysts(self, pair):
+        # The Def. 10 weakness the paper notes: nobody can use psi_P fully.
+        rows = analyst_constraints_proportional(pair, 1.0)
+        assert max(rows.values()) < 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            analyst_constraints_proportional([], 1.0)
+
+
+class TestMaxNormalised:
+    def test_def11_split(self, pair):
+        rows = analyst_constraints_max(pair, table_budget=1.0)
+        assert rows["high"] == pytest.approx(1.0)   # top analyst saturates
+        assert rows["low"] == pytest.approx(0.25)
+
+    def test_explicit_system_l_max(self, pair):
+        rows = analyst_constraints_max(pair, 1.0, l_max=10)
+        assert rows["high"] == pytest.approx(0.4)
+        assert rows["low"] == pytest.approx(0.1)
+
+    def test_l_max_below_privilege_rejected(self, pair):
+        with pytest.raises(ReproError):
+            analyst_constraints_max(pair, 1.0, l_max=2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            analyst_constraints_max([], 1.0)
+
+
+class TestExpansion:
+    def test_scales_and_caps(self):
+        rows = {"a": 0.4, "b": 0.8}
+        expanded = expand_constraints(rows, tau=1.5, cap=1.0)
+        assert expanded["a"] == pytest.approx(0.6)
+        assert expanded["b"] == pytest.approx(1.0)  # capped
+
+    def test_tau_one_is_identity(self):
+        rows = {"a": 0.4}
+        assert expand_constraints(rows, 1.0, 1.0) == pytest.approx(rows)
+
+    def test_rejects_tau_below_one(self):
+        with pytest.raises(ReproError):
+            expand_constraints({"a": 0.4}, 0.9, 1.0)
+
+
+class TestViewConstraints:
+    def test_water_filling_all_equal_table(self):
+        cols = water_filling_view_constraints(["v1", "v2"], 3.2)
+        assert cols == {"v1": 3.2, "v2": 3.2}
+
+    def test_static_split_equal_sensitivities(self):
+        cols = static_view_constraints({"v1": 1.0, "v2": 1.0}, 1.0)
+        assert cols["v1"] == pytest.approx(0.5)
+        assert cols["v2"] == pytest.approx(0.5)
+
+    def test_static_split_proportional_to_inverse_sensitivity(self):
+        cols = static_view_constraints({"cheap": 1.0, "costly": 3.0}, 4.0)
+        assert cols["cheap"] == pytest.approx(3.0)
+        assert cols["costly"] == pytest.approx(1.0)
+
+    def test_static_rejects_empty(self):
+        with pytest.raises(ReproError):
+            static_view_constraints({}, 1.0)
+
+
+class TestBuildConstraints:
+    def test_additive_defaults(self, pair):
+        c = build_constraints(pair, ["v1", "v2"], 1.6, mechanism="additive")
+        assert c.analyst["high"] == pytest.approx(1.6)
+        assert c.view == {"v1": 1.6, "v2": 1.6}
+        assert c.table == pytest.approx(1.6)
+
+    def test_vanilla_defaults(self, pair):
+        c = build_constraints(pair, ["v1"], 1.0, mechanism="vanilla")
+        assert c.analyst["low"] == pytest.approx(0.2)
+        assert c.analyst["high"] == pytest.approx(0.8)
+
+    def test_tau_expansion_applied(self, pair):
+        c = build_constraints(pair, ["v1"], 1.0, mechanism="vanilla", tau=1.5)
+        assert c.analyst["low"] == pytest.approx(0.3)
+
+    def test_unknown_mechanism(self, pair):
+        with pytest.raises(ReproError):
+            build_constraints(pair, ["v1"], 1.0, mechanism="nope")
+
+
+class TestAnalyst:
+    def test_privilege_bounds(self):
+        with pytest.raises(ValueError):
+            Analyst("x", 0)
+        with pytest.raises(ValueError):
+            Analyst("x", 11)
+
+    def test_empty_name(self):
+        with pytest.raises(ValueError):
+            Analyst("", 1)

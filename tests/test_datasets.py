@@ -1,0 +1,106 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.adult import (
+    ADULT_NUM_ROWS,
+    ADULT_VIEW_ATTRIBUTES,
+    adult_schema,
+    generate_adult_table,
+    load_adult,
+)
+from repro.datasets.tpch import (
+    NUM_MONTHS,
+    TPCH_VIEW_ATTRIBUTES,
+    load_tpch,
+)
+
+
+class TestAdult:
+    def test_schema_has_15_attributes(self):
+        assert len(adult_schema()) == 15
+
+    def test_default_row_count_matches_paper(self):
+        assert ADULT_NUM_ROWS == 45224
+
+    def test_generation_is_deterministic(self):
+        a = generate_adult_table(num_rows=500, seed=3)
+        b = generate_adult_table(num_rows=500, seed=3)
+        for name in a.schema.names:
+            assert (a.column(name) == b.column(name)).all()
+
+    def test_different_seeds_differ(self):
+        a = generate_adult_table(num_rows=500, seed=3)
+        b = generate_adult_table(num_rows=500, seed=4)
+        assert any((a.column(n) != b.column(n)).any() for n in a.schema.names)
+
+    def test_values_respect_domains(self, adult_bundle):
+        table = adult_bundle.database.table("adult")
+        for attr in table.schema:
+            codes = table.codes(attr.name)
+            assert codes.min() >= 0
+            assert codes.max() < attr.domain_size
+
+    def test_age_distribution_is_working_age_centred(self, adult_bundle):
+        ages = adult_bundle.database.table("adult").decoded("age")
+        assert 30 <= np.median(ages) <= 48
+
+    def test_capital_gain_zero_inflated(self, adult_bundle):
+        gains = adult_bundle.database.table("adult").decoded("capital_gain")
+        assert (gains == 0).mean() > 0.8
+
+    def test_income_correlates_with_education(self, adult_bundle):
+        table = adult_bundle.database.table("adult")
+        income = table.decoded("income")
+        edu = table.decoded("education_num")
+        high = edu[np.array([i == "gt_50k" for i in income])]
+        low = edu[np.array([i == "le_50k" for i in income])]
+        assert high.mean() > low.mean()
+
+    def test_bundle_metadata(self, adult_bundle):
+        assert adult_bundle.name == "adult"
+        assert adult_bundle.fact_table == "adult"
+        assert adult_bundle.view_attributes == ADULT_VIEW_ATTRIBUTES
+        assert adult_bundle.num_rows == 5000
+        assert adult_bundle.delta_cap() == pytest.approx(1 / 5000)
+
+    def test_full_scale_load(self):
+        bundle = load_adult(seed=0)
+        assert bundle.num_rows == ADULT_NUM_ROWS
+
+
+class TestTpch:
+    def test_bundle_tables(self, tpch_bundle):
+        assert set(tpch_bundle.database.table_names) == {"lineitem", "orders"}
+        assert tpch_bundle.fact_table == "lineitem"
+
+    def test_row_ratio(self, tpch_bundle):
+        lineitem = tpch_bundle.database.table("lineitem").num_rows
+        orders = tpch_bundle.database.table("orders").num_rows
+        assert lineitem == 8000
+        assert orders == 2000
+
+    def test_view_attributes_exist(self, tpch_bundle):
+        schema = tpch_bundle.database.table("lineitem").schema
+        for attr in TPCH_VIEW_ATTRIBUTES:
+            assert attr in schema
+
+    def test_quantity_domain(self, tpch_bundle):
+        quantities = tpch_bundle.database.table("lineitem").decoded("quantity")
+        assert quantities.min() >= 1
+        assert quantities.max() <= 50
+
+    def test_shipdate_within_window(self, tpch_bundle):
+        shipdates = tpch_bundle.database.table("lineitem").decoded("shipdate")
+        assert shipdates.min() >= 0
+        assert shipdates.max() < NUM_MONTHS
+
+    def test_determinism(self):
+        a = load_tpch(lineitem_rows=400, seed=9)
+        b = load_tpch(lineitem_rows=400, seed=9)
+        ta, tb = (x.database.table("lineitem") for x in (a, b))
+        for name in ta.schema.names:
+            assert (ta.column(name) == tb.column(name)).all()

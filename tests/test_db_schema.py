@@ -1,0 +1,148 @@
+"""Tests for attribute domains and schemas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.schema import (
+    Attribute,
+    CategoricalDomain,
+    IntegerDomain,
+    Schema,
+)
+from repro.exceptions import SchemaError
+
+
+class TestCategoricalDomain:
+    def test_size_and_indexing(self):
+        domain = CategoricalDomain(["a", "b", "c"])
+        assert domain.size == 3
+        assert domain.index_of("b") == 1
+        assert domain.value_of(2) == "c"
+
+    def test_round_trip(self):
+        domain = CategoricalDomain(["x", "y", "z"])
+        for i in range(domain.size):
+            assert domain.index_of(domain.value_of(i)) == i
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            CategoricalDomain(["a", "a"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            CategoricalDomain([])
+
+    def test_unknown_value(self):
+        with pytest.raises(SchemaError):
+            CategoricalDomain(["a"]).index_of("nope")
+
+    def test_vectorised_indices(self):
+        domain = CategoricalDomain(["a", "b"])
+        out = domain.indices_of(np.array(["b", "a", "b"], dtype=object))
+        assert out.tolist() == [1, 0, 1]
+
+
+class TestIntegerDomain:
+    def test_unit_bins(self):
+        domain = IntegerDomain(10, 20)
+        assert domain.size == 11
+        assert domain.index_of(10) == 0
+        assert domain.index_of(20) == 10
+        assert domain.value_of(5) == 15
+
+    def test_wide_bins(self):
+        domain = IntegerDomain(0, 99, bin_size=10)
+        assert domain.size == 10
+        assert domain.index_of(0) == 0
+        assert domain.index_of(9) == 0
+        assert domain.index_of(10) == 1
+        assert domain.bin_bounds(0) == (0, 9)
+
+    def test_bin_bounds_clamp_at_high(self):
+        domain = IntegerDomain(0, 95, bin_size=10)
+        assert domain.bin_bounds(domain.size - 1) == (90, 95)
+
+    def test_out_of_range(self):
+        domain = IntegerDomain(0, 5)
+        with pytest.raises(SchemaError):
+            domain.index_of(6)
+        with pytest.raises(SchemaError):
+            domain.index_of(-1)
+
+    def test_vectorised_out_of_range(self):
+        domain = IntegerDomain(0, 5)
+        with pytest.raises(SchemaError):
+            domain.indices_of(np.array([1, 6]))
+
+    def test_value_of_out_of_range(self):
+        with pytest.raises(SchemaError):
+            IntegerDomain(0, 5).value_of(6)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(SchemaError):
+            IntegerDomain(5, 4)
+
+    def test_rejects_bad_bin_size(self):
+        with pytest.raises(SchemaError):
+            IntegerDomain(0, 10, bin_size=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        low=st.integers(-1000, 1000),
+        width=st.integers(0, 500),
+        bin_size=st.integers(1, 50),
+    )
+    def test_property_index_round_trip(self, low, width, bin_size):
+        domain = IntegerDomain(low, low + width, bin_size=bin_size)
+        for idx in range(domain.size):
+            value = domain.value_of(idx)
+            assert domain.index_of(value) == idx
+
+
+class TestAttribute:
+    def test_domain_size(self):
+        attr = Attribute("age", IntegerDomain(0, 9))
+        assert attr.domain_size == 10
+
+    @pytest.mark.parametrize("bad", ["", "1abc", "a b"])
+    def test_rejects_bad_names(self, bad):
+        with pytest.raises(SchemaError):
+            Attribute(bad, IntegerDomain(0, 1))
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema([
+            Attribute("age", IntegerDomain(0, 9)),
+            Attribute("color", CategoricalDomain(["r", "g"])),
+        ])
+
+    def test_names_and_iteration(self):
+        schema = self._schema()
+        assert schema.names == ("age", "color")
+        assert len(schema) == 2
+        assert [a.name for a in schema] == ["age", "color"]
+
+    def test_contains_and_lookup(self):
+        schema = self._schema()
+        assert "age" in schema
+        assert "nope" not in schema
+        assert schema.attribute("color").domain_size == 2
+        assert schema.domain("age").size == 10
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            self._schema().attribute("nope")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a", IntegerDomain(0, 1)),
+                    Attribute("a", IntegerDomain(0, 1))])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Schema([])

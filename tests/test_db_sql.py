@@ -1,0 +1,222 @@
+"""Tests for the SQL front end: lexer, parser, executor, database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Attribute, CategoricalDomain, IntegerDomain, Schema
+from repro.db.sql.ast import Aggregate, Between, Comparison, InList
+from repro.db.sql.lexer import TokenType, tokenize
+from repro.db.sql.parser import parse
+from repro.db.table import Table
+from repro.exceptions import SQLError
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_numbers(self):
+        tokens = tokenize("42 -7 3.5")
+        assert [t.value for t in tokens[:-1]] == ["42", "-7", "3.5"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_strings(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLError):
+            tokenize("'oops")
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("<= >= != <> = < >")
+        assert [t.value for t in tokens[:-1]] == ["<=", ">=", "!=", "<>", "=",
+                                                  "<", ">"]
+
+    def test_punctuation(self):
+        types = [t.type for t in tokenize("( ) , *")[:-1]]
+        assert types == [TokenType.LPAREN, TokenType.RPAREN, TokenType.COMMA,
+                         TokenType.STAR]
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("My_Col another1")
+        assert tokens[0].value == "My_Col"
+        assert tokens[1].value == "another1"
+
+    def test_bad_character(self):
+        with pytest.raises(SQLError):
+            tokenize("SELECT @")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+class TestParser:
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        assert stmt.table == "t"
+        assert stmt.aggregates == (Aggregate("COUNT", None),)
+        assert stmt.is_scalar()
+
+    def test_where_conjunction(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE a >= 3 AND b = 'x'")
+        assert stmt.predicate.conditions == (
+            Comparison("a", ">=", 3), Comparison("b", "=", "x"),
+        )
+
+    def test_between(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5")
+        assert stmt.predicate.conditions == (Between("a", 1, 5),)
+
+    def test_in_list(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE c IN (1, 2, 3)")
+        assert stmt.predicate.conditions == (InList("c", (1, 2, 3)),)
+
+    def test_group_by(self):
+        stmt = parse("SELECT color, COUNT(*) FROM t GROUP BY color")
+        assert stmt.group_by == ("color",)
+        assert not stmt.is_scalar()
+
+    def test_group_by_multiple_keys(self):
+        stmt = parse("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert stmt.group_by == ("a", "b")
+
+    def test_sum_and_avg(self):
+        assert parse("SELECT SUM(x) FROM t").aggregates[0].func == "SUM"
+        assert parse("SELECT AVG(x) FROM t").aggregates[0].func == "AVG"
+
+    def test_alias_is_accepted(self):
+        stmt = parse("SELECT COUNT(*) AS n FROM t")
+        assert stmt.aggregates[0].func == "COUNT"
+
+    def test_neq_normalised(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE a <> 3")
+        assert stmt.predicate.conditions[0].op == "!="
+
+    def test_bare_column_without_group_by_rejected(self):
+        with pytest.raises(SQLError):
+            parse("SELECT color, COUNT(*) FROM t")
+
+    def test_missing_from(self):
+        with pytest.raises(SQLError):
+            parse("SELECT COUNT(*) t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLError):
+            parse("SELECT COUNT(*) FROM t LIMIT 5")
+
+    def test_requires_aggregate(self):
+        with pytest.raises(SQLError):
+            parse("SELECT a FROM t GROUP BY a")
+
+    def test_float_literal(self):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE a >= 3.5")
+        assert stmt.predicate.conditions[0].value == pytest.approx(3.5)
+
+
+# ---------------------------------------------------------------------------
+# Executor + Database
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def db():
+    schema = Schema([
+        Attribute("age", IntegerDomain(0, 9)),
+        Attribute("color", CategoricalDomain(["r", "g", "b"])),
+        Attribute("score", IntegerDomain(0, 100)),
+    ])
+    table = Table.from_values(schema, {
+        "age": [1, 3, 3, 7, 9],
+        "color": ["r", "g", "g", "b", "r"],
+        "score": [10, 20, 30, 40, 50],
+    })
+    return Database({"t": table})
+
+
+class TestExecutor:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 5
+
+    def test_count_with_range(self, db):
+        sql = "SELECT COUNT(*) FROM t WHERE age BETWEEN 2 AND 7"
+        assert db.execute(sql).scalar() == 3
+
+    def test_count_with_equality_on_categorical(self, db):
+        assert db.execute("SELECT COUNT(*) FROM t WHERE color = 'g'").scalar() == 2
+
+    def test_in_list(self, db):
+        sql = "SELECT COUNT(*) FROM t WHERE color IN ('r', 'b')"
+        assert db.execute(sql).scalar() == 3
+
+    def test_sum(self, db):
+        assert db.execute("SELECT SUM(score) FROM t").scalar() == 150
+
+    def test_avg(self, db):
+        assert db.execute("SELECT AVG(score) FROM t").scalar() == 30
+
+    def test_min_max(self, db):
+        assert db.execute("SELECT MIN(score) FROM t").scalar() == 10
+        assert db.execute("SELECT MAX(score) FROM t").scalar() == 50
+
+    def test_conjunction(self, db):
+        sql = "SELECT COUNT(*) FROM t WHERE age >= 3 AND color = 'g'"
+        assert db.execute(sql).scalar() == 2
+
+    def test_empty_result_sum_is_zero(self, db):
+        sql = "SELECT SUM(score) FROM t WHERE age > 9"
+        assert db.execute(sql).scalar() == 0.0
+
+    def test_group_by_counts(self, db):
+        result = db.execute("SELECT color, COUNT(*) FROM t GROUP BY color")
+        assert result.as_dict() == {"r": 2, "g": 2, "b": 1}
+
+    def test_group_by_only_active_domain(self, db):
+        result = db.execute(
+            "SELECT color, COUNT(*) FROM t WHERE age <= 3 GROUP BY color"
+        )
+        # 'b' has no rows under the predicate: standard SQL omits the group.
+        assert result.as_dict() == {"r": 1, "g": 2}
+
+    def test_group_by_sum(self, db):
+        result = db.execute("SELECT color, SUM(score) FROM t GROUP BY color")
+        assert result.as_dict() == {"r": 60, "g": 50, "b": 40}
+
+    def test_ordering_on_categorical_rejected(self, db):
+        with pytest.raises(SQLError):
+            db.execute("SELECT COUNT(*) FROM t WHERE color > 'a'")
+
+    def test_sum_on_categorical_rejected(self, db):
+        with pytest.raises(SQLError):
+            db.execute("SELECT SUM(color) FROM t")
+
+    def test_scalar_on_grouped_result_rejected(self, db):
+        result = db.execute("SELECT color, COUNT(*) FROM t GROUP BY color")
+        with pytest.raises(SQLError):
+            result.scalar()
+
+
+class TestDatabase:
+    def test_unknown_table(self, db):
+        with pytest.raises(SQLError):
+            db.execute("SELECT COUNT(*) FROM missing")
+
+    def test_register_duplicate(self, db):
+        with pytest.raises(SQLError):
+            db.register("t", db.table("t"))
+
+    def test_table_names(self, db):
+        assert db.table_names == ("t",)
+
+    def test_executes_parsed_statement(self, db):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        assert db.execute(stmt).scalar() == 5

@@ -1,0 +1,89 @@
+"""Round-trip tests for the SQL unparser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.sql.ast import (
+    Aggregate,
+    Between,
+    Comparison,
+    InList,
+    Predicate,
+    SelectStatement,
+)
+from repro.db.sql.parser import parse
+from repro.db.sql.unparse import to_sql
+
+EXAMPLES = [
+    "SELECT COUNT(*) FROM t",
+    "SELECT COUNT(*) FROM t WHERE a >= 3",
+    "SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND b = 'x'",
+    "SELECT SUM(x) FROM t WHERE c IN (1, 2, 3)",
+    "SELECT AVG(x) FROM t WHERE name = 'O''Brien'",
+    "SELECT color, COUNT(*) FROM t GROUP BY color",
+    "SELECT a, b, SUM(x) FROM t WHERE a != 0 GROUP BY a, b",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", EXAMPLES)
+    def test_parse_unparse_parse_fixed_point(self, sql):
+        statement = parse(sql)
+        rendered = to_sql(statement)
+        assert parse(rendered) == statement
+
+    def test_string_escaping(self):
+        stmt = SelectStatement(
+            (Aggregate("COUNT", None),), "t",
+            Predicate((Comparison("name", "=", "a'b"),)),
+        )
+        assert parse(to_sql(stmt)) == stmt
+
+
+_idents = st.sampled_from(["a", "b", "col1", "x_y"])
+_numbers = st.integers(-1000, 1000)
+_strings = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           whitelist_characters=" _'"),
+    max_size=8,
+)
+_literals = st.one_of(_numbers, _strings)
+
+
+def _conditions():
+    comparison = st.builds(
+        Comparison, column=_idents,
+        op=st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        value=_literals,
+    )
+    between = st.builds(Between, column=_idents, low=_numbers, high=_numbers)
+    in_list = st.builds(
+        InList, column=_idents,
+        values=st.lists(_literals, min_size=1, max_size=4).map(tuple),
+    )
+    return st.one_of(comparison, between, in_list)
+
+
+_statements = st.builds(
+    SelectStatement,
+    aggregates=st.tuples(st.one_of(
+        st.just(Aggregate("COUNT", None)),
+        st.builds(Aggregate, func=st.sampled_from(["SUM", "AVG", "MIN", "MAX"]),
+                  column=_idents),
+    )),
+    table=st.sampled_from(["t", "lineitem"]),
+    predicate=st.builds(
+        Predicate,
+        conditions=st.lists(_conditions(), max_size=3).map(tuple),
+    ),
+)
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(statement=_statements)
+    def test_property_fixed_point(self, statement):
+        assert parse(to_sql(statement)) == statement

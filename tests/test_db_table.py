@@ -1,0 +1,106 @@
+"""Tests for the columnar Table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.schema import Attribute, CategoricalDomain, IntegerDomain, Schema
+from repro.db.table import Table
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        Attribute("age", IntegerDomain(0, 9)),
+        Attribute("color", CategoricalDomain(["r", "g", "b"])),
+    ])
+
+
+@pytest.fixture
+def table(schema):
+    return Table.from_values(schema, {
+        "age": [1, 3, 3, 7],
+        "color": ["r", "g", "g", "b"],
+    })
+
+
+class TestConstruction:
+    def test_from_values_encodes_categoricals(self, table):
+        assert table.column("color").tolist() == [0, 1, 1, 2]
+
+    def test_decoded_restores_values(self, table):
+        assert table.decoded("color").tolist() == ["r", "g", "g", "b"]
+        assert table.decoded("age").tolist() == [1, 3, 3, 7]
+
+    def test_num_rows(self, table):
+        assert table.num_rows == 4
+        assert len(table) == 4
+
+    def test_missing_column(self, schema):
+        with pytest.raises(SchemaError):
+            Table(schema, {"age": np.array([1])})
+
+    def test_extra_column(self, schema):
+        with pytest.raises(SchemaError):
+            Table(schema, {"age": np.array([1]), "color": np.array([0]),
+                           "bogus": np.array([1])})
+
+    def test_mismatched_lengths(self, schema):
+        with pytest.raises(SchemaError):
+            Table(schema, {"age": np.array([1, 2]), "color": np.array([0])})
+
+    def test_rejects_2d_columns(self, schema):
+        with pytest.raises(SchemaError):
+            Table(schema, {"age": np.zeros((2, 2)), "color": np.array([0, 1])})
+
+    def test_unknown_column_lookup(self, table):
+        with pytest.raises(SchemaError):
+            table.column("nope")
+
+
+class TestFilter:
+    def test_filter_rows(self, table):
+        filtered = table.filter(np.array([True, False, True, False]))
+        assert filtered.num_rows == 2
+        assert filtered.decoded("age").tolist() == [1, 3]
+
+    def test_filter_wrong_length(self, table):
+        with pytest.raises(SchemaError):
+            table.filter(np.array([True]))
+
+
+class TestHistogram:
+    def test_one_way(self, table):
+        hist = table.histogram(["color"])
+        assert hist.tolist() == [1, 2, 1]
+
+    def test_two_way_shape_and_total(self, table):
+        hist = table.histogram(["age", "color"])
+        assert hist.shape == (10, 3)
+        assert hist.sum() == 4
+        assert hist[3, 1] == 2  # two rows with age=3, color=g
+
+    def test_empty_table(self, schema):
+        empty = Table.from_values(schema, {"age": [], "color": []})
+        hist = empty.histogram(["age"])
+        assert hist.sum() == 0
+        assert hist.shape == (10,)
+
+    def test_requires_attributes(self, table):
+        with pytest.raises(SchemaError):
+            table.histogram([])
+
+    @settings(max_examples=25, deadline=None)
+    @given(ages=st.lists(st.integers(0, 9), max_size=200))
+    def test_property_histogram_preserves_mass(self, ages):
+        schema = Schema([Attribute("age", IntegerDomain(0, 9))])
+        table = Table.from_values(schema, {"age": ages})
+        hist = table.histogram(["age"])
+        assert hist.sum() == len(ages)
+        # Each bin equals the direct count.
+        for value in range(10):
+            assert hist[value] == ages.count(value)

@@ -1,0 +1,108 @@
+"""Tests for the RDP and zCDP accountants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dp.gaussian import analytic_gaussian_sigma
+from repro.dp.rdp import DEFAULT_ORDERS, RdpAccountant, gaussian_rdp, rdp_to_approx_dp
+from repro.dp.zcdp import (
+    ZCdpAccountant,
+    rho_for_epsilon,
+    rho_from_sigma,
+    zcdp_to_approx_dp,
+)
+
+
+class TestGaussianRdp:
+    def test_formula(self):
+        assert gaussian_rdp(2.0, sigma=1.0) == pytest.approx(1.0)
+        assert gaussian_rdp(2.0, sigma=2.0) == pytest.approx(0.25)
+
+    def test_scales_with_sensitivity_squared(self):
+        assert gaussian_rdp(2.0, 1.0, sensitivity=3.0) == pytest.approx(9.0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_rdp(2.0, 0.0)
+
+
+class TestRdpAccountant:
+    def test_empty_accountant_has_zero_epsilon(self):
+        assert RdpAccountant().epsilon(1e-9) == 0.0
+
+    def test_composition_is_additive_per_order(self):
+        one = RdpAccountant()
+        one.record_gaussian(2.0)
+        two = RdpAccountant()
+        two.record_gaussian(2.0)
+        two.record_gaussian(2.0)
+        # Two identical releases double the curve -> epsilon grows sublinearly.
+        assert two.epsilon(1e-9) < 2 * one.epsilon(1e-9) + 1e-9
+        assert two.epsilon(1e-9) > one.epsilon(1e-9)
+
+    def test_tighter_than_basic_for_many_releases(self):
+        delta = 1e-9
+        eps_single = 0.1
+        sigma = analytic_gaussian_sigma(eps_single, delta)
+        accountant = RdpAccountant()
+        k = 200
+        for _ in range(k):
+            accountant.record_gaussian(sigma)
+        assert accountant.epsilon(delta) < k * eps_single
+
+    def test_release_count(self):
+        accountant = RdpAccountant()
+        accountant.record_gaussian(1.0)
+        accountant.record_gaussian(1.0)
+        assert accountant.releases == 2
+
+    def test_rejects_orders_at_most_one(self):
+        with pytest.raises(ValueError):
+            RdpAccountant(orders=[1.0, 2.0])
+
+    def test_conversion_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            rdp_to_approx_dp(DEFAULT_ORDERS, [0.1] * len(DEFAULT_ORDERS), 0.0)
+
+
+class TestZCdp:
+    def test_rho_from_sigma(self):
+        assert rho_from_sigma(1.0) == pytest.approx(0.5)
+        assert rho_from_sigma(2.0) == pytest.approx(0.125)
+
+    def test_conversion_formula(self):
+        rho, delta = 0.1, 1e-9
+        expected = rho + 2 * math.sqrt(rho * math.log(1 / delta))
+        assert zcdp_to_approx_dp(rho, delta) == pytest.approx(expected)
+
+    def test_rho_for_epsilon_round_trip(self):
+        eps, delta = 1.5, 1e-9
+        rho = rho_for_epsilon(eps, delta)
+        assert zcdp_to_approx_dp(rho, delta) == pytest.approx(eps, rel=1e-9)
+
+    def test_accountant_accumulates(self):
+        acc = ZCdpAccountant()
+        acc.record_gaussian(1.0)
+        acc.record_rho(0.25)
+        assert acc.rho == pytest.approx(0.75)
+        assert acc.releases == 2
+
+    def test_empty_accountant_zero(self):
+        assert ZCdpAccountant().epsilon(1e-9) == 0.0
+
+    def test_tighter_than_basic_for_many_releases(self):
+        delta = 1e-9
+        eps_single = 0.1
+        sigma = analytic_gaussian_sigma(eps_single, delta)
+        acc = ZCdpAccountant()
+        k = 200
+        for _ in range(k):
+            acc.record_gaussian(sigma)
+        assert acc.epsilon(delta) < k * eps_single
+
+    def test_record_rho_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ZCdpAccountant().record_rho(-0.1)

@@ -1,0 +1,125 @@
+"""Tests for composition theorems and the PrivacyLoss algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.composition import (
+    PrivacyLoss,
+    ZERO_LOSS,
+    advanced_composition,
+    basic_composition,
+    best_epsilon_for_delta,
+    kairouz_composition,
+)
+
+
+class TestPrivacyLoss:
+    def test_addition(self):
+        total = PrivacyLoss(0.5, 1e-9) + PrivacyLoss(0.3, 1e-9)
+        assert total.epsilon == pytest.approx(0.8)
+        assert total.delta == pytest.approx(2e-9)
+
+    def test_delta_saturates_at_one(self):
+        total = PrivacyLoss(1.0, 0.7) + PrivacyLoss(1.0, 0.7)
+        assert total.delta == 1.0
+
+    def test_sum_builtin(self):
+        losses = [PrivacyLoss(0.1), PrivacyLoss(0.2), PrivacyLoss(0.3)]
+        assert sum(losses).epsilon == pytest.approx(0.6)
+
+    def test_ordering(self):
+        assert PrivacyLoss(0.1) < PrivacyLoss(0.2)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            PrivacyLoss(-0.1)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            PrivacyLoss(0.1, 1.5)
+
+
+class TestBasicComposition:
+    def test_empty_is_zero(self):
+        assert basic_composition([]) == ZERO_LOSS
+
+    def test_matches_theorem_2_1(self):
+        total = basic_composition([PrivacyLoss(0.5, 1e-9),
+                                   PrivacyLoss(0.7, 2e-9)])
+        assert total.epsilon == pytest.approx(1.2)
+        assert total.delta == pytest.approx(3e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=2.0), max_size=20))
+    def test_property_epsilon_is_sum(self, epsilons):
+        total = basic_composition([PrivacyLoss(e) for e in epsilons])
+        assert total.epsilon == pytest.approx(sum(epsilons))
+
+
+class TestAdvancedComposition:
+    def test_zero_k(self):
+        assert advanced_composition(0.1, 1e-9, 0, 1e-6) == ZERO_LOSS
+
+    def test_beats_basic_for_many_small_losses(self):
+        k, eps = 1000, 0.01
+        advanced = advanced_composition(eps, 0.0, k, delta_slack=1e-6)
+        assert advanced.epsilon < k * eps
+
+    def test_delta_accounts_slack(self):
+        result = advanced_composition(0.1, 1e-9, 10, delta_slack=1e-6)
+        assert result.delta == pytest.approx(10 * 1e-9 + 1e-6)
+
+    def test_rejects_bad_slack(self):
+        with pytest.raises(ValueError):
+            advanced_composition(0.1, 1e-9, 10, delta_slack=0.0)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            advanced_composition(0.1, 1e-9, -1, delta_slack=1e-6)
+
+
+class TestKairouzComposition:
+    def test_first_member_is_basic(self):
+        results = kairouz_composition(0.1, 1e-9, 5)
+        assert results[0].epsilon == pytest.approx(0.5)
+
+    def test_returns_floor_k_half_plus_one_members(self):
+        assert len(kairouz_composition(0.1, 0.0, 7)) == 4
+
+    def test_epsilons_decrease_with_i(self):
+        results = kairouz_composition(0.2, 0.0, 10)
+        eps = [r.epsilon for r in results]
+        assert eps == sorted(eps, reverse=True)
+
+    def test_deltas_increase_with_i(self):
+        results = kairouz_composition(0.2, 0.0, 10)
+        deltas = [r.delta for r in results]
+        assert deltas == sorted(deltas)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            kairouz_composition(0.1, 0.0, 0)
+
+    def test_valid_guarantee_against_basic(self):
+        # Any member with small enough delta must not claim less epsilon than
+        # the optimal composition can (sanity: i=0 equals basic, others trade
+        # epsilon for delta).
+        results = kairouz_composition(0.5, 0.0, 4)
+        for loss in results:
+            assert loss.epsilon <= 4 * 0.5 + 1e-12
+            assert 0.0 <= loss.delta <= 1.0
+
+
+class TestBestEpsilonForDelta:
+    def test_picks_smallest_feasible(self):
+        candidates = [PrivacyLoss(2.0, 1e-9), PrivacyLoss(1.0, 1e-3),
+                      PrivacyLoss(0.5, 0.5)]
+        best = best_epsilon_for_delta(candidates, delta_budget=1e-2)
+        assert best.epsilon == pytest.approx(1.0)
+
+    def test_raises_when_infeasible(self):
+        with pytest.raises(ValueError):
+            best_epsilon_for_delta([PrivacyLoss(1.0, 0.9)], delta_budget=1e-9)

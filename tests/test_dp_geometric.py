@@ -1,0 +1,77 @@
+"""Tests for the two-sided geometric (discrete Laplace) mechanism."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.geometric import (
+    GeometricMechanism,
+    geometric_parameter,
+    geometric_variance,
+)
+
+
+class TestParameters:
+    def test_alpha_formula(self):
+        assert geometric_parameter(1.0) == pytest.approx(math.exp(-1.0))
+        assert geometric_parameter(2.0, sensitivity=2.0) == \
+            pytest.approx(math.exp(-1.0))
+
+    def test_variance_formula(self):
+        alpha = math.exp(-1.0)
+        assert geometric_variance(1.0) == pytest.approx(
+            2 * alpha / (1 - alpha) ** 2
+        )
+
+    def test_more_budget_less_noise(self):
+        variances = [geometric_variance(e) for e in (0.1, 0.5, 1.0, 2.0)]
+        assert variances == sorted(variances, reverse=True)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            geometric_parameter(0.0)
+        with pytest.raises(ValueError):
+            geometric_parameter(1.0, sensitivity=-1.0)
+
+
+class TestMechanism:
+    def test_outputs_are_integers(self, rng):
+        mech = GeometricMechanism(epsilon=1.0)
+        out = mech.release(np.array([10, 20, 30]), rng)
+        assert np.issubdtype(out.dtype, np.integer)
+
+    def test_empirical_variance(self, rng):
+        mech = GeometricMechanism(epsilon=0.5)
+        noise = mech.sample_noise(200000, rng)
+        assert float(noise.var()) == pytest.approx(mech.variance, rel=0.05)
+
+    def test_noise_is_symmetric(self, rng):
+        mech = GeometricMechanism(epsilon=0.5)
+        noise = mech.sample_noise(200000, rng)
+        assert abs(float(noise.mean())) < 0.05
+
+    def test_privacy_ratio_on_support(self, rng):
+        """Empirical check of the eps-DP likelihood ratio on a dense range."""
+        mech = GeometricMechanism(epsilon=1.0)
+        noise = mech.sample_noise(400000, rng)
+        values, counts = np.unique(noise, return_counts=True)
+        freq = dict(zip(values.tolist(), (counts / counts.sum()).tolist()))
+        # Neighbouring outputs k, k+1 must differ by at most e^eps (approx).
+        for k in range(-3, 3):
+            if k in freq and k + 1 in freq and freq[k + 1] > 1e-4:
+                ratio = freq[k] / freq[k + 1]
+                assert ratio <= math.e * 1.15
+                assert ratio >= 1 / (math.e * 1.15) / math.e  # loose lower
+
+    def test_accepts_integral_floats(self, rng):
+        mech = GeometricMechanism(epsilon=1.0)
+        out = mech.release(np.array([10.0, 20.0]), rng)
+        assert out.dtype == np.int64
+
+    def test_rejects_fractional_values(self, rng):
+        mech = GeometricMechanism(epsilon=1.0)
+        with pytest.raises(ValueError):
+            mech.release(np.array([1.5]), rng)

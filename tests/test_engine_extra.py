@@ -1,0 +1,118 @@
+"""Additional engine edge cases: epsilon-mode GROUP BY, view registration,
+clipped SUM compilation, cross-table bundles."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Analyst, DProvDB, ReproError
+from repro.datasets.base import DatasetBundle
+from repro.db.sql.parser import parse
+
+
+@pytest.fixture
+def engine(adult_bundle):
+    return DProvDB(adult_bundle, [Analyst("a", 5)], epsilon=3.2, seed=6)
+
+
+class TestGroupByEpsilonMode:
+    def test_group_by_with_epsilon(self, engine):
+        results = engine.submit_group_by(
+            "a", "SELECT sex, COUNT(*) FROM adult GROUP BY sex",
+            epsilon=0.5,
+        )
+        assert len(results) == 2
+        charged = sum(answer.epsilon_charged for _, answer in results)
+        assert charged <= 0.5 * (1 + 1e-3)
+
+    def test_group_by_requires_one_mode(self, engine):
+        with pytest.raises(ReproError):
+            engine.submit_group_by(
+                "a", "SELECT sex, COUNT(*) FROM adult GROUP BY sex",
+            )
+
+
+class TestViewRegistration:
+    def test_duplicate_view_rejected(self, engine):
+        engine.register_view(("age", "sex"))
+        with pytest.raises(Exception):
+            engine.register_view(("age", "sex"))
+
+    def test_registered_view_gets_water_filling_constraint(self, engine):
+        name = engine.register_view(("age", "sex"))
+        assert engine.constraints.view_limit(name) == pytest.approx(3.2)
+
+    def test_explicit_view_constraint(self, engine):
+        name = engine.register_view(("race", "sex"), constraint=0.7)
+        assert engine.constraints.view_limit(name) == pytest.approx(0.7)
+
+    def test_hierarchical_constraint(self, engine):
+        name = engine.register_hierarchical_view("hours_per_week")
+        assert engine.constraints.view_limit(name) == pytest.approx(3.2)
+
+    def test_new_view_usable_immediately(self, engine):
+        engine.register_view(("age", "sex"))
+        answer = engine.submit(
+            "a",
+            "SELECT COUNT(*) FROM adult WHERE age >= 40 AND sex = 'male'",
+            accuracy=40000.0,
+        )
+        assert answer.view_name == "adult.age_sex"
+
+
+class TestClippedSum:
+    def test_clip_through_registry(self, adult_bundle):
+        from repro.views.registry import ViewRegistry
+
+        registry = ViewRegistry(adult_bundle.database)
+        registry.add_attribute_views("adult", ("hours_per_week",))
+        stmt = parse("SELECT SUM(hours_per_week) FROM adult")
+        view, clipped = registry.compile(stmt, clip=(0.0, 40.0))
+        _, unclipped = registry.compile(stmt)
+        exact = registry.exact_values(view.name)
+        assert clipped.answer(exact) < unclipped.answer(exact)
+        # The clipped answer equals the manual clipped sum.
+        hours = adult_bundle.database.table("adult").decoded("hours_per_week")
+        manual = float(sum(min(h, 40.0) for h in hours))
+        assert clipped.answer(exact) == pytest.approx(manual)
+
+
+class TestOrdersTableBundle:
+    def test_engine_over_secondary_table(self, tpch_bundle):
+        """A bundle can target any relation — here the TPC-H orders table."""
+        orders_bundle = DatasetBundle(
+            name="tpch", database=tpch_bundle.database, fact_table="orders",
+            view_attributes=("orderstatus", "orderpriority", "orderdate",
+                             "totalprice"),
+        )
+        engine = DProvDB(orders_bundle, [Analyst("a", 5)], epsilon=3.2,
+                         seed=6)
+        sql = "SELECT COUNT(*) FROM orders WHERE orderdate BETWEEN 0 AND 41"
+        exact = tpch_bundle.database.execute(sql).scalar()
+        answer = engine.submit("a", sql, accuracy=40000.0)
+        assert abs(answer.value - exact) < 6 * math.sqrt(40000.0)
+
+    def test_group_by_on_orders(self, tpch_bundle):
+        orders_bundle = DatasetBundle(
+            name="tpch", database=tpch_bundle.database, fact_table="orders",
+            view_attributes=("orderstatus",),
+        )
+        engine = DProvDB(orders_bundle, [Analyst("a", 5)], epsilon=3.2,
+                         seed=6)
+        results = engine.submit_group_by(
+            "a", "SELECT orderstatus, COUNT(*) FROM orders "
+                 "GROUP BY orderstatus",
+            accuracy=40000.0,
+        )
+        assert [key for key, _ in results] == [("O",), ("F",), ("P",)]
+
+
+class TestQuoteEpsilonMode:
+    def test_quote_with_epsilon(self, engine):
+        quoted = engine.quote(
+            "a", "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40",
+            epsilon=0.4,
+        )
+        assert 0 < quoted <= 0.4 * (1 + 1e-3)

@@ -1,0 +1,56 @@
+"""Tests for the RQ1 collusion and scalability experiment modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.collusion import format_collusion, run_collusion
+from repro.experiments.scalability import format_scalability, run_scalability
+
+ROWS = 3000
+
+
+class TestCollusionExperiment:
+    def test_structure_and_bounds(self):
+        cells = run_collusion(analyst_counts=(2, 3), epsilon=20.0,
+                              queries_per_analyst=12, num_rows=ROWS, seed=0)
+        assert len(cells) == 4  # 2 counts x 2 mechanisms
+        for cell in cells:
+            # The realised bound sits within the theoretical envelope.
+            assert cell.collusion_bound <= cell.sum_rows + 1e-9
+            if cell.mechanism == "vanilla":
+                assert cell.collusion_bound == pytest.approx(cell.sum_rows)
+
+    def test_additive_below_vanilla(self):
+        cells = run_collusion(analyst_counts=(3,), epsilon=20.0,
+                              queries_per_analyst=12, num_rows=ROWS, seed=0)
+        additive = next(c for c in cells if c.mechanism == "dprovdb")
+        vanilla = next(c for c in cells if c.mechanism == "vanilla")
+        assert additive.collusion_bound < vanilla.collusion_bound
+
+    def test_formatting(self):
+        cells = run_collusion(analyst_counts=(2,), epsilon=20.0,
+                              queries_per_analyst=6, num_rows=ROWS, seed=0)
+        report = format_collusion(cells)
+        assert "lower bound" in report and "upper bound" in report
+
+
+class TestScalabilityExperiment:
+    def test_rows_and_matrix_shapes(self):
+        rows = run_scalability(analyst_counts=(2, 4),
+                               queries_per_analyst=8, num_rows=ROWS, seed=0)
+        assert [r.num_analysts for r in rows] == [2, 4]
+        assert rows[1].matrix_entries == 2 * rows[0].matrix_entries
+        for r in rows:
+            assert 0 <= r.nonzero_entries <= r.matrix_entries
+            assert r.per_query_ms >= 0
+
+    def test_formatting(self):
+        rows = run_scalability(analyst_counts=(2,), queries_per_analyst=4,
+                               num_rows=ROWS, seed=0)
+        assert "provenance scalability" in format_scalability(rows)
+
+    def test_vanilla_mechanism_supported(self):
+        rows = run_scalability(analyst_counts=(2,), mechanism="vanilla",
+                               queries_per_analyst=4, num_rows=ROWS, seed=0)
+        assert rows[0].mechanism == "vanilla"

@@ -1,0 +1,100 @@
+"""Seeded fuzz tests: system invariants under random adaptive workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Analyst, DProvDB
+from repro.db.sql.parser import parse
+from repro.views.transform import is_answerable, transform
+from repro.workloads.rrq import ordered_attributes
+
+
+def random_query(bundle, rng):
+    """A random counting range query over a random ordered attribute."""
+    schema = bundle.database.table(bundle.fact_table).schema
+    attributes = ordered_attributes(bundle)
+    attr = attributes[int(rng.integers(0, len(attributes)))]
+    domain = schema.domain(attr)
+    low = int(rng.integers(domain.low, domain.high + 1))
+    high = int(rng.integers(low, domain.high + 1))
+    return (f"SELECT COUNT(*) FROM {bundle.fact_table} "
+            f"WHERE {attr} BETWEEN {low} AND {high}")
+
+
+@pytest.mark.parametrize("mechanism", ["vanilla", "additive", "vanilla_zcdp"])
+@pytest.mark.parametrize("fuzz_seed", [11, 37])
+def test_invariants_under_random_workload(adult_bundle, mechanism, fuzz_seed):
+    """Whatever the workload does, no constraint is ever exceeded and every
+    answered query meets its accuracy requirement."""
+    rng = np.random.default_rng(fuzz_seed)
+    analysts = [Analyst("a1", 1), Analyst("a2", 3), Analyst("a3", 7)]
+    epsilon = 1.2
+    engine = DProvDB(adult_bundle, analysts, epsilon, mechanism=mechanism,
+                     seed=fuzz_seed)
+
+    for _ in range(150):
+        sql = random_query(adult_bundle, rng)
+        analyst = analysts[int(rng.integers(0, 3))].name
+        accuracy = float(10 ** rng.uniform(3.0, 6.0))
+        answer = engine.try_submit(analyst, sql, accuracy=accuracy)
+        if answer is not None:
+            assert answer.answer_variance <= accuracy * (1 + 1e-6)
+            assert answer.epsilon_charged >= 0.0
+
+    # Row constraints: the epsilon-sum ledger for basic composition, the
+    # converted zCDP loss for the zCDP-checked mechanism (whose eps-sum
+    # ledger may legitimately exceed the limit).
+    for analyst in analysts:
+        if mechanism == "vanilla_zcdp":
+            consumed = engine.mechanism.analyst_consumed(analyst.name)
+        else:
+            consumed = engine.provenance.row_total(analyst.name)
+        assert consumed <= \
+            engine.constraints.analyst_limit(analyst.name) + 1e-9
+    # Collusion never exceeds the table constraint.
+    assert engine.collusion_bound() <= epsilon + 1e-9
+    # Provenance entries are non-negative and monotone by construction.
+    assert (engine.provenance_matrix() >= 0).all()
+
+
+@pytest.mark.parametrize("fuzz_seed", [5, 23])
+def test_view_answers_match_sql_exactly(adult_bundle, fuzz_seed):
+    """Exact view transformation == SQL executor, for random predicates."""
+    rng = np.random.default_rng(fuzz_seed)
+    from repro.views.registry import ViewRegistry
+
+    registry = ViewRegistry(adult_bundle.database)
+    registry.add_attribute_views(adult_bundle.fact_table,
+                                 adult_bundle.view_attributes)
+    for _ in range(60):
+        sql = random_query(adult_bundle, rng)
+        statement = parse(sql)
+        view, query = registry.compile(statement)
+        via_view = query.answer(registry.exact_values(view.name))
+        via_sql = adult_bundle.database.execute(statement).scalar()
+        assert via_view == pytest.approx(via_sql)
+
+
+def test_additive_cache_state_is_consistent(adult_bundle):
+    """After any mix of operations, every local synopsis's variance is at
+    least its view's global variance, and tracked epsilons are consistent."""
+    rng = np.random.default_rng(3)
+    analysts = [Analyst("x", 2), Analyst("y", 5)]
+    engine = DProvDB(adult_bundle, analysts, 2.0, seed=3)
+    for _ in range(80):
+        sql = random_query(adult_bundle, rng)
+        analyst = analysts[int(rng.integers(0, 2))].name
+        engine.try_submit(analyst, sql,
+                          accuracy=float(10 ** rng.uniform(3.5, 5.5)))
+    store = engine.mechanism.store
+    for analyst_name, view_name in store.local_keys:
+        local = store.local_synopsis(analyst_name, view_name)
+        global_syn = store.global_synopsis(view_name)
+        assert global_syn is not None
+        assert local.variance >= global_syn.variance - 1e-9
+        assert local.epsilon <= global_syn.epsilon + 1e-9
+        # Provenance entry capped by the global budget (Alg. 4 accounting).
+        assert engine.provenance.get(analyst_name, view_name) <= \
+            global_syn.epsilon + 1e-9

@@ -1,0 +1,168 @@
+"""Cross-module integration tests: the paper's guarantees, end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Analyst, DProvDB
+from repro.core.policies import build_constraints
+from repro.dp.zcdp import ZCdpAccountant
+from repro.workloads.rrq import generate_rrq
+from repro.workloads.scheduler import interleave_round_robin
+
+
+def exhaust(engine, items):
+    """Feed a workload; return per-analyst answered counts."""
+    answered: dict[str, int] = {}
+    for item in items:
+        if engine.try_submit(item.analyst, item.sql,
+                             accuracy=item.accuracy) is not None:
+            answered[item.analyst] = answered.get(item.analyst, 0) + 1
+    return answered
+
+
+@pytest.mark.parametrize("mechanism", ["vanilla", "additive"])
+class TestTheorem57SystemPrivacy:
+    """Constraints are never exceeded, whatever the workload does."""
+
+    def test_row_constraints_hold(self, adult_bundle, analysts, mechanism):
+        epsilon = 1.0
+        engine = DProvDB(adult_bundle, analysts, epsilon,
+                         mechanism=mechanism, seed=3)
+        workload = generate_rrq(adult_bundle, analysts, 120,
+                                accuracy=5000.0, seed=3)
+        exhaust(engine, interleave_round_robin(workload))
+        for analyst in analysts:
+            assert engine.analyst_consumed(analyst.name) <= \
+                engine.constraints.analyst_limit(analyst.name) + 1e-9
+
+    def test_collusion_bounded_by_table_constraint(self, adult_bundle,
+                                                   analysts, mechanism):
+        epsilon = 1.0
+        engine = DProvDB(adult_bundle, analysts, epsilon,
+                         mechanism=mechanism, seed=3)
+        workload = generate_rrq(adult_bundle, analysts, 120,
+                                accuracy=5000.0, seed=3)
+        exhaust(engine, interleave_round_robin(workload))
+        assert engine.collusion_bound() <= epsilon + 1e-9
+
+    def test_view_budgets_bounded(self, adult_bundle, analysts, mechanism):
+        epsilon = 1.0
+        engine = DProvDB(adult_bundle, analysts, epsilon,
+                         mechanism=mechanism, seed=3)
+        workload = generate_rrq(adult_bundle, analysts, 120,
+                                accuracy=5000.0, seed=3)
+        exhaust(engine, interleave_round_robin(workload))
+        for view in engine.registry.view_names:
+            limit = engine.constraints.view_limit(view)
+            if mechanism == "vanilla":
+                assert engine.provenance.column_total(view) <= limit + 1e-9
+            else:
+                assert engine.provenance.column_max(view) <= limit + 1e-9
+                synopsis = engine.mechanism.store.global_synopsis(view)
+                if synopsis is not None:
+                    assert synopsis.epsilon <= limit + 1e-9
+
+
+class TestTheorem58Fairness:
+    """Budget consumption is proportional to privilege once budgets deplete."""
+
+    @pytest.mark.parametrize("mechanism", ["vanilla", "additive"])
+    def test_proportional_consumption_when_exhausted(self, adult_bundle,
+                                                     mechanism):
+        analysts = [Analyst("low", 2), Analyst("high", 4)]
+        epsilon = 0.8
+        engine = DProvDB(adult_bundle, analysts, epsilon,
+                         mechanism=mechanism, seed=11)
+        # A long demanding workload drives both analysts to their limits.
+        workload = generate_rrq(adult_bundle, analysts, 400,
+                                accuracy=2000.0, seed=11)
+        exhaust(engine, interleave_round_robin(workload))
+        low = engine.analyst_consumed("low")
+        high = engine.analyst_consumed("high")
+        low_limit = engine.constraints.analyst_limit("low")
+        high_limit = engine.constraints.analyst_limit("high")
+        # Both analysts nearly exhausted their assigned budgets...
+        assert low >= 0.7 * low_limit
+        assert high >= 0.7 * high_limit
+        # ... and the limits themselves are proportional to privilege.
+        assert low_limit / 2 == pytest.approx(high_limit / 4)
+
+
+class TestMultiAnalystDiscrepancy:
+    """Definition 5: different privilege -> discrepant answers."""
+
+    def test_lower_budget_analyst_sees_noisier_answer(self, adult_bundle):
+        analysts = [Analyst("low", 1), Analyst("high", 4)]
+        sql = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 25 AND 60"
+        exact = adult_bundle.database.execute(sql).scalar()
+        errors = {"low": [], "high": []}
+        for seed in range(30):
+            engine = DProvDB(adult_bundle, analysts, 4.0, seed=seed)
+            high = engine.submit("high", sql, accuracy=400.0)
+            low = engine.submit("low", sql, accuracy=90000.0)
+            errors["high"].append((high.value - exact) ** 2)
+            errors["low"].append((low.value - exact) ** 2)
+        assert np.mean(errors["low"]) > np.mean(errors["high"])
+
+    def test_answers_are_correlated_not_identical(self, adult_bundle):
+        """Additive GM: the low-budget answer = high-budget + extra noise."""
+        analysts = [Analyst("low", 1), Analyst("high", 4)]
+        sql = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 25 AND 60"
+        engine = DProvDB(adult_bundle, analysts, 4.0, seed=0)
+        high = engine.submit("high", sql, accuracy=400.0)
+        low = engine.submit("low", sql, accuracy=90000.0)
+        assert low.value != high.value
+        assert low.answer_variance > high.answer_variance
+
+
+class TestAccountantIntegration:
+    def test_zcdp_accountant_records_data_accesses(self, adult_bundle,
+                                                   analysts):
+        accountant = ZCdpAccountant()
+        engine = DProvDB(adult_bundle, analysts, 2.0, accountant=accountant,
+                         seed=0)
+        sql = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+        engine.submit("high", sql, accuracy=2500.0)
+        assert accountant.releases == 1
+        # Second analyst's local synopsis is post-processing: no new access.
+        engine.submit("low", sql, accuracy=2500.0)
+        assert accountant.releases == 1
+        # An accuracy upgrade requires a fresh delta synopsis.
+        engine.submit("high", sql, accuracy=400.0)
+        assert accountant.releases == 2
+        assert accountant.epsilon(1e-9) > 0
+
+    def test_vanilla_accountant_counts_every_synopsis(self, adult_bundle,
+                                                      analysts):
+        accountant = ZCdpAccountant()
+        engine = DProvDB(adult_bundle, analysts, 2.0, mechanism="vanilla",
+                         accountant=accountant, seed=0)
+        sql = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+        engine.submit("high", sql, accuracy=2500.0)
+        engine.submit("low", sql, accuracy=2500.0)
+        assert accountant.releases == 2
+
+
+class TestWaterFillingVsStatic:
+    """Def. 12's claim: dynamic allocation answers demanding queries that a
+    static split cannot."""
+
+    def test_water_filling_answers_above_static_share(self, adult_bundle,
+                                                      analysts):
+        epsilon = 1.0
+        num_views = len(adult_bundle.view_attributes)
+        static_share = epsilon / num_views
+        # A query needing more than the static per-view share:
+        sql = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+        demanding = 400.0  # requires eps well above static_share
+
+        dynamic = DProvDB(adult_bundle, analysts, epsilon, seed=0)
+        answer = dynamic.try_submit("high", sql, accuracy=demanding)
+        assert answer is not None
+        assert answer.epsilon_charged > static_share
+
+        from repro import SimulatedPrivateSQL
+        static = SimulatedPrivateSQL(adult_bundle, analysts, epsilon, seed=0)
+        assert static.try_submit("high", sql, accuracy=demanding) is None

@@ -1,0 +1,83 @@
+"""Tests for fairness and utility metrics."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.metrics.fairness import dcfg, ndcfg
+from repro.metrics.runtime import Stopwatch
+from repro.metrics.utility import mean_relative_error, relative_error
+
+
+class TestDcfg:
+    def test_example_7_mechanism_one(self):
+        """The paper's Example 7: M1 scores 15.13, nDCFG 1.16."""
+        answered = {"a1": 10, "a2": 3, "a3": 0}
+        privileges = {"a1": 1, "a2": 2, "a3": 4}
+        assert dcfg(answered, privileges) == pytest.approx(15.13, abs=0.01)
+        assert ndcfg(answered, privileges) == pytest.approx(1.16, abs=0.01)
+
+    def test_example_7_mechanism_two(self):
+        answered = {"a1": 2, "a2": 4, "a3": 7}
+        privileges = {"a1": 1, "a2": 2, "a3": 4}
+        assert dcfg(answered, privileges) == pytest.approx(30.58, abs=0.01)
+        assert ndcfg(answered, privileges) == pytest.approx(2.35, abs=0.01)
+
+    def test_higher_privilege_weighs_more(self):
+        privileges = {"lo": 1, "hi": 8}
+        to_low = dcfg({"lo": 10, "hi": 0}, privileges)
+        to_high = dcfg({"lo": 0, "hi": 10}, privileges)
+        assert to_high > to_low
+
+    def test_ndcfg_zero_when_nothing_answered(self):
+        assert ndcfg({"a": 0}, {"a": 1}) == 0.0
+
+    def test_missing_privilege_raises(self):
+        with pytest.raises(ReproError):
+            dcfg({"a": 1}, {})
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ReproError):
+            dcfg({"a": -1}, {"a": 1})
+
+    def test_bad_privilege_raises(self):
+        with pytest.raises(ReproError):
+            dcfg({"a": 1}, {"a": 0})
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(100.0, 90.0) == pytest.approx(0.1)
+
+    def test_floor_guards_zero_truth(self):
+        assert relative_error(0.0, 5.0, floor=1.0) == pytest.approx(5.0)
+
+    def test_floor_must_be_positive(self):
+        with pytest.raises(ReproError):
+            relative_error(1.0, 1.0, floor=0.0)
+
+    def test_mean(self):
+        assert mean_relative_error([100.0, 10.0], [90.0, 11.0]) == \
+            pytest.approx((0.1 + 0.1) / 2)
+
+    def test_mean_empty(self):
+        assert mean_relative_error([], []) == 0.0
+
+    def test_mean_length_mismatch(self):
+        with pytest.raises(ReproError):
+            mean_relative_error([1.0], [])
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        first = watch.seconds
+        with watch:
+            time.sleep(0.01)
+        assert watch.seconds > first
+        assert watch.milliseconds == pytest.approx(watch.seconds * 1000)

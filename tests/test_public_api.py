@@ -1,0 +1,63 @@
+"""Public-API surface checks: everything advertised is importable/usable."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("module", [
+        "repro.dp", "repro.db", "repro.db.sql", "repro.datasets",
+        "repro.views", "repro.core", "repro.baselines", "repro.workloads",
+        "repro.metrics", "repro.experiments", "repro.cli",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstrings_on_public_callables(self):
+        """Every re-exported public object carries a docstring."""
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+
+class TestEndToEndSmoke:
+    def test_readme_quickstart_snippet(self):
+        from repro import Analyst, DProvDB, load_adult
+
+        bundle = load_adult(num_rows=2000, seed=7)
+        engine = DProvDB(
+            bundle,
+            [Analyst("internal", privilege=8),
+             Analyst("external", privilege=2)],
+            epsilon=2.0,
+            seed=7,
+        )
+        ans = engine.submit(
+            "internal",
+            "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40",
+            accuracy=400.0,
+        )
+        assert ans.answer_variance <= 400.0 * (1 + 1e-6)
+        ans = engine.submit(
+            "external",
+            "SELECT COUNT(*) FROM adult WHERE hours_per_week >= 50",
+            epsilon=0.3,
+        )
+        assert ans.epsilon_charged <= 0.3 * (1 + 1e-3)
+        assert engine.analyst_consumed("external") > 0
+        assert engine.collusion_bound() <= 2.0

@@ -1,0 +1,52 @@
+"""Edge cases for reporting/format helpers across experiment modules."""
+
+from __future__ import annotations
+
+from repro.experiments.bfs_budget import BfsSeries, format_bfs_budget
+from repro.experiments.reporting import format_table
+
+
+class TestFormatTable:
+    def test_no_rows(self):
+        text = format_table(["a", "b"], [])
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + rule
+
+    def test_no_title(self):
+        text = format_table(["a"], [[1]])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].startswith("a")
+
+    def test_number_formatting(self):
+        text = format_table(["x"], [[0.0], [0.12345], [12.3456], [98765.4]])
+        assert "0" in text
+        assert "0.1234" in text or "0.1235" in text
+        assert "12.35" in text or "12.34" in text
+        assert "98765.4" in text
+
+    def test_mixed_types(self):
+        text = format_table(["name", "value"], [["foo", 1], [42, "bar"]])
+        assert "foo" in text and "bar" in text
+
+
+class TestBfsFormatting:
+    def test_empty_series(self):
+        assert format_bfs_budget([]) == "(no series)"
+
+    def test_short_series_padded(self):
+        series = [BfsSeries(system="x", dataset="adult",
+                            budgets=(0.1, 0.2), answered=2,
+                            total_queries=2)]
+        text = format_bfs_budget(series, points=5)
+        assert "x" in text
+        # Trailing sample points repeat the final budget.
+        assert text.count("0.2") >= 1
+
+    def test_series_of_different_lengths(self):
+        series = [
+            BfsSeries("long", "adult", tuple(float(i) for i in range(10)),
+                      10, 10),
+            BfsSeries("short", "adult", (0.5,), 1, 1),
+        ]
+        text = format_bfs_budget(series, points=4)
+        assert "long" in text and "short" in text

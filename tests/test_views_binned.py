@@ -1,0 +1,86 @@
+"""Tests for query transformation over bucketised (bin_size > 1) domains."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Attribute, IntegerDomain, Schema
+from repro.db.sql.parser import parse
+from repro.db.table import Table
+from repro.exceptions import UnanswerableQuery
+from repro.views.histogram import HistogramView
+from repro.views.transform import is_answerable, transform
+
+
+@pytest.fixture
+def schema():
+    # Values 0..99 bucketised into 10 bins of width 10.
+    return Schema([Attribute("v", IntegerDomain(0, 99, bin_size=10))])
+
+
+@pytest.fixture
+def db(schema, rng):
+    values = rng.integers(0, 100, 3000)
+    return Database({"t": Table(schema, {"v": values})})
+
+
+@pytest.fixture
+def view(schema):
+    return HistogramView("t.v", "t", ("v",), schema)
+
+
+class TestBinAligned:
+    def test_aligned_range_is_exact(self, db, view):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE v BETWEEN 20 AND 59")
+        query = transform(stmt, view)
+        assert query.answer(view.materialize(db)) == \
+            db.execute(stmt).scalar()
+
+    def test_full_domain(self, db, view):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        query = transform(stmt, view)
+        assert query.answer(view.materialize(db)) == 3000
+
+    def test_aligned_open_range(self, db, view):
+        stmt = parse("SELECT COUNT(*) FROM t WHERE v >= 50")
+        query = transform(stmt, view)
+        assert query.answer(view.materialize(db)) == \
+            db.execute(stmt).scalar()
+
+    def test_aligned_strict_inequality(self, db, view):
+        # v < 30 covers exactly bins 0..2.
+        stmt = parse("SELECT COUNT(*) FROM t WHERE v < 30")
+        query = transform(stmt, view)
+        assert query.answer(view.materialize(db)) == \
+            db.execute(stmt).scalar()
+
+    def test_in_list_covering_full_bin(self, db, view):
+        values = ", ".join(str(v) for v in range(10, 20))
+        stmt = parse(f"SELECT COUNT(*) FROM t WHERE v IN ({values})")
+        query = transform(stmt, view)
+        assert query.answer(view.materialize(db)) == \
+            db.execute(stmt).scalar()
+
+
+class TestMisaligned:
+    @pytest.mark.parametrize("sql", [
+        "SELECT COUNT(*) FROM t WHERE v BETWEEN 5 AND 59",   # cuts bin 0
+        "SELECT COUNT(*) FROM t WHERE v >= 45",              # cuts bin 4
+        "SELECT COUNT(*) FROM t WHERE v = 7",                # inside bin 0
+        "SELECT COUNT(*) FROM t WHERE v != 7",               # punches a hole
+        "SELECT COUNT(*) FROM t WHERE v IN (3, 4)",          # partial bin
+    ])
+    def test_partial_bins_rejected(self, view, sql):
+        stmt = parse(sql)
+        assert not is_answerable(stmt, view)
+        with pytest.raises(UnanswerableQuery):
+            transform(stmt, view)
+
+    def test_empty_selection_excluded_not_error(self, db, view):
+        # A value outside every bin: cleanly excluded, so empty -> rejected
+        # for having no support, not for misalignment.
+        stmt = parse("SELECT COUNT(*) FROM t WHERE v BETWEEN 200 AND 300")
+        with pytest.raises(UnanswerableQuery):
+            transform(stmt, view)

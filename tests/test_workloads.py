@@ -1,0 +1,158 @@
+"""Tests for RRQ generation, schedulers and the BFS task."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Analyst, DProvDB
+from repro.db.sql.parser import parse
+from repro.workloads.bfs import BfsExplorer, make_explorers, run_bfs_workload
+from repro.workloads.rrq import generate_rrq, ordered_attributes
+from repro.workloads.scheduler import interleave_random, interleave_round_robin
+
+
+class TestRrq:
+    def test_generates_requested_counts(self, adult_bundle, analysts):
+        workload = generate_rrq(adult_bundle, analysts, 25, seed=1)
+        assert set(workload) == {"low", "high"}
+        assert all(len(items) == 25 for items in workload.values())
+
+    def test_queries_parse_and_execute(self, adult_bundle, analysts):
+        workload = generate_rrq(adult_bundle, analysts, 10, seed=1)
+        for items in workload.values():
+            for item in items:
+                value = adult_bundle.database.execute(item.sql).scalar()
+                assert value >= 0
+
+    def test_only_ordered_attributes_used(self, adult_bundle, analysts):
+        ordered = set(ordered_attributes(adult_bundle))
+        workload = generate_rrq(adult_bundle, analysts, 30, seed=1)
+        for items in workload.values():
+            for item in items:
+                assert item.attribute in ordered
+
+    def test_ranges_within_domain(self, adult_bundle, analysts):
+        schema = adult_bundle.database.table("adult").schema
+        workload = generate_rrq(adult_bundle, analysts, 30, seed=1)
+        for items in workload.values():
+            for item in items:
+                stmt = parse(item.sql)
+                cond = stmt.predicate.conditions[0]
+                domain = schema.domain(cond.column)
+                assert domain.low <= cond.low <= cond.high <= domain.high
+
+    def test_deterministic(self, adult_bundle, analysts):
+        a = generate_rrq(adult_bundle, analysts, 10, seed=5)
+        b = generate_rrq(adult_bundle, analysts, 10, seed=5)
+        assert a == b
+
+    def test_accuracy_attached(self, adult_bundle, analysts):
+        workload = generate_rrq(adult_bundle, analysts, 5, accuracy=1234.0,
+                                seed=1)
+        assert all(item.accuracy == 1234.0
+                   for items in workload.values() for item in items)
+
+
+class TestSchedulers:
+    def test_round_robin_alternates(self):
+        merged = interleave_round_robin({"a": [1, 2, 3], "b": [10, 20, 30]})
+        assert merged == [1, 10, 2, 20, 3, 30]
+
+    def test_round_robin_handles_uneven_queues(self):
+        merged = interleave_round_robin({"a": [1], "b": [10, 20, 30]})
+        assert merged == [1, 10, 20, 30]
+
+    def test_random_preserves_all_items(self):
+        merged = interleave_random({"a": [1, 2], "b": [10, 20]}, seed=0)
+        assert sorted(merged) == [1, 2, 10, 20]
+
+    def test_random_preserves_per_analyst_order(self):
+        merged = interleave_random({"a": [1, 2, 3]}, seed=0)
+        assert merged == [1, 2, 3]
+
+    def test_random_is_seed_deterministic(self):
+        a = interleave_random({"a": [1, 2], "b": [3, 4]}, seed=9)
+        b = interleave_random({"a": [1, 2], "b": [3, 4]}, seed=9)
+        assert a == b
+
+
+class TestBfsExplorer:
+    def _explorer(self, threshold=10.0):
+        return BfsExplorer(analyst="a", table="t", attribute="x",
+                           low=0, high=7, threshold=threshold, accuracy=1.0)
+
+    def test_starts_with_full_range(self):
+        explorer = self._explorer()
+        assert "BETWEEN 0 AND 7" in explorer.next_sql()
+
+    def test_high_count_splits(self):
+        explorer = self._explorer()
+        explorer.consume(100.0)
+        assert list(explorer.frontier) == [(0, 3), (4, 7)]
+
+    def test_low_count_terminates_branch(self):
+        explorer = self._explorer()
+        explorer.consume(5.0)
+        assert explorer.done
+        assert explorer.regions_found == [(0, 7)]
+
+    def test_rejection_stops_branch(self):
+        explorer = self._explorer()
+        explorer.consume(None)
+        assert explorer.done
+        assert explorer.queries_rejected == 1
+        assert explorer.regions_found == []
+
+    def test_singleton_range_never_splits(self):
+        explorer = BfsExplorer(analyst="a", table="t", attribute="x",
+                               low=3, high=3, threshold=1.0, accuracy=1.0)
+        explorer.consume(100.0)
+        assert explorer.done
+
+    def test_counters(self):
+        explorer = self._explorer()
+        explorer.consume(100.0)
+        explorer.consume(5.0)
+        assert explorer.queries_issued == 2
+        assert explorer.queries_answered == 2
+
+
+class TestBfsWorkload:
+    def test_runs_against_engine(self, adult_bundle, analysts):
+        engine = DProvDB(adult_bundle, analysts, epsilon=6.4, seed=11)
+        explorers = make_explorers(adult_bundle, analysts, threshold=200.0,
+                                   accuracy=40000.0, attributes=("age",))
+        trace = run_bfs_workload(engine, explorers, max_steps=300)
+        assert trace.total_queries > 0
+        assert trace.total_answered > 0
+        budgets = trace.cumulative_budgets()
+        assert budgets == sorted(budgets)  # cumulative budget never decreases
+
+    def test_answered_by_tracks_analysts(self, adult_bundle, analysts):
+        engine = DProvDB(adult_bundle, analysts, epsilon=6.4, seed=11)
+        explorers = make_explorers(adult_bundle, analysts, threshold=200.0,
+                                   accuracy=40000.0, attributes=("age",))
+        trace = run_bfs_workload(engine, explorers, max_steps=300)
+        assert set(trace.answered_by()) <= {"low", "high"}
+
+    def test_max_steps_bounds_work(self, adult_bundle, analysts):
+        engine = DProvDB(adult_bundle, analysts, epsilon=6.4, seed=11)
+        explorers = make_explorers(adult_bundle, analysts, threshold=200.0,
+                                   accuracy=40000.0)
+        trace = run_bfs_workload(engine, explorers, max_steps=10)
+        assert trace.total_queries == 10
+
+    def test_random_schedule(self, adult_bundle, analysts):
+        engine = DProvDB(adult_bundle, analysts, epsilon=6.4, seed=11)
+        explorers = make_explorers(adult_bundle, analysts, threshold=200.0,
+                                   accuracy=40000.0, attributes=("age",))
+        trace = run_bfs_workload(engine, explorers, schedule="random",
+                                 seed=2, max_steps=100)
+        assert trace.total_queries > 0
+
+    def test_unknown_schedule(self, adult_bundle, analysts):
+        engine = DProvDB(adult_bundle, analysts, epsilon=6.4, seed=11)
+        explorers = make_explorers(adult_bundle, analysts)
+        from repro.exceptions import ReproError
+        with pytest.raises(ReproError):
+            run_bfs_workload(engine, explorers, schedule="bogus")
