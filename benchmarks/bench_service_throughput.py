@@ -1,0 +1,96 @@
+"""Service throughput: batched planning vs one-query-at-a-time.
+
+Replays the same mixed multi-analyst workload (RRQs, GROUP BY histograms,
+BFS-style dyadic ranges) across N threads in both submission modes and
+reports queries/sec, cache hit rate, and budget spent.  Expected shape:
+batched planning answers at least as many queries at a higher rate with a
+non-zero cache hit rate and no more budget.
+
+Runs under pytest-benchmark like the other benchmarks, and directly as a
+script (the CI smoke test)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.service_throughput import (
+    format_service_throughput,
+    run_service_throughput,
+)
+
+#: Reduced-but-representative scale for the pytest-benchmark run.  The
+#: strict q/s comparison takes best-of-``repeats`` per mode to ride out
+#: scheduler noise (the deterministic work-based assertions carry the
+#: correctness claim either way).
+BENCH_KWARGS = dict(dataset="adult", num_rows=12000, num_analysts=8,
+                    queries_per_analyst=100, threads=8, batch_size=32,
+                    epsilon=12.0, repeats=3, seed=0)
+
+#: Smoke-test scale: a couple of seconds end to end.
+TINY_KWARGS = dict(dataset="adult", num_rows=2000, num_analysts=4,
+                   queries_per_analyst=25, threads=4, batch_size=16,
+                   epsilon=8.0, repeats=1, seed=0)
+
+
+def check_batched_beats_single(results, strict_qps: bool = True) -> None:
+    """The service's headline claim, asserted on a finished run.
+
+    The work-based assertions (more answers, fewer fresh releases, less
+    budget, non-zero cache hits) are deterministic; the raw q/s comparison
+    is wall-clock and only gates when ``strict_qps`` — the ``--tiny`` CI
+    smoke run reports q/s but doesn't fail on a noisy-runner hiccup.
+    """
+    single = [r for r in results if r.mode == "single"]
+    batched = [r for r in results if r.mode == "batched"]
+    if strict_qps:
+        best_single = max(r.queries_per_second for r in single)
+        best_batched = max(r.queries_per_second for r in batched)
+        assert best_batched > best_single, \
+            f"batched {best_batched:.1f} q/s <= single {best_single:.1f} q/s"
+    for r in batched:
+        assert r.answer_cache_hit_rate > 0.0
+        assert r.answered >= max(s.answered for s in single)
+        # One refresh per view serves the batch: never more fresh work
+        # than arrival order...
+        assert r.fresh_releases <= min(s.fresh_releases for s in single)
+        # ...and strictest-first ordering never spends more budget.
+        assert r.total_epsilon_spent <= \
+            max(s.total_epsilon_spent for s in single) + 1e-9
+
+
+def test_service_throughput(benchmark):
+    from benchmarks.conftest import emit
+
+    results = benchmark.pedantic(
+        run_service_throughput, kwargs=BENCH_KWARGS, rounds=1, iterations=1,
+    )
+    emit(format_service_throughput(results))
+    check_batched_beats_single(results)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the repro.service layer.")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke-test scale (CI)")
+    parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    kwargs = dict(TINY_KWARGS if args.tiny else BENCH_KWARGS)
+    if args.threads is not None:
+        kwargs["threads"] = args.threads
+    if args.repeats is not None:
+        kwargs["repeats"] = args.repeats
+    results = run_service_throughput(**kwargs)
+    print(format_service_throughput(results))
+    check_batched_beats_single(results, strict_qps=not args.tiny)
+    print("ok: batched planning beats single submission")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

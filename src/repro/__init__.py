@@ -45,6 +45,12 @@ from repro.exceptions import (
     UnanswerableQuery,
 )
 from repro.metrics import dcfg, ndcfg, relative_error
+from repro.service import (
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    Session,
+)
 
 __version__ = "1.0.0"
 
@@ -62,8 +68,12 @@ __all__ = [
     "DatasetBundle",
     "ProvenanceTable",
     "QueryRejected",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
     "ReproError",
     "Schema",
+    "Session",
     "SimulatedPrivateSQL",
     "Synopsis",
     "SynopsisStore",

@@ -6,17 +6,23 @@ Usage::
     python -m repro fig4  --dataset tpch
     python -m repro table1
     python -m repro fig6 --queries 200
+    python -m repro bench-service --threads 8 --batch-size 32
     python -m repro list
 
 Each subcommand maps to one experiment regenerator (see DESIGN.md §3);
 options control the reduced scale.  Output is the same text tables the
-benchmarks print.
+benchmarks print.  ``bench-service`` drives the concurrent serving layer
+(:mod:`repro.service`) with a mixed multi-analyst workload and compares
+one-query-at-a-time submission against batched planning.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Callable
+
+from repro.exceptions import ReproError
 
 from repro.experiments.additive_vs_vanilla import (
     format_component,
@@ -117,6 +123,21 @@ def _rq1(args) -> str:
     return format_collusion(cells)
 
 
+def _bench_service(args) -> str:
+    from repro.experiments.service_throughput import (
+        format_service_throughput,
+        run_service_throughput,
+    )
+
+    results = run_service_throughput(
+        dataset=args.dataset, num_rows=args.rows,
+        num_analysts=args.analysts, queries_per_analyst=args.queries,
+        threads=args.threads, batch_size=args.batch_size,
+        epsilon=args.epsilon, repeats=args.repeats, seed=args.seed,
+    )
+    return format_service_throughput(results)
+
+
 COMMANDS: dict[str, tuple[Callable, str]] = {
     "rq1": (_rq1, "worst-case collusion bounds vs #analysts (RQ1)"),
     "fig3": (_fig3, "end-to-end RRQ comparison (Fig. 3 / Fig. 10)"),
@@ -128,6 +149,8 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig9": (_fig9, "translation validation (Fig. 9)"),
     "table1": (_table("tpch"), "runtime comparison on TPC-H (Table 1)"),
     "table3": (_table("adult"), "runtime comparison on Adult (Table 3)"),
+    "bench-service": (_bench_service,
+                      "service throughput: batched planning vs single"),
 }
 
 
@@ -148,6 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="queries per analyst")
         cmd.add_argument("--repeats", type=int, default=2)
         cmd.add_argument("--seed", type=int, default=0)
+        if name == "bench-service":
+            cmd.add_argument("--threads", type=int, default=8,
+                             help="concurrent worker threads")
+            cmd.add_argument("--batch-size", type=int, default=32,
+                             help="queries per submit_batch call")
+            cmd.add_argument("--analysts", type=int, default=8,
+                             help="number of analysts in the workload")
+            cmd.add_argument("--epsilon", type=float, default=12.0,
+                             help="table-level privacy budget")
     return parser
 
 
@@ -160,7 +192,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.rows == 0:
         args.rows = None
     runner, _ = COMMANDS[args.command]
-    print(runner(args))
+    try:
+        print(runner(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

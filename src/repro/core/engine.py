@@ -70,6 +70,7 @@ class DProvDB:
                  accountant: GaussianAccountant | None = None,
                  precision: float = DEFAULT_PRECISION,
                  combine_local: bool = False,
+                 synopsis_store=None,
                  seed: SeedLike = None) -> None:
         if not analysts:
             raise ReproError("need at least one analyst")
@@ -107,7 +108,8 @@ class DProvDB:
         self.log = QueryLog()
         mechanism_kwargs = {"rng": ensure_generator(seed),
                             "accountant": accountant,
-                            "precision": precision}
+                            "precision": precision,
+                            "store": synopsis_store}
         if mechanism == "additive":
             mechanism_kwargs["combine_local"] = combine_local
         elif combine_local:
@@ -269,7 +271,22 @@ class DProvDB:
 
         view, query = self.registry.compile(statement)
         target = self._accuracy_for(query, accuracy, epsilon, view)
+        sql_text = sql if isinstance(sql, str) else None
+        return self.submit_compiled(analyst, statement, view, query, target,
+                                    delegation=delegation, sql_text=sql_text)
 
+    def submit_compiled(self, analyst: str, statement: SelectStatement,
+                        view, query, target: float,
+                        delegation: int | None = None,
+                        sql_text: str | None = None) -> Answer:
+        """Answer an already-compiled scalar query (no re-parse/re-compile).
+
+        The fast path behind :meth:`submit`, exposed for callers that plan
+        batches ahead of execution (see :mod:`repro.service.planner`):
+        ``view``/``query`` must come from ``registry.compile(statement)`` and
+        ``target`` is the answer-variance requirement.
+        """
+        self._check_analyst(analyst)
         effective = analyst
         grant = None
         if delegation is not None:
@@ -281,7 +298,8 @@ class DProvDB:
 
         from repro.db.sql.unparse import to_sql
 
-        sql_text = sql if isinstance(sql, str) else to_sql(statement)
+        if sql_text is None:
+            sql_text = to_sql(statement)
         try:
             outcome = self.mechanism.answer(effective, view, query, target)
         except QueryRejected as exc:

@@ -54,11 +54,14 @@ class MechanismBase:
     def __init__(self, registry: ViewRegistry, provenance: ProvenanceTable,
                  constraints: Constraints, rng: SeedLike = None,
                  accountant: GaussianAccountant | None = None,
-                 precision: float = 1e-6) -> None:
+                 precision: float = 1e-6,
+                 store: SynopsisStore | None = None) -> None:
         self.registry = registry
         self.provenance = provenance
         self.constraints = constraints
-        self.store = SynopsisStore()
+        #: Synopsis storage; injectable so serving layers can substitute a
+        #: bounded (LRU) store — see :mod:`repro.service.cache`.
+        self.store = SynopsisStore() if store is None else store
         self.rng = ensure_generator(rng)
         self.accountant = accountant
         self.precision = precision
@@ -97,7 +100,9 @@ class MechanismBase:
     def _cached_answer(self, analyst: str, view: HistogramView,
                        query: LinearQuery, per_bin: float) -> Outcome | None:
         cached = self.store.local_synopsis(analyst, view.name)
-        if cached is None or cached.variance > per_bin:
+        adequate = cached is not None and cached.variance <= per_bin
+        self.store.note_lookup(adequate)
+        if not adequate:
             return None
         return Outcome(
             value=query.answer(cached.values),

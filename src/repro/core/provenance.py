@@ -16,6 +16,7 @@ every Gaussian release into an optional RDP/zCDP accountant for tighter
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -99,11 +100,20 @@ class ProvenanceTable:
     Entries are epsilons; missing entries are zero.  The table is a plain
     dense dict-of-dicts — the paper notes real deployments may store it
     sparsely by row or column, which this interface permits swapping in.
+
+    Mutations and composite reads take an internal reentrant lock, so a
+    single entry or composite is never observed torn.  Note the lock covers
+    *individual* operations only: a check-then-update sequence (quote, then
+    charge) still needs an outer critical section, which is what
+    :class:`repro.service.QueryService` provides; :meth:`locked` exposes the
+    lock for callers that want to build such sections directly.
     """
 
     analysts: tuple[str, ...]
     views: tuple[str, ...]
     _entries: dict[str, dict[str, float]] = field(default_factory=dict)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(set(self.analysts)) != len(self.analysts):
@@ -113,6 +123,10 @@ class ProvenanceTable:
         for analyst in self.analysts:
             self._entries.setdefault(analyst, {})
 
+    def locked(self) -> threading.RLock:
+        """The table's reentrant lock, for multi-step atomic sections."""
+        return self._lock
+
     @classmethod
     def for_analysts(cls, analysts: Iterable[Analyst],
                      views: Iterable[str]) -> "ProvenanceTable":
@@ -121,16 +135,18 @@ class ProvenanceTable:
     # -- membership ----------------------------------------------------------
     def register_analyst(self, name: str) -> None:
         """Admit a new analyst later in the system's life (Def. 11 allows it)."""
-        if name in self._entries:
-            raise ReproError(f"analyst {name!r} already registered")
-        self.analysts = self.analysts + (name,)
-        self._entries[name] = {}
+        with self._lock:
+            if name in self._entries:
+                raise ReproError(f"analyst {name!r} already registered")
+            self.analysts = self.analysts + (name,)
+            self._entries[name] = {}
 
     def register_view(self, name: str) -> None:
         """Admit a new view over time (water-filling allows it)."""
-        if name in self.views:
-            raise ReproError(f"view {name!r} already registered")
-        self.views = self.views + (name,)
+        with self._lock:
+            if name in self.views:
+                raise ReproError(f"view {name!r} already registered")
+            self.views = self.views + (name,)
 
     def _check(self, analyst: str, view: str) -> None:
         if analyst not in self._entries:
@@ -140,60 +156,69 @@ class ProvenanceTable:
 
     # -- entries ---------------------------------------------------------------
     def get(self, analyst: str, view: str) -> float:
-        self._check(analyst, view)
-        return self._entries[analyst].get(view, 0.0)
+        with self._lock:
+            self._check(analyst, view)
+            return self._entries[analyst].get(view, 0.0)
 
     def set(self, analyst: str, view: str, epsilon: float) -> None:
-        self._check(analyst, view)
-        if epsilon < 0:
-            raise ReproError(f"cumulative loss cannot be negative: {epsilon}")
-        if epsilon < self._entries[analyst].get(view, 0.0) - 1e-12:
-            raise ReproError("cumulative privacy loss cannot decrease")
-        self._entries[analyst][view] = epsilon
+        with self._lock:
+            self._check(analyst, view)
+            if epsilon < 0:
+                raise ReproError(f"cumulative loss cannot be negative: {epsilon}")
+            if epsilon < self._entries[analyst].get(view, 0.0) - 1e-12:
+                raise ReproError("cumulative privacy loss cannot decrease")
+            self._entries[analyst][view] = epsilon
 
     def add(self, analyst: str, view: str, epsilon: float) -> float:
         """``P[A, V] += eps`` (vanilla update); returns the new entry."""
-        updated = self.get(analyst, view) + epsilon
-        self.set(analyst, view, updated)
-        return updated
+        with self._lock:
+            updated = self.get(analyst, view) + epsilon
+            self.set(analyst, view, updated)
+            return updated
 
     # -- composites (basic sequential composition) ----------------------------
     def row_total(self, analyst: str) -> float:
         """``P.composite(axis=Row)``: analyst's loss across all views."""
-        if analyst not in self._entries:
-            raise UnknownAnalyst(f"unknown analyst {analyst!r}")
-        return sum(self._entries[analyst].values())
+        with self._lock:
+            if analyst not in self._entries:
+                raise UnknownAnalyst(f"unknown analyst {analyst!r}")
+            return sum(self._entries[analyst].values())
 
     def column_total(self, view: str) -> float:
         """``P.composite(axis=Column)``: total loss on a view (vanilla)."""
-        if view not in self.views:
-            raise ReproError(f"unknown view {view!r}")
-        return sum(self._entries[a].get(view, 0.0) for a in self.analysts)
+        with self._lock:
+            if view not in self.views:
+                raise ReproError(f"unknown view {view!r}")
+            return sum(self._entries[a].get(view, 0.0) for a in self.analysts)
 
     def column_max(self, view: str) -> float:
         """Tight per-view loss under the additive approach: max over column."""
-        if view not in self.views:
-            raise ReproError(f"unknown view {view!r}")
-        return max(
-            (self._entries[a].get(view, 0.0) for a in self.analysts),
-            default=0.0,
-        )
+        with self._lock:
+            if view not in self.views:
+                raise ReproError(f"unknown view {view!r}")
+            return max(
+                (self._entries[a].get(view, 0.0) for a in self.analysts),
+                default=0.0,
+            )
 
     def table_total(self) -> float:
         """``P.composite()``: grand total (vanilla table composition)."""
-        return sum(self.row_total(a) for a in self.analysts)
+        with self._lock:
+            return sum(self.row_total(a) for a in self.analysts)
 
     def table_max_composite(self) -> float:
         """Additive-approach table composition: sum over views of column max."""
-        return sum(self.column_max(v) for v in self.views)
+        with self._lock:
+            return sum(self.column_max(v) for v in self.views)
 
     def as_matrix(self) -> np.ndarray:
         """Dense snapshot, rows = analysts (declared order), cols = views."""
-        matrix = np.zeros((len(self.analysts), len(self.views)))
-        for i, analyst in enumerate(self.analysts):
-            for j, view in enumerate(self.views):
-                matrix[i, j] = self._entries[analyst].get(view, 0.0)
-        return matrix
+        with self._lock:
+            matrix = np.zeros((len(self.analysts), len(self.views)))
+            for i, analyst in enumerate(self.analysts):
+                for j, view in enumerate(self.views):
+                    matrix[i, j] = self._entries[analyst].get(view, 0.0)
+            return matrix
 
 
 __all__ = ["Constraints", "ProvenanceTable"]

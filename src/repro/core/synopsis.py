@@ -79,6 +79,14 @@ class SynopsisStore:
     def local_synopsis(self, analyst: str, view: str) -> Synopsis | None:
         return self._local.get((analyst, view))
 
+    def note_lookup(self, hit: bool) -> None:
+        """Record one answer-path cache decision (was the cached synopsis
+        accurate enough to serve?).  Plain stores ignore this; bounded
+        stores (:class:`repro.service.cache.LruSynopsisStore`) count it.
+        Only :meth:`MechanismBase._cached_answer` calls this — raw
+        ``local_synopsis`` probes by mechanism internals stay uncounted so
+        the hit rate reflects serving effectiveness, not store traffic."""
+
     def put_local(self, synopsis: Synopsis) -> None:
         if synopsis.analyst is None:
             raise ValueError("local synopsis needs an analyst owner")

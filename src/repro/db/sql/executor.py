@@ -27,13 +27,34 @@ from repro.exceptions import SQLError
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Relational result: column labels plus row tuples."""
+    """Relational result: column labels plus row tuples.
+
+    ``group_arity`` is the number of leading key columns (the GROUP BY
+    arity); :func:`execute` always sets it.  ``None`` means unknown, in
+    which case :meth:`as_dict` falls back to the single-aggregate
+    assumption (all but the last column are keys).
+    """
 
     columns: tuple[str, ...]
     rows: tuple[tuple, ...]
+    group_arity: int | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rows
 
     def scalar(self) -> float:
         """The single value of a one-row, one-column result."""
+        if self.is_empty:
+            raise SQLError(
+                "scalar() on an empty result (no rows); grouped queries "
+                "with no matching rows produce zero groups"
+            )
+        if self.group_arity:
+            raise SQLError(
+                f"scalar() on a grouped result ({self.group_arity} key "
+                f"column(s)); use as_dict()"
+            )
         if len(self.rows) != 1 or len(self.columns) != 1:
             raise SQLError(
                 f"scalar() needs a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
@@ -41,11 +62,23 @@ class QueryResult:
         return self.rows[0][0]
 
     def as_dict(self) -> dict:
-        """For grouped results: map group key (tuple or value) -> aggregates."""
-        n_keys = len(self.columns) - 1
+        """For grouped results: map group key (tuple or value) -> aggregates.
+
+        Single-key groups map the bare key value; wider keys map the key
+        tuple.  Likewise a single aggregate maps to its bare value, several
+        to a tuple.  Empty results give ``{}``.
+        """
+        n_keys = self.group_arity
+        if n_keys is None:
+            n_keys = len(self.columns) - 1
+        if n_keys == 0:
+            raise SQLError(
+                "as_dict() needs a grouped result (no key columns here); "
+                "use scalar()"
+            )
         out = {}
         for row in self.rows:
-            key = row[:n_keys] if n_keys > 1 else row[0]
+            key = tuple(row[:n_keys]) if n_keys > 1 else row[0]
             out[key] = row[n_keys:] if len(row) - n_keys > 1 else row[n_keys]
         return out
 
@@ -104,7 +137,7 @@ def execute(statement: SelectStatement, table: Table) -> QueryResult:
     labels = tuple(a.label() for a in statement.aggregates)
     if statement.is_scalar():
         row = tuple(_evaluate_aggregate(a, filtered) for a in statement.aggregates)
-        return QueryResult(labels, (row,))
+        return QueryResult(labels, (row,), group_arity=0)
 
     # GROUP BY: active-domain groups, keyed by decoded values.
     key_codes = np.stack([filtered.codes(k) for k in statement.group_by], axis=1) \
@@ -120,7 +153,8 @@ def execute(statement: SelectStatement, table: Table) -> QueryResult:
         rows.append(decoded_key + tuple(
             _evaluate_aggregate(a, group) for a in statement.aggregates
         ))
-    return QueryResult(statement.group_by + labels, tuple(rows))
+    return QueryResult(statement.group_by + labels, tuple(rows),
+                       group_arity=len(statement.group_by))
 
 
 __all__ = ["QueryResult", "execute", "predicate_mask"]

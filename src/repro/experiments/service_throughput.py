@@ -1,0 +1,92 @@
+"""Service-layer throughput: batched planning vs one-query-at-a-time.
+
+Not a figure from the paper — this benchmarks the serving front-end added
+on top of the engine (:mod:`repro.service`).  The same mixed multi-analyst
+workload (RRQs, GROUP BY histograms, BFS-style dyadic ranges) is replayed
+across N threads twice: ``single`` submits queries in arrival order,
+``batched`` routes slices through the view-grouping planner.  Expected
+shape: batched answers at least as many queries at a higher rate, with a
+higher cache hit rate and *less* budget spent (strictest-first ordering
+avoids redundant synopsis refreshes).
+"""
+
+from __future__ import annotations
+
+from repro.core.analyst import Analyst
+from repro.datasets import load_adult, load_tpch
+from repro.dp.rng import SeedLike
+from repro.service.loadgen import (
+    MODES,
+    ThroughputResult,
+    build_mixed_workload,
+    format_throughput,
+    run_throughput,
+)
+from repro.service.service import QueryService
+
+#: Privilege ladder the analysts cycle through (paper's 1..10 scale).
+_PRIVILEGES = (1, 2, 4, 6, 8, 10)
+
+
+def make_service_analysts(num_analysts: int) -> list[Analyst]:
+    """``num_analysts`` analysts over the default privilege ladder."""
+    return [Analyst(f"analyst_{i:02d}", _PRIVILEGES[i % len(_PRIVILEGES)])
+            for i in range(num_analysts)]
+
+
+def run_service_throughput(dataset: str = "adult",
+                           num_rows: int | None = 12000,
+                           num_analysts: int = 8,
+                           queries_per_analyst: int = 150,
+                           threads: int = 8,
+                           batch_size: int = 32,
+                           epsilon: float = 12.0,
+                           accuracy: float = 40000.0,
+                           mechanism: str = "additive",
+                           max_cached_synopses: int = 256,
+                           repeats: int = 1,
+                           seed: SeedLike = 0) -> list[ThroughputResult]:
+    """One run per (mode, repeat); fresh service per run, same workload."""
+    loader = load_adult if dataset == "adult" else load_tpch
+    kwargs = ({"num_rows": num_rows} if dataset == "adult"
+              else {"lineitem_rows": num_rows})
+    if num_rows is None:
+        kwargs = {}
+    bundle = loader(seed=seed, **kwargs)
+    analysts = make_service_analysts(num_analysts)
+    workload = build_mixed_workload(bundle, analysts, queries_per_analyst,
+                                    accuracy=accuracy, seed=seed)
+    results: list[ThroughputResult] = []
+    for mode in MODES:
+        for _ in range(max(1, repeats)):
+            service = QueryService.build(
+                bundle, analysts, epsilon, mechanism=mechanism,
+                max_cached_synopses=max_cached_synopses, seed=seed,
+            )
+            results.append(run_throughput(service, analysts, workload,
+                                          mode=mode, threads=threads,
+                                          batch_size=batch_size))
+    return results
+
+
+def format_service_throughput(results: list[ThroughputResult]) -> str:
+    """The ``bench-service`` report, plus a batched-vs-single speedup line."""
+    report = format_throughput(
+        results, title="service throughput: batched planning vs single")
+    by_mode: dict[str, list[ThroughputResult]] = {}
+    for result in results:
+        by_mode.setdefault(result.mode, []).append(result)
+    if len(by_mode) == 2:
+        single = max(r.queries_per_second for r in by_mode["single"])
+        batched = max(r.queries_per_second for r in by_mode["batched"])
+        if single > 0:
+            report += (f"\nbatched/single speedup: {batched / single:.2f}x "
+                       f"(best of {len(by_mode['batched'])})")
+    return report
+
+
+__all__ = [
+    "format_service_throughput",
+    "make_service_analysts",
+    "run_service_throughput",
+]

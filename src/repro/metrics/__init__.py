@@ -2,6 +2,6 @@
 
 from repro.metrics.fairness import dcfg, ndcfg
 from repro.metrics.utility import relative_error
-from repro.metrics.runtime import Stopwatch
+from repro.metrics.runtime import CacheStats, Stopwatch
 
-__all__ = ["Stopwatch", "dcfg", "ndcfg", "relative_error"]
+__all__ = ["CacheStats", "Stopwatch", "dcfg", "ndcfg", "relative_error"]

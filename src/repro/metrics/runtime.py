@@ -1,7 +1,13 @@
-"""Wall-clock measurement helpers for the runtime tables."""
+"""Runtime instrumentation: wall-clock helpers and cache counters.
+
+:class:`Stopwatch` backs the paper's runtime tables; :class:`CacheStats`
+backs the service layer's synopsis-cache reporting (hit/miss/eviction
+counters exported by ``repro.service``).
+"""
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -33,4 +39,54 @@ class Stopwatch:
         return self.seconds * 1000.0
 
 
-__all__ = ["Stopwatch"]
+class CacheStats:
+    """Thread-safe hit/miss/eviction counters for a bounded cache.
+
+    >>> stats = CacheStats()
+    >>> stats.record_hit(); stats.record_miss()
+    >>> stats.hit_rate
+    0.5
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    def record_eviction(self) -> None:
+        with self._lock:
+            self.evictions += 1
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never probed)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "hit_rate": self.hit_rate}
+
+    def reset(self) -> None:
+        with self._lock:
+            self.hits = self.misses = self.evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"evictions={self.evictions})")
+
+
+__all__ = ["CacheStats", "Stopwatch"]

@@ -1,0 +1,41 @@
+"""Concurrent multi-analyst serving layer over the DProvDB engine.
+
+* :mod:`repro.service.session` — sessions and the request/response envelope.
+* :mod:`repro.service.planner` — batched planning: group queries by target
+  view and run the strictest accuracy first so one synopsis refresh answers
+  many queries.
+* :mod:`repro.service.cache` — LRU-bounded synopsis storage with hit/miss
+  statistics.
+* :mod:`repro.service.service` — :class:`QueryService`: the thread-safe
+  front-end (sessions + batching + locking around budget accounting).
+* :mod:`repro.service.loadgen` — mixed-workload load generation and the
+  throughput harness behind ``python -m repro bench-service``.
+"""
+
+from repro.service.cache import LruSynopsisStore
+from repro.service.loadgen import (
+    ThroughputResult,
+    build_mixed_workload,
+    format_throughput,
+    run_throughput,
+)
+from repro.service.planner import BatchPlan, PlannedQuery, plan_batch
+from repro.service.service import DEFAULT_MAX_CACHED, QueryService, ServiceStats
+from repro.service.session import QueryRequest, QueryResponse, Session
+
+__all__ = [
+    "BatchPlan",
+    "DEFAULT_MAX_CACHED",
+    "LruSynopsisStore",
+    "PlannedQuery",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ServiceStats",
+    "Session",
+    "ThroughputResult",
+    "build_mixed_workload",
+    "format_throughput",
+    "plan_batch",
+    "run_throughput",
+]

@@ -1,0 +1,240 @@
+"""Load generation for the query service: mixed multi-analyst workloads.
+
+The mix mirrors the paper's evaluation tasks: randomized range queries
+(:mod:`repro.workloads.rrq`), GROUP BY histograms over categorical
+attributes (Appendix D semantics), and BFS-style dyadic range probes — the
+exact query shapes :class:`repro.workloads.bfs.BfsExplorer` emits, laid out
+statically so a replay is deterministic and comparable across modes.
+
+:func:`run_throughput` replays a workload across N threads (one session per
+thread) in either ``single`` (one query at a time, arrival order) or
+``batched`` (``submit_batch`` through the view-grouping planner) mode and
+reports queries/sec plus cache statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.analyst import Analyst
+from repro.datasets.base import DatasetBundle
+from repro.dp.rng import SeedLike, ensure_generator
+from repro.exceptions import ReproError
+from repro.metrics.runtime import Stopwatch
+from repro.service.service import QueryService
+from repro.service.session import QueryRequest
+from repro.workloads.rrq import generate_rrq, ordered_attributes
+
+MODES = ("single", "batched")
+
+
+def _dyadic_ranges(low: int, high: int, depth: int) -> list[tuple[int, int]]:
+    """All BFS decomposition-tree nodes down to ``depth`` (root = level 0)."""
+    ranges = [(low, high)]
+    level = [(low, high)]
+    for _ in range(depth):
+        nxt: list[tuple[int, int]] = []
+        for lo, hi in level:
+            if lo >= hi:
+                continue
+            mid = (lo + hi) // 2
+            nxt.extend([(lo, mid), (mid + 1, hi)])
+        ranges.extend(nxt)
+        level = nxt
+    return ranges
+
+
+def bfs_style_queries(bundle: DatasetBundle, attribute: str,
+                      depth: int = 3) -> list[str]:
+    """The counting queries a BFS traversal of ``attribute`` would issue."""
+    schema = bundle.database.table(bundle.fact_table).schema
+    domain = schema.domain(attribute)
+    return [
+        (f"SELECT COUNT(*) FROM {bundle.fact_table} "
+         f"WHERE {attribute} BETWEEN {lo} AND {hi}")
+        for lo, hi in _dyadic_ranges(domain.low, domain.high, depth)
+    ]
+
+
+def _group_by_attributes(bundle: DatasetBundle,
+                         max_domain: int = 24) -> tuple[str, ...]:
+    """View attributes with small domains — cheap full-domain GROUP BYs."""
+    schema = bundle.database.table(bundle.fact_table).schema
+    return tuple(a for a in bundle.view_attributes
+                 if schema.domain(a).size <= max_domain)
+
+
+def build_mixed_workload(bundle: DatasetBundle, analysts: list[Analyst],
+                         queries_per_analyst: int,
+                         accuracy: float = 40000.0,
+                         group_by_fraction: float = 0.1,
+                         bfs_fraction: float = 0.2,
+                         seed: SeedLike = 0
+                         ) -> dict[str, list[QueryRequest]]:
+    """Deterministic per-analyst request streams with the paper's mix.
+
+    Roughly ``group_by_fraction`` of each stream are GROUP BY histograms and
+    ``bfs_fraction`` are BFS-style dyadic ranges; the rest are RRQs.  The
+    accuracy requirement is jittered per query (half to twice ``accuracy``)
+    so streams exercise the strictest-first planning.
+    """
+    rng = ensure_generator(seed)
+    rrq = generate_rrq(bundle, analysts, queries_per_analyst,
+                       accuracy=accuracy, seed=rng)
+    group_attrs = _group_by_attributes(bundle)
+    bfs_pool = [sql
+                for attr in ordered_attributes(bundle)[:2]
+                for sql in bfs_style_queries(bundle, attr)]
+
+    workload: dict[str, list[QueryRequest]] = {}
+    for analyst in analysts:
+        stream: list[QueryRequest] = []
+        for item in rrq[analyst.name]:
+            jitter = float(accuracy * 2.0 ** rng.uniform(-1.0, 1.0))
+            roll = rng.random()
+            if roll < group_by_fraction and group_attrs:
+                attr = group_attrs[int(rng.integers(0, len(group_attrs)))]
+                sql = (f"SELECT {attr}, COUNT(*) FROM {bundle.fact_table} "
+                       f"GROUP BY {attr}")
+            elif roll < group_by_fraction + bfs_fraction and bfs_pool:
+                sql = bfs_pool[int(rng.integers(0, len(bfs_pool)))]
+            else:
+                sql = item.sql
+            stream.append(QueryRequest(sql, accuracy=jitter))
+        workload[analyst.name] = stream
+    return workload
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of one load-generation run."""
+
+    mode: str
+    threads: int
+    total_queries: int
+    answered: int
+    rejected: int
+    failed: int
+    seconds: float
+    answer_cache_hit_rate: float
+    synopsis_cache_hit_rate: float
+    fresh_releases: int
+    total_epsilon_spent: float
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.total_queries / self.seconds if self.seconds > 0 else 0.0
+
+
+def run_throughput(service: QueryService, analysts: list[Analyst],
+                   workload: dict[str, list[QueryRequest]],
+                   mode: str = "batched", threads: int = 4,
+                   batch_size: int = 16) -> ThroughputResult:
+    """Replay ``workload`` against ``service`` across ``threads`` workers.
+
+    Analysts are assigned to threads round-robin; each worker opens one
+    session per analyst it owns and replays that analyst's stream either
+    query-by-query (``single``) or in ``batch_size`` slices (``batched``).
+    """
+    if mode not in MODES:
+        raise ReproError(f"unknown mode {mode!r}; choose from {MODES}")
+    if threads < 1:
+        raise ReproError(f"threads must be >= 1, got {threads}")
+
+    # Counters on the service are cumulative over its lifetime; report
+    # this call's delta so a reused service doesn't inflate q/s.
+    stats0 = service.stats.as_dict()
+    cache0 = service.cache_stats.as_dict()
+
+    assignments: list[list[Analyst]] = [[] for _ in range(threads)]
+    for i, analyst in enumerate(analysts):
+        assignments[i % threads].append(analyst)
+    # More threads than analysts leaves some workers without a stream; the
+    # start barrier must count only the workers that actually launch.
+    active = [owned for owned in assignments if owned]
+    barrier = threading.Barrier(len(active))
+    errors: list[BaseException] = []
+
+    def worker(owned: list[Analyst]) -> None:
+        try:
+            sessions = {a.name: service.open_session(a.name) for a in owned}
+            barrier.wait()
+            for analyst in owned:
+                stream = workload.get(analyst.name, [])
+                session = sessions[analyst.name]
+                if mode == "single":
+                    for request in stream:
+                        service.submit(session, request.sql,
+                                       accuracy=request.accuracy,
+                                       epsilon=request.epsilon)
+                else:
+                    for start in range(0, len(stream), batch_size):
+                        service.submit_batch(
+                            session, stream[start:start + batch_size])
+        except BaseException as exc:  # surfaced to the caller below
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    pool = [threading.Thread(target=worker, args=(owned,), daemon=True)
+            for owned in active]
+    watch = Stopwatch()
+    with watch:
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+    if errors:
+        raise errors[0]
+
+    stats = service.stats.as_dict()
+    cache = service.cache_stats.as_dict()
+    answer_hits = stats["answer_cache_hits"] - stats0["answer_cache_hits"]
+    fresh = stats["fresh_releases"] - stats0["fresh_releases"]
+    lookups = (cache["hits"] + cache["misses"]
+               - cache0["hits"] - cache0["misses"])
+    return ThroughputResult(
+        mode=mode, threads=len(pool),
+        total_queries=stats["submitted"] - stats0["submitted"],
+        answered=stats["answered"] - stats0["answered"],
+        rejected=stats["rejected"] - stats0["rejected"],
+        failed=stats["failed"] - stats0["failed"],
+        seconds=watch.seconds,
+        answer_cache_hit_rate=(answer_hits / (answer_hits + fresh)
+                               if answer_hits + fresh else 0.0),
+        synopsis_cache_hit_rate=((cache["hits"] - cache0["hits"]) / lookups
+                                 if lookups else 0.0),
+        fresh_releases=fresh,
+        total_epsilon_spent=(
+            sum(stats["epsilon_by_analyst"].values())
+            - sum(stats0["epsilon_by_analyst"].values())),
+    )
+
+
+def format_throughput(results: list[ThroughputResult],
+                      title: str = "service throughput") -> str:
+    """Text table comparing load-generation runs."""
+    header = (f"{'mode':>8s} {'thr':>4s} {'queries':>8s} {'ans':>7s} "
+              f"{'rej':>6s} {'q/s':>9s} {'hit%':>6s} {'fresh':>6s} "
+              f"{'eps':>8s}")
+    lines = [f"== {title} ==", header, "-" * len(header)]
+    for r in results:
+        lines.append(
+            f"{r.mode:>8s} {r.threads:>4d} {r.total_queries:>8d} "
+            f"{r.answered:>7d} {r.rejected:>6d} {r.queries_per_second:>9.1f} "
+            f"{100.0 * r.answer_cache_hit_rate:>5.1f}% {r.fresh_releases:>6d} "
+            f"{r.total_epsilon_spent:>8.3f}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "MODES",
+    "ThroughputResult",
+    "bfs_style_queries",
+    "build_mixed_workload",
+    "format_throughput",
+    "run_throughput",
+]

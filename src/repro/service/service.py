@@ -1,0 +1,275 @@
+"""The multi-analyst query service: sessions, batching, thread safety.
+
+:class:`QueryService` is the serving front-end over a :class:`DProvDB`
+engine.  It adds what the bare engine lacks for concurrent operation:
+
+* **sessions** — many connections (e.g. one per worker thread) mapped onto
+  the engine's registered analysts;
+* **a global critical section** — the engine's constraint check and the
+  provenance update it authorises are not atomic on their own; the service
+  serialises every submission through one reentrant lock so concurrent
+  sessions can never interleave a check-then-charge and over-spend a
+  budget (see ``tests/test_service_concurrency.py`` for the invariant);
+* **batched planning** — :func:`repro.service.planner.plan_batch` orders a
+  batch view-by-view, strictest accuracy first, so one synopsis refresh
+  answers many queries;
+* **a bounded synopsis cache** — local synopses live in an LRU store with
+  hit/miss statistics (:class:`repro.metrics.runtime.CacheStats`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.analyst import Analyst
+from repro.core.engine import Answer, DProvDB
+from repro.core.synopsis import SynopsisStore
+from repro.datasets.base import DatasetBundle
+from repro.exceptions import QueryRejected, ReproError
+from repro.metrics.runtime import CacheStats, Stopwatch
+from repro.service.cache import LruSynopsisStore
+from repro.service.planner import BatchPlan, plan_batch
+from repro.service.session import QueryRequest, QueryResponse, Session
+
+#: Default bound on cached local synopses (one entry per (analyst, view)
+#: pair, so this accommodates e.g. 16 analysts x 16 hot views).  Pass
+#: ``max_cached_synopses=None`` for an unbounded store: an eviction is not
+#: free — re-deriving the synopsis later is a fresh release (see
+#: :mod:`repro.service.cache`).
+DEFAULT_MAX_CACHED = 256
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters the service exposes for monitoring."""
+
+    submitted: int = 0
+    answered: int = 0
+    rejected: int = 0
+    failed: int = 0
+    answer_cache_hits: int = 0
+    fresh_releases: int = 0
+    batches: int = 0
+    epsilon_by_analyst: dict[str, float] = field(default_factory=dict)
+    busy_seconds: float = 0.0
+
+    @property
+    def answer_cache_hit_rate(self) -> float:
+        """Fraction of *answers* served without a fresh release."""
+        total = self.answer_cache_hits + self.fresh_releases
+        return self.answer_cache_hits / total if total else 0.0
+
+    def _record_answer(self, analyst: str, answer: Answer) -> None:
+        if answer.cache_hit:
+            self.answer_cache_hits += 1
+        else:
+            self.fresh_releases += 1
+        self.epsilon_by_analyst[analyst] = \
+            self.epsilon_by_analyst.get(analyst, 0.0) + answer.epsilon_charged
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted, "answered": self.answered,
+            "rejected": self.rejected, "failed": self.failed,
+            "answer_cache_hits": self.answer_cache_hits,
+            "fresh_releases": self.fresh_releases,
+            "answer_cache_hit_rate": self.answer_cache_hit_rate,
+            "batches": self.batches,
+            "epsilon_by_analyst": dict(self.epsilon_by_analyst),
+            "busy_seconds": self.busy_seconds,
+        }
+
+
+class QueryService:
+    """Thread-safe serving layer over one :class:`DProvDB` engine."""
+
+    def __init__(self, engine: DProvDB,
+                 max_cached_synopses: int | None = DEFAULT_MAX_CACHED) -> None:
+        if engine.mechanism.store.local_keys or \
+                engine.mechanism.store.global_views:
+            raise ReproError(
+                "QueryService must wrap a fresh engine (its synopsis store "
+                "is replaced with a bounded one); construct the service "
+                "before submitting queries, or use QueryService.build()"
+            )
+        if type(engine.mechanism.store) is not SynopsisStore:
+            raise ReproError(
+                "the engine already carries a custom synopsis store; "
+                "QueryService manages its own bounded store — drop the "
+                "synopsis_store= injection and size the service's cache "
+                "with max_cached_synopses= instead"
+            )
+        self._engine = engine
+        self._lock = threading.RLock()
+        self._sessions: dict[int, Session] = {}
+        self._session_ids = itertools.count(1)
+        self.cache_stats = CacheStats()
+        engine.mechanism.store = LruSynopsisStore(max_cached_synopses,
+                                                  self.cache_stats)
+        self.stats = ServiceStats()
+        self._watch = Stopwatch()
+
+    @classmethod
+    def build(cls, bundle: DatasetBundle, analysts: Sequence[Analyst],
+              epsilon: float, *,
+              max_cached_synopses: int | None = DEFAULT_MAX_CACHED,
+              **engine_kwargs) -> "QueryService":
+        """Construct an engine and wrap it in one step."""
+        return cls(DProvDB(bundle, analysts, epsilon, **engine_kwargs),
+                   max_cached_synopses=max_cached_synopses)
+
+    @property
+    def engine(self) -> DProvDB:
+        """The wrapped engine.  Mutating it outside the service lock forfeits
+        the concurrency guarantees; prefer the session API."""
+        return self._engine
+
+    # -- sessions -------------------------------------------------------------
+    def open_session(self, analyst: str) -> Session:
+        """Open a connection for a registered analyst (many allowed)."""
+        with self._lock:
+            self._engine._check_analyst(analyst)
+            session = Session(next(self._session_ids), analyst)
+            self._sessions[session.session_id] = session
+            return session
+
+    def close_session(self, session: Session | int) -> Session:
+        """Close a session; its counters remain readable."""
+        with self._lock:
+            closed = self._resolve_session(session)
+            closed.closed = True
+            del self._sessions[closed.session_id]
+            return closed
+
+    def active_sessions(self) -> tuple[Session, ...]:
+        with self._lock:
+            return tuple(self._sessions.values())
+
+    def _resolve_session(self, session: Session | int) -> Session:
+        session_id = session.session_id if isinstance(session, Session) \
+            else session
+        try:
+            live = self._sessions[session_id]
+        except KeyError:
+            raise ReproError(f"no open session {session_id}") from None
+        return live
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, session: Session | int, sql,
+               accuracy: float | None = None,
+               epsilon: float | None = None) -> QueryResponse:
+        """Answer one query on a session; never raises for query-level
+        failures — inspect :attr:`QueryResponse.error`."""
+        request = QueryRequest(sql, accuracy=accuracy, epsilon=epsilon)
+        with self._lock:
+            live = self._resolve_session(session)
+            with self._watch:
+                response = self._execute(live.analyst, 0, request,
+                                         is_group_by=None)
+            self._account(live, response)
+            self.stats.busy_seconds = self._watch.seconds
+        return response
+
+    def submit_batch(self, session: Session | int,
+                     requests: Sequence[QueryRequest]
+                     ) -> list[QueryResponse]:
+        """Answer a batch through the view-grouping planner.
+
+        Responses are returned in the order of ``requests`` regardless of
+        execution order.
+        """
+        batch = [r if isinstance(r, QueryRequest) else QueryRequest(r)
+                 for r in requests]
+        with self._lock:
+            live = self._resolve_session(session)
+            with self._watch:
+                plan = plan_batch(self._engine, batch)
+                responses: list[QueryResponse | None] = [None] * len(batch)
+                for item in plan.ordered:
+                    responses[item.index] = self._execute_planned(
+                        live.analyst, item)
+            for response in responses:
+                self._account(live, response)
+            live.batches += 1
+            self.stats.batches += 1
+            self.stats.busy_seconds = self._watch.seconds
+        return responses  # type: ignore[return-value]
+
+    def plan(self, requests: Sequence[QueryRequest]) -> BatchPlan:
+        """Expose the planner's decision for a batch (no execution)."""
+        with self._lock:
+            return plan_batch(self._engine, list(requests))
+
+    def _execute_planned(self, analyst: str, item) -> QueryResponse:
+        """Run one planned entry, using the compiled fast path when the
+        planner kept the (view, query, target) triple."""
+        if not item.compiled:
+            return self._execute(analyst, item.index, item.request,
+                                 is_group_by=item.is_group_by,
+                                 statement=item.statement)
+        try:
+            answer = self._engine.submit_compiled(
+                analyst, item.statement, item.view, item.query, item.target)
+            return QueryResponse(item.index, answer=answer)
+        except QueryRejected as exc:
+            return QueryResponse(item.index, error=str(exc), rejected=True)
+        except ReproError as exc:
+            return QueryResponse(item.index, error=str(exc))
+
+    def _execute(self, analyst: str, index: int, request: QueryRequest,
+                 is_group_by: bool | None,
+                 statement=None) -> QueryResponse:
+        """Run one request against the engine (caller holds the lock)."""
+        sql = statement if statement is not None else request.sql
+        try:
+            if is_group_by is None:
+                resolved = self._engine._resolve(sql)
+                is_group_by = bool(resolved.group_by)
+                sql = resolved
+            if is_group_by:
+                groups = self._engine.submit_group_by(
+                    analyst, sql, accuracy=request.accuracy,
+                    epsilon=request.epsilon)
+                return QueryResponse(index, groups=tuple(groups))
+            answer = self._engine.submit(analyst, sql,
+                                         accuracy=request.accuracy,
+                                         epsilon=request.epsilon)
+            return QueryResponse(index, answer=answer)
+        except QueryRejected as exc:
+            return QueryResponse(index, error=str(exc), rejected=True)
+        except ReproError as exc:
+            return QueryResponse(index, error=str(exc))
+
+    def _account(self, session: Session, response: QueryResponse) -> None:
+        session._record(response)
+        self.stats.submitted += 1
+        if not response.ok:
+            if response.rejected:
+                self.stats.rejected += 1
+            else:
+                self.stats.failed += 1
+            return
+        self.stats.answered += 1
+        for answer in response.answers():
+            self.stats._record_answer(session.analyst, answer)
+
+    # -- reporting ------------------------------------------------------------
+    def analyst_spent(self, analyst: str) -> float:
+        """Epsilon the provenance table records for one analyst."""
+        with self._lock:
+            return self._engine.provenance.row_total(analyst)
+
+    def snapshot(self) -> dict:
+        """Point-in-time service metrics (service + synopsis-cache stats)."""
+        with self._lock:
+            return {
+                "service": self.stats.as_dict(),
+                "synopsis_cache": self.cache_stats.as_dict(),
+                "open_sessions": len(self._sessions),
+            }
+
+
+__all__ = ["DEFAULT_MAX_CACHED", "QueryService", "ServiceStats"]

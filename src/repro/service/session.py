@@ -1,0 +1,96 @@
+"""Analyst sessions and the request/response envelope of the service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import Answer
+from repro.db.sql.ast import SelectStatement
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query as submitted to the service.
+
+    Exactly one of ``accuracy`` (expected-squared-error bound) or
+    ``epsilon`` (explicit budget) must be set, mirroring the engine's dual
+    submission modes.
+    """
+
+    sql: str | SelectStatement
+    accuracy: float | None = None
+    epsilon: float | None = None
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Outcome of one request, in the batch's original position.
+
+    Scalar queries carry ``answer``; GROUP BY queries carry ``groups`` (the
+    ``[(key, Answer), ...]`` list of the engine's full-domain semantics).
+    Refused or failed queries carry ``error`` with ``rejected`` marking a
+    constraint refusal as opposed to a malformed request.
+    """
+
+    index: int
+    answer: Answer | None = None
+    groups: tuple[tuple[tuple, Answer], ...] | None = None
+    error: str | None = None
+    rejected: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def answers(self) -> tuple[Answer, ...]:
+        """Every released :class:`Answer` in this response (empty on
+        failure; one per group for GROUP BY)."""
+        if self.answer is not None:
+            return (self.answer,)
+        return tuple(answer for _, answer in self.groups or ())
+
+    def value(self) -> float:
+        """Scalar answer value; raises if the query failed or was grouped."""
+        if self.answer is None:
+            raise ValueError(f"response {self.index} has no scalar answer "
+                             f"(error={self.error!r})")
+        return self.answer.value
+
+
+@dataclass
+class Session:
+    """One analyst's open connection to the service.
+
+    Sessions are cheap bookkeeping handles: several sessions may share one
+    analyst identity (e.g. one per worker thread), and all of them draw from
+    that analyst's single provenance row.  Counters are updated by the
+    service under its lock.
+    """
+
+    session_id: int
+    analyst: str
+    submitted: int = 0
+    answered: int = 0
+    rejected: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    epsilon_spent: float = 0.0
+    batches: int = 0
+    closed: bool = False
+
+    def _record(self, response: QueryResponse) -> None:
+        self.submitted += 1
+        if not response.ok:
+            if response.rejected:
+                self.rejected += 1
+            else:
+                self.failed += 1
+            return
+        self.answered += 1
+        for answer in response.answers():
+            self.epsilon_spent += answer.epsilon_charged
+            if answer.cache_hit:
+                self.cache_hits += 1
+
+
+__all__ = ["QueryRequest", "QueryResponse", "Session"]

@@ -205,6 +205,62 @@ class TestExecutor:
             result.scalar()
 
 
+class TestQueryResultEdgeCases:
+    """Regressions for edge cases surfaced by the fuzz tests."""
+
+    def test_scalar_on_empty_grouped_result(self, db):
+        # No row matches: standard SQL yields zero groups, not one.
+        result = db.execute(
+            "SELECT color, COUNT(*) FROM t WHERE age > 9 GROUP BY color")
+        assert result.is_empty and result.rows == ()
+        with pytest.raises(SQLError, match="empty result"):
+            result.scalar()
+
+    def test_as_dict_on_empty_grouped_result(self, db):
+        result = db.execute(
+            "SELECT color, COUNT(*) FROM t WHERE age > 9 GROUP BY color")
+        assert result.as_dict() == {}
+
+    def test_as_dict_on_scalar_result_rejected(self, db):
+        # Previously returned the nonsensical {value: value}.
+        result = db.execute("SELECT COUNT(*) FROM t")
+        with pytest.raises(SQLError, match="grouped result"):
+            result.as_dict()
+
+    def test_single_key_group_with_multiple_aggregates(self, db):
+        # Previously mis-split the row: arity came from len(columns) - 1,
+        # which counts extra aggregates as key columns.
+        result = db.execute(
+            "SELECT color, COUNT(*), SUM(score) FROM t GROUP BY color")
+        assert result.group_arity == 1
+        assert result.as_dict() == {"r": (2, 60.0), "g": (2, 50.0),
+                                    "b": (1, 40.0)}
+
+    def test_two_key_group_with_multiple_aggregates(self, db):
+        result = db.execute(
+            "SELECT color, age, COUNT(*), SUM(score) FROM t "
+            "GROUP BY color, age")
+        assert result.group_arity == 2
+        assert result.as_dict()[("g", 3)] == (2, 50.0)
+
+    def test_two_key_single_aggregate_keys_are_tuples(self, db):
+        result = db.execute(
+            "SELECT color, age, COUNT(*) FROM t GROUP BY color, age")
+        assert result.as_dict()[("r", 1)] == 1
+
+    def test_multi_aggregate_scalar_rejected_by_scalar(self, db):
+        result = db.execute("SELECT COUNT(*), SUM(score) FROM t")
+        with pytest.raises(SQLError, match="1x1"):
+            result.scalar()
+
+    def test_scalar_on_singleton_group_still_rejected(self, db):
+        result = db.execute(
+            "SELECT color, COUNT(*) FROM t WHERE color = 'b' GROUP BY color")
+        assert len(result.rows) == 1
+        with pytest.raises(SQLError, match="as_dict"):
+            result.scalar()
+
+
 class TestDatabase:
     def test_unknown_table(self, db):
         with pytest.raises(SQLError):

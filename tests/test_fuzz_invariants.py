@@ -1,12 +1,29 @@
-"""Seeded fuzz tests: system invariants under random adaptive workloads."""
+"""Seeded fuzz tests: system invariants under random adaptive workloads,
+plus property-based round-trips for the SQL layer (hypothesis)."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import Analyst, DProvDB
+from repro.db.schema import Attribute, CategoricalDomain, IntegerDomain, Schema
+from repro.db.sql.ast import (
+    AGGREGATE_FUNCS,
+    Aggregate,
+    Between,
+    Comparison,
+    InList,
+    Predicate,
+    SelectStatement,
+)
+from repro.db.sql.executor import predicate_mask
+from repro.db.sql.lexer import KEYWORDS
 from repro.db.sql.parser import parse
+from repro.db.sql.unparse import to_sql
+from repro.db.table import Table
 from repro.views.transform import is_answerable, transform
 from repro.workloads.rrq import ordered_attributes
 
@@ -98,3 +115,148 @@ def test_additive_cache_state_is_consistent(adult_bundle):
         # Provenance entry capped by the global budget (Alg. 4 accounting).
         assert engine.provenance.get(analyst_name, view_name) <= \
             global_syn.epsilon + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trips for the SQL layer (parse . to_sql == identity).
+# ---------------------------------------------------------------------------
+
+def _identifiers():
+    """Valid non-keyword identifiers (keywords are case-insensitive)."""
+    return st.from_regex(r"[a-z_][a-z0-9_]{0,11}", fullmatch=True) \
+        .filter(lambda s: s.upper() not in KEYWORDS)
+
+
+def _literals():
+    """Literals whose text form round-trips through the lexer.
+
+    Floats are 64ths so ``repr`` is exact, always contains a ``.``, and
+    never switches to exponent notation; strings may contain quotes (the
+    unparser escapes them the standard SQL way).
+    """
+    ints = st.integers(min_value=-10**9, max_value=10**9)
+    floats = st.integers(min_value=-10**6, max_value=10**6) \
+        .map(lambda n: n / 64.0)
+    strings = st.text(
+        alphabet=st.sampled_from("abcXYZ019 _-.'%()"), max_size=12)
+    return st.one_of(ints, floats, strings)
+
+
+def _conditions(columns):
+    comparisons = st.builds(
+        Comparison, column=columns,
+        op=st.sampled_from(("=", "!=", "<", "<=", ">", ">=")),
+        value=_literals())
+    betweens = st.builds(Between, column=columns, low=_literals(),
+                         high=_literals())
+    in_lists = st.builds(
+        InList, column=columns,
+        values=st.lists(_literals(), min_size=1, max_size=4).map(tuple))
+    return st.one_of(comparisons, betweens, in_lists)
+
+
+def _aggregates(columns):
+    with_column = st.builds(Aggregate, func=st.sampled_from(AGGREGATE_FUNCS),
+                            column=columns)
+    count_star = st.just(Aggregate("COUNT", None))
+    return st.one_of(with_column, count_star)
+
+
+@st.composite
+def select_statements(draw):
+    columns = _identifiers()
+    group_by = tuple(draw(st.lists(columns, max_size=2, unique=True)))
+    aggregates = tuple(draw(st.lists(_aggregates(columns), min_size=1,
+                                     max_size=3)))
+    predicate = Predicate(tuple(draw(st.lists(_conditions(columns),
+                                              max_size=3))))
+    return SelectStatement(aggregates, draw(columns), predicate, group_by)
+
+
+class TestSqlRoundTrip:
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(select_statements())
+    def test_parse_inverts_unparse(self, statement):
+        """``parse(to_sql(ast)) == ast`` for every generated statement."""
+        assert parse(to_sql(statement)) == statement
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(select_statements())
+    def test_unparse_is_stable(self, statement):
+        """Canonical text is a fixed point: unparse . parse . unparse = id."""
+        text = to_sql(statement)
+        assert to_sql(parse(text)) == text
+
+
+# ---------------------------------------------------------------------------
+# predicate_mask vs a naive row-by-row evaluator on small random tables.
+# ---------------------------------------------------------------------------
+
+_COLORS = ("r", "g", "b")
+_MASK_SCHEMA = Schema([
+    Attribute("x", IntegerDomain(0, 9)),
+    Attribute("y", IntegerDomain(-3, 3)),
+    Attribute("c", CategoricalDomain(_COLORS)),
+])
+
+
+def _naive_condition(cond, row: dict) -> bool:
+    value = row[cond.column]
+    if isinstance(cond, Comparison):
+        ops = {"=": lambda a, b: a == b, "!=": lambda a, b: a != b,
+               "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+               ">": lambda a, b: a > b, ">=": lambda a, b: a >= b}
+        return bool(ops[cond.op](value, cond.value))
+    if isinstance(cond, Between):
+        return bool(cond.low <= value <= cond.high)
+    assert isinstance(cond, InList)
+    return value in cond.values
+
+
+def _mask_conditions():
+    int_col = st.sampled_from(("x", "y"))
+    int_value = st.integers(min_value=-6, max_value=12)
+    # Categorical columns support equality ops only; include an out-of-table
+    # value ("z") so empty matches are exercised.
+    cat_value = st.sampled_from(_COLORS + ("z",))
+    return st.one_of(
+        st.builds(Comparison, column=int_col,
+                  op=st.sampled_from(("=", "!=", "<", "<=", ">", ">=")),
+                  value=int_value),
+        st.builds(Comparison, column=st.just("c"),
+                  op=st.sampled_from(("=", "!=")), value=cat_value),
+        st.builds(Between, column=int_col, low=int_value, high=int_value),
+        st.builds(InList, column=int_col,
+                  values=st.lists(int_value, min_size=1, max_size=3)
+                  .map(tuple)),
+        st.builds(InList, column=st.just("c"),
+                  values=st.lists(cat_value, min_size=1, max_size=3)
+                  .map(tuple)),
+    )
+
+
+class TestPredicateMaskAgainstNaive:
+    @settings(max_examples=100, deadline=None, derandomize=True)
+    @given(data=st.data(),
+           num_rows=st.integers(min_value=0, max_value=25))
+    def test_mask_matches_row_by_row(self, data, num_rows):
+        xs = data.draw(st.lists(st.integers(0, 9), min_size=num_rows,
+                                max_size=num_rows))
+        ys = data.draw(st.lists(st.integers(-3, 3), min_size=num_rows,
+                                max_size=num_rows))
+        cs = data.draw(st.lists(st.sampled_from(_COLORS), min_size=num_rows,
+                                max_size=num_rows))
+        table = Table.from_values(_MASK_SCHEMA,
+                                  {"x": xs, "y": ys, "c": cs})
+        conditions = data.draw(st.lists(_mask_conditions(),
+                                        min_size=0, max_size=3))
+        predicate = Predicate(tuple(conditions))
+
+        mask = predicate_mask(table, predicate)
+        rows = [{"x": xs[i], "y": ys[i], "c": cs[i]}
+                for i in range(num_rows)]
+        expected = np.array(
+            [all(_naive_condition(c, row) for c in conditions)
+             for row in rows], dtype=bool).reshape(num_rows)
+        assert mask.shape == (num_rows,)
+        assert np.array_equal(mask, expected)

@@ -1,0 +1,135 @@
+"""Statistical calibration: sampled noise matches the tracked variances.
+
+The whole accounting chain hangs on the per-bin variances the system
+*claims*: the analytic-GM calibration (``dp/gaussian``), the additive
+release chain (``core/additive_gm``), and the ``variance`` attribute each
+:class:`Synopsis` carries.  These tests draw ~10k samples (seeded) and
+assert the empirical variance agrees with the analytic/tracked value.
+
+Tolerances: the sample variance of n i.i.d. Gaussians has relative sd
+``sqrt(2/n)`` (~1.4% at n = 10^4); 6% bounds are > 4 sigma, and the seeds
+are fixed, so these never flake.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Analyst, DProvDB
+from repro.core.additive_gm import additive_gaussian_release, degrade
+from repro.dp.gaussian import GaussianMechanism, analytic_gaussian_sigma
+
+N_DRAWS = 10_000
+RTOL = 0.06
+
+
+class TestGaussianCalibration:
+    @pytest.mark.parametrize("epsilon,delta", [(0.5, 1e-9), (2.0, 1e-7)])
+    def test_release_variance_matches_analytic(self, epsilon, delta):
+        mech = GaussianMechanism(epsilon, delta, sensitivity=1.0)
+        rng = np.random.default_rng(101)
+        noise = mech.release(np.zeros(N_DRAWS), rng=rng)
+        assert np.var(noise) == pytest.approx(mech.variance, rel=RTOL)
+        assert abs(np.mean(noise)) < 4.0 * mech.sigma / np.sqrt(N_DRAWS)
+
+    def test_degrade_adds_exactly_the_variance_gap(self):
+        rng = np.random.default_rng(202)
+        v_from, v_to = 2.0, 9.0
+        base = rng.normal(0.0, np.sqrt(v_from), N_DRAWS)
+        degraded = degrade(base, v_from, v_to, rng)
+        assert np.var(degraded - base) == pytest.approx(v_to - v_from,
+                                                        rel=RTOL)
+        assert np.var(degraded) == pytest.approx(v_to, rel=RTOL)
+
+    def test_degrade_never_removes_noise(self):
+        values = np.arange(8.0)
+        assert np.array_equal(degrade(values, 5.0, 2.0, 1), values)
+
+
+class TestAdditiveReleaseChain:
+    def test_each_analyst_sees_their_analytic_variance(self):
+        budgets = {"strong": (2.0, 1e-9), "mid": (0.8, 1e-9),
+                   "weak": (0.2, 1e-9)}
+        releases = additive_gaussian_release(
+            np.zeros(N_DRAWS), budgets, sensitivity=1.0,
+            rng=np.random.default_rng(303))
+        for name, (epsilon, delta) in budgets.items():
+            sigma = analytic_gaussian_sigma(epsilon, delta, 1.0)
+            release = releases[name]
+            assert release.sigma == pytest.approx(sigma)
+            assert np.var(release.values) == pytest.approx(sigma ** 2,
+                                                           rel=RTOL)
+
+    def test_chain_is_correlated_not_independent(self):
+        """Weaker releases are the strong one plus *independent* extra noise
+        (Algorithm 3): the difference's variance is the variance gap, not
+        the sum two independent draws would give."""
+        budgets = {"strong": (2.0, 1e-9), "weak": (0.2, 1e-9)}
+        releases = additive_gaussian_release(
+            np.zeros(N_DRAWS), budgets, rng=np.random.default_rng(404))
+        v_strong = releases["strong"].sigma ** 2
+        v_weak = releases["weak"].sigma ** 2
+        diff = releases["weak"].values - releases["strong"].values
+        assert np.var(diff) == pytest.approx(v_weak - v_strong, rel=RTOL)
+
+
+class TestSynopsisTrackedVariance:
+    """Engine-level: the ``variance`` a Synopsis tracks is the empirical
+    per-bin noise variance of its values, including after the additive
+    approach's inverse-variance combinations (Eq. 2)."""
+
+    WIDE_SQL = ("SELECT COUNT(*) FROM adult WHERE age BETWEEN 20 AND 70 "
+                "AND hours_per_week BETWEEN 10 AND 90")
+
+    @pytest.fixture
+    def engine(self, adult_bundle):
+        engine = DProvDB(adult_bundle, [Analyst("a", 2), Analyst("b", 8)],
+                         epsilon=40.0, seed=505)
+        # A two-way view has 74 * 99 = 7326 bins — enough draws for a tight
+        # empirical variance from a single release.
+        engine.register_view(("age", "hours_per_week"))
+        return engine
+
+    def _noise(self, engine, synopsis):
+        exact = engine.registry.exact_values(synopsis.view_name)
+        return synopsis.values - exact
+
+    def test_global_and_local_synopses(self, engine):
+        engine.submit("b", self.WIDE_SQL, accuracy=30000.0)
+        store = engine.mechanism.store
+        view_name = "adult.age_hours_per_week"
+        global_syn = store.global_synopsis(view_name)
+        assert global_syn is not None and global_syn.values.size == 7326
+        assert np.var(self._noise(engine, global_syn)) == \
+            pytest.approx(global_syn.variance, rel=RTOL)
+
+        local = store.local_synopsis("b", view_name)
+        assert local.variance >= global_syn.variance - 1e-12
+        assert np.var(self._noise(engine, local)) == \
+            pytest.approx(local.variance, rel=RTOL)
+
+    def test_tracked_variance_after_combination(self, engine):
+        """A stricter follow-up forces the Eq. 2 global combination; the
+        tracked post-combination variance must stay empirical."""
+        engine.submit("b", self.WIDE_SQL, accuracy=30000.0)
+        before = engine.mechanism.store.global_synopsis(
+            "adult.age_hours_per_week")
+        engine.submit("b", self.WIDE_SQL, accuracy=3000.0)
+        after = engine.mechanism.store.global_synopsis(
+            "adult.age_hours_per_week")
+        assert after.variance < before.variance
+        assert after.epsilon > before.epsilon
+        assert np.var(self._noise(engine, after)) == \
+            pytest.approx(after.variance, rel=RTOL)
+
+    def test_vanilla_local_synopsis_variance(self, adult_bundle):
+        engine = DProvDB(adult_bundle, [Analyst("a", 2)], epsilon=40.0,
+                         mechanism="vanilla", seed=606)
+        engine.register_view(("age", "hours_per_week"))
+        engine.submit("a", self.WIDE_SQL, accuracy=30000.0)
+        local = engine.mechanism.store.local_synopsis(
+            "a", "adult.age_hours_per_week")
+        exact = engine.registry.exact_values(local.view_name)
+        assert np.var(local.values - exact) == pytest.approx(local.variance,
+                                                             rel=RTOL)

@@ -1,0 +1,167 @@
+"""Stress test: N threads hammer one QueryService with overlapping analysts.
+
+The invariant under attack is budget accounting: the engine's constraint
+check and the provenance update it authorises are separate steps, so
+without the service's critical section two threads could both pass a check
+against the same remaining budget and jointly over-spend it.  After the
+storm we assert every analyst's spent budget is within its allowance, the
+provenance table satisfies its structural invariants, and every epsilon
+charged to a response is accounted for in the table (no lost updates).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import Analyst, QueryService
+from repro.service import QueryRequest
+
+NUM_THREADS = 8
+QUERIES_PER_THREAD = 40
+
+ANALYSTS = [Analyst("alpha", 1), Analyst("beta", 3),
+            Analyst("gamma", 7), Analyst("delta", 10)]
+
+
+def _random_requests(bundle, rng, count):
+    from repro.workloads.rrq import ordered_attributes
+
+    schema = bundle.database.table(bundle.fact_table).schema
+    attributes = ordered_attributes(bundle)
+    requests = []
+    for _ in range(count):
+        attr = attributes[int(rng.integers(0, len(attributes)))]
+        domain = schema.domain(attr)
+        low = int(rng.integers(domain.low, domain.high + 1))
+        high = int(rng.integers(low, domain.high + 1))
+        sql = (f"SELECT COUNT(*) FROM {bundle.fact_table} "
+               f"WHERE {attr} BETWEEN {low} AND {high}")
+        requests.append(QueryRequest(sql,
+                                     accuracy=float(10 ** rng.uniform(3.0, 5.5))))
+    return requests
+
+
+@pytest.mark.parametrize("mechanism", ["additive", "vanilla"])
+@pytest.mark.parametrize("use_batches", [False, True])
+def test_concurrent_sessions_never_overspend(adult_bundle, mechanism,
+                                             use_batches):
+    """Overlapping analysts across >= 8 threads cannot exceed any budget."""
+    epsilon = 1.5
+    service = QueryService.build(adult_bundle, ANALYSTS, epsilon,
+                                 mechanism=mechanism,
+                                 max_cached_synopses=16, seed=7)
+    engine = service.engine
+
+    responses_lock = threading.Lock()
+    charged: dict[str, float] = {a.name: 0.0 for a in ANALYSTS}
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(NUM_THREADS)
+
+    def worker(worker_id: int) -> None:
+        try:
+            rng = np.random.default_rng(1000 + worker_id)
+            # Two threads share each analyst: overlapping identities.
+            analyst = ANALYSTS[worker_id % len(ANALYSTS)].name
+            session = service.open_session(analyst)
+            requests = _random_requests(adult_bundle, rng, QUERIES_PER_THREAD)
+            barrier.wait()
+            if use_batches:
+                responses = []
+                for start in range(0, len(requests), 8):
+                    responses.extend(
+                        service.submit_batch(session, requests[start:start + 8]))
+            else:
+                responses = [service.submit(session, r.sql,
+                                            accuracy=r.accuracy)
+                             for r in requests]
+            spent = sum(r.answer.epsilon_charged for r in responses
+                        if r.ok and r.answer is not None)
+            with responses_lock:
+                charged[analyst] += spent
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(NUM_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+    # 1. No analyst's ledger exceeds its row constraint.
+    for analyst in ANALYSTS:
+        consumed = engine.provenance.row_total(analyst.name)
+        assert consumed <= \
+            engine.constraints.analyst_limit(analyst.name) + 1e-9
+
+    # 2. Worst-case collusion stays under the table constraint.
+    assert engine.collusion_bound() <= epsilon + 1e-9
+
+    # 3. Structural invariants of the provenance table.
+    matrix = engine.provenance_matrix()
+    assert (matrix >= 0).all()
+    assert matrix.shape == (len(engine.provenance.analysts),
+                            len(engine.provenance.views))
+    for view in engine.provenance.views:
+        assert engine.provenance.column_max(view) <= \
+            engine.constraints.view_limit(view) + 1e-9
+
+    # 4. No lost updates: every epsilon charged to a response is in the
+    # table, and nothing is in the table that was not charged.
+    for analyst in ANALYSTS:
+        assert engine.provenance.row_total(analyst.name) == \
+            pytest.approx(charged[analyst.name], abs=1e-6)
+
+    # 5. Service-level counters agree with the workload size.
+    stats = service.stats
+    assert stats.submitted == NUM_THREADS * QUERIES_PER_THREAD
+    assert stats.answered + stats.rejected + stats.failed == stats.submitted
+    assert stats.failed == 0
+
+
+def test_concurrent_distinct_analysts_share_synopses(adult_bundle):
+    """Threads with distinct analysts on one service stay within budget and
+    benefit from the shared global synopsis (additive accounting)."""
+    analysts = [Analyst(f"worker_{i}", 1 + i) for i in range(NUM_THREADS)]
+    epsilon = 2.0
+    service = QueryService.build(adult_bundle, analysts, epsilon, seed=11)
+    barrier = threading.Barrier(NUM_THREADS)
+    errors: list[BaseException] = []
+
+    sql = ("SELECT COUNT(*) FROM adult WHERE age BETWEEN 25 AND 55")
+
+    def worker(analyst: str, worker_id: int) -> None:
+        try:
+            session = service.open_session(analyst)
+            barrier.wait()
+            for step in range(20):
+                service.submit(session, sql, accuracy=2000.0 + 100.0 * step)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [threading.Thread(target=worker, args=(a.name, i))
+               for i, a in enumerate(analysts)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+    # Additive accounting: the view's realised loss is the column max, and
+    # all analysts asking the same query share one global synopsis.
+    view = service.engine.mechanism.store.global_views[0]
+    column_max = service.engine.provenance.column_max(view)
+    total_rows = sum(service.engine.provenance.row_total(a.name)
+                     for a in analysts)
+    assert service.engine.collusion_bound() <= epsilon + 1e-9
+    assert column_max <= service.engine.constraints.view_limit(view) + 1e-9
+    # Sharing: the collusion bound is far below the naive sum of rows.
+    assert service.engine.collusion_bound() <= total_rows + 1e-9
+    # Repeated identical queries must mostly hit the cache.
+    assert service.stats.answer_cache_hit_rate > 0.5
