@@ -27,6 +27,7 @@ from repro.core import (
     CorruptionGraph,
     DProvDB,
     ProvenanceTable,
+    Reservation,
     Synopsis,
     SynopsisStore,
     VanillaMechanism,
@@ -50,6 +51,7 @@ from repro.service import (
     QueryResponse,
     QueryService,
     Session,
+    ShardManager,
 )
 
 __version__ = "1.0.0"
@@ -72,8 +74,10 @@ __all__ = [
     "QueryResponse",
     "QueryService",
     "ReproError",
+    "Reservation",
     "Schema",
     "Session",
+    "ShardManager",
     "SimulatedPrivateSQL",
     "Synopsis",
     "SynopsisStore",

@@ -12,8 +12,11 @@ Usage::
 Each subcommand maps to one experiment regenerator (see DESIGN.md §3);
 options control the reduced scale.  Output is the same text tables the
 benchmarks print.  ``bench-service`` drives the concurrent serving layer
-(:mod:`repro.service`) with a mixed multi-analyst workload and compares
-one-query-at-a-time submission against batched planning.
+(:mod:`repro.service`) with a mixed or disjoint-view multi-analyst
+workload and compares one-query-at-a-time submission against batched
+planning; ``--compare-global`` additionally pits the sharded service
+against the global-lock baseline and ``--json`` writes the
+machine-readable ``BENCH_service_throughput.json`` artifact.
 """
 
 from __future__ import annotations
@@ -126,7 +129,9 @@ def _rq1(args) -> str:
 def _bench_service(args) -> str:
     from repro.experiments.service_throughput import (
         format_service_throughput,
+        format_sharding_comparison,
         run_service_throughput,
+        run_sharding_comparison,
     )
 
     results = run_service_throughput(
@@ -134,8 +139,26 @@ def _bench_service(args) -> str:
         num_analysts=args.analysts, queries_per_analyst=args.queries,
         threads=args.threads, batch_size=args.batch_size,
         epsilon=args.epsilon, repeats=args.repeats, seed=args.seed,
+        execution=args.execution, shards=args.shards,
+        workload=args.workload,
     )
-    return format_service_throughput(results)
+    report = format_service_throughput(results)
+    comparison = None
+    if args.compare_global:
+        comparison = run_sharding_comparison(
+            dataset=args.dataset, num_rows=args.rows,
+            num_analysts=args.analysts,
+            queries_per_analyst=min(args.queries, 60),
+            threads=args.threads, repeats=args.repeats, seed=args.seed,
+            shards=args.shards,
+        )
+        report += "\n\n" + format_sharding_comparison(comparison)
+    if args.json is not None:
+        from repro.experiments.service_throughput import write_json_artifact
+
+        write_json_artifact(args.json, results, comparison)
+        report += f"\nwrote {args.json}"
+    return report
 
 
 COMMANDS: dict[str, tuple[Callable, str]] = {
@@ -180,6 +203,22 @@ def build_parser() -> argparse.ArgumentParser:
                              help="number of analysts in the workload")
             cmd.add_argument("--epsilon", type=float, default=12.0,
                              help="table-level privacy budget")
+            cmd.add_argument("--shards", type=int, default=8,
+                             help="shard count for the sharded service")
+            cmd.add_argument("--execution", choices=("sharded", "global"),
+                             default="sharded",
+                             help="service execution mode")
+            cmd.add_argument("--workload", choices=("mixed", "disjoint"),
+                             default="mixed",
+                             help="paper-style mix or per-analyst "
+                                  "disjoint wide views")
+            cmd.add_argument("--compare-global", action="store_true",
+                             help="also run the disjoint-view sharded vs "
+                                  "global-lock comparison")
+            cmd.add_argument("--json", nargs="?", metavar="PATH",
+                             const="BENCH_service_throughput.json",
+                             default=None,
+                             help="write the machine-readable artifact")
     return parser
 
 

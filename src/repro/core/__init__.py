@@ -20,7 +20,7 @@
 """
 
 from repro.core.analyst import Analyst
-from repro.core.provenance import Constraints, ProvenanceTable
+from repro.core.provenance import Constraints, ProvenanceTable, Reservation
 from repro.core.synopsis import Synopsis, SynopsisStore
 from repro.core.additive_gm import additive_gaussian_release
 from repro.core.translation import (
@@ -60,6 +60,7 @@ __all__ = [
     "DelegationManager",
     "Grant",
     "ProvenanceTable",
+    "Reservation",
     "Synopsis",
     "SynopsisStore",
     "VanillaMechanism",

@@ -72,6 +72,14 @@ class AdditiveGaussianMechanism(MechanismBase):
 
     def _answer_fresh(self, analyst: str, view: HistogramView,
                       query: LinearQuery, per_bin: float) -> Outcome:
+        """One fresh additive release.
+
+        The caller (:class:`repro.core.engine.DProvDB`) holds the view's
+        critical section, which keeps the global-synopsis read below
+        consistent with the refresh in :meth:`_ensure_global`; budget
+        safety itself comes from the atomic delta-slot and provenance
+        reservations, which are rolled back if the release fails.
+        """
         current = self.store.global_synopsis(view.name)
         request = additive_budget_request(
             query, per_bin * query.weight_norm_sq, self.constraints.delta,
@@ -79,15 +87,25 @@ class AdditiveGaussianMechanism(MechanismBase):
             self._sensitivity(view), upper=self.constraints.table,
             precision=self.precision,
         )
-        self._check_delta(analyst)
-        epsilon_charged = self._constraint_check(analyst, view.name, request)
-        self._count_release(analyst)
-
-        global_synopsis = self._ensure_global(view, request)
+        self._reserve_release_slot(analyst)
+        try:
+            self._check_global_budget(view.name, request)
+            epsilon_charged = self._charged_epsilon(analyst, view.name,
+                                                    request)
+            with self.provenance.reserve(analyst, view.name, epsilon_charged,
+                                         self.constraints,
+                                         column_mode="max") as reservation:
+                global_synopsis = self._ensure_global(view, request)
+                # The global refresh is the irreversible release (noise
+                # derived from the exact data is now in the store), so the
+                # charge must stick from here on: commit *before* the
+                # local derivation — a failure there must surface as an
+                # error, never as freed budget for published noise.
+                reservation.commit()
+        except BaseException:
+            self._release_release_slot(analyst)
+            raise
         local = self._derive_local(analyst, view, global_synopsis, request)
-
-        new_entry = self.provenance.get(analyst, view.name) + epsilon_charged
-        self.provenance.set(analyst, view.name, new_entry)
 
         return Outcome(
             value=query.answer(local.values),
@@ -118,12 +136,9 @@ class AdditiveGaussianMechanism(MechanismBase):
                         entry + request.local_epsilon)
         return max(0.0, new_entry - entry)
 
-    def _constraint_check(self, analyst: str, view_name: str,
-                          request: BudgetRequest) -> float:
-        epsilon_prime = self._charged_epsilon(analyst, view_name, request)
-        entry = self.provenance.get(analyst, view_name)
-
-        # The realised global budget must respect the per-view guarantee.
+    def _check_global_budget(self, view_name: str,
+                             request: BudgetRequest) -> None:
+        """The realised global budget must respect the per-view guarantee."""
         view_limit = self.constraints.view_limit(view_name)
         if request.global_epsilon_after > view_limit + 1e-12:
             raise QueryRejected(
@@ -132,30 +147,15 @@ class AdditiveGaussianMechanism(MechanismBase):
                 constraint="column",
             )
 
-        # Column composite is the max entry (Sec. 5.2.4, point 1).
-        column_after = max(self.provenance.column_max(view_name),
-                           entry + epsilon_prime)
-        if column_after > view_limit + 1e-12:
-            raise QueryRejected(
-                f"view constraint {view_limit} for {view_name!r} would be exceeded",
-                constraint="column",
-            )
-
-        # Table composite sums per-view column maxima (Sec. 5.2.4, point 2).
-        table_after = (self.provenance.table_max_composite()
-                       - self.provenance.column_max(view_name) + column_after)
-        if table_after > self.constraints.table + 1e-12:
-            raise QueryRejected(
-                f"table constraint {self.constraints.table} would be exceeded",
-                constraint="table",
-            )
-
-        row_limit = self.constraints.analyst_limit(analyst)
-        if self.provenance.row_total(analyst) + epsilon_prime > row_limit + 1e-12:
-            raise QueryRejected(
-                f"analyst constraint {row_limit} for {analyst!r} would be exceeded",
-                constraint="row",
-            )
+    def _constraint_check(self, analyst: str, view_name: str,
+                          request: BudgetRequest) -> float:
+        """Read-only Sec. 5.2.4 check; returns the epsilon a release would
+        charge.  The answer path uses :meth:`ProvenanceTable.reserve`
+        (``column_mode="max"``) instead so check and charge are atomic."""
+        self._check_global_budget(view_name, request)
+        epsilon_prime = self._charged_epsilon(analyst, view_name, request)
+        self.provenance.check(analyst, view_name, epsilon_prime,
+                              self.constraints, column_mode="max")
         return epsilon_prime
 
     # -- synopsis machinery ------------------------------------------------------

@@ -12,6 +12,7 @@ audit and cap their exposure).
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 
 from repro.exceptions import QueryRejected, ReproError
@@ -38,10 +39,19 @@ class Grant:
 
 @dataclass
 class DelegationManager:
-    """Issues, validates and accounts delegation grants."""
+    """Issues, validates and accounts delegation grants.
+
+    Accounting is thread-safe: cap checks and charges run under one
+    internal lock, and the engine charges a grant through the atomic
+    :meth:`reserve`/:meth:`settle`/:meth:`release` cycle so two delegated
+    queries on *different* views (which the sharded service executes in
+    parallel) can never jointly over-spend ``epsilon_cap``.
+    """
 
     _grants: dict[int, Grant] = field(default_factory=dict)
     _counter: itertools.count = field(default_factory=itertools.count)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def grant(self, grantor: str, grantee: str,
               epsilon_cap: float | None = None) -> int:
@@ -81,11 +91,15 @@ class DelegationManager:
         return grant
 
     def check_budget(self, grant: Grant, epsilon: float) -> None:
-        """Refuse charges beyond the grant's cap (pre-charge check).
+        """Refuse charges beyond the grant's cap (read-only probe).
 
         Raises :class:`QueryRejected` so workload loops treat an exhausted
         grant like any other budget refusal.
         """
+        with self._lock:
+            self._check_locked(grant, epsilon)
+
+    def _check_locked(self, grant: Grant, epsilon: float) -> None:
         if epsilon > grant.remaining + 1e-12:
             raise QueryRejected(
                 f"grant {grant.grant_id} cap exhausted "
@@ -93,9 +107,28 @@ class DelegationManager:
                 constraint="row",
             )
 
+    def reserve(self, grant: Grant, epsilon: float) -> None:
+        """Atomically check the cap and provisionally charge ``epsilon``."""
+        with self._lock:
+            self._check_locked(grant, epsilon)
+            grant.consumed += epsilon
+
+    def settle(self, grant: Grant, reserved: float, actual: float) -> None:
+        """Replace a provisional charge with the realised one; counts the
+        query."""
+        with self._lock:
+            grant.consumed += actual - reserved
+            grant.queries += 1
+
+    def release(self, grant: Grant, reserved: float) -> None:
+        """Return a provisional charge whose query failed."""
+        with self._lock:
+            grant.consumed = max(0.0, grant.consumed - reserved)
+
     def record(self, grant: Grant, epsilon: float) -> None:
-        grant.consumed += epsilon
-        grant.queries += 1
+        with self._lock:
+            grant.consumed += epsilon
+            grant.queries += 1
 
     def audit(self, grantor: str) -> list[Grant]:
         """All grants issued by ``grantor`` (for budget exposure review)."""

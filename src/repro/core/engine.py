@@ -13,12 +13,24 @@ Analysts submit SQL in either submission mode:
 Queries that would violate a row/column/table constraint raise
 :class:`QueryRejected`; :meth:`DProvDB.try_submit` converts rejections to
 ``None`` for workload loops.
+
+Concurrency: submissions are thread-safe without any caller-held lock.
+Budget check-then-charge is atomic inside
+:meth:`repro.core.provenance.ProvenanceTable.reserve`; the engine itself
+adds **per-view critical sections** (:meth:`DProvDB.view_section`) so two
+threads refreshing the same view's synopsis never double-release, while
+disjoint views proceed in parallel.  Multi-view sections acquire locks in
+sorted view-name order — the repo-wide lock-ordering discipline.
+Registration of analysts/views over time remains an administrative
+operation: do not interleave it with in-flight submissions.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -106,6 +118,14 @@ class DProvDB:
 
         self.delegations = DelegationManager()
         self.log = QueryLog()
+        # Per-view critical sections: one reentrant lock per view keeps
+        # the synopsis machinery (read-then-refresh of shared noisy state)
+        # consistent while disjoint views proceed in parallel; budget
+        # atomicity itself lives in ProvenanceTable.reserve.
+        self._view_locks: dict[str, threading.RLock] = {
+            name: threading.RLock() for name in self.registry.view_names
+        }
+        self._view_locks_guard = threading.Lock()
         mechanism_kwargs = {"rng": ensure_generator(seed),
                             "accountant": accountant,
                             "precision": precision,
@@ -151,6 +171,36 @@ class DProvDB:
         return cls(bundle, analysts, epsilon=total, delta=delta,
                    mechanism="vanilla", constraints=constraints, seed=seed,
                    **kwargs)
+
+    # -- per-view critical sections ---------------------------------------------
+    def _view_lock(self, view_name: str) -> threading.RLock:
+        lock = self._view_locks.get(view_name)
+        if lock is None:
+            with self._view_locks_guard:
+                lock = self._view_locks.setdefault(view_name,
+                                                   threading.RLock())
+        return lock
+
+    @contextmanager
+    def view_section(self, *view_names: str) -> Iterator[None]:
+        """Critical section over one or more views.
+
+        Serialises synopsis refreshes per view so two threads can never
+        double-release on the same view, while operations on disjoint
+        views proceed in parallel.  Multi-view sections acquire the locks
+        in **sorted view-name order** — the system-wide lock-ordering
+        discipline that makes concurrent multi-view operations
+        deadlock-free.  The locks are reentrant, so nesting a section
+        for views already held is safe.
+        """
+        locks = [self._view_lock(name) for name in sorted(set(view_names))]
+        for lock in locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(locks):
+                lock.release()
 
     # -- lifecycle --------------------------------------------------------------
     def setup(self) -> float:
@@ -287,32 +337,46 @@ class DProvDB:
         ``target`` is the answer-variance requirement.
         """
         self._check_analyst(analyst)
-        effective = analyst
-        grant = None
-        if delegation is not None:
-            grant = self.delegations.validate(delegation, analyst)
-            self._check_analyst(grant.grantor)
-            effective = grant.grantor
-            estimate = self.mechanism.quote(effective, view, query, target)
-            self.delegations.check_budget(grant, estimate)
-
         from repro.db.sql.unparse import to_sql
 
         if sql_text is None:
             sql_text = to_sql(statement)
-        try:
-            outcome = self.mechanism.answer(effective, view, query, target)
-        except QueryRejected as exc:
-            self.log.record(analyst, sql_text, view.name, 0.0, False,
-                            answered=False, rejection_reason=exc.reason,
+        with self.view_section(view.name):
+            effective = analyst
+            grant = None
+            estimate = 0.0
+            if delegation is not None:
+                grant = self.delegations.validate(delegation, analyst)
+                self._check_analyst(grant.grantor)
+                effective = grant.grantor
+                estimate = self.mechanism.quote(effective, view, query,
+                                                target)
+                # Atomic cap check + provisional charge: two delegated
+                # queries on different views run concurrently and must
+                # not both pass a check against the same remaining cap.
+                self.delegations.reserve(grant, estimate)
+            try:
+                outcome = self.mechanism.answer(effective, view, query,
+                                                target)
+            except QueryRejected as exc:
+                if grant is not None:
+                    self.delegations.release(grant, estimate)
+                self.log.record(analyst, sql_text, view.name, 0.0, False,
+                                answered=False, rejection_reason=exc.reason,
+                                delegated_from=grant.grantor if grant
+                                else None)
+                raise
+            except BaseException:
+                if grant is not None:
+                    self.delegations.release(grant, estimate)
+                raise
+            if grant is not None:
+                self.delegations.settle(grant, estimate,
+                                        outcome.epsilon_charged)
+            self.log.record(analyst, sql_text, outcome.view_name,
+                            outcome.epsilon_charged, outcome.cache_hit,
+                            answered=True,
                             delegated_from=grant.grantor if grant else None)
-            raise
-        if grant is not None:
-            self.delegations.record(grant, outcome.epsilon_charged)
-        self.log.record(analyst, sql_text, outcome.view_name,
-                        outcome.epsilon_charged, outcome.cache_hit,
-                        answered=True,
-                        delegated_from=grant.grantor if grant else None)
         return Answer(analyst, outcome.value, outcome.epsilon_charged,
                       outcome.view_name, outcome.per_bin_variance,
                       outcome.answer_variance, outcome.cache_hit)
@@ -324,7 +388,8 @@ class DProvDB:
         statement = self._resolve(sql)
         view, query = self.registry.compile(statement)
         target = self._accuracy_for(query, accuracy, epsilon, view)
-        return self.mechanism.quote(analyst, view, query, target)
+        with self.view_section(view.name):
+            return self.mechanism.quote(analyst, view, query, target)
 
     def grant_delegation(self, grantor: str, grantee: str,
                          epsilon_cap: float | None = None) -> int:
@@ -342,11 +407,13 @@ class DProvDB:
         view = self.registry.select(statement)
         sum_query, count_query = transform_avg_parts(statement, view)
         target = self._accuracy_for(sum_query, accuracy, epsilon, view)
-        sum_outcome = self.mechanism.answer(analyst, view, sum_query, target)
-        count_target = target * (count_query.weight_norm_sq
-                                 / sum_query.weight_norm_sq)
-        count_outcome = self.mechanism.answer(analyst, view, count_query,
-                                              count_target)
+        with self.view_section(view.name):
+            sum_outcome = self.mechanism.answer(analyst, view, sum_query,
+                                                target)
+            count_target = target * (count_query.weight_norm_sq
+                                     / sum_query.weight_norm_sq)
+            count_outcome = self.mechanism.answer(analyst, view, count_query,
+                                                  count_target)
         denominator = count_outcome.value
         value = float("nan") if denominator <= 0 else sum_outcome.value / denominator
         charged = sum_outcome.epsilon_charged + count_outcome.epsilon_charged
@@ -368,20 +435,22 @@ class DProvDB:
         statement = self._resolve(sql)
         view = self.registry.select(statement)
         results = []
-        for key, query in transform_group_by(statement, view):
-            if not np.any(query.weights):
-                # Group excluded by the predicate: exact zero, no privacy cost.
-                results.append((key, Answer(analyst, 0.0, 0.0, view.name,
-                                            0.0, 0.0, True)))
-                continue
-            target = self._accuracy_for(query, accuracy, epsilon, view)
-            outcome = self.mechanism.answer(analyst, view, query, target)
-            results.append((key, Answer(analyst, outcome.value,
-                                        outcome.epsilon_charged,
-                                        outcome.view_name,
-                                        outcome.per_bin_variance,
-                                        outcome.answer_variance,
-                                        outcome.cache_hit)))
+        with self.view_section(view.name):
+            for key, query in transform_group_by(statement, view):
+                if not np.any(query.weights):
+                    # Group excluded by the predicate: exact zero, no
+                    # privacy cost.
+                    results.append((key, Answer(analyst, 0.0, 0.0, view.name,
+                                                0.0, 0.0, True)))
+                    continue
+                target = self._accuracy_for(query, accuracy, epsilon, view)
+                outcome = self.mechanism.answer(analyst, view, query, target)
+                results.append((key, Answer(analyst, outcome.value,
+                                            outcome.epsilon_charged,
+                                            outcome.view_name,
+                                            outcome.per_bin_variance,
+                                            outcome.answer_variance,
+                                            outcome.cache_hit)))
         return results
 
     def try_submit(self, analyst: str, sql, accuracy: float | None = None,

@@ -10,6 +10,7 @@ a cached synopsis (the "how many times" dimension).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -31,23 +32,31 @@ class LogEntry:
 
 @dataclass
 class QueryLog:
-    """Append-only audit trail of every submission."""
+    """Append-only audit trail of every submission.
+
+    Appends take an internal lock so sequence numbers stay dense and
+    unique under concurrent submission (the sharded service records from
+    many threads at once); reads see a consistent prefix.
+    """
 
     _entries: list[LogEntry] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, analyst: str, sql: str, view_name: str | None,
                epsilon_charged: float, cache_hit: bool, answered: bool,
                rejection_reason: str | None = None,
                delegated_from: str | None = None) -> LogEntry:
-        entry = LogEntry(
-            sequence=len(self._entries), analyst=analyst, sql=sql,
-            view_name=view_name, epsilon_charged=epsilon_charged,
-            cache_hit=cache_hit, answered=answered,
-            rejection_reason=rejection_reason,
-            delegated_from=delegated_from,
-        )
-        self._entries.append(entry)
-        return entry
+        with self._lock:
+            entry = LogEntry(
+                sequence=len(self._entries), analyst=analyst, sql=sql,
+                view_name=view_name, epsilon_charged=epsilon_charged,
+                cache_hit=cache_hit, answered=answered,
+                rejection_reason=rejection_reason,
+                delegated_from=delegated_from,
+            )
+            self._entries.append(entry)
+            return entry
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -14,6 +14,7 @@ single :meth:`MechanismBase.answer` template:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -67,7 +68,10 @@ class MechanismBase:
         self.precision = precision
         #: Per-analyst count of fresh releases charged to them — the delta
         #: ledger (each release adds one per-query delta, Theorem 3.1).
+        #: Guarded by ``_ledger_lock`` so the cap check and the increment
+        #: are one atomic step under concurrent submission.
         self._release_counts: dict[str, int] = {}
+        self._ledger_lock = threading.Lock()
 
     # -- delta accounting (paper's Remark after Algorithm 1) --------------------
     def analyst_delta(self, analyst: str) -> float:
@@ -85,9 +89,24 @@ class MechanismBase:
                 constraint="row",
             )
 
-    def _count_release(self, analyst: str) -> None:
-        self._release_counts[analyst] = \
-            self._release_counts.get(analyst, 0) + 1
+    def _reserve_release_slot(self, analyst: str) -> None:
+        """Atomically check the delta cap and count one release.
+
+        The check-then-increment runs under the ledger lock so concurrent
+        fresh releases can never jointly exceed ``delta_cap``; callers
+        whose release fails afterwards must return the slot via
+        :meth:`_release_release_slot`.
+        """
+        with self._ledger_lock:
+            self._check_delta(analyst)
+            self._release_counts[analyst] = \
+                self._release_counts.get(analyst, 0) + 1
+
+    def _release_release_slot(self, analyst: str) -> None:
+        """Return a release slot taken by :meth:`_reserve_release_slot`."""
+        with self._ledger_lock:
+            self._release_counts[analyst] = \
+                max(0, self._release_counts.get(analyst, 0) - 1)
 
     # -- helpers --------------------------------------------------------------
     def _sensitivity(self, view: HistogramView) -> float:

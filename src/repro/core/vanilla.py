@@ -14,7 +14,6 @@ from repro.core.mechanism import MechanismBase, Outcome
 from repro.core.synopsis import Synopsis
 from repro.core.translation import vanilla_translate
 from repro.dp.gaussian import analytic_gaussian_sigma
-from repro.exceptions import QueryRejected
 from repro.views.histogram import HistogramView
 from repro.views.linear import LinearQuery
 
@@ -31,23 +30,32 @@ class VanillaMechanism(MechanismBase):
             self._sensitivity(view), upper=self.constraints.table,
             precision=self.precision,
         )
-        self._check_delta(analyst)
-        self._constraint_check(analyst, view.name, epsilon)
-        self._count_release(analyst)
+        # Atomic two-phase accounting: the delta-ledger slot and the
+        # provenance charge are each check-and-charge in one step, so no
+        # caller-held lock is needed to prevent concurrent over-spend; a
+        # failure before commit returns both.
+        self._reserve_release_slot(analyst)
+        try:
+            with self.provenance.reserve(analyst, view.name, epsilon,
+                                         self.constraints,
+                                         column_mode="sum") as reservation:
+                sigma = analytic_gaussian_sigma(
+                    epsilon, self.constraints.delta, self._sensitivity(view)
+                )
+                exact = self._exact(view)
+                values = exact + self.rng.normal(0.0, sigma, size=exact.shape)
+                self._record_access(sigma, view)
 
-        sigma = analytic_gaussian_sigma(
-            epsilon, self.constraints.delta, self._sensitivity(view)
-        )
-        values = self._exact(view) + self.rng.normal(0.0, sigma,
-                                                     size=self._exact(view).shape)
-        self._record_access(sigma, view)
-        self.provenance.add(analyst, view.name, epsilon)
-
-        synopsis = Synopsis(
-            view_name=view.name, values=values, epsilon=epsilon,
-            delta=self.constraints.delta, variance=sigma ** 2, analyst=analyst,
-        )
-        self._keep_better(analyst, view.name, synopsis)
+                synopsis = Synopsis(
+                    view_name=view.name, values=values, epsilon=epsilon,
+                    delta=self.constraints.delta, variance=sigma ** 2,
+                    analyst=analyst,
+                )
+                self._keep_better(analyst, view.name, synopsis)
+                reservation.commit()
+        except BaseException:
+            self._release_release_slot(analyst)
+            raise
         return Outcome(
             value=query.answer(values),
             epsilon_charged=epsilon,
@@ -79,35 +87,11 @@ class VanillaMechanism(MechanismBase):
 
         With coalition groups configured (Sec. 7.1), the requesting
         analyst's coalition must also stay within its per-coalition budget.
+        Read-only — the answer path uses :meth:`ProvenanceTable.reserve`
+        instead so the check and the charge are one atomic step.
         """
-        if self.provenance.table_total() + epsilon > self.constraints.table + 1e-12:
-            raise QueryRejected(
-                f"table constraint {self.constraints.table} would be exceeded",
-                constraint="table",
-            )
-        group = self.constraints.group_of(analyst)
-        if group is not None:
-            group_total = sum(self.provenance.row_total(member)
-                              for member in group
-                              if member in self.provenance.analysts)
-            if group_total + epsilon > self.constraints.group_limit + 1e-12:
-                raise QueryRejected(
-                    f"coalition budget {self.constraints.group_limit} "
-                    f"would be exceeded",
-                    constraint="table",
-                )
-        row_limit = self.constraints.analyst_limit(analyst)
-        if self.provenance.row_total(analyst) + epsilon > row_limit + 1e-12:
-            raise QueryRejected(
-                f"analyst constraint {row_limit} for {analyst!r} would be exceeded",
-                constraint="row",
-            )
-        column_limit = self.constraints.view_limit(view_name)
-        if self.provenance.column_total(view_name) + epsilon > column_limit + 1e-12:
-            raise QueryRejected(
-                f"view constraint {column_limit} for {view_name!r} would be exceeded",
-                constraint="column",
-            )
+        self.provenance.check(analyst, view_name, epsilon, self.constraints,
+                              column_mode="sum")
 
     def collusion_bound(self) -> float:
         """Vanilla releases are independent: collusion composes by summation."""

@@ -17,6 +17,8 @@ composition, mirroring how the paper separates accounting from checking.
 
 from __future__ import annotations
 
+import threading
+
 from repro.core.mechanism import Outcome
 from repro.core.vanilla import VanillaMechanism
 from repro.dp.gaussian import analytic_gaussian_sigma
@@ -33,6 +35,10 @@ class ZCdpVanillaMechanism(VanillaMechanism):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        # Rho ledgers are the zCDP analogue of the provenance tallies; the
+        # lock makes their check-then-charge one atomic step (the epsilon
+        # provenance entries are charged via the table's own atomic ops).
+        self._rho_lock = threading.Lock()
         self._row_rho: dict[str, float] = {}
         self._column_rho: dict[str, float] = {}
         self._total_rho = 0.0
@@ -81,10 +87,32 @@ class ZCdpVanillaMechanism(VanillaMechanism):
                     constraint=tag,
                 )
 
+    def _reserve_rho(self, analyst: str, view_name: str,
+                     rho_new: float) -> None:
+        """Atomically check the converted ledgers and charge ``rho_new``."""
+        with self._rho_lock:
+            self._check_with_rho(analyst, view_name, rho_new)
+            self._row_rho[analyst] = self._row_rho.get(analyst, 0.0) + rho_new
+            self._column_rho[view_name] = (
+                self._column_rho.get(view_name, 0.0) + rho_new
+            )
+            self._total_rho += rho_new
+
+    def _rollback_rho(self, analyst: str, view_name: str,
+                      rho_new: float) -> None:
+        """Return a rho charge whose release failed."""
+        with self._rho_lock:
+            self._row_rho[analyst] = max(
+                0.0, self._row_rho.get(analyst, 0.0) - rho_new)
+            self._column_rho[view_name] = max(
+                0.0, self._column_rho.get(view_name, 0.0) - rho_new)
+            self._total_rho = max(0.0, self._total_rho - rho_new)
+
     def _answer_fresh(self, analyst: str, view: HistogramView,
                       query: LinearQuery, per_bin: float) -> Outcome:
         # Compute the release budget exactly as vanilla would, but gate it
-        # on the zCDP ledgers instead of epsilon sums.
+        # on the zCDP ledgers instead of epsilon sums; the rho reservation
+        # is charged up-front and returned if the release fails.
         from repro.core.translation import vanilla_translate
 
         epsilon, _ = vanilla_translate(
@@ -93,15 +121,12 @@ class ZCdpVanillaMechanism(VanillaMechanism):
             precision=self.precision,
         )
         rho_new = self._rho_of(epsilon, view)
-        self._check_with_rho(analyst, view.name, rho_new)
-
-        outcome = self._release(analyst, view, query, epsilon)
-        self._row_rho[analyst] = self._row_rho.get(analyst, 0.0) + rho_new
-        self._column_rho[view.name] = (
-            self._column_rho.get(view.name, 0.0) + rho_new
-        )
-        self._total_rho += rho_new
-        return outcome
+        self._reserve_rho(analyst, view.name, rho_new)
+        try:
+            return self._release(analyst, view, query, epsilon)
+        except BaseException:
+            self._rollback_rho(analyst, view.name, rho_new)
+            raise
 
     def _release(self, analyst: str, view: HistogramView, query: LinearQuery,
                  epsilon: float) -> Outcome:
@@ -135,8 +160,9 @@ class ZCdpVanillaMechanism(VanillaMechanism):
             self._sensitivity(view), upper=self.constraints.table,
             precision=self.precision,
         )
-        self._check_with_rho(analyst, view.name,
-                             self._rho_of(epsilon, view))
+        with self._rho_lock:
+            self._check_with_rho(analyst, view.name,
+                                 self._rho_of(epsilon, view))
         return epsilon
 
     # -- reporting --------------------------------------------------------------

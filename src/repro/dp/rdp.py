@@ -10,6 +10,7 @@ approximate DP on demand.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -58,6 +59,9 @@ class RdpAccountant:
         self.orders = tuple(float(a) for a in orders)
         if any(a <= 1.0 for a in self.orders):
             raise ValueError("all Renyi orders must exceed 1")
+        # Locked: releases arrive concurrently from the sharded service's
+        # parallel per-view sections; a torn vector += would under-count.
+        self._lock = threading.Lock()
         self._rdp = np.zeros(len(self.orders))
         self._releases = 0
 
@@ -68,10 +72,12 @@ class RdpAccountant:
 
     def record_gaussian(self, sigma: float, sensitivity: float = 1.0) -> None:
         """Compose one Gaussian release with noise ``sigma`` into the curve."""
-        self._rdp += np.array(
+        curve = np.array(
             [gaussian_rdp(a, sigma, sensitivity) for a in self.orders]
         )
-        self._releases += 1
+        with self._lock:
+            self._rdp += curve
+            self._releases += 1
 
     def epsilon(self, delta: float) -> float:
         """Best ``eps`` at ``delta`` for everything recorded so far."""

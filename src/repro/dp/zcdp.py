@@ -9,6 +9,7 @@ is ``rho``-zCDP with ``rho = Δ²/(2σ²)``, composition adds the ``rho``'s, and
 from __future__ import annotations
 
 import math
+import threading
 
 
 def rho_from_sigma(sigma: float, sensitivity: float = 1.0) -> float:
@@ -42,9 +43,15 @@ def rho_for_epsilon(epsilon: float, delta: float) -> float:
 
 
 class ZCdpAccountant:
-    """Running-sum accountant over ``rho`` values of Gaussian releases."""
+    """Running-sum accountant over ``rho`` values of Gaussian releases.
+
+    Records are locked: the sharded service releases noise from parallel
+    per-view sections, and a torn ``+=`` would silently under-report the
+    realised loss.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._rho = 0.0
         self._releases = 0
 
@@ -57,14 +64,17 @@ class ZCdpAccountant:
         return self._releases
 
     def record_gaussian(self, sigma: float, sensitivity: float = 1.0) -> None:
-        self._rho += rho_from_sigma(sigma, sensitivity)
-        self._releases += 1
+        rho = rho_from_sigma(sigma, sensitivity)
+        with self._lock:
+            self._rho += rho
+            self._releases += 1
 
     def record_rho(self, rho: float) -> None:
         if rho < 0:
             raise ValueError(f"rho must be non-negative, got {rho}")
-        self._rho += rho
-        self._releases += 1
+        with self._lock:
+            self._rho += rho
+            self._releases += 1
 
     def epsilon(self, delta: float) -> float:
         if self._releases == 0:

@@ -1,37 +1,100 @@
-"""Service-layer throughput: batched planning vs one-query-at-a-time.
+"""Service-layer throughput: batched planning, sharded vs global execution.
 
 Not a figure from the paper — this benchmarks the serving front-end added
-on top of the engine (:mod:`repro.service`).  The same mixed multi-analyst
-workload (RRQs, GROUP BY histograms, BFS-style dyadic ranges) is replayed
-across N threads twice: ``single`` submits queries in arrival order,
-``batched`` routes slices through the view-grouping planner.  Expected
-shape: batched answers at least as many queries at a higher rate, with a
-higher cache hit rate and *less* budget spent (strictest-first ordering
-avoids redundant synopsis refreshes).
+on top of the engine (:mod:`repro.service`).  Two comparisons live here:
+
+* :func:`run_service_throughput` — the PR 1 experiment: one mixed
+  multi-analyst workload (RRQs, GROUP BY histograms, BFS-style dyadic
+  ranges) replayed across N threads in ``single`` vs ``batched``
+  submission; batched planning answers at least as many queries with a
+  higher cache hit rate and less budget.
+* :func:`run_sharding_comparison` — the sharding experiment: a
+  *disjoint-view* workload (each analyst hammers its own wide marginal
+  view) replayed once through the PR 1 global-lock service
+  (``execution="global"``) and once through the sharded service; total
+  epsilon spent must be identical (the accounting is order-independent
+  when views are disjoint) while the sharded run's throughput wins by
+  whatever the hardware allows — on a single-CPU host only the removed
+  lock-convoy overhead, on multi-core hosts real parallel execution of
+  the per-view sections.
 """
 
 from __future__ import annotations
 
+import json
+import os
+
 from repro.core.analyst import Analyst
 from repro.datasets import load_adult, load_tpch
 from repro.dp.rng import SeedLike
+from repro.exceptions import ReproError
 from repro.service.loadgen import (
     MODES,
     ThroughputResult,
+    build_disjoint_workload,
     build_mixed_workload,
+    disjoint_view_attribute_sets,
     format_throughput,
+    register_disjoint_views,
     run_throughput,
 )
 from repro.service.service import QueryService
+from repro.service.sharding import DEFAULT_NUM_SHARDS
 
 #: Privilege ladder the analysts cycle through (paper's 1..10 scale).
 _PRIVILEGES = (1, 2, 4, 6, 8, 10)
+
+#: Supported workload shapes for the service benchmarks.
+WORKLOADS = ("mixed", "disjoint")
+
+#: Speedup the sharded service targets over the global-lock baseline on
+#: multi-core hosts (reported everywhere; asserted only as "no slower"
+#: by default, since a single-CPU runner cannot express parallelism).
+SPEEDUP_TARGET = 1.5
 
 
 def make_service_analysts(num_analysts: int) -> list[Analyst]:
     """``num_analysts`` analysts over the default privilege ladder."""
     return [Analyst(f"analyst_{i:02d}", _PRIVILEGES[i % len(_PRIVILEGES)])
             for i in range(num_analysts)]
+
+
+def _load_bundle(dataset: str, num_rows: int | None, seed: SeedLike):
+    loader = load_adult if dataset == "adult" else load_tpch
+    kwargs = ({"num_rows": num_rows} if dataset == "adult"
+              else {"lineitem_rows": num_rows})
+    if num_rows is None:
+        kwargs = {}
+    return loader(seed=seed, **kwargs)
+
+
+def _build_workload(bundle, analysts, queries_per_analyst, accuracy,
+                    workload, view_width, seed):
+    if workload == "mixed":
+        return None, build_mixed_workload(bundle, analysts,
+                                          queries_per_analyst,
+                                          accuracy=accuracy, seed=seed)
+    if workload == "disjoint":
+        attribute_sets = disjoint_view_attribute_sets(
+            bundle, len(analysts), width=view_width)
+        return attribute_sets, build_disjoint_workload(
+            bundle, analysts, queries_per_analyst, attribute_sets,
+            accuracy=accuracy, seed=seed)
+    raise ReproError(f"unknown workload {workload!r}; "
+                     f"choose from {WORKLOADS}")
+
+
+def _build_service(bundle, analysts, epsilon, mechanism,
+                   max_cached_synopses, execution, shards, seed,
+                   attribute_sets) -> QueryService:
+    service = QueryService.build(
+        bundle, analysts, epsilon, mechanism=mechanism,
+        max_cached_synopses=max_cached_synopses,
+        execution=execution, shards=shards, seed=seed,
+    )
+    if attribute_sets:
+        register_disjoint_views(service.engine, attribute_sets)
+    return service
 
 
 def run_service_throughput(dataset: str = "adult",
@@ -45,28 +108,82 @@ def run_service_throughput(dataset: str = "adult",
                            mechanism: str = "additive",
                            max_cached_synopses: int = 256,
                            repeats: int = 1,
-                           seed: SeedLike = 0) -> list[ThroughputResult]:
+                           seed: SeedLike = 0,
+                           execution: str = "sharded",
+                           shards: int = DEFAULT_NUM_SHARDS,
+                           workload: str = "mixed",
+                           view_width: int = 2) -> list[ThroughputResult]:
     """One run per (mode, repeat); fresh service per run, same workload."""
-    loader = load_adult if dataset == "adult" else load_tpch
-    kwargs = ({"num_rows": num_rows} if dataset == "adult"
-              else {"lineitem_rows": num_rows})
-    if num_rows is None:
-        kwargs = {}
-    bundle = loader(seed=seed, **kwargs)
+    bundle = _load_bundle(dataset, num_rows, seed)
     analysts = make_service_analysts(num_analysts)
-    workload = build_mixed_workload(bundle, analysts, queries_per_analyst,
-                                    accuracy=accuracy, seed=seed)
+    attribute_sets, streams = _build_workload(
+        bundle, analysts, queries_per_analyst, accuracy, workload,
+        view_width, seed)
     results: list[ThroughputResult] = []
     for mode in MODES:
         for _ in range(max(1, repeats)):
-            service = QueryService.build(
-                bundle, analysts, epsilon, mechanism=mechanism,
-                max_cached_synopses=max_cached_synopses, seed=seed,
-            )
-            results.append(run_throughput(service, analysts, workload,
-                                          mode=mode, threads=threads,
-                                          batch_size=batch_size))
+            service = _build_service(bundle, analysts, epsilon, mechanism,
+                                     max_cached_synopses, execution, shards,
+                                     seed, attribute_sets)
+            try:
+                results.append(run_throughput(service, analysts, streams,
+                                              mode=mode, threads=threads,
+                                              batch_size=batch_size))
+            finally:
+                service.close()
     return results
+
+
+def run_sharding_comparison(dataset: str = "adult",
+                            num_rows: int | None = 12000,
+                            num_analysts: int = 8,
+                            queries_per_analyst: int = 60,
+                            threads: int = 8,
+                            batch_size: int = 16,
+                            epsilon: float = 64.0,
+                            accuracy: float = 2e5,
+                            mechanism: str = "additive",
+                            max_cached_synopses: int = 256,
+                            repeats: int = 3,
+                            seed: SeedLike = 0,
+                            shards: int = DEFAULT_NUM_SHARDS,
+                            mode: str = "single",
+                            view_width: int = 2) -> list[ThroughputResult]:
+    """Sharded vs global-lock execution on the disjoint-view workload.
+
+    Identical workload, fresh service per run, ``repeats`` runs per
+    execution mode (take best-of for wall-clock claims; the accounting
+    columns are deterministic).
+    """
+    bundle = _load_bundle(dataset, num_rows, seed)
+    analysts = make_service_analysts(num_analysts)
+    attribute_sets, streams = _build_workload(
+        bundle, analysts, queries_per_analyst, accuracy, "disjoint",
+        view_width, seed)
+    results: list[ThroughputResult] = []
+    for execution in ("global", "sharded"):
+        for _ in range(max(1, repeats)):
+            service = _build_service(bundle, analysts, epsilon, mechanism,
+                                     max_cached_synopses, execution, shards,
+                                     seed, attribute_sets)
+            try:
+                results.append(run_throughput(service, analysts, streams,
+                                              mode=mode, threads=threads,
+                                              batch_size=batch_size))
+            finally:
+                service.close()
+    return results
+
+
+def sharding_speedup(results: list[ThroughputResult]) -> float | None:
+    """Best sharded q/s over best global q/s (``None`` if either absent)."""
+    sharded = [r.queries_per_second for r in results
+               if r.execution == "sharded"]
+    global_ = [r.queries_per_second for r in results
+               if r.execution == "global"]
+    if not sharded or not global_ or max(global_) <= 0:
+        return None
+    return max(sharded) / max(global_)
 
 
 def format_service_throughput(results: list[ThroughputResult]) -> str:
@@ -85,8 +202,60 @@ def format_service_throughput(results: list[ThroughputResult]) -> str:
     return report
 
 
+def format_sharding_comparison(results: list[ThroughputResult],
+                               target: float = 1.5) -> str:
+    """The ``--compare-global`` report with the speedup verdict line."""
+    report = format_throughput(
+        results, title="disjoint-view workload: sharded vs global lock")
+    speedup = sharding_speedup(results)
+    if speedup is not None:
+        runs = sum(1 for r in results if r.execution == "sharded")
+        report += (f"\nsharded/global speedup: {speedup:.2f}x "
+                   f"(best of {runs}, target {target:.1f}x on "
+                   f"multi-core hosts)")
+    return report
+
+
+def write_json_artifact(path: str, results: list[ThroughputResult],
+                        comparison: list[ThroughputResult] | None = None
+                        ) -> None:
+    """Write ``BENCH_service_throughput.json``: per-run rows + summary.
+
+    The summary carries the headline numbers (q/s, hit rate, epsilon
+    spent, fresh releases, shard count) plus the sharded/global speedup
+    when a comparison ran, so the repo's bench trajectory is tracked as a
+    machine-readable artifact (uploaded by CI).
+    """
+    rows = [r.as_dict() for r in results]
+    comparison_rows = [r.as_dict() for r in (comparison or [])]
+    best = max(results, key=lambda r: r.queries_per_second) \
+        if results else None
+    summary = {
+        "queries_per_second": (best.queries_per_second if best else None),
+        "answer_cache_hit_rate": (best.answer_cache_hit_rate
+                                  if best else None),
+        "total_epsilon_spent": (best.total_epsilon_spent if best else None),
+        "fresh_releases": (best.fresh_releases if best else None),
+        "shards": (best.shards if best else None),
+        "cpu_count": os.cpu_count(),
+        "speedup_target": SPEEDUP_TARGET,
+    }
+    if comparison:
+        summary["sharded_vs_global_speedup"] = sharding_speedup(comparison)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"runs": rows, "comparison_runs": comparison_rows,
+                   "summary": summary}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 __all__ = [
+    "SPEEDUP_TARGET",
+    "WORKLOADS",
     "format_service_throughput",
+    "format_sharding_comparison",
     "make_service_analysts",
     "run_service_throughput",
+    "run_sharding_comparison",
+    "sharding_speedup",
+    "write_json_artifact",
 ]

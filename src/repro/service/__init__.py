@@ -4,28 +4,44 @@
 * :mod:`repro.service.planner` — batched planning: group queries by target
   view and run the strictest accuracy first so one synopsis refresh answers
   many queries.
+* :mod:`repro.service.sharding` — stable view→shard routing and the worker
+  pool that executes a batch's per-view groups in parallel.
 * :mod:`repro.service.cache` — LRU-bounded synopsis storage with hit/miss
-  statistics.
+  statistics (internally locked for concurrent probes).
 * :mod:`repro.service.service` — :class:`QueryService`: the thread-safe
-  front-end (sessions + batching + locking around budget accounting).
-* :mod:`repro.service.loadgen` — mixed-workload load generation and the
-  throughput harness behind ``python -m repro bench-service``.
+  front-end.  Sharded execution is the default — no global critical
+  section; atomic check-and-charge lives in the provenance table and
+  synopsis consistency in the engine's per-view sections — with
+  ``execution="global"`` as the serialised baseline.
+* :mod:`repro.service.loadgen` — mixed and disjoint-view load generation
+  and the throughput harness behind ``python -m repro bench-service``.
 """
 
 from repro.service.cache import LruSynopsisStore
 from repro.service.loadgen import (
     ThroughputResult,
+    build_disjoint_workload,
     build_mixed_workload,
+    disjoint_view_attribute_sets,
     format_throughput,
+    register_disjoint_views,
     run_throughput,
 )
 from repro.service.planner import BatchPlan, PlannedQuery, plan_batch
-from repro.service.service import DEFAULT_MAX_CACHED, QueryService, ServiceStats
+from repro.service.service import (
+    DEFAULT_MAX_CACHED,
+    EXECUTION_MODES,
+    QueryService,
+    ServiceStats,
+)
 from repro.service.session import QueryRequest, QueryResponse, Session
+from repro.service.sharding import DEFAULT_NUM_SHARDS, ShardManager
 
 __all__ = [
     "BatchPlan",
     "DEFAULT_MAX_CACHED",
+    "DEFAULT_NUM_SHARDS",
+    "EXECUTION_MODES",
     "LruSynopsisStore",
     "PlannedQuery",
     "QueryRequest",
@@ -33,9 +49,13 @@ __all__ = [
     "QueryService",
     "ServiceStats",
     "Session",
+    "ShardManager",
     "ThroughputResult",
+    "build_disjoint_workload",
     "build_mixed_workload",
+    "disjoint_view_attribute_sets",
     "format_throughput",
     "plan_batch",
+    "register_disjoint_views",
     "run_throughput",
 ]

@@ -17,6 +17,7 @@ so their footprint is bounded by the schema.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.core.synopsis import Synopsis, SynopsisStore
@@ -38,6 +39,12 @@ class LruSynopsisStore(SynopsisStore):
         Answer-path lookup decisions (via :meth:`note_lookup`) and
         evictions are recorded there; raw ``local_synopsis`` probes are
         not, so ``hit_rate`` measures serving effectiveness.
+
+    The recency list and eviction loop take an internal lock: under the
+    sharded service, probes and stores arrive concurrently from many
+    worker threads (an ``OrderedDict`` re-link is not atomic), and the
+    eviction decision must see a consistent size.  ``CacheStats`` is
+    already thread-safe on its own.
     """
 
     def __init__(self, max_local: int | None,
@@ -45,15 +52,17 @@ class LruSynopsisStore(SynopsisStore):
         if max_local is not None and max_local < 1:
             raise ReproError(f"max_local must be >= 1 or None, got {max_local}")
         super().__init__()
+        self._cache_lock = threading.RLock()
         self._local: OrderedDict[tuple[str, str], Synopsis] = OrderedDict()
         self.max_local = max_local
         self.stats = stats if stats is not None else CacheStats()
 
     def local_synopsis(self, analyst: str, view: str) -> Synopsis | None:
-        synopsis = self._local.get((analyst, view))
-        if synopsis is not None:
-            self._local.move_to_end((analyst, view))
-        return synopsis
+        with self._cache_lock:
+            synopsis = self._local.get((analyst, view))
+            if synopsis is not None:
+                self._local.move_to_end((analyst, view))
+            return synopsis
 
     def note_lookup(self, hit: bool) -> None:
         if hit:
@@ -62,11 +71,13 @@ class LruSynopsisStore(SynopsisStore):
             self.stats.record_miss()
 
     def put_local(self, synopsis: Synopsis) -> None:
-        super().put_local(synopsis)
-        self._local.move_to_end((synopsis.analyst, synopsis.view_name))
-        while self.max_local is not None and len(self._local) > self.max_local:
-            self._local.popitem(last=False)
-            self.stats.record_eviction()
+        with self._cache_lock:
+            super().put_local(synopsis)
+            self._local.move_to_end((synopsis.analyst, synopsis.view_name))
+            while self.max_local is not None \
+                    and len(self._local) > self.max_local:
+                self._local.popitem(last=False)
+                self.stats.record_eviction()
 
 
 __all__ = ["LruSynopsisStore"]

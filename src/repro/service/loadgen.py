@@ -1,10 +1,18 @@
-"""Load generation for the query service: mixed multi-analyst workloads.
+"""Load generation for the query service: mixed and disjoint workloads.
 
-The mix mirrors the paper's evaluation tasks: randomized range queries
-(:mod:`repro.workloads.rrq`), GROUP BY histograms over categorical
-attributes (Appendix D semantics), and BFS-style dyadic range probes — the
-exact query shapes :class:`repro.workloads.bfs.BfsExplorer` emits, laid out
-statically so a replay is deterministic and comparable across modes.
+The *mixed* workload mirrors the paper's evaluation tasks: randomized
+range queries (:mod:`repro.workloads.rrq`), GROUP BY histograms over
+categorical attributes (Appendix D semantics), and BFS-style dyadic range
+probes — the exact query shapes :class:`repro.workloads.bfs.BfsExplorer`
+emits, laid out statically so a replay is deterministic and comparable
+across modes.
+
+The *disjoint-view* workload (:func:`build_disjoint_workload`) is the
+sharding stress: each analyst's stream targets its own wide marginal view
+(every predicate covers all of that view's attributes, so no other view
+answers it), which means per-view critical sections never contend across
+analysts and the sharded service's parallelism is actually exercised —
+the measured half of ``bench-service --compare-global``.
 
 :func:`run_throughput` replays a workload across N threads (one session per
 thread) in either ``single`` (one query at a time, arrival order) or
@@ -14,6 +22,7 @@ reports queries/sec plus cache statistics.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass
 
@@ -106,6 +115,116 @@ def build_mixed_workload(bundle: DatasetBundle, analysts: list[Analyst],
     return workload
 
 
+def disjoint_view_attribute_sets(bundle: DatasetBundle, num_views: int,
+                                 width: int = 2) -> list[tuple[str, ...]]:
+    """``num_views`` deterministic attribute combinations for wide views.
+
+    Every set starts with an ordered (integer) attribute — so range
+    predicates can anchor on it — and is completed from the remaining
+    view attributes; sets are unique, generated in a fixed order, and
+    independent of any RNG so the same workload can be rebuilt for a
+    baseline comparison.
+    """
+    if width < 2:
+        raise ReproError(f"disjoint views need width >= 2, got {width}")
+    ordered = ordered_attributes(bundle)
+    if not ordered:
+        raise ReproError("no ordered attribute to anchor range queries on")
+    all_attrs = list(bundle.view_attributes)
+    sets: list[tuple[str, ...]] = []
+    seen: set[frozenset] = set()
+    # Round-robin over the integer anchors; each anchor keeps its own
+    # combination cursor so sets spread across anchors deterministically.
+    cursors = {
+        anchor: itertools.combinations(
+            [a for a in all_attrs if a != anchor], width - 1)
+        for anchor in ordered
+    }
+    exhausted: set[str] = set()
+    anchors = itertools.cycle(ordered)
+    while len(sets) < num_views and len(exhausted) < len(ordered):
+        anchor = next(anchors)
+        if anchor in exhausted:
+            continue
+        for rest in cursors[anchor]:
+            key = frozenset((anchor,) + rest)
+            if key not in seen:
+                seen.add(key)
+                sets.append((anchor,) + rest)
+                break
+        else:
+            exhausted.add(anchor)
+    if len(sets) < num_views:
+        raise ReproError(
+            f"could not derive {num_views} distinct attribute sets "
+            f"(width {width}) from {len(all_attrs)} attributes"
+        )
+    return sets
+
+
+def register_disjoint_views(engine,
+                            attribute_sets: list[tuple[str, ...]]
+                            ) -> list[str]:
+    """Register each attribute set as a wide histogram view; returns names."""
+    return [engine.register_view(attrs) for attrs in attribute_sets]
+
+
+def _aligned_range(domain, rng) -> tuple[int, int]:
+    """A random [low, high] range aligned with the domain's bin bounds."""
+    if getattr(domain, "bin_size", 1) > 1:
+        first = int(rng.integers(0, domain.size))
+        last = int(rng.integers(first, domain.size))
+        return domain.bin_bounds(first)[0], domain.bin_bounds(last)[1]
+    low = int(rng.integers(domain.low, domain.high + 1))
+    return low, int(rng.integers(low, domain.high + 1))
+
+
+def build_disjoint_workload(bundle: DatasetBundle, analysts: list[Analyst],
+                            queries_per_analyst: int,
+                            attribute_sets: list[tuple[str, ...]],
+                            accuracy: float = 40000.0,
+                            seed: SeedLike = 0
+                            ) -> dict[str, list[QueryRequest]]:
+    """Per-analyst streams where analyst ``i`` only queries wide view ``i``.
+
+    Every query's predicate covers *all* attributes of the analyst's
+    assigned set (a range on the integer anchor, plus membership/threshold
+    conditions on the rest), so only the corresponding registered wide
+    view can answer it — streams for different analysts touch disjoint
+    views.  Accuracy requirements are jittered exactly like the mixed
+    workload so strictest-first planning stays exercised.
+    """
+    rng = ensure_generator(seed)
+    schema = bundle.database.table(bundle.fact_table).schema
+    table = bundle.fact_table
+
+    workload: dict[str, list[QueryRequest]] = {}
+    for i, analyst in enumerate(analysts):
+        attrs = attribute_sets[i % len(attribute_sets)]
+        anchor, rest = attrs[0], attrs[1:]
+        domain = schema.domain(anchor)
+        stream: list[QueryRequest] = []
+        for _ in range(queries_per_analyst):
+            low, high = _aligned_range(domain, rng)
+            conditions = [f"{anchor} BETWEEN {low} AND {high}"]
+            for attr in rest:
+                other = schema.domain(attr)
+                if hasattr(other, "values"):  # categorical: membership
+                    count = max(1, int(rng.integers(1, other.size + 1)))
+                    literals = ", ".join(f"'{v}'"
+                                         for v in other.values[:count])
+                    conditions.append(f"{attr} IN ({literals})")
+                else:  # integer: bin-aligned threshold
+                    cut, _ = _aligned_range(other, rng)
+                    conditions.append(f"{attr} >= {cut}")
+            sql = (f"SELECT COUNT(*) FROM {table} "
+                   f"WHERE {' AND '.join(conditions)}")
+            jitter = float(accuracy * 2.0 ** rng.uniform(-1.0, 1.0))
+            stream.append(QueryRequest(sql, accuracy=jitter))
+        workload[analyst.name] = stream
+    return workload
+
+
 @dataclass(frozen=True)
 class ThroughputResult:
     """Outcome of one load-generation run."""
@@ -121,10 +240,27 @@ class ThroughputResult:
     synopsis_cache_hit_rate: float
     fresh_releases: int
     total_epsilon_spent: float
+    execution: str = "sharded"
+    shards: int = 0
 
     @property
     def queries_per_second(self) -> float:
         return self.total_queries / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready record (the ``--json`` bench artifact rows)."""
+        return {
+            "mode": self.mode, "threads": self.threads,
+            "execution": self.execution, "shards": self.shards,
+            "total_queries": self.total_queries, "answered": self.answered,
+            "rejected": self.rejected, "failed": self.failed,
+            "seconds": self.seconds,
+            "queries_per_second": self.queries_per_second,
+            "answer_cache_hit_rate": self.answer_cache_hit_rate,
+            "synopsis_cache_hit_rate": self.synopsis_cache_hit_rate,
+            "fresh_releases": self.fresh_releases,
+            "total_epsilon_spent": self.total_epsilon_spent,
+        }
 
 
 def run_throughput(service: QueryService, analysts: list[Analyst],
@@ -198,6 +334,8 @@ def run_throughput(service: QueryService, analysts: list[Analyst],
                - cache0["hits"] - cache0["misses"])
     return ThroughputResult(
         mode=mode, threads=len(pool),
+        execution=service.execution,
+        shards=(service.sharding.num_shards if service.sharding else 0),
         total_queries=stats["submitted"] - stats0["submitted"],
         answered=stats["answered"] - stats0["answered"],
         rejected=stats["rejected"] - stats0["rejected"],
@@ -217,13 +355,14 @@ def run_throughput(service: QueryService, analysts: list[Analyst],
 def format_throughput(results: list[ThroughputResult],
                       title: str = "service throughput") -> str:
     """Text table comparing load-generation runs."""
-    header = (f"{'mode':>8s} {'thr':>4s} {'queries':>8s} {'ans':>7s} "
-              f"{'rej':>6s} {'q/s':>9s} {'hit%':>6s} {'fresh':>6s} "
-              f"{'eps':>8s}")
+    header = (f"{'mode':>8s} {'exec':>8s} {'thr':>4s} {'queries':>8s} "
+              f"{'ans':>7s} {'rej':>6s} {'q/s':>9s} {'hit%':>6s} "
+              f"{'fresh':>6s} {'eps':>8s}")
     lines = [f"== {title} ==", header, "-" * len(header)]
     for r in results:
         lines.append(
-            f"{r.mode:>8s} {r.threads:>4d} {r.total_queries:>8d} "
+            f"{r.mode:>8s} {r.execution:>8s} {r.threads:>4d} "
+            f"{r.total_queries:>8d} "
             f"{r.answered:>7d} {r.rejected:>6d} {r.queries_per_second:>9.1f} "
             f"{100.0 * r.answer_cache_hit_rate:>5.1f}% {r.fresh_releases:>6d} "
             f"{r.total_epsilon_spent:>8.3f}")
@@ -234,7 +373,10 @@ __all__ = [
     "MODES",
     "ThroughputResult",
     "bfs_style_queries",
+    "build_disjoint_workload",
     "build_mixed_workload",
+    "disjoint_view_attribute_sets",
     "format_throughput",
+    "register_disjoint_views",
     "run_throughput",
 ]

@@ -1,26 +1,37 @@
-"""The multi-analyst query service: sessions, batching, thread safety.
+"""The multi-analyst query service: sessions, batching, sharded execution.
 
 :class:`QueryService` is the serving front-end over a :class:`DProvDB`
 engine.  It adds what the bare engine lacks for concurrent operation:
 
 * **sessions** — many connections (e.g. one per worker thread) mapped onto
   the engine's registered analysts;
-* **a global critical section** — the engine's constraint check and the
-  provenance update it authorises are not atomic on their own; the service
-  serialises every submission through one reentrant lock so concurrent
-  sessions can never interleave a check-then-charge and over-spend a
-  budget (see ``tests/test_service_concurrency.py`` for the invariant);
+* **sharded execution** (the default) — there is *no* global critical
+  section: check-then-charge atomicity lives in
+  :meth:`repro.core.provenance.ProvenanceTable.reserve`, synopsis
+  consistency in the engine's per-view sections
+  (:meth:`repro.core.engine.DProvDB.view_section`, acquired in sorted
+  view-name order for multi-view work), and service counters behind a
+  dedicated stats lock — so submissions against disjoint views proceed in
+  parallel (see ``tests/test_service_sharding.py`` for the invariants);
 * **batched planning** — :func:`repro.service.planner.plan_batch` orders a
   batch view-by-view, strictest accuracy first, so one synopsis refresh
-  answers many queries;
+  answers many queries; under sharded execution the per-view groups of a
+  batch are dispatched concurrently through a
+  :class:`repro.service.sharding.ShardManager` worker pool;
 * **a bounded synopsis cache** — local synopses live in an LRU store with
   hit/miss statistics (:class:`repro.metrics.runtime.CacheStats`).
+
+``execution="global"`` restores the PR 1 behaviour — one reentrant lock
+serialising every submission end to end — and exists as the measured
+baseline for the sharding speedup (``bench-service --compare-global``).
 """
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -29,10 +40,11 @@ from repro.core.engine import Answer, DProvDB
 from repro.core.synopsis import SynopsisStore
 from repro.datasets.base import DatasetBundle
 from repro.exceptions import QueryRejected, ReproError
-from repro.metrics.runtime import CacheStats, Stopwatch
+from repro.metrics.runtime import CacheStats
 from repro.service.cache import LruSynopsisStore
-from repro.service.planner import BatchPlan, plan_batch
+from repro.service.planner import BatchPlan, PlannedQuery, plan_batch
 from repro.service.session import QueryRequest, QueryResponse, Session
+from repro.service.sharding import DEFAULT_NUM_SHARDS, ShardManager
 
 #: Default bound on cached local synopses (one entry per (analyst, view)
 #: pair, so this accommodates e.g. 16 analysts x 16 hot views).  Pass
@@ -41,10 +53,20 @@ from repro.service.session import QueryRequest, QueryResponse, Session
 #: :mod:`repro.service.cache`).
 DEFAULT_MAX_CACHED = 256
 
+#: Supported execution modes.
+EXECUTION_MODES = ("sharded", "global")
+
 
 @dataclass
 class ServiceStats:
-    """Aggregate counters the service exposes for monitoring."""
+    """Aggregate counters the service exposes for monitoring.
+
+    Mutation happens only under the owning service's dedicated stats lock
+    (never the execution path's view locks), so the counters stay exact
+    under sharded submission.  ``busy_seconds`` sums per-submission
+    execution time; overlapping submissions in sharded mode can therefore
+    sum to more than wall-clock — the ratio is the effective parallelism.
+    """
 
     submitted: int = 0
     answered: int = 0
@@ -87,7 +109,12 @@ class QueryService:
     """Thread-safe serving layer over one :class:`DProvDB` engine."""
 
     def __init__(self, engine: DProvDB,
-                 max_cached_synopses: int | None = DEFAULT_MAX_CACHED) -> None:
+                 max_cached_synopses: int | None = DEFAULT_MAX_CACHED, *,
+                 execution: str = "sharded",
+                 shards: int = DEFAULT_NUM_SHARDS) -> None:
+        if execution not in EXECUTION_MODES:
+            raise ReproError(f"unknown execution mode {execution!r}; "
+                             f"choose from {EXECUTION_MODES}")
         if engine.mechanism.store.local_keys or \
                 engine.mechanism.store.global_views:
             raise ReproError(
@@ -103,34 +130,65 @@ class QueryService:
                 "with max_cached_synopses= instead"
             )
         self._engine = engine
+        self._execution = execution
+        #: Global-mode critical section (PR 1 baseline); unused when sharded.
         self._lock = threading.RLock()
+        self._sessions_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self._sessions: dict[int, Session] = {}
         self._session_ids = itertools.count(1)
         self.cache_stats = CacheStats()
         engine.mechanism.store = LruSynopsisStore(max_cached_synopses,
                                                   self.cache_stats)
         self.stats = ServiceStats()
-        self._watch = Stopwatch()
+        self.sharding = (ShardManager(shards) if execution == "sharded"
+                         else None)
 
     @classmethod
     def build(cls, bundle: DatasetBundle, analysts: Sequence[Analyst],
               epsilon: float, *,
               max_cached_synopses: int | None = DEFAULT_MAX_CACHED,
+              execution: str = "sharded",
+              shards: int = DEFAULT_NUM_SHARDS,
               **engine_kwargs) -> "QueryService":
         """Construct an engine and wrap it in one step."""
         return cls(DProvDB(bundle, analysts, epsilon, **engine_kwargs),
-                   max_cached_synopses=max_cached_synopses)
+                   max_cached_synopses=max_cached_synopses,
+                   execution=execution, shards=shards)
 
     @property
     def engine(self) -> DProvDB:
-        """The wrapped engine.  Mutating it outside the service lock forfeits
-        the concurrency guarantees; prefer the session API."""
+        """The wrapped engine.  Safe to read; prefer the session API for
+        submissions so service counters stay consistent."""
         return self._engine
+
+    @property
+    def execution(self) -> str:
+        """``"sharded"`` (no global lock) or ``"global"`` (PR 1 baseline)."""
+        return self._execution
+
+    def close(self) -> None:
+        """Release the shard worker pool (idempotent)."""
+        if self.sharding is not None:
+            self.sharding.close()
+
+    def _critical_section(self):
+        """The PR 1 global lock in ``"global"`` mode; a no-op when sharded
+        (atomicity then lives in the provenance table and view sections)."""
+        if self._execution == "global":
+            return self._lock
+        return contextlib.nullcontext()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- sessions -------------------------------------------------------------
     def open_session(self, analyst: str) -> Session:
         """Open a connection for a registered analyst (many allowed)."""
-        with self._lock:
+        with self._sessions_lock:
             self._engine._check_analyst(analyst)
             session = Session(next(self._session_ids), analyst)
             self._sessions[session.session_id] = session
@@ -138,17 +196,20 @@ class QueryService:
 
     def close_session(self, session: Session | int) -> Session:
         """Close a session; its counters remain readable."""
-        with self._lock:
+        with self._sessions_lock:
             closed = self._resolve_session(session)
             closed.closed = True
             del self._sessions[closed.session_id]
             return closed
 
     def active_sessions(self) -> tuple[Session, ...]:
-        with self._lock:
+        with self._sessions_lock:
             return tuple(self._sessions.values())
 
     def _resolve_session(self, session: Session | int) -> Session:
+        # Lock-free read: the sessions dict is only ever mutated under the
+        # sessions lock, and a plain dict lookup is atomic in CPython, so
+        # the hot submission path need not serialise on open/close traffic.
         session_id = session.session_id if isinstance(session, Session) \
             else session
         try:
@@ -164,13 +225,16 @@ class QueryService:
         """Answer one query on a session; never raises for query-level
         failures — inspect :attr:`QueryResponse.error`."""
         request = QueryRequest(sql, accuracy=accuracy, epsilon=epsilon)
-        with self._lock:
-            live = self._resolve_session(session)
-            with self._watch:
-                response = self._execute(live.analyst, 0, request,
-                                         is_group_by=None)
-            self._account(live, response)
-            self.stats.busy_seconds = self._watch.seconds
+        with self._critical_section():
+            return self._submit_one(session, request)
+
+    def _submit_one(self, session: Session | int,
+                    request: QueryRequest) -> QueryResponse:
+        live = self._resolve_session(session)
+        started = time.perf_counter()
+        response = self._execute(live.analyst, 0, request, is_group_by=None)
+        elapsed = time.perf_counter() - started
+        self._account(live, response, elapsed)
         return response
 
     def submit_batch(self, session: Session | int,
@@ -179,28 +243,50 @@ class QueryService:
         """Answer a batch through the view-grouping planner.
 
         Responses are returned in the order of ``requests`` regardless of
-        execution order.
+        execution order.  Under sharded execution the plan's per-view
+        groups run concurrently on the shard pool (each group still in
+        strictest-first order); under global execution the whole batch
+        runs inside the service lock, as in PR 1.
         """
         batch = [r if isinstance(r, QueryRequest) else QueryRequest(r)
                  for r in requests]
-        with self._lock:
-            live = self._resolve_session(session)
-            with self._watch:
-                plan = plan_batch(self._engine, batch)
-                responses: list[QueryResponse | None] = [None] * len(batch)
-                for item in plan.ordered:
-                    responses[item.index] = self._execute_planned(
-                        live.analyst, item)
+        with self._critical_section():
+            return self._submit_batch_inner(
+                session, batch, parallel=self._execution == "sharded")
+
+    def _submit_batch_inner(self, session: Session | int,
+                            batch: list[QueryRequest],
+                            parallel: bool) -> list[QueryResponse]:
+        live = self._resolve_session(session)
+        started = time.perf_counter()
+        plan = plan_batch(self._engine, batch)
+        responses: list[QueryResponse | None] = [None] * len(batch)
+
+        groups: dict[str | None, list[PlannedQuery]] = {}
+        for item in plan.ordered:
+            groups.setdefault(item.view_name, []).append(item)
+
+        def run_item(item: PlannedQuery) -> None:
+            responses[item.index] = self._execute_planned(live.analyst, item)
+
+        if parallel and self.sharding is not None and len(groups) > 1:
+            self.sharding.run_view_groups(list(groups.items()), run_item)
+        else:
+            for item in plan.ordered:
+                run_item(item)
+        elapsed = time.perf_counter() - started
+
+        with self._stats_lock:
             for response in responses:
-                self._account(live, response)
+                self._account_locked(live, response)
             live.batches += 1
             self.stats.batches += 1
-            self.stats.busy_seconds = self._watch.seconds
+            self.stats.busy_seconds += elapsed
         return responses  # type: ignore[return-value]
 
     def plan(self, requests: Sequence[QueryRequest]) -> BatchPlan:
         """Expose the planner's decision for a batch (no execution)."""
-        with self._lock:
+        with self._critical_section():
             return plan_batch(self._engine, list(requests))
 
     def _execute_planned(self, analyst: str, item) -> QueryResponse:
@@ -222,7 +308,7 @@ class QueryService:
     def _execute(self, analyst: str, index: int, request: QueryRequest,
                  is_group_by: bool | None,
                  statement=None) -> QueryResponse:
-        """Run one request against the engine (caller holds the lock)."""
+        """Run one request against the engine (which self-locks per view)."""
         sql = statement if statement is not None else request.sql
         try:
             if is_group_by is None:
@@ -243,7 +329,16 @@ class QueryService:
         except ReproError as exc:
             return QueryResponse(index, error=str(exc))
 
-    def _account(self, session: Session, response: QueryResponse) -> None:
+    def _account(self, session: Session, response: QueryResponse,
+                 elapsed: float = 0.0) -> None:
+        with self._stats_lock:
+            self._account_locked(session, response)
+            self.stats.busy_seconds += elapsed
+
+    def _account_locked(self, session: Session,
+                        response: QueryResponse) -> None:
+        """Fold one response into session + service counters (stats lock
+        held)."""
         session._record(response)
         self.stats.submitted += 1
         if not response.ok:
@@ -259,17 +354,20 @@ class QueryService:
     # -- reporting ------------------------------------------------------------
     def analyst_spent(self, analyst: str) -> float:
         """Epsilon the provenance table records for one analyst."""
-        with self._lock:
-            return self._engine.provenance.row_total(analyst)
+        return self._engine.provenance.row_total(analyst)
 
     def snapshot(self) -> dict:
         """Point-in-time service metrics (service + synopsis-cache stats)."""
-        with self._lock:
-            return {
-                "service": self.stats.as_dict(),
-                "synopsis_cache": self.cache_stats.as_dict(),
-                "open_sessions": len(self._sessions),
-            }
+        with self._stats_lock:
+            service = self.stats.as_dict()
+        with self._sessions_lock:
+            open_sessions = len(self._sessions)
+        return {
+            "service": service,
+            "synopsis_cache": self.cache_stats.as_dict(),
+            "open_sessions": open_sessions,
+        }
 
 
-__all__ = ["DEFAULT_MAX_CACHED", "QueryService", "ServiceStats"]
+__all__ = ["DEFAULT_MAX_CACHED", "EXECUTION_MODES", "QueryService",
+           "ServiceStats"]

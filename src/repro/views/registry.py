@@ -8,6 +8,7 @@ routed through a wide marginal).
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -32,6 +33,7 @@ class ViewRegistry:
         self._database = database
         self._views: dict[str, AnyView] = {}
         self._exact: dict[str, np.ndarray] = {}
+        self._materialize_lock = threading.Lock()
         #: Wall-clock seconds spent materialising exact views ("setup time").
         self.setup_seconds = 0.0
 
@@ -72,13 +74,23 @@ class ViewRegistry:
 
     # -- materialisation ----------------------------------------------------
     def exact_values(self, view_name: str) -> np.ndarray:
-        """Exact flattened histogram for the view (cached; curator-side)."""
-        if view_name not in self._exact:
-            started = time.perf_counter()
-            view = self.view(view_name)
-            self._exact[view_name] = view.materialize(self._database)
-            self.setup_seconds += time.perf_counter() - started
-        return self._exact[view_name]
+        """Exact flattened histogram for the view (cached; curator-side).
+
+        First-touch materialisation is serialised by a lock so concurrent
+        submissions against different un-materialised views never race on
+        the cache (double-checked: the hot cached path stays lock-free).
+        """
+        values = self._exact.get(view_name)
+        if values is None:
+            with self._materialize_lock:
+                values = self._exact.get(view_name)
+                if values is None:
+                    started = time.perf_counter()
+                    view = self.view(view_name)
+                    values = view.materialize(self._database)
+                    self._exact[view_name] = values
+                    self.setup_seconds += time.perf_counter() - started
+        return values
 
     def materialize_all(self) -> float:
         """Materialise every registered view; returns total setup seconds."""

@@ -1,0 +1,316 @@
+"""Reserve/commit/rollback semantics of the provenance table.
+
+The tentpole invariant: a failed or rolled-back reservation leaves every
+tally and the accountant-visible state bit-identical — including under
+the (t, n)-coalition constraints — and concurrent reservations can never
+jointly over-spend a budget (the check and the charge are one atomic
+step).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.analyst import Analyst
+from repro.core.corruption import CorruptionGraph
+from repro.core.engine import DProvDB
+from repro.core.provenance import Constraints, ProvenanceTable
+from repro.exceptions import QueryRejected, ReproError
+
+
+def make_table() -> ProvenanceTable:
+    return ProvenanceTable(("alice", "bob", "carol"), ("v1", "v2"))
+
+
+def make_constraints(**overrides) -> Constraints:
+    kwargs = dict(
+        analyst={"alice": 1.0, "bob": 1.0, "carol": 1.0},
+        view={"v1": 1.5, "v2": 1.5},
+        table=2.0,
+    )
+    kwargs.update(overrides)
+    return Constraints(**kwargs)
+
+
+def state_fingerprint(table: ProvenanceTable) -> tuple:
+    """Every observable of the table, suitable for bitwise comparison."""
+    return (
+        table.as_matrix().tobytes(),
+        tuple(table.row_total(a) for a in table.analysts),
+        tuple(table.column_total(v) for v in table.views),
+        tuple(table.column_max(v) for v in table.views),
+        table.table_total(),
+        table.table_max_composite(),
+    )
+
+
+class TestReserveCommit:
+    def test_charge_is_applied_at_reserve_time(self):
+        table, psi = make_table(), make_constraints()
+        reservation = table.reserve("alice", "v1", 0.4, psi)
+        # Visible immediately: a concurrent reservation must see it.
+        assert table.get("alice", "v1") == pytest.approx(0.4)
+        assert table.table_total() == pytest.approx(0.4)
+        reservation.commit()
+        assert table.get("alice", "v1") == pytest.approx(0.4)
+        assert reservation.state == "committed"
+
+    def test_commit_is_idempotent_rollback_after_commit_refused(self):
+        table, psi = make_table(), make_constraints()
+        reservation = table.reserve("alice", "v1", 0.1, psi)
+        reservation.commit()
+        reservation.commit()
+        with pytest.raises(ReproError):
+            reservation.rollback()
+
+    def test_commit_after_rollback_refused(self):
+        table, psi = make_table(), make_constraints()
+        reservation = table.reserve("alice", "v1", 0.1, psi)
+        reservation.rollback()
+        reservation.rollback()  # idempotent
+        with pytest.raises(ReproError):
+            reservation.commit()
+
+    def test_negative_epsilon_refused(self):
+        table, psi = make_table(), make_constraints()
+        with pytest.raises(ReproError):
+            table.reserve("alice", "v1", -0.1, psi)
+
+    def test_unknown_column_mode_refused(self):
+        table, psi = make_table(), make_constraints()
+        with pytest.raises(ReproError):
+            table.reserve("alice", "v1", 0.1, psi, column_mode="median")
+
+
+class TestRollbackBitIdentical:
+    @pytest.mark.parametrize("mode", ["sum", "max"])
+    def test_rollback_restores_fresh_table(self, mode):
+        table, psi = make_table(), make_constraints()
+        before = state_fingerprint(table)
+        table.reserve("alice", "v1", 0.7, psi, column_mode=mode).rollback()
+        assert state_fingerprint(table) == before
+
+    @pytest.mark.parametrize("mode", ["sum", "max"])
+    def test_rollback_restores_populated_table(self, mode):
+        table, psi = make_table(), make_constraints()
+        # Awkward accumulated floats make naive +eps-eps drift detectable.
+        for eps in (0.1, 0.07, 1e-3, 0.233):
+            table.add("alice", "v1", eps)
+            table.add("bob", "v2", eps / 3.0)
+        before = state_fingerprint(table)
+        table.reserve("bob", "v1", 0.123456789, psi,
+                      column_mode=mode).rollback()
+        assert state_fingerprint(table) == before
+
+    def test_rollback_restores_column_max_owner(self):
+        """Rolling back the charge that held the column max restores the
+        previous max exactly (the additive table composite depends on it)."""
+        table, psi = make_table(), make_constraints()
+        table.add("alice", "v1", 0.3)
+        before = state_fingerprint(table)
+        reservation = table.reserve("bob", "v1", 0.9, psi, column_mode="max")
+        assert table.column_max("v1") == pytest.approx(0.9)
+        reservation.rollback()
+        assert state_fingerprint(table) == before
+
+    def test_context_manager_rolls_back_on_error(self):
+        table, psi = make_table(), make_constraints()
+        before = state_fingerprint(table)
+        with pytest.raises(RuntimeError):
+            with table.reserve("alice", "v1", 0.5, psi):
+                raise RuntimeError("release failed mid-flight")
+        assert state_fingerprint(table) == before
+
+    def test_context_manager_keeps_committed_charge(self):
+        table, psi = make_table(), make_constraints()
+        with table.reserve("alice", "v1", 0.5, psi) as reservation:
+            reservation.commit()
+        assert table.get("alice", "v1") == pytest.approx(0.5)
+
+
+class TestConstraintChecks:
+    def test_row_rejection(self):
+        table, psi = make_table(), make_constraints()
+        table.reserve("alice", "v1", 1.0, psi).commit()
+        with pytest.raises(QueryRejected) as excinfo:
+            table.reserve("alice", "v2", 0.5, psi)
+        assert excinfo.value.constraint == "row"
+
+    def test_column_rejection_sum_mode(self):
+        table, psi = make_table(), make_constraints()
+        table.reserve("alice", "v1", 0.9, psi).commit()
+        table.reserve("bob", "v1", 0.5, psi).commit()
+        with pytest.raises(QueryRejected) as excinfo:
+            table.reserve("carol", "v1", 0.2, psi)
+        assert excinfo.value.constraint == "column"
+
+    def test_column_max_mode_ignores_parallel_entries(self):
+        """Under the additive composite two analysts' entries do not sum."""
+        table, psi = make_table(), make_constraints()
+        table.reserve("alice", "v1", 0.9, psi, column_mode="max").commit()
+        table.reserve("bob", "v1", 0.9, psi, column_mode="max").commit()
+        # Sum is 1.8 > 1.5, but the column max is 0.9: still admissible.
+        table.reserve("carol", "v1", 0.9, psi, column_mode="max").commit()
+        with pytest.raises(QueryRejected) as excinfo:
+            table.reserve("carol", "v1", 0.7, psi, column_mode="max")
+        assert excinfo.value.constraint == "column"
+
+    def test_table_rejection(self):
+        table, psi = make_table(), make_constraints()
+        table.reserve("alice", "v1", 1.0, psi).commit()
+        table.reserve("bob", "v2", 0.9, psi).commit()
+        with pytest.raises(QueryRejected) as excinfo:
+            table.reserve("carol", "v1", 0.2, psi)
+        assert excinfo.value.constraint == "table"
+
+    def test_failed_reservation_charges_nothing(self):
+        table, psi = make_table(), make_constraints()
+        table.reserve("alice", "v1", 1.0, psi).commit()
+        before = state_fingerprint(table)
+        with pytest.raises(QueryRejected):
+            table.reserve("alice", "v2", 0.5, psi)
+        assert state_fingerprint(table) == before
+
+    def test_check_probe_never_mutates(self):
+        table, psi = make_table(), make_constraints()
+        before = state_fingerprint(table)
+        table.check("alice", "v1", 0.5, psi)
+        with pytest.raises(QueryRejected):
+            table.check("alice", "v1", 5.0, psi)
+        assert state_fingerprint(table) == before
+
+
+class TestCoalitions:
+    def make(self):
+        table = make_table()
+        psi = make_constraints(
+            table=2.0,
+            groups=(frozenset({"alice", "bob"}), frozenset({"carol"})),
+            group_limit=1.0,
+        )
+        return table, psi
+
+    def test_coalition_budget_enforced(self):
+        table, psi = self.make()
+        table.reserve("alice", "v1", 0.6, psi).commit()
+        with pytest.raises(QueryRejected) as excinfo:
+            table.reserve("bob", "v2", 0.5, psi)
+        assert excinfo.value.constraint == "table"
+        assert "coalition" in str(excinfo.value)
+        # The other coalition is unaffected.
+        table.reserve("carol", "v2", 0.5, psi).commit()
+
+    def test_rollback_frees_coalition_budget_bit_identically(self):
+        table, psi = self.make()
+        table.reserve("alice", "v1", 0.6, psi).commit()
+        before = state_fingerprint(table)
+        reservation = table.reserve("bob", "v1", 0.3, psi)
+        with pytest.raises(QueryRejected):
+            table.reserve("alice", "v2", 0.2, psi)  # 0.6+0.3+0.2 > 1.0
+        reservation.rollback()
+        assert state_fingerprint(table) == before
+        # Freed: the charge that was refused above now fits.
+        table.reserve("alice", "v2", 0.2, psi).commit()
+
+
+class TestConcurrentReservations:
+    def test_no_overspend_under_concurrent_reserve(self):
+        """Many threads race check-and-charge against one tight budget."""
+        analysts = tuple(f"a{i}" for i in range(8))
+        table = ProvenanceTable(analysts, ("v1", "v2"))
+        psi = Constraints(
+            analyst={a: 10.0 for a in analysts},
+            view={"v1": 10.0, "v2": 10.0},
+            table=5.0,
+        )
+        committed = []
+        committed_lock = threading.Lock()
+        barrier = threading.Barrier(8)
+        errors: list[BaseException] = []
+
+        def worker(i: int) -> None:
+            try:
+                rng = np.random.default_rng(i)
+                barrier.wait()
+                for step in range(60):
+                    eps = float(rng.uniform(0.01, 0.2))
+                    view = "v1" if (step + i) % 2 else "v2"
+                    try:
+                        reservation = table.reserve(analysts[i], view, eps,
+                                                    psi)
+                    except QueryRejected:
+                        continue
+                    if rng.random() < 0.3:
+                        reservation.rollback()
+                    else:
+                        reservation.commit()
+                        with committed_lock:
+                            committed.append(eps)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "reserve stress deadlocked"
+        assert not errors, errors
+
+        assert table.table_total() <= psi.table + 1e-9
+        assert table.table_total() == pytest.approx(sum(committed), abs=1e-6)
+        for analyst in analysts:
+            row = table.row_total(analyst)
+            assert 0.0 <= row <= psi.analyst_limit(analyst) + 1e-9
+        # Tallies agree with the matrix after the storm.
+        matrix = table.as_matrix()
+        assert matrix.sum() == pytest.approx(table.table_total(), abs=1e-9)
+
+
+class TestEngineStateAfterRejection:
+    """A rejected submission leaves the accountant-visible state untouched."""
+
+    @pytest.mark.parametrize("mechanism", ["additive", "vanilla"])
+    def test_rejection_leaves_engine_state_bit_identical(self, adult_bundle,
+                                                         mechanism):
+        analysts = [Analyst("low", 1), Analyst("high", 4)]
+        engine = DProvDB(adult_bundle, analysts, epsilon=0.4,
+                         mechanism=mechanism, seed=3)
+        sql = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+        engine.submit("high", sql, accuracy=50000.0)
+
+        matrix = engine.provenance_matrix().tobytes()
+        consumed = tuple(engine.analyst_consumed(a.name) for a in analysts)
+        deltas = tuple(engine.mechanism.analyst_delta(a.name)
+                       for a in analysts)
+        bound = engine.collusion_bound()
+
+        with pytest.raises(QueryRejected):
+            engine.submit("low", sql, accuracy=0.5)  # far too strict
+
+        assert engine.provenance_matrix().tobytes() == matrix
+        assert tuple(engine.analyst_consumed(a.name)
+                     for a in analysts) == consumed
+        assert tuple(engine.mechanism.analyst_delta(a.name)
+                     for a in analysts) == deltas
+        assert engine.collusion_bound() == bound
+
+    def test_rejection_under_coalition_graph(self, adult_bundle):
+        """(t, n)-compromised budgeting: rejection is side-effect free."""
+        analysts = [Analyst(f"w{i}", 2) for i in range(4)]
+        graph = CorruptionGraph(analysts, [("w0", "w1"), ("w2", "w3")], t=2)
+        engine = DProvDB.with_corruption_graph(
+            adult_bundle, analysts, graph, epsilon=0.5, seed=5)
+        sql = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 20 AND 60"
+        engine.submit("w0", sql, accuracy=80000.0)
+
+        matrix = engine.provenance_matrix().tobytes()
+        bound = engine.collusion_bound()
+        with pytest.raises(QueryRejected):
+            engine.submit("w1", sql, accuracy=1.0)
+        assert engine.provenance_matrix().tobytes() == matrix
+        assert engine.collusion_bound() == bound
