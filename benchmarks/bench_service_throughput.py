@@ -30,8 +30,11 @@ import argparse
 
 from repro.experiments.service_throughput import (
     SPEEDUP_TARGET,
+    check_remote_matches_inproc,
+    format_remote_comparison,
     format_service_throughput,
     format_sharding_comparison,
+    run_remote_comparison,
     run_service_throughput,
     run_sharding_comparison,
     sharding_speedup,
@@ -55,6 +58,11 @@ TINY_KWARGS = dict(dataset="adult", num_rows=2000, num_analysts=4,
 COMPARE_KWARGS = dict(dataset="adult", num_rows=12000, num_analysts=8,
                       queries_per_analyst=60, threads=8,
                       epsilon=64.0, repeats=3, seed=0)
+
+#: Over-the-wire comparison scale (in-process vs remote, + open loop).
+REMOTE_KWARGS = dict(dataset="adult", num_rows=12000, num_analysts=4,
+                     queries_per_analyst=60, connections=4,
+                     epsilon=64.0, seed=0, open_loop_rate=200.0)
 
 def check_batched_beats_single(results, strict_qps: bool = True) -> None:
     """The batched-planning claim, asserted on a finished run.
@@ -161,6 +169,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--compare-global", action="store_true",
                         help="also run the disjoint-view sharded-vs-global "
                              "comparison and assert identical accounting")
+    parser.add_argument("--remote", action="store_true",
+                        help="also replay the disjoint workload over the "
+                             "HTTP wire (in-process daemon on an ephemeral "
+                             "port) and assert identical accounting; "
+                             "reports over-the-wire q/s + p50/p95 latency")
     parser.add_argument("--require-speedup", type=float, default=0.95,
                         help="minimum sharded/global q/s ratio to accept; "
                              "the default is an anti-regression floor for "
@@ -216,8 +229,24 @@ def main(argv: list[str] | None = None) -> int:
         print("ok: sharded execution matches the global lock's accounting "
               "exactly; speedup measured above")
 
+    remote = None
+    if args.remote:
+        remote_kwargs = dict(REMOTE_KWARGS)
+        if args.shards is not None:
+            remote_kwargs["shards"] = args.shards
+        if args.tiny:
+            remote_kwargs.update(num_rows=2000, num_analysts=2,
+                                 queries_per_analyst=20, connections=2,
+                                 open_loop_rate=100.0)
+        remote = run_remote_comparison(**remote_kwargs)
+        print()
+        print(format_remote_comparison(remote))
+        check_remote_matches_inproc(remote)
+        print("ok: the wire changed nothing but latency — identical "
+              "epsilon and fresh releases across transports")
+
     if args.json:
-        write_json_artifact(args.json, results, comparison)
+        write_json_artifact(args.json, results, comparison, remote)
         print(f"wrote {args.json}")
     return 0
 

@@ -1,0 +1,177 @@
+"""CI smoke test for ``python -m repro serve``.
+
+Black-box, process-level: spawns the real daemon as a subprocess, drives
+it with two concurrent :class:`repro.client.RemoteAnalyst` workers
+issuing mixed single + batched queries, replays the identical workload
+in process, and asserts the epsilon accounting and fresh-release counts
+match exactly.  Then SIGTERMs the daemon and asserts a clean drain
+(exit code 0 and the "stopped cleanly" line).
+
+The two analysts query *disjoint attributes* (analyst 0 only the first
+ordered attribute, analyst 1 only the second), so each stream is served
+by its own single-attribute view and the accounting is independent of
+thread interleaving — the equality is deterministic, not probabilistic.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from repro.client import RemoteAnalyst
+from repro.datasets import load_adult
+from repro.experiments.service_throughput import make_service_analysts
+from repro.service.loadgen import bfs_style_queries
+from repro.service.service import QueryService
+from repro.service.session import QueryRequest
+from repro.workloads.rrq import ordered_attributes
+
+ROWS = 2000
+EPSILON = 48.0
+ACCURACY = 2e5
+SERVE_ARGS = ["--port", "0", "--rows", str(ROWS), "--analysts", "2",
+              "--epsilon", str(EPSILON), "--seed", "0"]
+STARTUP_TIMEOUT = 60.0
+SHUTDOWN_TIMEOUT = 30.0
+
+
+def build_streams(bundle) -> dict[str, list[QueryRequest]]:
+    """Per-analyst streams over disjoint attributes (deterministic)."""
+    attrs = ordered_attributes(bundle)[:2]
+    assert len(attrs) == 2, "need two ordered attributes for disjointness"
+    streams = {}
+    for analyst, attribute in zip(make_service_analysts(2), attrs):
+        queries = bfs_style_queries(bundle, attribute, depth=3)
+        streams[analyst.name] = [QueryRequest(sql, accuracy=ACCURACY)
+                                 for sql in queries]
+    return streams
+
+
+def replay_remote(url: str, streams) -> None:
+    """Two concurrent remote analysts, first half single, rest batched."""
+    errors: list[BaseException] = []
+
+    def worker(analyst: str, stream: list[QueryRequest]) -> None:
+        try:
+            with RemoteAnalyst(url, token=analyst) as client:
+                session = client.open_session()
+                half = len(stream) // 2
+                for request in stream[:half]:
+                    response = client.submit(session, request.sql,
+                                             accuracy=request.accuracy)
+                    assert response.ok, response.error
+                for response in client.submit_batch(session, stream[half:]):
+                    assert response.ok, response.error
+                client.close_session(session)
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=item)
+               for item in streams.items()]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def replay_inproc(bundle, streams) -> dict:
+    """The same mixed workload against an identically-built service."""
+    service = QueryService.build(bundle, make_service_analysts(2), EPSILON,
+                                 seed=0)
+    def worker(analyst: str, stream: list[QueryRequest]) -> None:
+        session = service.open_session(analyst)
+        half = len(stream) // 2
+        for request in stream[:half]:
+            response = service.submit(session, request.sql,
+                                      accuracy=request.accuracy)
+            assert response.ok, response.error
+        for response in service.submit_batch(session, stream[half:]):
+            assert response.ok, response.error
+        service.close_session(session)
+
+    threads = [threading.Thread(target=worker, args=item)
+               for item in streams.items()]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    snapshot = service.snapshot()
+    service.close()
+    return snapshot
+
+
+def main() -> int:
+    bundle = load_adult(num_rows=ROWS, seed=0)
+    streams = build_streams(bundle)
+
+    print(f"smoke: starting daemon: python -m repro serve "
+          f"{' '.join(SERVE_ARGS)}")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *SERVE_ARGS],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        url = None
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        while time.monotonic() < deadline:
+            line = daemon.stdout.readline()
+            if not line:
+                raise RuntimeError("daemon exited before listening")
+            sys.stdout.write(f"  [daemon] {line}")
+            match = re.search(r"listening on (http://\S+)", line)
+            if match:
+                url = match.group(1)
+                break
+        assert url, "daemon never printed its listen address"
+
+        print("smoke: replaying mixed single/batch workload over the wire "
+              "(two concurrent analysts)")
+        replay_remote(url, streams)
+        with RemoteAnalyst(url, token="analyst_00") as observer:
+            remote_snapshot = observer.snapshot()
+            health = observer.health()
+        assert health["status"] == "ok", health
+
+        print("smoke: replaying the same workload in process")
+        inproc_snapshot = replay_inproc(bundle, streams)
+
+        remote_eps = remote_snapshot["provenance"]["epsilon_by_analyst"]
+        inproc_eps = inproc_snapshot["provenance"]["epsilon_by_analyst"]
+        assert remote_eps == inproc_eps, \
+            f"epsilon accounting diverged: {remote_eps} != {inproc_eps}"
+        remote_fresh = remote_snapshot["service"]["fresh_releases"]
+        inproc_fresh = inproc_snapshot["service"]["fresh_releases"]
+        assert remote_fresh == inproc_fresh, \
+            f"fresh releases diverged: {remote_fresh} != {inproc_fresh}"
+        assert remote_snapshot["service"]["failed"] == 0
+        print(f"smoke: accounting matches in-process replay exactly "
+              f"(eps={remote_eps}, fresh={remote_fresh})")
+
+        print("smoke: SIGTERM -> expecting clean drain")
+        daemon.send_signal(signal.SIGTERM)
+        output, _ = daemon.communicate(timeout=SHUTDOWN_TIMEOUT)
+        for line in output.splitlines():
+            sys.stdout.write(f"  [daemon] {line}\n")
+        assert daemon.returncode == 0, \
+            f"daemon exited {daemon.returncode}, want 0"
+        assert "stopped cleanly (drained)" in output, \
+            "daemon did not report a clean drain"
+        print("smoke: ok — clean drain, identical accounting")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

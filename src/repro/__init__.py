@@ -39,13 +39,17 @@ from repro.core import (
 from repro.baselines import ChorusBaseline, ChorusPBaseline, SimulatedPrivateSQL
 from repro.datasets import DatasetBundle, load_adult, load_tpch
 from repro.db import Database, Schema, Table
+from repro.client import RemoteAnalyst, RemoteSession
 from repro.exceptions import (
     QueryRejected,
     ReproError,
+    ServiceClosed,
+    SessionClosed,
     TranslationError,
     UnanswerableQuery,
 )
 from repro.metrics import dcfg, ndcfg, relative_error
+from repro.server import ReproServer
 from repro.service import (
     QueryRequest,
     QueryResponse,
@@ -73,10 +77,15 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "RemoteAnalyst",
+    "RemoteSession",
     "ReproError",
+    "ReproServer",
     "Reservation",
     "Schema",
+    "ServiceClosed",
     "Session",
+    "SessionClosed",
     "ShardManager",
     "SimulatedPrivateSQL",
     "Synopsis",

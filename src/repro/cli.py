@@ -7,6 +7,7 @@ Usage::
     python -m repro table1
     python -m repro fig6 --queries 200
     python -m repro bench-service --threads 8 --batch-size 32
+    python -m repro serve --port 8321 --analysts 8 --epsilon 12
     python -m repro list
 
 Each subcommand maps to one experiment regenerator (see DESIGN.md §3);
@@ -15,14 +16,23 @@ benchmarks print.  ``bench-service`` drives the concurrent serving layer
 (:mod:`repro.service`) with a mixed or disjoint-view multi-analyst
 workload and compares one-query-at-a-time submission against batched
 planning; ``--compare-global`` additionally pits the sharded service
-against the global-lock baseline and ``--json`` writes the
-machine-readable ``BENCH_service_throughput.json`` artifact.
+against the global-lock baseline, ``--remote`` measures the same
+workload over the HTTP wire (q/s + p50/p95 latency), and ``--json``
+writes the machine-readable ``BENCH_service_throughput.json`` artifact.
+
+``serve`` runs the network daemon (:mod:`repro.server`): it builds a
+dataset + analyst roster, wraps them in a sharded ``QueryService``, and
+serves the protocol-v1 HTTP API until SIGTERM/SIGINT, then drains
+in-flight work before exiting.  Connect with
+:class:`repro.client.RemoteAnalyst`.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from typing import Callable
 
 from repro.exceptions import ReproError
@@ -128,8 +138,11 @@ def _rq1(args) -> str:
 
 def _bench_service(args) -> str:
     from repro.experiments.service_throughput import (
+        check_remote_matches_inproc,
+        format_remote_comparison,
         format_service_throughput,
         format_sharding_comparison,
+        run_remote_comparison,
         run_service_throughput,
         run_sharding_comparison,
     )
@@ -153,12 +166,64 @@ def _bench_service(args) -> str:
             shards=args.shards,
         )
         report += "\n\n" + format_sharding_comparison(comparison)
+    remote = None
+    if args.remote:
+        remote = run_remote_comparison(
+            dataset=args.dataset, num_rows=args.rows,
+            num_analysts=args.analysts,
+            queries_per_analyst=min(args.queries, 60),
+            connections=args.connections or args.threads,
+            batch_size=args.batch_size, seed=args.seed,
+            execution=args.execution, shards=args.shards,
+            open_loop_rate=args.rate,
+        )
+        check_remote_matches_inproc(remote)
+        report += "\n\n" + format_remote_comparison(remote)
     if args.json is not None:
         from repro.experiments.service_throughput import write_json_artifact
 
-        write_json_artifact(args.json, results, comparison)
+        write_json_artifact(args.json, results, comparison, remote)
         report += f"\nwrote {args.json}"
     return report
+
+
+def _serve(args) -> str:
+    from repro.experiments.service_throughput import make_service_analysts
+    from repro.server.daemon import ReproServer
+    from repro.service.service import QueryService
+
+    from repro.datasets import load_adult, load_tpch
+
+    loader = load_adult if args.dataset == "adult" else load_tpch
+    kwargs = {} if args.rows is None else (
+        {"num_rows": args.rows} if args.dataset == "adult"
+        else {"lineitem_rows": args.rows})
+    bundle = loader(seed=args.seed, **kwargs)
+    analysts = make_service_analysts(args.analysts)
+    service = QueryService.build(bundle, analysts, args.epsilon,
+                                 execution=args.execution,
+                                 shards=args.shards, seed=args.seed)
+    server = ReproServer(service, host=args.host, port=args.port)
+
+    print(f"repro serve: listening on {server.url}", flush=True)
+    print(f"  dataset={args.dataset} rows={args.rows or 'full'} "
+          f"epsilon={args.epsilon} execution={args.execution} "
+          f"shards={args.shards}", flush=True)
+    print("  auth tokens (token -> analyst):", flush=True)
+    for token, analyst in server.tokens.items():
+        print(f"    {token} -> {analyst}", flush=True)
+    print("  SIGTERM/SIGINT drains in-flight work and exits.", flush=True)
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    server.start()
+    stop.wait()
+    print("repro serve: draining...", flush=True)
+    # A DrainTimeout (in-flight work abandoned) propagates as a ReproError
+    # so supervisors see exit code 2, not a clean stop.
+    server.shutdown()
+    return "stopped cleanly (drained)"
 
 
 COMMANDS: dict[str, tuple[Callable, str]] = {
@@ -215,10 +280,38 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--compare-global", action="store_true",
                              help="also run the disjoint-view sharded vs "
                                   "global-lock comparison")
+            cmd.add_argument("--remote", action="store_true",
+                             help="also measure the same workload over the "
+                                  "HTTP wire (in-process server, ephemeral "
+                                  "port): q/s + p50/p95 latency")
+            cmd.add_argument("--connections", type=int, default=None,
+                             help="client connections for --remote "
+                                  "(default: --threads)")
+            cmd.add_argument("--rate", type=float, default=None,
+                             help="with --remote: add an open-loop run "
+                                  "with Poisson arrivals at RATE q/s")
             cmd.add_argument("--json", nargs="?", metavar="PATH",
                              const="BENCH_service_throughput.json",
                              default=None,
                              help="write the machine-readable artifact")
+    serve = sub.add_parser(
+        "serve", help="run the HTTP daemon over a sharded QueryService")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="listen port (0 = ephemeral, printed at start)")
+    serve.add_argument("--dataset", choices=("adult", "tpch"),
+                       default="adult")
+    serve.add_argument("--rows", type=int, default=12000,
+                       help="dataset rows (0 = paper scale)")
+    serve.add_argument("--analysts", type=int, default=8,
+                       help="number of registered analysts")
+    serve.add_argument("--epsilon", type=float, default=12.0,
+                       help="table-level privacy budget")
+    serve.add_argument("--shards", type=int, default=8,
+                       help="shard count for the sharded service")
+    serve.add_argument("--execution", choices=("sharded", "global"),
+                       default="sharded", help="service execution mode")
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -227,10 +320,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         for name, (_, help_text) in COMMANDS.items():
             print(f"{name:8s} {help_text}")
+        print("serve    HTTP daemon over a sharded QueryService "
+              "(repro.server)")
         return 0
     if args.rows == 0:
         args.rows = None
-    runner, _ = COMMANDS[args.command]
+    runner, _ = COMMANDS[args.command] if args.command in COMMANDS \
+        else (_serve, "")
     try:
         print(runner(args))
     except ReproError as exc:

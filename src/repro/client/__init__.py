@@ -1,0 +1,13 @@
+"""Remote client for the :mod:`repro.server` daemon.
+
+:class:`RemoteAnalyst` mirrors the in-process session API of
+:class:`repro.service.service.QueryService` — ``open_session`` /
+``submit`` / ``submit_batch`` / ``snapshot`` — over the protocol-v1 HTTP
+wire, decoding responses back into the same
+:class:`~repro.service.session.QueryResponse` objects the in-process API
+returns, so workload code runs unchanged against either.
+"""
+
+from repro.client.remote import RemoteAnalyst, RemoteError, RemoteSession
+
+__all__ = ["RemoteAnalyst", "RemoteError", "RemoteSession"]

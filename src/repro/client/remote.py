@@ -1,0 +1,229 @@
+"""``RemoteAnalyst``: the over-the-wire twin of the in-process session API.
+
+One :class:`RemoteAnalyst` holds one persistent HTTP/1.1 connection (with
+transparent one-shot reconnect, since keep-alive connections can be
+closed server-side at any time) and is **not** thread-safe — use one
+instance per worker thread, exactly as in-process code uses one session
+per thread.  Transport- and lifecycle-level failures raise exceptions
+mirroring the in-process ones: a 409 from the server becomes
+:class:`repro.exceptions.ServiceClosed` / ``SessionClosed``, a 401
+becomes :class:`repro.exceptions.UnknownAnalyst`; anything else raises
+:class:`RemoteError` carrying the HTTP status and the envelope's machine
+``kind`` tag.  Query-level failures never raise — they arrive inside
+:class:`~repro.service.session.QueryResponse` envelopes, as in-process.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from dataclasses import dataclass
+from typing import Sequence
+from urllib.parse import urlsplit
+
+from repro.db.sql.ast import SelectStatement
+from repro.exceptions import (
+    ReproError,
+    ServiceClosed,
+    SessionClosed,
+    UnknownAnalyst,
+)
+from repro.server.protocol import (
+    WireFormatError,
+    decode_error,
+    decode_response,
+    encode_request,
+)
+from repro.service.session import QueryRequest, QueryResponse
+
+DEFAULT_TIMEOUT = 30.0
+
+
+class RemoteError(ReproError):
+    """A wire request failed below the query level.
+
+    ``status`` is the HTTP status code (0 for connection-level failures)
+    and ``kind`` the error envelope's machine tag.
+    """
+
+    def __init__(self, message: str, status: int = 0,
+                 kind: str = "internal") -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class RemoteSession:
+    """Handle for one server-side session (identity lives server-side)."""
+
+    session_id: int
+    analyst: str
+
+
+class RemoteAnalyst:
+    """Client for one analyst identity against a ``repro serve`` daemon.
+
+    >>> analyst = RemoteAnalyst("http://127.0.0.1:8321", token="alice")
+    >>> session = analyst.open_session()
+    >>> analyst.submit(session, "SELECT COUNT(*) FROM adult",
+    ...                accuracy=4e4).value()            # doctest: +SKIP
+    """
+
+    def __init__(self, base_url: str, token: str,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        if "://" in base_url:
+            parts = urlsplit(base_url)
+            if parts.scheme != "http":
+                raise ReproError(f"unsupported scheme {parts.scheme!r} "
+                                 f"(the daemon speaks plain http)")
+            netloc = parts.netloc
+        else:  # accept "host:port" shorthand (incl. bare hostnames)
+            netloc = base_url.rstrip("/")
+        if ":" in netloc:
+            host, _, port_text = netloc.rpartition(":")
+            port = int(port_text)
+        else:
+            host, port = netloc, 80
+        if not host:
+            raise ReproError(f"no host in base url {base_url!r}")
+        self._host, self._port, self._timeout = host, port, timeout
+        self.token = token
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport -------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout)
+            self._conn.connect()
+            # Request/response ping-pong over keep-alive: without
+            # TCP_NODELAY, Nagle + delayed ACK costs ~40ms a round trip.
+            self._conn.sock.setsockopt(socket.IPPROTO_TCP,
+                                       socket.TCP_NODELAY, 1)
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the underlying connection (sessions stay open server-side)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "RemoteAnalyst":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    #: Transport failures that mark the persistent connection dead.
+    _SOCKET_ERRORS = (http.client.HTTPException, ConnectionError,
+                      BrokenPipeError, TimeoutError)
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"}
+        for attempt in (1, 2):  # one transparent reconnect on a dead socket
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+            except self._SOCKET_ERRORS as exc:
+                # Send-phase failure: the server never saw a complete
+                # request, so a retry is safe for any method (this is the
+                # stale-keep-alive case).
+                self.close()
+                if attempt == 2:
+                    raise RemoteError(
+                        f"{method} {path} failed: {exc}") from exc
+                continue
+            try:
+                reply = conn.getresponse()
+                raw = reply.read()
+                break
+            except self._SOCKET_ERRORS as exc:
+                # Receive-phase failure: the request may already have been
+                # *processed* (budget charged) even though the reply was
+                # lost.  Retrying a submission would double-charge epsilon,
+                # so only idempotent reads reconnect transparently.
+                self.close()
+                if method != "GET" or attempt == 2:
+                    raise RemoteError(
+                        f"{method} {path} failed after the request was "
+                        f"sent: {exc}") from exc
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RemoteError(f"{method} {path}: server sent a non-JSON "
+                              f"body ({exc})", status=reply.status) from None
+        if not isinstance(decoded, dict):
+            raise RemoteError(f"{method} {path}: server sent a non-object "
+                              f"body", status=reply.status)
+        if reply.status >= 400:
+            self._raise_for(reply.status, decoded, f"{method} {path}")
+        return decoded
+
+    @staticmethod
+    def _raise_for(status: int, payload: dict, context: str) -> None:
+        try:
+            message, kind = decode_error(payload)
+        except WireFormatError:
+            message, kind = str(payload), "internal"
+        if kind == "service_closed":
+            raise ServiceClosed(message)
+        if kind == "session_closed":
+            raise SessionClosed(message)
+        if status == 401:
+            raise UnknownAnalyst(message)
+        raise RemoteError(f"{context}: {message}", status=status, kind=kind)
+
+    # -- the session API -------------------------------------------------------
+    def open_session(self) -> RemoteSession:
+        """Open a server-side session for this client's token."""
+        reply = self._request("POST", "/v1/sessions", {"token": self.token})
+        return RemoteSession(int(reply["session_id"]), str(reply["analyst"]))
+
+    def close_session(self, session: RemoteSession | int) -> None:
+        self._request("DELETE", f"/v1/sessions/{_session_id(session)}")
+
+    def submit(self, session: RemoteSession | int,
+               sql: str | SelectStatement,
+               accuracy: float | None = None,
+               epsilon: float | None = None) -> QueryResponse:
+        """Answer one query; query-level failures land in the response."""
+        payload = encode_request(QueryRequest(sql, accuracy=accuracy,
+                                              epsilon=epsilon))
+        reply = self._request(
+            "POST", f"/v1/sessions/{_session_id(session)}/query", payload)
+        return decode_response(reply)
+
+    def submit_batch(self, session: RemoteSession | int,
+                     requests: Sequence[QueryRequest | str]
+                     ) -> list[QueryResponse]:
+        """Answer a batch through the server-side planner."""
+        encoded = [encode_request(r if isinstance(r, QueryRequest)
+                                  else QueryRequest(r)) for r in requests]
+        reply = self._request(
+            "POST", f"/v1/sessions/{_session_id(session)}/batch",
+            {"requests": encoded})
+        raw = reply.get("responses")
+        if not isinstance(raw, list):
+            raise RemoteError("batch reply missing 'responses' list")
+        return [decode_response(entry) for entry in raw]
+
+    # -- observability ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The server's ``QueryService.snapshot()``, verbatim."""
+        return self._request("GET", "/v1/snapshot")
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+
+def _session_id(session: RemoteSession | int) -> int:
+    return session.session_id if isinstance(session, RemoteSession) \
+        else int(session)
+
+
+__all__ = ["DEFAULT_TIMEOUT", "RemoteAnalyst", "RemoteError",
+           "RemoteSession"]

@@ -55,3 +55,26 @@ class SQLError(ReproError):
 
 class UnknownAnalyst(ReproError):
     """A query arrived from an analyst not registered in the provenance table."""
+
+
+class ClosedError(ReproError):
+    """An operation reached a service or session that is already closed.
+
+    Carries a machine ``tag`` so transport layers can map the condition to
+    a stable status code (the HTTP server returns 409 Conflict for both
+    variants) without parsing the message text.
+    """
+
+    tag = "closed"
+
+
+class ServiceClosed(ClosedError):
+    """The :class:`repro.service.service.QueryService` has been shut down."""
+
+    tag = "service_closed"
+
+
+class SessionClosed(ClosedError):
+    """The targeted session was explicitly closed and cannot submit again."""
+
+    tag = "session_closed"

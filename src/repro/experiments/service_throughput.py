@@ -17,6 +17,15 @@ on top of the engine (:mod:`repro.service`).  Two comparisons live here:
   whatever the hardware allows — on a single-CPU host only the removed
   lock-convoy overhead, on multi-core hosts real parallel execution of
   the per-view sections.
+* :func:`run_remote_comparison` — the serving experiment
+  (``bench-service --remote``): the disjoint-view workload replayed once
+  in process and once over the wire (an in-process
+  :class:`repro.server.ReproServer` on an ephemeral port, driven by
+  :class:`repro.client.RemoteAnalyst` connections), plus an optional
+  open-loop Poisson run; accounting must be identical across transports
+  while the wire run additionally reports p50/p95 latency — the
+  over-the-wire numbers recorded next to the in-process ones in
+  ``BENCH_service_throughput.json``.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from repro.core.analyst import Analyst
 from repro.datasets import load_adult, load_tpch
 from repro.dp.rng import SeedLike
 from repro.exceptions import ReproError
+from repro.server.daemon import ReproServer
 from repro.service.loadgen import (
     MODES,
     ThroughputResult,
@@ -36,6 +46,7 @@ from repro.service.loadgen import (
     disjoint_view_attribute_sets,
     format_throughput,
     register_disjoint_views,
+    run_remote_throughput,
     run_throughput,
 )
 from repro.service.service import QueryService
@@ -175,6 +186,116 @@ def run_sharding_comparison(dataset: str = "adult",
     return results
 
 
+def run_remote_comparison(dataset: str = "adult",
+                          num_rows: int | None = 12000,
+                          num_analysts: int = 4,
+                          queries_per_analyst: int = 60,
+                          connections: int = 4,
+                          batch_size: int = 16,
+                          epsilon: float = 64.0,
+                          accuracy: float = 2e5,
+                          mechanism: str = "additive",
+                          max_cached_synopses: int = 256,
+                          seed: SeedLike = 0,
+                          execution: str = "sharded",
+                          shards: int = DEFAULT_NUM_SHARDS,
+                          mode: str = "batched",
+                          view_width: int = 2,
+                          open_loop_rate: float | None = None
+                          ) -> list[ThroughputResult]:
+    """In-process vs over-the-wire replay of one disjoint-view workload.
+
+    The disjoint-view workload makes the accounting order-independent,
+    so the in-process and remote runs must land on *identical* epsilon
+    totals and fresh-release counts (asserted by
+    :func:`check_remote_matches_inproc`) — the wire adds latency, never
+    different privacy spend.  ``open_loop_rate`` adds a third run with
+    Poisson arrivals at that aggregate rate (fresh service, so its
+    accounting matches too); its latency percentiles include queueing
+    delay, which is the realistic serving metric.
+    """
+    bundle = _load_bundle(dataset, num_rows, seed)
+    analysts = make_service_analysts(num_analysts)
+    attribute_sets, streams = _build_workload(
+        bundle, analysts, queries_per_analyst, accuracy, "disjoint",
+        view_width, seed)
+
+    def fresh_service() -> QueryService:
+        return _build_service(bundle, analysts, epsilon, mechanism,
+                              max_cached_synopses, execution, shards,
+                              seed, attribute_sets)
+
+    results: list[ThroughputResult] = []
+    service = fresh_service()
+    try:
+        results.append(run_throughput(service, analysts, streams,
+                                      mode=mode, threads=connections,
+                                      batch_size=batch_size))
+    finally:
+        service.close()
+
+    arrivals: list[tuple[str, float | None]] = [("closed", None)]
+    if open_loop_rate:
+        arrivals.append(("open", open_loop_rate))
+    for arrival, rate in arrivals:
+        server = ReproServer(fresh_service(), port=0).start()
+        try:
+            results.append(run_remote_throughput(
+                server.url, analysts, streams, mode=mode,
+                connections=connections, batch_size=batch_size,
+                arrival=arrival, rate_qps=rate, seed=seed))
+        finally:
+            server.shutdown()
+    return results
+
+
+def check_remote_matches_inproc(results: list[ThroughputResult]) -> None:
+    """Assert the wire changed nothing but latency: every run (any
+    transport, any arrival process) spent identical epsilon and did the
+    same fresh-release work, and nothing failed."""
+    assert any(r.transport == "inproc" for r in results) and \
+        any(r.transport == "remote" for r in results), \
+        "comparison needs both transports"
+    eps = {round(r.total_epsilon_spent, 9) for r in results}
+    assert len(eps) == 1, \
+        f"epsilon spent must be identical across transports, " \
+        f"got {sorted(eps)}"
+    fresh = {r.fresh_releases for r in results}
+    assert len(fresh) == 1, \
+        f"fresh releases must be identical across transports, " \
+        f"got {sorted(fresh)}"
+    for r in results:
+        assert r.failed == 0, \
+            f"{r.transport}/{r.arrival} run had {r.failed} failures"
+
+
+def remote_overhead(results: list[ThroughputResult]) -> float | None:
+    """Closed-loop remote q/s over in-process q/s (``None`` if absent)."""
+    inproc = [r.queries_per_second for r in results
+              if r.transport == "inproc"]
+    remote = [r.queries_per_second for r in results
+              if r.transport == "remote" and r.arrival == "closed"]
+    if not inproc or not remote or max(inproc) <= 0:
+        return None
+    return max(remote) / max(inproc)
+
+
+def format_remote_comparison(results: list[ThroughputResult]) -> str:
+    """The ``--remote`` report: table plus the over-the-wire verdict."""
+    report = format_throughput(
+        results, title="serving over the wire: in-process vs remote")
+    ratio = remote_overhead(results)
+    if ratio is not None:
+        report += (f"\nremote/in-process throughput: {ratio:.2f}x "
+                   f"(the gap is HTTP + JSON transport cost)")
+    open_runs = [r for r in results if r.arrival == "open"]
+    for r in open_runs:
+        report += (f"\nopen-loop @ {r.offered_qps:.0f} q/s offered: "
+                   f"p50 {r.latency_p50_ms:.2f}ms / "
+                   f"p95 {r.latency_p95_ms:.2f}ms")
+    return report
+
+
 def sharding_speedup(results: list[ThroughputResult]) -> float | None:
     """Best sharded q/s over best global q/s (``None`` if either absent)."""
     sharded = [r.queries_per_second for r in results
@@ -217,17 +338,21 @@ def format_sharding_comparison(results: list[ThroughputResult],
 
 
 def write_json_artifact(path: str, results: list[ThroughputResult],
-                        comparison: list[ThroughputResult] | None = None
+                        comparison: list[ThroughputResult] | None = None,
+                        remote: list[ThroughputResult] | None = None
                         ) -> None:
     """Write ``BENCH_service_throughput.json``: per-run rows + summary.
 
     The summary carries the headline numbers (q/s, hit rate, epsilon
-    spent, fresh releases, shard count) plus the sharded/global speedup
-    when a comparison ran, so the repo's bench trajectory is tracked as a
+    spent, fresh releases, shard count), the sharded/global speedup when
+    a comparison ran, and — when the remote comparison ran — the
+    over-the-wire q/s and p50/p95 latency next to the in-process
+    numbers, so the repo's bench trajectory is tracked as a
     machine-readable artifact (uploaded by CI).
     """
     rows = [r.as_dict() for r in results]
     comparison_rows = [r.as_dict() for r in (comparison or [])]
+    remote_rows = [r.as_dict() for r in (remote or [])]
     best = max(results, key=lambda r: r.queries_per_second) \
         if results else None
     summary = {
@@ -242,8 +367,29 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
     }
     if comparison:
         summary["sharded_vs_global_speedup"] = sharding_speedup(comparison)
+    if remote:
+        closed = [r for r in remote
+                  if r.transport == "remote" and r.arrival == "closed"]
+        wire = max(closed, key=lambda r: r.queries_per_second) \
+            if closed else None
+        summary["remote"] = {
+            "queries_per_second": (wire.queries_per_second
+                                   if wire else None),
+            "latency_p50_ms": (wire.latency_p50_ms if wire else None),
+            "latency_p95_ms": (wire.latency_p95_ms if wire else None),
+            "vs_inproc": remote_overhead(remote),
+        }
+        open_runs = [r for r in remote if r.arrival == "open"]
+        if open_runs:
+            tail = open_runs[-1]
+            summary["remote"]["open_loop"] = {
+                "offered_qps": tail.offered_qps,
+                "latency_p50_ms": tail.latency_p50_ms,
+                "latency_p95_ms": tail.latency_p95_ms,
+            }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"runs": rows, "comparison_runs": comparison_rows,
+                   "remote_runs": remote_rows,
                    "summary": summary}, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
@@ -251,11 +397,17 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
 __all__ = [
     "SPEEDUP_TARGET",
     "WORKLOADS",
+    "check_remote_matches_inproc",
+    "format_remote_comparison",
     "format_service_throughput",
     "format_sharding_comparison",
     "make_service_analysts",
+    "remote_overhead",
+    "run_remote_comparison",
     "run_service_throughput",
     "run_sharding_comparison",
     "sharding_speedup",
     "write_json_artifact",
 ]
+
+

@@ -1,0 +1,329 @@
+"""The HTTP daemon: a stdlib-only network front-end over ``QueryService``.
+
+:class:`ReproServer` binds a :class:`http.server.ThreadingHTTPServer`
+(one handler thread per connection — exactly the concurrent-submission
+shape PR 2's sharded service was built for) and exposes the protocol-v1
+resource tree::
+
+    GET    /v1/health                  liveness + protocol + stats summary
+    GET    /v1/snapshot                QueryService.snapshot() verbatim
+    POST   /v1/sessions                {"token": ...} -> open a session
+    DELETE /v1/sessions/<id>           close a session (idempotent)
+    POST   /v1/sessions/<id>/query     one encoded QueryRequest
+    POST   /v1/sessions/<id>/batch     {"requests": [QueryRequest, ...]}
+
+Authentication is the paper's trust model in miniature: the server is
+configured with an ``auth token -> analyst`` table and each opened
+session is bound to the analyst its token names — analysts never name
+themselves on the wire, so one analyst cannot submit (and spend) as
+another.  Query-level outcomes (rejections, unanswerable queries) stay
+HTTP 200 — they are payload, carried in the response envelope exactly as
+the in-process API returns them.  Transport-level failures map onto
+status codes via the envelope's ``kind`` tag: 400 malformed, 401 unknown
+token, 404 unknown session, 409 closed service/session, 503 draining.
+
+Graceful shutdown (:meth:`ReproServer.shutdown`) flips the server into
+*draining*: new sessions and new submissions are refused with 503 while
+every in-flight request — notably long batched submissions — runs to
+completion; only then does the listener stop and the wrapped service
+close.  SIGTERM wiring lives in the CLI (``python -m repro serve``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping
+
+from repro.exceptions import ClosedError, ReproError, UnknownAnalyst
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    WireFormatError,
+    decode_request,
+    encode_error,
+    encode_response,
+    json_ready,
+)
+from repro.service.service import QueryService
+
+#: How long :meth:`ReproServer.shutdown` waits for in-flight requests by
+#: default before giving up (seconds).
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+_SESSION_PATH = re.compile(r"^/v1/sessions/(\d+)(?:/(query|batch))?$")
+
+
+class DrainTimeout(ReproError):
+    """Graceful shutdown gave up waiting for in-flight requests."""
+
+
+class _Gate:
+    """Counts in-flight requests and refuses new ones once draining."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def try_enter(self) -> bool:
+        """Claim an in-flight slot; ``False`` once draining started."""
+        with self._lock:
+            if self._draining:
+                return False
+            self._in_flight += 1
+            return True
+
+    def leave(self) -> None:
+        with self._idle:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.notify_all()
+
+    def drain(self, timeout: float) -> bool:
+        """Stop admitting work and wait for the in-flight count to hit 0."""
+        with self._idle:
+            self._draining = True
+            return self._idle.wait_for(lambda: self._in_flight == 0,
+                                       timeout=timeout)
+
+
+class ReproServer:
+    """Serve one :class:`QueryService` over HTTP.
+
+    ``tokens`` maps auth tokens onto registered analyst names; when
+    omitted, each analyst's token is its own name (demo-grade — supply a
+    real table in anything resembling production).  ``port=0`` binds an
+    ephemeral port, readable from :attr:`port` after construction.
+    """
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1",
+                 port: int = 0,
+                 tokens: Mapping[str, str] | None = None) -> None:
+        if tokens is None:
+            tokens = {name: name for name in service.engine.analysts}
+        unknown = sorted(set(tokens.values())
+                         - set(service.engine.analysts))
+        if unknown:
+            raise ReproError(f"auth table names unregistered analysts: "
+                             f"{', '.join(unknown)}")
+        self.service = service
+        self.tokens = dict(tokens)
+        self._gate = _Gate()
+        self._started = time.monotonic()
+        handler = _build_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._gate.draining
+
+    def start(self) -> "ReproServer":
+        """Serve on a background thread; returns ``self`` for chaining."""
+        if self._thread is not None:
+            raise ReproError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self, drain_timeout: float = DEFAULT_DRAIN_TIMEOUT) -> None:
+        """Graceful stop: refuse new work, drain in-flight requests, stop
+        the listener, close the service.  Idempotent; raises
+        :class:`DrainTimeout` (after stopping anyway) if in-flight work
+        outlived ``drain_timeout``."""
+        drained = self._gate.drain(drain_timeout)
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+        self.service.close()
+        if not drained:
+            raise DrainTimeout(
+                f"{self._gate.in_flight} request(s) still in flight after "
+                f"{drain_timeout:.1f}s drain")
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- request handling (called from handler threads) ------------------------
+    def handle(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        """Route one request; returns ``(status, json_body)``."""
+        try:
+            return self._route(method, path, body)
+        except WireFormatError as exc:
+            return 400, encode_error(str(exc), "bad_request")
+        except UnknownAnalyst as exc:
+            return 401, encode_error(str(exc), "unauthorized")
+        except ClosedError as exc:
+            # ServiceClosed / SessionClosed: the tagged 409 conditions.
+            return 409, encode_error(str(exc), exc.tag)
+        except ReproError as exc:
+            if "no open session" in str(exc):
+                return 404, encode_error(str(exc), "not_found")
+            return 500, encode_error(str(exc), "internal")
+        except Exception as exc:  # never leak a traceback onto the wire
+            return 500, encode_error(f"{type(exc).__name__}: {exc}",
+                                     "internal")
+
+    def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        if method == "GET" and path == "/v1/health":
+            return 200, self._health()
+        if method == "GET" and path == "/v1/snapshot":
+            return 200, json_ready(self.service.snapshot())
+        if method == "POST" and path == "/v1/sessions":
+            return self._open_session(self._json(body))
+        match = _SESSION_PATH.match(path)
+        if match is not None:
+            session_id, action = int(match.group(1)), match.group(2)
+            if method == "DELETE" and action is None:
+                closed = self.service.close_session(session_id)
+                return 200, {"protocol": PROTOCOL_VERSION,
+                             "session_id": closed.session_id,
+                             "closed": True}
+            if method == "POST" and action == "query":
+                return self._submit(session_id, self._json(body))
+            if method == "POST" and action == "batch":
+                return self._submit_batch(session_id, self._json(body))
+        raise WireFormatError(f"no route for {method} {path}")
+
+    @staticmethod
+    def _json(body: bytes) -> dict:
+        try:
+            payload = json.loads(body or b"{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireFormatError(f"body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise WireFormatError("body must be a JSON object")
+        return payload
+
+    def _health(self) -> dict:
+        snapshot = self.service.snapshot()
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "status": "draining" if self._gate.draining else "ok",
+            "uptime_seconds": time.monotonic() - self._started,
+            "open_sessions": snapshot["open_sessions"],
+            "in_flight": self._gate.in_flight,
+            "execution": snapshot["execution"],
+            "shards": snapshot["shards"],
+            "submitted": snapshot["service"]["submitted"],
+            "answered": snapshot["service"]["answered"],
+        }
+
+    def _analyst_for(self, payload: dict) -> str:
+        token = payload.get("token")
+        if not isinstance(token, str):
+            raise WireFormatError("'token' must be a string")
+        try:
+            return self.tokens[token]
+        except KeyError:
+            raise UnknownAnalyst("unknown auth token") from None
+
+    def _open_session(self, payload: dict) -> tuple[int, dict]:
+        analyst = self._analyst_for(payload)
+        if not self._gate.try_enter():
+            return 503, encode_error("server is draining", "draining")
+        try:
+            session = self.service.open_session(analyst)
+            return 200, {"protocol": PROTOCOL_VERSION,
+                         "session_id": session.session_id,
+                         "analyst": session.analyst}
+        finally:
+            self._gate.leave()
+
+    def _submit(self, session_id: int, payload: dict) -> tuple[int, dict]:
+        request = decode_request(payload)
+        if not self._gate.try_enter():
+            return 503, encode_error("server is draining", "draining")
+        try:
+            response = self.service.submit(session_id, request.sql,
+                                           accuracy=request.accuracy,
+                                           epsilon=request.epsilon)
+        finally:
+            self._gate.leave()
+        return 200, encode_response(response)
+
+    def _submit_batch(self, session_id: int,
+                      payload: dict) -> tuple[int, dict]:
+        raw = payload.get("requests")
+        if not isinstance(raw, list):
+            raise WireFormatError("batch body needs a 'requests' list")
+        requests = [decode_request(entry) for entry in raw]
+        if not self._gate.try_enter():
+            return 503, encode_error("server is draining", "draining")
+        try:
+            responses = self.service.submit_batch(session_id, requests)
+        finally:
+            self._gate.leave()
+        return 200, {"protocol": PROTOCOL_VERSION,
+                     "responses": [encode_response(r) for r in responses]}
+
+
+def _build_handler(server: ReproServer) -> type:
+    """A request-handler class closed over one :class:`ReproServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = f"repro-serve/{PROTOCOL_VERSION}"
+        # Small JSON request/response pairs ping-pong on keep-alive
+        # connections; Nagle + delayed ACK adds ~40ms per round trip.
+        disable_nagle_algorithm = True
+
+        def _dispatch(self, method: str) -> None:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            status, payload = server.handle(method, self.path, body)
+            data = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:
+            self._dispatch("POST")
+
+        def do_DELETE(self) -> None:
+            self._dispatch("DELETE")
+
+        def log_message(self, format: str, *args) -> None:
+            pass  # keep the serving path quiet; stats live in /v1/health
+
+    return Handler
+
+
+__all__ = ["DEFAULT_DRAIN_TIMEOUT", "DrainTimeout", "ReproServer"]

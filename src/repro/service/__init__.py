@@ -25,6 +25,7 @@ from repro.service.loadgen import (
     disjoint_view_attribute_sets,
     format_throughput,
     register_disjoint_views,
+    run_remote_throughput,
     run_throughput,
 )
 from repro.service.planner import BatchPlan, PlannedQuery, plan_batch
@@ -57,5 +58,6 @@ __all__ = [
     "format_throughput",
     "plan_batch",
     "register_disjoint_views",
+    "run_remote_throughput",
     "run_throughput",
 ]

@@ -18,12 +18,22 @@ the measured half of ``bench-service --compare-global``.
 thread) in either ``single`` (one query at a time, arrival order) or
 ``batched`` (``submit_batch`` through the view-grouping planner) mode and
 reports queries/sec plus cache statistics.
+
+:func:`run_remote_throughput` is the over-the-wire twin: the same
+workloads replayed through :class:`repro.client.RemoteAnalyst`
+connections against a running ``repro serve`` daemon, in either
+*closed-loop* (back-to-back, like the in-process driver) or *open-loop*
+arrival (Poisson arrivals at a target rate, the realistic serving
+shape — latency is measured from each request's **scheduled** arrival,
+so queueing delay shows up in the tail instead of silently throttling
+the offered load).  Both drivers report p50/p95 latency.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.core.analyst import Analyst
@@ -36,6 +46,10 @@ from repro.service.session import QueryRequest
 from repro.workloads.rrq import generate_rrq, ordered_attributes
 
 MODES = ("single", "batched")
+
+#: Arrival processes for the remote driver: ``closed`` replays
+#: back-to-back; ``open`` draws Poisson arrivals at ``rate_qps``.
+ARRIVALS = ("closed", "open")
 
 
 def _dyadic_ranges(low: int, high: int, depth: int) -> list[tuple[int, int]]:
@@ -225,9 +239,24 @@ def build_disjoint_workload(bundle: DatasetBundle, analysts: list[Analyst],
     return workload
 
 
+def latency_percentile(latencies_ms: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``latencies_ms`` (0.0 when empty)."""
+    if not latencies_ms:
+        return 0.0
+    ordered = sorted(latencies_ms)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
 @dataclass(frozen=True)
 class ThroughputResult:
-    """Outcome of one load-generation run."""
+    """Outcome of one load-generation run (in-process or over the wire).
+
+    Latency percentiles are per *call* — one submitted query in
+    ``single`` mode, one whole batch in ``batched`` mode — in
+    milliseconds.  Under open-loop arrival they are measured from the
+    request's scheduled arrival time, so they include queueing delay.
+    """
 
     mode: str
     threads: int
@@ -242,6 +271,11 @@ class ThroughputResult:
     total_epsilon_spent: float
     execution: str = "sharded"
     shards: int = 0
+    transport: str = "inproc"
+    arrival: str = "closed"
+    offered_qps: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
 
     @property
     def queries_per_second(self) -> float:
@@ -252,6 +286,8 @@ class ThroughputResult:
         return {
             "mode": self.mode, "threads": self.threads,
             "execution": self.execution, "shards": self.shards,
+            "transport": self.transport, "arrival": self.arrival,
+            "offered_qps": self.offered_qps,
             "total_queries": self.total_queries, "answered": self.answered,
             "rejected": self.rejected, "failed": self.failed,
             "seconds": self.seconds,
@@ -260,6 +296,8 @@ class ThroughputResult:
             "synopsis_cache_hit_rate": self.synopsis_cache_hit_rate,
             "fresh_releases": self.fresh_releases,
             "total_epsilon_spent": self.total_epsilon_spent,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
         }
 
 
@@ -291,9 +329,11 @@ def run_throughput(service: QueryService, analysts: list[Analyst],
     active = [owned for owned in assignments if owned]
     barrier = threading.Barrier(len(active))
     errors: list[BaseException] = []
+    latencies: list[list[float]] = [[] for _ in active]
 
-    def worker(owned: list[Analyst]) -> None:
+    def worker(index: int, owned: list[Analyst]) -> None:
         try:
+            timed = latencies[index]
             sessions = {a.name: service.open_session(a.name) for a in owned}
             barrier.wait()
             for analyst in owned:
@@ -301,13 +341,17 @@ def run_throughput(service: QueryService, analysts: list[Analyst],
                 session = sessions[analyst.name]
                 if mode == "single":
                     for request in stream:
+                        sent = time.perf_counter()
                         service.submit(session, request.sql,
                                        accuracy=request.accuracy,
                                        epsilon=request.epsilon)
+                        timed.append(1e3 * (time.perf_counter() - sent))
                 else:
                     for start in range(0, len(stream), batch_size):
+                        sent = time.perf_counter()
                         service.submit_batch(
                             session, stream[start:start + batch_size])
+                        timed.append(1e3 * (time.perf_counter() - sent))
         except BaseException as exc:  # surfaced to the caller below
             errors.append(exc)
             try:
@@ -315,8 +359,8 @@ def run_throughput(service: QueryService, analysts: list[Analyst],
             except Exception:
                 pass
 
-    pool = [threading.Thread(target=worker, args=(owned,), daemon=True)
-            for owned in active]
+    pool = [threading.Thread(target=worker, args=(i, owned), daemon=True)
+            for i, owned in enumerate(active)]
     watch = Stopwatch()
     with watch:
         for thread in pool:
@@ -328,19 +372,39 @@ def run_throughput(service: QueryService, analysts: list[Analyst],
 
     stats = service.stats.as_dict()
     cache = service.cache_stats.as_dict()
+    timings = [ms for per_worker in latencies for ms in per_worker]
+    return _delta_result(
+        mode, len(pool), stats0, cache0, stats, cache, watch.seconds,
+        execution=service.execution,
+        shards=(service.sharding.num_shards if service.sharding else 0),
+        timings_ms=timings,
+    )
+
+
+def _delta_result(mode: str, threads: int, stats0: dict, cache0: dict,
+                  stats: dict, cache: dict, seconds: float, *,
+                  execution: str, shards: int, timings_ms: list[float],
+                  transport: str = "inproc", arrival: str = "closed",
+                  offered_qps: float = 0.0) -> ThroughputResult:
+    """Fold before/after stats snapshots into one :class:`ThroughputResult`.
+
+    Shared by the in-process and remote drivers: both observe the service
+    through the same counters (locally or via ``/v1/snapshot``), so the
+    accounting columns are directly comparable across transports.
+    """
     answer_hits = stats["answer_cache_hits"] - stats0["answer_cache_hits"]
     fresh = stats["fresh_releases"] - stats0["fresh_releases"]
     lookups = (cache["hits"] + cache["misses"]
                - cache0["hits"] - cache0["misses"])
     return ThroughputResult(
-        mode=mode, threads=len(pool),
-        execution=service.execution,
-        shards=(service.sharding.num_shards if service.sharding else 0),
+        mode=mode, threads=threads,
+        execution=execution, shards=shards,
+        transport=transport, arrival=arrival, offered_qps=offered_qps,
         total_queries=stats["submitted"] - stats0["submitted"],
         answered=stats["answered"] - stats0["answered"],
         rejected=stats["rejected"] - stats0["rejected"],
         failed=stats["failed"] - stats0["failed"],
-        seconds=watch.seconds,
+        seconds=seconds,
         answer_cache_hit_rate=(answer_hits / (answer_hits + fresh)
                                if answer_hits + fresh else 0.0),
         synopsis_cache_hit_rate=((cache["hits"] - cache0["hits"]) / lookups
@@ -349,27 +413,164 @@ def run_throughput(service: QueryService, analysts: list[Analyst],
         total_epsilon_spent=(
             sum(stats["epsilon_by_analyst"].values())
             - sum(stats0["epsilon_by_analyst"].values())),
+        latency_p50_ms=latency_percentile(timings_ms, 0.50),
+        latency_p95_ms=latency_percentile(timings_ms, 0.95),
+    )
+
+
+def run_remote_throughput(base_url: str, analysts: list[Analyst],
+                          workload: dict[str, list[QueryRequest]],
+                          mode: str = "batched", connections: int = 4,
+                          batch_size: int = 16, arrival: str = "closed",
+                          rate_qps: float | None = None,
+                          tokens: dict[str, str] | None = None,
+                          seed: SeedLike = 0,
+                          timeout: float = 60.0) -> ThroughputResult:
+    """Replay ``workload`` against a running daemon over HTTP.
+
+    Analysts are assigned round-robin onto ``connections`` worker threads
+    (each worker drives one :class:`repro.client.RemoteAnalyst` per owned
+    analyst — the client is not thread-safe); as in the in-process
+    driver, more connections than analysts leaves some workers idle and
+    the start barrier counts only the workers that actually launch.
+
+    ``arrival="open"`` turns the replay into an open-loop load test:
+    each worker draws Poisson arrivals (exponential gaps, deterministic
+    per-worker RNG derived from ``seed``) at ``rate_qps / active``
+    calls/sec and measures latency from the *scheduled* arrival, so a
+    saturated server shows up as tail latency instead of reduced offered
+    load.  Accounting columns come from the server's ``/v1/snapshot``
+    delta — directly comparable with :func:`run_throughput` output.
+    """
+    from repro.client.remote import RemoteAnalyst
+
+    if mode not in MODES:
+        raise ReproError(f"unknown mode {mode!r}; choose from {MODES}")
+    if arrival not in ARRIVALS:
+        raise ReproError(f"unknown arrival {arrival!r}; "
+                         f"choose from {ARRIVALS}")
+    if arrival == "open" and (rate_qps is None or rate_qps <= 0):
+        raise ReproError("open-loop arrival needs rate_qps > 0")
+    if connections < 1:
+        raise ReproError(f"connections must be >= 1, got {connections}")
+    if tokens is None:
+        tokens = {a.name: a.name for a in analysts}
+
+    observer = RemoteAnalyst(base_url, token=next(iter(tokens.values()), ""),
+                             timeout=timeout)
+    before = observer.snapshot()
+
+    assignments: list[list[Analyst]] = [[] for _ in range(connections)]
+    for i, analyst in enumerate(analysts):
+        assignments[i % connections].append(analyst)
+    # The PR 1 barrier/thread-count guard, extended to the remote driver:
+    # connections > analysts must not leave the barrier waiting on idle
+    # workers (regression-tested in tests/test_loadgen_remote.py).
+    active = [owned for owned in assignments if owned]
+    barrier = threading.Barrier(len(active))
+    errors: list[BaseException] = []
+    latencies: list[list[float]] = [[] for _ in active]
+    rng = ensure_generator(seed)
+    worker_seeds = [int(rng.integers(0, 2**31)) for _ in active]
+    per_worker_rate = (rate_qps / len(active)) if rate_qps else 0.0
+
+    def worker(index: int, owned: list[Analyst]) -> None:
+        client_by_name = {}
+        try:
+            timed = latencies[index]
+            gaps = ensure_generator(worker_seeds[index])
+            for analyst in owned:
+                client_by_name[analyst.name] = RemoteAnalyst(
+                    base_url, token=tokens[analyst.name], timeout=timeout)
+            sessions = {name: client.open_session()
+                        for name, client in client_by_name.items()}
+            calls: list[tuple[str, list[QueryRequest]]] = []
+            for analyst in owned:
+                stream = workload.get(analyst.name, [])
+                if mode == "single":
+                    calls.extend((analyst.name, [r]) for r in stream)
+                else:
+                    calls.extend(
+                        (analyst.name, stream[start:start + batch_size])
+                        for start in range(0, len(stream), batch_size))
+            barrier.wait()
+            started = time.perf_counter()
+            scheduled = started
+            for name, slice_ in calls:
+                client, session = client_by_name[name], sessions[name]
+                if arrival == "open":
+                    scheduled += float(gaps.exponential(1.0 /
+                                                        per_worker_rate))
+                    now = time.perf_counter()
+                    if scheduled > now:
+                        time.sleep(scheduled - now)
+                    sent = scheduled
+                else:
+                    sent = time.perf_counter()
+                if mode == "single":
+                    request = slice_[0]
+                    client.submit(session, request.sql,
+                                  accuracy=request.accuracy,
+                                  epsilon=request.epsilon)
+                else:
+                    client.submit_batch(session, slice_)
+                timed.append(1e3 * (time.perf_counter() - sent))
+        except BaseException as exc:  # surfaced to the caller below
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+        finally:
+            for client in client_by_name.values():
+                client.close()
+
+    pool = [threading.Thread(target=worker, args=(i, owned), daemon=True)
+            for i, owned in enumerate(active)]
+    watch = Stopwatch()
+    with watch:
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+    if errors:
+        raise errors[0]
+
+    after = observer.snapshot()
+    observer.close()
+    timings = [ms for per_worker in latencies for ms in per_worker]
+    return _delta_result(
+        mode, len(pool), before["service"], before["synopsis_cache"],
+        after["service"], after["synopsis_cache"], watch.seconds,
+        execution=after.get("execution", "sharded"),
+        shards=after.get("shards", 0),
+        timings_ms=timings, transport="remote", arrival=arrival,
+        offered_qps=(rate_qps or 0.0),
     )
 
 
 def format_throughput(results: list[ThroughputResult],
                       title: str = "service throughput") -> str:
-    """Text table comparing load-generation runs."""
-    header = (f"{'mode':>8s} {'exec':>8s} {'thr':>4s} {'queries':>8s} "
-              f"{'ans':>7s} {'rej':>6s} {'q/s':>9s} {'hit%':>6s} "
-              f"{'fresh':>6s} {'eps':>8s}")
+    """Text table comparing load-generation runs (any transport)."""
+    header = (f"{'mode':>8s} {'via':>7s} {'exec':>8s} {'thr':>4s} "
+              f"{'queries':>8s} {'ans':>7s} {'rej':>6s} {'q/s':>9s} "
+              f"{'hit%':>6s} {'fresh':>6s} {'eps':>8s} "
+              f"{'p50ms':>7s} {'p95ms':>7s}")
     lines = [f"== {title} ==", header, "-" * len(header)]
     for r in results:
+        via = r.transport if r.arrival == "closed" else "open"
         lines.append(
-            f"{r.mode:>8s} {r.execution:>8s} {r.threads:>4d} "
+            f"{r.mode:>8s} {via:>7s} {r.execution:>8s} {r.threads:>4d} "
             f"{r.total_queries:>8d} "
             f"{r.answered:>7d} {r.rejected:>6d} {r.queries_per_second:>9.1f} "
             f"{100.0 * r.answer_cache_hit_rate:>5.1f}% {r.fresh_releases:>6d} "
-            f"{r.total_epsilon_spent:>8.3f}")
+            f"{r.total_epsilon_spent:>8.3f} "
+            f"{r.latency_p50_ms:>7.2f} {r.latency_p95_ms:>7.2f}")
     return "\n".join(lines)
 
 
 __all__ = [
+    "ARRIVALS",
     "MODES",
     "ThroughputResult",
     "bfs_style_queries",
@@ -377,6 +578,8 @@ __all__ = [
     "build_mixed_workload",
     "disjoint_view_attribute_sets",
     "format_throughput",
+    "latency_percentile",
     "register_disjoint_views",
+    "run_remote_throughput",
     "run_throughput",
 ]

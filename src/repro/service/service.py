@@ -39,7 +39,12 @@ from repro.core.analyst import Analyst
 from repro.core.engine import Answer, DProvDB
 from repro.core.synopsis import SynopsisStore
 from repro.datasets.base import DatasetBundle
-from repro.exceptions import QueryRejected, ReproError
+from repro.exceptions import (
+    QueryRejected,
+    ReproError,
+    ServiceClosed,
+    SessionClosed,
+)
 from repro.metrics.runtime import CacheStats
 from repro.service.cache import LruSynopsisStore
 from repro.service.planner import BatchPlan, PlannedQuery, plan_batch
@@ -55,6 +60,13 @@ DEFAULT_MAX_CACHED = 256
 
 #: Supported execution modes.
 EXECUTION_MODES = ("sharded", "global")
+
+#: How many *closed* sessions the service remembers (for idempotent
+#: close and the tagged :class:`SessionClosed` error).  A long-running
+#: daemon churns through sessions, so retention must be bounded: once a
+#: closed session ages out, submitting to its id degrades to the generic
+#: "no open session" error (404 over the wire) instead of the 409.
+MAX_CLOSED_SESSIONS = 4096
 
 
 @dataclass
@@ -93,15 +105,19 @@ class ServiceStats:
             self.epsilon_by_analyst.get(analyst, 0.0) + answer.epsilon_charged
 
     def as_dict(self) -> dict:
+        """Strictly JSON-serializable counters (the wire protocol ships
+        this verbatim): string keys, native ints/floats — numpy scalars
+        that reach the epsilon ledger are coerced on the way out."""
         return {
-            "submitted": self.submitted, "answered": self.answered,
-            "rejected": self.rejected, "failed": self.failed,
-            "answer_cache_hits": self.answer_cache_hits,
-            "fresh_releases": self.fresh_releases,
-            "answer_cache_hit_rate": self.answer_cache_hit_rate,
-            "batches": self.batches,
-            "epsilon_by_analyst": dict(self.epsilon_by_analyst),
-            "busy_seconds": self.busy_seconds,
+            "submitted": int(self.submitted), "answered": int(self.answered),
+            "rejected": int(self.rejected), "failed": int(self.failed),
+            "answer_cache_hits": int(self.answer_cache_hits),
+            "fresh_releases": int(self.fresh_releases),
+            "answer_cache_hit_rate": float(self.answer_cache_hit_rate),
+            "batches": int(self.batches),
+            "epsilon_by_analyst": {str(name): float(spent) for name, spent
+                                   in self.epsilon_by_analyst.items()},
+            "busy_seconds": float(self.busy_seconds),
         }
 
 
@@ -136,7 +152,11 @@ class QueryService:
         self._sessions_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._sessions: dict[int, Session] = {}
+        #: Bounded FIFO of recently closed sessions (insertion-ordered
+        #: dict; oldest evicted past MAX_CLOSED_SESSIONS).
+        self._closed_sessions: dict[int, Session] = {}
         self._session_ids = itertools.count(1)
+        self._closed = False
         self.cache_stats = CacheStats()
         engine.mechanism.store = LruSynopsisStore(max_cached_synopses,
                                                   self.cache_stats)
@@ -167,10 +187,26 @@ class QueryService:
         """``"sharded"`` (no global lock) or ``"global"`` (PR 1 baseline)."""
         return self._execution
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run; a closed service refuses work."""
+        return self._closed
+
     def close(self) -> None:
-        """Release the shard worker pool (idempotent)."""
+        """Shut the service down (idempotent).
+
+        Releases the shard worker pool and marks the service closed:
+        subsequent :meth:`open_session`/:meth:`submit`/:meth:`submit_batch`
+        calls raise :class:`repro.exceptions.ServiceClosed` (the HTTP
+        front-end maps it to 409).  Counters and snapshots stay readable.
+        """
+        self._closed = True
         if self.sharding is not None:
             self.sharding.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("QueryService is closed")
 
     def _critical_section(self):
         """The PR 1 global lock in ``"global"`` mode; a no-op when sharded
@@ -188,6 +224,7 @@ class QueryService:
     # -- sessions -------------------------------------------------------------
     def open_session(self, analyst: str) -> Session:
         """Open a connection for a registered analyst (many allowed)."""
+        self._check_open()
         with self._sessions_lock:
             self._engine._check_analyst(analyst)
             session = Session(next(self._session_ids), analyst)
@@ -195,10 +232,19 @@ class QueryService:
             return session
 
     def close_session(self, session: Session | int) -> Session:
-        """Close a session; its counters remain readable."""
+        """Close a session (idempotent); its counters remain readable."""
         with self._sessions_lock:
+            session_id = session.session_id if isinstance(session, Session) \
+                else session
+            already = self._closed_sessions.get(session_id)
+            if already is not None:
+                return already
             closed = self._resolve_session(session)
             closed.closed = True
+            self._closed_sessions[closed.session_id] = closed
+            while len(self._closed_sessions) > MAX_CLOSED_SESSIONS:
+                oldest = next(iter(self._closed_sessions))
+                del self._closed_sessions[oldest]
             del self._sessions[closed.session_id]
             return closed
 
@@ -215,6 +261,10 @@ class QueryService:
         try:
             live = self._sessions[session_id]
         except KeyError:
+            if session_id in self._closed_sessions or \
+                    (isinstance(session, Session) and session.closed):
+                raise SessionClosed(
+                    f"session {session_id} is closed") from None
             raise ReproError(f"no open session {session_id}") from None
         return live
 
@@ -224,6 +274,7 @@ class QueryService:
                epsilon: float | None = None) -> QueryResponse:
         """Answer one query on a session; never raises for query-level
         failures — inspect :attr:`QueryResponse.error`."""
+        self._check_open()
         request = QueryRequest(sql, accuracy=accuracy, epsilon=epsilon)
         with self._critical_section():
             return self._submit_one(session, request)
@@ -248,6 +299,7 @@ class QueryService:
         strictest-first order); under global execution the whole batch
         runs inside the service lock, as in PR 1.
         """
+        self._check_open()
         batch = [r if isinstance(r, QueryRequest) else QueryRequest(r)
                  for r in requests]
         with self._critical_section():
@@ -357,17 +409,36 @@ class QueryService:
         return self._engine.provenance.row_total(analyst)
 
     def snapshot(self) -> dict:
-        """Point-in-time service metrics (service + synopsis-cache stats)."""
+        """Point-in-time service metrics (service, cache, provenance).
+
+        Strictly JSON-serializable — string keys and native scalars only —
+        because the HTTP front-end's ``/v1/snapshot`` endpoint serializes
+        it verbatim (regression-tested in ``tests/test_service.py``).
+        """
         with self._stats_lock:
             service = self.stats.as_dict()
         with self._sessions_lock:
             open_sessions = len(self._sessions)
+        provenance = self._engine.provenance
         return {
             "service": service,
-            "synopsis_cache": self.cache_stats.as_dict(),
+            "synopsis_cache": {key: (float(value) if key == "hit_rate"
+                                     else int(value))
+                               for key, value
+                               in self.cache_stats.as_dict().items()},
             "open_sessions": open_sessions,
+            "execution": self._execution,
+            "shards": (self.sharding.num_shards if self.sharding else 0),
+            "closed": self._closed,
+            "provenance": {
+                "epsilon_by_analyst": {
+                    str(name): float(provenance.row_total(name))
+                    for name in self._engine.analysts
+                },
+                "table_total": float(provenance.table_total()),
+            },
         }
 
 
-__all__ = ["DEFAULT_MAX_CACHED", "EXECUTION_MODES", "QueryService",
-           "ServiceStats"]
+__all__ = ["DEFAULT_MAX_CACHED", "EXECUTION_MODES", "MAX_CLOSED_SESSIONS",
+           "QueryService", "ServiceStats"]

@@ -1,0 +1,159 @@
+"""Remote load-generation driver: barrier guard, open-loop arrivals,
+latency reporting, and accounting parity with the in-process driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_adult
+from repro.exceptions import ReproError
+from repro.experiments.service_throughput import make_service_analysts
+from repro.server.daemon import ReproServer
+from repro.service.loadgen import (
+    build_disjoint_workload,
+    disjoint_view_attribute_sets,
+    latency_percentile,
+    register_disjoint_views,
+    run_remote_throughput,
+    run_throughput,
+)
+from repro.service.service import QueryService
+
+ROWS = 800
+EPSILON = 48.0
+ACCURACY = 2e5
+NUM_ANALYSTS = 2
+QUERIES = 10
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_adult(num_rows=ROWS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def analysts():
+    return make_service_analysts(NUM_ANALYSTS)
+
+
+@pytest.fixture(scope="module")
+def workload(bundle, analysts):
+    sets_ = disjoint_view_attribute_sets(bundle, NUM_ANALYSTS)
+    return sets_, build_disjoint_workload(bundle, analysts, QUERIES, sets_,
+                                          accuracy=ACCURACY, seed=7)
+
+
+def fresh_server(bundle, analysts, workload) -> ReproServer:
+    sets_, _ = workload
+    service = QueryService.build(bundle, analysts, EPSILON, seed=0)
+    register_disjoint_views(service.engine, sets_)
+    return ReproServer(service, port=0).start()
+
+
+class TestRemoteDriver:
+    def test_more_connections_than_analysts_does_not_deadlock(
+            self, bundle, analysts, workload):
+        """The PR 1 barrier guard, extended to the remote driver: idle
+        workers must not leave the start barrier waiting forever."""
+        _, streams = workload
+        server = fresh_server(bundle, analysts, workload)
+        try:
+            result = run_remote_throughput(
+                server.url, analysts, streams, mode="batched",
+                connections=NUM_ANALYSTS + 6, batch_size=4)
+        finally:
+            server.shutdown()
+        assert result.threads == NUM_ANALYSTS  # only active workers ran
+        assert result.total_queries == NUM_ANALYSTS * QUERIES
+        assert result.failed == 0
+
+    def test_remote_matches_inproc_accounting(self, bundle, analysts,
+                                              workload):
+        sets_, streams = workload
+        service = QueryService.build(bundle, analysts, EPSILON, seed=0)
+        register_disjoint_views(service.engine, sets_)
+        inproc = run_throughput(service, analysts, streams, mode="batched",
+                                threads=2, batch_size=4)
+        service.close()
+
+        server = fresh_server(bundle, analysts, workload)
+        try:
+            remote = run_remote_throughput(server.url, analysts, streams,
+                                           mode="batched", connections=2,
+                                           batch_size=4)
+        finally:
+            server.shutdown()
+        assert remote.transport == "remote"
+        assert remote.total_epsilon_spent == \
+            pytest.approx(inproc.total_epsilon_spent, abs=1e-9)
+        assert remote.fresh_releases == inproc.fresh_releases
+        assert remote.answered == inproc.answered
+
+    def test_open_loop_poisson_arrivals(self, bundle, analysts, workload):
+        _, streams = workload
+        server = fresh_server(bundle, analysts, workload)
+        try:
+            result = run_remote_throughput(
+                server.url, analysts, streams, mode="single",
+                connections=2, arrival="open", rate_qps=400.0, seed=11)
+        finally:
+            server.shutdown()
+        assert result.arrival == "open"
+        assert result.offered_qps == 400.0
+        assert result.total_queries == NUM_ANALYSTS * QUERIES
+        assert result.latency_p95_ms >= result.latency_p50_ms > 0.0
+        # Open loop paces arrivals: the run can't beat the offered rate
+        # by much (tolerance for the last arrival landing early).
+        assert result.queries_per_second <= 2.0 * 400.0
+
+    def test_open_loop_requires_rate(self, bundle, analysts, workload):
+        _, streams = workload
+        with pytest.raises(ReproError):
+            run_remote_throughput("http://127.0.0.1:1", analysts, streams,
+                                  arrival="open")
+        with pytest.raises(ReproError):
+            run_remote_throughput("http://127.0.0.1:1", analysts, streams,
+                                  arrival="martian", rate_qps=10.0)
+
+    def test_latency_percentiles_populated_inproc_too(self, bundle,
+                                                      analysts, workload):
+        sets_, streams = workload
+        service = QueryService.build(bundle, analysts, EPSILON, seed=0)
+        register_disjoint_views(service.engine, sets_)
+        result = run_throughput(service, analysts, streams, mode="single",
+                                threads=2)
+        service.close()
+        assert result.latency_p95_ms >= result.latency_p50_ms > 0.0
+        row = result.as_dict()
+        assert {"latency_p50_ms", "latency_p95_ms", "transport",
+                "arrival", "offered_qps"} <= set(row)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert latency_percentile([], 0.95) == 0.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert latency_percentile(values, 0.50) == 51.0
+        assert latency_percentile(values, 0.95) == 96.0
+        assert latency_percentile(values, 0.0) == 1.0
+        assert latency_percentile([5.0], 0.99) == 5.0
+
+
+class TestClientUrlParsing:
+    def test_host_port_shorthand_accepts_hostnames(self):
+        from repro.client import RemoteAnalyst
+
+        for url in ("localhost:8321", "127.0.0.1:8321",
+                    "http://localhost:8321", "bench-host:80"):
+            client = RemoteAnalyst(url, token="t")
+            assert client._port in (8321, 80)
+        assert RemoteAnalyst("localhost:8321", token="t")._host == \
+            "localhost"
+
+    def test_non_http_scheme_rejected(self):
+        from repro.client import RemoteAnalyst
+
+        with pytest.raises(ReproError):
+            RemoteAnalyst("https://localhost:8321", token="t")

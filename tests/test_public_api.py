@@ -18,6 +18,7 @@ class TestExports:
         "repro.dp", "repro.db", "repro.db.sql", "repro.datasets",
         "repro.views", "repro.core", "repro.baselines", "repro.workloads",
         "repro.metrics", "repro.experiments", "repro.cli",
+        "repro.service", "repro.server", "repro.client",
     ])
     def test_subpackage_all_resolves(self, module):
         mod = importlib.import_module(module)

@@ -1,0 +1,287 @@
+"""End-to-end tests for the HTTP daemon + remote client.
+
+The headline invariant: the wire is *transparent* — two concurrent
+remote analysts issuing mixed single/batch workloads land on exactly the
+epsilon totals and fresh-release counts the same workload produces when
+replayed in process (the disjoint-view workload makes the accounting
+order-independent, so the equality is deterministic).  The rest pins the
+transport-level contract: status-code mapping (400/401/404/409/503),
+idempotent session close, graceful drain, and the snapshot endpoint.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.client import RemoteAnalyst, RemoteSession
+from repro.datasets import load_adult
+from repro.exceptions import (
+    ReproError,
+    ServiceClosed,
+    SessionClosed,
+    UnknownAnalyst,
+)
+from repro.server.daemon import ReproServer
+from repro.client.remote import RemoteError
+from repro.experiments.service_throughput import make_service_analysts
+from repro.service.loadgen import (
+    build_disjoint_workload,
+    disjoint_view_attribute_sets,
+    register_disjoint_views,
+)
+from repro.service.service import QueryService
+from repro.service.session import QueryRequest
+
+ROWS = 800
+EPSILON = 48.0
+ACCURACY = 2e5
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_adult(num_rows=ROWS, seed=0)
+
+
+def make_service(bundle, num_analysts=2, **kwargs) -> QueryService:
+    analysts = make_service_analysts(num_analysts)
+    service = QueryService.build(bundle, analysts, EPSILON, seed=0,
+                                 **kwargs)
+    sets_ = disjoint_view_attribute_sets(bundle, num_analysts)
+    register_disjoint_views(service.engine, sets_)
+    return service
+
+
+@pytest.fixture()
+def server(bundle):
+    live = ReproServer(make_service(bundle), port=0).start()
+    yield live
+    try:
+        live.shutdown(drain_timeout=10.0)
+    except ReproError:
+        pass
+
+
+def mixed_replay_inproc(service: QueryService, streams) -> None:
+    """Replay per-analyst streams: first half single, second half batched."""
+    def worker(analyst: str, stream: list[QueryRequest]) -> None:
+        session = service.open_session(analyst)
+        half = len(stream) // 2
+        for request in stream[:half]:
+            service.submit(session, request.sql, accuracy=request.accuracy)
+        service.submit_batch(session, stream[half:])
+        service.close_session(session)
+
+    threads = [threading.Thread(target=worker, args=item)
+               for item in streams.items()]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def mixed_replay_remote(url: str, streams) -> None:
+    errors: list[BaseException] = []
+
+    def worker(analyst: str, stream: list[QueryRequest]) -> None:
+        try:
+            with RemoteAnalyst(url, token=analyst) as client:
+                session = client.open_session()
+                half = len(stream) // 2
+                for request in stream[:half]:
+                    response = client.submit(session, request.sql,
+                                             accuracy=request.accuracy)
+                    assert response.ok, response.error
+                for response in client.submit_batch(session, stream[half:]):
+                    assert response.ok, response.error
+                client.close_session(session)
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=item)
+               for item in streams.items()]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestEndToEnd:
+    def test_remote_accounting_identical_to_inproc(self, bundle):
+        """Acceptance: two concurrent remote analysts, mixed single/batch
+        — epsilon totals and fresh releases match the in-process replay
+        exactly."""
+        analysts = make_service_analysts(2)
+        sets_ = disjoint_view_attribute_sets(bundle, 2)
+        streams = build_disjoint_workload(bundle, analysts, 12, sets_,
+                                          accuracy=ACCURACY, seed=3)
+
+        reference = make_service(bundle)
+        mixed_replay_inproc(reference, streams)
+        expected = reference.snapshot()
+        reference.close()
+
+        server = ReproServer(make_service(bundle), port=0).start()
+        try:
+            mixed_replay_remote(server.url, streams)
+            observed = server.service.snapshot()
+        finally:
+            server.shutdown()
+
+        assert observed["provenance"] == expected["provenance"]
+        assert observed["service"]["fresh_releases"] == \
+            expected["service"]["fresh_releases"]
+        assert observed["service"]["epsilon_by_analyst"] == \
+            expected["service"]["epsilon_by_analyst"]
+        assert observed["service"]["failed"] == 0
+        assert observed["service"]["rejected"] == \
+            expected["service"]["rejected"]
+
+    def test_scalar_group_by_and_rejection_envelopes(self, server, bundle):
+        table = bundle.fact_table
+        with RemoteAnalyst(server.url, token="analyst_00") as client:
+            session = client.open_session()
+            assert session.analyst == "analyst_00"
+
+            scalar = client.submit(session, f"SELECT COUNT(*) FROM {table}",
+                                   accuracy=4e4)
+            assert scalar.ok and scalar.answer is not None
+            assert scalar.value() >= 0.0
+
+            groups = client.submit(
+                session, f"SELECT sex, COUNT(*) FROM {table} GROUP BY sex",
+                accuracy=4e4)
+            assert groups.ok and groups.groups
+            assert {key[0] for key, _ in groups.groups} == \
+                {"female", "male"}
+
+            # Query-level failure: stays HTTP 200, carried in the envelope.
+            failed = client.submit(session, f"SELECT COUNT(*) FROM {table}")
+            assert not failed.ok and not failed.rejected
+
+            # Budget refusal: rejected flag set, still not an HTTP error.
+            rejected = client.submit(session,
+                                     f"SELECT COUNT(*) FROM {table}",
+                                     epsilon=10 * EPSILON)
+            assert not rejected.ok and rejected.rejected
+
+    def test_health_and_snapshot(self, server):
+        with RemoteAnalyst(server.url, token="analyst_01") as client:
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["protocol"] == 1
+            snapshot = client.snapshot()
+            json.dumps(snapshot, allow_nan=False)
+            assert snapshot == server.service.snapshot()
+
+
+class TestStatusMapping:
+    def test_malformed_payload_is_400_with_error_body(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port)
+        conn.request("POST", "/v1/sessions", body=b"{oops",
+                     headers={"Content-Type": "application/json"})
+        reply = conn.getresponse()
+        body = json.loads(reply.read())
+        conn.close()
+        assert reply.status == 400
+        assert body["kind"] == "bad_request"
+        assert body["error"]
+
+    def test_unknown_route_is_400(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port)
+        conn.request("GET", "/v2/everything")
+        reply = conn.getresponse()
+        assert reply.status == 400
+        assert json.loads(reply.read())["kind"] == "bad_request"
+        conn.close()
+
+    def test_unknown_token_is_401(self, server):
+        with RemoteAnalyst(server.url, token="mallory") as client:
+            with pytest.raises(UnknownAnalyst):
+                client.open_session()
+
+    def test_unknown_session_is_404(self, server):
+        with RemoteAnalyst(server.url, token="analyst_00") as client:
+            with pytest.raises(RemoteError) as info:
+                client.submit(RemoteSession(9999, "analyst_00"),
+                              "SELECT COUNT(*) FROM adult", accuracy=4e4)
+        assert info.value.status == 404
+        assert info.value.kind == "not_found"
+
+    def test_closed_session_is_409_session_closed(self, server):
+        with RemoteAnalyst(server.url, token="analyst_00") as client:
+            session = client.open_session()
+            client.close_session(session)
+            client.close_session(session)  # idempotent DELETE
+            with pytest.raises(SessionClosed):
+                client.submit(session, "SELECT COUNT(*) FROM adult",
+                              accuracy=4e4)
+            with pytest.raises(SessionClosed):
+                client.submit_batch(session, [QueryRequest(
+                    "SELECT COUNT(*) FROM adult", accuracy=4e4)])
+
+    def test_closed_service_is_409_service_closed(self, bundle):
+        server = ReproServer(make_service(bundle), port=0).start()
+        with RemoteAnalyst(server.url, token="analyst_00") as client:
+            session = client.open_session()
+            server.service.close()  # operator closed the service directly
+            with pytest.raises(ServiceClosed):
+                client.submit(session, "SELECT COUNT(*) FROM adult",
+                              accuracy=4e4)
+            with pytest.raises(ServiceClosed):
+                client.open_session()
+        server.shutdown()
+
+
+class TestDrain:
+    def test_shutdown_drains_in_flight_batch(self, bundle):
+        analysts = make_service_analysts(2)
+        sets_ = disjoint_view_attribute_sets(bundle, 2)
+        streams = build_disjoint_workload(bundle, analysts, 120, sets_,
+                                          accuracy=ACCURACY, seed=5)
+        server = ReproServer(make_service(bundle), port=0).start()
+        outcome: dict = {}
+
+        def long_batch() -> None:
+            with RemoteAnalyst(server.url, token="analyst_00") as client:
+                session = client.open_session()
+                try:
+                    responses = client.submit_batch(
+                        session, streams["analyst_00"])
+                    outcome["completed"] = len(responses)
+                except ReproError as exc:
+                    outcome["error"] = exc
+
+        worker = threading.Thread(target=long_batch)
+        worker.start()
+        time.sleep(0.05)  # let the batch get in flight
+        server.shutdown(drain_timeout=30.0)  # must wait, not cut it off
+        worker.join()
+
+        assert outcome.get("completed") == len(streams["analyst_00"]), \
+            f"in-flight batch was cut off: {outcome}"
+        assert server.service.closed
+
+    def test_draining_refuses_new_sessions_with_503(self, bundle):
+        server = ReproServer(make_service(bundle), port=0).start()
+        with RemoteAnalyst(server.url, token="analyst_00") as client:
+            client.open_session()
+            server.shutdown()
+            # The keep-alive connection is still answered by its handler
+            # thread; new work must be refused as draining.
+            with pytest.raises(RemoteError) as info:
+                client.open_session()
+            assert info.value.status == 503
+            assert info.value.kind == "draining"
+
+    def test_shutdown_is_idempotent(self, bundle):
+        server = ReproServer(make_service(bundle), port=0).start()
+        server.shutdown()
+        server.shutdown()
+        assert server.draining

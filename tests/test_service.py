@@ -307,3 +307,126 @@ class TestStatsAndSnapshot:
             rejected += int(response.rejected)
         assert rejected > 0
         assert service.stats.rejected == rejected == session.rejected
+
+
+class TestCloseSemantics:
+    """Satellites: idempotent close + tagged errors on closed targets."""
+
+    def test_service_close_is_idempotent(self, service):
+        service.close()
+        service.close()
+        assert service.closed
+
+    def test_submit_to_closed_service_raises_tagged(self, service):
+        from repro.exceptions import ServiceClosed
+
+        session = service.open_session("low")
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit(session, RANGE_SQL, accuracy=2500.0)
+        with pytest.raises(ServiceClosed):
+            service.submit_batch(session, [QueryRequest(RANGE_SQL,
+                                                        accuracy=2500.0)])
+        with pytest.raises(ServiceClosed):
+            service.open_session("high")
+        assert ServiceClosed.tag == "service_closed"
+
+    def test_closed_service_stays_readable(self, service):
+        session = service.open_session("low")
+        service.submit(session, RANGE_SQL, accuracy=2500.0)
+        service.close()
+        snap = service.snapshot()
+        assert snap["closed"] is True
+        assert snap["service"]["answered"] == 1
+
+    def test_submit_to_closed_session_raises_tagged(self, service):
+        from repro.exceptions import SessionClosed
+
+        session = service.open_session("low")
+        service.close_session(session)
+        with pytest.raises(SessionClosed):
+            service.submit(session, RANGE_SQL, accuracy=2500.0)
+        with pytest.raises(SessionClosed):
+            service.submit(session.session_id, RANGE_SQL, accuracy=2500.0)
+        with pytest.raises(SessionClosed):
+            service.submit_batch(session, [QueryRequest(RANGE_SQL,
+                                                        accuracy=2500.0)])
+        assert SessionClosed.tag == "session_closed"
+
+    def test_close_session_is_idempotent(self, service):
+        session = service.open_session("low")
+        first = service.close_session(session)
+        second = service.close_session(session.session_id)
+        assert first is second and first.closed
+
+    def test_unknown_session_is_not_tagged_closed(self, service):
+        from repro.exceptions import SessionClosed
+
+        with pytest.raises(ReproError) as info:
+            service.submit(9999, RANGE_SQL, accuracy=2500.0)
+        assert not isinstance(info.value, SessionClosed)
+
+
+class TestSnapshotJson:
+    """Satellite regression: snapshots are strictly JSON-serializable —
+    the wire protocol ships them verbatim."""
+
+    @pytest.mark.parametrize("mechanism", ["additive", "vanilla",
+                                           "vanilla_zcdp"])
+    def test_snapshot_strict_json_across_mechanisms(self, adult_bundle,
+                                                    mechanism):
+        import json
+
+        service = QueryService.build(adult_bundle, ANALYSTS, epsilon=4.0,
+                                     seed=5, mechanism=mechanism)
+        session = service.open_session("high")
+        service.submit(session, RANGE_SQL, accuracy=2500.0)
+        service.submit(session, GROUP_SQL, accuracy=2500.0)
+        service.submit(session, AVG_SQL, accuracy=2500.0)
+        service.submit(session, RANGE_SQL, epsilon=0.05)
+        service.submit_batch(session, [
+            QueryRequest(HOURS_SQL, accuracy=4000.0),
+            QueryRequest(GROUP_SQL, accuracy=4000.0),
+        ])
+        snap = service.snapshot()
+        service.close()
+
+        def reject(obj):
+            raise TypeError(f"non-JSON value of type {type(obj).__name__}")
+
+        encoded = json.dumps(snap, allow_nan=False, default=reject)
+        assert json.loads(encoded) == snap  # no tuples-as-keys either
+
+    def test_stats_as_dict_native_types(self, service):
+        session = service.open_session("low")
+        service.submit(session, RANGE_SQL, accuracy=2500.0)
+        stats = service.stats.as_dict()
+        assert all(type(key) is str
+                   for key in stats["epsilon_by_analyst"])
+        for value in stats["epsilon_by_analyst"].values():
+            assert type(value) is float
+        assert type(stats["submitted"]) is int
+        assert type(stats["busy_seconds"]) is float
+
+    def test_closed_session_retention_is_bounded(self, service,
+                                                 monkeypatch):
+        """A long-running daemon churns sessions; closed-session memory
+        must not grow without bound (oldest degrade to the generic
+        unknown-session error)."""
+        import repro.service.service as service_module
+        from repro.exceptions import SessionClosed
+
+        monkeypatch.setattr(service_module, "MAX_CLOSED_SESSIONS", 3)
+        sessions = []
+        for _ in range(5):
+            session = service.open_session("low")
+            service.close_session(session)
+            sessions.append(session)
+        assert len(service._closed_sessions) == 3
+        with pytest.raises(SessionClosed):  # recent: still tagged
+            service.submit(sessions[-1].session_id, RANGE_SQL,
+                           accuracy=2500.0)
+        with pytest.raises(ReproError) as info:  # aged out: generic
+            service.submit(sessions[0].session_id, RANGE_SQL,
+                           accuracy=2500.0)
+        assert not isinstance(info.value, SessionClosed)
