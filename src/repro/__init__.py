@@ -49,7 +49,12 @@ from repro.exceptions import (
     UnanswerableQuery,
 )
 from repro.metrics import dcfg, ndcfg, relative_error
-from repro.server import ReproServer
+from repro.persistence import (
+    DurabilityManager,
+    RecoveryReport,
+    recover_service,
+)
+from repro.server import ReproServer, load_token_table
 from repro.service import (
     QueryRequest,
     QueryResponse,
@@ -72,11 +77,13 @@ __all__ = [
     "DProvDB",
     "Database",
     "DatasetBundle",
+    "DurabilityManager",
     "ProvenanceTable",
     "QueryRejected",
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "RecoveryReport",
     "RemoteAnalyst",
     "RemoteSession",
     "ReproError",
@@ -99,8 +106,10 @@ __all__ = [
     "dcfg",
     "load_adult",
     "load_engine_state",
+    "load_token_table",
     "load_tpch",
     "ndcfg",
+    "recover_service",
     "relative_error",
     "save_engine_state",
 ]

@@ -24,7 +24,13 @@ writes the machine-readable ``BENCH_service_throughput.json`` artifact.
 dataset + analyst roster, wraps them in a sharded ``QueryService``, and
 serves the protocol-v1 HTTP API until SIGTERM/SIGINT, then drains
 in-flight work before exiting.  Connect with
-:class:`repro.client.RemoteAnalyst`.
+:class:`repro.client.RemoteAnalyst`.  With ``--data-dir`` the service
+journals every finalised charge to a write-ahead budget ledger
+(``--fsync`` policy), recovers checkpoint ⊕ ledger on boot
+(``--recover strict|permissive``), and checkpoints on drain;
+``--tokens`` loads the auth table from a (non-world-readable) JSON
+file.  ``recover`` and ``checkpoint`` are the matching offline tools
+for a stopped daemon's data directory.
 """
 
 from __future__ import annotations
@@ -156,6 +162,24 @@ def _bench_service(args) -> str:
         workload=args.workload,
     )
     report = format_service_throughput(results)
+    durability = None
+    if args.durability:
+        from repro.experiments.service_throughput import (
+            check_durability_matches_baseline,
+            format_durability_comparison,
+            run_durability_comparison,
+        )
+
+        durability = run_durability_comparison(
+            dataset=args.dataset, num_rows=args.rows,
+            num_analysts=args.analysts,
+            queries_per_analyst=min(args.queries, 60),
+            threads=args.threads, batch_size=args.batch_size,
+            epsilon=args.epsilon, repeats=args.repeats, seed=args.seed,
+            execution=args.execution, shards=args.shards,
+        )
+        check_durability_matches_baseline(durability)
+        report += "\n\n" + format_durability_comparison(durability)
     comparison = None
     if args.compare_global:
         comparison = run_sharding_comparison(
@@ -182,14 +206,23 @@ def _bench_service(args) -> str:
     if args.json is not None:
         from repro.experiments.service_throughput import write_json_artifact
 
-        write_json_artifact(args.json, results, comparison, remote)
+        write_json_artifact(args.json, results, comparison, remote,
+                            durability)
         report += f"\nwrote {args.json}"
     return report
 
 
-def _serve(args) -> str:
+def _build_daemon_service(args, durable: bool = True):
+    """The service a daemon-side command runs over (shared by ``serve``,
+    ``recover``, and ``checkpoint`` so recovery always rebuilds against
+    the same roster/dataset the crashed daemon served).
+
+    ``durable=False`` builds the bare service with no durability manager
+    even when ``--data-dir`` is set — the read-only ``recover`` command
+    must never bind a ledger writer (binding repairs a torn tail and
+    would mutate the very file the operator is inspecting).
+    """
     from repro.experiments.service_throughput import make_service_analysts
-    from repro.server.daemon import ReproServer
     from repro.service.service import QueryService
 
     from repro.datasets import load_adult, load_tpch
@@ -200,18 +233,49 @@ def _serve(args) -> str:
         else {"lineitem_rows": args.rows})
     bundle = loader(seed=args.seed, **kwargs)
     analysts = make_service_analysts(args.analysts)
-    service = QueryService.build(bundle, analysts, args.epsilon,
-                                 execution=args.execution,
-                                 shards=args.shards, seed=args.seed)
-    server = ReproServer(service, host=args.host, port=args.port)
+    durability = None
+    if durable and getattr(args, "data_dir", None):
+        from repro.persistence import DurabilityManager
+
+        durability = DurabilityManager(args.data_dir,
+                                       fsync=getattr(args, "fsync",
+                                                     "always"),
+                                       recover=getattr(args, "recover",
+                                                       "strict"))
+    return QueryService.build(bundle, analysts, args.epsilon,
+                              execution=args.execution,
+                              shards=args.shards, seed=args.seed,
+                              durability=durability)
+
+
+def _serve(args) -> str:
+    from repro.persistence.recovery import format_recovery_report
+    from repro.server.daemon import ReproServer, load_token_table
+
+    tokens = load_token_table(args.tokens) if args.tokens else None
+    service = _build_daemon_service(args)
+    server = ReproServer(service, host=args.host, port=args.port,
+                         tokens=tokens)
 
     print(f"repro serve: listening on {server.url}", flush=True)
     print(f"  dataset={args.dataset} rows={args.rows or 'full'} "
           f"epsilon={args.epsilon} execution={args.execution} "
           f"shards={args.shards}", flush=True)
-    print("  auth tokens (token -> analyst):", flush=True)
-    for token, analyst in server.tokens.items():
-        print(f"    {token} -> {analyst}", flush=True)
+    if service.durability is not None:
+        print(f"  durability: data_dir={args.data_dir} fsync={args.fsync} "
+              f"recover={args.recover}", flush=True)
+        report = service.durability.last_recovery
+        if report.checkpoint_found or report.records_seen:
+            print("  " + format_recovery_report(report)
+                  .replace("\n", "\n  "), flush=True)
+    if args.tokens:
+        # Tokens from a file are credentials — never echo them.
+        print(f"  auth tokens: {len(server.tokens)} loaded from "
+              f"{args.tokens} (values not shown)", flush=True)
+    else:
+        print("  auth tokens (token -> analyst):", flush=True)
+        for token, analyst in server.tokens.items():
+            print(f"    {token} -> {analyst}", flush=True)
     print("  SIGTERM/SIGINT drains in-flight work and exits.", flush=True)
 
     stop = threading.Event()
@@ -223,7 +287,78 @@ def _serve(args) -> str:
     # A DrainTimeout (in-flight work abandoned) propagates as a ReproError
     # so supervisors see exit code 2, not a clean stop.
     server.shutdown()
+    if service.durability is not None:
+        # The drain finished, so this fold is exact: the ledger collapses
+        # into the checkpoint and the next boot replays nothing.
+        service.checkpoint()
+        print(f"repro serve: checkpoint written to {args.data_dir}",
+              flush=True)
     return "stopped cleanly (drained)"
+
+
+def _recover(args) -> str:
+    """Offline recovery inspection: rebuild state, report, change nothing.
+
+    Run it while the daemon is down.  Strictly read-only: the recovery
+    runs directly (no durability manager is bound), so no ledger writer
+    opens, no files are created, and a torn tail is *not* repaired —
+    the evidence stays on disk exactly as the crash left it.
+    """
+    from repro.persistence.manager import (
+        acquire_data_dir_lock,
+        release_data_dir_lock,
+    )
+    from repro.persistence.recovery import (
+        format_recovery_report,
+        recover_service,
+    )
+
+    _require_data_dir(args)
+    # Hold the directory lock for the read: a live daemon compacting
+    # between the checkpoint read and the ledger read would make this
+    # audit report under-counted totals.
+    lock = acquire_data_dir_lock(args.data_dir)
+    service = _build_daemon_service(args, durable=False)
+    try:
+        report = recover_service(service, args.data_dir,
+                                 mode=args.recover)
+        return format_recovery_report(report)
+    finally:
+        service.close()
+        release_data_dir_lock(lock)
+
+
+def _require_data_dir(args) -> None:
+    """Offline tools inspect an *existing* data directory — a mistyped
+    path must fail loudly, not be silently created and reported as an
+    empty (budget-free) ledger."""
+    import os
+
+    if not os.path.isdir(args.data_dir):
+        raise ReproError(f"data directory {args.data_dir} does not exist "
+                         f"(it is created by `repro serve --data-dir`)")
+    args.fsync = "off"
+    args.recover = "permissive" if args.permissive else "strict"
+
+
+def _checkpoint(args) -> str:
+    """Offline compaction: recover, fold the ledger into a checkpoint.
+
+    Run it while the daemon is down (e.g. after a crash, or from cron
+    between restarts) to bound replay time on the next boot.
+    """
+    from repro.persistence.recovery import format_recovery_report
+
+    _require_data_dir(args)
+    service = _build_daemon_service(args)
+    try:
+        report = service.durability.last_recovery
+        service.checkpoint()
+        return (format_recovery_report(report)
+                + f"\ncheckpoint written to {args.data_dir}; "
+                  f"ledger compacted")
+    finally:
+        service.close()
 
 
 COMMANDS: dict[str, tuple[Callable, str]] = {
@@ -290,29 +425,82 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--rate", type=float, default=None,
                              help="with --remote: add an open-loop run "
                                   "with Poisson arrivals at RATE q/s")
+            cmd.add_argument("--durability", action="store_true",
+                             help="also measure the write-ahead ledger's "
+                                  "fsync-policy q/s tax (none vs "
+                                  "off/batch/always) and assert identical "
+                                  "accounting")
             cmd.add_argument("--json", nargs="?", metavar="PATH",
                              const="BENCH_service_throughput.json",
                              default=None,
                              help="write the machine-readable artifact")
+
+    def add_daemon_args(cmd, data_dir_required: bool) -> None:
+        """Dataset/roster options shared by serve/recover/checkpoint —
+        recovery must rebuild against the same service shape."""
+        cmd.add_argument("--dataset", choices=("adult", "tpch"),
+                         default="adult")
+        cmd.add_argument("--rows", type=int, default=12000,
+                         help="dataset rows (0 = paper scale)")
+        cmd.add_argument("--analysts", type=int, default=8,
+                         help="number of registered analysts")
+        cmd.add_argument("--epsilon", type=float, default=12.0,
+                         help="table-level privacy budget")
+        cmd.add_argument("--shards", type=int, default=8,
+                         help="shard count for the sharded service")
+        cmd.add_argument("--execution", choices=("sharded", "global"),
+                         default="sharded", help="service execution mode")
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--data-dir", required=data_dir_required,
+                         default=None, metavar="PATH",
+                         help="durability directory (write-ahead budget "
+                              "ledger + checkpoint)")
+
     serve = sub.add_parser(
         "serve", help="run the HTTP daemon over a sharded QueryService")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8321,
                        help="listen port (0 = ephemeral, printed at start)")
-    serve.add_argument("--dataset", choices=("adult", "tpch"),
-                       default="adult")
-    serve.add_argument("--rows", type=int, default=12000,
-                       help="dataset rows (0 = paper scale)")
-    serve.add_argument("--analysts", type=int, default=8,
-                       help="number of registered analysts")
-    serve.add_argument("--epsilon", type=float, default=12.0,
-                       help="table-level privacy budget")
-    serve.add_argument("--shards", type=int, default=8,
-                       help="shard count for the sharded service")
-    serve.add_argument("--execution", choices=("sharded", "global"),
-                       default="sharded", help="service execution mode")
-    serve.add_argument("--seed", type=int, default=0)
+    add_daemon_args(serve, data_dir_required=False)
+    serve.add_argument("--fsync", choices=("always", "batch", "off"),
+                       default="always",
+                       help="ledger fsync policy with --data-dir "
+                            "(default: always — a charge is on disk "
+                            "before its answer is acknowledged)")
+    serve.add_argument("--recover", choices=("strict", "permissive"),
+                       default="strict",
+                       help="boot-time recovery mode: strict refuses a "
+                            "torn ledger tail; permissive replays past "
+                            "it, only ever over-counting spent budget")
+    serve.add_argument("--tokens", default=None, metavar="PATH",
+                       help="JSON token file mapping auth token -> "
+                            "analyst (must not be world-readable); "
+                            "replaces the identity default")
+
+    recover = sub.add_parser(
+        "recover", help="inspect crash recovery for a --data-dir "
+                        "(rebuild + report, change nothing)")
+    add_daemon_args(recover, data_dir_required=True)
+    recover.add_argument("--permissive", action="store_true",
+                         help="replay past a torn ledger tail "
+                              "(over-counts at most the unacknowledged "
+                              "tail; never re-grants)")
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="offline compaction: fold a --data-dir's "
+                           "ledger into a fresh checkpoint")
+    add_daemon_args(checkpoint, data_dir_required=True)
+    checkpoint.add_argument("--permissive", action="store_true",
+                            help="recover past a torn ledger tail before "
+                                 "folding")
     return parser
+
+
+_DAEMON_COMMANDS = {
+    "serve": _serve,
+    "recover": _recover,
+    "checkpoint": _checkpoint,
+}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -321,12 +509,15 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, help_text) in COMMANDS.items():
             print(f"{name:8s} {help_text}")
         print("serve    HTTP daemon over a sharded QueryService "
-              "(repro.server)")
+              "(repro.server; --data-dir adds the write-ahead ledger)")
+        print("recover  inspect crash recovery for a durability data-dir")
+        print("checkpoint  fold a durability data-dir's ledger into a "
+              "checkpoint")
         return 0
     if args.rows == 0:
         args.rows = None
     runner, _ = COMMANDS[args.command] if args.command in COMMANDS \
-        else (_serve, "")
+        else (_DAEMON_COMMANDS[args.command], "")
     try:
         print(runner(args))
     except ReproError as exc:

@@ -69,6 +69,14 @@ class AdditiveGaussianMechanism(MechanismBase):
         self._generation: dict[str, int] = {}
         self._last_combination: dict[str, _CombinationRecord] = {}
         self._local_meta: dict[tuple[str, str], _LocalMeta] = {}
+        #: Per-view epsilon already realised on a *previous* global
+        #: synopsis chain that the store no longer reflects.  Set only by
+        #: crash recovery: when the write-ahead ledger proves a view's
+        #: global synopsis reached a higher budget than the restored
+        #: checkpoint carries (the noise values are gone, their loss is
+        #: not), the gap lands here and every view-constraint check adds
+        #: it — the conservative, over-counting direction.
+        self._global_epsilon_base: dict[str, float] = {}
 
     def _answer_fresh(self, analyst: str, view: HistogramView,
                       query: LinearQuery, per_bin: float) -> Outcome:
@@ -88,13 +96,17 @@ class AdditiveGaussianMechanism(MechanismBase):
             precision=self.precision,
         )
         self._reserve_release_slot(analyst)
+        reservation = None
         try:
             self._check_global_budget(view.name, request)
             epsilon_charged = self._charged_epsilon(analyst, view.name,
                                                     request)
+            meta = {"releases": 1,
+                    "global_after": request.global_epsilon_after}
             with self.provenance.reserve(analyst, view.name, epsilon_charged,
                                          self.constraints,
-                                         column_mode="max") as reservation:
+                                         column_mode="max",
+                                         meta=meta) as reservation:
                 global_synopsis = self._ensure_global(view, request)
                 # The global refresh is the irreversible release (noise
                 # derived from the exact data is now in the store), so the
@@ -103,7 +115,11 @@ class AdditiveGaussianMechanism(MechanismBase):
                 # error, never as freed budget for published noise.
                 reservation.commit()
         except BaseException:
-            self._release_release_slot(analyst)
+            # Once committed, the charge AND the delta slot both stand:
+            # commit itself can fail (the durability hook fsyncs), and
+            # the global refresh it finalised is already published.
+            if reservation is None or reservation.state != "committed":
+                self._release_release_slot(analyst)
             raise
         local = self._derive_local(analyst, view, global_synopsis, request)
 
@@ -138,11 +154,18 @@ class AdditiveGaussianMechanism(MechanismBase):
 
     def _check_global_budget(self, view_name: str,
                              request: BudgetRequest) -> None:
-        """The realised global budget must respect the per-view guarantee."""
+        """The realised global budget must respect the per-view guarantee.
+
+        ``_global_epsilon_base`` (crash recovery's record of budget spent
+        on a global chain the store no longer holds) counts against the
+        limit on top of the live chain's epsilon.
+        """
         view_limit = self.constraints.view_limit(view_name)
-        if request.global_epsilon_after > view_limit + 1e-12:
+        realised = (request.global_epsilon_after
+                    + self._global_epsilon_base.get(view_name, 0.0))
+        if realised > view_limit + 1e-12:
             raise QueryRejected(
-                f"global synopsis budget {request.global_epsilon_after:.4f} "
+                f"global synopsis budget {realised:.4f} "
                 f"would exceed view constraint {view_limit}",
                 constraint="column",
             )

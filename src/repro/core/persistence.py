@@ -29,6 +29,7 @@ from repro.core.delegation import Grant
 from repro.core.engine import DProvDB
 from repro.core.provenance import Constraints
 from repro.core.synopsis import Synopsis
+from repro.core.zcdp_vanilla import ZCdpVanillaMechanism
 from repro.exceptions import ReproError
 
 FORMAT_VERSION = 1
@@ -57,8 +58,22 @@ def _synopsis_from_dict(payload: dict) -> Synopsis:
 
 
 def engine_state(engine: DProvDB) -> dict:
-    """Snapshot an engine's mutable state as a JSON-serialisable dict."""
+    """Snapshot an engine's mutable state as a JSON-serialisable dict.
+
+    Safe to call while other threads submit queries: every mutable dict
+    is copied (a C-level ``dict()`` copy, atomic under the GIL) before
+    iteration, and a local synopsis evicted between the key snapshot and
+    the value read is simply skipped — the snapshot may then straddle
+    in-flight charges, which only ever *over*-states realised state (the
+    durability checkpoint's safe direction); take it at quiescence for
+    an exact fold.
+    """
     mechanism = engine.mechanism
+    local_synopses = []
+    for analyst, view in mechanism.store.local_keys:
+        synopsis = mechanism.store.local_synopsis(analyst, view)
+        if synopsis is not None:  # concurrently evicted
+            local_synopses.append(_synopsis_to_dict(synopsis))
     state = {
         "version": FORMAT_VERSION,
         "mechanism": mechanism.name,
@@ -82,16 +97,13 @@ def engine_state(engine: DProvDB) -> dict:
             _synopsis_to_dict(mechanism.store.global_synopsis(view))
             for view in mechanism.store.global_views
         ],
-        "local_synopses": [
-            _synopsis_to_dict(mechanism.store.local_synopsis(analyst, view))
-            for analyst, view in mechanism.store.local_keys
-        ],
+        "local_synopses": local_synopses,
         "grants": [
             {"grant_id": g.grant_id, "grantor": g.grantor,
              "grantee": g.grantee, "epsilon_cap": g.epsilon_cap,
              "consumed": g.consumed, "revoked": g.revoked,
              "queries": g.queries}
-            for g in engine.delegations._grants.values()
+            for g in list(engine.delegations._grants.values())
         ],
         "release_counts": dict(mechanism._release_counts),
     }
@@ -100,14 +112,30 @@ def engine_state(engine: DProvDB) -> dict:
             "generation": dict(mechanism._generation),
             "last_combination": {
                 view: [r.w_prev, r.w_fresh, r.v_prev, r.v_delta]
-                for view, r in mechanism._last_combination.items()
+                for view, r in dict(mechanism._last_combination).items()
             },
             "local_meta": {
                 f"{analyst}|{view}": [m.generation, m.noise_variance,
                                            m.fresh]
-                for (analyst, view), m in mechanism._local_meta.items()
+                for (analyst, view), m
+                in dict(mechanism._local_meta).items()
+            },
+            "global_epsilon_base": {
+                view: base
+                for view, base in dict(mechanism._global_epsilon_base)
+                .items() if base > 0.0
             },
         }
+    if isinstance(mechanism, ZCdpVanillaMechanism):
+        # The rho ledgers are the mechanism's real constraint state; the
+        # epsilon provenance entries alone cannot reconstruct them (the
+        # conversion is not invertible per entry), so snapshot them.
+        with mechanism._rho_lock:
+            state["zcdp"] = {
+                "row_rho": dict(mechanism._row_rho),
+                "column_rho": dict(mechanism._column_rho),
+                "total_rho": mechanism._total_rho,
+            }
     return state
 
 
@@ -193,6 +221,30 @@ def restore_engine_state(engine: DProvDB, state: dict) -> None:
             tuple(key.split("|")): _LocalMeta(int(g), float(s), bool(f))
             for key, (g, s, f) in additive["local_meta"].items()
         }
+        engine.mechanism._global_epsilon_base = {
+            view: float(base)
+            for view, base in additive.get("global_epsilon_base",
+                                           {}).items()
+        }
+    zcdp = state.get("zcdp")
+    if isinstance(engine.mechanism, ZCdpVanillaMechanism) and not zcdp:
+        # Older builds wrote version-1 snapshots without the rho
+        # ledgers; restoring one would leave them empty and admit
+        # releases past every converted constraint — re-granting budget.
+        raise ReproError(
+            "snapshot lacks the zCDP rho ledgers (written by an older "
+            "build); restoring it would under-count the mechanism's "
+            "constraint state — re-create the snapshot with this build"
+        )
+    if zcdp and isinstance(engine.mechanism, ZCdpVanillaMechanism):
+        with engine.mechanism._rho_lock:
+            engine.mechanism._row_rho = {
+                name: float(rho) for name, rho in zcdp["row_rho"].items()
+            }
+            engine.mechanism._column_rho = {
+                name: float(rho) for name, rho in zcdp["column_rho"].items()
+            }
+            engine.mechanism._total_rho = float(zcdp["total_rho"])
 
 
 def load_engine_state(engine: DProvDB, path: str | Path) -> None:

@@ -137,18 +137,28 @@ class Reservation:
     charge touched the same row/column/totals slot in between; under
     interleaving it falls back to exact-entry restoration plus arithmetic
     tally correction (within float dust, below the constraint slack).
+
+    ``meta`` carries caller-supplied annotations (e.g. the mechanisms'
+    delta-ledger slot count) handed to the table's :attr:`ProvenanceTable
+    .on_commit` hook when the reservation commits — the write-ahead
+    ledger's source of per-charge context.
     """
 
-    __slots__ = ("_table", "analyst", "view", "epsilon", "_state", "_snapshot")
+    __slots__ = ("_table", "analyst", "view", "epsilon", "_state",
+                 "_snapshot", "column_mode", "meta")
 
     def __init__(self, table: "ProvenanceTable", analyst: str, view: str,
-                 epsilon: float, snapshot: dict[str, float]) -> None:
+                 epsilon: float, snapshot: dict[str, float],
+                 column_mode: str = "sum",
+                 meta: Mapping | None = None) -> None:
         self._table = table
         self.analyst = analyst
         self.view = view
         self.epsilon = epsilon
         self._state = "pending"
         self._snapshot = snapshot
+        self.column_mode = column_mode
+        self.meta = meta
 
     @property
     def state(self) -> str:
@@ -156,10 +166,25 @@ class Reservation:
         return self._state
 
     def commit(self) -> None:
-        """Finalise the charge (idempotent; refuses after rollback)."""
+        """Finalise the charge (idempotent; refuses after rollback).
+
+        Fires the owning table's :attr:`ProvenanceTable.on_commit` hook
+        exactly once, *after* every table lock has been released (the
+        reservation holds none) — so a durability hook can fsync a ledger
+        record without ever sitting inside the row -> column -> totals
+        lock order.  A hook failure propagates: the in-memory charge
+        stands (the reservation is already committed), the caller's
+        request fails — budget is over-counted, never re-granted.
+        """
         if self._state == "rolled_back":
             raise ReproError("cannot commit a rolled-back reservation")
+        if self._state == "committed":
+            return
         self._state = "committed"
+        hook = self._table.on_commit
+        if hook is not None:
+            hook(self.analyst, self.view, self.epsilon, self.column_mode,
+                 self.meta)
 
     def rollback(self) -> None:
         """Undo the charge (idempotent; refuses after commit)."""
@@ -219,6 +244,13 @@ class ProvenanceTable:
         self._col_locks: dict[str, threading.RLock] = {}
         self._totals_lock = threading.RLock()
         self._structure_lock = threading.RLock()
+        #: Durability hook: ``f(analyst, view, epsilon, mode, meta)``
+        #: fired once per *finalised* charge — on :meth:`Reservation
+        #: .commit` and on :meth:`add` — strictly after the row ->
+        #: column -> totals locks have been released, so the hook may
+        #: block on I/O (the write-ahead budget ledger does).  ``set``
+        #: never fires it: restores replay history, they don't make it.
+        self.on_commit = None
         for analyst in self.analysts:
             self._admit_analyst(analyst)
         for view in self.views:
@@ -300,13 +332,22 @@ class ProvenanceTable:
                 raise ReproError("cumulative privacy loss cannot decrease")
             self._charge_locked_row(analyst, view, epsilon - current)
 
-    def add(self, analyst: str, view: str, epsilon: float) -> float:
-        """``P[A, V] += eps`` (vanilla update); returns the new entry."""
+    def add(self, analyst: str, view: str, epsilon: float, *,
+            meta: Mapping | None = None) -> float:
+        """``P[A, V] += eps`` (vanilla update); returns the new entry.
+
+        Fires :attr:`on_commit` (mode ``"add"``) after the locks release —
+        direct adds are already final, there is no reservation to commit.
+        """
         if epsilon < 0:
             raise ReproError(f"cumulative loss cannot be negative: {epsilon}")
         with self._row_lock(analyst):
             self._col_lock(view)  # membership check
-            return self._charge_locked_row(analyst, view, epsilon)
+            new_entry = self._charge_locked_row(analyst, view, epsilon)
+        hook = self.on_commit
+        if hook is not None:
+            hook(analyst, view, epsilon, "add", meta)
+        return new_entry
 
     def _charge_locked_row(self, analyst: str, view: str,
                            delta: float) -> float:
@@ -327,7 +368,8 @@ class ProvenanceTable:
     # -- atomic check-and-charge -----------------------------------------------
     def reserve(self, analyst: str, view: str, epsilon: float,
                 constraints: Constraints, *,
-                column_mode: str = "sum") -> Reservation:
+                column_mode: str = "sum",
+                meta: Mapping | None = None) -> Reservation:
         """Atomically check every constraint and charge ``epsilon``.
 
         ``column_mode`` selects how the column/table composites are formed:
@@ -365,7 +407,8 @@ class ProvenanceTable:
             snapshot["col_max_after"] = self._col_max[view]
             snapshot["table_sum_after"] = self._table_sum
             snapshot["table_max_sum_after"] = self._table_max_sum
-            return Reservation(self, analyst, view, epsilon, snapshot)
+            return Reservation(self, analyst, view, epsilon, snapshot,
+                               column_mode=column_mode, meta=meta)
 
     def check(self, analyst: str, view: str, epsilon: float,
               constraints: Constraints, *, column_mode: str = "sum") -> None:

@@ -33,12 +33,17 @@ class VanillaMechanism(MechanismBase):
         # Atomic two-phase accounting: the delta-ledger slot and the
         # provenance charge are each check-and-charge in one step, so no
         # caller-held lock is needed to prevent concurrent over-spend; a
-        # failure before commit returns both.
+        # failure before commit returns both.  A failure *in* commit
+        # (the durability hook fsyncs and can raise) returns neither —
+        # the noisy synopsis is already stored, so both charges must
+        # stand for published noise even though the request errors.
         self._reserve_release_slot(analyst)
+        reservation = None
         try:
             with self.provenance.reserve(analyst, view.name, epsilon,
                                          self.constraints,
-                                         column_mode="sum") as reservation:
+                                         column_mode="sum",
+                                         meta={"releases": 1}) as reservation:
                 sigma = analytic_gaussian_sigma(
                     epsilon, self.constraints.delta, self._sensitivity(view)
                 )
@@ -54,7 +59,8 @@ class VanillaMechanism(MechanismBase):
                 self._keep_better(analyst, view.name, synopsis)
                 reservation.commit()
         except BaseException:
-            self._release_release_slot(analyst)
+            if reservation is None or reservation.state != "committed":
+                self._release_release_slot(analyst)
             raise
         return Outcome(
             value=query.answer(values),

@@ -138,7 +138,11 @@ class ZCdpVanillaMechanism(VanillaMechanism):
         exact = self._exact(view)
         values = exact + self.rng.normal(0.0, sigma, size=exact.shape)
         self._record_access(sigma, view)
-        self.provenance.add(analyst, view.name, epsilon)
+        # The ledger meta carries this release's rho so crash recovery
+        # can rebuild the zCDP ledgers without re-deriving sigma.
+        self.provenance.add(analyst, view.name, epsilon,
+                            meta={"rho": rho_from_sigma(
+                                sigma, self._sensitivity(view))})
         self._keep_better(analyst, view.name, Synopsis(
             view_name=view.name, values=values, epsilon=epsilon,
             delta=self.constraints.delta, variance=sigma ** 2,

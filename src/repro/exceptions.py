@@ -57,6 +57,26 @@ class UnknownAnalyst(ReproError):
     """A query arrived from an analyst not registered in the provenance table."""
 
 
+class DurabilityError(ReproError):
+    """The write-ahead budget ledger or checkpoint machinery failed.
+
+    Raised for misconfiguration (unknown fsync policy, unwritable data
+    directory) and for refusing unsafe operations (compacting a corrupt
+    ledger).  Budget already charged in memory is never released by a
+    durability failure — the failure direction is always over-counting.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery refused to rebuild state from the data directory.
+
+    Strict recovery raises this on a torn or corrupt ledger tail; both
+    modes raise it on interior corruption or when the on-disk state does
+    not match the engine being recovered into (different dataset,
+    mechanism, or analyst roster).
+    """
+
+
 class ClosedError(ReproError):
     """An operation reached a service or session that is already closed.
 

@@ -32,11 +32,14 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 
 from repro.core.analyst import Analyst
 from repro.datasets import load_adult, load_tpch
 from repro.dp.rng import SeedLike
 from repro.exceptions import ReproError
+from repro.persistence import DurabilityManager
 from repro.server.daemon import ReproServer
 from repro.service.loadgen import (
     MODES,
@@ -62,6 +65,14 @@ WORKLOADS = ("mixed", "disjoint")
 #: multi-core hosts (reported everywhere; asserted only as "no slower"
 #: by default, since a single-CPU runner cannot express parallelism).
 SPEEDUP_TARGET = 1.5
+
+#: Durability axes the ``--durability`` comparison measures: no ledger at
+#: all, then each fsync policy of the write-ahead budget ledger.
+DURABILITY_AXES = ("none", "off", "batch", "always")
+
+#: Minimum batched q/s the ``fsync=off`` ledger must retain relative to
+#: the non-durable baseline (the acceptance floor CI gates on).
+DURABILITY_OFF_FLOOR = 0.9
 
 
 def make_service_analysts(num_analysts: int) -> list[Analyst]:
@@ -249,6 +260,129 @@ def run_remote_comparison(dataset: str = "adult",
     return results
 
 
+def run_durability_comparison(dataset: str = "adult",
+                              num_rows: int | None = 12000,
+                              num_analysts: int = 8,
+                              queries_per_analyst: int = 60,
+                              threads: int = 8,
+                              batch_size: int = 16,
+                              epsilon: float = 64.0,
+                              accuracy: float = 2e5,
+                              mechanism: str = "additive",
+                              max_cached_synopses: int = 256,
+                              repeats: int = 2,
+                              seed: SeedLike = 0,
+                              execution: str = "sharded",
+                              shards: int = DEFAULT_NUM_SHARDS,
+                              mode: str = "batched",
+                              axes: tuple[str, ...] = DURABILITY_AXES
+                              ) -> list[ThroughputResult]:
+    """The fsync-policy q/s tax: one workload replayed per axis.
+
+    ``"none"`` runs without a ledger (the baseline); each fsync policy
+    runs the identical workload with a fresh durable service journaling
+    into a throwaway data directory.  Durability must never change
+    *decisions* — accounting columns are asserted identical across axes
+    by :func:`check_durability_matches_baseline` — so the only
+    difference the table shows is wall clock: the price of making every
+    charge durable before its answer is acknowledged.  The disjoint-view
+    workload makes the accounting order-independent (as in the sharding
+    and remote comparisons), so that equality is exact, not
+    interleaving-lucky.
+    """
+    bundle = _load_bundle(dataset, num_rows, seed)
+    analysts = make_service_analysts(num_analysts)
+    attribute_sets, streams = _build_workload(
+        bundle, analysts, queries_per_analyst, accuracy, "disjoint",
+        2, seed)
+    scratch = tempfile.mkdtemp(prefix="repro-durability-")
+    results: list[ThroughputResult] = []
+    try:
+        for axis in axes:
+            if axis not in DURABILITY_AXES:
+                raise ReproError(f"unknown durability axis {axis!r}; "
+                                 f"choose from {DURABILITY_AXES}")
+            for run in range(max(1, repeats)):
+                durability = None
+                if axis != "none":
+                    # mkdtemp, not a fixed name: a reused directory
+                    # would be *recovered* into the "fresh" service,
+                    # pre-spending budget and tripping the cross-axis
+                    # accounting equality.
+                    run_dir = tempfile.mkdtemp(prefix=f"{axis}-{run}-",
+                                               dir=scratch)
+                    durability = DurabilityManager(run_dir, fsync=axis)
+                service = QueryService.build(
+                    bundle, analysts, epsilon, mechanism=mechanism,
+                    max_cached_synopses=max_cached_synopses,
+                    execution=execution, shards=shards, seed=seed,
+                    durability=durability)
+                if attribute_sets:
+                    register_disjoint_views(service.engine, attribute_sets)
+                try:
+                    results.append(run_throughput(
+                        service, analysts, streams, mode=mode,
+                        threads=threads, batch_size=batch_size))
+                finally:
+                    service.close()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return results
+
+
+def best_qps_by_axis(results: list[ThroughputResult]) -> dict[str, float]:
+    """Best q/s observed per durability axis."""
+    best: dict[str, float] = {}
+    for result in results:
+        best[result.durability] = max(best.get(result.durability, 0.0),
+                                      result.queries_per_second)
+    return best
+
+
+def durability_tax(results: list[ThroughputResult]) -> dict[str, float]:
+    """Best q/s per durability axis as a fraction of the ``none`` axis."""
+    best = best_qps_by_axis(results)
+    baseline = best.get("none", 0.0)
+    if baseline <= 0:
+        return {}
+    return {axis: qps / baseline for axis, qps in best.items()}
+
+
+def check_durability_matches_baseline(
+        results: list[ThroughputResult]) -> None:
+    """Durability must tax wall clock only: identical epsilon, fresh
+    releases, and zero failures on every axis of one comparison."""
+    eps = {round(r.total_epsilon_spent, 9) for r in results}
+    assert len(eps) == 1, \
+        f"epsilon spent must be identical across durability axes, " \
+        f"got {sorted(eps)}"
+    fresh = {r.fresh_releases for r in results}
+    assert len(fresh) == 1, \
+        f"fresh releases must be identical across durability axes, " \
+        f"got {sorted(fresh)}"
+    for r in results:
+        assert r.failed == 0, \
+            f"durability={r.durability} run had {r.failed} failures"
+
+
+def format_durability_comparison(results: list[ThroughputResult]) -> str:
+    """The ``--durability`` report: table plus per-axis tax lines."""
+    report = format_throughput(
+        results, title="durability: write-ahead ledger fsync-policy tax")
+    tax = durability_tax(results)
+    for axis in DURABILITY_AXES:
+        if axis == "none" or axis not in tax:
+            continue
+        report += (f"\nfsync={axis}: {tax[axis]:.2f}x of the non-durable "
+                   f"baseline q/s")
+    if "off" in tax:
+        verdict = "ok" if tax["off"] >= DURABILITY_OFF_FLOOR else "VIOLATED"
+        report += (f"\nfloor: fsync=off must keep >= "
+                   f"{DURABILITY_OFF_FLOOR:.1f}x of baseline q/s "
+                   f"({verdict})")
+    return report
+
+
 def check_remote_matches_inproc(results: list[ThroughputResult]) -> None:
     """Assert the wire changed nothing but latency: every run (any
     transport, any arrival process) spent identical epsilon and did the
@@ -339,7 +473,8 @@ def format_sharding_comparison(results: list[ThroughputResult],
 
 def write_json_artifact(path: str, results: list[ThroughputResult],
                         comparison: list[ThroughputResult] | None = None,
-                        remote: list[ThroughputResult] | None = None
+                        remote: list[ThroughputResult] | None = None,
+                        durability: list[ThroughputResult] | None = None
                         ) -> None:
     """Write ``BENCH_service_throughput.json``: per-run rows + summary.
 
@@ -353,6 +488,7 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
     rows = [r.as_dict() for r in results]
     comparison_rows = [r.as_dict() for r in (comparison or [])]
     remote_rows = [r.as_dict() for r in (remote or [])]
+    durability_rows = [r.as_dict() for r in (durability or [])]
     best = max(results, key=lambda r: r.queries_per_second) \
         if results else None
     summary = {
@@ -387,22 +523,42 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
                 "latency_p50_ms": tail.latency_p50_ms,
                 "latency_p95_ms": tail.latency_p95_ms,
             }
+    if durability:
+        tax = durability_tax(durability)
+        best_by_axis = best_qps_by_axis(durability)
+        summary["durability"] = {
+            "queries_per_second": {axis: best_by_axis[axis]
+                                   for axis in DURABILITY_AXES
+                                   if axis in best_by_axis},
+            "vs_none": {axis: ratio for axis, ratio in tax.items()
+                        if axis != "none"},
+            "fsync_off_floor": DURABILITY_OFF_FLOOR,
+            "fsync_off_vs_none": tax.get("off"),
+        }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"runs": rows, "comparison_runs": comparison_rows,
                    "remote_runs": remote_rows,
+                   "durability_runs": durability_rows,
                    "summary": summary}, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 
 __all__ = [
+    "DURABILITY_AXES",
+    "DURABILITY_OFF_FLOOR",
     "SPEEDUP_TARGET",
     "WORKLOADS",
+    "best_qps_by_axis",
+    "check_durability_matches_baseline",
     "check_remote_matches_inproc",
+    "durability_tax",
+    "format_durability_comparison",
     "format_remote_comparison",
     "format_service_throughput",
     "format_sharding_comparison",
     "make_service_analysts",
     "remote_overhead",
+    "run_durability_comparison",
     "run_remote_comparison",
     "run_service_throughput",
     "run_sharding_comparison",

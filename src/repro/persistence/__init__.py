@@ -1,0 +1,57 @@
+"""Durable accounting for the serving stack.
+
+The paper's provenance table is the ground truth for how much privacy
+budget each analyst has consumed; this package makes that truth survive
+the process.  It provides a write-ahead budget ledger (one fsync'd JSONL
+record per finalised charge and per session event), checkpoint
+compaction (fold the ledger into a versioned snapshot, atomically), and
+crash recovery (checkpoint ⊕ ledger-tail replay, refusing torn tails
+unless explicitly permissive — and then only ever *over*-counting spent
+budget).  ``QueryService(durability=DurabilityManager(...))`` wires it
+in; ``repro serve --data-dir`` exposes it operationally.
+"""
+
+from repro.persistence.checkpoint import (
+    CHECKPOINT_VERSION,
+    checkpoint_payload,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.persistence.ledger import (
+    FSYNC_POLICIES,
+    LedgerTail,
+    LedgerWriter,
+    read_ledger,
+)
+from repro.persistence.manager import DurabilityManager
+from repro.persistence.records import decode_line, encode_record
+from repro.persistence.recovery import (
+    CHECKPOINT_FILE,
+    LEDGER_FILE,
+    RECOVERY_MODES,
+    RecoveryReport,
+    format_recovery_report,
+    recover_service,
+)
+from repro.persistence.schema import provenance_summary
+
+__all__ = [
+    "CHECKPOINT_FILE",
+    "CHECKPOINT_VERSION",
+    "DurabilityManager",
+    "FSYNC_POLICIES",
+    "LEDGER_FILE",
+    "LedgerTail",
+    "LedgerWriter",
+    "RECOVERY_MODES",
+    "RecoveryReport",
+    "checkpoint_payload",
+    "decode_line",
+    "encode_record",
+    "format_recovery_report",
+    "provenance_summary",
+    "read_checkpoint",
+    "read_ledger",
+    "recover_service",
+    "write_checkpoint",
+]

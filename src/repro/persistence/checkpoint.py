@@ -1,0 +1,93 @@
+"""Checkpoints: folding the ledger into a versioned snapshot.
+
+A checkpoint is one JSON document holding the full engine state (the
+:func:`repro.core.persistence.engine_state` encoding — provenance
+entries, constraints, synopses, mechanism bookkeeping, zCDP rho
+ledgers), the shared :func:`repro.persistence.schema.provenance_summary`
+accounting block, and ``ledger_seq`` — the highest ledger sequence
+number whose effects the snapshot contains.  Recovery restores the
+checkpoint and replays only ledger records *after* ``ledger_seq``, so a
+crash between writing the checkpoint and compacting the ledger merely
+replays records the snapshot already contains — idempotent for
+provenance totals in the safe (over-counting is impossible here: the
+guard skips them) direction, never under-counting.
+
+Writes are atomic: payload to ``checkpoint.json.tmp``, fsync, rename
+over ``checkpoint.json``, fsync the directory.  A crash mid-write
+leaves the previous checkpoint untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.persistence import FORMAT_VERSION, engine_state
+from repro.exceptions import RecoveryError
+from repro.persistence.ledger import atomic_replace
+from repro.persistence.schema import provenance_summary
+
+#: Version of the checkpoint envelope (the embedded engine state carries
+#: its own :data:`repro.core.persistence.FORMAT_VERSION`).
+CHECKPOINT_VERSION = 1
+
+
+def checkpoint_payload(engine, ledger_seq: int) -> dict:
+    """Build the checkpoint document for one engine at one ledger seq."""
+    return {
+        "version": CHECKPOINT_VERSION,
+        "created_ts": round(time.time(), 6),
+        "ledger_seq": int(ledger_seq),
+        "engine": engine_state(engine),
+        "provenance": provenance_summary(engine),
+    }
+
+
+def write_checkpoint(path: str | Path, payload: dict) -> None:
+    """Atomically persist ``payload`` at ``path`` (tmp + fsync + rename)."""
+    atomic_replace(Path(path), json.dumps(payload) + "\n")
+
+
+def read_checkpoint(path: str | Path) -> dict | None:
+    """Load and validate a checkpoint; ``None`` when none exists.
+
+    Raises :class:`repro.exceptions.RecoveryError` on a damaged or
+    version-incompatible file — a checkpoint is all-or-nothing, there is
+    no permissive mode for it (the ledger, not the checkpoint, is the
+    crash surface: checkpoints are written atomically).
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RecoveryError(f"checkpoint {path} is unreadable: {exc}") \
+            from None
+    if not isinstance(payload, dict):
+        raise RecoveryError(f"checkpoint {path} is not a JSON object")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise RecoveryError(
+            f"checkpoint {path} has version {payload.get('version')!r}, "
+            f"this build reads {CHECKPOINT_VERSION}")
+    engine = payload.get("engine")
+    if not isinstance(engine, dict) or \
+            engine.get("version") != FORMAT_VERSION:
+        raise RecoveryError(
+            f"checkpoint {path} embeds engine-state version "
+            f"{None if not isinstance(engine, dict) else engine.get('version')!r}, "
+            f"this build reads {FORMAT_VERSION}")
+    ledger_seq = payload.get("ledger_seq")
+    if not isinstance(ledger_seq, int) or ledger_seq < 0:
+        raise RecoveryError(
+            f"checkpoint {path} has a bad ledger_seq {ledger_seq!r}")
+    return payload
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "checkpoint_payload",
+    "read_checkpoint",
+    "write_checkpoint",
+]

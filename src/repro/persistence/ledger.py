@@ -1,0 +1,368 @@
+"""The append-only write-ahead budget ledger.
+
+:class:`LedgerWriter` appends one record per durable event under a
+single internal lock and makes it durable according to the configured
+fsync policy:
+
+``always``
+    ``fsync`` before every append returns.  A charge is on disk before
+    the response that spent it can be acknowledged — a crash can never
+    re-grant acknowledged budget.  This is the default and the only
+    policy whose guarantee is unconditional.
+
+``batch``
+    ``fsync`` once every ``batch_records`` appends or ``batch_seconds``
+    of wall clock, whichever comes first — a deadline timer flushes a
+    pending tail even when traffic stops — plus on :meth:`sync`,
+    :meth:`close`, and checkpoint.  A crash can lose at most the
+    unsynced window of *acknowledged* work; everything older is safe.
+
+``off``
+    Write + flush to the OS page cache, never ``fsync``.  State survives
+    process death (the kernel holds the pages) but not power loss or
+    kernel panic; checkpoints still fsync, so the exposure window is
+    bounded by the checkpoint cadence.
+
+:func:`read_ledger` is the crash-aware reader: it distinguishes a clean
+file, a *torn tail* (the final append was cut mid-write — the expected
+artifact of SIGKILL or power loss; everything before it is intact), and
+*interior corruption* (a damaged record followed by valid ones — a sign
+of real storage damage that recovery must refuse to paper over).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import DurabilityError
+from repro.persistence.records import decode_line, encode_record, \
+    salvage_charge
+
+#: Supported fsync policies, strongest first.
+FSYNC_POLICIES = ("always", "batch", "off")
+
+#: ``batch`` policy defaults: fsync at least once per this many records …
+DEFAULT_BATCH_RECORDS = 32
+#: … or per this many seconds since the last sync, whichever is first.
+DEFAULT_BATCH_SECONDS = 0.05
+
+
+def _fsync_dir(path: Path) -> None:
+    """Persist a directory entry (rename durability); best-effort on
+    filesystems that refuse directory fsync."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_replace(path: Path, text: str) -> None:
+    """Durably replace ``path``'s contents: tmp + fsync + rename +
+    directory fsync.  A crash at any point leaves either the old file or
+    the complete new one — the single write pattern compaction, torn-
+    tail repair, and the checkpoint writer all share."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+class LedgerWriter:
+    """Thread-safe appender over one ledger file.
+
+    ``next_seq`` seeds the sequence counter — recovery passes one past
+    the highest sequence number it saw (checkpoint or ledger), so
+    sequence numbers stay globally monotonic across restarts and
+    compactions.
+    """
+
+    def __init__(self, path: str | Path, fsync: str = "always",
+                 next_seq: int = 1,
+                 batch_records: int = DEFAULT_BATCH_RECORDS,
+                 batch_seconds: float = DEFAULT_BATCH_SECONDS) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(f"unknown fsync policy {fsync!r}; "
+                                  f"choose from {FSYNC_POLICIES}")
+        if next_seq < 1:
+            raise DurabilityError(f"next_seq must be >= 1, got {next_seq}")
+        self.path = Path(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._next_seq = next_seq
+        self._pending = 0
+        self._last_sync = time.monotonic()
+        self._batch_records = max(1, batch_records)
+        self._batch_seconds = batch_seconds
+        #: Deadline flush for the ``batch`` policy: armed when a window
+        #: opens, so a pending record is fsync'd within batch_seconds
+        #: even if no further append ever arrives to trigger it.
+        self._deadline: threading.Timer | None = None
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number issued so far (0 before the first)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    def append(self, record: dict) -> int:
+        """Assign a sequence number, write one line, apply the fsync
+        policy; returns the sequence number.  Raises
+        :class:`DurabilityError` once closed — callers must treat an
+        append failure as a failed request, never as freed budget."""
+        with self._lock:
+            if self._handle is None:
+                raise DurabilityError(
+                    f"ledger {self.path} is closed; cannot append")
+            seq = self._next_seq
+            self._next_seq += 1
+            stamped = dict(record)
+            stamped["seq"] = seq
+            stamped.setdefault("ts", round(time.time(), 6))
+            self._handle.write(encode_record(stamped) + "\n")
+            self._handle.flush()
+            if self.fsync == "always":
+                os.fsync(self._handle.fileno())
+            elif self.fsync == "batch":
+                self._pending += 1
+                now = time.monotonic()
+                if (self._pending >= self._batch_records
+                        or now - self._last_sync >= self._batch_seconds):
+                    self._sync_locked()
+                elif self._deadline is None:
+                    self._deadline = threading.Timer(self._batch_seconds,
+                                                     self._deadline_sync)
+                    self._deadline.daemon = True
+                    self._deadline.start()
+            return seq
+
+    def _sync_locked(self) -> None:
+        """Fsync and reset the batch window (caller holds the lock).
+
+        An armed deadline timer is deliberately *not* cancelled — it
+        no-ops on an empty window when it fires — so steady load arms at
+        most one short-lived timer thread per ``batch_seconds`` instead
+        of creating and cancelling one per window on the append path.
+        """
+        os.fsync(self._handle.fileno())
+        self._pending = 0
+        self._last_sync = time.monotonic()
+
+    def _deadline_sync(self) -> None:
+        with self._lock:
+            self._deadline = None
+            if self._handle is not None and self._pending:
+                self._handle.flush()
+                self._sync_locked()
+
+    def sync(self) -> None:
+        """Force pending appends to disk (any policy, including off)."""
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.flush()
+            self._sync_locked()
+
+    def close(self) -> None:
+        """Flush, fsync (unless the policy is ``off``), and close."""
+        with self._lock:
+            if self._deadline is not None:
+                self._deadline.cancel()
+                self._deadline = None
+            if self._handle is None:
+                return
+            self._handle.flush()
+            if self.fsync != "off":
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def compact(self, keep_after_seq: int) -> int:
+        """Atomically rewrite the ledger keeping only records with
+        ``seq > keep_after_seq`` (they post-date the checkpoint that just
+        folded everything else in); returns how many records survive.
+
+        Refuses (:class:`DurabilityError`) if the ledger does not decode
+        cleanly end to end: compaction must never silently discard lines
+        recovery would have flagged.  Works whether the writer is open
+        (the handle is re-pointed at the new file) or already closed
+        (checkpoint-on-drain runs after the service shut down).
+        """
+        with self._lock:
+            was_open = self._handle is not None
+            if was_open:
+                self._handle.flush()
+                if self.fsync != "off":
+                    os.fsync(self._handle.fileno())
+                self._handle.close()
+                self._handle = None
+            surviving: list[str] = []
+            if self.path.exists():
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    for number, line in enumerate(handle, start=1):
+                        text = line.rstrip("\n")
+                        if not text:
+                            continue
+                        try:
+                            record = decode_line(text)
+                        except ValueError as exc:
+                            raise DurabilityError(
+                                f"refusing to compact {self.path}: line "
+                                f"{number} is damaged ({exc}); recover "
+                                f"first") from None
+                        if record["seq"] > keep_after_seq:
+                            surviving.append(text)
+            atomic_replace(self.path,
+                           "".join(text + "\n" for text in surviving))
+            if was_open:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            return len(surviving)
+
+
+@dataclass(frozen=True)
+class LedgerTail:
+    """What the reader found at (or after) the last valid record.
+
+    ``status`` is ``"ok"`` (clean end), ``"torn"`` (the trailing
+    append(s) were cut mid-write and nothing valid follows), or
+    ``"corrupt"`` (a damaged record is *followed* by valid ones —
+    interior damage, not a crash artifact).  For a torn tail,
+    ``salvage`` carries the best-effort decode of the damaged line when
+    it still names a usable charge (see
+    :func:`repro.persistence.records.salvage_charge`).
+    """
+
+    status: str = "ok"
+    line_no: int | None = None
+    reason: str | None = None
+    raw: str | None = None
+    salvage: dict | None = field(default=None)
+
+
+def read_ledger(path: str | Path) -> tuple[list[dict], LedgerTail]:
+    """Read every valid record (in order) plus the tail diagnosis.
+
+    Sequence numbers must be strictly increasing; a regression counts as
+    damage at that line.  A missing file reads as empty + clean.
+
+    A final line without its trailing newline is *always* torn — even
+    when it decodes — because the append that wrote it never completed
+    (its fsync never returned, its response was never acknowledged), and
+    because appending after an unterminated line would glue two records
+    together into interior corruption.  When such a line still passes
+    its checksum it is offered as ``salvage`` so permissive recovery can
+    keep the charge (over-count, never re-grant).
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], LedgerTail()
+    text = path.read_bytes().decode("utf-8", errors="replace")
+    terminated = text.endswith("\n")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # trailing newline after the last record
+    records: list[dict] = []
+    last_seq = 0
+    for index, line in enumerate(lines):
+        final = index == len(lines) - 1
+        try:
+            if not line:
+                raise ValueError("blank line")
+            if final and not terminated:
+                raise ValueError("unterminated final append")
+            record = decode_line(line)
+            if record["seq"] <= last_seq:
+                raise ValueError(
+                    f"sequence regressed ({record['seq']} after {last_seq})")
+        except ValueError as exc:
+            remainder = lines[index + 1:]
+            if any(_line_is_valid(later, last_seq) for later in remainder):
+                return records, LedgerTail(
+                    status="corrupt", line_no=index + 1, reason=str(exc),
+                    raw=line)
+            salvage = salvage_charge(line)
+            if salvage is not None and \
+                    isinstance(salvage.get("seq"), int) and \
+                    salvage["seq"] <= last_seq:
+                salvage = None  # a replayed/duplicated line, not a charge
+            return records, LedgerTail(
+                status="torn", line_no=index + 1, reason=str(exc), raw=line,
+                salvage=salvage)
+        records.append(record)
+        last_seq = record["seq"]
+    return records, LedgerTail()
+
+
+def _line_is_valid(line: str, after_seq: int) -> bool:
+    if not line:
+        return False
+    try:
+        return decode_line(line)["seq"] > after_seq
+    except ValueError:
+        return False
+
+
+def repair_torn_tail(path: str | Path) -> int:
+    """Rewrite a torn ledger so appends cannot land on the damaged line.
+
+    Called by the durability manager after a *permissive* recovery
+    replayed a torn tail and before the writer reopens: without this, a
+    clean file on disk would end in the damaged fragment, the next
+    append would concatenate onto it, and the next restart would read
+    valid-records-after-damage — interior corruption, which recovery
+    refuses forever.
+
+    Keeps every valid record; a salvageable torn charge (the one
+    permissive recovery applied) is re-terminated as a *valid* record —
+    it keeps its own sequence number, which the reader already verified
+    is fresh — so a later recovery replays the same totals.  Atomic
+    (tmp + fsync + rename).  Returns the repaired file's last sequence
+    number.  Raises :class:`DurabilityError` on interior corruption:
+    that is never repairable, only refusable.
+    """
+    path = Path(path)
+    records, tail = read_ledger(path)
+    last_seq = records[-1]["seq"] if records else 0
+    if tail.status == "corrupt":
+        raise DurabilityError(
+            f"ledger {path} has interior corruption at line "
+            f"{tail.line_no}; refusing to repair (dropping a mid-ledger "
+            f"record would under-count spent budget)")
+    if tail.status == "ok":
+        return last_seq
+    lines = [encode_record(record) for record in records]
+    if tail.salvage is not None:
+        lines.append(encode_record(tail.salvage))
+        last_seq = tail.salvage["seq"]
+    atomic_replace(path, "".join(line + "\n" for line in lines))
+    return last_seq
+
+
+__all__ = [
+    "DEFAULT_BATCH_RECORDS",
+    "DEFAULT_BATCH_SECONDS",
+    "FSYNC_POLICIES",
+    "LedgerTail",
+    "LedgerWriter",
+    "atomic_replace",
+    "read_ledger",
+    "repair_torn_tail",
+]

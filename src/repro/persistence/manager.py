@@ -1,0 +1,274 @@
+"""The durability manager: one data directory, one service, one ledger.
+
+:class:`DurabilityManager` owns a data directory::
+
+    data_dir/
+      checkpoint.json   # versioned snapshot (atomic rename)
+      ledger.jsonl      # write-ahead budget ledger (append-only)
+
+and binds to exactly one :class:`repro.service.service.QueryService`
+(the service calls :meth:`bind` from its constructor when built with
+``durability=``).  Binding performs recovery first — checkpoint restore
+plus ledger-tail replay — then attaches the provenance commit hook and
+opens the ledger writer at the next sequence number, so nothing the
+replay applies is ever re-journaled.
+
+From then on every finalised charge (committed reservation or direct
+add, across all three mechanisms) and every session open/close appends
+one fsync-policied record *before* the triggering request can be
+acknowledged.  :meth:`checkpoint` folds the ledger into a fresh
+snapshot: capture the current sequence number, write the checkpoint
+atomically, then compact the ledger down to records newer than the
+captured sequence.  A crash between those two steps is safe — recovery
+skips replayed records at or below the checkpoint's ``ledger_seq``.
+
+A checkpoint taken while traffic is in flight never under-counts (the
+sequence number is captured *before* the state is read, and a charge's
+in-memory effect precedes its sequence assignment); it may over-count
+in-flight charges that also remain in the ledger tail.  Checkpoint at
+drain — as ``repro serve`` does — for an exact fold.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: no advisory locking available
+    fcntl = None
+
+from repro.exceptions import DurabilityError
+from repro.persistence.checkpoint import checkpoint_payload, write_checkpoint
+from repro.persistence.ledger import (
+    DEFAULT_BATCH_RECORDS,
+    DEFAULT_BATCH_SECONDS,
+    FSYNC_POLICIES,
+    LedgerWriter,
+    repair_torn_tail,
+)
+from repro.persistence.recovery import (
+    CHECKPOINT_FILE,
+    LEDGER_FILE,
+    RECOVERY_MODES,
+    RecoveryReport,
+    recover_service,
+)
+
+
+#: Advisory lock file inside a data directory: exactly one process may
+#: journal into (or compact) a data dir at a time.
+LOCK_FILE = "lock"
+
+
+def acquire_data_dir_lock(data_dir: str | Path):
+    """Exclusive, non-blocking advisory lock on a data directory.
+
+    Returns the open lock-file handle (``None`` where ``flock`` is
+    unavailable); raises :class:`DurabilityError` when another process —
+    a live daemon or an offline tool — holds it.  Read-only tools take
+    it too: reading the checkpoint and the ledger while a daemon
+    compacts between the two reads would report under-counted totals.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        return None
+    handle = open(Path(data_dir) / LOCK_FILE, "a+")
+    try:
+        fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        handle.close()
+        raise DurabilityError(
+            f"data directory {data_dir} is locked by another process "
+            f"(a live daemon, or an offline recover/checkpoint run); "
+            f"stop it first"
+        ) from None
+    return handle
+
+
+def release_data_dir_lock(handle) -> None:
+    if handle is None:
+        return
+    if fcntl is not None:
+        fcntl.flock(handle, fcntl.LOCK_UN)
+    handle.close()
+
+
+class DurabilityManager:
+    """Durable accounting for one query service (see module docstring).
+
+    Binding takes an exclusive advisory ``flock`` on ``data_dir/lock``
+    (released on :meth:`close`); the offline compaction path re-acquires
+    it.  Without this, ``repro checkpoint`` cron'd against a *live*
+    daemon's directory would rename the ledger out from under the
+    daemon's open writer handle — every later acknowledged charge would
+    land in the detached inode and vanish from recovery, the under-count
+    direction.  Two daemons on one directory are refused the same way.
+    """
+
+    def __init__(self, data_dir: str | Path, fsync: str = "always",
+                 recover: str = "strict",
+                 batch_records: int = DEFAULT_BATCH_RECORDS,
+                 batch_seconds: float = DEFAULT_BATCH_SECONDS) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(f"unknown fsync policy {fsync!r}; "
+                                  f"choose from {FSYNC_POLICIES}")
+        if recover not in RECOVERY_MODES:
+            raise DurabilityError(f"unknown recovery mode {recover!r}; "
+                                  f"choose from {RECOVERY_MODES}")
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.recover_mode = recover
+        self._batch_records = batch_records
+        self._batch_seconds = batch_seconds
+        self._bind_lock = threading.Lock()
+        self._checkpoint_lock = threading.Lock()
+        # Weakly held: a strong reference would close a cycle
+        # (service -> manager -> service) that delays GC — and with it
+        # the release of the ledger fd and directory lock — after an
+        # abandoned (crash-simulating) service is dropped.
+        self._service_ref: weakref.ref | None = None
+        self._writer: LedgerWriter | None = None
+        self._dir_lock = None
+        #: Report of the recovery pass :meth:`bind` ran (None before).
+        self.last_recovery: RecoveryReport | None = None
+
+    @property
+    def _service(self):
+        return self._service_ref() if self._service_ref is not None \
+            else None
+
+    def _acquire_dir_lock(self):
+        return acquire_data_dir_lock(self.data_dir)
+
+    @property
+    def ledger_path(self) -> Path:
+        return self.data_dir / LEDGER_FILE
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.data_dir / CHECKPOINT_FILE
+
+    # -- lifecycle -------------------------------------------------------------
+    def bind(self, service) -> RecoveryReport:
+        """Recover ``service`` from the data directory, then start
+        journaling its charges and session events.  Called by
+        ``QueryService(durability=...)``; one manager serves one service.
+        """
+        with self._bind_lock:
+            if self._service_ref is not None:
+                raise DurabilityError(
+                    "DurabilityManager is already bound to a service")
+            self._dir_lock = self._acquire_dir_lock()
+            try:
+                report = recover_service(service, self.data_dir,
+                                         mode=self.recover_mode)
+                next_seq = report.next_seq
+                if report.torn_tail:
+                    # Permissive recovery replayed past a damaged final
+                    # line; rewrite the file before appending, or the
+                    # next record would concatenate onto the fragment
+                    # and turn a recoverable torn tail into interior
+                    # corruption.
+                    repaired_last = repair_torn_tail(self.ledger_path)
+                    next_seq = max(next_seq, repaired_last + 1)
+                self._writer = LedgerWriter(
+                    self.ledger_path, fsync=self.fsync,
+                    next_seq=next_seq,
+                    batch_records=self._batch_records,
+                    batch_seconds=self._batch_seconds)
+            except BaseException:
+                self._release_dir_lock()
+                raise
+            service.engine.provenance.on_commit = self._on_charge
+            self._service_ref = weakref.ref(service)
+            self.last_recovery = report
+            return report
+
+    def _release_dir_lock(self) -> None:
+        release_data_dir_lock(self._dir_lock)
+        self._dir_lock = None
+
+    def close(self) -> None:
+        """Final fsync (policy permitting), close the ledger writer, and
+        release the data-directory lock."""
+        if self._writer is not None:
+            self._writer.close()
+        self._release_dir_lock()
+
+    # -- journaling (hot path) -------------------------------------------------
+    def _on_charge(self, analyst: str, view: str, epsilon: float,
+                   mode: str, meta) -> None:
+        record = {"t": "charge", "analyst": analyst, "view": view,
+                  "eps": float(epsilon), "mode": mode}
+        if meta:
+            if "releases" in meta:
+                record["releases"] = int(meta["releases"])
+            if "rho" in meta:
+                record["rho"] = float(meta["rho"])
+            if "global_after" in meta:
+                record["global_after"] = float(meta["global_after"])
+        self._writer.append(record)
+
+    def record_session_event(self, event: str, session_id: int,
+                             analyst: str) -> None:
+        """Journal a session open/close (no-op once the writer closed —
+        late idempotent close_session calls after shutdown are fine)."""
+        writer = self._writer
+        if writer is None or writer.closed:
+            return
+        writer.append({"t": "session", "event": event,
+                       "session_id": int(session_id), "analyst": analyst})
+
+    # -- compaction --------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Fold the ledger into a fresh checkpoint; returns the payload.
+
+        Works while serving (never under-counts; may over-count charges
+        in flight) and after shutdown (the drain-time call) — the writer
+        handle is reopened transparently if still live.  Concurrent
+        checkpoints serialise on an internal lock: interleaving a stale
+        checkpoint write with a newer one's compaction could discard
+        ledger records the surviving checkpoint does not contain — an
+        under-count, the forbidden direction.
+        """
+        service = self._service
+        if service is None or self._writer is None:
+            raise DurabilityError("manager is not bound to a service")
+        with self._checkpoint_lock:
+            # After close() the directory lock was released (the daemon
+            # drained); re-take it for the fold so a concurrent process
+            # cannot be journaling into the files we rewrite.
+            reacquired = None
+            if self._dir_lock is None:
+                reacquired = self._acquire_dir_lock()
+            try:
+                if not self._writer.closed:
+                    self._writer.sync()
+                seq = self._writer.last_seq
+                payload = checkpoint_payload(service.engine, seq)
+                write_checkpoint(self.checkpoint_path, payload)
+                self._writer.compact(keep_after_seq=seq)
+                return payload
+            finally:
+                if reacquired is not None:
+                    release_data_dir_lock(reacquired)
+
+    # -- reporting ---------------------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-native block for ``QueryService.snapshot()``."""
+        return {
+            "enabled": True,
+            "data_dir": str(self.data_dir),
+            "fsync": self.fsync,
+            "recover": self.recover_mode,
+            "ledger_seq": (self._writer.last_seq if self._writer else 0),
+            "recovered_charges": (self.last_recovery.charges_applied
+                                  if self.last_recovery else 0),
+        }
+
+
+__all__ = ["DurabilityManager", "LOCK_FILE", "acquire_data_dir_lock",
+           "release_data_dir_lock"]

@@ -1,0 +1,128 @@
+"""Ledger record encoding: one self-checksummed JSON object per line.
+
+The write-ahead budget ledger (:mod:`repro.persistence.ledger`) appends
+exactly one line per durable event.  Two record types exist:
+
+``charge``
+    One finalised privacy charge — a committed
+    :meth:`repro.core.provenance.ProvenanceTable.reserve` or a direct
+    :meth:`~repro.core.provenance.ProvenanceTable.add` — carrying the
+    analyst, view, epsilon, the composition mode it was checked under,
+    and mechanism annotations (delta-ledger ``releases``, the zCDP
+    ``rho``, the additive chain's ``global_after``).
+
+``session``
+    A service session opening or closing.  Replay ignores these for
+    state (sessions never survive a restart) but reports how many were
+    interrupted.
+
+Every record carries a monotonically increasing ``seq`` and a ``crc``
+(CRC-32 of the canonical JSON of the record minus the ``crc`` field), so
+a reader can tell a *torn tail* — a partially flushed final append, the
+normal artifact of a crash — from interior corruption.  Canonical JSON
+means sorted keys and no whitespace; the checksum is therefore stable
+across Python versions.
+"""
+
+from __future__ import annotations
+
+import binascii
+import json
+
+#: Record types the ledger understands.
+RECORD_TYPES = ("charge", "session")
+
+#: Session events the ``session`` record type carries.
+SESSION_EVENTS = ("open", "close")
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _crc(payload: dict) -> str:
+    return format(binascii.crc32(_canonical(payload)) & 0xFFFFFFFF, "08x")
+
+
+def encode_record(record: dict) -> str:
+    """Serialise one record to its ledger line (no trailing newline).
+
+    Any pre-existing ``crc`` is discarded and recomputed, so re-encoding
+    a decoded record is the identity.
+    """
+    body = {key: value for key, value in record.items() if key != "crc"}
+    body["crc"] = _crc(body)
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def decode_line(line: str) -> dict:
+    """Parse and validate one ledger line; raises ``ValueError`` on any
+    defect (malformed JSON, checksum mismatch, unknown type, missing or
+    mistyped fields) — the reader maps the *position* of the failure to
+    torn-tail vs corruption semantics."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from None
+    if not isinstance(record, dict):
+        raise ValueError("record is not a JSON object")
+    crc = record.get("crc")
+    body = {key: value for key, value in record.items() if key != "crc"}
+    if not isinstance(crc, str) or crc != _crc(body):
+        raise ValueError("checksum mismatch")
+    kind = record.get("t")
+    if kind not in RECORD_TYPES:
+        raise ValueError(f"unknown record type {kind!r}")
+    seq = record.get("seq")
+    if not isinstance(seq, int) or seq < 1:
+        raise ValueError(f"bad sequence number {seq!r}")
+    if kind == "charge":
+        _require_charge_fields(record)
+    else:
+        if record.get("event") not in SESSION_EVENTS:
+            raise ValueError(f"bad session event {record.get('event')!r}")
+        if not isinstance(record.get("analyst"), str):
+            raise ValueError("session record needs an 'analyst' string")
+    return record
+
+
+def _require_charge_fields(record: dict) -> None:
+    if not isinstance(record.get("analyst"), str):
+        raise ValueError("charge record needs an 'analyst' string")
+    if not isinstance(record.get("view"), str):
+        raise ValueError("charge record needs a 'view' string")
+    eps = record.get("eps")
+    if not isinstance(eps, (int, float)) or isinstance(eps, bool) or eps < 0:
+        raise ValueError(f"charge record needs a non-negative 'eps', "
+                         f"got {eps!r}")
+
+
+def salvage_charge(line: str) -> dict | None:
+    """Read a torn final line for permissive recovery — iff provably
+    intact.
+
+    Only a line whose checksum still validates is trusted (the typical
+    case: a complete fsync'd append that merely lost its trailing
+    newline).  A line that parses as JSON but fails its crc is *not*
+    salvaged: its fields may have been damaged in either direction, and
+    replaying e.g. a bit-flipped smaller epsilon would under-count an
+    acknowledged charge — the forbidden direction.  Dropping an
+    unverifiable line is safe under the crash model: an append whose
+    checksummed line never became durable never returned from fsync,
+    hence its response was never acknowledged.
+    """
+    try:
+        record = decode_line(line)
+    except ValueError:
+        return None
+    return record if record["t"] == "charge" else None
+
+
+__all__ = [
+    "RECORD_TYPES",
+    "SESSION_EVENTS",
+    "decode_line",
+    "encode_record",
+    "salvage_charge",
+]

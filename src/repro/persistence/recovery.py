@@ -1,0 +1,270 @@
+"""Crash recovery: rebuild accounting as checkpoint ⊕ ledger-tail replay.
+
+:func:`recover_service` takes a *freshly built* :class:`repro.service
+.service.QueryService` (same dataset, mechanism, and analyst roster as
+the crashed process — recovery validates all three) and replays the data
+directory into it:
+
+1. restore the checkpoint, if any (full engine state, including
+   synopses, the delta ledger, zCDP rho ledgers);
+2. replay every ledger record with ``seq > checkpoint.ledger_seq``:
+   ``charge`` records re-apply the provenance charge, the delta-ledger
+   release slots, and the zCDP rho; ``session`` records are counted
+   (sessions never survive a restart — clients must re-open);
+3. for the additive mechanism, compare each view's ledger-recorded
+   global-chain budget against the restored global synopsis and bank any
+   gap in ``_global_epsilon_base`` so the per-view guarantee keeps
+   counting budget whose noise values died with the process.
+
+Replay is *constraint-free* (``ProvenanceTable.add``): the charges were
+already admitted once, and re-checking could only reject — i.e. forget —
+spent budget.  The direction of every compromise here is over-counting:
+recovered totals are **>=** the totals at every acknowledged charge,
+never below.
+
+Torn vs corrupt tails
+---------------------
+A *torn tail* (final append cut mid-write, nothing valid after it) is
+the expected crash artifact.  ``mode="strict"`` (the default) refuses to
+serve on one — the operator confirms the situation and reruns with
+``mode="permissive"``, which applies the damaged line's charge when it
+is still readable (over-count) or drops it (it was never fsync'd, hence
+never acknowledged under ``fsync=always``).  *Interior* corruption — a
+damaged record followed by valid ones — is refused in both modes:
+skipping a mid-ledger record would under-count, and under-counting is
+the one unforgivable failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.additive import AdditiveGaussianMechanism
+from repro.core.persistence import restore_engine_state
+from repro.core.zcdp_vanilla import ZCdpVanillaMechanism
+from repro.exceptions import RecoveryError, ReproError
+from repro.persistence.checkpoint import read_checkpoint
+from repro.persistence.ledger import read_ledger
+from repro.persistence.schema import provenance_summary
+
+#: Recovery modes: strict refuses torn tails, permissive replays past
+#: them (only ever over-counting spent budget).
+RECOVERY_MODES = ("strict", "permissive")
+
+#: File names inside a durability data directory.
+CHECKPOINT_FILE = "checkpoint.json"
+LEDGER_FILE = "ledger.jsonl"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one recovery pass found and rebuilt."""
+
+    data_dir: str
+    mode: str
+    checkpoint_found: bool
+    checkpoint_seq: int
+    records_seen: int
+    charges_applied: int
+    epsilon_replayed: float
+    sessions_interrupted: int
+    torn_tail: bool
+    salvaged_charges: int
+    next_seq: int
+    provenance: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "data_dir": self.data_dir, "mode": self.mode,
+            "checkpoint_found": self.checkpoint_found,
+            "checkpoint_seq": self.checkpoint_seq,
+            "records_seen": self.records_seen,
+            "charges_applied": self.charges_applied,
+            "epsilon_replayed": self.epsilon_replayed,
+            "sessions_interrupted": self.sessions_interrupted,
+            "torn_tail": self.torn_tail,
+            "salvaged_charges": self.salvaged_charges,
+            "next_seq": self.next_seq,
+            "provenance": self.provenance,
+        }
+
+
+def format_recovery_report(report: RecoveryReport) -> str:
+    """Operator-facing recovery summary (the ``repro recover`` output)."""
+    lines = [f"recovery ({report.mode}) from {report.data_dir}:"]
+    checkpoint = (f"restored (seq <= {report.checkpoint_seq})"
+                  if report.checkpoint_found else "none")
+    lines.append(f"  checkpoint: {checkpoint}")
+    lines.append(f"  ledger: {report.records_seen} record(s) seen, "
+                 f"{report.charges_applied} charge(s) replayed "
+                 f"(eps {report.epsilon_replayed:.6f})")
+    if report.torn_tail:
+        lines.append(f"  torn tail: yes — "
+                     f"{report.salvaged_charges} charge(s) salvaged "
+                     f"(over-counted, never re-granted)")
+    if report.sessions_interrupted:
+        lines.append(f"  sessions interrupted by the crash: "
+                     f"{report.sessions_interrupted}")
+    eps = report.provenance.get("epsilon_by_analyst", {})
+    for name in sorted(eps):
+        lines.append(f"  {name}: eps {eps[name]:.6f}")
+    lines.append(f"  table total: "
+                 f"{report.provenance.get('table_total', 0.0):.6f}")
+    return "\n".join(lines)
+
+
+def recover_service(service, data_dir: str | Path,
+                    mode: str = "strict") -> RecoveryReport:
+    """Rebuild ``service``'s accounting from ``data_dir``; see module doc.
+
+    The service must be freshly built (no traffic yet) over the same
+    dataset/mechanism/analysts; an empty or absent data directory
+    recovers to a no-op report.  Raises :class:`RecoveryError` on a
+    strict-mode torn tail, on interior corruption, and on any mismatch
+    between the stored state and the engine being recovered into.
+    """
+    if mode not in RECOVERY_MODES:
+        raise RecoveryError(f"unknown recovery mode {mode!r}; "
+                            f"choose from {RECOVERY_MODES}")
+    data_dir = Path(data_dir)
+    engine = service.engine
+    if engine.provenance.table_total() != 0.0:
+        raise RecoveryError("recovery needs a freshly built service "
+                            "(its provenance table already has charges)")
+
+    checkpoint = read_checkpoint(data_dir / CHECKPOINT_FILE)
+    checkpoint_seq = 0
+    if checkpoint is not None:
+        try:
+            restore_engine_state(engine, checkpoint["engine"])
+        except ReproError as exc:
+            raise RecoveryError(
+                f"checkpoint does not match this service: {exc}") from exc
+        checkpoint_seq = checkpoint["ledger_seq"]
+
+    records, tail = read_ledger(data_dir / LEDGER_FILE)
+    if tail.status == "corrupt":
+        raise RecoveryError(
+            f"ledger {data_dir / LEDGER_FILE} line {tail.line_no} is "
+            f"damaged ({tail.reason}) but valid records follow — interior "
+            f"corruption, refusing to recover in any mode (skipping the "
+            f"record would under-count spent budget)")
+    torn = tail.status == "torn"
+    if torn and mode != "permissive":
+        raise RecoveryError(
+            f"ledger {data_dir / LEDGER_FILE} has a torn tail at line "
+            f"{tail.line_no} ({tail.reason}) — the normal artifact of a "
+            f"crash mid-append; rerun with recover mode 'permissive' to "
+            f"replay past it (which can only over-count spent budget), "
+            f"or inspect with `repro recover`")
+
+    charges = 0
+    epsilon_replayed = 0.0
+    opens = closes = 0
+    last_seq = checkpoint_seq
+    global_after: dict[str, float] = {}
+    if engine.provenance.on_commit is not None:
+        # Replaying through a live hook would re-journal every restored
+        # charge, doubling totals on the next recovery.
+        raise RecoveryError(
+            "recovery must run before durability hooks attach "
+            "(the provenance table already has an on_commit hook)")
+    for record in records:
+        last_seq = max(last_seq, record["seq"])
+        if record["seq"] <= checkpoint_seq:
+            continue  # already folded into the checkpoint
+        if record["t"] == "charge":
+            _apply_charge(engine, record, global_after)
+            charges += 1
+            epsilon_replayed += float(record["eps"])
+        elif record["event"] == "open":
+            opens += 1
+        else:
+            closes += 1
+
+    salvaged = 0
+    if torn and tail.salvage is not None:
+        # A salvage line passed decode_line, so its seq is a validated
+        # int; the reader already discarded stale-seq salvages.
+        seq = tail.salvage["seq"]
+        if seq > checkpoint_seq:
+            _apply_charge(engine, tail.salvage, global_after)
+            charges += 1
+            salvaged = 1
+            epsilon_replayed += float(tail.salvage["eps"])
+            last_seq = max(last_seq, seq)
+
+    _bank_global_bases(engine, global_after)
+    return RecoveryReport(
+        data_dir=str(data_dir), mode=mode,
+        checkpoint_found=checkpoint is not None,
+        checkpoint_seq=checkpoint_seq,
+        records_seen=len(records) + salvaged,
+        charges_applied=charges,
+        epsilon_replayed=epsilon_replayed,
+        sessions_interrupted=max(0, opens - closes),
+        torn_tail=torn, salvaged_charges=salvaged,
+        next_seq=last_seq + 1,
+        provenance=provenance_summary(engine),
+    )
+
+
+def _apply_charge(engine, record: dict, global_after: dict) -> None:
+    """Re-apply one finalised charge, constraint-free."""
+    analyst = record["analyst"]
+    view = record["view"]
+    epsilon = float(record["eps"])
+    mechanism = engine.mechanism
+    try:
+        engine.provenance.add(analyst, view, epsilon)
+    except ReproError as exc:
+        raise RecoveryError(
+            f"ledger charge seq {record.get('seq', '?')} does not fit this "
+            f"service ({exc}); rebuild with the same analyst roster and "
+            f"views as the crashed process") from exc
+    releases = record.get("releases", 0)
+    if releases:
+        with mechanism._ledger_lock:
+            mechanism._release_counts[analyst] = \
+                mechanism._release_counts.get(analyst, 0) + int(releases)
+    rho = record.get("rho")
+    if rho is not None and isinstance(mechanism, ZCdpVanillaMechanism):
+        rho = float(rho)
+        with mechanism._rho_lock:
+            mechanism._row_rho[analyst] = \
+                mechanism._row_rho.get(analyst, 0.0) + rho
+            mechanism._column_rho[view] = \
+                mechanism._column_rho.get(view, 0.0) + rho
+            mechanism._total_rho += rho
+    after = record.get("global_after")
+    if after is not None:
+        global_after[view] = max(global_after.get(view, 0.0), float(after))
+
+
+def _bank_global_bases(engine, global_after: dict) -> None:
+    """Additive mechanism: budget the ledger proves was realised on a
+    global chain beyond what the restored store holds is banked as a
+    per-view base so ``psi_V`` keeps counting it (over-count, never
+    re-grant).  The stale synopsis itself is kept — it was published,
+    re-serving it is free."""
+    mechanism = engine.mechanism
+    if not isinstance(mechanism, AdditiveGaussianMechanism):
+        return
+    for view, realised in global_after.items():
+        current = mechanism.store.global_synopsis(view)
+        held = current.epsilon if current is not None else 0.0
+        gap = realised - held
+        if gap > 0.0:
+            mechanism._global_epsilon_base[view] = \
+                mechanism._global_epsilon_base.get(view, 0.0) + gap
+
+
+__all__ = [
+    "CHECKPOINT_FILE",
+    "LEDGER_FILE",
+    "RECOVERY_MODES",
+    "RecoveryReport",
+    "format_recovery_report",
+    "recover_service",
+]

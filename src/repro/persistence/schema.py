@@ -1,0 +1,31 @@
+"""Shared accounting-snapshot schema.
+
+``QueryService.snapshot()['provenance']`` and the checkpoint file's
+``provenance`` block are the *same* structure built by the *same*
+function, so the live snapshot an operator reads over the wire and the
+durable record recovery trusts can never drift apart.  Keep this module
+import-light (core engine only): both the service layer and the
+checkpoint writer depend on it.
+"""
+
+from __future__ import annotations
+
+
+def provenance_summary(engine) -> dict:
+    """The canonical JSON accounting block for one engine.
+
+    Strictly JSON-native (string keys, builtin floats): the HTTP
+    ``/v1/snapshot`` endpoint serialises it verbatim and the checkpoint
+    writer embeds it verbatim.
+    """
+    provenance = engine.provenance
+    return {
+        "epsilon_by_analyst": {
+            str(name): float(provenance.row_total(name))
+            for name in engine.analysts
+        },
+        "table_total": float(provenance.table_total()),
+    }
+
+
+__all__ = ["provenance_summary"]

@@ -14,7 +14,7 @@
 The matching client lives in :mod:`repro.client`.
 """
 
-from repro.server.daemon import DrainTimeout, ReproServer
+from repro.server.daemon import DrainTimeout, ReproServer, load_token_table
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     WireFormatError,
@@ -39,4 +39,5 @@ __all__ = [
     "encode_request",
     "encode_response",
     "json_ready",
+    "load_token_table",
 ]

@@ -32,10 +32,13 @@ close.  SIGTERM wiring lives in the CLI (``python -m repro serve``).
 from __future__ import annotations
 
 import json
+import os
 import re
+import stat
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Mapping
 
 from repro.exceptions import ClosedError, ReproError, UnknownAnalyst
@@ -54,6 +57,43 @@ from repro.service.service import QueryService
 DEFAULT_DRAIN_TIMEOUT = 30.0
 
 _SESSION_PATH = re.compile(r"^/v1/sessions/(\d+)(?:/(query|batch))?$")
+
+
+def load_token_table(path: str | Path) -> dict[str, str]:
+    """Load a ``{"token": "analyst", ...}`` table from a JSON file.
+
+    Tokens are credentials: a file readable by other users leaks every
+    analyst's identity to anyone on the host, so a world-readable file
+    (any ``o+rwx`` bit) is rejected outright with the fix spelled out —
+    tighten the mode, don't weaken the check.  The table must be a
+    non-empty JSON object of string -> string; analyst names are
+    validated against the engine roster by :class:`ReproServer`.
+    """
+    path = Path(path)
+    try:
+        mode = os.stat(path).st_mode
+    except OSError as exc:
+        raise ReproError(f"cannot read token file {path}: {exc}") from None
+    if mode & (stat.S_IROTH | stat.S_IWOTH | stat.S_IXOTH):
+        raise ReproError(
+            f"token file {path} is world-readable (mode "
+            f"{stat.S_IMODE(mode):04o}); tokens are credentials — "
+            f"run `chmod 600 {path}` and retry")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"token file {path} is not valid JSON: {exc}") \
+            from None
+    if not isinstance(payload, dict) or not payload:
+        raise ReproError(f"token file {path} must be a non-empty JSON "
+                         f"object mapping token -> analyst")
+    for token, analyst in payload.items():
+        if not isinstance(analyst, str) or not isinstance(token, str) \
+                or not token or not analyst:
+            raise ReproError(
+                f"token file {path}: entries must map non-empty token "
+                f"strings to analyst names (got {token!r}: {analyst!r})")
+    return dict(payload)
 
 
 class DrainTimeout(ReproError):
@@ -326,4 +366,5 @@ def _build_handler(server: ReproServer) -> type:
     return Handler
 
 
-__all__ = ["DEFAULT_DRAIN_TIMEOUT", "DrainTimeout", "ReproServer"]
+__all__ = ["DEFAULT_DRAIN_TIMEOUT", "DrainTimeout", "ReproServer",
+           "load_token_table"]

@@ -276,6 +276,9 @@ class ThroughputResult:
     offered_qps: float = 0.0
     latency_p50_ms: float = 0.0
     latency_p95_ms: float = 0.0
+    #: Durability axis: ``"none"`` (no write-ahead ledger) or the fsync
+    #: policy the service journaled under (``always``/``batch``/``off``).
+    durability: str = "none"
 
     @property
     def queries_per_second(self) -> float:
@@ -298,6 +301,7 @@ class ThroughputResult:
             "total_epsilon_spent": self.total_epsilon_spent,
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p95_ms": self.latency_p95_ms,
+            "durability": self.durability,
         }
 
 
@@ -378,6 +382,8 @@ def run_throughput(service: QueryService, analysts: list[Analyst],
         execution=service.execution,
         shards=(service.sharding.num_shards if service.sharding else 0),
         timings_ms=timings,
+        durability=(service.durability.fsync if service.durability
+                    else "none"),
     )
 
 
@@ -385,7 +391,8 @@ def _delta_result(mode: str, threads: int, stats0: dict, cache0: dict,
                   stats: dict, cache: dict, seconds: float, *,
                   execution: str, shards: int, timings_ms: list[float],
                   transport: str = "inproc", arrival: str = "closed",
-                  offered_qps: float = 0.0) -> ThroughputResult:
+                  offered_qps: float = 0.0,
+                  durability: str = "none") -> ThroughputResult:
     """Fold before/after stats snapshots into one :class:`ThroughputResult`.
 
     Shared by the in-process and remote drivers: both observe the service
@@ -415,6 +422,7 @@ def _delta_result(mode: str, threads: int, stats0: dict, cache0: dict,
             - sum(stats0["epsilon_by_analyst"].values())),
         latency_p50_ms=latency_percentile(timings_ms, 0.50),
         latency_p95_ms=latency_percentile(timings_ms, 0.95),
+        durability=durability,
     )
 
 
@@ -539,6 +547,7 @@ def run_remote_throughput(base_url: str, analysts: list[Analyst],
     after = observer.snapshot()
     observer.close()
     timings = [ms for per_worker in latencies for ms in per_worker]
+    durable = after.get("durability") or {}
     return _delta_result(
         mode, len(pool), before["service"], before["synopsis_cache"],
         after["service"], after["synopsis_cache"], watch.seconds,
@@ -546,13 +555,16 @@ def run_remote_throughput(base_url: str, analysts: list[Analyst],
         shards=after.get("shards", 0),
         timings_ms=timings, transport="remote", arrival=arrival,
         offered_qps=(rate_qps or 0.0),
+        durability=(durable.get("fsync", "none") if durable.get("enabled")
+                    else "none"),
     )
 
 
 def format_throughput(results: list[ThroughputResult],
                       title: str = "service throughput") -> str:
     """Text table comparing load-generation runs (any transport)."""
-    header = (f"{'mode':>8s} {'via':>7s} {'exec':>8s} {'thr':>4s} "
+    header = (f"{'mode':>8s} {'via':>7s} {'exec':>8s} {'dur':>7s} "
+              f"{'thr':>4s} "
               f"{'queries':>8s} {'ans':>7s} {'rej':>6s} {'q/s':>9s} "
               f"{'hit%':>6s} {'fresh':>6s} {'eps':>8s} "
               f"{'p50ms':>7s} {'p95ms':>7s}")
@@ -560,7 +572,8 @@ def format_throughput(results: list[ThroughputResult],
     for r in results:
         via = r.transport if r.arrival == "closed" else "open"
         lines.append(
-            f"{r.mode:>8s} {via:>7s} {r.execution:>8s} {r.threads:>4d} "
+            f"{r.mode:>8s} {via:>7s} {r.execution:>8s} "
+            f"{r.durability:>7s} {r.threads:>4d} "
             f"{r.total_queries:>8d} "
             f"{r.answered:>7d} {r.rejected:>6d} {r.queries_per_second:>9.1f} "
             f"{100.0 * r.answer_cache_hit_rate:>5.1f}% {r.fresh_releases:>6d} "

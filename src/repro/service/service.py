@@ -46,6 +46,7 @@ from repro.exceptions import (
     SessionClosed,
 )
 from repro.metrics.runtime import CacheStats
+from repro.persistence.schema import provenance_summary
 from repro.service.cache import LruSynopsisStore
 from repro.service.planner import BatchPlan, PlannedQuery, plan_batch
 from repro.service.session import QueryRequest, QueryResponse, Session
@@ -127,7 +128,8 @@ class QueryService:
     def __init__(self, engine: DProvDB,
                  max_cached_synopses: int | None = DEFAULT_MAX_CACHED, *,
                  execution: str = "sharded",
-                 shards: int = DEFAULT_NUM_SHARDS) -> None:
+                 shards: int = DEFAULT_NUM_SHARDS,
+                 durability=None) -> None:
         if execution not in EXECUTION_MODES:
             raise ReproError(f"unknown execution mode {execution!r}; "
                              f"choose from {EXECUTION_MODES}")
@@ -163,6 +165,22 @@ class QueryService:
         self.stats = ServiceStats()
         self.sharding = (ShardManager(shards) if execution == "sharded"
                          else None)
+        #: Optional :class:`repro.persistence.DurabilityManager`.  Bound
+        #: last — the manager runs crash recovery against the fully
+        #: constructed service (bounded store in place, no traffic yet)
+        #: and only then attaches the write-ahead ledger hooks, so
+        #: nothing recovery replays is ever re-journaled.
+        self.durability = durability
+        if durability is not None:
+            try:
+                durability.bind(self)
+            except BaseException:
+                # Recovery refused (e.g. strict mode on a torn tail):
+                # the caller never receives the instance, so release the
+                # shard worker pool here or its threads leak.
+                if self.sharding is not None:
+                    self.sharding.close()
+                raise
 
     @classmethod
     def build(cls, bundle: DatasetBundle, analysts: Sequence[Analyst],
@@ -170,11 +188,13 @@ class QueryService:
               max_cached_synopses: int | None = DEFAULT_MAX_CACHED,
               execution: str = "sharded",
               shards: int = DEFAULT_NUM_SHARDS,
+              durability=None,
               **engine_kwargs) -> "QueryService":
         """Construct an engine and wrap it in one step."""
         return cls(DProvDB(bundle, analysts, epsilon, **engine_kwargs),
                    max_cached_synopses=max_cached_synopses,
-                   execution=execution, shards=shards)
+                   execution=execution, shards=shards,
+                   durability=durability)
 
     @property
     def engine(self) -> DProvDB:
@@ -203,6 +223,23 @@ class QueryService:
         self._closed = True
         if self.sharding is not None:
             self.sharding.close()
+        if self.durability is not None:
+            self.durability.close()
+
+    def checkpoint(self) -> dict:
+        """Fold the write-ahead ledger into a fresh checkpoint.
+
+        Returns the checkpoint payload (whose ``provenance`` block is
+        the same schema :meth:`snapshot` serves).  Requires the service
+        to have been built with ``durability=``; callable while serving
+        (never under-counts) and after :meth:`close` — ``repro serve``
+        checkpoints on drain for an exact fold.
+        """
+        if self.durability is None:
+            raise ReproError(
+                "service has no durability manager; build it with "
+                "durability=DurabilityManager(data_dir)")
+        return self.durability.checkpoint()
 
     def _check_open(self) -> None:
         if self._closed:
@@ -229,7 +266,20 @@ class QueryService:
             self._engine._check_analyst(analyst)
             session = Session(next(self._session_ids), analyst)
             self._sessions[session.session_id] = session
-            return session
+        if self.durability is not None:
+            # Journaled outside the sessions lock: the ledger fsync must
+            # never sit inside a lock the submission path also takes.
+            try:
+                self.durability.record_session_event(
+                    "open", session.session_id, analyst)
+            except BaseException:
+                # The caller never receives the handle, so unregister it
+                # — otherwise a journaling failure (disk full) leaks an
+                # uncloseable session into the active map forever.
+                with self._sessions_lock:
+                    self._sessions.pop(session.session_id, None)
+                raise
+        return session
 
     def close_session(self, session: Session | int) -> Session:
         """Close a session (idempotent); its counters remain readable."""
@@ -246,7 +296,10 @@ class QueryService:
                 oldest = next(iter(self._closed_sessions))
                 del self._closed_sessions[oldest]
             del self._sessions[closed.session_id]
-            return closed
+        if self.durability is not None:
+            self.durability.record_session_event(
+                "close", closed.session_id, closed.analyst)
+        return closed
 
     def active_sessions(self) -> tuple[Session, ...]:
         with self._sessions_lock:
@@ -419,7 +472,6 @@ class QueryService:
             service = self.stats.as_dict()
         with self._sessions_lock:
             open_sessions = len(self._sessions)
-        provenance = self._engine.provenance
         return {
             "service": service,
             "synopsis_cache": {key: (float(value) if key == "hit_rate"
@@ -430,13 +482,13 @@ class QueryService:
             "execution": self._execution,
             "shards": (self.sharding.num_shards if self.sharding else 0),
             "closed": self._closed,
-            "provenance": {
-                "epsilon_by_analyst": {
-                    str(name): float(provenance.row_total(name))
-                    for name in self._engine.analysts
-                },
-                "table_total": float(provenance.table_total()),
-            },
+            # The same block the checkpoint file embeds — one builder,
+            # one schema, so the live snapshot and the durable record
+            # can never drift (see repro.persistence.schema).
+            "provenance": provenance_summary(self._engine),
+            "durability": (self.durability.describe()
+                           if self.durability is not None
+                           else {"enabled": False}),
         }
 
 
