@@ -28,17 +28,24 @@ from __future__ import annotations
 
 import argparse
 
+from repro.service.sharding import DEFAULT_NUM_SHARDS
 from repro.experiments.service_throughput import (
     DURABILITY_OFF_FLOOR,
+    FASTPATH_SPEEDUP_TARGET,
     SPEEDUP_TARGET,
     check_durability_matches_baseline,
+    check_fastpath_speedup,
     check_remote_matches_inproc,
     durability_tax,
+    fastpath_comparable,
+    fastpath_speedup,
     format_durability_comparison,
+    format_profile,
     format_remote_comparison,
     format_service_throughput,
     format_sharding_comparison,
     run_durability_comparison,
+    run_profile,
     run_remote_comparison,
     run_service_throughput,
     run_sharding_comparison,
@@ -211,6 +218,24 @@ def main(argv: list[str] | None = None) -> int:
                              "fsync-policy q/s tax (none vs "
                              "off/batch/always), asserting identical "
                              "accounting and the fsync=off >= 0.9x floor")
+    parser.add_argument("--profile", action="store_true",
+                        help="also cProfile one inline (single-thread) "
+                             "replay and print/emit the top-20 cumulative "
+                             "hotspot table (a 'profile' block in the "
+                             "--json artifact) so perf work stays "
+                             "profile-driven")
+    parser.add_argument("--no-fast-lane", action="store_true",
+                        help="disable the memoized-answer fast lane for "
+                             "the main run (measures the slow path; "
+                             "accounting is identical either way)")
+    parser.add_argument("--require-fastpath-speedup", type=float,
+                        default=None, metavar="FACTOR",
+                        help="assert best q/s >= FACTOR x the pre-overhaul "
+                             "committed baseline per mode (the hot-path "
+                             "overhaul's %.1fx acceptance bar; only "
+                             "meaningful at default scale on hardware "
+                             "comparable to the reference container)"
+                             % FASTPATH_SPEEDUP_TARGET)
     parser.add_argument("--require-speedup", type=float, default=0.95,
                         help="minimum sharded/global q/s ratio to accept; "
                              "the default is an anti-regression floor for "
@@ -238,11 +263,63 @@ def main(argv: list[str] | None = None) -> int:
         kwargs["epsilon"] = max(kwargs["epsilon"],
                                 COMPARE_KWARGS["epsilon"])
         kwargs["accuracy"] = 2e5
+    kwargs["fast_lane"] = not args.no_fast_lane
     results = run_service_throughput(**kwargs)
     print(format_service_throughput(results))
     check_batched_beats_single(results, strict_qps=not args.tiny)
     print("ok: batched planning answers more with less budget "
           "(q/s within tolerance)")
+
+    # The fast-path block is only comparable at the configuration the
+    # baseline was measured under (one shared predicate with the CLI).
+    fast_path_comparable = fastpath_comparable(
+        dataset=kwargs["dataset"], rows=kwargs["num_rows"],
+        analysts=kwargs["num_analysts"],
+        queries=kwargs["queries_per_analyst"], threads=kwargs["threads"],
+        shards=kwargs.get("shards", DEFAULT_NUM_SHARDS),
+        batch_size=kwargs["batch_size"],
+        epsilon=kwargs["epsilon"], seed=kwargs["seed"],
+        workload=kwargs["workload"], execution=kwargs["execution"],
+        fast_lane=kwargs["fast_lane"])
+    if fast_path_comparable:
+        speedup = fastpath_speedup(results)
+        print("fast path vs pre-overhaul baseline: "
+              + ", ".join(f"{mode} {ratio:.2f}x"
+                          for mode, ratio in sorted(speedup.items()))
+              + f" (target {FASTPATH_SPEEDUP_TARGET:.1f}x)")
+    if args.require_fastpath_speedup is not None:
+        if not fast_path_comparable:
+            parser.error(
+                "--require-fastpath-speedup needs a run comparable to the "
+                "committed baseline: default (non --tiny) scale, mixed "
+                "workload, sharded execution with default threads/shards, "
+                "fast lane enabled")
+        check_fastpath_speedup(results,
+                               factor=args.require_fastpath_speedup)
+        print(f"ok: hot path holds >= "
+              f"{args.require_fastpath_speedup:.2f}x over the "
+              f"pre-overhaul baseline")
+
+    profile = None
+    if args.profile:
+        profile_kwargs = dict(
+            dataset=kwargs.get("dataset", "adult"),
+            num_rows=kwargs.get("num_rows", 12000),
+            num_analysts=kwargs.get("num_analysts", 8),
+            queries_per_analyst=kwargs.get("queries_per_analyst", 100),
+            batch_size=kwargs.get("batch_size", 32),
+            epsilon=kwargs.get("epsilon", 12.0),
+            workload=kwargs.get("workload", "mixed"),
+            seed=kwargs.get("seed", 0),
+            shards=kwargs.get("shards", DEFAULT_NUM_SHARDS),
+            execution=kwargs["execution"],
+            fast_lane=kwargs["fast_lane"],
+        )
+        if kwargs.get("accuracy") is not None:
+            profile_kwargs["accuracy"] = kwargs["accuracy"]
+        profile = run_profile(**profile_kwargs)
+        print()
+        print(format_profile(profile))
 
     comparison = None
     if args.compare_global:
@@ -305,7 +382,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.json:
         write_json_artifact(args.json, results, comparison, remote,
-                            durability)
+                            durability, profile=profile,
+                            fast_path=fast_path_comparable)
         print(f"wrote {args.json}")
     return 0
 

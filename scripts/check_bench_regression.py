@@ -1,0 +1,120 @@
+"""CI perf-regression gate: fresh bench JSON vs the committed trajectory.
+
+Compares the in-process ``single`` and ``batched`` rows of a freshly
+produced ``BENCH_service_throughput.json`` against the committed one and
+fails (exit 2) when either mode's best q/s regressed by more than the
+tolerance — so a hot-path regression is caught by CI instead of silently
+eroding the bench trajectory.  Only like rows are compared (same mode,
+in-process transport, closed-loop arrival); remote/durability rows carry
+their own gates in the bench itself.
+
+Usage::
+
+    python scripts/check_bench_regression.py FRESH.json BASELINE.json \
+        [--tolerance 0.15]
+
+The tolerance is a fraction (0.15 = fail below 85% of the committed
+q/s); it can also be set via the ``BENCH_REGRESSION_TOLERANCE``
+environment variable (the CLI flag wins).  The CI step running this is
+skippable by labelling the pull request ``skip-perf-gate`` — use that
+for changes that intentionally trade throughput (and update the
+committed artifact in the same PR).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Modes gated against the committed trajectory.
+GATED_MODES = ("single", "batched")
+
+#: Default allowed fractional regression.
+DEFAULT_TOLERANCE = 0.15
+
+
+def best_inproc_qps(document: dict, mode: str) -> float | None:
+    """Best closed-loop in-process q/s for ``mode`` among the main runs."""
+    rows = [
+        row for row in document.get("runs", [])
+        if row.get("mode") == mode
+        and row.get("transport", "inproc") == "inproc"
+        and row.get("arrival", "closed") == "closed"
+    ]
+    if not rows:
+        return None
+    return max(float(row["queries_per_second"]) for row in rows)
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Compare both gated modes; returns failure messages (empty = pass)."""
+    failures: list[str] = []
+    for mode in GATED_MODES:
+        fresh_qps = best_inproc_qps(fresh, mode)
+        base_qps = best_inproc_qps(baseline, mode)
+        if base_qps is None or base_qps <= 0:
+            print(f"{mode}: no committed baseline row - skipped")
+            continue
+        if fresh_qps is None:
+            failures.append(f"{mode}: fresh artifact has no inproc run "
+                            f"to compare")
+            continue
+        ratio = fresh_qps / base_qps
+        floor = 1.0 - tolerance
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(f"{mode}: fresh {fresh_qps:.1f} q/s vs committed "
+              f"{base_qps:.1f} q/s = {ratio:.2f}x "
+              f"(floor {floor:.2f}x) {verdict}")
+        if ratio < floor:
+            failures.append(
+                f"{mode} q/s regressed to {ratio:.2f}x of the committed "
+                f"trajectory (allowed floor {floor:.2f}x)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate a fresh bench artifact against the committed "
+                    "BENCH_service_throughput.json trajectory.")
+    parser.add_argument("fresh", help="freshly produced bench JSON")
+    parser.add_argument("baseline", help="committed bench JSON")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional q/s regression "
+                             "(default: $BENCH_REGRESSION_TOLERANCE "
+                             f"or {DEFAULT_TOLERANCE})")
+    args = parser.parse_args(argv)
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get("BENCH_REGRESSION_TOLERANCE",
+                                         DEFAULT_TOLERANCE))
+    if not 0.0 <= tolerance < 1.0:
+        print(f"error: tolerance must be in [0, 1), got {tolerance}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        with open(args.fresh, encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load bench artifacts: {exc}", file=sys.stderr)
+        return 2
+
+    failures = check(fresh, baseline, tolerance)
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        print("error: perf gate failed; if the regression is intentional, "
+              "update BENCH_service_throughput.json in this PR or label "
+              "it skip-perf-gate", file=sys.stderr)
+        return 2
+    print("ok: fresh bench within tolerance of the committed trajectory")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,177 @@
+"""The compiled-statement cache: SQL text -> compile products, once.
+
+Profiling the serving layer (``bench-service --profile``) shows that with a
+~92% answer-cache hit rate the dominant per-query cost is not the DP math
+but re-deriving what the query *is*: tokenising + parsing the SQL, probing
+every registered view for answerability, and building the transformed
+linear query — roughly three quarters of the hot path.  All of that work
+is a pure function of the SQL text and the registered view set, so
+:class:`StatementCache` memoises it: a bounded LRU keyed by the SQL text,
+holding the fully classified :class:`CompiledStatement` (routing kind,
+chosen view, transformed query/parts, and the strictness anchor the batch
+planner sorts by).
+
+Accuracy/epsilon knobs deliberately stay *out* of the key: workloads
+jitter the accuracy per request (see
+:func:`repro.service.loadgen.build_mixed_workload`), and the
+accuracy-dependent half of compilation — collapsing the dual submission
+modes to a variance target — is a couple of float operations computed per
+request from the cached query.  Keying on the knobs would reduce the hit
+rate to ~0 for no saved work.
+
+The cache is invalidated wholesale when a view is registered (the
+cheapest-view minimisation may now pick differently); view registration
+is an administrative operation, so this is never on the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.db.sql.ast import SelectStatement
+from repro.exceptions import ReproError
+from repro.views.linear import LinearQuery
+
+#: Default bound on the cache's total *cost* — the number of retained
+#: transformed weight vectors, not the number of SQL texts: a scalar
+#: entry holds one vector, an AVG entry two, and a GROUP BY entry one
+#: per group, so counting texts would let a stream of distinct GROUP BY
+#: SQL pin ``entries x groups x bins`` floats while the counters report
+#: a modest "entry" count.  The default accommodates the bench
+#: workloads' full distinct-SQL set with room to spare while bounding a
+#: hostile stream of unique queries by memory, not by name.
+DEFAULT_STATEMENT_CACHE = 1024
+
+#: Routing kinds a statement compiles to (mirrors ``DProvDB.submit``'s
+#: dispatch: plain scalars ride ``submit_compiled``, AVG splits into
+#: SUM/COUNT post-processing, GROUP BY expands per group).
+KINDS = ("scalar", "group_by", "avg")
+
+
+@dataclass(frozen=True)
+class CompiledStatement:
+    """Everything compilation derives from one statement, ready to serve.
+
+    ``strictest`` is the transformed part with the largest
+    ``weight_norm_sq`` — the part whose per-bin variance requirement is
+    tightest at a fixed answer-accuracy target — which is exactly the
+    strictness anchor :func:`repro.service.planner.plan_batch` orders by
+    (``None`` only for a GROUP BY whose every group is predicate-excluded).
+    """
+
+    statement: SelectStatement
+    kind: str
+    view: object
+    query: LinearQuery | None = None
+    group_parts: tuple[tuple[tuple, LinearQuery], ...] | None = None
+    avg_parts: tuple[LinearQuery, LinearQuery] | None = None
+    strictest: LinearQuery | None = None
+
+    @property
+    def cost(self) -> int:
+        """Weight vectors this entry retains (the cache's size unit)."""
+        if self.group_parts is not None:
+            return max(1, len(self.group_parts))
+        if self.avg_parts is not None:
+            return 2
+        return 1
+
+
+class StatementCache:
+    """Thread-safe LRU of :class:`CompiledStatement` keyed by SQL text.
+
+    The bound is on total **cost** (retained weight vectors, see
+    :attr:`CompiledStatement.cost`), so a wide GROUP BY entry counts as
+    its group count, not as one slot.  An entry whose own cost exceeds
+    the whole bound is still admitted alone — refusing it would make
+    such statements uncacheable and defeat the cache exactly where
+    compilation is most expensive.  ``max_entries=None`` disables
+    eviction (statistics still tracked).  Hit/miss/eviction counters are
+    exact (mutated under the same lock as the recency list) and exposed
+    via :meth:`counters` — the service's ``snapshot()`` ships them for
+    monitoring.
+    """
+
+    def __init__(self, max_entries: int | None = DEFAULT_STATEMENT_CACHE
+                 ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ReproError(
+                f"max_entries must be >= 1 or None, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, CompiledStatement] = OrderedDict()
+        self._total_cost = 0
+        self._epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def epoch(self) -> int:
+        """Invalidation epoch; bumped by every :meth:`clear`.
+
+        Callers snapshot it *before* compiling and hand it back to
+        :meth:`put`: an entry compiled against a view set that a
+        concurrent ``clear()`` has since invalidated is dropped instead
+        of inserted, so a compile in flight across a view registration
+        can never resurrect a stale cheapest-view choice.
+        """
+        return self._epoch
+
+    def get(self, sql_text: str) -> CompiledStatement | None:
+        with self._lock:
+            entry = self._entries.get(sql_text)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(sql_text)
+            self.hits += 1
+            return entry
+
+    def put(self, sql_text: str, entry: CompiledStatement,
+            epoch: int | None = None) -> None:
+        with self._lock:
+            if epoch is not None and epoch != self._epoch:
+                return  # compiled against an invalidated view set
+            previous = self._entries.pop(sql_text, None)
+            if previous is not None:
+                self._total_cost -= previous.cost
+            self._entries[sql_text] = entry
+            self._total_cost += entry.cost
+            while self.max_entries is not None \
+                    and self._total_cost > self.max_entries \
+                    and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self._total_cost -= evicted.cost
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (view-registration invalidation); counters
+        survive so monitoring sees the full history."""
+        with self._lock:
+            self._entries.clear()
+            self._total_cost = 0
+            self._epoch += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def counters(self) -> dict:
+        """Strictly JSON-native counter block for ``snapshot()``."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "cost": self._total_cost,
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }
+
+
+__all__ = ["DEFAULT_STATEMENT_CACHE", "KINDS", "CompiledStatement",
+           "StatementCache"]

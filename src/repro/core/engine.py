@@ -36,6 +36,11 @@ import numpy as np
 
 from repro.core.analyst import Analyst
 from repro.core.additive import AdditiveGaussianMechanism
+from repro.core.compile_cache import (
+    DEFAULT_STATEMENT_CACHE,
+    CompiledStatement,
+    StatementCache,
+)
 from repro.core.mechanism import GaussianAccountant, MechanismBase
 from repro.core.policies import build_constraints
 from repro.core.provenance import Constraints, ProvenanceTable
@@ -45,9 +50,15 @@ from repro.core.translation import DEFAULT_PRECISION
 from repro.datasets.base import DatasetBundle
 from repro.db.sql.ast import SelectStatement
 from repro.db.sql.parser import parse
+from repro.db.sql.unparse import to_sql
 from repro.dp.gaussian import analytic_gaussian_sigma
 from repro.dp.rng import SeedLike, ensure_generator
-from repro.exceptions import QueryRejected, ReproError, UnknownAnalyst
+from repro.exceptions import (
+    QueryRejected,
+    ReproError,
+    UnanswerableQuery,
+    UnknownAnalyst,
+)
 from repro.views.registry import ViewRegistry
 from repro.views.transform import transform_avg_parts, transform_group_by
 
@@ -83,6 +94,8 @@ class DProvDB:
                  precision: float = DEFAULT_PRECISION,
                  combine_local: bool = False,
                  synopsis_store=None,
+                 statement_cache_size: int | None = DEFAULT_STATEMENT_CACHE,
+                 fast_lane: bool = True,
                  seed: SeedLike = None) -> None:
         if not analysts:
             raise ReproError("need at least one analyst")
@@ -126,6 +139,20 @@ class DProvDB:
             name: threading.RLock() for name in self.registry.view_names
         }
         self._view_locks_guard = threading.Lock()
+        #: Compiled-statement cache: SQL text -> parse + view-selection +
+        #: transform products.  Invalidated wholesale whenever a view is
+        #: registered (the cheapest-view choice may change).
+        self.statement_cache = StatementCache(statement_cache_size)
+        #: Memoized-answer fast lane toggle.  When on, requests an
+        #: analyst's cached local synopsis already satisfies are answered
+        #: through a versioned lock-free lookup that skips the view
+        #: section and every provenance lock; accounting is replay-
+        #: identical to the slow path (the fast lane only ever serves
+        #: answers the slow path would have served free from cache).
+        self.fast_lane = fast_lane
+        self._fast_lane_lock = threading.Lock()
+        self._fast_lane_hits = 0
+        self._fast_lane_misses = 0
         mechanism_kwargs = {"rng": ensure_generator(seed),
                             "accountant": accountant,
                             "precision": precision,
@@ -243,6 +270,8 @@ class DProvDB:
         name = f"{table}.{'_'.join(attributes)}"
         view = HistogramView(name, table, tuple(attributes), schema)
         self.registry.add(view)
+        # A new view can change every cheapest-view compile decision.
+        self.statement_cache.clear()
         self.provenance.register_view(name)
         updated_views = dict(self.constraints.view)
         updated_views[name] = (self.constraints.table if constraint is None
@@ -261,6 +290,7 @@ class DProvDB:
         :mod:`repro.views.hierarchical`); returns the view name."""
         name = self.registry.add_hierarchical_view(self.bundle.fact_table,
                                                    attribute)
+        self.statement_cache.clear()
         self.provenance.register_view(name)
         updated_views = dict(self.constraints.view)
         updated_views[name] = (self.constraints.table if constraint is None
@@ -278,6 +308,77 @@ class DProvDB:
         if isinstance(sql_or_statement, SelectStatement):
             return sql_or_statement
         return parse(sql_or_statement)
+
+    # -- compiled-statement cache ------------------------------------------------
+    def compile_statement(self, sql) -> CompiledStatement:
+        """Parse + classify + compile ``sql``, memoised by its text.
+
+        A cache hit skips the whole front half of query processing —
+        tokenising, parsing, probing every registered view for
+        answerability, and building the transformed linear query (or the
+        per-group / SUM-COUNT parts) — which profiling shows is ~3/4 of
+        the serving hot path.  Only string SQL is cached (a pre-built
+        :class:`SelectStatement` has no stable cheap key); compile
+        *failures* are not cached and re-raise each time.
+        """
+        sql_text = sql if isinstance(sql, str) else None
+        if sql_text is not None:
+            entry = self.statement_cache.get(sql_text)
+            if entry is not None:
+                return entry
+        # Snapshot the invalidation epoch before compiling: if a view is
+        # registered while this compile is in flight, the insert below
+        # is dropped rather than resurrecting a stale view choice.
+        epoch = self.statement_cache.epoch
+        entry = self._compile_uncached(self._resolve(sql))
+        if sql_text is not None:
+            self.statement_cache.put(sql_text, entry, epoch=epoch)
+        return entry
+
+    def _compile_uncached(self, statement: SelectStatement
+                          ) -> CompiledStatement:
+        agg = statement.aggregates[0] if statement.aggregates else None
+        if statement.group_by:
+            view = self.registry.select(statement)
+            parts = tuple(transform_group_by(statement, view))
+            strictest = max((q for _, q in parts if q.weight_norm_sq > 0),
+                            key=lambda q: q.weight_norm_sq, default=None)
+            return CompiledStatement(statement, "group_by", view,
+                                     group_parts=parts, strictest=strictest)
+        if agg is not None and agg.func == "AVG" and statement.is_scalar():
+            view = self.registry.select(statement)
+            avg_parts = transform_avg_parts(statement, view)
+            return CompiledStatement(statement, "avg", view,
+                                     avg_parts=avg_parts,
+                                     strictest=avg_parts[0])
+        view, query = self.registry.compile(statement)
+        return CompiledStatement(statement, "scalar", view, query=query,
+                                 strictest=query)
+
+    # -- fast-lane bookkeeping ----------------------------------------------------
+    def _note_fast_lane(self, hits: int = 0, misses: int = 0) -> None:
+        with self._fast_lane_lock:
+            self._fast_lane_hits += hits
+            self._fast_lane_misses += misses
+
+    def fast_lane_counters(self) -> dict:
+        """Strictly JSON-native fast-lane counters (for ``snapshot()``).
+
+        A *hit* is a submission (or batch-lane query) answered by the
+        versioned lock-free path; a *miss* is one that probed the fast
+        lane and fell back to the locked slow path (including generation
+        races).  Submissions that bypass the lane entirely — fast lane
+        disabled, delegated queries — count as neither.
+        """
+        with self._fast_lane_lock:
+            probes = self._fast_lane_hits + self._fast_lane_misses
+            return {
+                "enabled": bool(self.fast_lane),
+                "hits": self._fast_lane_hits,
+                "misses": self._fast_lane_misses,
+                "hit_rate": (self._fast_lane_hits / probes) if probes
+                else 0.0,
+            }
 
     def _accuracy_for(self, statement_query, accuracy, epsilon: float | None,
                       view) -> float:
@@ -312,18 +413,21 @@ class DProvDB:
         — the paper's "grant" operator (Sec. 9).
         """
         self._check_analyst(analyst)
-        statement = self._resolve(sql)
-        agg = statement.aggregates[0] if statement.aggregates else None
-        if agg is not None and agg.func == "AVG" and statement.is_scalar():
+        compiled = self.compile_statement(sql)
+        if compiled.kind == "avg":
             if delegation is not None:
                 raise ReproError("delegation supports plain scalar queries")
-            return self._submit_avg(analyst, statement, accuracy, epsilon)
-
-        view, query = self.registry.compile(statement)
+            return self._submit_avg(analyst, compiled, accuracy, epsilon)
+        if compiled.kind == "group_by":
+            raise UnanswerableQuery(
+                f"no registered view answers: {compiled.statement}"
+            )
+        view, query = compiled.view, compiled.query
         target = self._accuracy_for(query, accuracy, epsilon, view)
         sql_text = sql if isinstance(sql, str) else None
-        return self.submit_compiled(analyst, statement, view, query, target,
-                                    delegation=delegation, sql_text=sql_text)
+        return self.submit_compiled(analyst, compiled.statement, view, query,
+                                    target, delegation=delegation,
+                                    sql_text=sql_text)
 
     def submit_compiled(self, analyst: str, statement: SelectStatement,
                         view, query, target: float,
@@ -337,8 +441,20 @@ class DProvDB:
         ``target`` is the answer-variance requirement.
         """
         self._check_analyst(analyst)
-        from repro.db.sql.unparse import to_sql
-
+        if delegation is None and self.fast_lane:
+            per_bin = query.per_bin_variance_for(target)
+            outcome = self.mechanism.cached_answer_fast(analyst, view, query,
+                                                        per_bin)
+            if outcome is not None:
+                self._note_fast_lane(hits=1)
+                self.log.record(analyst,
+                                sql_text if sql_text is not None
+                                else to_sql(statement),
+                                outcome.view_name, 0.0, True, answered=True)
+                return Answer(analyst, outcome.value, 0.0, outcome.view_name,
+                              outcome.per_bin_variance,
+                              outcome.answer_variance, True)
+            self._note_fast_lane(misses=1)
         if sql_text is None:
             sql_text = to_sql(statement)
         with self.view_section(view.name):
@@ -401,21 +517,40 @@ class DProvDB:
     def revoke_delegation(self, grant_id: int) -> None:
         self.delegations.revoke(grant_id)
 
-    def _submit_avg(self, analyst: str, statement: SelectStatement,
+    def _submit_avg(self, analyst: str, compiled: CompiledStatement,
                     accuracy: float | None, epsilon: float | None) -> Answer:
         """AVG = noisy SUM / noisy COUNT (post-processing)."""
-        view = self.registry.select(statement)
-        sum_query, count_query = transform_avg_parts(statement, view)
+        view = compiled.view
+        sum_query, count_query = compiled.avg_parts
         target = self._accuracy_for(sum_query, accuracy, epsilon, view)
+        count_target = target * (count_query.weight_norm_sq
+                                 / sum_query.weight_norm_sq)
+        if self.fast_lane:
+            # Both parts from the cached synopsis, or neither: the slow
+            # path would otherwise refresh once and serve both fresh.
+            outcomes = self.mechanism.cached_answers_fast(
+                analyst, view,
+                [(sum_query, sum_query.per_bin_variance_for(target)),
+                 (count_query,
+                  count_query.per_bin_variance_for(count_target))])
+            if outcomes is not None:
+                self._note_fast_lane(hits=1)
+                sum_outcome, count_outcome = outcomes
+                return self._avg_answer(analyst, view, sum_outcome,
+                                        count_outcome)
+            self._note_fast_lane(misses=1)
         with self.view_section(view.name):
             sum_outcome = self.mechanism.answer(analyst, view, sum_query,
                                                 target)
-            count_target = target * (count_query.weight_norm_sq
-                                     / sum_query.weight_norm_sq)
             count_outcome = self.mechanism.answer(analyst, view, count_query,
                                                   count_target)
+        return self._avg_answer(analyst, view, sum_outcome, count_outcome)
+
+    @staticmethod
+    def _avg_answer(analyst: str, view, sum_outcome, count_outcome) -> Answer:
         denominator = count_outcome.value
-        value = float("nan") if denominator <= 0 else sum_outcome.value / denominator
+        value = float("nan") if denominator <= 0 \
+            else sum_outcome.value / denominator
         charged = sum_outcome.epsilon_charged + count_outcome.epsilon_charged
         return Answer(analyst, value, charged, view.name,
                       sum_outcome.per_bin_variance,
@@ -432,11 +567,20 @@ class DProvDB:
         same synopsis, so after the first group the rest are cache hits.
         """
         self._check_analyst(analyst)
-        statement = self._resolve(sql)
-        view = self.registry.select(statement)
+        compiled = self.compile_statement(sql)
+        if compiled.kind != "group_by":
+            raise UnanswerableQuery("statement has no GROUP BY keys")
+        view = compiled.view
+        if self.fast_lane:
+            results = self._group_by_from_cache(analyst, compiled, accuracy,
+                                                epsilon)
+            if results is not None:
+                self._note_fast_lane(hits=1)
+                return results
+            self._note_fast_lane(misses=1)
         results = []
         with self.view_section(view.name):
-            for key, query in transform_group_by(statement, view):
+            for key, query in compiled.group_parts:
                 if not np.any(query.weights):
                     # Group excluded by the predicate: exact zero, no
                     # privacy cost.
@@ -452,6 +596,80 @@ class DProvDB:
                                             outcome.answer_variance,
                                             outcome.cache_hit)))
         return results
+
+    def _group_by_from_cache(self, analyst: str, compiled: CompiledStatement,
+                             accuracy: float | None, epsilon: float | None
+                             ) -> list[tuple[tuple, Answer]] | None:
+        """Fast-lane attempt at a whole GROUP BY: every non-empty group
+        must be answerable from the cached synopsis (all-or-nothing — a
+        single inadequate group means the slow path would refresh once
+        for all of them)."""
+        view = compiled.view
+        probes = []
+        for key, query in compiled.group_parts:
+            if query.weight_norm_sq <= 0:
+                continue
+            target = self._accuracy_for(query, accuracy, epsilon, view)
+            probes.append((query, query.per_bin_variance_for(target)))
+        outcomes = self.mechanism.cached_answers_fast(analyst, view, probes) \
+            if probes else []
+        if outcomes is None:
+            return None
+        results: list[tuple[tuple, Answer]] = []
+        answered = iter(outcomes)
+        for key, query in compiled.group_parts:
+            if query.weight_norm_sq <= 0:
+                results.append((key, Answer(analyst, 0.0, 0.0, view.name,
+                                            0.0, 0.0, True)))
+                continue
+            outcome = next(answered)
+            results.append((key, Answer(analyst, outcome.value, 0.0,
+                                        outcome.view_name,
+                                        outcome.per_bin_variance,
+                                        outcome.answer_variance, True)))
+        return results
+
+    def answer_batch_from_cache(self, analyst: str, view,
+                                pairs: list[tuple],
+                                sql_texts: list[str]
+                                ) -> list[Answer | None]:
+        """Batch-lane cached answering for a planned per-view group.
+
+        ``pairs`` is ``[(query, target), ...]`` in the planner's
+        strictest-first order; the maximal adequate *prefix* is answered
+        from the analyst's cached synopsis (see
+        :meth:`MechanismBase.cached_answers_fast` for why only a prefix
+        is safe) and the rest come back ``None`` for the caller to run
+        through the slow path in order.  Answered entries are logged
+        exactly like slow-path cache hits — ``sql_texts`` must therefore
+        be the real SQL strings (callers without one unparse their
+        statement first; an empty audit entry is worse than the cost).
+        """
+        self._check_analyst(analyst)
+        answers: list[Answer | None] = [None] * len(pairs)
+        if not self.fast_lane or not pairs:
+            return answers
+        if len(sql_texts) != len(pairs) or \
+                not all(isinstance(text, str) for text in sql_texts):
+            raise ReproError("answer_batch_from_cache needs one SQL string "
+                             "per pair (unparse the statement if needed)")
+        probes = [(query, query.per_bin_variance_for(target))
+                  for query, target in pairs]
+        outcomes = self.mechanism.cached_answers_fast(analyst, view, probes,
+                                                      prefix=True)
+        hits = 0
+        for i, outcome in enumerate(outcomes):
+            if outcome is None:
+                continue
+            hits += 1
+            self.log.record(analyst, sql_texts[i], outcome.view_name, 0.0,
+                            True, answered=True)
+            answers[i] = Answer(analyst, outcome.value, 0.0,
+                                outcome.view_name, outcome.per_bin_variance,
+                                outcome.answer_variance, True)
+        self._note_fast_lane(hits=hits,
+                             misses=1 if hits < len(pairs) else 0)
+        return answers
 
     def try_submit(self, analyst: str, sql, accuracy: float | None = None,
                    epsilon: float | None = None) -> Answer | None:

@@ -529,6 +529,17 @@ class ProvenanceTable:
         with self._totals_lock:
             return self._row_sum[analyst]
 
+    def row_totals(self) -> dict[str, float]:
+        """Every analyst's row composite in one consistent read.
+
+        One acquisition of the totals lock instead of one per analyst —
+        the snapshot/checkpoint schema builds its ``epsilon_by_analyst``
+        block from this, so concurrent charges can never interleave
+        between two rows of the same report.
+        """
+        with self._totals_lock:
+            return dict(self._row_sum)
+
     def column_total(self, view: str) -> float:
         """``P.composite(axis=Column)``: total loss on a view (vanilla)."""
         self._col_lock(view)  # membership check

@@ -60,11 +60,25 @@ class Synopsis:
 
 
 class SynopsisStore:
-    """Holds the global synopsis per view and local synopses per (analyst, view)."""
+    """Holds the global synopsis per view and local synopses per (analyst, view).
+
+    Every mutation of a local entry — a fresh release storing a better
+    synopsis, an eviction in a bounded subclass, a wholesale
+    :meth:`clear` — bumps that ``(analyst, view)`` pair's *generation
+    counter*.  The serving layer's memoized-answer fast lane reads the
+    counter before and after a lock-free cached lookup: an unchanged
+    generation proves the entry was not replaced or evicted mid-read, so
+    the answer is linearizable with the locked slow path; on any
+    mismatch the fast lane falls back (see
+    :meth:`repro.core.mechanism.MechanismBase.cached_answer_fast`).
+    Generations only ever grow — they are never reset, so a stale read
+    can never alias a fresh one.
+    """
 
     def __init__(self) -> None:
         self._global: dict[str, Synopsis] = {}
         self._local: dict[tuple[str, str], Synopsis] = {}
+        self._local_generation: dict[tuple[str, str], int] = {}
 
     # -- global ----------------------------------------------------------------
     def global_synopsis(self, view: str) -> Synopsis | None:
@@ -90,7 +104,22 @@ class SynopsisStore:
     def put_local(self, synopsis: Synopsis) -> None:
         if synopsis.analyst is None:
             raise ValueError("local synopsis needs an analyst owner")
-        self._local[(synopsis.analyst, synopsis.view_name)] = synopsis
+        key = (synopsis.analyst, synopsis.view_name)
+        self._local[key] = synopsis
+        self._bump_local_generation(*key)
+
+    # -- generations (fast-lane versioning) --------------------------------------
+    def local_generation(self, analyst: str, view: str) -> int:
+        """Monotonic version of the (analyst, view) local entry.
+
+        Lock-free read (a dict lookup is atomic in CPython); bumped by
+        every store/evict/clear of the entry.
+        """
+        return self._local_generation.get((analyst, view), 0)
+
+    def _bump_local_generation(self, analyst: str, view: str) -> None:
+        key = (analyst, view)
+        self._local_generation[key] = self._local_generation.get(key, 0) + 1
 
     # -- introspection -----------------------------------------------------------
     @property
@@ -102,6 +131,8 @@ class SynopsisStore:
         return tuple(self._local)
 
     def clear(self) -> None:
+        for analyst, view in tuple(self._local):
+            self._bump_local_generation(analyst, view)
         self._global.clear()
         self._local.clear()
 

@@ -74,6 +74,55 @@ DURABILITY_AXES = ("none", "off", "batch", "always")
 #: the non-durable baseline (the acceptance floor CI gates on).
 DURABILITY_OFF_FLOOR = 0.9
 
+#: Mixed-workload q/s the serving layer reached at bench scale *before*
+#: the hot-path overhaul (compiled-statement cache + memoized-answer
+#: fast lane + vectorized transforms), measured on the 1-CPU reference
+#: container — the committed PR 4 ``BENCH_service_throughput.json``
+#: trajectory.  The overhaul's acceptance bar is >= 1.3x over these.
+FASTPATH_BASELINE_QPS = {"single": 4228.0, "batched": 4242.5}
+
+#: Speedup over :data:`FASTPATH_BASELINE_QPS` the overhaul must keep.
+FASTPATH_SPEEDUP_TARGET = 1.3
+
+#: The exact configuration :data:`FASTPATH_BASELINE_QPS` was measured
+#: under.  :func:`fastpath_comparable` is the single source of truth for
+#: "may this run be compared/gated against the baseline" — the bench
+#: script and the CLI both call it rather than re-implementing the
+#: check, so the two can never drift.
+FASTPATH_BASELINE_CONFIG = dict(dataset="adult", rows=12000, analysts=8,
+                                min_queries=100, threads=8,
+                                shards=DEFAULT_NUM_SHARDS, batch_size=32,
+                                epsilon=12.0, seed=0,
+                                workload="mixed", execution="sharded")
+
+
+def fastpath_comparable(*, dataset: str, rows: int | None, analysts: int,
+                        queries: int, threads: int, shards: int,
+                        workload: str, execution: str, fast_lane: bool,
+                        batch_size: int = 32, epsilon: float = 12.0,
+                        seed=0) -> bool:
+    """Whether a run's configuration matches the fast-path baseline's.
+
+    ``queries`` only needs to reach the baseline's floor (longer runs
+    measure the same steady state); everything else — including the
+    budget, batch size, and workload seed, which shape the query mix
+    and the rejection pattern — must match exactly.  Repeat counts are
+    irrelevant: they only affect best-of sampling.
+    """
+    cfg = FASTPATH_BASELINE_CONFIG
+    return (fast_lane
+            and dataset == cfg["dataset"]
+            and rows == cfg["rows"]
+            and analysts == cfg["analysts"]
+            and queries >= cfg["min_queries"]
+            and threads == cfg["threads"]
+            and shards == cfg["shards"]
+            and batch_size == cfg["batch_size"]
+            and epsilon == cfg["epsilon"]
+            and seed == cfg["seed"]
+            and workload == cfg["workload"]
+            and execution == cfg["execution"])
+
 
 def make_service_analysts(num_analysts: int) -> list[Analyst]:
     """``num_analysts`` analysts over the default privilege ladder."""
@@ -134,7 +183,8 @@ def run_service_throughput(dataset: str = "adult",
                            execution: str = "sharded",
                            shards: int = DEFAULT_NUM_SHARDS,
                            workload: str = "mixed",
-                           view_width: int = 2) -> list[ThroughputResult]:
+                           view_width: int = 2,
+                           fast_lane: bool = True) -> list[ThroughputResult]:
     """One run per (mode, repeat); fresh service per run, same workload."""
     bundle = _load_bundle(dataset, num_rows, seed)
     analysts = make_service_analysts(num_analysts)
@@ -147,6 +197,7 @@ def run_service_throughput(dataset: str = "adult",
             service = _build_service(bundle, analysts, epsilon, mechanism,
                                      max_cached_synopses, execution, shards,
                                      seed, attribute_sets)
+            service.engine.fast_lane = fast_lane
             try:
                 results.append(run_throughput(service, analysts, streams,
                                               mode=mode, threads=threads,
@@ -154,6 +205,145 @@ def run_service_throughput(dataset: str = "adult",
             finally:
                 service.close()
     return results
+
+
+def run_profile(dataset: str = "adult",
+                num_rows: int | None = 12000,
+                num_analysts: int = 8,
+                queries_per_analyst: int = 100,
+                batch_size: int = 32,
+                epsilon: float = 12.0,
+                accuracy: float = 40000.0,
+                mechanism: str = "additive",
+                max_cached_synopses: int = 256,
+                seed: SeedLike = 0,
+                shards: int = DEFAULT_NUM_SHARDS,
+                execution: str = "sharded",
+                workload: str = "mixed",
+                view_width: int = 2,
+                fast_lane: bool = True,
+                top: int = 20) -> dict:
+    """cProfile one inline serving replay; returns the hotspot table.
+
+    The replay runs on the *calling* thread (``cProfile`` observes only
+    its own thread — a threaded run would profile nothing but lock
+    waits), replaying every analyst's stream once query-by-query and
+    once batched through the planner, on one warm service.  The hotspot
+    ranking is therefore the serving path's real per-query work, minus
+    scheduler noise — the table future perf PRs should be driven by.
+
+    Returns a JSON-native dict: run metadata plus the ``top`` functions
+    by cumulative time (``ncalls``/``tottime``/``cumtime`` per row), the
+    block ``bench-service --profile`` embeds under ``summary.profile``
+    in ``BENCH_service_throughput.json``.
+    """
+    import cProfile
+    import pstats
+    import time
+
+    bundle = _load_bundle(dataset, num_rows, seed)
+    analysts = make_service_analysts(num_analysts)
+    attribute_sets, streams = _build_workload(
+        bundle, analysts, queries_per_analyst, accuracy, workload,
+        view_width, seed)
+    service = _build_service(bundle, analysts, epsilon, mechanism,
+                             max_cached_synopses, execution, shards,
+                             seed, attribute_sets)
+    # Profile the same configuration the main run measures — hunting
+    # slow-path hotspots with the fast lane secretly on (or on a
+    # different execution mode) would misdirect the very perf work this
+    # table exists to support.
+    service.engine.fast_lane = fast_lane
+    try:
+        sessions = {a.name: service.open_session(a.name) for a in analysts}
+        profiler = cProfile.Profile()
+        started = time.perf_counter()
+        profiler.enable()
+        for analyst in analysts:
+            session = sessions[analyst.name]
+            for request in streams[analyst.name]:
+                service.submit(session, request.sql,
+                               accuracy=request.accuracy,
+                               epsilon=request.epsilon)
+        for analyst in analysts:
+            session = sessions[analyst.name]
+            stream = streams[analyst.name]
+            for start in range(0, len(stream), batch_size):
+                service.submit_batch(session, stream[start:start + batch_size])
+        profiler.disable()
+        seconds = time.perf_counter() - started
+    finally:
+        service.close()
+
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, lineno, name), (cc, nc, tt, ct, _callers) in \
+            stats.stats.items():  # type: ignore[attr-defined]
+        rows.append({
+            "function": f"{filename}:{lineno}({name})",
+            "ncalls": int(nc),
+            "primitive_calls": int(cc),
+            "tottime": float(tt),
+            "cumtime": float(ct),
+        })
+    rows.sort(key=lambda r: r["cumtime"], reverse=True)
+    queries = 2 * sum(len(s) for s in streams.values())
+    return {
+        "mode": "inline single+batched (1 thread, profiled, fast lane "
+                + ("on)" if fast_lane else "off)"),
+        "queries": int(queries),
+        "seconds": float(seconds),
+        "queries_per_second": float(queries / seconds) if seconds else 0.0,
+        "top_n": int(top),
+        "top": rows[:top],
+    }
+
+
+def format_profile(profile: dict) -> str:
+    """Text table for :func:`run_profile` (top-N cumulative hotspots)."""
+    lines = [
+        f"== profile: {profile['mode']} ==",
+        f"{profile['queries']} queries in {profile['seconds']:.2f}s "
+        f"({profile['queries_per_second']:.0f} q/s under the profiler)",
+        f"{'ncalls':>10s} {'tottime':>9s} {'cumtime':>9s}  function",
+        "-" * 72,
+    ]
+    for row in profile["top"]:
+        lines.append(f"{row['ncalls']:>10d} {row['tottime']:>9.4f} "
+                     f"{row['cumtime']:>9.4f}  {row['function']}")
+    return "\n".join(lines)
+
+
+def fastpath_speedup(results: list[ThroughputResult],
+                     baseline: dict | None = None) -> dict[str, float]:
+    """Best q/s per mode over the pre-overhaul committed baseline."""
+    baseline = baseline if baseline is not None else FASTPATH_BASELINE_QPS
+    speedup: dict[str, float] = {}
+    for mode, base in baseline.items():
+        qps = [r.queries_per_second for r in results
+               if r.mode == mode and r.transport == "inproc"]
+        if qps and base > 0:
+            speedup[mode] = max(qps) / base
+    return speedup
+
+
+def check_fastpath_speedup(results: list[ThroughputResult],
+                           factor: float = FASTPATH_SPEEDUP_TARGET) -> None:
+    """Assert the hot-path overhaul's q/s bar: >= ``factor`` x the
+    pre-overhaul committed baseline, on both submission modes.
+
+    Only meaningful at the default bench scale on hardware comparable
+    to the reference container — the CI gate runs it there and is
+    skippable via the ``skip-perf-gate`` label.
+    """
+    speedup = fastpath_speedup(results)
+    assert set(speedup) == set(FASTPATH_BASELINE_QPS), \
+        f"fast-path gate needs both modes, got {sorted(speedup)}"
+    for mode, ratio in speedup.items():
+        assert ratio >= factor, \
+            (f"{mode} q/s is only {ratio:.2f}x the pre-overhaul baseline "
+             f"({FASTPATH_BASELINE_QPS[mode]:.0f} q/s); the hot-path "
+             f"overhaul requires >= {factor:.1f}x")
 
 
 def run_sharding_comparison(dataset: str = "adult",
@@ -474,8 +664,9 @@ def format_sharding_comparison(results: list[ThroughputResult],
 def write_json_artifact(path: str, results: list[ThroughputResult],
                         comparison: list[ThroughputResult] | None = None,
                         remote: list[ThroughputResult] | None = None,
-                        durability: list[ThroughputResult] | None = None
-                        ) -> None:
+                        durability: list[ThroughputResult] | None = None,
+                        profile: dict | None = None,
+                        fast_path: bool = False) -> None:
     """Write ``BENCH_service_throughput.json``: per-run rows + summary.
 
     The summary carries the headline numbers (q/s, hit rate, epsilon
@@ -483,7 +674,10 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
     a comparison ran, and — when the remote comparison ran — the
     over-the-wire q/s and p50/p95 latency next to the in-process
     numbers, so the repo's bench trajectory is tracked as a
-    machine-readable artifact (uploaded by CI).
+    machine-readable artifact (uploaded by CI).  ``profile`` embeds a
+    :func:`run_profile` hotspot table; ``fast_path=True`` (set by the
+    bench at the comparable default scale) records the speedup over the
+    pre-overhaul committed baseline.
     """
     rows = [r.as_dict() for r in results]
     comparison_rows = [r.as_dict() for r in (comparison or [])]
@@ -501,6 +695,14 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
         "cpu_count": os.cpu_count(),
         "speedup_target": SPEEDUP_TARGET,
     }
+    if fast_path:
+        summary["fast_path"] = {
+            "pre_overhaul_baseline_qps": dict(FASTPATH_BASELINE_QPS),
+            "speedup_vs_baseline": fastpath_speedup(results),
+            "target": FASTPATH_SPEEDUP_TARGET,
+        }
+    if profile:
+        summary["profile"] = profile
     if comparison:
         summary["sharded_vs_global_speedup"] = sharding_speedup(comparison)
     if remote:
@@ -546,19 +748,27 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
 __all__ = [
     "DURABILITY_AXES",
     "DURABILITY_OFF_FLOOR",
+    "FASTPATH_BASELINE_CONFIG",
+    "FASTPATH_BASELINE_QPS",
+    "FASTPATH_SPEEDUP_TARGET",
     "SPEEDUP_TARGET",
     "WORKLOADS",
     "best_qps_by_axis",
     "check_durability_matches_baseline",
+    "check_fastpath_speedup",
     "check_remote_matches_inproc",
     "durability_tax",
+    "fastpath_comparable",
+    "fastpath_speedup",
     "format_durability_comparison",
+    "format_profile",
     "format_remote_comparison",
     "format_service_throughput",
     "format_sharding_comparison",
     "make_service_analysts",
     "remote_overhead",
     "run_durability_comparison",
+    "run_profile",
     "run_remote_comparison",
     "run_service_throughput",
     "run_sharding_comparison",

@@ -39,6 +39,47 @@ class Stopwatch:
         return self.seconds * 1000.0
 
 
+class CompensatedSum:
+    """Neumaier-compensated running sum of floats.
+
+    A plain ``total += x`` accumulator loses low-order bits on every
+    addition; over a long run of small epsilon charges the service's
+    per-analyst totals drift away from the provenance table's ledger.
+    Kahan–Babuska (Neumaier) compensation keeps the running error at one
+    rounding of the final sum regardless of length.  Not thread-safe on
+    its own — callers mutate it under their own lock (the service's
+    stats lock).
+
+    >>> s = CompensatedSum()
+    >>> for _ in range(10):
+    ...     s.add(0.1)
+    >>> s.value == 1.0
+    True
+    """
+
+    __slots__ = ("_total", "_compensation")
+
+    def __init__(self, value: float = 0.0) -> None:
+        self._total = float(value)
+        self._compensation = 0.0
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        total = self._total + value
+        if abs(self._total) >= abs(value):
+            self._compensation += (self._total - total) + value
+        else:
+            self._compensation += (value - total) + self._total
+        self._total = total
+
+    @property
+    def value(self) -> float:
+        return self._total + self._compensation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompensatedSum({self.value!r})"
+
+
 class CacheStats:
     """Thread-safe hit/miss/eviction counters for a bounded cache.
 
@@ -89,4 +130,4 @@ class CacheStats:
                 f"evictions={self.evictions})")
 
 
-__all__ = ["CacheStats", "Stopwatch"]
+__all__ = ["CacheStats", "CompensatedSum", "Stopwatch"]

@@ -19,9 +19,10 @@ def provenance_summary(engine) -> dict:
     writer embeds it verbatim.
     """
     provenance = engine.provenance
+    totals = provenance.row_totals()
     return {
         "epsilon_by_analyst": {
-            str(name): float(provenance.row_total(name))
+            str(name): float(totals.get(name, 0.0))
             for name in engine.analysts
         },
         "table_total": float(provenance.table_total()),

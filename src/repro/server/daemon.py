@@ -56,6 +56,10 @@ from repro.service.service import QueryService
 #: default before giving up (seconds).
 DEFAULT_DRAIN_TIMEOUT = 30.0
 
+#: How long shutdown waits (after the drain) for an in-flight background
+#: checkpoint fold before abandoning it (seconds).
+CHECKPOINT_ABANDON_TIMEOUT = 5.0
+
 _SESSION_PATH = re.compile(r"^/v1/sessions/(\d+)(?:/(query|batch))?$")
 
 
@@ -150,7 +154,8 @@ class ReproServer:
 
     def __init__(self, service: QueryService, host: str = "127.0.0.1",
                  port: int = 0,
-                 tokens: Mapping[str, str] | None = None) -> None:
+                 tokens: Mapping[str, str] | None = None,
+                 checkpoint_every: float | None = None) -> None:
         if tokens is None:
             tokens = {name: name for name in service.engine.analysts}
         unknown = sorted(set(tokens.values())
@@ -158,8 +163,33 @@ class ReproServer:
         if unknown:
             raise ReproError(f"auth table names unregistered analysts: "
                              f"{', '.join(unknown)}")
+        if checkpoint_every is not None:
+            if service.durability is None:
+                raise ReproError(
+                    "checkpoint_every requires a durable service (build "
+                    "it with durability=, i.e. `repro serve --data-dir`)")
+            if checkpoint_every <= 0:
+                raise ReproError(f"checkpoint_every must be positive, "
+                                 f"got {checkpoint_every}")
         self.service = service
         self.tokens = dict(tokens)
+        #: Background checkpoint cadence in seconds (``None`` = only at
+        #: drain).  Without it a long-lived daemon replays an ever-
+        #: growing ledger tail on its next boot; with it the write-ahead
+        #: ledger is folded into the checkpoint every interval
+        #: (``QueryService.checkpoint`` is safe while serving and never
+        #: under-counts).
+        self.checkpoint_every = checkpoint_every
+        self.checkpoints_written = 0
+        self.checkpoint_failures = 0
+        #: Set when shutdown had to abandon a checkpoint fold that was
+        #: still blocked on I/O after the drain: the fold's lock is
+        #: still held, so callers (the CLI's drain-time checkpoint)
+        #: must NOT attempt another fold — the ledger holds every
+        #: charge and the next boot replays it.
+        self.checkpoint_abandoned = False
+        self._checkpoint_stop = threading.Event()
+        self._checkpoint_thread: threading.Thread | None = None
         self._gate = _Gate()
         self._started = time.monotonic()
         handler = _build_handler(self)
@@ -191,19 +221,72 @@ class ReproServer:
         self._thread = threading.Thread(target=self._httpd.serve_forever,
                                         name="repro-server", daemon=True)
         self._thread.start()
+        if self.checkpoint_every is not None:
+            self._checkpoint_thread = threading.Thread(
+                target=self._checkpoint_loop, name="repro-checkpoint",
+                daemon=True)
+            self._checkpoint_thread.start()
         return self
+
+    def _checkpoint_loop(self) -> None:
+        """Fold the ledger into a checkpoint every ``checkpoint_every``
+        seconds until shutdown.  A failed fold (disk full, transient I/O)
+        is reported and retried next interval — serving never stops for
+        it, and the ledger it failed to compact still holds every
+        charge."""
+        import sys
+
+        while not self._checkpoint_stop.wait(self.checkpoint_every):
+            try:
+                self.service.checkpoint()
+                self.checkpoints_written += 1
+            except Exception as exc:
+                self.checkpoint_failures += 1
+                print(f"repro serve: background checkpoint failed: {exc}",
+                      file=sys.stderr, flush=True)
 
     def shutdown(self, drain_timeout: float = DEFAULT_DRAIN_TIMEOUT) -> None:
         """Graceful stop: refuse new work, drain in-flight requests, stop
         the listener, close the service.  Idempotent; raises
         :class:`DrainTimeout` (after stopping anyway) if in-flight work
         outlived ``drain_timeout``."""
+        # Signal the checkpoint timer first, but join it only *after*
+        # the drain: a fold in flight is safe alongside serving, the
+        # drain window doubles as its grace period, and shutdown stays
+        # bounded by one drain_timeout, not two.
+        self._checkpoint_stop.set()
         drained = self._gate.drain(drain_timeout)
         self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join()
             self._thread = None
         self._httpd.server_close()
+        if self._checkpoint_thread is not None:
+            # Bounded join before the service closes (the fold must not
+            # race the ledger writer's close).  A fold still blocked on
+            # dead storage is abandoned: the thread is a daemon so it
+            # cannot hold the process open, the ledger it failed to
+            # compact holds every charge, and `checkpoint_abandoned`
+            # tells the CLI to skip its drain-time fold — the fold's
+            # lock is still held, so another attempt would hang forever.
+            self._checkpoint_thread.join(timeout=CHECKPOINT_ABANDON_TIMEOUT)
+            if self._checkpoint_thread.is_alive():
+                import sys
+
+                self.checkpoint_abandoned = True
+                print("repro serve: background checkpoint still blocked "
+                      "on I/O after the drain; abandoning it (the ledger "
+                      "is intact, the next boot replays it)",
+                      file=sys.stderr, flush=True)
+                # The wedged fold holds the ledger writer's lock, so
+                # DurabilityManager.close() would block on it forever —
+                # detach it instead of closing it.  Safe: the drain is
+                # complete (no more charges to journal), the on-disk
+                # ledger is valid up to its last completed write
+                # (recovery handles a torn tail), and the data-dir lock
+                # releases with the process.
+                self.service.durability = None
+            self._checkpoint_thread = None
         self.service.close()
         if not drained:
             raise DrainTimeout(
@@ -269,7 +352,7 @@ class ReproServer:
 
     def _health(self) -> dict:
         snapshot = self.service.snapshot()
-        return {
+        payload = {
             "protocol": PROTOCOL_VERSION,
             "status": "draining" if self._gate.draining else "ok",
             "uptime_seconds": time.monotonic() - self._started,
@@ -280,6 +363,10 @@ class ReproServer:
             "submitted": snapshot["service"]["submitted"],
             "answered": snapshot["service"]["answered"],
         }
+        if self.checkpoint_every is not None:
+            payload["checkpoints_written"] = self.checkpoints_written
+            payload["checkpoint_failures"] = self.checkpoint_failures
+        return payload
 
     def _analyst_for(self, payload: dict) -> str:
         token = payload.get("token")

@@ -76,7 +76,11 @@ class LruSynopsisStore(SynopsisStore):
             self._local.move_to_end((synopsis.analyst, synopsis.view_name))
             while self.max_local is not None \
                     and len(self._local) > self.max_local:
-                self._local.popitem(last=False)
+                evicted_key, _ = self._local.popitem(last=False)
+                # Evictions version the entry too: the fast lane's
+                # generation check must notice an entry vanishing
+                # mid-read, not only one being replaced.
+                self._bump_local_generation(*evicted_key)
                 self.stats.record_eviction()
 
 

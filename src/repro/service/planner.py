@@ -21,7 +21,6 @@ from repro.core.engine import DProvDB
 from repro.db.sql.ast import SelectStatement
 from repro.exceptions import ReproError
 from repro.service.session import QueryRequest
-from repro.views.transform import transform_avg_parts, transform_group_by
 
 
 @dataclass(frozen=True)
@@ -67,44 +66,43 @@ class BatchPlan:
 def _plan_one(engine: DProvDB, index: int, request: QueryRequest
               ) -> PlannedQuery:
     try:
-        statement = engine._resolve(request.sql)
+        compiled = engine.compile_statement(request.sql)
     except ReproError:
-        return PlannedQuery(index, request, None, None, math.inf, False)
+        # Parse/compile failures are rare and surface their error at
+        # execution time; re-resolve only to distinguish "unparseable"
+        # (no statement at all) from "parsed but unanswerable".
+        try:
+            statement = engine._resolve(request.sql)
+        except ReproError:
+            return PlannedQuery(index, request, None, None, math.inf, False)
+        return PlannedQuery(index, request, statement, None, math.inf,
+                            statement.group_by != ())
     try:
-        agg = statement.aggregates[0] if statement.aggregates else None
-        is_avg = (agg is not None and agg.func == "AVG"
-                  and statement.is_scalar())
-        if statement.group_by or is_avg:
+        view = compiled.view
+        if compiled.kind != "scalar":
             # GROUP BY / AVG take the engine's general path, but their
             # strictness key must still be a *per-bin* variance so it is
-            # comparable with compiled scalar entries on the same view:
-            # transform the strictest part now (it is re-derived at
-            # execution time; these requests are a minority of traffic).
-            view = engine.registry.select(statement)
-            if statement.group_by:
-                parts = [q for _, q in transform_group_by(statement, view)
-                         if q.weight_norm_sq > 0]
-            else:
-                parts = [transform_avg_parts(statement, view)[0]]
-            strictest = max(parts, key=lambda q: q.weight_norm_sq,
-                            default=None)
-            if strictest is None:
+            # comparable with compiled scalar entries on the same view;
+            # the cached entry carries the strictest transformed part.
+            if compiled.strictest is None:
                 per_bin = math.inf
             else:
-                target = engine._accuracy_for(strictest, request.accuracy,
+                target = engine._accuracy_for(compiled.strictest,
+                                              request.accuracy,
                                               request.epsilon, view)
-                per_bin = strictest.per_bin_variance_for(target)
-            return PlannedQuery(index, request, statement, view.name,
-                                per_bin, bool(statement.group_by))
-        view, query = engine.registry.compile(statement)
+                per_bin = compiled.strictest.per_bin_variance_for(target)
+            return PlannedQuery(index, request, compiled.statement,
+                                view.name, per_bin,
+                                compiled.kind == "group_by")
+        query = compiled.query
         target = engine._accuracy_for(query, request.accuracy,
                                       request.epsilon, view)
-        return PlannedQuery(index, request, statement, view.name,
+        return PlannedQuery(index, request, compiled.statement, view.name,
                             query.per_bin_variance_for(target), False,
                             view=view, query=query, target=target)
     except ReproError:
-        return PlannedQuery(index, request, statement, None, math.inf,
-                            statement.group_by != ())
+        return PlannedQuery(index, request, compiled.statement, None,
+                            math.inf, compiled.kind == "group_by")
 
 
 def plan_batch(engine: DProvDB, requests: list[QueryRequest]) -> BatchPlan:

@@ -45,7 +45,8 @@ from repro.exceptions import (
     ServiceClosed,
     SessionClosed,
 )
-from repro.metrics.runtime import CacheStats
+from repro.db.sql.unparse import to_sql
+from repro.metrics.runtime import CacheStats, CompensatedSum
 from repro.persistence.schema import provenance_summary
 from repro.service.cache import LruSynopsisStore
 from repro.service.planner import BatchPlan, PlannedQuery, plan_batch
@@ -79,6 +80,12 @@ class ServiceStats:
     under sharded submission.  ``busy_seconds`` sums per-submission
     execution time; overlapping submissions in sharded mode can therefore
     sum to more than wall-clock — the ratio is the effective parallelism.
+
+    Per-analyst epsilon is accumulated with Neumaier compensation
+    (:class:`repro.metrics.runtime.CompensatedSum`): a plain float sum
+    drifts from the provenance table's ledger over long runs of small
+    charges (regression-tested against ``provenance_summary`` after 10k
+    charges in ``tests/test_fast_lane_equivalence.py``).
     """
 
     submitted: int = 0
@@ -88,7 +95,7 @@ class ServiceStats:
     answer_cache_hits: int = 0
     fresh_releases: int = 0
     batches: int = 0
-    epsilon_by_analyst: dict[str, float] = field(default_factory=dict)
+    epsilon_terms: dict[str, CompensatedSum] = field(default_factory=dict)
     busy_seconds: float = 0.0
 
     @property
@@ -97,13 +104,21 @@ class ServiceStats:
         total = self.answer_cache_hits + self.fresh_releases
         return self.answer_cache_hits / total if total else 0.0
 
+    @property
+    def epsilon_by_analyst(self) -> dict[str, float]:
+        """Compensated per-analyst epsilon totals, as plain floats."""
+        return {name: term.value
+                for name, term in self.epsilon_terms.items()}
+
     def _record_answer(self, analyst: str, answer: Answer) -> None:
         if answer.cache_hit:
             self.answer_cache_hits += 1
         else:
             self.fresh_releases += 1
-        self.epsilon_by_analyst[analyst] = \
-            self.epsilon_by_analyst.get(analyst, 0.0) + answer.epsilon_charged
+        term = self.epsilon_terms.get(analyst)
+        if term is None:
+            term = self.epsilon_terms[analyst] = CompensatedSum()
+        term.add(answer.epsilon_charged)
 
     def as_dict(self) -> dict:
         """Strictly JSON-serializable counters (the wire protocol ships
@@ -371,14 +386,16 @@ class QueryService:
         for item in plan.ordered:
             groups.setdefault(item.view_name, []).append(item)
 
-        def run_item(item: PlannedQuery) -> None:
-            responses[item.index] = self._execute_planned(live.analyst, item)
+        def run_group(view_name: str | None,
+                      items: list[PlannedQuery]) -> None:
+            self._execute_planned_group(live.analyst, view_name, items,
+                                        responses)
 
         if parallel and self.sharding is not None and len(groups) > 1:
-            self.sharding.run_view_groups(list(groups.items()), run_item)
+            self.sharding.run_groups(list(groups.items()), run_group)
         else:
-            for item in plan.ordered:
-                run_item(item)
+            for view_name, items in groups.items():
+                run_group(view_name, items)
         elapsed = time.perf_counter() - started
 
         with self._stats_lock:
@@ -394,6 +411,45 @@ class QueryService:
         with self._critical_section():
             return plan_batch(self._engine, list(requests))
 
+    def _execute_planned_group(self, analyst: str, view_name: str | None,
+                               items: list[PlannedQuery],
+                               responses: list) -> None:
+        """Run one per-view group of a planned batch, filling ``responses``.
+
+        The first (strictest) entry always takes the normal path — it is
+        the one that may refresh the synopsis for everyone behind it.
+        The rest first try the engine's batch lane: one versioned cached
+        lookup answers the maximal adequate prefix of compiled scalar
+        entries without any view/provenance locking; whatever the lane
+        declines (inadequate accuracy, GROUP BY / AVG shapes, generation
+        races) runs through the normal path in plan order, exactly as a
+        fast-lane-disabled replay would.
+        """
+        responses[items[0].index] = self._execute_planned(analyst, items[0])
+        rest = items[1:]
+        if not rest:
+            return
+        lane: list[PlannedQuery] = []
+        if view_name is not None and self._engine.fast_lane:
+            for item in rest:
+                if not item.compiled:
+                    break
+                lane.append(item)
+        if lane:
+            sql_texts = [item.request.sql
+                         if isinstance(item.request.sql, str)
+                         else to_sql(item.statement) for item in lane]
+            answers = self._engine.answer_batch_from_cache(
+                analyst, lane[0].view,
+                [(item.query, item.target) for item in lane], sql_texts)
+            for item, answer in zip(lane, answers):
+                if answer is not None:
+                    responses[item.index] = QueryResponse(item.index,
+                                                          answer=answer)
+        for item in rest:
+            if responses[item.index] is None:
+                responses[item.index] = self._execute_planned(analyst, item)
+
     def _execute_planned(self, analyst: str, item) -> QueryResponse:
         """Run one planned entry, using the compiled fast path when the
         planner kept the (view, query, target) triple."""
@@ -403,7 +459,9 @@ class QueryService:
                                  statement=item.statement)
         try:
             answer = self._engine.submit_compiled(
-                analyst, item.statement, item.view, item.query, item.target)
+                analyst, item.statement, item.view, item.query, item.target,
+                sql_text=(item.request.sql
+                          if isinstance(item.request.sql, str) else None))
             return QueryResponse(item.index, answer=answer)
         except QueryRejected as exc:
             return QueryResponse(item.index, error=str(exc), rejected=True)
@@ -414,12 +472,25 @@ class QueryService:
                  is_group_by: bool | None,
                  statement=None) -> QueryResponse:
         """Run one request against the engine (which self-locks per view)."""
-        sql = statement if statement is not None else request.sql
+        # Prefer the raw SQL text when we have it: it is the compiled-
+        # statement cache's key, so the engine skips re-parsing AND
+        # re-compiling; a pre-resolved statement has no cheap cache key.
+        sql = request.sql if isinstance(request.sql, str) \
+            else (statement if statement is not None else request.sql)
         try:
             if is_group_by is None:
-                resolved = self._engine._resolve(sql)
-                is_group_by = bool(resolved.group_by)
-                sql = resolved
+                if isinstance(sql, str):
+                    # String SQL: classification is a statement-cache
+                    # lookup, and the engine's own compile below hits
+                    # the same entry.
+                    is_group_by = \
+                        self._engine.compile_statement(sql).kind \
+                        == "group_by"
+                else:
+                    # Pre-resolved statements have no cache key; their
+                    # routing kind is a plain attribute read — compiling
+                    # here would only throw the work away.
+                    is_group_by = bool(sql.group_by)
             if is_group_by:
                 groups = self._engine.submit_group_by(
                     analyst, sql, accuracy=request.accuracy,
@@ -479,6 +550,10 @@ class QueryService:
                                for key, value
                                in self.cache_stats.as_dict().items()},
             "open_sessions": open_sessions,
+            # Hot-path caches: the compiled-statement LRU (parse+compile
+            # memoisation) and the memoized-answer fast lane.
+            "compiled_statements": self._engine.statement_cache.counters(),
+            "fast_lane": self._engine.fast_lane_counters(),
             "execution": self._execution,
             "shards": (self.sharding.num_shards if self.sharding else 0),
             "closed": self._closed,

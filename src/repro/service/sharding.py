@@ -94,14 +94,31 @@ class ShardManager:
         non-``ReproError`` exception escaping ``fn`` is re-raised here
         after all shards finish, so no work is silently dropped.
         """
-        by_shard: dict[int, list[Iterable[T]]] = {}
-        for view_name, items in groups:
-            by_shard.setdefault(self.shard_of(view_name), []).append(items)
+        def per_item(view_name: str | None, items: Iterable[T]) -> None:
+            for item in items:
+                fn(item)
 
-        def run_shard(shard_groups: list[Iterable[T]]) -> None:
-            for items in shard_groups:
-                for item in items:
-                    fn(item)
+        self.run_groups(groups, per_item)
+
+    def run_groups(self, groups: Sequence[tuple[str | None, Iterable[T]]],
+                   group_fn: Callable[[str | None, Iterable[T]], None]
+                   ) -> None:
+        """Execute ``group_fn(view_name, items)`` once per group.
+
+        Same routing and error contract as :meth:`run_view_groups`, but
+        the callee receives whole groups — the granularity the service's
+        batched fast lane wants (one versioned cached lookup can answer a
+        group's tail in a single pass).
+        """
+        by_shard: dict[int, list[tuple[str | None, Iterable[T]]]] = {}
+        for view_name, items in groups:
+            by_shard.setdefault(self.shard_of(view_name), []).append(
+                (view_name, items))
+
+        def run_shard(shard_groups: list[tuple[str | None,
+                                               Iterable[T]]]) -> None:
+            for view_name, items in shard_groups:
+                group_fn(view_name, items)
 
         if len(by_shard) <= 1 or not self._use_pool:
             for shard_groups in by_shard.values():

@@ -80,6 +80,120 @@ def _check_answerable(statement: SelectStatement, view: HistogramView) -> None:
     raise UnanswerableQuery(f"aggregate {agg.func} not answerable over views")
 
 
+def _is_plain_number(value) -> bool:
+    """Numeric operand the vectorized mask path handles (bools keep the
+    scalar path's python-equality semantics)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _evaluate_array(values: np.ndarray, cond: Condition) -> np.ndarray:
+    """Vectorized condition evaluation over an array of bin values."""
+    if isinstance(cond, Comparison):
+        ops = {
+            "=": np.equal, "!=": np.not_equal,
+            "<": np.less, "<=": np.less_equal,
+            ">": np.greater, ">=": np.greater_equal,
+        }
+        return ops[cond.op](values, cond.value)
+    if isinstance(cond, Between):
+        return (cond.low <= values) & (values <= cond.high)
+    if isinstance(cond, InList):
+        return np.isin(values, list(cond.values))
+    raise UnanswerableQuery(  # pragma: no cover - parser limited
+        f"unsupported condition {type(cond).__name__}"
+    )
+
+
+def _integer_bin_mask(domain: IntegerDomain, cond: Condition,
+                      ordered: bool) -> np.ndarray | None:
+    """Vectorized mask over an integer domain's bins.
+
+    Returns ``None`` when a non-numeric operand needs the scalar path's
+    python-equality semantics.  Semantics (including the partial-overlap
+    rejections for ``bin_size > 1``) match the scalar path exactly —
+    this is the compile hot loop, evaluated once per domain value before
+    vectorization.
+    """
+    if isinstance(cond, Comparison):
+        if not _is_plain_number(cond.value):
+            return None
+    elif isinstance(cond, Between):
+        if not (_is_plain_number(cond.low) and _is_plain_number(cond.high)):
+            return None
+    elif isinstance(cond, InList):
+        if not all(_is_plain_number(v) for v in cond.values):
+            return None
+    else:
+        return None
+
+    lows = domain.low + np.arange(domain.size, dtype=np.int64) \
+        * domain.bin_size
+    if domain.bin_size == 1:
+        return _evaluate_array(lows, cond)
+
+    highs = np.minimum(lows + domain.bin_size - 1, domain.high)
+    if ordered:
+        if isinstance(cond, Between):
+            # Endpoint agreement is NOT sound for intervals: BETWEEN 3
+            # AND 4 inside bin [0, 9] fails at both endpoints yet covers
+            # interior values.  Use containment directly: a bin is
+            # included iff fully inside the interval, excluded iff
+            # disjoint from it, misaligned otherwise.
+            if cond.low > cond.high:
+                # Empty interval: matches nothing, cleanly excluded
+                # (same as the bin_size == 1 path).
+                return np.zeros(domain.size, dtype=bool)
+            all_in = (cond.low <= lows) & (highs <= cond.high)
+            disjoint = (cond.high < lows) | (cond.low > highs)
+            partial = ~(all_in | disjoint)
+            if partial.any():
+                i = int(np.argmax(partial))
+                raise UnanswerableQuery(
+                    f"predicate on {cond.column!r} is not aligned with "
+                    f"the view's bin boundaries (bin [{int(lows[i])}, "
+                    f"{int(highs[i])}])"
+                )
+            return all_in
+        # Monotone comparisons: the truth set is a half-line, so a bin
+        # straddling the threshold disagrees at its endpoints.
+        in_low = _evaluate_array(lows, cond)
+        in_high = _evaluate_array(highs, cond)
+        mismatch = in_low != in_high
+        if mismatch.any():
+            i = int(np.argmax(mismatch))
+            raise UnanswerableQuery(
+                f"predicate on {cond.column!r} is not aligned with the "
+                f"view's bin boundaries (bin [{int(lows[i])}, "
+                f"{int(highs[i])}])"
+            )
+        return in_low
+
+    # Set-membership over bucketised bins: per-bin count of satisfying
+    # values; all-in -> True, all-out -> False, partial -> unanswerable.
+    widths = highs - lows + 1
+    if isinstance(cond, InList):
+        targets = np.unique([v for v in cond.values
+                             if domain.low <= v <= domain.high])
+        satisfied = (np.searchsorted(targets, highs, side="right")
+                     - np.searchsorted(targets, lows, side="left"))
+    elif cond.op == "=":
+        satisfied = ((lows <= cond.value)
+                     & (cond.value <= highs)).astype(np.int64)
+    else:  # "!="
+        excluded = ((lows <= cond.value)
+                    & (cond.value <= highs)).astype(np.int64)
+        satisfied = widths - excluded
+    full = satisfied == widths
+    partial = ~full & (satisfied > 0)
+    if partial.any():
+        i = int(np.argmax(partial))
+        raise UnanswerableQuery(
+            f"predicate on {cond.column!r} selects part of a bucketised "
+            f"bin [{int(lows[i])}, {int(highs[i])}]"
+        )
+    return full
+
+
 def _bin_mask_for_condition(domain: Domain, cond: Condition) -> np.ndarray:
     """Inclusion vector for one condition over one attribute's bins.
 
@@ -88,6 +202,11 @@ def _bin_mask_for_condition(domain: Domain, cond: Condition) -> np.ndarray:
     makes the query unanswerable over this view (bin-misaligned ranges
     cannot be answered exactly from bucketised counts — Appendix D's
     discretisation caveat).
+
+    Integer domains with numeric operands take a vectorized path (one
+    numpy comparison over the domain instead of a python loop per bin);
+    categorical domains and exotic operands keep the scalar loop below,
+    whose semantics the vectorized path mirrors exactly.
     """
     is_wide_integer = (isinstance(domain, IntegerDomain)
                        and domain.bin_size > 1)
@@ -119,9 +238,30 @@ def _bin_mask_for_condition(domain: Domain, cond: Condition) -> np.ndarray:
             f"ordering comparison on categorical column {cond.column!r}"
         )
 
+    if isinstance(domain, IntegerDomain):
+        vectorized = _integer_bin_mask(domain, cond, ordered)
+        if vectorized is not None:
+            return vectorized
+
     def wide_bin_inclusion(low: int, high: int) -> bool:
         """All-in -> True, all-out -> False, partial -> unanswerable."""
         if ordered:
+            if isinstance(cond, Between):
+                # Containment, not endpoint agreement: an interval lying
+                # strictly inside the bin fails at both endpoints yet
+                # covers interior values (same rule as the vectorized
+                # path in _integer_bin_mask).
+                if cond.low > cond.high:
+                    return False  # empty interval: cleanly excluded
+                all_in = cond.low <= low and high <= cond.high
+                disjoint = cond.high < low or cond.low > high
+                if not (all_in or disjoint):
+                    raise UnanswerableQuery(
+                        f"predicate on {cond.column!r} is not aligned "
+                        f"with the view's bin boundaries "
+                        f"(bin [{low}, {high}])"
+                    )
+                return all_in
             in_low, in_high = evaluate(low), evaluate(high)
             if in_low != in_high:
                 raise UnanswerableQuery(
@@ -191,7 +331,13 @@ def _value_weights(view: HistogramView, column: str,
     """Per-bin representative values of ``column``, optionally clipped."""
     domain = view.schema.domain(column)
     axis = view.axis_of(column)
-    values = np.array([float(domain.value_of(i)) for i in range(domain.size)])
+    if isinstance(domain, IntegerDomain):
+        values = (domain.low
+                  + np.arange(domain.size, dtype=np.float64)
+                  * domain.bin_size)
+    else:  # pragma: no cover - SUM/AVG require integer attributes
+        values = np.array([float(domain.value_of(i))
+                           for i in range(domain.size)])
     if clip is not None:
         lower, upper = clip
         if upper <= lower:
@@ -262,29 +408,40 @@ def transform_group_by(statement: SelectStatement, view: HistogramView
         raise UnanswerableQuery(f"GROUP BY with {agg.func} not supported")
 
     base = _indicator(statement, view)
-    value_grid = (_value_weights(view, agg.column, None)
-                  if agg.func == "SUM" else None)
+    # One vectorized scatter replaces the per-group selector grids: each
+    # bin belongs to exactly one group (the combination of its key-axis
+    # coordinates), so the full weight matrix is built in one pass.  The
+    # per-bin weights are identical to the old selector-product path —
+    # a selector entry is exactly 1.0 on the group's slice and 0.0 off
+    # it, so multiplying by it either preserves the weight bit-exactly
+    # or zeroes it.
+    if agg.func == "SUM":
+        base = base * _value_weights(view, agg.column, None)
 
     key_domains = [view.schema.domain(k) for k in statement.group_by]
     key_axes = [view.axis_of(k) for k in statement.group_by]
+    sizes = [d.size for d in key_domains]
+    num_bins = base.size
+    # Per-bin coordinate along each GROUP BY axis, flattened to match
+    # ``base``; their ravelled combination is the bin's group id.
+    coords = []
+    for axis, domain in zip(key_axes, key_domains):
+        shape = [1] * len(view.shape)
+        shape[axis] = domain.size
+        axis_index = np.broadcast_to(
+            np.arange(domain.size).reshape(shape), view.shape)
+        coords.append(axis_index.reshape(-1))
+    group_of_bin = np.ravel_multi_index(tuple(coords), tuple(sizes))
+    matrix = np.zeros((int(np.prod(sizes)), num_bins), dtype=np.float64)
+    matrix[group_of_bin, np.arange(num_bins)] = base
+
     results: list[tuple[tuple, LinearQuery]] = []
-    for flat_key in np.ndindex(*[d.size for d in key_domains]):
-        # Select the slice of the view grid matching this key combination.
-        selector = np.ones(view.shape, dtype=np.float64)
-        for axis, bin_idx, domain in zip(key_axes, flat_key, key_domains):
-            axis_mask = np.zeros(domain.size)
-            axis_mask[bin_idx] = 1.0
-            shape = [1] * len(view.shape)
-            shape[axis] = domain.size
-            selector = selector * axis_mask.reshape(shape)
-        weights = base * selector.reshape(-1)
-        if value_grid is not None:
-            weights = weights * value_grid
+    for group, flat_key in enumerate(np.ndindex(*sizes)):
         key_values = tuple(
             d.value_of(i) for d, i in zip(key_domains, flat_key)
         )
         results.append(
-            (key_values, LinearQuery(view.name, weights,
+            (key_values, LinearQuery(view.name, matrix[group],
                                      label=f"{agg.label()}@{key_values}"))
         )
     return results

@@ -78,9 +78,28 @@ class TestMisaligned:
         with pytest.raises(UnanswerableQuery):
             transform(stmt, view)
 
+    def test_interval_strictly_inside_one_bin_rejected(self, view):
+        # BETWEEN 3 AND 4 lies entirely inside bin [0, 9]: both bin
+        # endpoints fail the predicate, so a naive endpoint-agreement
+        # check would silently mark the bin excluded and compile a
+        # zero-weight query (wrong 0.0 answers under GROUP BY).  It must
+        # be rejected as misaligned instead.
+        stmt = parse("SELECT COUNT(*) FROM t WHERE v BETWEEN 3 AND 4")
+        assert not is_answerable(stmt, view)
+        with pytest.raises(UnanswerableQuery, match="not aligned"):
+            transform(stmt, view)
+
     def test_empty_selection_excluded_not_error(self, db, view):
         # A value outside every bin: cleanly excluded, so empty -> rejected
         # for having no support, not for misalignment.
         stmt = parse("SELECT COUNT(*) FROM t WHERE v BETWEEN 200 AND 300")
         with pytest.raises(UnanswerableQuery):
+            transform(stmt, view)
+
+    def test_degenerate_interval_excluded_not_misaligned(self, view):
+        # BETWEEN 5 AND 3 matches nothing: every bin must be cleanly
+        # excluded ("selects no bins"), not flagged as misaligned — the
+        # same outcome a bin_size == 1 view gives this predicate.
+        stmt = parse("SELECT COUNT(*) FROM t WHERE v BETWEEN 5 AND 3")
+        with pytest.raises(UnanswerableQuery, match="selects no bins"):
             transform(stmt, view)
