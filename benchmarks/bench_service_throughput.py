@@ -35,16 +35,19 @@ from repro.experiments.service_throughput import (
     SPEEDUP_TARGET,
     check_durability_matches_baseline,
     check_fastpath_speedup,
+    check_overload,
     check_remote_matches_inproc,
     durability_tax,
     fastpath_comparable,
     fastpath_speedup,
     format_durability_comparison,
+    format_overload,
     format_profile,
     format_remote_comparison,
     format_service_throughput,
     format_sharding_comparison,
     run_durability_comparison,
+    run_overload_experiment,
     run_profile,
     run_remote_comparison,
     run_service_throughput,
@@ -81,6 +84,14 @@ REMOTE_KWARGS = dict(dataset="adult", num_rows=12000, num_analysts=4,
 DURABILITY_KWARGS = dict(dataset="adult", num_rows=12000, num_analysts=8,
                          queries_per_analyst=60, threads=8, epsilon=64.0,
                          repeats=2, seed=0)
+
+#: Overload scenario scale: open-loop arrivals at ~6x the admitted
+#: capacity against a rate-limited, micro-batching daemon.
+OVERLOAD_KWARGS = dict(dataset="adult", num_rows=12000, num_analysts=4,
+                       queries_per_analyst=60, connections=4,
+                       epsilon=64.0, seed=0,
+                       rate_limit=40.0, rate_burst=8.0,
+                       offered_multiple=6.0)
 
 
 def check_durability_tax(results, floor: float = DURABILITY_OFF_FLOOR,
@@ -213,6 +224,12 @@ def main(argv: list[str] | None = None) -> int:
                              "HTTP wire (in-process daemon on an ephemeral "
                              "port) and assert identical accounting; "
                              "reports over-the-wire q/s + p50/p95 latency")
+    parser.add_argument("--overload", action="store_true",
+                        help="also run the overload scenario: open-loop "
+                             "arrivals far above the per-analyst rate "
+                             "limit against a micro-batching daemon, "
+                             "asserting bounded p95, cheap 429s, and "
+                             "exact accounting replay vs in-process")
     parser.add_argument("--durability", action="store_true",
                         help="also measure the write-ahead ledger's "
                              "fsync-policy q/s tax (none vs "
@@ -359,6 +376,22 @@ def main(argv: list[str] | None = None) -> int:
         print("ok: the wire changed nothing but latency — identical "
               "epsilon and fresh releases across transports")
 
+    overload = None
+    if args.overload:
+        overload_kwargs = dict(OVERLOAD_KWARGS)
+        if args.shards is not None:
+            overload_kwargs["shards"] = args.shards
+        if args.tiny:
+            overload_kwargs.update(num_rows=2000, num_analysts=2,
+                                   queries_per_analyst=30, connections=2,
+                                   rate_limit=25.0, rate_burst=5.0)
+        overload = run_overload_experiment(**overload_kwargs)
+        print()
+        print(format_overload(*overload))
+        check_overload(*overload)
+        print("ok: overload stays bounded — 429s are cheap and the "
+              "admitted accounting replays exactly in process")
+
     durability = None
     if args.durability:
         durability_kwargs = dict(DURABILITY_KWARGS)
@@ -383,7 +416,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         write_json_artifact(args.json, results, comparison, remote,
                             durability, profile=profile,
-                            fast_path=fast_path_comparable)
+                            fast_path=fast_path_comparable,
+                            overload=overload)
         print(f"wrote {args.json}")
     return 0
 

@@ -1,11 +1,15 @@
 """CI smoke test for ``python -m repro serve``.
 
-Black-box, process-level: spawns the real daemon as a subprocess, drives
-it with two concurrent :class:`repro.client.RemoteAnalyst` workers
-issuing mixed single + batched queries, replays the identical workload
-in process, and asserts the epsilon accounting and fresh-release counts
-match exactly.  Then SIGTERMs the daemon and asserts a clean drain
-(exit code 0 and the "stopped cleanly" line).
+Black-box, process-level: spawns the real daemon as a subprocess (with
+per-analyst admission control enabled), drives it with two concurrent
+:class:`repro.client.RemoteAnalyst` workers issuing mixed single +
+batched queries, replays the identical workload in process, and asserts
+the epsilon accounting and fresh-release counts match exactly.  Then
+scrapes ``/v1/metrics`` and checks the exposition against the service
+snapshot, fires an overload burst until the token bucket refuses with
+429 + ``Retry-After`` (asserting refusals charge nothing), and finally
+SIGTERMs the daemon and asserts a clean drain (exit code 0 and the
+"stopped cleanly" line).
 
 The two analysts query *disjoint attributes* (analyst 0 only the first
 ordered attribute, analyst 1 only the second), so each stream is served
@@ -26,9 +30,10 @@ import sys
 import threading
 import time
 
-from repro.client import RemoteAnalyst
+from repro.client import RateLimited, RemoteAnalyst
 from repro.datasets import load_adult
 from repro.experiments.service_throughput import make_service_analysts
+from repro.metrics import parse_exposition
 from repro.service.loadgen import bfs_style_queries
 from repro.service.service import QueryService
 from repro.service.session import QueryRequest
@@ -37,10 +42,15 @@ from repro.workloads.rrq import ordered_attributes
 ROWS = 2000
 EPSILON = 48.0
 ACCURACY = 2e5
+RATE_LIMIT = 50.0
+RATE_BURST = 10.0
 SERVE_ARGS = ["--port", "0", "--rows", str(ROWS), "--analysts", "2",
-              "--epsilon", str(EPSILON), "--seed", "0"]
+              "--epsilon", str(EPSILON), "--seed", "0",
+              "--rate-limit", str(RATE_LIMIT),
+              "--rate-burst", str(RATE_BURST)]
 STARTUP_TIMEOUT = 60.0
 SHUTDOWN_TIMEOUT = 30.0
+BURST_ATTEMPTS = 200
 
 
 def build_streams(bundle) -> dict[str, list[QueryRequest]]:
@@ -61,7 +71,11 @@ def replay_remote(url: str, streams) -> None:
 
     def worker(analyst: str, stream: list[QueryRequest]) -> None:
         try:
-            with RemoteAnalyst(url, token=analyst) as client:
+            # Bounded retry waits out any 429 the admission limiter
+            # throws during the replay; a refused request charges
+            # nothing, so the accounting equality below is unaffected.
+            with RemoteAnalyst(url, token=analyst,
+                               retry_rate_limited=5) as client:
                 session = client.open_session()
                 half = len(stream) // 2
                 for request in stream[:half]:
@@ -110,6 +124,56 @@ def replay_inproc(bundle, streams) -> dict:
     return snapshot
 
 
+def check_metrics(observer: RemoteAnalyst, snapshot: dict) -> None:
+    """Scrape ``/v1/metrics`` and cross-check it against ``snapshot``."""
+    metrics = parse_exposition(observer.metrics_text())
+    service = snapshot["service"]
+    assert metrics["repro_service_submitted_total"][()] == \
+        float(service["submitted"]), metrics["repro_service_submitted_total"]
+    assert metrics["repro_service_answered_total"][()] == \
+        float(service["answered"]), metrics["repro_service_answered_total"]
+    spent = metrics["repro_epsilon_spent_total"]
+    for analyst, epsilon in snapshot["provenance"][
+            "epsilon_by_analyst"].items():
+        exported = spent.get((("analyst", analyst),), 0.0)
+        assert abs(exported - epsilon) < 1e-9, \
+            f"metrics epsilon for {analyst}: {exported} != {epsilon}"
+    assert metrics["repro_open_sessions"][()] == 0.0
+    assert metrics["repro_uptime_seconds"][()] > 0.0
+    print(f"smoke: /v1/metrics matches the snapshot "
+          f"({len(metrics)} metric families)")
+
+
+def overload_burst(url: str, streams) -> None:
+    """Hammer one analyst until the token bucket refuses with a 429."""
+    analyst = "analyst_00"
+    request = streams[analyst][0]
+    refused = None
+    with RemoteAnalyst(url, token=analyst) as client:
+        session = client.open_session()
+        admitted = 0
+        for _ in range(BURST_ATTEMPTS):
+            try:
+                response = client.submit(session, request.sql,
+                                         accuracy=request.accuracy)
+                assert response.ok, response.error
+                admitted += 1
+            except RateLimited as exc:
+                refused = exc
+                break
+        assert refused is not None, \
+            f"{BURST_ATTEMPTS} rapid submits never tripped admission " \
+            f"control (admitted {admitted})"
+        assert refused.status == 429, refused.status
+        assert refused.retry_after and refused.retry_after > 0.0, \
+            f"429 carried no usable Retry-After: {refused.retry_after!r}"
+        health = client.health()
+        assert health["rate_limited"] >= 1, health
+        client.close_session(session)
+    print(f"smoke: overload burst refused after {admitted} admits "
+          f"(429, Retry-After={refused.retry_after:.3f}s)")
+
+
 def main() -> int:
     bundle = load_adult(num_rows=ROWS, seed=0)
     streams = build_streams(bundle)
@@ -156,6 +220,25 @@ def main() -> int:
         print(f"smoke: accounting matches in-process replay exactly "
               f"(eps={remote_eps}, fresh={remote_fresh})")
 
+        print("smoke: scraping /v1/metrics")
+        with RemoteAnalyst(url, token="analyst_00") as observer:
+            check_metrics(observer, remote_snapshot)
+
+        print("smoke: overload burst -> expecting 429 + Retry-After")
+        overload_burst(url, streams)
+        with RemoteAnalyst(url, token="analyst_00") as observer:
+            post_burst = observer.snapshot()
+            metrics = parse_exposition(observer.metrics_text())
+        # Refused requests charge nothing, and the admitted re-submits
+        # of an already-answered query compose away under the additive
+        # mechanism — the ledger is untouched by the burst.
+        post_eps = post_burst["provenance"]["epsilon_by_analyst"]
+        assert post_eps == remote_eps, \
+            f"overload burst moved the ledger: {post_eps} != {remote_eps}"
+        limited = metrics["repro_rate_limited_total"]
+        assert limited.get((("analyst", "analyst_00"),), 0.0) >= 1.0, limited
+        print("smoke: burst charged nothing; 429s exported to metrics")
+
         print("smoke: SIGTERM -> expecting clean drain")
         daemon.send_signal(signal.SIGTERM)
         output, _ = daemon.communicate(timeout=SHUTDOWN_TIMEOUT)
@@ -165,7 +248,8 @@ def main() -> int:
             f"daemon exited {daemon.returncode}, want 0"
         assert "stopped cleanly (drained)" in output, \
             "daemon did not report a clean drain"
-        print("smoke: ok — clean drain, identical accounting")
+        print("smoke: ok — clean drain, identical accounting, "
+              "metrics + admission control live")
         return 0
     finally:
         if daemon.poll() is None:

@@ -219,6 +219,23 @@ def _bench_service(args) -> str:
         )
         check_remote_matches_inproc(remote)
         report += "\n\n" + format_remote_comparison(remote)
+    overload = None
+    if args.overload:
+        from repro.experiments.service_throughput import (
+            check_overload,
+            format_overload,
+            run_overload_experiment,
+        )
+
+        overload = run_overload_experiment(
+            dataset=args.dataset, num_rows=args.rows,
+            num_analysts=args.analysts,
+            queries_per_analyst=min(args.queries, 60),
+            connections=args.connections or args.threads,
+            seed=args.seed, execution=args.execution, shards=args.shards,
+        )
+        check_overload(*overload)
+        report += "\n\n" + format_overload(*overload)
     if args.json is not None:
         from repro.experiments.service_throughput import write_json_artifact
 
@@ -235,7 +252,8 @@ def _bench_service(args) -> str:
             execution=args.execution, fast_lane=not args.no_fast_lane)
         write_json_artifact(args.json, results, comparison, remote,
                             durability, profile=profile,
-                            fast_path=fast_path_comparable)
+                            fast_path=fast_path_comparable,
+                            overload=overload)
         report += f"\nwrote {args.json}"
     return report
 
@@ -285,7 +303,12 @@ def _serve(args) -> str:
     try:
         server = ReproServer(service, host=args.host, port=args.port,
                              tokens=tokens,
-                             checkpoint_every=args.checkpoint_every)
+                             checkpoint_every=args.checkpoint_every,
+                             rate_limit=args.rate_limit,
+                             rate_burst=args.rate_burst,
+                             micro_batch=args.micro_batch,
+                             request_timeout=args.request_timeout,
+                             max_body_bytes=args.max_body)
     except ReproError:
         service.close()
         raise
@@ -294,6 +317,15 @@ def _serve(args) -> str:
     print(f"  dataset={args.dataset} rows={args.rows or 'full'} "
           f"epsilon={args.epsilon} execution={args.execution} "
           f"shards={args.shards}", flush=True)
+    if args.rate_limit is not None:
+        print(f"  admission control: {args.rate_limit:g} q/s per analyst "
+              f"(burst {args.rate_burst if args.rate_burst is not None else max(1.0, args.rate_limit):g}); "
+              f"over-limit requests get 429 + Retry-After", flush=True)
+    if args.micro_batch:
+        print("  adaptive micro-batching: queued single queries coalesce "
+              "into planner batches under pressure", flush=True)
+    print(f"  metrics: GET {server.url}/v1/metrics (Prometheus text)",
+          flush=True)
     if service.durability is not None:
         print(f"  durability: data_dir={args.data_dir} fsync={args.fsync} "
               f"recover={args.recover}", flush=True)
@@ -477,6 +509,12 @@ def build_parser() -> argparse.ArgumentParser:
                                   "fsync-policy q/s tax (none vs "
                                   "off/batch/always) and assert identical "
                                   "accounting")
+            cmd.add_argument("--overload", action="store_true",
+                             help="also run the overload scenario: "
+                                  "open-loop arrivals far above the "
+                                  "per-analyst rate limit, asserting "
+                                  "bounded p95, cheap 429s, and exact "
+                                  "accounting replay vs in-process")
             cmd.add_argument("--profile", action="store_true",
                              help="cProfile one inline replay and print "
                                   "the top-20 cumulative hotspot table "
@@ -538,6 +576,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON token file mapping auth token -> "
                             "analyst (must not be world-readable); "
                             "replaces the identity default")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       metavar="QPS",
+                       help="per-analyst admission control: sustained "
+                            "queries/sec each analyst may submit; over "
+                            "the limit the server answers 429 with a "
+                            "Retry-After hint (default: unlimited)")
+    serve.add_argument("--rate-burst", type=float, default=None,
+                       metavar="N",
+                       help="token-bucket burst with --rate-limit "
+                            "(default: max(1, rate))")
+    serve.add_argument("--micro-batch", action="store_true",
+                       help="coalesce queued single queries into planner "
+                            "batches when the server is under queueing "
+                            "pressure (accounting is identical; see "
+                            "--overload in bench-service)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-connection socket timeout: a client "
+                            "that stalls mid-body gets 408 and cannot "
+                            "hold a handler thread (default: 30)")
+    serve.add_argument("--max-body", type=int, default=8 * 1024 * 1024,
+                       metavar="BYTES",
+                       help="largest request body accepted before the "
+                            "server answers 413 (default: 8 MiB)")
 
     recover = sub.add_parser(
         "recover", help="inspect crash recovery for a --data-dir "

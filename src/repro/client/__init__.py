@@ -8,6 +8,11 @@ wire, decoding responses back into the same
 returns, so workload code runs unchanged against either.
 """
 
-from repro.client.remote import RemoteAnalyst, RemoteError, RemoteSession
+from repro.client.remote import (
+    RateLimited,
+    RemoteAnalyst,
+    RemoteError,
+    RemoteSession,
+)
 
-__all__ = ["RemoteAnalyst", "RemoteError", "RemoteSession"]
+__all__ = ["RateLimited", "RemoteAnalyst", "RemoteError", "RemoteSession"]

@@ -18,6 +18,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from dataclasses import dataclass
 from typing import Sequence
 from urllib.parse import urlsplit
@@ -54,6 +55,22 @@ class RemoteError(ReproError):
         self.kind = kind
 
 
+class RateLimited(RemoteError):
+    """The server's admission control refused this submission (429).
+
+    ``retry_after`` carries the server's ``Retry-After`` header in
+    seconds (``None`` if the server omitted it).  Raised only once
+    :class:`RemoteAnalyst`'s own bounded retry budget (the
+    ``retry_rate_limited`` constructor knob, default 0 = surface
+    immediately) is exhausted.
+    """
+
+    def __init__(self, message: str,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message, status=429, kind="rate_limited")
+        self.retry_after = retry_after
+
+
 @dataclass(frozen=True)
 class RemoteSession:
     """Handle for one server-side session (identity lives server-side)."""
@@ -72,7 +89,9 @@ class RemoteAnalyst:
     """
 
     def __init__(self, base_url: str, token: str,
-                 timeout: float = DEFAULT_TIMEOUT) -> None:
+                 timeout: float = DEFAULT_TIMEOUT,
+                 retry_rate_limited: int = 0,
+                 max_retry_after: float = 5.0) -> None:
         if "://" in base_url:
             parts = urlsplit(base_url)
             if parts.scheme != "http":
@@ -88,8 +107,17 @@ class RemoteAnalyst:
             host, port = netloc, 80
         if not host:
             raise ReproError(f"no host in base url {base_url!r}")
+        if retry_rate_limited < 0:
+            raise ReproError(f"retry_rate_limited must be >= 0, "
+                             f"got {retry_rate_limited}")
         self._host, self._port, self._timeout = host, port, timeout
         self.token = token
+        #: How many times a 429 is retried (sleeping out the server's
+        #: ``Retry-After``, capped at ``max_retry_after`` seconds) before
+        #: :class:`RateLimited` surfaces.  Safe to retry: a 429 is
+        #: refused *before* any engine work, so nothing was charged.
+        self.retry_rate_limited = int(retry_rate_limited)
+        self.max_retry_after = float(max_retry_after)
         self._conn: http.client.HTTPConnection | None = None
 
     # -- transport -------------------------------------------------------------
@@ -122,6 +150,20 @@ class RemoteAnalyst:
 
     def _request(self, method: str, path: str,
                  payload: dict | None = None) -> dict:
+        budget = self.retry_rate_limited
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except RateLimited as exc:
+                if budget <= 0:
+                    raise
+                budget -= 1
+                pause = exc.retry_after if exc.retry_after is not None \
+                    else 0.05
+                time.sleep(min(max(0.0, pause), self.max_retry_after))
+
+    def _request_once(self, method: str, path: str,
+                      payload: dict | None = None) -> dict:
         body = None if payload is None else json.dumps(payload)
         headers = {"Content-Type": "application/json"}
         for attempt in (1, 2):  # one transparent reconnect on a dead socket
@@ -160,11 +202,15 @@ class RemoteAnalyst:
             raise RemoteError(f"{method} {path}: server sent a non-object "
                               f"body", status=reply.status)
         if reply.status >= 400:
-            self._raise_for(reply.status, decoded, f"{method} {path}")
+            retry_after = _parse_retry_after(
+                reply.getheader("Retry-After"), decoded)
+            self._raise_for(reply.status, decoded, f"{method} {path}",
+                            retry_after)
         return decoded
 
     @staticmethod
-    def _raise_for(status: int, payload: dict, context: str) -> None:
+    def _raise_for(status: int, payload: dict, context: str,
+                   retry_after: float | None = None) -> None:
         try:
             message, kind = decode_error(payload)
         except WireFormatError:
@@ -173,6 +219,9 @@ class RemoteAnalyst:
             raise ServiceClosed(message)
         if kind == "session_closed":
             raise SessionClosed(message)
+        if kind == "rate_limited" or status == 429:
+            raise RateLimited(f"{context}: {message}",
+                              retry_after=retry_after)
         if status == 401:
             raise UnknownAnalyst(message)
         raise RemoteError(f"{context}: {message}", status=status, kind=kind)
@@ -219,11 +268,43 @@ class RemoteAnalyst:
     def health(self) -> dict:
         return self._request("GET", "/v1/health")
 
+    def metrics_text(self) -> str:
+        """The server's ``/v1/metrics`` Prometheus text, verbatim."""
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request("GET", "/v1/metrics")
+                reply = conn.getresponse()
+                raw = reply.read()
+                break
+            except self._SOCKET_ERRORS as exc:
+                self.close()
+                if attempt == 2:
+                    raise RemoteError(
+                        f"GET /v1/metrics failed: {exc}") from exc
+        if reply.status != 200:
+            raise RemoteError(f"GET /v1/metrics returned {reply.status}",
+                              status=reply.status)
+        return raw.decode("utf-8")
+
 
 def _session_id(session: RemoteSession | int) -> int:
     return session.session_id if isinstance(session, RemoteSession) \
         else int(session)
 
 
-__all__ = ["DEFAULT_TIMEOUT", "RemoteAnalyst", "RemoteError",
-           "RemoteSession"]
+def _parse_retry_after(header: str | None, payload: dict) -> float | None:
+    """Seconds from the ``Retry-After`` header, falling back to the
+    envelope's ``retry_after`` field; ``None`` when absent/garbled."""
+    for candidate in (header, payload.get("retry_after")):
+        if candidate is None or isinstance(candidate, bool):
+            continue
+        try:
+            return max(0.0, float(candidate))
+        except (TypeError, ValueError):
+            continue
+    return None
+
+
+__all__ = ["DEFAULT_TIMEOUT", "RateLimited", "RemoteAnalyst",
+           "RemoteError", "RemoteSession"]

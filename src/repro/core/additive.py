@@ -79,7 +79,7 @@ class AdditiveGaussianMechanism(MechanismBase):
         self._global_epsilon_base: dict[str, float] = {}
 
     def _answer_fresh(self, analyst: str, view: HistogramView,
-                      query: LinearQuery, per_bin: float) -> Outcome:
+                      query: LinearQuery, per_bin: float):
         """One fresh additive release.
 
         The caller (:class:`repro.core.engine.DProvDB`) holds the view's
@@ -130,7 +130,7 @@ class AdditiveGaussianMechanism(MechanismBase):
             answer_variance=query.answer_variance(local.variance),
             view_name=view.name,
             cache_hit=False,
-        )
+        ), local.values
 
     def _quote_fresh(self, analyst: str, view: HistogramView,
                      query: LinearQuery, per_bin: float) -> float:

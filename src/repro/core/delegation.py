@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.exceptions import QueryRejected, ReproError
 
@@ -52,6 +53,23 @@ class DelegationManager:
     _counter: itertools.count = field(default_factory=itertools.count)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
+    #: Durability hook: ``on_event(event, payload)`` fires for every
+    #: *finalised* grant mutation — ``create`` (identity + cap),
+    #: ``consume`` (the realised epsilon of one delegated query),
+    #: ``revoke`` — strictly **outside** ``_lock``, mirroring the
+    #: provenance table's ``on_commit`` contract (journal I/O never runs
+    #: under an accounting lock).  Reservations are not journaled: only
+    #: their settlement is durable state, and a crash mid-query simply
+    #: drops the provisional hold (the provenance charge it guarded was
+    #: not committed either).  Attached by
+    #: :meth:`repro.persistence.DurabilityManager.bind`.
+    on_event: Callable[[str, dict], None] | None = field(
+        default=None, repr=False, compare=False)
+
+    def _emit(self, event: str, payload: dict) -> None:
+        hook = self.on_event
+        if hook is not None:
+            hook(event, payload)
 
     def grant(self, grantor: str, grantee: str,
               epsilon_cap: float | None = None) -> int:
@@ -67,10 +85,14 @@ class DelegationManager:
         grant_id = next(self._counter)
         self._grants[grant_id] = Grant(grant_id, grantor, grantee,
                                        epsilon_cap)
+        self._emit("create", {"grant_id": grant_id, "grantor": grantor,
+                              "grantee": grantee,
+                              "epsilon_cap": epsilon_cap})
         return grant_id
 
     def revoke(self, grant_id: int) -> None:
         self._lookup(grant_id).revoked = True
+        self._emit("revoke", {"grant_id": grant_id})
 
     def _lookup(self, grant_id: int) -> Grant:
         try:
@@ -119,6 +141,9 @@ class DelegationManager:
         with self._lock:
             grant.consumed += actual - reserved
             grant.queries += 1
+        # Net effect of reserve+settle is exactly `actual`: journal that.
+        self._emit("consume", {"grant_id": grant.grant_id,
+                               "eps": float(actual)})
 
     def release(self, grant: Grant, reserved: float) -> None:
         """Return a provisional charge whose query failed."""
@@ -129,6 +154,8 @@ class DelegationManager:
         with self._lock:
             grant.consumed += epsilon
             grant.queries += 1
+        self._emit("consume", {"grant_id": grant.grant_id,
+                               "eps": float(epsilon)})
 
     def audit(self, grantor: str) -> list[Grant]:
         """All grants issued by ``grantor`` (for budget exposure review)."""

@@ -540,10 +540,12 @@ class DProvDB:
                                         count_outcome)
             self._note_fast_lane(misses=1)
         with self.view_section(view.name):
-            sum_outcome = self.mechanism.answer(analyst, view, sum_query,
-                                                target)
-            count_outcome = self.mechanism.answer(analyst, view, count_query,
-                                                  count_target)
+            # One atomic answer for both parts: at most one fresh release,
+            # with the COUNT riding the SUM's synopsis — a rejected AVG
+            # therefore charges nothing (two independent answer() calls
+            # could charge the SUM, then reject the COUNT).
+            sum_outcome, count_outcome = self.mechanism.answer_avg(
+                analyst, view, sum_query, count_query, target, count_target)
         return self._avg_answer(analyst, view, sum_outcome, count_outcome)
 
     @staticmethod

@@ -227,12 +227,74 @@ class MechanismBase:
         if cached is not None:
             return cached
         try:
-            return self._answer_fresh(analyst, view, query, per_bin)
+            outcome, _ = self._answer_fresh(analyst, view, query, per_bin)
+            return outcome
         except TranslationError as exc:
             raise QueryRejected(str(exc), constraint="translation") from exc
 
+    def answer_avg(self, analyst: str, view: HistogramView,
+                   sum_query: LinearQuery, count_query: LinearQuery,
+                   sum_accuracy: float, count_accuracy: float
+                   ) -> tuple[Outcome, Outcome]:
+        """Answer an AVG's SUM and COUNT parts against ONE synopsis.
+
+        The engine scales the COUNT's accuracy so both parts resolve to
+        the same per-bin requirement (up to float rounding), meaning the
+        slow path needs at most one fresh release.  Issuing the parts as
+        two independent :meth:`answer` calls can nevertheless charge the
+        SUM and then *reject* the COUNT — an LRU eviction between the
+        two probes, an exhausted delta cap, or a one-ulp per-bin
+        mismatch forces a second release the budget no longer covers —
+        leaving a rejected AVG half-charged.  Here the second part never
+        translates to a charge: it is answered from the very synopsis
+        the first part used (or released), so a rejected AVG charges
+        nothing and a successful one charges exactly one release.
+
+        Cache statistics are recorded exactly as the two-probe path
+        would have: two hits on a joint cache hit; one miss (the
+        release) plus one hit (the ride-along) on a refresh.
+        """
+        sum_per_bin = sum_query.per_bin_variance_for(sum_accuracy)
+        count_per_bin = count_query.per_bin_variance_for(count_accuracy)
+        per_bin = min(sum_per_bin, count_per_bin)
+        name = view.name
+        cached = self.store.local_synopsis(analyst, name)
+        if cached is not None and cached.variance <= per_bin:
+            self.store.note_lookup(True)
+            self.store.note_lookup(True)
+            return (self._free_outcome(cached.values, cached.variance,
+                                       sum_query, name),
+                    self._free_outcome(cached.values, cached.variance,
+                                       count_query, name))
+        self.store.note_lookup(False)
+        try:
+            sum_outcome, values = self._answer_fresh(analyst, view,
+                                                     sum_query, per_bin)
+        except TranslationError as exc:
+            raise QueryRejected(str(exc), constraint="translation") from exc
+        self.store.note_lookup(True)
+        return sum_outcome, self._free_outcome(
+            values, sum_outcome.per_bin_variance, count_query, name)
+
+    def _free_outcome(self, values, variance: float, query: LinearQuery,
+                      view_name: str) -> Outcome:
+        """A zero-epsilon cache-hit outcome from known synopsis values."""
+        return Outcome(
+            value=float(query.answer(values)),
+            epsilon_charged=0.0,
+            per_bin_variance=variance,
+            answer_variance=query.answer_variance(variance),
+            view_name=view_name,
+            cache_hit=True,
+        )
+
     def _answer_fresh(self, analyst: str, view: HistogramView,
-                      query: LinearQuery, per_bin: float) -> Outcome:
+                      query: LinearQuery,
+                      per_bin: float) -> tuple[Outcome, np.ndarray]:
+        """One fresh release; returns the outcome **and the synopsis
+        values it answered from**, so multi-part callers
+        (:meth:`answer_avg`) can answer sibling queries off the same
+        release without re-reading — or re-charging — the store."""
         raise NotImplementedError
 
     def quote(self, analyst: str, view: HistogramView, query: LinearQuery,

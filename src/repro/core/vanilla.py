@@ -24,7 +24,7 @@ class VanillaMechanism(MechanismBase):
     name = "vanilla"
 
     def _answer_fresh(self, analyst: str, view: HistogramView,
-                      query: LinearQuery, per_bin: float) -> Outcome:
+                      query: LinearQuery, per_bin: float):
         epsilon, _ = vanilla_translate(
             query, per_bin * query.weight_norm_sq, self.constraints.delta,
             self._sensitivity(view), upper=self.constraints.table,
@@ -69,7 +69,7 @@ class VanillaMechanism(MechanismBase):
             answer_variance=query.answer_variance(sigma ** 2),
             view_name=view.name,
             cache_hit=False,
-        )
+        ), values
 
     def _quote_fresh(self, analyst: str, view: HistogramView,
                      query: LinearQuery, per_bin: float) -> float:

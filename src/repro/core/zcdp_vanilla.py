@@ -109,7 +109,7 @@ class ZCdpVanillaMechanism(VanillaMechanism):
             self._total_rho = max(0.0, self._total_rho - rho_new)
 
     def _answer_fresh(self, analyst: str, view: HistogramView,
-                      query: LinearQuery, per_bin: float) -> Outcome:
+                      query: LinearQuery, per_bin: float):
         # Compute the release budget exactly as vanilla would, but gate it
         # on the zCDP ledgers instead of epsilon sums; the rho reservation
         # is charged up-front and returned if the release fails.
@@ -129,7 +129,7 @@ class ZCdpVanillaMechanism(VanillaMechanism):
             raise
 
     def _release(self, analyst: str, view: HistogramView, query: LinearQuery,
-                 epsilon: float) -> Outcome:
+                 epsilon: float):
         """The vanilla noise/provenance path, without the basic-comp check."""
         from repro.core.synopsis import Synopsis
 
@@ -153,7 +153,7 @@ class ZCdpVanillaMechanism(VanillaMechanism):
             per_bin_variance=sigma ** 2,
             answer_variance=query.answer_variance(sigma ** 2),
             view_name=view.name, cache_hit=False,
-        )
+        ), values
 
     def _quote_fresh(self, analyst: str, view: HistogramView,
                      query: LinearQuery, per_bin: float) -> float:

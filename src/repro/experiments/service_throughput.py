@@ -43,12 +43,14 @@ from repro.persistence import DurabilityManager
 from repro.server.daemon import ReproServer
 from repro.service.loadgen import (
     MODES,
+    OverloadResult,
     ThroughputResult,
     build_disjoint_workload,
     build_mixed_workload,
     disjoint_view_attribute_sets,
     format_throughput,
     register_disjoint_views,
+    run_overload,
     run_remote_throughput,
     run_throughput,
 )
@@ -450,6 +452,133 @@ def run_remote_comparison(dataset: str = "adult",
     return results
 
 
+#: Latency ceilings the overload scenario gates on: admitted queries'
+#: p95 (measured from scheduled arrival — queueing included) must stay
+#: bounded because admission control keeps the accepted rate below
+#: capacity, and a 429 round trip must stay cheap (no engine work).
+OVERLOAD_ADMITTED_P95_MS = 2000.0
+OVERLOAD_REFUSED_P95_MS = 250.0
+
+
+def run_overload_experiment(dataset: str = "adult",
+                            num_rows: int | None = 12000,
+                            num_analysts: int = 4,
+                            queries_per_analyst: int = 60,
+                            connections: int = 4,
+                            epsilon: float = 64.0,
+                            accuracy: float = 2e5,
+                            mechanism: str = "additive",
+                            max_cached_synopses: int = 256,
+                            seed: SeedLike = 0,
+                            execution: str = "sharded",
+                            shards: int = DEFAULT_NUM_SHARDS,
+                            view_width: int = 2,
+                            rate_limit: float = 40.0,
+                            rate_burst: float = 8.0,
+                            offered_multiple: float = 6.0
+                            ) -> tuple[OverloadResult, dict]:
+    """The ``bench-service --overload`` scenario: open-loop arrivals at
+    ``offered_multiple`` times the admitted capacity against a daemon
+    running per-analyst admission control plus adaptive micro-batching.
+
+    Returns the :class:`OverloadResult` and a replay-check dict: the
+    requests that made it past admission are replayed query-by-query on
+    a fresh in-process service, and the per-analyst epsilon totals must
+    match the overloaded server's exactly (the disjoint-view workload
+    makes the accounting order-independent, so neither the 429 storm nor
+    micro-batch grouping may move the spend by one ulp).
+    """
+    bundle = _load_bundle(dataset, num_rows, seed)
+    analysts = make_service_analysts(num_analysts)
+    attribute_sets, streams = _build_workload(
+        bundle, analysts, queries_per_analyst, accuracy, "disjoint",
+        view_width, seed)
+
+    def fresh_service() -> QueryService:
+        return _build_service(bundle, analysts, epsilon, mechanism,
+                              max_cached_synopses, execution, shards,
+                              seed, attribute_sets)
+
+    offered = offered_multiple * rate_limit * num_analysts
+    server = ReproServer(fresh_service(), port=0,
+                         rate_limit=rate_limit, rate_burst=rate_burst,
+                         micro_batch=True).start()
+    try:
+        result = run_overload(server.url, analysts, streams,
+                              rate_qps=offered, connections=connections,
+                              seed=seed)
+        observed = server.service.snapshot()["provenance"]
+    finally:
+        server.shutdown()
+
+    replayed = fresh_service()
+    try:
+        for analyst, requests in result.admitted_workload.items():
+            session = replayed.open_session(analyst)
+            for request in requests:
+                replayed.submit(session, request.sql,
+                                accuracy=request.accuracy,
+                                epsilon=request.epsilon)
+            replayed.close_session(session)
+        expected = replayed.snapshot()["provenance"]
+    finally:
+        replayed.close()
+
+    replay = {
+        "admitted": result.admitted,
+        "server_epsilon_by_analyst": observed["epsilon_by_analyst"],
+        "replay_epsilon_by_analyst": expected["epsilon_by_analyst"],
+        "match": observed == expected,
+    }
+    return result, replay
+
+
+def check_overload(result: OverloadResult, replay: dict,
+                   admitted_p95_ms: float = OVERLOAD_ADMITTED_P95_MS,
+                   refused_p95_ms: float = OVERLOAD_REFUSED_P95_MS) -> None:
+    """Assert the overload acceptance bar: pressure actually hit the
+    limiter, admitted latency stayed bounded, refusals were cheap, and
+    the admitted work's accounting replays exactly in process."""
+    assert result.rate_limited > 0, \
+        "overload run never tripped admission control — raise the " \
+        "offered rate or lower rate_limit"
+    assert result.admitted > 0, \
+        "overload run admitted nothing — the limiter is misconfigured"
+    assert result.service.failed == 0, \
+        f"overload run had {result.service.failed} hard failures"
+    assert result.admitted_p95_ms <= admitted_p95_ms, \
+        (f"admitted p95 {result.admitted_p95_ms:.1f}ms exceeds the "
+         f"{admitted_p95_ms:.0f}ms overload bound — admission control "
+         f"is not protecting the serving path")
+    assert result.refused_p95_ms <= refused_p95_ms, \
+        (f"429 p95 {result.refused_p95_ms:.1f}ms exceeds the "
+         f"{refused_p95_ms:.0f}ms bound — refusals must not do engine "
+         f"work")
+    assert replay["match"], \
+        (f"admitted accounting diverged from the in-process replay: "
+         f"server {replay['server_epsilon_by_analyst']} vs replay "
+         f"{replay['replay_epsilon_by_analyst']}")
+
+
+def format_overload(result: OverloadResult, replay: dict) -> str:
+    """The ``--overload`` report block."""
+    lines = [
+        "== overload: open-loop arrivals vs admission control ==",
+        (f"offered {result.offered_qps:.0f} q/s for {result.seconds:.2f}s: "
+         f"{result.attempted} attempts, {result.admitted} admitted, "
+         f"{result.rate_limited} rate-limited "
+         f"({100.0 * result.refusal_rate:.1f}%)"),
+        (f"admitted latency: p50 {result.admitted_p50_ms:.2f}ms / "
+         f"p95 {result.admitted_p95_ms:.2f}ms (queueing included)"),
+        (f"429 round trip:  p50 {result.refused_p50_ms:.2f}ms / "
+         f"p95 {result.refused_p95_ms:.2f}ms"),
+        (f"admitted accounting vs in-process replay: "
+         f"{'identical' if replay['match'] else 'DIVERGED'} "
+         f"(epsilon {result.service.total_epsilon_spent:.3f})"),
+    ]
+    return "\n".join(lines)
+
+
 def run_durability_comparison(dataset: str = "adult",
                               num_rows: int | None = 12000,
                               num_analysts: int = 8,
@@ -666,7 +795,9 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
                         remote: list[ThroughputResult] | None = None,
                         durability: list[ThroughputResult] | None = None,
                         profile: dict | None = None,
-                        fast_path: bool = False) -> None:
+                        fast_path: bool = False,
+                        overload: tuple[OverloadResult, dict] | None = None
+                        ) -> None:
     """Write ``BENCH_service_throughput.json``: per-run rows + summary.
 
     The summary carries the headline numbers (q/s, hit rate, epsilon
@@ -725,6 +856,14 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
                 "latency_p50_ms": tail.latency_p50_ms,
                 "latency_p95_ms": tail.latency_p95_ms,
             }
+    if overload:
+        result, replay = overload
+        summary["overload"] = {
+            **result.as_dict(),
+            "accounting_matches_inproc_replay": replay["match"],
+            "admitted_p95_bound_ms": OVERLOAD_ADMITTED_P95_MS,
+            "refused_p95_bound_ms": OVERLOAD_REFUSED_P95_MS,
+        }
     if durability:
         tax = durability_tax(durability)
         best_by_axis = best_qps_by_axis(durability)
@@ -751,16 +890,20 @@ __all__ = [
     "FASTPATH_BASELINE_CONFIG",
     "FASTPATH_BASELINE_QPS",
     "FASTPATH_SPEEDUP_TARGET",
+    "OVERLOAD_ADMITTED_P95_MS",
+    "OVERLOAD_REFUSED_P95_MS",
     "SPEEDUP_TARGET",
     "WORKLOADS",
     "best_qps_by_axis",
     "check_durability_matches_baseline",
     "check_fastpath_speedup",
+    "check_overload",
     "check_remote_matches_inproc",
     "durability_tax",
     "fastpath_comparable",
     "fastpath_speedup",
     "format_durability_comparison",
+    "format_overload",
     "format_profile",
     "format_remote_comparison",
     "format_service_throughput",
@@ -768,6 +911,7 @@ __all__ = [
     "make_service_analysts",
     "remote_overhead",
     "run_durability_comparison",
+    "run_overload_experiment",
     "run_profile",
     "run_remote_comparison",
     "run_service_throughput",

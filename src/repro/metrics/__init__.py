@@ -1,7 +1,10 @@
-"""Evaluation metrics (paper Sec. 6.1.3 and Appendix E)."""
+"""Evaluation metrics (paper Sec. 6.1.3 and Appendix E) plus the
+serving-side telemetry registry behind ``/v1/metrics``."""
 
 from repro.metrics.fairness import dcfg, ndcfg
 from repro.metrics.utility import relative_error
 from repro.metrics.runtime import CacheStats, Stopwatch
+from repro.metrics.telemetry import TelemetryRegistry, parse_exposition
 
-__all__ = ["CacheStats", "Stopwatch", "dcfg", "ndcfg", "relative_error"]
+__all__ = ["CacheStats", "Stopwatch", "TelemetryRegistry", "dcfg",
+           "ndcfg", "parse_exposition", "relative_error"]

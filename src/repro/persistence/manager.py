@@ -134,6 +134,10 @@ class DurabilityManager:
         self._dir_lock = None
         #: Report of the recovery pass :meth:`bind` ran (None before).
         self.last_recovery: RecoveryReport | None = None
+        #: Sequence number captured by the newest checkpoint fold (0
+        #: before any); ``ledger_lag`` = records written past it, i.e.
+        #: how much tail the next boot would replay.
+        self.last_checkpoint_seq = 0
 
     @property
     def _service(self):
@@ -183,8 +187,14 @@ class DurabilityManager:
                 self._release_dir_lock()
                 raise
             service.engine.provenance.on_commit = self._on_charge
+            # Grant lifecycle (create/consume/revoke) journals through
+            # the same write-ahead path: without it, `grant.consumed`
+            # mutates only in memory and delegation caps under-enforce
+            # after crash recovery.
+            service.engine.delegations.on_event = self._on_grant
             self._service_ref = weakref.ref(service)
             self.last_recovery = report
+            self.last_checkpoint_seq = report.checkpoint_seq
             return report
 
     def _release_dir_lock(self) -> None:
@@ -222,6 +232,18 @@ class DurabilityManager:
         writer.append({"t": "session", "event": event,
                        "session_id": int(session_id), "analyst": analyst})
 
+    def _on_grant(self, event: str, payload: dict) -> None:
+        """Journal one grant lifecycle event (fired by the delegation
+        manager *outside* its lock).  ``create`` records the grant's
+        identity and cap, ``consume`` the realised epsilon of one
+        delegated query, ``revoke`` the kill switch — together they let
+        recovery rebuild ``grant.consumed`` exactly, so caps keep
+        enforcing across a crash."""
+        writer = self._writer
+        if writer is None or writer.closed:
+            return
+        writer.append({"t": "grant", "event": event, **payload})
+
     # -- compaction --------------------------------------------------------------
     def checkpoint(self) -> dict:
         """Fold the ledger into a fresh checkpoint; returns the payload.
@@ -251,12 +273,24 @@ class DurabilityManager:
                 payload = checkpoint_payload(service.engine, seq)
                 write_checkpoint(self.checkpoint_path, payload)
                 self._writer.compact(keep_after_seq=seq)
+                self.last_checkpoint_seq = seq
                 return payload
             finally:
                 if reacquired is not None:
                     release_data_dir_lock(reacquired)
 
     # -- reporting ---------------------------------------------------------------
+    @property
+    def ledger_seq(self) -> int:
+        """Last sequence number the write-ahead ledger assigned."""
+        return self._writer.last_seq if self._writer else 0
+
+    @property
+    def ledger_lag(self) -> int:
+        """Records written past the newest checkpoint — the tail the
+        next boot would replay (the ``/v1/metrics`` ledger-lag gauge)."""
+        return max(0, self.ledger_seq - self.last_checkpoint_seq)
+
     def describe(self) -> dict:
         """JSON-native block for ``QueryService.snapshot()``."""
         return {
@@ -264,7 +298,8 @@ class DurabilityManager:
             "data_dir": str(self.data_dir),
             "fsync": self.fsync,
             "recover": self.recover_mode,
-            "ledger_seq": (self._writer.last_seq if self._writer else 0),
+            "ledger_seq": self.ledger_seq,
+            "ledger_lag": int(self.ledger_lag),
             "recovered_charges": (self.last_recovery.charges_applied
                                   if self.last_recovery else 0),
         }

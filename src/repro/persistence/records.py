@@ -16,6 +16,13 @@ exactly one line per durable event.  Two record types exist:
     state (sessions never survive a restart) but reports how many were
     interrupted.
 
+``grant``
+    One delegation-grant lifecycle event: ``create`` (identity +
+    epsilon cap), ``consume`` (the realised epsilon one delegated query
+    charged against the cap), or ``revoke``.  Without these, a grant's
+    ``consumed`` counter lives only in memory between checkpoints and
+    caps under-enforce after crash recovery.
+
 Every record carries a monotonically increasing ``seq`` and a ``crc``
 (CRC-32 of the canonical JSON of the record minus the ``crc`` field), so
 a reader can tell a *torn tail* — a partially flushed final append, the
@@ -30,10 +37,13 @@ import binascii
 import json
 
 #: Record types the ledger understands.
-RECORD_TYPES = ("charge", "session")
+RECORD_TYPES = ("charge", "session", "grant")
 
 #: Session events the ``session`` record type carries.
 SESSION_EVENTS = ("open", "close")
+
+#: Grant events the ``grant`` record type carries.
+GRANT_EVENTS = ("create", "consume", "revoke")
 
 
 def _canonical(payload: dict) -> bytes:
@@ -79,6 +89,8 @@ def decode_line(line: str) -> dict:
         raise ValueError(f"bad sequence number {seq!r}")
     if kind == "charge":
         _require_charge_fields(record)
+    elif kind == "grant":
+        _require_grant_fields(record)
     else:
         if record.get("event") not in SESSION_EVENTS:
             raise ValueError(f"bad session event {record.get('event')!r}")
@@ -96,6 +108,33 @@ def _require_charge_fields(record: dict) -> None:
     if not isinstance(eps, (int, float)) or isinstance(eps, bool) or eps < 0:
         raise ValueError(f"charge record needs a non-negative 'eps', "
                          f"got {eps!r}")
+
+
+def _require_grant_fields(record: dict) -> None:
+    event = record.get("event")
+    if event not in GRANT_EVENTS:
+        raise ValueError(f"bad grant event {event!r}")
+    grant_id = record.get("grant_id")
+    if not isinstance(grant_id, int) or isinstance(grant_id, bool) \
+            or grant_id < 0:
+        raise ValueError(f"grant record needs a non-negative integer "
+                         f"'grant_id', got {grant_id!r}")
+    if event == "create":
+        if not isinstance(record.get("grantor"), str) or \
+                not isinstance(record.get("grantee"), str):
+            raise ValueError("grant create record needs 'grantor' and "
+                             "'grantee' strings")
+        cap = record.get("epsilon_cap")
+        if cap is not None and (not isinstance(cap, (int, float))
+                                or isinstance(cap, bool) or cap <= 0):
+            raise ValueError(f"grant create 'epsilon_cap' must be a "
+                             f"positive number or null, got {cap!r}")
+    elif event == "consume":
+        eps = record.get("eps")
+        if not isinstance(eps, (int, float)) or isinstance(eps, bool) \
+                or eps < 0:
+            raise ValueError(f"grant consume record needs a non-negative "
+                             f"'eps', got {eps!r}")
 
 
 def salvage_charge(line: str) -> dict | None:
@@ -120,6 +159,7 @@ def salvage_charge(line: str) -> dict | None:
 
 
 __all__ = [
+    "GRANT_EVENTS",
     "RECORD_TYPES",
     "SESSION_EVENTS",
     "decode_line",

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.additive import AdditiveGaussianMechanism
+from repro.core.delegation import Grant
 from repro.core.persistence import restore_engine_state
 from repro.core.zcdp_vanilla import ZCdpVanillaMechanism
 from repro.exceptions import RecoveryError, ReproError
@@ -72,6 +73,7 @@ class RecoveryReport:
     torn_tail: bool
     salvaged_charges: int
     next_seq: int
+    grants_replayed: int = 0
     provenance: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -86,6 +88,7 @@ class RecoveryReport:
             "torn_tail": self.torn_tail,
             "salvaged_charges": self.salvaged_charges,
             "next_seq": self.next_seq,
+            "grants_replayed": self.grants_replayed,
             "provenance": self.provenance,
         }
 
@@ -106,6 +109,9 @@ def format_recovery_report(report: RecoveryReport) -> str:
     if report.sessions_interrupted:
         lines.append(f"  sessions interrupted by the crash: "
                      f"{report.sessions_interrupted}")
+    if report.grants_replayed:
+        lines.append(f"  delegation grant events replayed: "
+                     f"{report.grants_replayed}")
     eps = report.provenance.get("epsilon_by_analyst", {})
     for name in sorted(eps):
         lines.append(f"  {name}: eps {eps[name]:.6f}")
@@ -160,6 +166,7 @@ def recover_service(service, data_dir: str | Path,
             f"or inspect with `repro recover`")
 
     charges = 0
+    grants_replayed = 0
     epsilon_replayed = 0.0
     opens = closes = 0
     last_seq = checkpoint_seq
@@ -170,6 +177,10 @@ def recover_service(service, data_dir: str | Path,
         raise RecoveryError(
             "recovery must run before durability hooks attach "
             "(the provenance table already has an on_commit hook)")
+    if engine.delegations.on_event is not None:
+        raise RecoveryError(
+            "recovery must run before durability hooks attach "
+            "(the delegation manager already has an on_event hook)")
     for record in records:
         last_seq = max(last_seq, record["seq"])
         if record["seq"] <= checkpoint_seq:
@@ -178,6 +189,9 @@ def recover_service(service, data_dir: str | Path,
             _apply_charge(engine, record, global_after)
             charges += 1
             epsilon_replayed += float(record["eps"])
+        elif record["t"] == "grant":
+            _apply_grant(engine, record)
+            grants_replayed += 1
         elif record["event"] == "open":
             opens += 1
         else:
@@ -206,6 +220,7 @@ def recover_service(service, data_dir: str | Path,
         sessions_interrupted=max(0, opens - closes),
         torn_tail=torn, salvaged_charges=salvaged,
         next_seq=last_seq + 1,
+        grants_replayed=grants_replayed,
         provenance=provenance_summary(engine),
     )
 
@@ -240,6 +255,42 @@ def _apply_charge(engine, record: dict, global_after: dict) -> None:
     after = record.get("global_after")
     if after is not None:
         global_after[view] = max(global_after.get(view, 0.0), float(after))
+
+
+def _apply_grant(engine, record: dict) -> None:
+    """Re-apply one delegation-grant lifecycle event.
+
+    ``create`` rebuilds the grant object (the checkpoint already carries
+    grants older than its fold; only the tail reaches here) and advances
+    the id counter past it; ``consume`` re-applies realised spend —
+    constraint-free, like charges: the spend was admitted once, and
+    forgetting it would let a recovered grantee overshoot the cap, the
+    under-enforcement this record type exists to prevent.  ``revoke``
+    re-kills the grant.
+    """
+    manager = engine.delegations
+    event = record["event"]
+    grant_id = int(record["grant_id"])
+    if event == "create":
+        if grant_id not in manager._grants:
+            cap = record.get("epsilon_cap")
+            manager._grants[grant_id] = Grant(
+                grant_id, record["grantor"], record["grantee"],
+                float(cap) if cap is not None else None)
+        while next(manager._counter) < grant_id:
+            pass
+        return
+    grant = manager._grants.get(grant_id)
+    if grant is None:
+        raise RecoveryError(
+            f"ledger grant record seq {record.get('seq', '?')} refers to "
+            f"unknown grant {grant_id}; the checkpoint and ledger do not "
+            f"belong to the same run")
+    if event == "consume":
+        grant.consumed += float(record["eps"])
+        grant.queries += 1
+    else:
+        grant.revoked = True
 
 
 def _bank_global_bases(engine, global_after: dict) -> None:

@@ -7,6 +7,7 @@ resource tree::
 
     GET    /v1/health                  liveness + protocol + stats summary
     GET    /v1/snapshot                QueryService.snapshot() verbatim
+    GET    /v1/metrics                 Prometheus text exposition
     POST   /v1/sessions                {"token": ...} -> open a session
     DELETE /v1/sessions/<id>           close a session (idempotent)
     POST   /v1/sessions/<id>/query     one encoded QueryRequest
@@ -20,7 +21,26 @@ another.  Query-level outcomes (rejections, unanswerable queries) stay
 HTTP 200 — they are payload, carried in the response envelope exactly as
 the in-process API returns them.  Transport-level failures map onto
 status codes via the envelope's ``kind`` tag: 400 malformed, 401 unknown
-token, 404 unknown session, 409 closed service/session, 503 draining.
+token, 404 unknown session, 409 closed service/session, 429 rate
+limited, 503 draining.
+
+Overload defenses (all opt-in by constructor/CLI flags):
+
+* **Admission control** — a per-analyst token bucket (``rate_limit``
+  queries/sec, ``rate_burst`` burst) refuses excess submissions with
+  ``429`` + a ``Retry-After`` header *before* any engine work, so a
+  flooding analyst costs one dict lookup per rejected request and
+  cannot starve the others.
+* **Adaptive micro-batching** — under queueing pressure (more than
+  ``micro_batch_threshold`` requests in flight) queued single queries
+  are coalesced across sessions into planner batches through the
+  existing ``submit_batch`` path, so burst traffic rides the
+  strictest-first planner instead of convoying one query at a time.
+* **Slow-client robustness** — handler sockets carry a per-connection
+  ``request_timeout`` and request bodies a ``max_body_bytes`` cap: an
+  oversized body is refused with ``413`` before it is read, a stalled
+  body read times out with ``408``, so a hung client can never pin a
+  handler thread past the timeout or block :meth:`ReproServer.shutdown`.
 
 Graceful shutdown (:meth:`ReproServer.shutdown`) flips the server into
 *draining*: new sessions and new submissions are refused with 503 while
@@ -42,6 +62,7 @@ from pathlib import Path
 from typing import Mapping
 
 from repro.exceptions import ClosedError, ReproError, UnknownAnalyst
+from repro.metrics.telemetry import TelemetryRegistry
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     WireFormatError,
@@ -51,6 +72,7 @@ from repro.server.protocol import (
     json_ready,
 )
 from repro.service.service import QueryService
+from repro.service.session import QueryRequest
 
 #: How long :meth:`ReproServer.shutdown` waits for in-flight requests by
 #: default before giving up (seconds).
@@ -59,6 +81,26 @@ DEFAULT_DRAIN_TIMEOUT = 30.0
 #: How long shutdown waits (after the drain) for an in-flight background
 #: checkpoint fold before abandoning it (seconds).
 CHECKPOINT_ABANDON_TIMEOUT = 5.0
+
+#: Per-connection socket timeout (seconds): bounds the header read, the
+#: body read, and keep-alive idle time.  A client that stalls mid-body
+#: gets a 408 and its handler thread back within this bound.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Largest accepted request body.  Generous for big batches (a 1000-query
+#: batch is ~100 KiB) while refusing a Content-Length designed to pin
+#: memory or a handler thread.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: In-flight requests above which single queries are coalesced into
+#: planner micro-batches (when micro-batching is enabled).
+DEFAULT_MICRO_BATCH_THRESHOLD = 4
+
+#: How long the micro-batcher lets a window fill before dispatching.
+DEFAULT_MICRO_BATCH_WAIT = 0.002
+
+#: Most queries one micro-batch dispatch coalesces per session.
+DEFAULT_MICRO_BATCH_MAX = 32
 
 _SESSION_PATH = re.compile(r"^/v1/sessions/(\d+)(?:/(query|batch))?$")
 
@@ -143,6 +185,165 @@ class _Gate:
                                        timeout=timeout)
 
 
+class _RateLimiter:
+    """Per-analyst token buckets behind one small lock.
+
+    Buckets refill continuously at ``rate`` tokens/sec up to ``burst``.
+    :meth:`try_admit` is the whole hot path of a 429: one monotonic
+    clock read and a dict update — deliberately cheaper than parsing
+    the query it refuses, so overload rejection itself cannot overload.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._lock = threading.Lock()
+        #: analyst -> [tokens, last_refill_monotonic]
+        self._buckets: dict[str, list[float]] = {}
+
+    def try_admit(self, analyst: str, cost: float = 1.0) -> float:
+        """Admit ``cost`` tokens for ``analyst``; returns 0.0 when
+        admitted, else the seconds until enough tokens accrue
+        (the ``Retry-After`` value).  A cost above the burst is clamped
+        to it so oversized batches remain admissible — they drain the
+        bucket to zero instead of being refused forever."""
+        cost = min(float(cost), self.burst)
+        now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.get(analyst)
+            if bucket is None:
+                bucket = self._buckets[analyst] = [self.burst, now]
+            tokens = min(self.burst,
+                         bucket[0] + (now - bucket[1]) * self.rate)
+            bucket[1] = now
+            if tokens >= cost:
+                bucket[0] = tokens - cost
+                return 0.0
+            bucket[0] = tokens
+            return (cost - tokens) / self.rate
+
+
+class _Pending:
+    """One queued single query waiting on a micro-batch dispatch."""
+
+    __slots__ = ("session_id", "request", "done", "response", "error")
+
+    def __init__(self, session_id: int, request: QueryRequest) -> None:
+        self.session_id = session_id
+        self.request = request
+        self.done = threading.Event()
+        self.response = None
+        self.error: BaseException | None = None
+
+
+class _MicroBatcher:
+    """Coalesces queued single queries into planner batches.
+
+    Handler threads enqueue ``(session, request)`` pairs and block on a
+    per-item event; one dispatcher thread drains the queue every
+    ``max_wait`` seconds, groups the window by session, and pushes each
+    multi-query group through ``QueryService.submit_batch`` — the same
+    strictest-first planner path explicit client batches take, so the
+    engine sees real batches (one synopsis refresh can serve the whole
+    group) and the accounting is exactly what an explicit batch would
+    have produced.  Lone items fall through to ``submit`` untouched.
+    """
+
+    def __init__(self, service: QueryService, max_wait: float,
+                 max_batch: int) -> None:
+        self._service = service
+        self._max_wait = max_wait
+        self._max_batch = max(2, int(max_batch))
+        self._lock = threading.Lock()
+        self._queue: list[_Pending] = []
+        self._wake = threading.Event()
+        self._stop = False
+        #: Dispatcher-thread-only counters (read for telemetry).
+        self.coalesced = 0
+        self.batches = 0
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-microbatch", daemon=True)
+        self._thread.start()
+
+    def submit(self, session_id: int, request: QueryRequest):
+        pending = _Pending(session_id, request)
+        with self._lock:
+            if self._stop:
+                raise ReproError("server is shutting down")
+            self._queue.append(pending)
+        self._wake.set()
+        # The dispatcher serves every queued item or dies trying; the
+        # bound only turns a dispatcher bug into a 500 instead of a hang.
+        if not pending.done.wait(timeout=300.0):
+            raise ReproError("micro-batch dispatch timed out")
+        if pending.error is not None:
+            raise pending.error
+        return pending.response
+
+    def close(self) -> None:
+        """Stop accepting work, serve the residue, join the dispatcher."""
+        with self._lock:
+            self._stop = True
+        self._wake.set()
+        self._thread.join(timeout=30.0)
+
+    def _loop(self) -> None:
+        while True:
+            self._wake.wait()
+            with self._lock:
+                self._wake.clear()
+                if self._stop and not self._queue:
+                    return
+                if not self._queue:
+                    continue
+            # Let the window fill: the wait is what converts a convoy of
+            # concurrent singles into one planner batch.
+            time.sleep(self._max_wait)
+            with self._lock:
+                window, self._queue = self._queue, []
+            groups: dict[int, list[_Pending]] = {}
+            for pending in window:
+                groups.setdefault(pending.session_id, []).append(pending)
+            for session_id, items in groups.items():
+                for start in range(0, len(items), self._max_batch):
+                    self._dispatch(session_id,
+                                   items[start:start + self._max_batch])
+
+    def _dispatch(self, session_id: int, items: list[_Pending]) -> None:
+        try:
+            if len(items) == 1:
+                request = items[0].request
+                items[0].response = self._service.submit(
+                    session_id, request.sql, accuracy=request.accuracy,
+                    epsilon=request.epsilon)
+            else:
+                responses = self._service.submit_batch(
+                    session_id, [pending.request for pending in items])
+                for pending, response in zip(items, responses):
+                    pending.response = response
+                self.coalesced += len(items)
+                self.batches += 1
+        except BaseException as exc:
+            for pending in items:
+                pending.error = exc
+        finally:
+            for pending in items:
+                pending.done.set()
+
+
+#: Bounded-cardinality route labels for the request metrics.
+def _route_label(method: str, path: str) -> str:
+    if path in ("/v1/health", "/v1/snapshot", "/v1/metrics",
+                "/v1/sessions"):
+        return f"{method} {path}"
+    match = _SESSION_PATH.match(path)
+    if match is not None:
+        action = match.group(2)
+        suffix = f"/{action}" if action else ""
+        return f"{method} /v1/sessions/{{id}}{suffix}"
+    return "other"
+
+
 class ReproServer:
     """Serve one :class:`QueryService` over HTTP.
 
@@ -150,12 +351,27 @@ class ReproServer:
     omitted, each analyst's token is its own name (demo-grade — supply a
     real table in anything resembling production).  ``port=0`` binds an
     ephemeral port, readable from :attr:`port` after construction.
+
+    ``rate_limit`` (queries/sec per analyst, ``rate_burst`` burst)
+    enables 429 admission control; ``micro_batch=True`` enables adaptive
+    micro-batching once more than ``micro_batch_threshold`` requests are
+    in flight.  ``request_timeout``/``max_body_bytes`` bound what one
+    connection can cost (408 on stall, 413 on overflow).
     """
 
     def __init__(self, service: QueryService, host: str = "127.0.0.1",
                  port: int = 0,
                  tokens: Mapping[str, str] | None = None,
-                 checkpoint_every: float | None = None) -> None:
+                 checkpoint_every: float | None = None,
+                 rate_limit: float | None = None,
+                 rate_burst: float | None = None,
+                 micro_batch: bool = False,
+                 micro_batch_threshold: int = DEFAULT_MICRO_BATCH_THRESHOLD,
+                 micro_batch_wait: float = DEFAULT_MICRO_BATCH_WAIT,
+                 micro_batch_max: int = DEFAULT_MICRO_BATCH_MAX,
+                 request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 telemetry: TelemetryRegistry | None = None) -> None:
         if tokens is None:
             tokens = {name: name for name in service.engine.analysts}
         unknown = sorted(set(tokens.values())
@@ -171,6 +387,24 @@ class ReproServer:
             if checkpoint_every <= 0:
                 raise ReproError(f"checkpoint_every must be positive, "
                                  f"got {checkpoint_every}")
+        if rate_limit is not None and rate_limit <= 0:
+            raise ReproError(f"rate_limit must be positive queries/sec, "
+                             f"got {rate_limit}")
+        if rate_burst is not None:
+            if rate_limit is None:
+                raise ReproError("rate_burst requires rate_limit")
+            if rate_burst < 1:
+                raise ReproError(f"rate_burst must be >= 1, "
+                                 f"got {rate_burst}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ReproError(f"request_timeout must be positive seconds, "
+                             f"got {request_timeout}")
+        if max_body_bytes < 1:
+            raise ReproError(f"max_body_bytes must be >= 1, "
+                             f"got {max_body_bytes}")
+        if micro_batch_threshold < 0:
+            raise ReproError(f"micro_batch_threshold must be >= 0, "
+                             f"got {micro_batch_threshold}")
         self.service = service
         self.tokens = dict(tokens)
         #: Background checkpoint cadence in seconds (``None`` = only at
@@ -192,10 +426,54 @@ class ReproServer:
         self._checkpoint_thread: threading.Thread | None = None
         self._gate = _Gate()
         self._started = time.monotonic()
+        self.request_timeout = request_timeout
+        self.max_body_bytes = int(max_body_bytes)
+        self.micro_batch_threshold = int(micro_batch_threshold)
+        self._limiter = (_RateLimiter(rate_limit,
+                                      rate_burst if rate_burst is not None
+                                      else max(1.0, rate_limit))
+                         if rate_limit is not None else None)
+        self._batcher = (_MicroBatcher(service, micro_batch_wait,
+                                       micro_batch_max)
+                         if micro_batch else None)
+        self.telemetry = telemetry if telemetry is not None \
+            else TelemetryRegistry()
+        self._bind_telemetry()
         handler = _build_handler(self)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
+
+    def _bind_telemetry(self) -> None:
+        registry = self.telemetry
+        self._m_requests = registry.counter(
+            "repro_requests_total", "HTTP requests received, per route")
+        self._m_responses = registry.counter(
+            "repro_responses_total", "HTTP responses sent, per status")
+        self._m_rate_limited = registry.counter(
+            "repro_rate_limited_total",
+            "Submissions refused by admission control (429), per analyst")
+        self._m_latency = registry.summary(
+            "repro_request_seconds", "Request handling latency per route")
+        registry.gauge("repro_in_flight_requests",
+                       "Requests currently inside the drain gate",
+                       lambda: self._gate.in_flight)
+        registry.gauge("repro_uptime_seconds",
+                       "Seconds since the server object was constructed",
+                       lambda: time.monotonic() - self._started)
+        registry.gauge("repro_draining",
+                       "1 once graceful shutdown has begun",
+                       lambda: 1.0 if self._gate.draining else 0.0)
+        if self._batcher is not None:
+            batcher = self._batcher
+            registry.gauge("repro_micro_batched_queries_total",
+                           "Single queries answered through a coalesced "
+                           "planner micro-batch",
+                           lambda: batcher.coalesced)
+            registry.gauge("repro_micro_batches_total",
+                           "Planner batches formed by the micro-batcher",
+                           lambda: batcher.batches)
+        self.service.bind_telemetry(registry)
 
     # -- lifecycle -------------------------------------------------------------
     @property
@@ -256,6 +534,11 @@ class ReproServer:
         # bounded by one drain_timeout, not two.
         self._checkpoint_stop.set()
         drained = self._gate.drain(drain_timeout)
+        if self._batcher is not None:
+            # After the drain every enqueued item has been served (its
+            # handler thread was inside the gate); this only stops the
+            # dispatcher and refuses stragglers.
+            self._batcher.close()
         self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join()
@@ -319,6 +602,10 @@ class ReproServer:
             return 500, encode_error(f"{type(exc).__name__}: {exc}",
                                      "internal")
 
+    def render_metrics(self) -> str:
+        """The ``/v1/metrics`` body (Prometheus text exposition)."""
+        return self.telemetry.render()
+
     def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
         if method == "GET" and path == "/v1/health":
             return 200, self._health()
@@ -362,6 +649,7 @@ class ReproServer:
             "shards": snapshot["shards"],
             "submitted": snapshot["service"]["submitted"],
             "answered": snapshot["service"]["answered"],
+            "rate_limited": int(self._m_rate_limited.total()),
         }
         if self.checkpoint_every is not None:
             payload["checkpoints_written"] = self.checkpoints_written
@@ -377,6 +665,30 @@ class ReproServer:
         except KeyError:
             raise UnknownAnalyst("unknown auth token") from None
 
+    def _admit(self, session_id: int,
+               cost: float) -> tuple[int, dict] | None:
+        """Admission control for one submission; ``None`` admits.
+
+        Runs *before* the drain gate and before any engine work.  An
+        unknown or closed session skips straight through — the normal
+        path reports those precisely, and they are not load.
+        """
+        if self._limiter is None:
+            return None
+        try:
+            analyst = self.service._resolve_session(session_id).analyst
+        except ReproError:
+            return None
+        retry_after = self._limiter.try_admit(analyst, cost)
+        if retry_after <= 0.0:
+            return None
+        self._m_rate_limited.inc(analyst=analyst)
+        payload = encode_error(
+            f"analyst {analyst!r} is over its admission rate; retry in "
+            f"{retry_after:.3f}s", "rate_limited")
+        payload["retry_after"] = round(retry_after, 3)
+        return 429, payload
+
     def _open_session(self, payload: dict) -> tuple[int, dict]:
         analyst = self._analyst_for(payload)
         if not self._gate.try_enter():
@@ -391,12 +703,19 @@ class ReproServer:
 
     def _submit(self, session_id: int, payload: dict) -> tuple[int, dict]:
         request = decode_request(payload)
+        refusal = self._admit(session_id, 1.0)
+        if refusal is not None:
+            return refusal
         if not self._gate.try_enter():
             return 503, encode_error("server is draining", "draining")
         try:
-            response = self.service.submit(session_id, request.sql,
-                                           accuracy=request.accuracy,
-                                           epsilon=request.epsilon)
+            if self._batcher is not None and \
+                    self._gate.in_flight > self.micro_batch_threshold:
+                response = self._batcher.submit(session_id, request)
+            else:
+                response = self.service.submit(session_id, request.sql,
+                                               accuracy=request.accuracy,
+                                               epsilon=request.epsilon)
         finally:
             self._gate.leave()
         return 200, encode_response(response)
@@ -407,6 +726,9 @@ class ReproServer:
         if not isinstance(raw, list):
             raise WireFormatError("batch body needs a 'requests' list")
         requests = [decode_request(entry) for entry in raw]
+        refusal = self._admit(session_id, float(max(1, len(requests))))
+        if refusal is not None:
+            return refusal
         if not self._gate.try_enter():
             return 503, encode_error("server is draining", "draining")
         try:
@@ -426,17 +748,89 @@ def _build_handler(server: ReproServer) -> type:
         # Small JSON request/response pairs ping-pong on keep-alive
         # connections; Nagle + delayed ACK adds ~40ms per round trip.
         disable_nagle_algorithm = True
+        # StreamRequestHandler applies this as the connection's socket
+        # timeout: it bounds the header read, the body read below, and
+        # keep-alive idle time.  A timeout mid-request-line is handled
+        # by BaseHTTPRequestHandler (connection closed); a timeout
+        # mid-body is answered with 408 below.
+        timeout = server.request_timeout
+
+        def _read_body(self) -> bytes | None:
+            """Read the request body under the cap and the socket
+            timeout; sends the refusal itself and returns ``None`` when
+            the request cannot proceed."""
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self._refuse(400, "bad_request",
+                             "Content-Length is not an integer")
+                return None
+            if length > server.max_body_bytes:
+                self._refuse(413, "bad_request",
+                             f"request body of {length} bytes exceeds the "
+                             f"{server.max_body_bytes}-byte limit")
+                return None
+            if length <= 0:
+                return b""
+            try:
+                body = self.rfile.read(length)
+            except (TimeoutError, OSError):
+                body = None
+            if body is None or len(body) < length:
+                self._refuse(408, "bad_request",
+                             "request body stalled before Content-Length "
+                             "bytes arrived")
+                return None
+            return body
+
+        def _refuse(self, status: int, kind: str, message: str) -> None:
+            """One-shot error reply on a connection we no longer trust."""
+            self.close_connection = True
+            try:
+                data = json.dumps(encode_error(message, kind)) \
+                    .encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.send_header("Connection", "close")
+                self.end_headers()
+                self.wfile.write(data)
+            except (TimeoutError, OSError):
+                pass  # the peer is gone or stalled; nothing to salvage
+            self._status = status
 
         def _dispatch(self, method: str) -> None:
-            length = int(self.headers.get("Content-Length") or 0)
-            body = self.rfile.read(length) if length else b""
-            status, payload = server.handle(method, self.path, body)
-            data = json.dumps(payload).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(data)))
-            self.end_headers()
-            self.wfile.write(data)
+            started = time.perf_counter()
+            route = _route_label(method, self.path)
+            server._m_requests.inc(route=route)
+            self._status = 500
+            try:
+                body = self._read_body()
+                if body is None:
+                    return
+                if method == "GET" and self.path == "/v1/metrics":
+                    data = server.render_metrics().encode("utf-8")
+                    content_type = "text/plain; version=0.0.4; " \
+                                   "charset=utf-8"
+                    status, payload = 200, None
+                else:
+                    status, payload = server.handle(method, self.path, body)
+                    data = json.dumps(payload).encode("utf-8")
+                    content_type = "application/json"
+                self._status = status
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                if status == 429 and isinstance(
+                        payload.get("retry_after"), (int, float)):
+                    self.send_header("Retry-After",
+                                     f"{payload['retry_after']:.3f}")
+                self.end_headers()
+                self.wfile.write(data)
+            finally:
+                server._m_responses.inc(status=str(self._status))
+                server._m_latency.observe(
+                    time.perf_counter() - started, route=route)
 
         def do_GET(self) -> None:
             self._dispatch("GET")
@@ -453,5 +847,6 @@ def _build_handler(server: ReproServer) -> type:
     return Handler
 
 
-__all__ = ["DEFAULT_DRAIN_TIMEOUT", "DrainTimeout", "ReproServer",
+__all__ = ["DEFAULT_DRAIN_TIMEOUT", "DEFAULT_MAX_BODY_BYTES",
+           "DEFAULT_REQUEST_TIMEOUT", "DrainTimeout", "ReproServer",
            "load_token_table"]

@@ -43,6 +43,7 @@ ERROR_KINDS = (
     "closed",           # 409 — service or session already closed
     "service_closed",   # 409 — the whole service is shut down
     "session_closed",   # 409 — this session was closed
+    "rate_limited",     # 429 — per-analyst admission control refused
     "draining",         # 503 — graceful shutdown in progress
     "internal",         # 500 — unexpected failure
 )

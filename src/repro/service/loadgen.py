@@ -560,6 +560,182 @@ def run_remote_throughput(base_url: str, analysts: list[Analyst],
     )
 
 
+@dataclass(frozen=True)
+class OverloadResult:
+    """Outcome of one open-loop overload run against a rate-limited daemon.
+
+    ``admitted`` latencies are measured from the scheduled arrival (they
+    include queueing delay); ``refused`` latencies time the 429 round
+    trip alone — the "rejections are cheap" half of the overload story.
+    ``admitted_workload`` is the per-analyst multiset of requests that
+    made it past admission control, so a caller can replay exactly the
+    admitted work in process and compare accounting.
+    """
+
+    offered_qps: float
+    attempted: int
+    admitted: int
+    rate_limited: int
+    seconds: float
+    admitted_p50_ms: float
+    admitted_p95_ms: float
+    refused_p50_ms: float
+    refused_p95_ms: float
+    service: ThroughputResult
+    admitted_workload: dict[str, list[QueryRequest]]
+
+    @property
+    def refusal_rate(self) -> float:
+        return self.rate_limited / self.attempted if self.attempted else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "offered_qps": self.offered_qps,
+            "attempted": self.attempted,
+            "admitted": self.admitted,
+            "rate_limited": self.rate_limited,
+            "refusal_rate": self.refusal_rate,
+            "seconds": self.seconds,
+            "admitted_p50_ms": self.admitted_p50_ms,
+            "admitted_p95_ms": self.admitted_p95_ms,
+            "refused_p50_ms": self.refused_p50_ms,
+            "refused_p95_ms": self.refused_p95_ms,
+            "service": self.service.as_dict(),
+        }
+
+
+def run_overload(base_url: str, analysts: list[Analyst],
+                 workload: dict[str, list[QueryRequest]],
+                 rate_qps: float, connections: int = 4,
+                 tokens: dict[str, str] | None = None,
+                 seed: SeedLike = 0,
+                 timeout: float = 60.0) -> OverloadResult:
+    """Drive open-loop Poisson arrivals at ``rate_qps`` into a daemon
+    running admission control, counting 429s instead of failing on them.
+
+    Unlike :func:`run_remote_throughput` (whose workers surface every
+    error), a :class:`repro.client.RateLimited` refusal here is an
+    *expected* outcome: the worker records the refusal's round-trip
+    time and moves to its next scheduled arrival without retrying.
+    Every other error still aborts the run.
+    """
+    from repro.client.remote import RateLimited, RemoteAnalyst
+
+    if rate_qps is None or rate_qps <= 0:
+        raise ReproError("overload runs need rate_qps > 0")
+    if connections < 1:
+        raise ReproError(f"connections must be >= 1, got {connections}")
+    if tokens is None:
+        tokens = {a.name: a.name for a in analysts}
+
+    observer = RemoteAnalyst(base_url, token=next(iter(tokens.values()), ""),
+                             timeout=timeout)
+    before = observer.snapshot()
+
+    assignments: list[list[Analyst]] = [[] for _ in range(connections)]
+    for i, analyst in enumerate(analysts):
+        assignments[i % connections].append(analyst)
+    active = [owned for owned in assignments if owned]
+    barrier = threading.Barrier(len(active))
+    errors: list[BaseException] = []
+    admitted_ms: list[list[float]] = [[] for _ in active]
+    refused_ms: list[list[float]] = [[] for _ in active]
+    admitted_reqs: list[dict[str, list[QueryRequest]]] = [
+        {} for _ in active]
+    rng = ensure_generator(seed)
+    worker_seeds = [int(rng.integers(0, 2**31)) for _ in active]
+    per_worker_rate = rate_qps / len(active)
+
+    def worker(index: int, owned: list[Analyst]) -> None:
+        client_by_name = {}
+        try:
+            gaps = ensure_generator(worker_seeds[index])
+            for analyst in owned:
+                # retry_rate_limited stays 0: the whole point is to
+                # observe the refusals, not to sleep them away.
+                client_by_name[analyst.name] = RemoteAnalyst(
+                    base_url, token=tokens[analyst.name], timeout=timeout)
+            sessions = {name: client.open_session()
+                        for name, client in client_by_name.items()}
+            calls = [(analyst.name, request)
+                     for analyst in owned
+                     for request in workload.get(analyst.name, [])]
+            barrier.wait()
+            scheduled = time.perf_counter()
+            for name, request in calls:
+                client, session = client_by_name[name], sessions[name]
+                scheduled += float(gaps.exponential(1.0 / per_worker_rate))
+                now = time.perf_counter()
+                if scheduled > now:
+                    time.sleep(scheduled - now)
+                try:
+                    client.submit(session, request.sql,
+                                  accuracy=request.accuracy,
+                                  epsilon=request.epsilon)
+                except RateLimited:
+                    # Cheap-refusal latency: the 429 round trip itself,
+                    # not the (deliberate) queueing delay before it.
+                    refused_ms[index].append(
+                        1e3 * (time.perf_counter() - max(scheduled, now)))
+                else:
+                    admitted_ms[index].append(
+                        1e3 * (time.perf_counter() - scheduled))
+                    admitted_reqs[index].setdefault(name, []).append(request)
+        except BaseException as exc:  # surfaced to the caller below
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+        finally:
+            for client in client_by_name.values():
+                client.close()
+
+    pool = [threading.Thread(target=worker, args=(i, owned), daemon=True)
+            for i, owned in enumerate(active)]
+    watch = Stopwatch()
+    with watch:
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+    if errors:
+        raise errors[0]
+
+    after = observer.snapshot()
+    observer.close()
+    admitted_all = [ms for per in admitted_ms for ms in per]
+    refused_all = [ms for per in refused_ms for ms in per]
+    durable = after.get("durability") or {}
+    service_result = _delta_result(
+        "single", len(pool), before["service"], before["synopsis_cache"],
+        after["service"], after["synopsis_cache"], watch.seconds,
+        execution=after.get("execution", "sharded"),
+        shards=after.get("shards", 0),
+        timings_ms=admitted_all, transport="remote", arrival="open",
+        offered_qps=rate_qps,
+        durability=(durable.get("fsync", "none") if durable.get("enabled")
+                    else "none"),
+    )
+    merged: dict[str, list[QueryRequest]] = {}
+    for per_worker in admitted_reqs:
+        for name, requests in per_worker.items():
+            merged.setdefault(name, []).extend(requests)
+    return OverloadResult(
+        offered_qps=rate_qps,
+        attempted=len(admitted_all) + len(refused_all),
+        admitted=len(admitted_all),
+        rate_limited=len(refused_all),
+        seconds=watch.seconds,
+        admitted_p50_ms=latency_percentile(admitted_all, 0.50),
+        admitted_p95_ms=latency_percentile(admitted_all, 0.95),
+        refused_p50_ms=latency_percentile(refused_all, 0.50),
+        refused_p95_ms=latency_percentile(refused_all, 0.95),
+        service=service_result,
+        admitted_workload=merged,
+    )
+
+
 def format_throughput(results: list[ThroughputResult],
                       title: str = "service throughput") -> str:
     """Text table comparing load-generation runs (any transport)."""
@@ -585,6 +761,7 @@ def format_throughput(results: list[ThroughputResult],
 __all__ = [
     "ARRIVALS",
     "MODES",
+    "OverloadResult",
     "ThroughputResult",
     "bfs_style_queries",
     "build_disjoint_workload",
@@ -593,6 +770,7 @@ __all__ = [
     "format_throughput",
     "latency_percentile",
     "register_disjoint_views",
+    "run_overload",
     "run_remote_throughput",
     "run_throughput",
 ]

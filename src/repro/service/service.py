@@ -532,6 +532,82 @@ class QueryService:
         """Epsilon the provenance table records for one analyst."""
         return self._engine.provenance.row_total(analyst)
 
+    def bind_telemetry(self, registry) -> None:
+        """Register scrape-time gauges on a
+        :class:`repro.metrics.telemetry.TelemetryRegistry`.
+
+        Everything is callback-backed: the scrape reads the same live
+        counters :meth:`snapshot` serializes (service stats, synopsis
+        cache, fast lane, shard manager, durability ledger), so
+        ``/v1/metrics`` and ``/v1/snapshot`` can never disagree and the
+        serving path pays no double bookkeeping.  Idempotent per
+        registry only in the sense of adding sources — call it once,
+        as ``ReproServer`` does.
+        """
+        stats = self.stats
+        registry.gauge("repro_service_submitted_total",
+                       "Queries accepted by the service",
+                       lambda: stats.submitted)
+        registry.gauge("repro_service_answered_total",
+                       "Queries answered (incl. cache hits)",
+                       lambda: stats.answered)
+        registry.gauge("repro_service_rejected_total",
+                       "Queries refused by budget constraints",
+                       lambda: stats.rejected)
+        registry.gauge("repro_service_failed_total",
+                       "Queries that failed (translation, SQL, ...)",
+                       lambda: stats.failed)
+        registry.gauge("repro_service_batches_total",
+                       "Planner batches executed",
+                       lambda: stats.batches)
+        registry.gauge("repro_fresh_releases_total",
+                       "Answers that required a fresh noisy release",
+                       lambda: stats.fresh_releases)
+        registry.gauge("repro_epsilon_spent_total",
+                       "Epsilon charged, per analyst",
+                       lambda: stats.epsilon_by_analyst,
+                       expand_label="analyst")
+        registry.gauge("repro_epsilon_table_total",
+                       "Epsilon charged against the whole table",
+                       lambda: self._engine.provenance.table_total())
+        registry.gauge("repro_answer_cache_hit_rate",
+                       "Fraction of answers served without a release",
+                       lambda: stats.answer_cache_hit_rate)
+        registry.gauge("repro_synopsis_cache_hit_rate",
+                       "Synopsis store hit rate",
+                       lambda: self.cache_stats.hit_rate)
+        registry.gauge("repro_fast_lane_hits_total",
+                       "Fast-lane hits (lock-free memoized answers)",
+                       lambda: self._engine.fast_lane_counters()["hits"])
+        registry.gauge("repro_fast_lane_hit_rate",
+                       "Fast-lane hit rate over its probes",
+                       lambda: self._engine.fast_lane_counters()
+                       ["hit_rate"])
+        registry.gauge("repro_open_sessions",
+                       "Sessions currently open",
+                       lambda: len(self._sessions))
+        registry.gauge("repro_shards",
+                       "Shard count (0 = global execution)",
+                       lambda: (self.sharding.num_shards
+                                if self.sharding else 0))
+        if self.sharding is not None:
+            sharding = self.sharding
+            registry.gauge("repro_shard_groups_total",
+                           "View groups dispatched to shards",
+                           lambda: sharding.groups_dispatched)
+            registry.gauge("repro_shard_parallel_batches_total",
+                           "Group batches that ran on the worker pool",
+                           lambda: sharding.parallel_batches)
+        if self.durability is not None:
+            durability = self.durability
+            registry.gauge("repro_ledger_seq",
+                           "Last write-ahead ledger sequence number",
+                           lambda: durability.ledger_seq)
+            registry.gauge("repro_ledger_lag_records",
+                           "Ledger records not yet folded into a "
+                           "checkpoint",
+                           lambda: durability.ledger_lag)
+
     def snapshot(self) -> dict:
         """Point-in-time service metrics (service, cache, provenance).
 

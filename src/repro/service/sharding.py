@@ -59,6 +59,11 @@ class ShardManager:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_guard = threading.Lock()
         self._closed = False
+        #: Dispatch counters (telemetry): total view groups routed, and
+        #: how many group batches actually fanned out on the pool.
+        self._counter_lock = threading.Lock()
+        self.groups_dispatched = 0
+        self.parallel_batches = 0
 
     # -- routing ---------------------------------------------------------------
     def shard_of(self, view_name: str | None) -> int:
@@ -121,10 +126,15 @@ class ShardManager:
                 group_fn(view_name, items)
 
         if len(by_shard) <= 1 or not self._use_pool:
+            with self._counter_lock:
+                self.groups_dispatched += len(groups)
             for shard_groups in by_shard.values():
                 run_shard(shard_groups)
             return
 
+        with self._counter_lock:
+            self.groups_dispatched += len(groups)
+            self.parallel_batches += 1
         pool = self._ensure_pool()
         futures = [pool.submit(run_shard, shard_groups)
                    for shard_groups in by_shard.values()]

@@ -74,6 +74,36 @@ class TestAvg:
                                accuracy=4e7)
         assert answer.epsilon_charged > 0
 
+    @pytest.mark.parametrize("mechanism",
+                             ["vanilla", "additive", "vanilla_zcdp"])
+    def test_rejected_avg_charges_nothing(self, adult_bundle, analysts,
+                                          mechanism):
+        """A rejected AVG must be atomic: neither the SUM nor the COUNT
+        half may leave a charge in the provenance ledger (regression for
+        the old two-call path that charged the SUM before the COUNT's
+        rejection surfaced)."""
+        engine = DProvDB(adult_bundle, analysts, epsilon=0.05, seed=7,
+                         mechanism=mechanism)
+        sql = "SELECT AVG(hours_per_week) FROM adult"
+        with pytest.raises(QueryRejected):
+            engine.submit("high", sql, accuracy=1e-4)
+        assert engine.provenance.row_total("high") == 0.0
+        assert engine.provenance.table_total() == 0.0
+
+    def test_rejected_avg_after_spend_leaves_ledger_unchanged(
+            self, adult_bundle, analysts):
+        """Same atomicity with a warm ledger: the rejection must not move
+        the analyst's total by even one half of the pair."""
+        engine = DProvDB(adult_bundle, analysts, epsilon=0.5, seed=7)
+        engine.submit("high", SQL, accuracy=2500.0)
+        before = engine.provenance.row_total("high")
+        assert before > 0
+        with pytest.raises(QueryRejected):
+            engine.submit("high", "SELECT AVG(hours_per_week) FROM adult",
+                          accuracy=1e-4)
+        assert engine.provenance.row_total("high") == before
+        assert engine.provenance.table_total() == before
+
 
 class TestGroupBy:
     def test_group_by_covers_full_domain(self, engine):

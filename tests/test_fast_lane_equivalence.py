@@ -267,16 +267,14 @@ class TestConcurrentStress:
             for analyst in roster:
                 spent = service.analyst_spent(analyst.name)
                 assert spent <= limits.analyst_limit(analyst.name) + 1e-9
-                # Service-side compensated totals track the ledger.  The
-                # ledger may exceed the stats: a multi-part query (AVG,
-                # GROUP BY) rejected partway has its completed parts
-                # charged while the service records the response as a
-                # rejection with no answers.  It may never be *below*.
+                # Service-side compensated totals equal the ledger exactly.
+                # Multi-part queries (AVG, GROUP BY) are atomic: a rejection
+                # charges nothing (answer_avg releases at most once, and
+                # only on success), so rejected responses can no longer
+                # leave orphaned charges in the provenance table.
                 recorded = snap["service"]["epsilon_by_analyst"].get(
                     analyst.name, 0.0)
-                assert recorded <= spent + 1e-9
-                if snap["service"]["rejected"] == 0:
-                    assert recorded == pytest.approx(spent, abs=1e-9)
+                assert recorded == pytest.approx(spent, abs=1e-9)
             stats = snap["service"]
             assert stats["submitted"] == sum(len(s) for s in
                                              streams.values())

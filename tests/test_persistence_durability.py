@@ -17,7 +17,12 @@ from collections import defaultdict
 import pytest
 
 from repro.datasets import load_adult
-from repro.exceptions import DurabilityError, RecoveryError, ReproError
+from repro.exceptions import (
+    DurabilityError,
+    QueryRejected,
+    RecoveryError,
+    ReproError,
+)
 from repro.experiments.service_throughput import make_service_analysts
 from repro.persistence import (
     DurabilityManager,
@@ -503,6 +508,98 @@ def test_session_records_count_interrupted(bundle, tmp_path):
     recovered = build_service(bundle, data_dir)
     assert recovered.durability.last_recovery.sessions_interrupted == 1
     recovered.close()
+
+
+def test_delegation_grants_survive_crash_and_cap_enforced(bundle, tmp_path):
+    """Grant create/consume events are journaled and replayed: after a
+    crash the grant's consumed total is restored, so its epsilon_cap
+    keeps binding — a restart must never re-open delegated budget."""
+    data_dir = tmp_path / "d"
+    service = build_service(bundle, data_dir)
+    engine = service.engine
+    sql = "SELECT COUNT(*) FROM adult WHERE age BETWEEN 30 AND 40"
+    quoted = engine.quote("analyst_00", sql, accuracy=900.0)
+    grant_id = engine.grant_delegation("analyst_00", "analyst_01",
+                                       epsilon_cap=quoted * 1.5)
+    answer = engine.submit("analyst_01", sql, accuracy=900.0,
+                           delegation=grant_id)
+    assert answer.epsilon_charged > 0
+    live = engine.delegations._grants[grant_id]
+    assert live.consumed == pytest.approx(answer.epsilon_charged)
+    live_consumed, live_queries = live.consumed, live.queries
+    # The journal hooks point back at the durability manager, so the
+    # engine reference must go too for the crash to release the lock.
+    del service, engine, live
+
+    recovered = build_service(bundle, data_dir)
+    report = recovered.durability.last_recovery
+    assert report.grants_replayed >= 2  # create + consume
+    grant = recovered.engine.delegations._grants[grant_id]
+    assert grant.grantor == "analyst_00"
+    assert grant.grantee == "analyst_01"
+    assert grant.epsilon_cap == pytest.approx(quoted * 1.5)
+    assert grant.consumed == pytest.approx(live_consumed)
+    assert grant.queries == live_queries
+    # The restored consumption still counts against the cap: a refresh
+    # needing more than the remaining headroom is refused.
+    with pytest.raises(QueryRejected):
+        recovered.engine.submit("analyst_01", sql, accuracy=50.0,
+                                delegation=grant_id)
+    # New grants mint fresh ids (the replayed counter advanced).
+    assert recovered.engine.grant_delegation(
+        "analyst_01", "analyst_00") > grant_id
+    recovered.close()
+
+
+def test_delegation_revoke_survives_crash_and_checkpoint_fold(
+        bundle, tmp_path):
+    """Revocations are durable both from the ledger tail and from a
+    checkpoint that folded the grant records away."""
+    data_dir = tmp_path / "d"
+    service = build_service(bundle, data_dir)
+    engine = service.engine
+    revoked_id = engine.grant_delegation("analyst_00", "analyst_01",
+                                         epsilon_cap=1.0)
+    engine.revoke_delegation(revoked_id)
+    kept_id = engine.grant_delegation("analyst_00", "analyst_01",
+                                      epsilon_cap=0.25)
+    del service, engine  # crash before any checkpoint
+
+    recovered = build_service(bundle, data_dir)
+    grants = recovered.engine.delegations._grants
+    assert grants[revoked_id].revoked
+    assert not grants[kept_id].revoked
+    recovered.checkpoint()  # folds the grant records into the checkpoint
+    records, _ = read_ledger(data_dir / LEDGER_FILE)
+    assert not any(r["t"] == "grant" for r in records)
+    recovered.close()
+
+    again = build_service(bundle, data_dir)
+    assert again.durability.last_recovery.grants_replayed == 0
+    grants = again.engine.delegations._grants
+    assert grants[revoked_id].revoked
+    assert grants[kept_id].epsilon_cap == pytest.approx(0.25)
+    with pytest.raises(ReproError, match="revoked"):
+        again.engine.submit("analyst_01", "SELECT COUNT(*) FROM adult "
+                            "WHERE age >= 40", accuracy=900.0,
+                            delegation=revoked_id)
+    again.close()
+
+
+def test_grant_consume_on_unknown_grant_refuses_recovery(bundle, tmp_path):
+    """A consume record for a grant the checkpoint doesn't know means the
+    checkpoint and ledger are from different runs — refuse, never guess."""
+    data_dir = tmp_path / "d"
+    service = build_service(bundle, data_dir)
+    run_workload(service, queries_per_analyst=1)
+    del service
+    writer = LedgerWriter(data_dir / LEDGER_FILE, fsync="off",
+                          next_seq=10_000)
+    writer.append({"t": "grant", "event": "consume", "grant_id": 77,
+                   "eps": 0.5})
+    writer.close()
+    with pytest.raises(RecoveryError, match="same run"):
+        build_service(bundle, data_dir)
 
 
 def test_additive_global_base_banked_without_checkpoint(bundle, tmp_path):
