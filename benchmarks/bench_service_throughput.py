@@ -18,6 +18,12 @@ script (the CI smoke test)::
     PYTHONPATH=src python benchmarks/bench_service_throughput.py \
         --compare-global --json BENCH_service_throughput.json
 
+``--backend mp [--workers N]`` runs the replay on the forked-worker
+backend; ``--compare-threaded`` additionally replays the same workload
+on the threaded backend and asserts bit-identical accounting (answers,
+epsilon per analyst, fresh releases) plus the single-CPU throughput
+floor, recording the comparison under ``summary.mp``.
+
 ``--json`` writes a machine-readable artifact (per-run rows plus a
 summary with q/s, hit rate, epsilon spent, fresh releases, shard count,
 and the sharded/global speedup when measured) so the repo's bench
@@ -216,6 +222,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--execution", choices=("sharded", "global"),
                         default="sharded",
                         help="service execution mode for the main run")
+    parser.add_argument("--backend", choices=("threaded", "mp"),
+                        default="threaded",
+                        help="execution backend for the main run: shard "
+                             "threads or forked worker processes with "
+                             "shared-memory synopses")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="mp worker process count "
+                             "(default: min(4, cpu_count))")
+    parser.add_argument("--compare-threaded", action="store_true",
+                        help="replay the identical workload through the "
+                             "threaded and mp backends and assert "
+                             "bit-identical accounting (answers, "
+                             "per-analyst epsilon, fresh releases) plus "
+                             "the mp q/s floor (floor skipped at --tiny)")
     parser.add_argument("--compare-global", action="store_true",
                         help="also run the disjoint-view sharded-vs-global "
                              "comparison and assert identical accounting")
@@ -281,6 +301,8 @@ def main(argv: list[str] | None = None) -> int:
                                 COMPARE_KWARGS["epsilon"])
         kwargs["accuracy"] = 2e5
     kwargs["fast_lane"] = not args.no_fast_lane
+    kwargs["backend"] = args.backend
+    kwargs["workers"] = args.workers
     results = run_service_throughput(**kwargs)
     print(format_service_throughput(results))
     check_batched_beats_single(results, strict_qps=not args.tiny)
@@ -297,7 +319,7 @@ def main(argv: list[str] | None = None) -> int:
         batch_size=kwargs["batch_size"],
         epsilon=kwargs["epsilon"], seed=kwargs["seed"],
         workload=kwargs["workload"], execution=kwargs["execution"],
-        fast_lane=kwargs["fast_lane"])
+        fast_lane=kwargs["fast_lane"], backend=kwargs["backend"])
     if fast_path_comparable:
         speedup = fastpath_speedup(results)
         print("fast path vs pre-overhaul baseline: "
@@ -337,6 +359,39 @@ def main(argv: list[str] | None = None) -> int:
         profile = run_profile(**profile_kwargs)
         print()
         print(format_profile(profile))
+
+    mp_comparison = None
+    if args.compare_threaded:
+        from repro.experiments.service_throughput import (
+            check_mp_matches_threaded,
+            format_mp_comparison,
+            run_mp_comparison,
+        )
+
+        mp_kwargs = dict(dataset=kwargs["dataset"],
+                         num_rows=kwargs["num_rows"],
+                         num_analysts=kwargs["num_analysts"],
+                         queries_per_analyst=min(
+                             kwargs["queries_per_analyst"], 60),
+                         batch_size=kwargs["batch_size"],
+                         epsilon=kwargs["epsilon"], seed=kwargs["seed"],
+                         workers=args.workers,
+                         workload=kwargs["workload"])
+        if args.shards is not None:
+            mp_kwargs["shards"] = args.shards
+        if args.tiny:
+            mp_kwargs.update(num_rows=2000, num_analysts=4,
+                             queries_per_analyst=20, batch_size=16)
+        mp_comparison = run_mp_comparison(**mp_kwargs)
+        print()
+        print(format_mp_comparison(*mp_comparison))
+        # The q/s floor only means something at a scale where per-query
+        # work dominates the process boundary; --tiny asserts the
+        # bit-identical accounting and skips the floor.
+        check_mp_matches_threaded(*mp_comparison, strict_qps=not args.tiny)
+        print("ok: the mp backend replays the threaded backend's "
+              "accounting bit for bit"
+              + ("" if args.tiny else "; q/s above the single-CPU floor"))
 
     comparison = None
     if args.compare_global:
@@ -417,7 +472,7 @@ def main(argv: list[str] | None = None) -> int:
         write_json_artifact(args.json, results, comparison, remote,
                             durability, profile=profile,
                             fast_path=fast_path_comparable,
-                            overload=overload)
+                            overload=overload, mp=mp_comparison)
         print(f"wrote {args.json}")
     return 0
 

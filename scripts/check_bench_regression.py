@@ -36,12 +36,19 @@ DEFAULT_TOLERANCE = 0.15
 
 
 def best_inproc_qps(document: dict, mode: str) -> float | None:
-    """Best closed-loop in-process q/s for ``mode`` among the main runs."""
+    """Best closed-loop in-process q/s for ``mode`` among the main runs.
+
+    Only the default threaded backend is gated: mp rows measure the
+    process-boundary tax (their own floor lives in the bench's
+    ``--compare-threaded`` check) and would otherwise drag the best-of
+    comparison on single-CPU runners.
+    """
     rows = [
         row for row in document.get("runs", [])
         if row.get("mode") == mode
         and row.get("transport", "inproc") == "inproc"
         and row.get("arrival", "closed") == "closed"
+        and row.get("backend", "threaded") == "threaded"
     ]
     if not rows:
         return None

@@ -160,8 +160,27 @@ def _bench_service(args) -> str:
         epsilon=args.epsilon, repeats=args.repeats, seed=args.seed,
         execution=args.execution, shards=args.shards,
         workload=args.workload, fast_lane=not args.no_fast_lane,
+        backend=args.backend, workers=args.workers,
     )
     report = format_service_throughput(results)
+    mp_comparison = None
+    if args.compare_threaded:
+        from repro.experiments.service_throughput import (
+            check_mp_matches_threaded,
+            format_mp_comparison,
+            run_mp_comparison,
+        )
+
+        mp_comparison = run_mp_comparison(
+            dataset=args.dataset, num_rows=args.rows,
+            num_analysts=args.analysts,
+            queries_per_analyst=min(args.queries, 60),
+            batch_size=args.batch_size, epsilon=args.epsilon,
+            seed=args.seed, shards=args.shards, workers=args.workers,
+            workload=args.workload,
+        )
+        check_mp_matches_threaded(*mp_comparison)
+        report += "\n\n" + format_mp_comparison(*mp_comparison)
     profile = None
     if args.profile:
         from repro.experiments.service_throughput import (
@@ -249,11 +268,12 @@ def _bench_service(args) -> str:
             queries=args.queries, threads=args.threads, shards=args.shards,
             batch_size=args.batch_size, epsilon=args.epsilon,
             seed=args.seed, workload=args.workload,
-            execution=args.execution, fast_lane=not args.no_fast_lane)
+            execution=args.execution, fast_lane=not args.no_fast_lane,
+            backend=args.backend)
         write_json_artifact(args.json, results, comparison, remote,
                             durability, profile=profile,
                             fast_path=fast_path_comparable,
-                            overload=overload)
+                            overload=overload, mp=mp_comparison)
         report += f"\nwrote {args.json}"
     return report
 
@@ -287,11 +307,21 @@ def _build_daemon_service(args, durable: bool = True):
                                        fsync=getattr(args, "fsync",
                                                      "always"),
                                        recover=getattr(args, "recover",
-                                                       "strict"))
+                                                       "strict"),
+                                       segment_bytes=getattr(
+                                           args, "ledger_segment_bytes",
+                                           None))
+    backend = getattr(args, "backend", "threaded")
+    # The mp backend's determinism contract needs per-view noise
+    # streams (its constructor enforces this); the offline tools
+    # (recover/checkpoint) have no --backend and rebuild threaded.
+    extra = {"noise_streams": "per_view"} if backend == "mp" else {}
     return QueryService.build(bundle, analysts, args.epsilon,
                               execution=args.execution,
                               shards=args.shards, seed=args.seed,
-                              durability=durability)
+                              backend=backend,
+                              workers=getattr(args, "workers", None),
+                              durability=durability, **extra)
 
 
 def _serve(args) -> str:
@@ -308,7 +338,9 @@ def _serve(args) -> str:
                              rate_burst=args.rate_burst,
                              micro_batch=args.micro_batch,
                              request_timeout=args.request_timeout,
-                             max_body_bytes=args.max_body)
+                             max_body_bytes=args.max_body,
+                             tls_cert=args.tls_cert,
+                             tls_key=args.tls_key)
     except ReproError:
         service.close()
         raise
@@ -316,7 +348,12 @@ def _serve(args) -> str:
     print(f"repro serve: listening on {server.url}", flush=True)
     print(f"  dataset={args.dataset} rows={args.rows or 'full'} "
           f"epsilon={args.epsilon} execution={args.execution} "
-          f"shards={args.shards}", flush=True)
+          f"shards={args.shards} backend={args.backend}", flush=True)
+    if args.backend == "mp":
+        print(f"  mp workers: {args.workers or 'auto'} (forked after "
+              f"recovery; charging stays in this process)", flush=True)
+    if server.tls:
+        print(f"  tls: cert={args.tls_cert} (TLS >= 1.2)", flush=True)
     if args.rate_limit is not None:
         print(f"  admission control: {args.rate_limit:g} q/s per analyst "
               f"(burst {args.rate_burst if args.rate_burst is not None else max(1.0, args.rate_limit):g}); "
@@ -491,6 +528,20 @@ def build_parser() -> argparse.ArgumentParser:
                              default="mixed",
                              help="paper-style mix or per-analyst "
                                   "disjoint wide views")
+            cmd.add_argument("--backend", choices=("threaded", "mp"),
+                             default="threaded",
+                             help="execution backend: shard threads "
+                                  "(threaded) or forked worker processes "
+                                  "with shared-memory synopses (mp)")
+            cmd.add_argument("--workers", type=int, default=None,
+                             help="mp worker process count "
+                                  "(default: min(4, cpu_count))")
+            cmd.add_argument("--compare-threaded", action="store_true",
+                             help="replay the identical workload through "
+                                  "both backends and assert bit-identical "
+                                  "accounting (answers, per-analyst "
+                                  "epsilon, fresh releases) plus the mp "
+                                  "q/s floor")
             cmd.add_argument("--compare-global", action="store_true",
                              help="also run the disjoint-view sharded vs "
                                   "global-lock comparison")
@@ -600,6 +651,26 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="BYTES",
                        help="largest request body accepted before the "
                             "server answers 413 (default: 8 MiB)")
+    serve.add_argument("--backend", choices=("threaded", "mp"),
+                       default="threaded",
+                       help="execution backend; mp forks worker "
+                            "processes after durability recovery "
+                            "(shared-memory synopses, charging stays "
+                            "in the daemon process)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="mp worker process count "
+                            "(default: min(4, cpu_count))")
+    serve.add_argument("--tls-cert", default=None, metavar="PEM",
+                       help="TLS certificate chain; with --tls-key, "
+                            "serves https (TLS >= 1.2)")
+    serve.add_argument("--tls-key", default=None, metavar="PEM",
+                       help="TLS private key (pair of --tls-cert)")
+    serve.add_argument("--ledger-segment-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="with --data-dir: seal the active ledger "
+                            "into numbered segments at this size so "
+                            "checkpoint compaction never rewrites "
+                            "unbounded history (default: single file)")
 
     recover = sub.add_parser(
         "recover", help="inspect crash recovery for a --data-dir "

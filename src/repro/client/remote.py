@@ -11,6 +11,11 @@ becomes :class:`repro.exceptions.UnknownAnalyst`; anything else raises
 :class:`RemoteError` carrying the HTTP status and the envelope's machine
 ``kind`` tag.  Query-level failures never raise — they arrive inside
 :class:`~repro.service.session.QueryResponse` envelopes, as in-process.
+
+``https://`` base URLs speak TLS (the daemon's ``--tls-cert/--tls-key``
+side): certificates verify against the system trust store by default,
+``ca_bundle=`` pins a private CA, and ``tls_insecure=True`` disables
+verification for tests against throwaway self-signed certs.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import ssl
 import time
 from dataclasses import dataclass
 from typing import Sequence
@@ -91,12 +97,16 @@ class RemoteAnalyst:
     def __init__(self, base_url: str, token: str,
                  timeout: float = DEFAULT_TIMEOUT,
                  retry_rate_limited: int = 0,
-                 max_retry_after: float = 5.0) -> None:
+                 max_retry_after: float = 5.0,
+                 ca_bundle: str | None = None,
+                 tls_insecure: bool = False) -> None:
+        scheme = "http"
         if "://" in base_url:
             parts = urlsplit(base_url)
-            if parts.scheme != "http":
+            if parts.scheme not in ("http", "https"):
                 raise ReproError(f"unsupported scheme {parts.scheme!r} "
-                                 f"(the daemon speaks plain http)")
+                                 f"(the daemon speaks http or https)")
+            scheme = parts.scheme
             netloc = parts.netloc
         else:  # accept "host:port" shorthand (incl. bare hostnames)
             netloc = base_url.rstrip("/")
@@ -104,7 +114,25 @@ class RemoteAnalyst:
             host, _, port_text = netloc.rpartition(":")
             port = int(port_text)
         else:
-            host, port = netloc, 80
+            host, port = netloc, (443 if scheme == "https" else 80)
+        if (ca_bundle is not None or tls_insecure) and scheme != "https":
+            raise ReproError("ca_bundle/tls_insecure only apply to "
+                             "https:// URLs")
+        self._scheme = scheme
+        self._tls_context: ssl.SSLContext | None = None
+        if scheme == "https":
+            # Default: full verification against the system trust store;
+            # ca_bundle pins a private CA (self-signed deployments);
+            # tls_insecure is for tests against throwaway certs only.
+            try:
+                self._tls_context = ssl.create_default_context(
+                    cafile=ca_bundle)
+            except (OSError, ssl.SSLError) as exc:
+                raise ReproError(
+                    f"cannot load CA bundle {ca_bundle!r}: {exc}") from None
+            if tls_insecure:
+                self._tls_context.check_hostname = False
+                self._tls_context.verify_mode = ssl.CERT_NONE
         if not host:
             raise ReproError(f"no host in base url {base_url!r}")
         if retry_rate_limited < 0:
@@ -123,8 +151,13 @@ class RemoteAnalyst:
     # -- transport -------------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self._host, self._port, timeout=self._timeout)
+            if self._scheme == "https":
+                self._conn = http.client.HTTPSConnection(
+                    self._host, self._port, timeout=self._timeout,
+                    context=self._tls_context)
+            else:
+                self._conn = http.client.HTTPConnection(
+                    self._host, self._port, timeout=self._timeout)
             self._conn.connect()
             # Request/response ping-pong over keep-alive: without
             # TCP_NODELAY, Nagle + delayed ACK costs ~40ms a round trip.

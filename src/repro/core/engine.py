@@ -96,6 +96,7 @@ class DProvDB:
                  synopsis_store=None,
                  statement_cache_size: int | None = DEFAULT_STATEMENT_CACHE,
                  fast_lane: bool = True,
+                 noise_streams: str = "shared",
                  seed: SeedLike = None) -> None:
         if not analysts:
             raise ReproError("need at least one analyst")
@@ -153,10 +154,18 @@ class DProvDB:
         self._fast_lane_lock = threading.Lock()
         self._fast_lane_hits = 0
         self._fast_lane_misses = 0
+        if noise_streams == "per_view" and not isinstance(
+                seed, (int, str, type(None))):
+            raise ReproError("per-view noise streams derive per-view seeds "
+                             "deterministically; pass an int (or None) seed, "
+                             "not a Generator")
         mechanism_kwargs = {"rng": ensure_generator(seed),
                             "accountant": accountant,
                             "precision": precision,
-                            "store": synopsis_store}
+                            "store": synopsis_store,
+                            "noise_streams": noise_streams,
+                            "stream_seed": (seed if isinstance(seed, (int, str))
+                                            else None)}
         if mechanism == "additive":
             mechanism_kwargs["combine_local"] = combine_local
         elif combine_local:

@@ -22,11 +22,19 @@ import numpy as np
 
 from repro.core.provenance import Constraints, ProvenanceTable
 from repro.core.synopsis import SynopsisStore
-from repro.dp.rng import SeedLike, ensure_generator
-from repro.exceptions import QueryRejected, TranslationError
+from repro.dp.rng import SeedLike, ensure_generator, stable_seed
+from repro.exceptions import QueryRejected, ReproError, TranslationError
 from repro.views.histogram import HistogramView
 from repro.views.linear import LinearQuery
 from repro.views.registry import ViewRegistry
+
+#: Noise-stream layouts: one shared generator for every draw (the
+#: historical behaviour) or one deterministic stream per view.  Per-view
+#: streams make the draw sequence on a view a function of that view's
+#: release order alone — the property the multiprocessing backend needs
+#: for bit-identical replays, since each view's traffic is owned by one
+#: worker process.
+NOISE_STREAMS = ("shared", "per_view")
 
 
 class GaussianAccountant(Protocol):
@@ -56,7 +64,12 @@ class MechanismBase:
                  constraints: Constraints, rng: SeedLike = None,
                  accountant: GaussianAccountant | None = None,
                  precision: float = 1e-6,
-                 store: SynopsisStore | None = None) -> None:
+                 store: SynopsisStore | None = None,
+                 noise_streams: str = "shared",
+                 stream_seed: int | str | None = None) -> None:
+        if noise_streams not in NOISE_STREAMS:
+            raise ReproError(f"unknown noise_streams {noise_streams!r}; "
+                             f"choose from {NOISE_STREAMS}")
         self.registry = registry
         self.provenance = provenance
         self.constraints = constraints
@@ -66,6 +79,15 @@ class MechanismBase:
         self.rng = ensure_generator(rng)
         self.accountant = accountant
         self.precision = precision
+        #: Noise-stream layout (see :data:`NOISE_STREAMS`).  ``per_view``
+        #: derives one deterministic generator per view from
+        #: ``stream_seed``; ``stream_incarnation`` salts the derivation so
+        #: a restarted worker process never replays a stream prefix whose
+        #: draws were already published.
+        self.noise_streams = noise_streams
+        self._stream_seed = stream_seed
+        self.stream_incarnation = 0
+        self._view_rngs: dict[str, np.random.Generator] = {}
         #: Per-analyst count of fresh releases charged to them — the delta
         #: ledger (each release adds one per-query delta, Theorem 3.1).
         #: Guarded by ``_ledger_lock`` so the cap check and the increment
@@ -107,6 +129,32 @@ class MechanismBase:
         with self._ledger_lock:
             self._release_counts[analyst] = \
                 max(0, self._release_counts.get(analyst, 0) - 1)
+
+    # -- noise streams ----------------------------------------------------------
+    def _rng_for(self, view_name: str) -> np.random.Generator:
+        """The generator noise for ``view_name`` draws from.
+
+        ``"shared"`` mode returns the single mechanism generator (every
+        existing replay stays bit-identical).  ``"per_view"`` mode lazily
+        derives one stream per view from ``(stream_seed, view name,
+        incarnation)`` via :func:`repro.dp.rng.stable_seed`, so the draw
+        sequence on a view depends only on that view's own release order.
+        """
+        if self.noise_streams == "shared":
+            return self.rng
+        rng = self._view_rngs.get(view_name)
+        if rng is None:
+            seed = stable_seed(self._stream_seed, "noise-stream", view_name,
+                               self.stream_incarnation)
+            rng = self._view_rngs[view_name] = ensure_generator(seed)
+        return rng
+
+    def set_stream_incarnation(self, incarnation: int) -> None:
+        """Re-key every per-view stream (used after a worker restart so
+        the replacement process draws fresh noise, never a prefix already
+        published by its predecessor)."""
+        self.stream_incarnation = incarnation
+        self._view_rngs.clear()
 
     # -- helpers --------------------------------------------------------------
     def _sensitivity(self, view: HistogramView) -> float:
@@ -327,4 +375,4 @@ class MechanismBase:
         raise NotImplementedError
 
 
-__all__ = ["GaussianAccountant", "MechanismBase", "Outcome"]
+__all__ = ["GaussianAccountant", "MechanismBase", "NOISE_STREAMS", "Outcome"]

@@ -17,6 +17,13 @@ on top of the engine (:mod:`repro.service`).  Two comparisons live here:
   whatever the hardware allows — on a single-CPU host only the removed
   lock-convoy overhead, on multi-core hosts real parallel execution of
   the per-view sections.
+* :func:`run_mp_comparison` — the execution-backend experiment
+  (``bench-service --compare-threaded``): the identical workload replayed
+  through the threaded backend and the multiprocessing shard backend
+  (``backend="mp"``) under per-view noise streams; answers must be
+  bitwise identical and accounting must replay exactly, while the mp
+  run's q/s must hold :data:`MP_FLOOR` on single-CPU hosts (the
+  multi-core speedup is asserted by a cpu_count-conditional test).
 * :func:`run_remote_comparison` — the serving experiment
   (``bench-service --remote``): the disjoint-view workload replayed once
   in process and once over the wire (an in-process
@@ -52,6 +59,7 @@ from repro.service.loadgen import (
     register_disjoint_views,
     run_overload,
     run_remote_throughput,
+    run_sequential_replay,
     run_throughput,
 )
 from repro.service.service import QueryService
@@ -86,6 +94,29 @@ FASTPATH_BASELINE_QPS = {"single": 4228.0, "batched": 4242.5}
 #: Speedup over :data:`FASTPATH_BASELINE_QPS` the overhaul must keep.
 FASTPATH_SPEEDUP_TARGET = 1.3
 
+#: Minimum mp-backend q/s relative to the threaded backend on the same
+#: workload (the ``--compare-threaded`` floor).  On a single-CPU host
+#: the mp backend pays pipe + shared-memory bookkeeping with no cores
+#: to win back, so this gate bounds the IPC overhead rather than
+#: asserting a speedup; the multi-core speedup is asserted by the
+#: cpu_count-conditional scaling test.
+#:
+#: The value is the *measured* single-CPU floor, not an aspiration.
+#: On the 1-core reference container the boundary cost — request
+#: forwarding, brokered charges, the end-of-batch fold of synopses,
+#: counters, and audit log — is ~30us per query against ~180us of
+#: useful per-query work at the default replay scale, giving a
+#: measured steady-state ratio of 0.72-0.86x (run-to-run noise on the
+#: container reaches +-15%).  The boundary components are irreducible
+#: without giving up an acceptance property: planning already happens
+#: exactly once system-wide (the single-worker raw-forward path),
+#: charges must broker through the parent (one accounting domain),
+#: and answers, synopses, and the audit log must fold back for
+#: bit-identical accounting.  0.55 is the regression tripwire below
+#: the observed band — hitting it means structural overhead was
+#: added, not that the container was slow that day.
+MP_FLOOR = 0.55
+
 #: The exact configuration :data:`FASTPATH_BASELINE_QPS` was measured
 #: under.  :func:`fastpath_comparable` is the single source of truth for
 #: "may this run be compared/gated against the baseline" — the bench
@@ -102,7 +133,7 @@ def fastpath_comparable(*, dataset: str, rows: int | None, analysts: int,
                         queries: int, threads: int, shards: int,
                         workload: str, execution: str, fast_lane: bool,
                         batch_size: int = 32, epsilon: float = 12.0,
-                        seed=0) -> bool:
+                        seed=0, backend: str = "threaded") -> bool:
     """Whether a run's configuration matches the fast-path baseline's.
 
     ``queries`` only needs to reach the baseline's floor (longer runs
@@ -113,6 +144,7 @@ def fastpath_comparable(*, dataset: str, rows: int | None, analysts: int,
     """
     cfg = FASTPATH_BASELINE_CONFIG
     return (fast_lane
+            and backend == "threaded"
             and dataset == cfg["dataset"]
             and rows == cfg["rows"]
             and analysts == cfg["analysts"]
@@ -159,11 +191,13 @@ def _build_workload(bundle, analysts, queries_per_analyst, accuracy,
 
 def _build_service(bundle, analysts, epsilon, mechanism,
                    max_cached_synopses, execution, shards, seed,
-                   attribute_sets) -> QueryService:
+                   attribute_sets, backend="threaded",
+                   workers=None, **build_kwargs) -> QueryService:
     service = QueryService.build(
         bundle, analysts, epsilon, mechanism=mechanism,
         max_cached_synopses=max_cached_synopses,
         execution=execution, shards=shards, seed=seed,
+        backend=backend, workers=workers, **build_kwargs,
     )
     if attribute_sets:
         register_disjoint_views(service.engine, attribute_sets)
@@ -186,7 +220,10 @@ def run_service_throughput(dataset: str = "adult",
                            shards: int = DEFAULT_NUM_SHARDS,
                            workload: str = "mixed",
                            view_width: int = 2,
-                           fast_lane: bool = True) -> list[ThroughputResult]:
+                           fast_lane: bool = True,
+                           backend: str = "threaded",
+                           workers: int | None = None
+                           ) -> list[ThroughputResult]:
     """One run per (mode, repeat); fresh service per run, same workload."""
     bundle = _load_bundle(dataset, num_rows, seed)
     analysts = make_service_analysts(num_analysts)
@@ -196,9 +233,15 @@ def run_service_throughput(dataset: str = "adult",
     results: list[ThroughputResult] = []
     for mode in MODES:
         for _ in range(max(1, repeats)):
+            # The mp backend requires per-view noise streams (its
+            # determinism contract); the threaded default is untouched.
+            extra = ({"noise_streams": "per_view"} if backend == "mp"
+                     else {})
             service = _build_service(bundle, analysts, epsilon, mechanism,
                                      max_cached_synopses, execution, shards,
-                                     seed, attribute_sets)
+                                     seed, attribute_sets,
+                                     backend=backend, workers=workers,
+                                     **extra)
             service.engine.fast_lane = fast_lane
             try:
                 results.append(run_throughput(service, analysts, streams,
@@ -346,6 +389,144 @@ def check_fastpath_speedup(results: list[ThroughputResult],
             (f"{mode} q/s is only {ratio:.2f}x the pre-overhaul baseline "
              f"({FASTPATH_BASELINE_QPS[mode]:.0f} q/s); the hot-path "
              f"overhaul requires >= {factor:.1f}x")
+
+
+def run_mp_comparison(dataset: str = "adult",
+                      num_rows: int | None = 12000,
+                      num_analysts: int = 8,
+                      queries_per_analyst: int = 60,
+                      batch_size: int = 32,
+                      epsilon: float = 12.0,
+                      accuracy: float = 40000.0,
+                      seed: int = 0,
+                      shards: int = DEFAULT_NUM_SHARDS,
+                      workers: int | None = None,
+                      workload: str = "mixed",
+                      view_width: int = 2
+                      ) -> tuple[list[ThroughputResult], dict]:
+    """The ``--compare-threaded`` replay: mp vs threaded, bit for bit.
+
+    The identical workload is replayed batched on one caller thread
+    (parallelism lives inside each ``submit_batch``) through a fresh
+    threaded service and a fresh mp service, both built with
+    ``noise_streams="per_view"``, the same integer seed, and an
+    unbounded synopsis store — the configuration under which a view's
+    noise draws are a function of its own release order alone, so the
+    two backends must produce bitwise-identical answers, identical
+    per-analyst epsilon, identical fresh-release work, and provenance
+    totals equal to float arrival-order noise (1e-9).
+
+    Returns the two :class:`ThroughputResult` rows and the replay-check
+    dict :func:`check_mp_matches_threaded` gates on.
+    """
+    seed = int(seed)  # per-view noise streams key off an integer seed
+    bundle = _load_bundle(dataset, num_rows, seed)
+    analysts = make_service_analysts(num_analysts)
+    attribute_sets, streams = _build_workload(
+        bundle, analysts, queries_per_analyst, accuracy, workload,
+        view_width, seed)
+    results: list[ThroughputResult] = []
+    traces: dict[str, list] = {}
+    eps_by_analyst: dict[str, dict] = {}
+    table_total: dict[str, float] = {}
+    backend_info: dict[str, dict] = {}
+    for backend in ("threaded", "mp"):
+        service = _build_service(
+            bundle, analysts, epsilon, "additive",
+            None,  # unbounded store: LRU eviction order diverges per-shard
+            "sharded", shards, seed, attribute_sets,
+            backend=backend,
+            workers=(workers if backend == "mp" else None),
+            noise_streams="per_view")
+        try:
+            # Pre-fork outside the timed window, as `repro serve` does —
+            # the comparison measures steady-state serving, not worker
+            # pool construction.  The ping round-trips every worker's
+            # event loop once so page fault-in of the forked state
+            # doesn't land in the first timed batch.
+            service.start_backend()
+            if service.mp_backend is not None:
+                service.mp_backend.ping()
+            result, trace = run_sequential_replay(
+                service, analysts, streams, batch_size=batch_size)
+            results.append(result)
+            traces[backend] = trace
+            snapshot = service.snapshot()
+            eps_by_analyst[backend] = \
+                service.stats.as_dict()["epsilon_by_analyst"]
+            table_total[backend] = snapshot["provenance"]["table_total"]
+            backend_info[backend] = snapshot["backend"]
+        finally:
+            service.close()
+    provenance_delta = abs(table_total["threaded"] - table_total["mp"])
+    replay = {
+        "answers_bitwise_identical": traces["threaded"] == traces["mp"],
+        "epsilon_by_analyst_identical":
+            eps_by_analyst["threaded"] == eps_by_analyst["mp"],
+        "fresh_releases": {r.backend: r.fresh_releases for r in results},
+        "provenance_table_total_delta": provenance_delta,
+        "workers": backend_info["mp"].get("workers"),
+        "mp_backend": backend_info["mp"],
+    }
+    replay["match"] = (replay["answers_bitwise_identical"]
+                       and replay["epsilon_by_analyst_identical"]
+                       and len(set(replay["fresh_releases"].values())) == 1
+                       and provenance_delta <= 1e-9)
+    return results, replay
+
+
+def mp_speedup(results: list[ThroughputResult]) -> float | None:
+    """Best mp q/s over best threaded q/s (``None`` if either absent)."""
+    mp = [r.queries_per_second for r in results if r.backend == "mp"]
+    threaded = [r.queries_per_second for r in results
+                if r.backend == "threaded"]
+    if not mp or not threaded or max(threaded) <= 0:
+        return None
+    return max(mp) / max(threaded)
+
+
+def check_mp_matches_threaded(results: list[ThroughputResult],
+                              replay: dict, floor: float = MP_FLOOR,
+                              strict_qps: bool = True) -> None:
+    """Assert the mp backend's acceptance bar: bit-identical accounting
+    against the threaded replay, and (``strict_qps``) q/s no worse than
+    ``floor`` times the threaded backend on the same workload."""
+    assert replay["answers_bitwise_identical"], \
+        "mp backend answers diverged bitwise from the threaded replay"
+    assert replay["epsilon_by_analyst_identical"], \
+        "mp backend per-analyst epsilon diverged from the threaded replay"
+    assert len(set(replay["fresh_releases"].values())) == 1, \
+        f"fresh releases diverged across backends: " \
+        f"{replay['fresh_releases']}"
+    assert replay["provenance_table_total_delta"] <= 1e-9, \
+        (f"provenance totals diverged beyond float arrival-order noise: "
+         f"delta {replay['provenance_table_total_delta']}")
+    for r in results:
+        assert r.failed == 0, \
+            f"backend={r.backend} run had {r.failed} failures"
+    if strict_qps:
+        ratio = mp_speedup(results)
+        assert ratio is not None and ratio >= floor, \
+            (f"mp backend reached only {ratio:.2f}x of threaded q/s "
+             f"(floor {floor:.2f}x)")
+
+
+def format_mp_comparison(results: list[ThroughputResult],
+                         replay: dict) -> str:
+    """The ``--compare-threaded`` report block."""
+    report = format_throughput(
+        results, title="execution backends: threaded vs multiprocessing")
+    ratio = mp_speedup(results)
+    if ratio is not None:
+        report += (f"\nmp/threaded throughput: {ratio:.2f}x "
+                   f"(floor {MP_FLOOR:.2f}x on single-CPU hosts; "
+                   f"workers={replay.get('workers')})")
+    verdict = "identical" if replay["match"] else "DIVERGED"
+    report += (f"\naccounting vs threaded replay: {verdict} "
+               f"(answers bitwise, per-analyst epsilon, fresh releases; "
+               f"table-total delta "
+               f"{replay['provenance_table_total_delta']:.2e})")
+    return report
 
 
 def run_sharding_comparison(dataset: str = "adult",
@@ -796,7 +977,8 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
                         durability: list[ThroughputResult] | None = None,
                         profile: dict | None = None,
                         fast_path: bool = False,
-                        overload: tuple[OverloadResult, dict] | None = None
+                        overload: tuple[OverloadResult, dict] | None = None,
+                        mp: tuple[list[ThroughputResult], dict] | None = None
                         ) -> None:
     """Write ``BENCH_service_throughput.json``: per-run rows + summary.
 
@@ -814,6 +996,10 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
     comparison_rows = [r.as_dict() for r in (comparison or [])]
     remote_rows = [r.as_dict() for r in (remote or [])]
     durability_rows = [r.as_dict() for r in (durability or [])]
+    # mp-vs-threaded rows live in their own list, never in "runs": the
+    # perf-regression gate compares only threaded inproc rows against
+    # the committed trajectory.
+    mp_rows = [r.as_dict() for r in (mp[0] if mp else [])]
     best = max(results, key=lambda r: r.queries_per_second) \
         if results else None
     summary = {
@@ -864,6 +1050,27 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
             "admitted_p95_bound_ms": OVERLOAD_ADMITTED_P95_MS,
             "refused_p95_bound_ms": OVERLOAD_REFUSED_P95_MS,
         }
+    if mp:
+        mp_results, replay = mp
+        best_by_backend = {}
+        for r in mp_results:
+            best_by_backend[r.backend] = max(
+                best_by_backend.get(r.backend, 0.0), r.queries_per_second)
+        summary["mp"] = {
+            "queries_per_second": best_by_backend,
+            "vs_threaded": mp_speedup(mp_results),
+            "floor": MP_FLOOR,
+            "workers": replay.get("workers"),
+            "answers_bitwise_identical":
+                replay["answers_bitwise_identical"],
+            "epsilon_by_analyst_identical":
+                replay["epsilon_by_analyst_identical"],
+            "fresh_releases": replay["fresh_releases"],
+            "provenance_table_total_delta":
+                replay["provenance_table_total_delta"],
+            "accounting_matches_threaded_replay": replay["match"],
+            "backend": replay.get("mp_backend"),
+        }
     if durability:
         tax = durability_tax(durability)
         best_by_axis = best_qps_by_axis(durability)
@@ -880,6 +1087,7 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
         json.dump({"runs": rows, "comparison_runs": comparison_rows,
                    "remote_runs": remote_rows,
                    "durability_runs": durability_rows,
+                   "mp_runs": mp_rows,
                    "summary": summary}, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
@@ -890,6 +1098,7 @@ __all__ = [
     "FASTPATH_BASELINE_CONFIG",
     "FASTPATH_BASELINE_QPS",
     "FASTPATH_SPEEDUP_TARGET",
+    "MP_FLOOR",
     "OVERLOAD_ADMITTED_P95_MS",
     "OVERLOAD_REFUSED_P95_MS",
     "SPEEDUP_TARGET",
@@ -897,20 +1106,24 @@ __all__ = [
     "best_qps_by_axis",
     "check_durability_matches_baseline",
     "check_fastpath_speedup",
+    "check_mp_matches_threaded",
     "check_overload",
     "check_remote_matches_inproc",
     "durability_tax",
     "fastpath_comparable",
     "fastpath_speedup",
     "format_durability_comparison",
+    "format_mp_comparison",
     "format_overload",
     "format_profile",
     "format_remote_comparison",
     "format_service_throughput",
     "format_sharding_comparison",
     "make_service_analysts",
+    "mp_speedup",
     "remote_overhead",
     "run_durability_comparison",
+    "run_mp_comparison",
     "run_overload_experiment",
     "run_profile",
     "run_remote_comparison",

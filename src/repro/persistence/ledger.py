@@ -28,11 +28,25 @@ file, a *torn tail* (the final append was cut mid-write — the expected
 artifact of SIGKILL or power loss; everything before it is intact), and
 *interior corruption* (a damaged record followed by valid ones — a sign
 of real storage damage that recovery must refuse to paper over).
+
+**Segment rotation** (``segment_bytes=``, ``repro serve
+--ledger-segment-bytes``): once the active ``ledger.jsonl`` crosses the
+threshold it is sealed — fsync'd, renamed to ``ledger.NNNNNN.jsonl``
+(monotonic six-digit index), directory-fsync'd — and a fresh active file
+opens.  Only the active file is ever appended to, so only the active
+file can carry a torn tail; a sealed segment that does not decode
+cleanly end to end is interior corruption.  :func:`read_ledger_chain`
+reads segments in index order then the active file, enforcing global
+sequence monotonicity across the chain, and checkpoint compaction
+deletes every segment whose records are all folded in (a partially
+folded segment is kept whole — over-retention is safe, recovery skips
+records at or below the checkpoint's sequence).
 """
 
 from __future__ import annotations
 
 import os
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -49,6 +63,48 @@ FSYNC_POLICIES = ("always", "batch", "off")
 DEFAULT_BATCH_RECORDS = 32
 #: … or per this many seconds since the last sync, whichever is first.
 DEFAULT_BATCH_SECONDS = 0.05
+
+#: Sealed-segment naming: ``ledger.000001.jsonl`` next to the active
+#: ``ledger.jsonl``.  Six digits keeps lexicographic == numeric order
+#: for any plausible daemon lifetime.
+_SEGMENT_RE = re.compile(r"^(?P<stem>.+)\.(?P<index>\d{6})\.jsonl$")
+
+
+def segment_paths(active_path: str | Path) -> list[Path]:
+    """Sealed segments belonging to ``active_path``, in index order."""
+    active_path = Path(active_path)
+    stem = active_path.name.rsplit(".jsonl", 1)[0]
+    found = []
+    for candidate in active_path.parent.glob(f"{stem}.*.jsonl"):
+        match = _SEGMENT_RE.match(candidate.name)
+        if match is not None and match.group("stem") == stem:
+            found.append((int(match.group("index")), candidate))
+    return [path for _, path in sorted(found)]
+
+
+def segment_last_seq(path: str | Path) -> int:
+    """Sequence number of a sealed segment's final record.
+
+    Raises :class:`DurabilityError` when the segment's last line does
+    not decode — a damaged segment must stop compaction (deleting it
+    would silently discard records recovery would have flagged).
+    """
+    path = Path(path)
+    last_line = ""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            text = line.rstrip("\n")
+            if text:
+                last_line = text
+    if not last_line:
+        raise DurabilityError(f"ledger segment {path} is empty; "
+                              f"recover first")
+    try:
+        return decode_line(last_line)["seq"]
+    except ValueError as exc:
+        raise DurabilityError(
+            f"ledger segment {path} ends in a damaged record ({exc}); "
+            f"recover first") from None
 
 
 def _fsync_dir(path: Path) -> None:
@@ -93,14 +149,22 @@ class LedgerWriter:
     def __init__(self, path: str | Path, fsync: str = "always",
                  next_seq: int = 1,
                  batch_records: int = DEFAULT_BATCH_RECORDS,
-                 batch_seconds: float = DEFAULT_BATCH_SECONDS) -> None:
+                 batch_seconds: float = DEFAULT_BATCH_SECONDS,
+                 segment_bytes: int | None = None) -> None:
         if fsync not in FSYNC_POLICIES:
             raise DurabilityError(f"unknown fsync policy {fsync!r}; "
                                   f"choose from {FSYNC_POLICIES}")
         if next_seq < 1:
             raise DurabilityError(f"next_seq must be >= 1, got {next_seq}")
+        if segment_bytes is not None and segment_bytes < 1:
+            raise DurabilityError(f"segment_bytes must be >= 1, "
+                                  f"got {segment_bytes}")
         self.path = Path(path)
         self.fsync = fsync
+        #: Roll the active file into a sealed numbered segment once it
+        #: crosses this size (``None`` = never roll, single-file mode).
+        self.segment_bytes = segment_bytes
+        self.segments_sealed = 0
         self._lock = threading.Lock()
         self._next_seq = next_seq
         self._pending = 0
@@ -152,7 +216,39 @@ class LedgerWriter:
                                                      self._deadline_sync)
                     self._deadline.daemon = True
                     self._deadline.start()
+            if self.segment_bytes is not None and \
+                    self._handle.tell() >= self.segment_bytes:
+                self._roll_locked()
             return seq
+
+    def _roll_locked(self) -> None:
+        """Seal the active file as the next numbered segment and reopen a
+        fresh one (caller holds the lock).
+
+        The segment is fsync'd *before* the rename regardless of the
+        batch window (an ``off`` policy still skips it — its contract is
+        page-cache-only durability), so the published name never points
+        at data the kernel hasn't been asked to keep; the directory
+        entry is fsync'd after, the same rename-durability pattern as
+        :func:`atomic_replace`.
+        """
+        self._handle.flush()
+        if self.fsync != "off":
+            os.fsync(self._handle.fileno())
+            self._pending = 0
+            self._last_sync = time.monotonic()
+        self._handle.close()
+        existing = segment_paths(self.path)
+        next_index = 1
+        if existing:
+            next_index = int(
+                _SEGMENT_RE.match(existing[-1].name).group("index")) + 1
+        stem = self.path.name.rsplit(".jsonl", 1)[0]
+        sealed = self.path.with_name(f"{stem}.{next_index:06d}.jsonl")
+        os.replace(self.path, sealed)
+        _fsync_dir(self.path.parent)
+        self.segments_sealed += 1
+        self._handle = open(self.path, "a", encoding="utf-8")
 
     def _sync_locked(self) -> None:
         """Fsync and reset the batch window (caller holds the lock).
@@ -232,6 +328,17 @@ class LedgerWriter:
                             surviving.append(text)
             atomic_replace(self.path,
                            "".join(text + "\n" for text in surviving))
+            dropped = False
+            for segment in segment_paths(self.path):
+                if segment_last_seq(segment) <= keep_after_seq:
+                    segment.unlink()
+                    dropped = True
+                # A partially folded segment is kept whole: over-retention
+                # is safe (recovery skips seqs at or below the checkpoint)
+                # while splitting a sealed file would forfeit its
+                # only-the-active-file-tears guarantee.
+            if dropped:
+                _fsync_dir(self.path.parent)
             if was_open:
                 self._handle = open(self.path, "a", encoding="utf-8")
             return len(surviving)
@@ -311,6 +418,53 @@ def read_ledger(path: str | Path) -> tuple[list[dict], LedgerTail]:
     return records, LedgerTail()
 
 
+def read_ledger_chain(active_path: str | Path) \
+        -> tuple[list[dict], LedgerTail]:
+    """Read sealed segments in index order, then the active file.
+
+    Sealed segments were fsync'd and renamed whole, so any decode
+    failure inside one — including a torn-looking final line — is
+    interior corruption, reported with the segment named in ``reason``.
+    The active file is read with the normal crash-aware
+    :func:`read_ledger` rules; only it may carry a torn tail or
+    salvage.  Sequence numbers must keep rising across file boundaries.
+    """
+    active_path = Path(active_path)
+    records: list[dict] = []
+    for segment in segment_paths(active_path):
+        seg_records, seg_tail = read_ledger(segment)
+        if seg_tail.status != "ok":
+            return records, LedgerTail(
+                status="corrupt", line_no=seg_tail.line_no,
+                reason=f"sealed segment {segment.name}: {seg_tail.reason} "
+                       f"(a sealed segment can never be torn — this is "
+                       f"storage damage)",
+                raw=seg_tail.raw)
+        if seg_records and records and \
+                seg_records[0]["seq"] <= records[-1]["seq"]:
+            return records, LedgerTail(
+                status="corrupt", line_no=1,
+                reason=f"sealed segment {segment.name}: sequence regressed "
+                       f"across segments ({seg_records[0]['seq']} after "
+                       f"{records[-1]['seq']})")
+        records.extend(seg_records)
+    active_records, tail = read_ledger(active_path)
+    last_seq = records[-1]["seq"] if records else 0
+    if active_records and active_records[0]["seq"] <= last_seq:
+        return records, LedgerTail(
+            status="corrupt", line_no=1,
+            reason=f"active ledger {active_path.name}: sequence regressed "
+                   f"after sealed segments ({active_records[0]['seq']} "
+                   f"after {last_seq})")
+    if tail.salvage is not None and \
+            isinstance(tail.salvage.get("seq"), int) and \
+            tail.salvage["seq"] <= last_seq and not active_records:
+        tail = LedgerTail(status=tail.status, line_no=tail.line_no,
+                          reason=tail.reason, raw=tail.raw, salvage=None)
+    records.extend(active_records)
+    return records, tail
+
+
 def _line_is_valid(line: str, after_seq: int) -> bool:
     if not line:
         return False
@@ -364,5 +518,8 @@ __all__ = [
     "LedgerWriter",
     "atomic_replace",
     "read_ledger",
+    "read_ledger_chain",
     "repair_torn_tail",
+    "segment_last_seq",
+    "segment_paths",
 ]

@@ -3,8 +3,9 @@
 :class:`DurabilityManager` owns a data directory::
 
     data_dir/
-      checkpoint.json   # versioned snapshot (atomic rename)
-      ledger.jsonl      # write-ahead budget ledger (append-only)
+      checkpoint.json       # versioned snapshot (atomic rename)
+      ledger.jsonl          # write-ahead budget ledger (append-only)
+      ledger.NNNNNN.jsonl   # sealed segments when segment rotation is on
 
 and binds to exactly one :class:`repro.service.service.QueryService`
 (the service calls :meth:`bind` from its constructor when built with
@@ -48,6 +49,7 @@ from repro.persistence.ledger import (
     FSYNC_POLICIES,
     LedgerWriter,
     repair_torn_tail,
+    segment_paths,
 )
 from repro.persistence.recovery import (
     CHECKPOINT_FILE,
@@ -110,19 +112,24 @@ class DurabilityManager:
     def __init__(self, data_dir: str | Path, fsync: str = "always",
                  recover: str = "strict",
                  batch_records: int = DEFAULT_BATCH_RECORDS,
-                 batch_seconds: float = DEFAULT_BATCH_SECONDS) -> None:
+                 batch_seconds: float = DEFAULT_BATCH_SECONDS,
+                 segment_bytes: int | None = None) -> None:
         if fsync not in FSYNC_POLICIES:
             raise DurabilityError(f"unknown fsync policy {fsync!r}; "
                                   f"choose from {FSYNC_POLICIES}")
         if recover not in RECOVERY_MODES:
             raise DurabilityError(f"unknown recovery mode {recover!r}; "
                                   f"choose from {RECOVERY_MODES}")
+        if segment_bytes is not None and segment_bytes < 1:
+            raise DurabilityError(f"segment_bytes must be >= 1, "
+                                  f"got {segment_bytes}")
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
         self.recover_mode = recover
         self._batch_records = batch_records
         self._batch_seconds = batch_seconds
+        self.segment_bytes = segment_bytes
         self._bind_lock = threading.Lock()
         self._checkpoint_lock = threading.Lock()
         # Weakly held: a strong reference would close a cycle
@@ -182,7 +189,8 @@ class DurabilityManager:
                     self.ledger_path, fsync=self.fsync,
                     next_seq=next_seq,
                     batch_records=self._batch_records,
-                    batch_seconds=self._batch_seconds)
+                    batch_seconds=self._batch_seconds,
+                    segment_bytes=self.segment_bytes)
             except BaseException:
                 self._release_dir_lock()
                 raise
@@ -300,6 +308,8 @@ class DurabilityManager:
             "recover": self.recover_mode,
             "ledger_seq": self.ledger_seq,
             "ledger_lag": int(self.ledger_lag),
+            "segment_bytes": self.segment_bytes,
+            "segments": len(segment_paths(self.ledger_path)),
             "recovered_charges": (self.last_recovery.charges_applied
                                   if self.last_recovery else 0),
         }

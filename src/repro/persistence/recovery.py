@@ -46,7 +46,7 @@ from repro.core.persistence import restore_engine_state
 from repro.core.zcdp_vanilla import ZCdpVanillaMechanism
 from repro.exceptions import RecoveryError, ReproError
 from repro.persistence.checkpoint import read_checkpoint
-from repro.persistence.ledger import read_ledger
+from repro.persistence.ledger import read_ledger_chain
 from repro.persistence.schema import provenance_summary
 
 #: Recovery modes: strict refuses torn tails, permissive replays past
@@ -149,7 +149,7 @@ def recover_service(service, data_dir: str | Path,
                 f"checkpoint does not match this service: {exc}") from exc
         checkpoint_seq = checkpoint["ledger_seq"]
 
-    records, tail = read_ledger(data_dir / LEDGER_FILE)
+    records, tail = read_ledger_chain(data_dir / LEDGER_FILE)
     if tail.status == "corrupt":
         raise RecoveryError(
             f"ledger {data_dir / LEDGER_FILE} line {tail.line_no} is "

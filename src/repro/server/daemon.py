@@ -42,6 +42,13 @@ Overload defenses (all opt-in by constructor/CLI flags):
   body read times out with ``408``, so a hung client can never pin a
   handler thread past the timeout or block :meth:`ReproServer.shutdown`.
 
+TLS termination is stdlib ``ssl``: ``tls_cert``/``tls_key`` (both or
+neither — ``repro serve --tls-cert/--tls-key``) wrap the listening
+socket in a server-side :class:`ssl.SSLContext`, and :attr:`url` flips
+to ``https://``.  The client side lives in
+:class:`repro.client.remote.RemoteAnalyst`, which accepts ``https://``
+URLs plus an optional private CA bundle.
+
 Graceful shutdown (:meth:`ReproServer.shutdown`) flips the server into
 *draining*: new sessions and new submissions are refused with 503 while
 every in-flight request — notably long batched submissions — runs to
@@ -54,6 +61,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import ssl
 import stat
 import threading
 import time
@@ -371,6 +379,8 @@ class ReproServer:
                  micro_batch_max: int = DEFAULT_MICRO_BATCH_MAX,
                  request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
                  max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 tls_cert: str | Path | None = None,
+                 tls_key: str | Path | None = None,
                  telemetry: TelemetryRegistry | None = None) -> None:
         if tokens is None:
             tokens = {name: name for name in service.engine.analysts}
@@ -405,6 +415,20 @@ class ReproServer:
         if micro_batch_threshold < 0:
             raise ReproError(f"micro_batch_threshold must be >= 0, "
                              f"got {micro_batch_threshold}")
+        if (tls_cert is None) != (tls_key is None):
+            raise ReproError("TLS needs both --tls-cert and --tls-key "
+                             "(or neither)")
+        tls_context = None
+        if tls_cert is not None:
+            tls_context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+            tls_context.minimum_version = ssl.TLSVersion.TLSv1_2
+            try:
+                tls_context.load_cert_chain(certfile=str(tls_cert),
+                                            keyfile=str(tls_key))
+            except (OSError, ssl.SSLError) as exc:
+                raise ReproError(
+                    f"cannot load TLS certificate/key "
+                    f"({tls_cert}, {tls_key}): {exc}") from None
         self.service = service
         self.tokens = dict(tokens)
         #: Background checkpoint cadence in seconds (``None`` = only at
@@ -442,6 +466,12 @@ class ReproServer:
         handler = _build_handler(self)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
+        self._tls = tls_context is not None
+        if tls_context is not None:
+            # Terminate TLS on the listener: every accepted connection
+            # is handshaken server-side before the handler reads a byte.
+            self._httpd.socket = tls_context.wrap_socket(
+                self._httpd.socket, server_side=True)
         self._thread: threading.Thread | None = None
 
     def _bind_telemetry(self) -> None:
@@ -485,8 +515,14 @@ class ReproServer:
         return self._httpd.server_address[1]
 
     @property
+    def tls(self) -> bool:
+        """Whether the listener terminates TLS."""
+        return self._tls
+
+    @property
     def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
+        scheme = "https" if self._tls else "http"
+        return f"{scheme}://{self.host}:{self.port}"
 
     @property
     def draining(self) -> bool:
@@ -496,6 +532,10 @@ class ReproServer:
         """Serve on a background thread; returns ``self`` for chaining."""
         if self._thread is not None:
             raise ReproError("server already started")
+        # Pre-fork the mp worker pool (no-op when threaded) before the
+        # listener accepts traffic: the workers inherit the recovered
+        # parent state, and the first query pays no fork latency.
+        self.service.start_backend()
         self._thread = threading.Thread(target=self._httpd.serve_forever,
                                         name="repro-server", daemon=True)
         self._thread.start()
@@ -647,6 +687,7 @@ class ReproServer:
             "in_flight": self._gate.in_flight,
             "execution": snapshot["execution"],
             "shards": snapshot["shards"],
+            "backend": snapshot["backend"]["mode"],
             "submitted": snapshot["service"]["submitted"],
             "answered": snapshot["service"]["answered"],
             "rate_limited": int(self._m_rate_limited.total()),

@@ -13,6 +13,11 @@
   section; atomic check-and-charge lives in the provenance table and
   synopsis consistency in the engine's per-view sections — with
   ``execution="global"`` as the serialised baseline.
+* :mod:`repro.service.executor` — engine-level execution functions shared
+  by every backend (one code path for threaded and mp).
+* :mod:`repro.service.mp_backend` — the multiprocessing backend: forked
+  view-shard workers, shared-memory synopses, parent-brokered accounting
+  (``QueryService(backend="mp")``).
 * :mod:`repro.service.loadgen` — mixed and disjoint-view load generation
   and the throughput harness behind ``python -m repro bench-service``.
 """
@@ -30,6 +35,7 @@ from repro.service.loadgen import (
 )
 from repro.service.planner import BatchPlan, PlannedQuery, plan_batch
 from repro.service.service import (
+    BACKENDS,
     DEFAULT_MAX_CACHED,
     EXECUTION_MODES,
     QueryService,
@@ -39,6 +45,7 @@ from repro.service.session import QueryRequest, QueryResponse, Session
 from repro.service.sharding import DEFAULT_NUM_SHARDS, ShardManager
 
 __all__ = [
+    "BACKENDS",
     "BatchPlan",
     "DEFAULT_MAX_CACHED",
     "DEFAULT_NUM_SHARDS",

@@ -1,0 +1,142 @@
+"""Engine-level batch execution, shared by every service backend.
+
+These are the request-to-response functions the threaded
+:class:`repro.service.QueryService` historically carried as private
+methods.  The multiprocessing backend (:mod:`repro.service.mp_backend`)
+runs the *same* functions inside its worker processes — one code path,
+two backends — so the execution semantics (batch fast lane, prefix rule,
+error classification) cannot drift between them.
+
+Everything here operates on a :class:`repro.core.engine.DProvDB` alone:
+no service state, no session bookkeeping, no stats locks.  Callers own
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.engine import DProvDB
+from repro.db.sql.unparse import to_sql
+from repro.exceptions import QueryRejected, ReproError
+from repro.service.planner import PlannedQuery
+from repro.service.session import QueryRequest, QueryResponse
+
+
+def execute_request(engine: DProvDB, analyst: str, index: int,
+                    request: QueryRequest, is_group_by: bool | None,
+                    statement=None) -> QueryResponse:
+    """Run one request against the engine (which self-locks per view)."""
+    # Prefer the raw SQL text when we have it: it is the compiled-
+    # statement cache's key, so the engine skips re-parsing AND
+    # re-compiling; a pre-resolved statement has no cheap cache key.
+    sql = request.sql if isinstance(request.sql, str) \
+        else (statement if statement is not None else request.sql)
+    try:
+        if is_group_by is None:
+            if isinstance(sql, str):
+                # String SQL: classification is a statement-cache
+                # lookup, and the engine's own compile below hits
+                # the same entry.
+                is_group_by = \
+                    engine.compile_statement(sql).kind == "group_by"
+            else:
+                # Pre-resolved statements have no cache key; their
+                # routing kind is a plain attribute read — compiling
+                # here would only throw the work away.
+                is_group_by = bool(sql.group_by)
+        if is_group_by:
+            groups = engine.submit_group_by(
+                analyst, sql, accuracy=request.accuracy,
+                epsilon=request.epsilon)
+            return QueryResponse(index, groups=tuple(groups))
+        answer = engine.submit(analyst, sql,
+                               accuracy=request.accuracy,
+                               epsilon=request.epsilon)
+        return QueryResponse(index, answer=answer)
+    except QueryRejected as exc:
+        return QueryResponse(index, error=str(exc), rejected=True)
+    except ReproError as exc:
+        return QueryResponse(index, error=str(exc))
+
+
+def execute_planned(engine: DProvDB, analyst: str,
+                    item: PlannedQuery) -> QueryResponse:
+    """Run one planned entry, using the compiled fast path when the
+    planner kept the (view, query, target) triple."""
+    if not item.compiled:
+        return execute_request(engine, analyst, item.index, item.request,
+                               is_group_by=item.is_group_by,
+                               statement=item.statement)
+    try:
+        answer = engine.submit_compiled(
+            analyst, item.statement, item.view, item.query, item.target,
+            sql_text=(item.request.sql
+                      if isinstance(item.request.sql, str) else None))
+        return QueryResponse(item.index, answer=answer)
+    except QueryRejected as exc:
+        return QueryResponse(item.index, error=str(exc), rejected=True)
+    except ReproError as exc:
+        return QueryResponse(item.index, error=str(exc))
+
+
+def execute_planned_group(engine: DProvDB, analyst: str,
+                          view_name: str | None,
+                          items: list[PlannedQuery],
+                          responses: list,
+                          on_item: Callable[[int], None] | None = None
+                          ) -> None:
+    """Run one per-view group of a planned batch, filling ``responses``.
+
+    The first (strictest) entry always takes the normal path — it is
+    the one that may refresh the synopsis for everyone behind it.
+    The rest first try the engine's batch lane: one versioned cached
+    lookup answers the maximal adequate prefix of compiled scalar
+    entries without any view/provenance locking; whatever the lane
+    declines (inadequate accuracy, GROUP BY / AVG shapes, generation
+    races) runs through the normal path in plan order, exactly as a
+    fast-lane-disabled replay would.
+
+    ``on_item`` (if given) is invoked with a running count after every
+    response lands — the multiprocessing backend's fault-injection hook
+    (a test worker SIGKILLs itself after N answers to exercise the
+    parent's crash recovery).
+    """
+    done = 0
+
+    def note() -> None:
+        nonlocal done
+        done += 1
+        if on_item is not None:
+            on_item(done)
+
+    responses[items[0].index] = execute_planned(engine, analyst, items[0])
+    note()
+    rest = items[1:]
+    if not rest:
+        return
+    lane: list[PlannedQuery] = []
+    if view_name is not None and engine.fast_lane:
+        for item in rest:
+            if not item.compiled:
+                break
+            lane.append(item)
+    if lane:
+        sql_texts = [item.request.sql
+                     if isinstance(item.request.sql, str)
+                     else to_sql(item.statement) for item in lane]
+        answers = engine.answer_batch_from_cache(
+            analyst, lane[0].view,
+            [(item.query, item.target) for item in lane], sql_texts)
+        for item, answer in zip(lane, answers):
+            if answer is not None:
+                responses[item.index] = QueryResponse(item.index,
+                                                      answer=answer)
+                note()
+    for item in rest:
+        if responses[item.index] is None:
+            responses[item.index] = execute_planned(engine, analyst, item)
+            note()
+
+
+__all__ = ["execute_planned", "execute_planned_group", "execute_request"]

@@ -271,6 +271,9 @@ class ThroughputResult:
     total_epsilon_spent: float
     execution: str = "sharded"
     shards: int = 0
+    #: Execution backend the service ran on (``threaded`` or ``mp`` —
+    #: the multiprocessing shard workers).
+    backend: str = "threaded"
     transport: str = "inproc"
     arrival: str = "closed"
     offered_qps: float = 0.0
@@ -289,6 +292,7 @@ class ThroughputResult:
         return {
             "mode": self.mode, "threads": self.threads,
             "execution": self.execution, "shards": self.shards,
+            "backend": self.backend,
             "transport": self.transport, "arrival": self.arrival,
             "offered_qps": self.offered_qps,
             "total_queries": self.total_queries, "answered": self.answered,
@@ -381,6 +385,7 @@ def run_throughput(service: QueryService, analysts: list[Analyst],
         mode, len(pool), stats0, cache0, stats, cache, watch.seconds,
         execution=service.execution,
         shards=(service.sharding.num_shards if service.sharding else 0),
+        backend=service.backend,
         timings_ms=timings,
         durability=(service.durability.fsync if service.durability
                     else "none"),
@@ -390,6 +395,7 @@ def run_throughput(service: QueryService, analysts: list[Analyst],
 def _delta_result(mode: str, threads: int, stats0: dict, cache0: dict,
                   stats: dict, cache: dict, seconds: float, *,
                   execution: str, shards: int, timings_ms: list[float],
+                  backend: str = "threaded",
                   transport: str = "inproc", arrival: str = "closed",
                   offered_qps: float = 0.0,
                   durability: str = "none") -> ThroughputResult:
@@ -405,7 +411,7 @@ def _delta_result(mode: str, threads: int, stats0: dict, cache0: dict,
                - cache0["hits"] - cache0["misses"])
     return ThroughputResult(
         mode=mode, threads=threads,
-        execution=execution, shards=shards,
+        execution=execution, shards=shards, backend=backend,
         transport=transport, arrival=arrival, offered_qps=offered_qps,
         total_queries=stats["submitted"] - stats0["submitted"],
         answered=stats["answered"] - stats0["answered"],
@@ -424,6 +430,73 @@ def _delta_result(mode: str, threads: int, stats0: dict, cache0: dict,
         latency_p95_ms=latency_percentile(timings_ms, 0.95),
         durability=durability,
     )
+
+
+def run_sequential_replay(service: QueryService, analysts: list[Analyst],
+                          workload: dict[str, list[QueryRequest]],
+                          batch_size: int = 16
+                          ) -> tuple[ThroughputResult, list[tuple]]:
+    """Replay a workload batched on one caller thread, capturing every
+    response for bit-level comparison across execution backends.
+
+    One caller thread makes the replay order deterministic; parallelism
+    is still exercised *inside* each ``submit_batch`` (the threaded
+    backend fans per-view groups across its shard pool, the mp backend
+    across its worker processes).  With ``noise_streams="per_view"`` and
+    an integer seed, two backends replaying the same workload must then
+    produce bitwise-identical answers — the equality the
+    ``--compare-threaded`` bench gate asserts.
+
+    Returns the usual :class:`ThroughputResult` plus the flat response
+    trace: one tuple per response, ``("ok", value_or_groups, epsilon)``
+    for answers (group values as a tuple of ``(key, value, epsilon)``),
+    ``("rejected", reason, None)`` for refusals, ``("error", message,
+    None)`` for failures — raw floats, no rounding.
+    """
+    stats0 = service.stats.as_dict()
+    cache0 = service.cache_stats.as_dict()
+    trace: list[tuple] = []
+    latencies: list[float] = []
+    watch = Stopwatch()
+    with watch:
+        for analyst in analysts:
+            stream = workload.get(analyst.name, [])
+            session = service.open_session(analyst.name)
+            try:
+                for start in range(0, len(stream), batch_size):
+                    sent = time.perf_counter()
+                    responses = service.submit_batch(
+                        session, stream[start:start + batch_size])
+                    latencies.append(1e3 * (time.perf_counter() - sent))
+                    for r in responses:
+                        if r.answer is not None:
+                            trace.append(("ok", r.value(),
+                                          r.answer.epsilon_charged))
+                        elif r.groups is not None:
+                            trace.append((
+                                "ok",
+                                tuple((key, a.value, a.epsilon_charged)
+                                      for key, a in r.groups),
+                                sum(a.epsilon_charged
+                                    for _, a in r.groups)))
+                        elif r.rejected:
+                            trace.append(("rejected", r.error, None))
+                        else:
+                            trace.append(("error", r.error, None))
+            finally:
+                service.close_session(session)
+    stats = service.stats.as_dict()
+    cache = service.cache_stats.as_dict()
+    result = _delta_result(
+        "batched", 1, stats0, cache0, stats, cache, watch.seconds,
+        execution=service.execution,
+        shards=(service.sharding.num_shards if service.sharding else 0),
+        backend=service.backend,
+        timings_ms=latencies,
+        durability=(service.durability.fsync if service.durability
+                    else "none"),
+    )
+    return result, trace
 
 
 def run_remote_throughput(base_url: str, analysts: list[Analyst],
@@ -553,6 +626,7 @@ def run_remote_throughput(base_url: str, analysts: list[Analyst],
         after["service"], after["synopsis_cache"], watch.seconds,
         execution=after.get("execution", "sharded"),
         shards=after.get("shards", 0),
+        backend=(after.get("backend") or {}).get("mode", "threaded"),
         timings_ms=timings, transport="remote", arrival=arrival,
         offered_qps=(rate_qps or 0.0),
         durability=(durable.get("fsync", "none") if durable.get("enabled")
@@ -712,6 +786,7 @@ def run_overload(base_url: str, analysts: list[Analyst],
         after["service"], after["synopsis_cache"], watch.seconds,
         execution=after.get("execution", "sharded"),
         shards=after.get("shards", 0),
+        backend=(after.get("backend") or {}).get("mode", "threaded"),
         timings_ms=admitted_all, transport="remote", arrival="open",
         offered_qps=rate_qps,
         durability=(durable.get("fsync", "none") if durable.get("enabled")
@@ -739,8 +814,8 @@ def run_overload(base_url: str, analysts: list[Analyst],
 def format_throughput(results: list[ThroughputResult],
                       title: str = "service throughput") -> str:
     """Text table comparing load-generation runs (any transport)."""
-    header = (f"{'mode':>8s} {'via':>7s} {'exec':>8s} {'dur':>7s} "
-              f"{'thr':>4s} "
+    header = (f"{'mode':>8s} {'via':>7s} {'exec':>8s} {'back':>8s} "
+              f"{'dur':>7s} {'thr':>4s} "
               f"{'queries':>8s} {'ans':>7s} {'rej':>6s} {'q/s':>9s} "
               f"{'hit%':>6s} {'fresh':>6s} {'eps':>8s} "
               f"{'p50ms':>7s} {'p95ms':>7s}")
@@ -748,7 +823,7 @@ def format_throughput(results: list[ThroughputResult],
     for r in results:
         via = r.transport if r.arrival == "closed" else "open"
         lines.append(
-            f"{r.mode:>8s} {via:>7s} {r.execution:>8s} "
+            f"{r.mode:>8s} {via:>7s} {r.execution:>8s} {r.backend:>8s} "
             f"{r.durability:>7s} {r.threads:>4d} "
             f"{r.total_queries:>8d} "
             f"{r.answered:>7d} {r.rejected:>6d} {r.queries_per_second:>9.1f} "
@@ -772,5 +847,6 @@ __all__ = [
     "register_disjoint_views",
     "run_overload",
     "run_remote_throughput",
+    "run_sequential_replay",
     "run_throughput",
 ]

@@ -24,6 +24,14 @@ engine.  It adds what the bare engine lacks for concurrent operation:
 ``execution="global"`` restores the PR 1 behaviour — one reentrant lock
 serialising every submission end to end — and exists as the measured
 baseline for the sharding speedup (``bench-service --compare-global``).
+
+Orthogonal to the execution mode is the **backend**: ``"threaded"``
+(default) runs everything in-process; ``"mp"`` dispatches the per-view
+groups to forked worker processes with shared-memory synopses and
+parent-brokered accounting (:mod:`repro.service.mp_backend`), escaping
+the GIL for CPU-bound workloads.  Accounting semantics are identical —
+``bench-service --backend mp --compare-threaded`` gates on a
+bit-identical sequential replay.
 """
 
 from __future__ import annotations
@@ -39,17 +47,17 @@ from repro.core.analyst import Analyst
 from repro.core.engine import Answer, DProvDB
 from repro.core.synopsis import SynopsisStore
 from repro.datasets.base import DatasetBundle
-from repro.exceptions import (
-    QueryRejected,
-    ReproError,
-    ServiceClosed,
-    SessionClosed,
-)
-from repro.db.sql.unparse import to_sql
+from repro.exceptions import ReproError, ServiceClosed, SessionClosed
 from repro.metrics.runtime import CacheStats, CompensatedSum
 from repro.persistence.schema import provenance_summary
 from repro.service.cache import LruSynopsisStore
-from repro.service.planner import BatchPlan, PlannedQuery, plan_batch
+from repro.service.executor import (
+    execute_planned,
+    execute_planned_group,
+    execute_request,
+)
+from repro.service.planner import BatchPlan, PlannedQuery, _plan_one, \
+    plan_batch
 from repro.service.session import QueryRequest, QueryResponse, Session
 from repro.service.sharding import DEFAULT_NUM_SHARDS, ShardManager
 
@@ -62,6 +70,10 @@ DEFAULT_MAX_CACHED = 256
 
 #: Supported execution modes.
 EXECUTION_MODES = ("sharded", "global")
+
+#: Supported execution backends: ``"threaded"`` shares the interpreter,
+#: ``"mp"`` forks worker processes (see :mod:`repro.service.mp_backend`).
+BACKENDS = ("threaded", "mp")
 
 #: How many *closed* sessions the service remembers (for idempotent
 #: close and the tagged :class:`SessionClosed` error).  A long-running
@@ -144,10 +156,19 @@ class QueryService:
                  max_cached_synopses: int | None = DEFAULT_MAX_CACHED, *,
                  execution: str = "sharded",
                  shards: int = DEFAULT_NUM_SHARDS,
+                 backend: str = "threaded",
+                 workers: int | None = None,
                  durability=None) -> None:
         if execution not in EXECUTION_MODES:
             raise ReproError(f"unknown execution mode {execution!r}; "
                              f"choose from {EXECUTION_MODES}")
+        if backend not in BACKENDS:
+            raise ReproError(f"unknown backend {backend!r}; "
+                             f"choose from {BACKENDS}")
+        if backend == "mp" and execution != "sharded":
+            raise ReproError(
+                "the mp backend requires sharded execution (a global "
+                "critical section and a worker pool are contradictory)")
         if engine.mechanism.store.local_keys or \
                 engine.mechanism.store.global_views:
             raise ReproError(
@@ -178,8 +199,24 @@ class QueryService:
         engine.mechanism.store = LruSynopsisStore(max_cached_synopses,
                                                   self.cache_stats)
         self.stats = ServiceStats()
-        self.sharding = (ShardManager(shards) if execution == "sharded"
-                         else None)
+        self._backend = backend
+        if backend == "mp":
+            # Imported lazily: the mp backend needs POSIX fork +
+            # multiprocessing.shared_memory, and its constructor
+            # validates the engine (additive mechanism, per-view noise
+            # streams) with actionable errors.
+            from repro.service.mp_backend import MpBackend
+
+            self.sharding = None
+            self._backend_impl = MpBackend(self, workers)
+        else:
+            if workers is not None:
+                raise ReproError(
+                    "workers= is an mp-backend knob; the threaded backend "
+                    "sizes its pool with shards=")
+            self.sharding = (ShardManager(shards) if execution == "sharded"
+                             else None)
+            self._backend_impl = None
         #: Optional :class:`repro.persistence.DurabilityManager`.  Bound
         #: last — the manager runs crash recovery against the fully
         #: constructed service (bounded store in place, no traffic yet)
@@ -195,6 +232,8 @@ class QueryService:
                 # shard worker pool here or its threads leak.
                 if self.sharding is not None:
                     self.sharding.close()
+                if self._backend_impl is not None:
+                    self._backend_impl.close()
                 raise
 
     @classmethod
@@ -203,12 +242,15 @@ class QueryService:
               max_cached_synopses: int | None = DEFAULT_MAX_CACHED,
               execution: str = "sharded",
               shards: int = DEFAULT_NUM_SHARDS,
+              backend: str = "threaded",
+              workers: int | None = None,
               durability=None,
               **engine_kwargs) -> "QueryService":
         """Construct an engine and wrap it in one step."""
         return cls(DProvDB(bundle, analysts, epsilon, **engine_kwargs),
                    max_cached_synopses=max_cached_synopses,
                    execution=execution, shards=shards,
+                   backend=backend, workers=workers,
                    durability=durability)
 
     @property
@@ -221,6 +263,27 @@ class QueryService:
     def execution(self) -> str:
         """``"sharded"`` (no global lock) or ``"global"`` (PR 1 baseline)."""
         return self._execution
+
+    @property
+    def backend(self) -> str:
+        """``"threaded"`` (in-process) or ``"mp"`` (forked workers)."""
+        return self._backend
+
+    @property
+    def mp_backend(self):
+        """The :class:`repro.service.mp_backend.MpBackend` instance, or
+        ``None`` on the threaded backend."""
+        return self._backend_impl
+
+    def start_backend(self) -> None:
+        """Eagerly start the execution backend (no-op when threaded).
+
+        ``repro serve`` calls this after durability recovery so the mp
+        workers fork from the fully recovered parent state instead of
+        lazily on the first query.
+        """
+        if self._backend_impl is not None:
+            self._backend_impl.ensure_started()
 
     @property
     def closed(self) -> bool:
@@ -238,6 +301,8 @@ class QueryService:
         self._closed = True
         if self.sharding is not None:
             self.sharding.close()
+        if self._backend_impl is not None:
+            self._backend_impl.close()
         if self.durability is not None:
             self.durability.close()
 
@@ -351,7 +416,17 @@ class QueryService:
                     request: QueryRequest) -> QueryResponse:
         live = self._resolve_session(session)
         started = time.perf_counter()
-        response = self._execute(live.analyst, 0, request, is_group_by=None)
+        if self._backend_impl is not None:
+            # mp backend: route even a single query through the planner
+            # so it lands on its view's worker process.
+            item = _plan_one(self._engine, 0, request)
+            responses: list[QueryResponse | None] = [None]
+            self._backend_impl.execute_batch(
+                live.analyst, {item.view_name: [item]}, responses)
+            response = self._ensure_response(responses, 0)
+        else:
+            response = execute_request(self._engine, live.analyst, 0,
+                                       request, is_group_by=None)
         elapsed = time.perf_counter() - started
         self._account(live, response, elapsed)
         return response
@@ -379,131 +454,82 @@ class QueryService:
                             parallel: bool) -> list[QueryResponse]:
         live = self._resolve_session(session)
         started = time.perf_counter()
-        plan = plan_batch(self._engine, batch)
         responses: list[QueryResponse | None] = [None] * len(batch)
 
+        # Single-worker mp: hand the raw batch to the worker, which runs
+        # the planner itself — compiling here too would double the whole
+        # planning cost of the serving path (see MpBackend.try_execute_raw).
+        if self._backend_impl is not None and \
+                self._backend_impl.try_execute_raw(live.analyst, batch,
+                                                   responses):
+            return self._account_batch(live, responses, started)
+
+        plan = plan_batch(self._engine, batch)
         groups: dict[str | None, list[PlannedQuery]] = {}
         for item in plan.ordered:
             groups.setdefault(item.view_name, []).append(item)
 
-        def run_group(view_name: str | None,
-                      items: list[PlannedQuery]) -> None:
-            self._execute_planned_group(live.analyst, view_name, items,
-                                        responses)
-
-        if parallel and self.sharding is not None and len(groups) > 1:
-            self.sharding.run_groups(list(groups.items()), run_group)
+        if self._backend_impl is not None:
+            self._backend_impl.execute_batch(live.analyst, groups, responses)
         else:
-            for view_name, items in groups.items():
-                run_group(view_name, items)
-        elapsed = time.perf_counter() - started
+            def run_group(view_name: str | None,
+                          items: list[PlannedQuery]) -> None:
+                execute_planned_group(self._engine, live.analyst, view_name,
+                                      items, responses)
 
+            if parallel and self.sharding is not None and len(groups) > 1:
+                self.sharding.run_groups(list(groups.items()), run_group)
+            else:
+                for view_name, items in groups.items():
+                    run_group(view_name, items)
+        return self._account_batch(live, responses, started)
+
+    def _account_batch(self, live: Session, responses: list,
+                       started: float) -> list[QueryResponse]:
+        elapsed = time.perf_counter() - started
         with self._stats_lock:
-            for response in responses:
-                self._account_locked(live, response)
+            for index in range(len(responses)):
+                self._account_locked(live, self._ensure_response(responses,
+                                                                 index))
             live.batches += 1
             self.stats.batches += 1
             self.stats.busy_seconds += elapsed
         return responses  # type: ignore[return-value]
+
+    @staticmethod
+    def _ensure_response(responses: list, index: int) -> QueryResponse:
+        """Every index must answer; a hole is a backend bug surfaced as a
+        failed (never silently dropped, never charged) response."""
+        response = responses[index]
+        if response is None:
+            response = QueryResponse(
+                index, error="internal: backend returned no response")
+            responses[index] = response
+        return response
 
     def plan(self, requests: Sequence[QueryRequest]) -> BatchPlan:
         """Expose the planner's decision for a batch (no execution)."""
         with self._critical_section():
             return plan_batch(self._engine, list(requests))
 
+    # Execution itself lives in :mod:`repro.service.executor` — free
+    # functions over the engine, shared verbatim with the mp backend's
+    # worker processes.  The thin wrappers below keep the historical
+    # private-method surface for tests and subclasses.
     def _execute_planned_group(self, analyst: str, view_name: str | None,
                                items: list[PlannedQuery],
                                responses: list) -> None:
-        """Run one per-view group of a planned batch, filling ``responses``.
-
-        The first (strictest) entry always takes the normal path — it is
-        the one that may refresh the synopsis for everyone behind it.
-        The rest first try the engine's batch lane: one versioned cached
-        lookup answers the maximal adequate prefix of compiled scalar
-        entries without any view/provenance locking; whatever the lane
-        declines (inadequate accuracy, GROUP BY / AVG shapes, generation
-        races) runs through the normal path in plan order, exactly as a
-        fast-lane-disabled replay would.
-        """
-        responses[items[0].index] = self._execute_planned(analyst, items[0])
-        rest = items[1:]
-        if not rest:
-            return
-        lane: list[PlannedQuery] = []
-        if view_name is not None and self._engine.fast_lane:
-            for item in rest:
-                if not item.compiled:
-                    break
-                lane.append(item)
-        if lane:
-            sql_texts = [item.request.sql
-                         if isinstance(item.request.sql, str)
-                         else to_sql(item.statement) for item in lane]
-            answers = self._engine.answer_batch_from_cache(
-                analyst, lane[0].view,
-                [(item.query, item.target) for item in lane], sql_texts)
-            for item, answer in zip(lane, answers):
-                if answer is not None:
-                    responses[item.index] = QueryResponse(item.index,
-                                                          answer=answer)
-        for item in rest:
-            if responses[item.index] is None:
-                responses[item.index] = self._execute_planned(analyst, item)
+        execute_planned_group(self._engine, analyst, view_name, items,
+                              responses)
 
     def _execute_planned(self, analyst: str, item) -> QueryResponse:
-        """Run one planned entry, using the compiled fast path when the
-        planner kept the (view, query, target) triple."""
-        if not item.compiled:
-            return self._execute(analyst, item.index, item.request,
-                                 is_group_by=item.is_group_by,
-                                 statement=item.statement)
-        try:
-            answer = self._engine.submit_compiled(
-                analyst, item.statement, item.view, item.query, item.target,
-                sql_text=(item.request.sql
-                          if isinstance(item.request.sql, str) else None))
-            return QueryResponse(item.index, answer=answer)
-        except QueryRejected as exc:
-            return QueryResponse(item.index, error=str(exc), rejected=True)
-        except ReproError as exc:
-            return QueryResponse(item.index, error=str(exc))
+        return execute_planned(self._engine, analyst, item)
 
     def _execute(self, analyst: str, index: int, request: QueryRequest,
                  is_group_by: bool | None,
                  statement=None) -> QueryResponse:
-        """Run one request against the engine (which self-locks per view)."""
-        # Prefer the raw SQL text when we have it: it is the compiled-
-        # statement cache's key, so the engine skips re-parsing AND
-        # re-compiling; a pre-resolved statement has no cheap cache key.
-        sql = request.sql if isinstance(request.sql, str) \
-            else (statement if statement is not None else request.sql)
-        try:
-            if is_group_by is None:
-                if isinstance(sql, str):
-                    # String SQL: classification is a statement-cache
-                    # lookup, and the engine's own compile below hits
-                    # the same entry.
-                    is_group_by = \
-                        self._engine.compile_statement(sql).kind \
-                        == "group_by"
-                else:
-                    # Pre-resolved statements have no cache key; their
-                    # routing kind is a plain attribute read — compiling
-                    # here would only throw the work away.
-                    is_group_by = bool(sql.group_by)
-            if is_group_by:
-                groups = self._engine.submit_group_by(
-                    analyst, sql, accuracy=request.accuracy,
-                    epsilon=request.epsilon)
-                return QueryResponse(index, groups=tuple(groups))
-            answer = self._engine.submit(analyst, sql,
-                                         accuracy=request.accuracy,
-                                         epsilon=request.epsilon)
-            return QueryResponse(index, answer=answer)
-        except QueryRejected as exc:
-            return QueryResponse(index, error=str(exc), rejected=True)
-        except ReproError as exc:
-            return QueryResponse(index, error=str(exc))
+        return execute_request(self._engine, analyst, index, request,
+                               is_group_by, statement=statement)
 
     def _account(self, session: Session, response: QueryResponse,
                  elapsed: float = 0.0) -> None:
@@ -590,6 +616,27 @@ class QueryService:
                        "Shard count (0 = global execution)",
                        lambda: (self.sharding.num_shards
                                 if self.sharding else 0))
+        routing = self._engine.registry
+        registry.gauge("repro_view_routing_hits_total",
+                       "Memoized view-routing decisions reused",
+                       lambda: routing.routing_counters()["hits"])
+        registry.gauge("repro_view_routing_hit_rate",
+                       "View-routing cache hit rate",
+                       lambda: routing.routing_counters()["hit_rate"])
+        if self._backend_impl is not None:
+            backend = self._backend_impl
+            registry.gauge("repro_mp_workers",
+                           "Forked worker processes (mp backend)",
+                           lambda: backend.num_workers)
+            registry.gauge("repro_mp_restarts_total",
+                           "Worker processes respawned after a crash",
+                           lambda: backend.restarts)
+            registry.gauge("repro_mp_crashes_total",
+                           "Worker crashes observed mid-conversation",
+                           lambda: backend.crashes)
+            registry.gauge("repro_mp_brokered_charges_total",
+                           "Provenance charges brokered for workers",
+                           lambda: backend.brokered_charges)
         if self.sharding is not None:
             sharding = self.sharding
             registry.gauge("repro_shard_groups_total",
@@ -632,6 +679,12 @@ class QueryService:
             "fast_lane": self._engine.fast_lane_counters(),
             "execution": self._execution,
             "shards": (self.sharding.num_shards if self.sharding else 0),
+            "backend": (self._backend_impl.describe()
+                        if self._backend_impl is not None
+                        else {"mode": "threaded"}),
+            # Satellite of the mp work: memoized view-routing decisions
+            # (per registry generation) with hit counters.
+            "view_routing": self._engine.registry.routing_counters(),
             "closed": self._closed,
             # The same block the checkpoint file embeds — one builder,
             # one schema, so the live snapshot and the durable record
@@ -643,5 +696,5 @@ class QueryService:
         }
 
 
-__all__ = ["DEFAULT_MAX_CACHED", "EXECUTION_MODES", "MAX_CLOSED_SESSIONS",
-           "QueryService", "ServiceStats"]
+__all__ = ["BACKENDS", "DEFAULT_MAX_CACHED", "EXECUTION_MODES",
+           "MAX_CLOSED_SESSIONS", "QueryService", "ServiceStats"]

@@ -16,6 +16,7 @@ import numpy as np
 from repro.db.database import Database
 from repro.db.schema import Schema
 from repro.db.sql.ast import SelectStatement
+from repro.db.sql.unparse import to_sql
 from repro.exceptions import SchemaError, UnanswerableQuery
 from repro.views.hierarchical import HierarchicalView
 from repro.views.histogram import HistogramView, attribute_views
@@ -24,6 +25,11 @@ from repro.views.transform import is_answerable, transform
 
 #: Views the registry accepts: flat histograms and dyadic trees.
 AnyView = HistogramView | HierarchicalView
+
+#: Bound on memoized routing decisions; the cache is cleared wholesale
+#: past this (routing entries are tiny, but a workload of unbounded
+#: distinct statements must not grow the registry without limit).
+ROUTING_CACHE_LIMIT = 4096
 
 
 class ViewRegistry:
@@ -36,12 +42,27 @@ class ViewRegistry:
         self._materialize_lock = threading.Lock()
         #: Wall-clock seconds spent materialising exact views ("setup time").
         self.setup_seconds = 0.0
+        # Routing memoization: answerability probing + candidate
+        # compilation dominate :meth:`compile`/:meth:`select` (profiling
+        # shows ~5 probes per query on the serving path), yet the
+        # decision is a pure function of (registered views, statement).
+        # Entries are keyed by the routing *generation* — bumped on every
+        # view registration — so a new view can never resurrect a stale
+        # choice.  Reads are lock-free (dict lookups are atomic in
+        # CPython); counters take a short dedicated lock.
+        self._route_generation = 0
+        self._route_cache: dict[tuple, tuple] = {}
+        self._route_lock = threading.Lock()
+        self._route_hits = 0
+        self._route_misses = 0
 
     # -- catalog ------------------------------------------------------------
     def add(self, view: AnyView) -> None:
         if view.name in self._views:
             raise SchemaError(f"view {view.name!r} already registered")
         self._views[view.name] = view
+        # Any cheapest-view decision may change: version the cache away.
+        self._route_generation += 1
 
     def add_attribute_views(self, table: str,
                             attributes: tuple[str, ...]) -> None:
@@ -112,13 +133,50 @@ class ViewRegistry:
             return view.to_linear(statement)
         return transform(statement, view, clip)
 
+    # -- routing memoization -------------------------------------------------
+    def _route_lookup(self, key: tuple):
+        """Lock-free probe of the routing cache; counts the outcome."""
+        hit = self._route_cache.get(key)
+        with self._route_lock:
+            if hit is not None:
+                self._route_hits += 1
+            else:
+                self._route_misses += 1
+        return hit
+
+    def _route_store(self, key: tuple, value: tuple) -> None:
+        with self._route_lock:
+            if len(self._route_cache) >= ROUTING_CACHE_LIMIT:
+                self._route_cache = {}
+            self._route_cache[key] = value
+
+    def routing_counters(self) -> dict:
+        """JSON-native view-routing cache statistics for snapshots."""
+        with self._route_lock:
+            hits, misses = self._route_hits, self._route_misses
+            entries = len(self._route_cache)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "entries": entries,
+            "generation": self._route_generation,
+            "hit_rate": (hits / total) if total else 0.0,
+        }
+
     def select(self, statement: SelectStatement) -> HistogramView:
         """Smallest *flat* view answering ``statement``.
 
         Used for GROUP BY / AVG compilation, which dyadic views do not
         support; scalar counting queries should go through :meth:`compile`,
         which also considers hierarchical views with a cost criterion.
+        Decisions are memoized per routing generation (the choice is a
+        pure function of the catalog and the statement text).
         """
+        key = (self._route_generation, "select", to_sql(statement))
+        cached = self._route_lookup(key)
+        if cached is not None:
+            return self._views[cached[0]]
         candidates = [v for v in self._views.values()
                       if isinstance(v, HistogramView)
                       and is_answerable(statement, v)]
@@ -126,7 +184,9 @@ class ViewRegistry:
             raise UnanswerableQuery(
                 f"no registered view answers: {statement}"
             )
-        return min(candidates, key=lambda v: v.size)
+        chosen = min(candidates, key=lambda v: v.size)
+        self._route_store(key, (chosen.name,))
+        return chosen
 
     def compile(self, statement: SelectStatement,
                 clip: tuple[float, float] | None = None
@@ -138,7 +198,15 @@ class ViewRegistry:
         must reach, times the noise a unit budget buys), so the registry
         compiles every answerable candidate and keeps the minimiser — flat
         histograms win for narrow predicates, dyadic trees for wide ranges.
+        The winning (view, query) pair is memoized per routing generation:
+        compiled queries are immutable, so repeat statements skip the
+        full candidate sweep.  Failures are never cached (they may carry
+        statement-specific diagnostics and are off the hot path).
         """
+        key = (self._route_generation, "compile", to_sql(statement), clip)
+        cached = self._route_lookup(key)
+        if cached is not None:
+            return cached
         best: tuple[AnyView, LinearQuery] | None = None
         best_cost = float("inf")
         for view in self._views.values():
@@ -155,7 +223,8 @@ class ViewRegistry:
             raise UnanswerableQuery(
                 f"no registered view answers: {statement}"
             )
+        self._route_store(key, best)
         return best
 
 
-__all__ = ["ViewRegistry"]
+__all__ = ["ROUTING_CACHE_LIMIT", "ViewRegistry"]

@@ -156,4 +156,7 @@ class TestClientUrlParsing:
         from repro.client import RemoteAnalyst
 
         with pytest.raises(ReproError):
-            RemoteAnalyst("https://localhost:8321", token="t")
+            RemoteAnalyst("ftp://localhost:8321", token="t")
+        # https is a supported scheme since TLS termination landed.
+        assert RemoteAnalyst("https://localhost:8321",
+                             token="t")._scheme == "https"

@@ -1,0 +1,262 @@
+"""The multiprocessing shard backend: determinism, crashes, scaling.
+
+The contract under test (see :mod:`repro.service.mp_backend`):
+
+* an mp run is **bit-identical** to a sequential threaded replay of the
+  same workload — answers, per-analyst epsilon, fresh releases;
+* workers never touch the authoritative provenance table — all charging
+  happens in the parent, so a SIGKILLed worker leaves no budget charged
+  for answers nobody received, and the pool self-heals by forking a
+  replacement;
+* construction refuses configurations whose noise draws cannot be
+  deterministic across process boundaries;
+* on hosts with >= 4 cores, 4 workers must beat 1 worker by >= 1.5x
+  (the GIL-break claim; single-CPU hosts assert the overhead floor via
+  the bench gate instead).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import load_adult
+from repro.exceptions import ReproError
+from repro.experiments.service_throughput import (
+    make_service_analysts,
+    run_mp_comparison,
+)
+from repro.service.loadgen import bfs_style_queries
+from repro.service.service import QueryService
+from repro.service.session import QueryRequest
+from repro.workloads.rrq import ordered_attributes
+
+ROWS = 2000
+EPSILON = 48.0
+
+#: Tiny but representative replay scale (seconds, not minutes).
+TINY_COMPARISON = dict(num_rows=ROWS, num_analysts=4,
+                       queries_per_analyst=20, batch_size=16)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_adult(num_rows=ROWS, seed=0)
+
+
+def build_mp_service(bundle, workers=1, num_analysts=2,
+                     **kwargs) -> QueryService:
+    kwargs.setdefault("noise_streams", "per_view")
+    return QueryService.build(bundle, make_service_analysts(num_analysts),
+                              EPSILON, backend="mp", workers=workers,
+                              seed=0, **kwargs)
+
+
+def request_batch(bundle, accuracy, attributes=2, depth=2):
+    attrs = ordered_attributes(bundle)[:attributes]
+    return [QueryRequest(sql, accuracy=accuracy)
+            for attr in attrs
+            for sql in bfs_style_queries(bundle, attr, depth=depth)]
+
+
+# -- construction gates ------------------------------------------------------
+
+def test_rejects_non_additive_mechanism(bundle):
+    with pytest.raises(ReproError, match="additive"):
+        build_mp_service(bundle, mechanism="vanilla")
+
+
+def test_rejects_default_noise_streams(bundle):
+    with pytest.raises(ReproError, match="per_view"):
+        QueryService.build(bundle, make_service_analysts(2), EPSILON,
+                           backend="mp", seed=0)
+
+
+def test_rejects_zero_workers(bundle):
+    with pytest.raises(ReproError, match="workers"):
+        build_mp_service(bundle, workers=0)
+
+
+def test_rejects_combine_local(bundle):
+    with pytest.raises(ReproError, match="combine_local"):
+        build_mp_service(bundle, combine_local=True)
+
+
+# -- bit-identical accounting ------------------------------------------------
+
+def test_replay_is_bit_identical_to_threaded():
+    results, replay = run_mp_comparison(**TINY_COMPARISON)
+    assert replay["answers_bitwise_identical"]
+    assert replay["epsilon_by_analyst_identical"]
+    assert len(set(replay["fresh_releases"].values())) == 1
+    assert replay["provenance_table_total_delta"] <= 1e-9
+    assert replay["match"]
+
+
+def test_replay_is_bit_identical_with_two_workers():
+    """workers=2 exercises the plan-shipping path (the single-worker
+    raw-forward fast path is skipped), multiple conversations per
+    batch, and cross-process group ordering."""
+    results, replay = run_mp_comparison(workers=2, **TINY_COMPARISON)
+    assert replay["match"], replay
+    assert replay["workers"] == 2
+
+
+def test_disjoint_workload_replay_matches():
+    results, replay = run_mp_comparison(workload="disjoint",
+                                        **TINY_COMPARISON)
+    assert replay["match"], replay
+
+
+# -- serving surface ---------------------------------------------------------
+
+def test_single_query_and_batch_answer(bundle):
+    service = build_mp_service(bundle)
+    try:
+        session = service.open_session("analyst_00")
+        sql = ("SELECT COUNT(*) FROM adult "
+               "WHERE age >= 20 AND age <= 40")
+        response = service.submit(session, sql, accuracy=2e5)
+        assert response.ok, response.error
+        batch = service.submit_batch(session, request_batch(bundle, 2e5))
+        assert all(r.answer is not None for r in batch), \
+            [r.error for r in batch if r.error]
+        info = service.snapshot()["backend"]
+        assert info["mode"] == "mp"
+        assert info["workers"] == 1
+        assert info["conversations"] >= 1
+        assert info["crashes"] == 0
+    finally:
+        service.close()
+
+
+def test_group_by_answers_match_contract(bundle):
+    service = build_mp_service(bundle)
+    try:
+        session = service.open_session("analyst_00")
+        response = service.submit(
+            session, "SELECT sex, COUNT(*) FROM adult GROUP BY sex",
+            accuracy=1500.0)
+        assert response.ok, response.error
+        assert response.groups is not None and len(response.groups) >= 2
+    finally:
+        service.close()
+
+
+def test_view_registered_after_fork_fails_cleanly(bundle):
+    from repro.views.histogram import HistogramView
+
+    service = build_mp_service(bundle)
+    try:
+        session = service.open_session("analyst_00")
+        warm = service.submit_batch(session, request_batch(bundle, 2e5))
+        assert all(r.answer is not None for r in warm)
+        registry = service.engine.registry
+        first, second = ordered_attributes(bundle)[:2]
+        schema = registry._database.table(bundle.fact_table).schema
+        # A two-attribute marginal: only the post-fork view can answer
+        # a predicate over both attributes at once.
+        registry.add(HistogramView(f"post_fork_{first}_{second}",
+                                   bundle.fact_table, (first, second),
+                                   schema))
+        late = service.submit_batch(
+            session, [QueryRequest(
+                f"SELECT COUNT(*) FROM adult WHERE {first} >= 20 "
+                f"AND {first} <= 40 AND {second} >= 0 "
+                f"AND {second} <= 10", accuracy=2e5)])
+        # The backend must refuse the post-fork view with a restart
+        # hint — never hang, never charge in a worker's mirror only.
+        assert late[0].answer is None
+        assert late[0].error and "registered after" in late[0].error
+    finally:
+        service.close()
+
+
+def test_closed_service_refuses_mp_batches(bundle):
+    from repro.exceptions import ServiceClosed
+
+    service = build_mp_service(bundle)
+    session = service.open_session("analyst_00")
+    service.close()
+    with pytest.raises(ServiceClosed):
+        service.submit_batch(session, request_batch(bundle, 2e5))
+
+
+# -- worker crashes ----------------------------------------------------------
+
+def test_worker_crash_fails_batch_charges_nothing_and_respawns(bundle):
+    service = build_mp_service(bundle)
+    try:
+        session = service.open_session("analyst_00")
+        backend = service.mp_backend
+        warm = service.submit_batch(session, request_batch(bundle, 2e5))
+        assert all(r.answer is not None for r in warm)
+        spent_before = service.snapshot()["provenance"]["table_total"]
+
+        backend.inject_crash(0, after_items=2)
+        hurt = service.submit_batch(session, request_batch(bundle, 5e4))
+        answered = [r for r in hurt if r.answer is not None]
+        failed = [r for r in hurt if r.error is not None]
+        assert failed, "crash produced no failed responses"
+        assert len(answered) <= 2
+        for r in failed:
+            assert "died mid-batch" in r.error
+            assert not r.rejected
+
+        info = backend.describe()
+        assert info["crashes"] == 1
+        assert info["restarts"] == 1
+        assert info["incarnations"][0] == 1
+
+        # No budget leaked for unanswered queries.
+        spent_after = service.snapshot()["provenance"]["table_total"]
+        charged = sum(r.answer.epsilon_charged for r in answered)
+        assert spent_after - spent_before <= charged + 1e-9
+
+        retry = service.submit_batch(session, request_batch(bundle, 5e4))
+        assert all(r.answer is not None for r in retry), \
+            [r.error for r in retry if r.error]
+    finally:
+        service.close()
+
+
+def test_ping_detects_and_replaces_dead_worker(bundle):
+    service = build_mp_service(bundle)
+    try:
+        backend = service.mp_backend
+        backend.ensure_started()
+        first = backend.ping()
+        assert len(first) == 1 and first[0] is not None
+        backend._shards[0].process.kill()
+        backend._shards[0].process.join(timeout=5)
+        probe = backend.ping()
+        assert probe == [None]
+        healed = backend.ping()
+        assert healed[0] is not None and healed[0] != first[0]
+        assert backend.describe()["restarts"] == 1
+    finally:
+        service.close()
+
+
+# -- scaling -----------------------------------------------------------------
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="multi-core scaling needs >= 4 cores; "
+                           "single-CPU hosts gate the overhead floor "
+                           "in the bench instead")
+def test_four_workers_beat_one_by_1_5x():
+    """The GIL-break claim, asserted where the hardware can express it."""
+    kwargs = dict(num_rows=8000, num_analysts=8, queries_per_analyst=40,
+                  batch_size=32)
+    qps = {}
+    for workers in (1, 4):
+        best = 0.0
+        for _ in range(3):  # best-of-3 rides out scheduler noise
+            results, replay = run_mp_comparison(workers=workers, **kwargs)
+            assert replay["match"], replay
+            best = max(best, *(r.queries_per_second for r in results
+                               if r.backend == "mp"))
+        qps[workers] = best
+    assert qps[4] >= 1.5 * qps[1], \
+        f"4 workers reached only {qps[4] / qps[1]:.2f}x of 1 worker"

@@ -1,0 +1,115 @@
+"""View-routing memoization: correctness of the cached decision.
+
+The registry memoizes :meth:`ViewRegistry.compile` /
+:meth:`ViewRegistry.select` per routing *generation*: the choice of
+cheapest answering view is a pure function of (registered views,
+statement), so replaying the decision from cache must be
+indistinguishable from recomputing it — and any view registration must
+version every prior decision away (a new cheaper view may win).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Attribute, IntegerDomain, Schema
+from repro.db.sql.parser import parse
+from repro.db.table import Table
+from repro.views.histogram import HistogramView
+from repro.views.registry import ViewRegistry
+
+
+def make_registry() -> tuple[ViewRegistry, Schema]:
+    schema = Schema((
+        Attribute("a", IntegerDomain(0, 9)),
+        Attribute("b", IntegerDomain(0, 4)),
+    ))
+    table = Table(schema, {
+        "a": np.arange(50) % 10,
+        "b": np.arange(50) % 5,
+    })
+    database = Database({"t": table})
+    registry = ViewRegistry(database)
+    registry.add(HistogramView("t.a", "t", ("a",), schema))
+    registry.add(HistogramView("t.b", "t", ("b",), schema))
+    return registry, schema
+
+
+SQL = "SELECT COUNT(*) FROM t WHERE a >= 2 AND a <= 7"
+GROUP_SQL = "SELECT b, COUNT(*) FROM t GROUP BY b"
+
+
+def test_compile_decision_is_memoized():
+    registry, _ = make_registry()
+    statement = parse(SQL)
+    before = registry.routing_counters()
+    first_view, first_query = registry.compile(statement)
+    second_view, second_query = registry.compile(statement)
+    after = registry.routing_counters()
+    assert after["misses"] == before["misses"] + 1
+    assert after["hits"] >= before["hits"] + 1
+    assert second_view is first_view
+    assert np.array_equal(second_query.weights, first_query.weights)
+
+
+def test_memoized_choice_equals_fresh_choice():
+    registry, _ = make_registry()
+    statement = parse(SQL)
+    registry.compile(statement)  # populate
+    cached_view, cached_query = registry.compile(statement)
+    fresh_registry, _ = make_registry()
+    fresh_view, fresh_query = fresh_registry.compile(statement)
+    assert cached_view.name == fresh_view.name
+    assert np.array_equal(cached_query.weights, fresh_query.weights)
+
+
+def test_registration_invalidates_prior_decisions():
+    registry, schema = make_registry()
+    statement = parse(SQL)
+    registry.compile(statement)
+    generation = registry.routing_counters()["generation"]
+    registry.add(HistogramView("t.ab", "t", ("a", "b"), schema))
+    counters = registry.routing_counters()
+    assert counters["generation"] == generation + 1
+    before = registry.routing_counters()
+    registry.compile(statement)
+    after = registry.routing_counters()
+    # The old entry is keyed to the dead generation: recompute, not hit.
+    assert after["misses"] == before["misses"] + 1
+
+
+def test_new_cheaper_view_wins_after_invalidation():
+    registry, schema = make_registry()
+    # Only the wide marginal answers a two-attribute predicate...
+    two_attr = parse("SELECT COUNT(*) FROM t WHERE a >= 0 AND a <= 3 "
+                     "AND b >= 1 AND b <= 2")
+    from repro.exceptions import UnanswerableQuery
+
+    with pytest.raises(UnanswerableQuery):
+        registry.compile(two_attr)
+    registry.add(HistogramView("t.ab", "t", ("a", "b"), schema))
+    view, _ = registry.compile(two_attr)
+    assert view.name == "t.ab"
+
+
+def test_select_is_memoized_and_correct():
+    registry, _ = make_registry()
+    statement = parse(GROUP_SQL)
+    first = registry.select(statement)
+    before = registry.routing_counters()
+    second = registry.select(statement)
+    after = registry.routing_counters()
+    assert second is first
+    assert after["hits"] == before["hits"] + 1
+
+
+def test_counters_are_snapshot_native():
+    registry, _ = make_registry()
+    registry.compile(parse(SQL))
+    counters = registry.routing_counters()
+    assert set(counters) == {"hits", "misses", "entries", "generation",
+                             "hit_rate"}
+    assert all(isinstance(v, (int, float)) for v in counters.values())
+    assert 0.0 <= counters["hit_rate"] <= 1.0
