@@ -39,25 +39,31 @@ from repro.experiments.service_throughput import (
     DURABILITY_OFF_FLOOR,
     FASTPATH_SPEEDUP_TARGET,
     SPEEDUP_TARGET,
+    TRACE_OVERHEAD_FLOOR,
     check_durability_matches_baseline,
     check_fastpath_speedup,
     check_overload,
     check_remote_matches_inproc,
+    check_trace_overhead,
     durability_tax,
     fastpath_comparable,
     fastpath_speedup,
     format_durability_comparison,
+    format_fastpath_comparison,
     format_overload,
     format_profile,
     format_remote_comparison,
     format_service_throughput,
     format_sharding_comparison,
+    format_trace_overhead,
     run_durability_comparison,
+    run_fastpath_comparison,
     run_overload_experiment,
     run_profile,
     run_remote_comparison,
     run_service_throughput,
     run_sharding_comparison,
+    run_trace_overhead,
     sharding_speedup,
     write_json_artifact,
 )
@@ -250,6 +256,13 @@ def main(argv: list[str] | None = None) -> int:
                              "limit against a micro-batching daemon, "
                              "asserting bounded p95, cheap 429s, and "
                              "exact accounting replay vs in-process")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="also replay the workload with request "
+                             "tracing enabled vs disabled (interleaved "
+                             "pairs, median paired ratio) and assert "
+                             "bit-identical answers plus the >= %.2fx "
+                             "q/s floor (floor skipped at --tiny)"
+                             % TRACE_OVERHEAD_FLOOR)
     parser.add_argument("--durability", action="store_true",
                         help="also measure the write-ahead ledger's "
                              "fsync-policy q/s tax (none vs "
@@ -326,6 +339,7 @@ def main(argv: list[str] | None = None) -> int:
               + ", ".join(f"{mode} {ratio:.2f}x"
                           for mode, ratio in sorted(speedup.items()))
               + f" (target {FASTPATH_SPEEDUP_TARGET:.1f}x)")
+    fastpath_same_window = None
     if args.require_fastpath_speedup is not None:
         if not fast_path_comparable:
             parser.error(
@@ -333,11 +347,25 @@ def main(argv: list[str] | None = None) -> int:
                 "committed baseline: default (non --tiny) scale, mixed "
                 "workload, sharded execution with default threads/shards, "
                 "fast lane enabled")
+        # Second estimator for the gate: re-measure the pre-overhaul
+        # configuration in this window, interleaved with the overhauled
+        # one, so a slow container day cannot masquerade as a hot-path
+        # regression (and vice versa).
+        fastpath_same_window = run_fastpath_comparison(
+            dataset=kwargs["dataset"], num_rows=kwargs["num_rows"],
+            num_analysts=kwargs["num_analysts"],
+            queries_per_analyst=kwargs["queries_per_analyst"],
+            threads=kwargs["threads"], batch_size=kwargs["batch_size"],
+            epsilon=kwargs["epsilon"], seed=kwargs["seed"],
+            shards=kwargs.get("shards", DEFAULT_NUM_SHARDS),
+            repeats=kwargs.get("repeats", 3))
+        print(format_fastpath_comparison(fastpath_same_window))
         check_fastpath_speedup(results,
-                               factor=args.require_fastpath_speedup)
+                               factor=args.require_fastpath_speedup,
+                               same_window=fastpath_same_window["ratio"])
         print(f"ok: hot path holds >= "
               f"{args.require_fastpath_speedup:.2f}x over the "
-              f"pre-overhaul baseline")
+              f"pre-overhaul baseline (best estimator per mode)")
 
     profile = None
     if args.profile:
@@ -447,6 +475,31 @@ def main(argv: list[str] | None = None) -> int:
         print("ok: overload stays bounded — 429s are cheap and the "
               "admitted accounting replays exactly in process")
 
+    trace_overhead = None
+    if args.trace_overhead:
+        overhead_kwargs = dict(seed=kwargs["seed"])
+        if args.shards is not None:
+            overhead_kwargs["shards"] = args.shards
+        if args.tiny:
+            # Quick functional pass: the deterministic assertions hold at
+            # any scale; only the q/s ratio needs the calibrated length.
+            overhead_kwargs.update(num_rows=2000, num_analysts=4,
+                                   queries_per_analyst=40, repeats=2)
+        trace_overhead = run_trace_overhead(**overhead_kwargs)
+        print()
+        print(format_trace_overhead(trace_overhead))
+        if args.tiny:
+            assert trace_overhead["answers_bitwise_identical"], \
+                "tracing changed the replayed answers (it must only " \
+                "observe)"
+            assert trace_overhead["traces_started"] > 0
+            print("ok: tracing observed without steering — bit-identical "
+                  "answers (q/s floor skipped at --tiny)")
+        else:
+            check_trace_overhead(trace_overhead)
+            print(f"ok: tracing keeps >= {TRACE_OVERHEAD_FLOOR:.2f}x of "
+                  f"the untraced q/s with bit-identical answers")
+
     durability = None
     if args.durability:
         durability_kwargs = dict(DURABILITY_KWARGS)
@@ -472,7 +525,9 @@ def main(argv: list[str] | None = None) -> int:
         write_json_artifact(args.json, results, comparison, remote,
                             durability, profile=profile,
                             fast_path=fast_path_comparable,
-                            overload=overload, mp=mp_comparison)
+                            overload=overload, mp=mp_comparison,
+                            trace_overhead=trace_overhead,
+                            fastpath_same_window=fastpath_same_window)
         print(f"wrote {args.json}")
     return 0
 

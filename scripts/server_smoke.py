@@ -65,9 +65,21 @@ def build_streams(bundle) -> dict[str, list[QueryRequest]]:
     return streams
 
 
-def replay_remote(url: str, streams) -> None:
-    """Two concurrent remote analysts, first half single, rest batched."""
+def lineage_accounting(lineages) -> list[tuple]:
+    """The accounting-bearing lineage surface: everything except the
+    run-identifying ids and the label of the non-fresh lane taken."""
+    return [(l.view, l.epsilon, l.mechanism, l.composition,
+             l.synopsis_generation, l.source == "fresh") for l in lineages]
+
+
+def replay_remote(url: str, streams) -> dict[str, list]:
+    """Two concurrent remote analysts, first half single, rest batched.
+
+    Returns each analyst's per-response :class:`Lineage` records in
+    stream order — the wire must carry lineage on every answer, with a
+    trace id (remote clients propagate one per request)."""
     errors: list[BaseException] = []
+    lineages: dict[str, list] = {}
 
     def worker(analyst: str, stream: list[QueryRequest]) -> None:
         try:
@@ -78,12 +90,21 @@ def replay_remote(url: str, streams) -> None:
                                retry_rate_limited=5) as client:
                 session = client.open_session()
                 half = len(stream) // 2
+                collected = []
                 for request in stream[:half]:
                     response = client.submit(session, request.sql,
                                              accuracy=request.accuracy)
                     assert response.ok, response.error
+                    collected.append(response)
                 for response in client.submit_batch(session, stream[half:]):
                     assert response.ok, response.error
+                    collected.append(response)
+                for response in collected:
+                    assert response.lineage is not None, \
+                        "remote answers must carry lineage over the wire"
+                    assert response.lineage.trace_id, \
+                        "client-propagated trace ids must reach lineage"
+                lineages[analyst] = [r.lineage for r in collected]
                 client.close_session(session)
         except BaseException as exc:
             errors.append(exc)
@@ -96,21 +117,28 @@ def replay_remote(url: str, streams) -> None:
         thread.join()
     if errors:
         raise errors[0]
+    return lineages
 
 
-def replay_inproc(bundle, streams) -> dict:
+def replay_inproc(bundle, streams) -> tuple[dict, dict[str, list]]:
     """The same mixed workload against an identically-built service."""
     service = QueryService.build(bundle, make_service_analysts(2), EPSILON,
                                  seed=0)
+    lineages: dict[str, list] = {}
+
     def worker(analyst: str, stream: list[QueryRequest]) -> None:
         session = service.open_session(analyst)
         half = len(stream) // 2
+        collected = []
         for request in stream[:half]:
             response = service.submit(session, request.sql,
                                       accuracy=request.accuracy)
             assert response.ok, response.error
+            collected.append(response)
         for response in service.submit_batch(session, stream[half:]):
             assert response.ok, response.error
+            collected.append(response)
+        lineages[analyst] = [r.lineage for r in collected]
         service.close_session(session)
 
     threads = [threading.Thread(target=worker, args=item)
@@ -121,7 +149,7 @@ def replay_inproc(bundle, streams) -> dict:
         thread.join()
     snapshot = service.snapshot()
     service.close()
-    return snapshot
+    return snapshot, lineages
 
 
 def check_metrics(observer: RemoteAnalyst, snapshot: dict) -> None:
@@ -199,14 +227,14 @@ def main() -> int:
 
         print("smoke: replaying mixed single/batch workload over the wire "
               "(two concurrent analysts)")
-        replay_remote(url, streams)
+        remote_lineages = replay_remote(url, streams)
         with RemoteAnalyst(url, token="analyst_00") as observer:
             remote_snapshot = observer.snapshot()
             health = observer.health()
         assert health["status"] == "ok", health
 
         print("smoke: replaying the same workload in process")
-        inproc_snapshot = replay_inproc(bundle, streams)
+        inproc_snapshot, inproc_lineages = replay_inproc(bundle, streams)
 
         remote_eps = remote_snapshot["provenance"]["epsilon_by_analyst"]
         inproc_eps = inproc_snapshot["provenance"]["epsilon_by_analyst"]
@@ -219,6 +247,16 @@ def main() -> int:
         assert remote_snapshot["service"]["failed"] == 0
         print(f"smoke: accounting matches in-process replay exactly "
               f"(eps={remote_eps}, fresh={remote_fresh})")
+
+        for analyst in streams:
+            remote_acct = lineage_accounting(remote_lineages[analyst])
+            inproc_acct = lineage_accounting(inproc_lineages[analyst])
+            assert remote_acct == inproc_acct, \
+                (f"lineage accounting diverged for {analyst}: "
+                 f"{remote_acct[:3]}... != {inproc_acct[:3]}...")
+        answered = sum(len(v) for v in remote_lineages.values())
+        print(f"smoke: per-answer lineage matches in-process replay "
+              f"({answered} answers, every one traced)")
 
         print("smoke: scraping /v1/metrics")
         with RemoteAnalyst(url, token="analyst_00") as observer:

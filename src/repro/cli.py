@@ -238,6 +238,25 @@ def _bench_service(args) -> str:
         )
         check_remote_matches_inproc(remote)
         report += "\n\n" + format_remote_comparison(remote)
+    trace_overhead = None
+    if args.trace_overhead:
+        from repro.experiments.service_throughput import (
+            check_trace_overhead,
+            format_trace_overhead,
+            run_trace_overhead,
+        )
+
+        # The axis resolves a ~1% effect: never shrink the replay below
+        # the calibrated length (short runs drown in container noise).
+        trace_overhead = run_trace_overhead(
+            dataset=args.dataset, num_rows=args.rows,
+            num_analysts=args.analysts,
+            queries_per_analyst=max(args.queries, 240),
+            batch_size=args.batch_size, epsilon=args.epsilon,
+            seed=args.seed, shards=args.shards, workload=args.workload,
+        )
+        check_trace_overhead(trace_overhead)
+        report += "\n\n" + format_trace_overhead(trace_overhead)
     overload = None
     if args.overload:
         from repro.experiments.service_throughput import (
@@ -273,7 +292,8 @@ def _bench_service(args) -> str:
         write_json_artifact(args.json, results, comparison, remote,
                             durability, profile=profile,
                             fast_path=fast_path_comparable,
-                            overload=overload, mp=mp_comparison)
+                            overload=overload, mp=mp_comparison,
+                            trace_overhead=trace_overhead)
         report += f"\nwrote {args.json}"
     return report
 
@@ -410,6 +430,22 @@ def _serve(args) -> str:
             print(f"repro serve: checkpoint written to {args.data_dir}",
                   flush=True)
     return "stopped cleanly (drained)"
+
+
+def _monitor(args) -> str:
+    """Heartbeat watcher over a running daemon's ``/v1/metrics``."""
+    from repro.metrics.monitor import run_monitor
+
+    fired = run_monitor(
+        args.url, interval=args.interval,
+        samples=1 if args.once else args.samples,
+        timeout=args.timeout, max_ledger_lag=args.max_ledger_lag,
+        max_ledger_lag_growth=args.max_ledger_lag_growth,
+        max_rate_limited_rate=args.max_429_rate,
+        webhook_path=args.webhook_file)
+    if fired:
+        raise ReproError(f"{fired} alert(s) fired")
+    return "healthy (no alerts)"
 
 
 def _recover(args) -> str:
@@ -566,6 +602,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   "per-analyst rate limit, asserting "
                                   "bounded p95, cheap 429s, and exact "
                                   "accounting replay vs in-process")
+            cmd.add_argument("--trace-overhead", action="store_true",
+                             help="also replay the workload with tracing "
+                                  "on vs off, asserting bit-identical "
+                                  "answers and q/s no worse than the "
+                                  "0.95x floor")
             cmd.add_argument("--profile", action="store_true",
                              help="cProfile one inline replay and print "
                                   "the top-20 cumulative hotspot table "
@@ -688,6 +729,44 @@ def build_parser() -> argparse.ArgumentParser:
     checkpoint.add_argument("--permissive", action="store_true",
                             help="recover past a torn ledger tail before "
                                  "folding")
+
+    monitor = sub.add_parser(
+        "monitor", help="heartbeat watcher: scrape a daemon's "
+                        "/v1/metrics on an interval and alert on stale "
+                        "scrapes, ledger-lag growth, mp worker crashes, "
+                        "and 429 spikes (nonzero exit on any alert)")
+    monitor.add_argument("--url", default="http://127.0.0.1:8321",
+                         help="daemon base url (default: "
+                              "http://127.0.0.1:8321)")
+    monitor.add_argument("--interval", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="seconds between scrapes (default: 10)")
+    monitor.add_argument("--once", action="store_true",
+                         help="one scrape, absolute checks only, exit "
+                              "(a cron/CI probe)")
+    monitor.add_argument("--samples", type=int, default=None, metavar="N",
+                         help="stop after N scrapes (default: forever)")
+    monitor.add_argument("--timeout", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="per-scrape HTTP timeout (default: 5)")
+    monitor.add_argument("--max-ledger-lag", type=float, default=10_000,
+                         metavar="RECORDS",
+                         help="alert when unfolded ledger records exceed "
+                              "this bound (default: 10000)")
+    monitor.add_argument("--max-ledger-lag-growth", type=float,
+                         default=1_000, metavar="RECORDS",
+                         help="alert when ledger lag grows by more than "
+                              "this many records in one interval "
+                              "(default: 1000)")
+    monitor.add_argument("--max-429-rate", type=float, default=5.0,
+                         metavar="QPS",
+                         help="alert when admission-control refusals "
+                              "exceed this rate between scrapes "
+                              "(default: 5/s)")
+    monitor.add_argument("--webhook-file", default=None, metavar="PATH",
+                         help="append each alert as a JSON line to this "
+                              "file (a forwarder can tail it into a "
+                              "pager)")
     return parser
 
 
@@ -695,6 +774,7 @@ _DAEMON_COMMANDS = {
     "serve": _serve,
     "recover": _recover,
     "checkpoint": _checkpoint,
+    "monitor": _monitor,
 }
 
 
@@ -708,8 +788,10 @@ def main(argv: list[str] | None = None) -> int:
         print("recover  inspect crash recovery for a durability data-dir")
         print("checkpoint  fold a durability data-dir's ledger into a "
               "checkpoint")
+        print("monitor  heartbeat watcher over a running daemon's "
+              "/v1/metrics (alerts + nonzero exit)")
         return 0
-    if args.rows == 0:
+    if getattr(args, "rows", None) == 0:
         args.rows = None
     runner, _ = COMMANDS[args.command] if args.command in COMMANDS \
         else (_DAEMON_COMMANDS[args.command], "")

@@ -21,7 +21,9 @@ verification for tests against throwaway self-signed certs.
 from __future__ import annotations
 
 import http.client
+import itertools
 import json
+import os
 import socket
 import ssl
 import time
@@ -99,7 +101,8 @@ class RemoteAnalyst:
                  retry_rate_limited: int = 0,
                  max_retry_after: float = 5.0,
                  ca_bundle: str | None = None,
-                 tls_insecure: bool = False) -> None:
+                 tls_insecure: bool = False,
+                 trace_requests: bool = True) -> None:
         scheme = "http"
         if "://" in base_url:
             parts = urlsplit(base_url)
@@ -146,6 +149,17 @@ class RemoteAnalyst:
         #: refused *before* any engine work, so nothing was charged.
         self.retry_rate_limited = int(retry_rate_limited)
         self.max_retry_after = float(max_retry_after)
+        #: When true (the default), every submission carries a
+        #: client-minted trace id as the payload's optional ``"trace"``
+        #: field; the server adopts it as the request's trace id, so the
+        #: id in :attr:`last_trace_id` finds the server-side span tree
+        #: in ``GET /v1/trace``.  Old servers ignore the field.
+        self.trace_requests = bool(trace_requests)
+        #: Trace id sent with the most recent submission (``None`` until
+        #: the first, or when ``trace_requests`` is off).
+        self.last_trace_id: str | None = None
+        self._trace_prefix = os.urandom(4).hex()
+        self._trace_ids = itertools.count(1)
         self._conn: http.client.HTTPConnection | None = None
 
     # -- transport -------------------------------------------------------------
@@ -268,6 +282,16 @@ class RemoteAnalyst:
     def close_session(self, session: RemoteSession | int) -> None:
         self._request("DELETE", f"/v1/sessions/{_session_id(session)}")
 
+    def _new_trace_id(self) -> str | None:
+        """Mint (and remember) the trace id for one submission; ``None``
+        when request tracing is disabled client-side."""
+        if not self.trace_requests:
+            self.last_trace_id = None
+            return None
+        self.last_trace_id = \
+            f"c-{self._trace_prefix}-{next(self._trace_ids):08x}"
+        return self.last_trace_id
+
     def submit(self, session: RemoteSession | int,
                sql: str | SelectStatement,
                accuracy: float | None = None,
@@ -275,6 +299,9 @@ class RemoteAnalyst:
         """Answer one query; query-level failures land in the response."""
         payload = encode_request(QueryRequest(sql, accuracy=accuracy,
                                               epsilon=epsilon))
+        trace_id = self._new_trace_id()
+        if trace_id is not None:
+            payload["trace"] = trace_id
         reply = self._request(
             "POST", f"/v1/sessions/{_session_id(session)}/query", payload)
         return decode_response(reply)
@@ -285,9 +312,13 @@ class RemoteAnalyst:
         """Answer a batch through the server-side planner."""
         encoded = [encode_request(r if isinstance(r, QueryRequest)
                                   else QueryRequest(r)) for r in requests]
+        body = {"requests": encoded}
+        trace_id = self._new_trace_id()
+        if trace_id is not None:
+            body["trace"] = trace_id
         reply = self._request(
             "POST", f"/v1/sessions/{_session_id(session)}/batch",
-            {"requests": encoded})
+            body)
         raw = reply.get("responses")
         if not isinstance(raw, list):
             raise RemoteError("batch reply missing 'responses' list")
@@ -300,6 +331,11 @@ class RemoteAnalyst:
 
     def health(self) -> dict:
         return self._request("GET", "/v1/health")
+
+    def traces(self) -> dict:
+        """The server's ``GET /v1/trace`` body: tracer counters plus the
+        ring of recently finished traces, newest first."""
+        return self._request("GET", "/v1/trace")
 
     def metrics_text(self) -> str:
         """The server's ``/v1/metrics`` Prometheus text, verbatim."""

@@ -62,6 +62,7 @@ class AdditiveGaussianMechanism(MechanismBase):
     """
 
     name = "additive"
+    composition = "max"
 
     def __init__(self, *args, combine_local: bool = False, **kwargs) -> None:
         super().__init__(*args, **kwargs)

@@ -28,6 +28,7 @@ operation: do not interleave it with in-flight submissions.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -59,6 +60,7 @@ from repro.exceptions import (
     UnanswerableQuery,
     UnknownAnalyst,
 )
+from repro.metrics import tracing
 from repro.views.registry import ViewRegistry
 from repro.views.transform import transform_avg_parts, transform_group_by
 
@@ -154,6 +156,12 @@ class DProvDB:
         self._fast_lane_lock = threading.Lock()
         self._fast_lane_hits = 0
         self._fast_lane_misses = 0
+        #: Which path served the calling thread's last answer
+        #: (``fast_lane`` / ``cached`` / ``fresh``) — lineage raw
+        #: material, thread-local so concurrent submissions never read
+        #: each other's marks.  Purely descriptive: written after the
+        #: outcome is decided, never consulted by execution.
+        self._source_local = threading.local()
         if noise_streams == "per_view" and not isinstance(
                 seed, (int, str, type(None))):
             raise ReproError("per-view noise streams derive per-view seeds "
@@ -364,6 +372,15 @@ class DProvDB:
         return CompiledStatement(statement, "scalar", view, query=query,
                                  strictest=query)
 
+    # -- lineage raw material -----------------------------------------------------
+    def _mark_source(self, source: str) -> None:
+        self._source_local.value = source
+
+    def last_answer_source(self) -> str:
+        """How this thread's most recent answer was served (defaults to
+        ``fresh`` before any submission)."""
+        return getattr(self._source_local, "value", "fresh")
+
     # -- fast-lane bookkeeping ----------------------------------------------------
     def _note_fast_lane(self, hits: int = 0, misses: int = 0) -> None:
         with self._fast_lane_lock:
@@ -456,6 +473,7 @@ class DProvDB:
                                                         per_bin)
             if outcome is not None:
                 self._note_fast_lane(hits=1)
+                self._mark_source("fast_lane")
                 self.log.record(analyst,
                                 sql_text if sql_text is not None
                                 else to_sql(statement),
@@ -466,6 +484,11 @@ class DProvDB:
             self._note_fast_lane(misses=1)
         if sql_text is None:
             sql_text = to_sql(statement)
+        # Cache hits and fast-lane misses are far too hot for per-query
+        # span machinery (the group-level "decisions" event aggregates
+        # them); only the rare expensive outcomes — a fresh release or a
+        # rejection — earn a retroactive span from this reading.
+        started = time.perf_counter()
         with self.view_section(view.name):
             effective = analyst
             grant = None
@@ -490,6 +513,8 @@ class DProvDB:
                                 answered=False, rejection_reason=exc.reason,
                                 delegated_from=grant.grantor if grant
                                 else None)
+                tracing.record_span("decision", started, view=view.name,
+                                    outcome="rejected")
                 raise
             except BaseException:
                 if grant is not None:
@@ -502,6 +527,12 @@ class DProvDB:
                             outcome.epsilon_charged, outcome.cache_hit,
                             answered=True,
                             delegated_from=grant.grantor if grant else None)
+            source = "cached" if outcome.cache_hit else "fresh"
+            self._mark_source(source)
+        if source == "fresh":
+            tracing.record_span("decision", started, view=view.name,
+                                outcome=source,
+                                epsilon=outcome.epsilon_charged)
         return Answer(analyst, outcome.value, outcome.epsilon_charged,
                       outcome.view_name, outcome.per_bin_variance,
                       outcome.answer_variance, outcome.cache_hit)
@@ -544,10 +575,12 @@ class DProvDB:
                   count_query.per_bin_variance_for(count_target))])
             if outcomes is not None:
                 self._note_fast_lane(hits=1)
+                self._mark_source("fast_lane")
                 sum_outcome, count_outcome = outcomes
                 return self._avg_answer(analyst, view, sum_outcome,
                                         count_outcome)
             self._note_fast_lane(misses=1)
+        started = time.perf_counter()
         with self.view_section(view.name):
             # One atomic answer for both parts: at most one fresh release,
             # with the COUNT riding the SUM's synopsis — a rejected AVG
@@ -555,6 +588,12 @@ class DProvDB:
             # could charge the SUM, then reject the COUNT).
             sum_outcome, count_outcome = self.mechanism.answer_avg(
                 analyst, view, sum_query, count_query, target, count_target)
+        source = "cached" if (sum_outcome.cache_hit
+                              and count_outcome.cache_hit) else "fresh"
+        self._mark_source(source)
+        if source == "fresh":
+            tracing.record_span("decision", started, view=view.name,
+                                outcome=source)
         return self._avg_answer(analyst, view, sum_outcome, count_outcome)
 
     @staticmethod
@@ -587,9 +626,11 @@ class DProvDB:
                                                 epsilon)
             if results is not None:
                 self._note_fast_lane(hits=1)
+                self._mark_source("fast_lane")
                 return results
             self._note_fast_lane(misses=1)
         results = []
+        started = time.perf_counter()
         with self.view_section(view.name):
             for key, query in compiled.group_parts:
                 if not np.any(query.weights):
@@ -606,6 +647,12 @@ class DProvDB:
                                             outcome.per_bin_variance,
                                             outcome.answer_variance,
                                             outcome.cache_hit)))
+        source = "fresh" if any(not answer.cache_hit
+                                for _, answer in results) else "cached"
+        self._mark_source(source)
+        if source == "fresh":
+            tracing.record_span("decision", started, view=view.name,
+                                outcome=source, groups=len(results))
         return results
 
     def _group_by_from_cache(self, analyst: str, compiled: CompiledStatement,

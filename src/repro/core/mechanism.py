@@ -59,6 +59,11 @@ class MechanismBase:
     """State and helpers common to both DProvDB mechanisms."""
 
     name = "base"
+    #: How per-view charges compose into the analyst's total — ``sum``
+    #: (basic composition over independent releases), ``max`` (the
+    #: additive mechanism's max-over-views provenance accounting), or
+    #: ``zcdp`` (rho-ledger composition).  Reported in answer lineage.
+    composition = "sum"
 
     def __init__(self, registry: ViewRegistry, provenance: ProvenanceTable,
                  constraints: Constraints, rng: SeedLike = None,

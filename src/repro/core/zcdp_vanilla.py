@@ -32,6 +32,7 @@ class ZCdpVanillaMechanism(VanillaMechanism):
     """Vanilla releases, zCDP-composed constraint checks."""
 
     name = "vanilla_zcdp"
+    composition = "zcdp"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)

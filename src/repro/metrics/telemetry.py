@@ -31,10 +31,11 @@ stdlib-only and thread-safe.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 from collections import deque
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 #: How many recent observations a :class:`Summary` keeps per label set
 #: for its percentile estimates (``_count``/``_sum`` stay exact).
@@ -42,6 +43,11 @@ DEFAULT_RESERVOIR = 2048
 
 #: The quantiles every :class:`Summary` renders.
 SUMMARY_QUANTILES = (0.5, 0.95)
+
+#: Default :class:`Histogram` bucket bounds (seconds): sub-millisecond
+#: fast-lane hits through multi-second batch submissions.
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
 
 
 def _escape_label(value: str) -> str:
@@ -163,6 +169,93 @@ class Summary:
             yield "_sum", labels, total
 
 
+class Histogram:
+    """Per-label-set histogram with Prometheus cumulative semantics.
+
+    Observations land in fixed buckets (upper bounds, plus the implicit
+    ``+Inf`` overflow); :meth:`samples` renders the *cumulative*
+    ``_bucket{le=...}`` series Prometheus expects — every bucket counts
+    all observations at or below its bound, and ``le="+Inf"`` always
+    equals ``_count``.  Unlike :class:`Summary`'s bounded reservoir,
+    every series here is exact over the full lifetime, so scrapers can
+    derive any quantile by interpolation *and* rates stay correct no
+    matter how long the window.  ``observe`` is one ``bisect`` plus two
+    adds under a small lock — cheap enough for the request hot path.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one "
+                             f"bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} bucket bounds must be "
+                             f"strictly increasing, got {bounds}")
+        self.name = name
+        self.help = help_text
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        #: label key -> ([per-slot counts, +Inf slot last], [count, sum])
+        self._series: dict[tuple[tuple[str, str], ...],
+                           tuple[list, list]] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        value = float(value)
+        slot = bisect.bisect_left(self.buckets, value)
+        key = _label_key(labels)
+        with self._lock:
+            entry = self._series.get(key)
+            if entry is None:
+                entry = self._series[key] = (
+                    [0] * (len(self.buckets) + 1), [0, 0.0])
+            entry[0][slot] += 1
+            entry[1][0] += 1
+            entry[1][1] += value
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            entry = self._series.get(_label_key(labels))
+            return int(entry[1][0]) if entry else 0
+
+    def sum(self, **labels: str) -> float:
+        with self._lock:
+            entry = self._series.get(_label_key(labels))
+            return float(entry[1][1]) if entry else 0.0
+
+    def bucket_counts(self, **labels: str) -> dict[str, int]:
+        """Cumulative ``{le: count}`` for one label set (test helper)."""
+        with self._lock:
+            entry = self._series.get(_label_key(labels))
+            slots = list(entry[0]) if entry else \
+                [0] * (len(self.buckets) + 1)
+        out: dict[str, int] = {}
+        running = 0
+        for bound, slot in zip(self.buckets, slots):
+            running += slot
+            out[_format_value(bound)] = running
+        out["+Inf"] = running + slots[-1]
+        return out
+
+    def samples(self) -> Iterable[tuple[str, dict[str, str], float]]:
+        """Yield ``(suffix, labels, value)`` rows for rendering."""
+        with self._lock:
+            snapshot = [(dict(key), list(slots), int(totals[0]),
+                         float(totals[1]))
+                        for key, (slots, totals) in self._series.items()]
+        for labels, slots, count, total in snapshot:
+            running = 0
+            for bound, slot in zip(self.buckets, slots):
+                running += slot
+                yield ("_bucket", {**labels, "le": _format_value(bound)},
+                       float(running))
+            yield "_bucket", {**labels, "le": "+Inf"}, float(count)
+            yield "_count", labels, float(count)
+            yield "_sum", labels, total
+
+
 class _GaugeGroup:
     """Callback-backed gauge: values are pulled at scrape time."""
 
@@ -222,6 +315,11 @@ class TelemetryRegistry:
         return self._get_or_create(
             name, lambda: Summary(name, help_text, reservoir), "summary")
 
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help_text, buckets), "histogram")
+
     def gauge(self, name: str, help_text: str, fn: Callable, *,
               expand_label: str | None = None, **labels: str) -> None:
         """Register a scrape-time callback for ``name``.
@@ -244,7 +342,7 @@ class TelemetryRegistry:
             if metric.help:
                 lines.append(f"# HELP {name} {metric.help}")
             lines.append(f"# TYPE {name} {metric.kind}")
-            if isinstance(metric, Summary):
+            if isinstance(metric, (Summary, Histogram)):
                 for suffix, labels, value in metric.samples():
                     lines.append(f"{name}{suffix}{_format_labels(labels)} "
                                  f"{_format_value(value)}")
@@ -311,9 +409,11 @@ def _split_labels(text: str) -> list[str]:
 
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "DEFAULT_RESERVOIR",
     "SUMMARY_QUANTILES",
     "Counter",
+    "Histogram",
     "Summary",
     "TelemetryRegistry",
     "parse_exposition",

@@ -69,7 +69,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Mapping
 
+from contextlib import contextmanager
+
 from repro.exceptions import ClosedError, ReproError, UnknownAnalyst
+from repro.metrics import tracing
 from repro.metrics.telemetry import TelemetryRegistry
 from repro.server.protocol import (
     PROTOCOL_VERSION,
@@ -282,7 +285,11 @@ class _MicroBatcher:
         self._wake.set()
         # The dispatcher serves every queued item or dies trying; the
         # bound only turns a dispatcher bug into a 500 instead of a hang.
-        if not pending.done.wait(timeout=300.0):
+        # The park span is the handler-side wait for the dispatcher — the
+        # coalescing delay a traced request actually paid.
+        with tracing.span("microbatch.park"):
+            parked = pending.done.wait(timeout=300.0)
+        if not parked:
             raise ReproError("micro-batch dispatch timed out")
         if pending.error is not None:
             raise pending.error
@@ -341,8 +348,9 @@ class _MicroBatcher:
 
 #: Bounded-cardinality route labels for the request metrics.
 def _route_label(method: str, path: str) -> str:
+    path = path.partition("?")[0]
     if path in ("/v1/health", "/v1/snapshot", "/v1/metrics",
-                "/v1/sessions"):
+                "/v1/trace", "/v1/sessions"):
         return f"{method} {path}"
     match = _SESSION_PATH.match(path)
     if match is not None:
@@ -450,6 +458,11 @@ class ReproServer:
         self._checkpoint_thread: threading.Thread | None = None
         self._gate = _Gate()
         self._started = time.monotonic()
+        #: Handler threads stash per-request facts here (the body-read
+        #: perf_counter window) for the trace that is minted later in
+        #: the same thread, once the payload (and its propagated trace
+        #: id) has been parsed.
+        self._handler_local = threading.local()
         self.request_timeout = request_timeout
         self.max_body_bytes = int(max_body_bytes)
         self.micro_batch_threshold = int(micro_batch_threshold)
@@ -483,7 +496,7 @@ class ReproServer:
         self._m_rate_limited = registry.counter(
             "repro_rate_limited_total",
             "Submissions refused by admission control (429), per analyst")
-        self._m_latency = registry.summary(
+        self._m_latency = registry.histogram(
             "repro_request_seconds", "Request handling latency per route")
         registry.gauge("repro_in_flight_requests",
                        "Requests currently inside the drain gate",
@@ -647,10 +660,20 @@ class ReproServer:
         return self.telemetry.render()
 
     def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        path, _, query = path.partition("?")
         if method == "GET" and path == "/v1/health":
             return 200, self._health()
         if method == "GET" and path == "/v1/snapshot":
             return 200, json_ready(self.service.snapshot())
+        if method == "GET" and path == "/v1/trace":
+            limit = None
+            match = re.search(r"(?:^|&)limit=(\d+)", query)
+            if match is not None:
+                limit = int(match.group(1))
+            tracer = self.service.tracer
+            return 200, {"protocol": PROTOCOL_VERSION,
+                         "tracing": tracer.counters(),
+                         "traces": json_ready(tracer.recent(limit))}
         if method == "POST" and path == "/v1/sessions":
             return self._open_session(self._json(body))
         match = _SESSION_PATH.match(path)
@@ -742,24 +765,59 @@ class ReproServer:
         finally:
             self._gate.leave()
 
+    @contextmanager
+    def _traced(self, payload: dict, route: str):
+        """Mint the server-side trace for one submission.
+
+        The client's propagated id rides as an optional top-level
+        ``"trace"`` key in the POST payload (``decode_request`` reads
+        only its own fields, so old clients and old servers are both
+        untouched).  The handler thread's body-read window — measured
+        before any trace could exist — is adopted retroactively, and the
+        finished trace lands in the shared ``service.tracer`` ring.
+        With the trace active, ``QueryService.submit`` sees a current
+        trace and reports into it instead of minting its own.
+        """
+        tracer = self.service.tracer
+        if not tracer.enabled:
+            yield None
+            return
+        trace_id = payload.get("trace")
+        trace = tracer.start(trace_id if isinstance(trace_id, str)
+                             and trace_id else None)
+        body_read = getattr(self._handler_local, "body_read", None)
+        self._handler_local.body_read = None
+        if body_read is not None:
+            trace.add_span("read_body", body_read[0], body_read[1],
+                           bytes=body_read[2])
+        try:
+            with tracing.activate(trace), \
+                    tracing.span("server.request", route=route):
+                yield trace
+        finally:
+            tracer.finish(trace)
+
     def _submit(self, session_id: int, payload: dict) -> tuple[int, dict]:
         request = decode_request(payload)
-        refusal = self._admit(session_id, 1.0)
-        if refusal is not None:
-            return refusal
-        if not self._gate.try_enter():
-            return 503, encode_error("server is draining", "draining")
-        try:
-            if self._batcher is not None and \
-                    self._gate.in_flight > self.micro_batch_threshold:
-                response = self._batcher.submit(session_id, request)
-            else:
-                response = self.service.submit(session_id, request.sql,
-                                               accuracy=request.accuracy,
-                                               epsilon=request.epsilon)
-        finally:
-            self._gate.leave()
-        return 200, encode_response(response)
+        with self._traced(payload, "query"):
+            with tracing.span("admission"):
+                refusal = self._admit(session_id, 1.0)
+            if refusal is not None:
+                tracing.event("rate_limited")
+                return refusal
+            if not self._gate.try_enter():
+                return 503, encode_error("server is draining", "draining")
+            try:
+                if self._batcher is not None and \
+                        self._gate.in_flight > self.micro_batch_threshold:
+                    response = self._batcher.submit(session_id, request)
+                else:
+                    response = self.service.submit(
+                        session_id, request.sql, accuracy=request.accuracy,
+                        epsilon=request.epsilon)
+            finally:
+                self._gate.leave()
+            return 200, encode_response(response)
 
     def _submit_batch(self, session_id: int,
                       payload: dict) -> tuple[int, dict]:
@@ -767,17 +825,22 @@ class ReproServer:
         if not isinstance(raw, list):
             raise WireFormatError("batch body needs a 'requests' list")
         requests = [decode_request(entry) for entry in raw]
-        refusal = self._admit(session_id, float(max(1, len(requests))))
-        if refusal is not None:
-            return refusal
-        if not self._gate.try_enter():
-            return 503, encode_error("server is draining", "draining")
-        try:
-            responses = self.service.submit_batch(session_id, requests)
-        finally:
-            self._gate.leave()
-        return 200, {"protocol": PROTOCOL_VERSION,
-                     "responses": [encode_response(r) for r in responses]}
+        with self._traced(payload, "batch"):
+            with tracing.span("admission"):
+                refusal = self._admit(session_id,
+                                      float(max(1, len(requests))))
+            if refusal is not None:
+                tracing.event("rate_limited")
+                return refusal
+            if not self._gate.try_enter():
+                return 503, encode_error("server is draining", "draining")
+            try:
+                responses = self.service.submit_batch(session_id, requests)
+            finally:
+                self._gate.leave()
+            return 200, {"protocol": PROTOCOL_VERSION,
+                         "responses": [encode_response(r)
+                                       for r in responses]}
 
 
 def _build_handler(server: ReproServer) -> type:
@@ -813,6 +876,7 @@ def _build_handler(server: ReproServer) -> type:
                 return None
             if length <= 0:
                 return b""
+            read_started = time.perf_counter()
             try:
                 body = self.rfile.read(length)
             except (TimeoutError, OSError):
@@ -822,6 +886,10 @@ def _build_handler(server: ReproServer) -> type:
                              "request body stalled before Content-Length "
                              "bytes arrived")
                 return None
+            # Stash the read window for the trace minted later in this
+            # same thread (the trace id lives inside the body just read).
+            server._handler_local.body_read = (
+                read_started, time.perf_counter(), length)
             return body
 
         def _refuse(self, status: int, kind: str, message: str) -> None:
@@ -842,6 +910,7 @@ def _build_handler(server: ReproServer) -> type:
 
         def _dispatch(self, method: str) -> None:
             started = time.perf_counter()
+            server._handler_local.body_read = None
             route = _route_label(method, self.path)
             server._m_requests.inc(route=route)
             self._status = 500

@@ -28,7 +28,7 @@ from repro.core.engine import Answer
 from repro.db.sql.ast import SelectStatement
 from repro.db.sql.unparse import to_sql
 from repro.exceptions import ReproError
-from repro.service.session import QueryRequest, QueryResponse
+from repro.service.session import Lineage, QueryRequest, QueryResponse
 
 #: Version of the wire format.  Bump on any incompatible envelope change;
 #: decoders refuse envelopes stamped with a different version.
@@ -171,8 +171,61 @@ def _decode_group_key(raw: Any, context: str) -> tuple:
     return tuple(raw)
 
 
+def _encode_lineage(lineage: Lineage) -> dict:
+    return {
+        "view": lineage.view,
+        "source": lineage.source,
+        "epsilon": json_ready(float(lineage.epsilon)),
+        "mechanism": lineage.mechanism,
+        "composition": lineage.composition,
+        "synopsis_generation": int(lineage.synopsis_generation),
+        "ledger_seq": (None if lineage.ledger_seq is None
+                       else int(lineage.ledger_seq)),
+        "worker": None if lineage.worker is None else int(lineage.worker),
+        "incarnation": (None if lineage.incarnation is None
+                        else int(lineage.incarnation)),
+        "trace_id": lineage.trace_id,
+    }
+
+
+def _decode_lineage(payload: Any, context: str) -> Lineage:
+    """Tolerant lineage decode: the field is descriptive and optional, so
+    unknown or missing sub-fields degrade to defaults rather than failing
+    the whole response (a newer server must not break an older client
+    that merely passes the dict through)."""
+    body = _require(payload, context)
+
+    def text(field: str) -> str | None:
+        value = body.get(field)
+        return value if isinstance(value, str) else None
+
+    def integer(field: str) -> int | None:
+        value = body.get(field)
+        return value if isinstance(value, int) and \
+            not isinstance(value, bool) else None
+
+    epsilon = body.get("epsilon")
+    if isinstance(epsilon, bool) or not isinstance(epsilon, (int, float)):
+        epsilon = 0.0
+    return Lineage(
+        view=text("view"),
+        source=text("source") or "fresh",
+        epsilon=float(epsilon),
+        mechanism=text("mechanism"),
+        composition=text("composition"),
+        synopsis_generation=integer("synopsis_generation") or 0,
+        ledger_seq=integer("ledger_seq"),
+        worker=integer("worker"),
+        incarnation=integer("incarnation"),
+        trace_id=text("trace_id"),
+    )
+
+
 def encode_response(response: QueryResponse) -> dict:
-    """``QueryResponse`` -> wire object (scalar, GROUP BY, or failure)."""
+    """``QueryResponse`` -> wire object (scalar, GROUP BY, or failure).
+
+    ``lineage`` is emitted only when present: old clients never see the
+    key, new clients treat its absence as "server predates lineage"."""
     body: dict = {
         "protocol": PROTOCOL_VERSION,
         "index": int(response.index),
@@ -188,6 +241,8 @@ def encode_response(response: QueryResponse) -> dict:
             {"key": json_ready(list(key)), "answer": _encode_answer(answer)}
             for key, answer in response.groups
         ]
+    if response.lineage is not None:
+        body["lineage"] = _encode_lineage(response.lineage)
     return body
 
 
@@ -218,8 +273,11 @@ def decode_response(payload: Any) -> QueryResponse:
                 _decode_answer(entry.get("answer"), context),
             ))
         groups = tuple(decoded)
+    lineage = body.get("lineage")
+    if lineage is not None:
+        lineage = _decode_lineage(lineage, "response.lineage")
     return QueryResponse(index, answer=answer, groups=groups,
-                         error=error, rejected=rejected)
+                         error=error, rejected=rejected, lineage=lineage)
 
 
 # -- error envelopes -----------------------------------------------------------

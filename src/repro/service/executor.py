@@ -19,8 +19,58 @@ from typing import Callable
 from repro.core.engine import DProvDB
 from repro.db.sql.unparse import to_sql
 from repro.exceptions import QueryRejected, ReproError
+from repro.metrics import tracing
 from repro.service.planner import PlannedQuery
-from repro.service.session import QueryRequest, QueryResponse
+from repro.service.session import Lineage, QueryRequest, QueryResponse
+
+
+_attach = object.__setattr__
+
+
+def _with_lineage(engine: DProvDB, analyst: str, response: QueryResponse,
+                  source: str | None = None,
+                  view: str | None = None) -> QueryResponse:
+    """Attach a :class:`Lineage` derived from what just happened.
+
+    Purely descriptive — built *after* the response exists, from the
+    answers themselves plus the engine's thread-local source mark, so
+    replay bit-equality on answers/ε is untouched.  ``source``/``view``
+    override the derivation where the caller already knows the path
+    (batch-lane hits, rejections).
+
+    This runs once per answer: the response is always freshly
+    constructed by our caller and has not escaped yet, so the lineage
+    is attached in place rather than via ``dataclasses.replace``, the
+    scalar shape skips the ``answers()`` tuple and the ε summation
+    loop, and the :class:`Lineage` construction is positional — each
+    measurably moves warm-path q/s on its own.
+    """
+    answer = response.answer
+    if answer is not None:
+        view = answer.view_name
+        if source is None:
+            source = engine.last_answer_source()
+        epsilon = answer.epsilon_charged
+    else:
+        answers = response.answers()
+        if answers:
+            view = answers[0].view_name
+            if source is None:
+                source = engine.last_answer_source()
+            epsilon = sum(a.epsilon_charged for a in answers)
+        else:
+            if source is None:
+                source = "rejected" if response.rejected else "error"
+            epsilon = 0.0
+    mechanism = engine.mechanism
+    trace = tracing.current_trace()
+    _attach(response, "lineage", Lineage(
+        view, source, epsilon, mechanism.name, mechanism.composition,
+        mechanism.store.local_generation(analyst, view)
+        if view is not None else 0,
+        trace.trace_id if trace is not None else None,
+    ))
+    return response
 
 
 def execute_request(engine: DProvDB, analyst: str, index: int,
@@ -49,15 +99,20 @@ def execute_request(engine: DProvDB, analyst: str, index: int,
             groups = engine.submit_group_by(
                 analyst, sql, accuracy=request.accuracy,
                 epsilon=request.epsilon)
-            return QueryResponse(index, groups=tuple(groups))
+            return _with_lineage(engine, analyst,
+                                 QueryResponse(index, groups=tuple(groups)))
         answer = engine.submit(analyst, sql,
                                accuracy=request.accuracy,
                                epsilon=request.epsilon)
-        return QueryResponse(index, answer=answer)
+        return _with_lineage(engine, analyst,
+                             QueryResponse(index, answer=answer))
     except QueryRejected as exc:
-        return QueryResponse(index, error=str(exc), rejected=True)
+        return _with_lineage(engine, analyst,
+                             QueryResponse(index, error=str(exc),
+                                           rejected=True))
     except ReproError as exc:
-        return QueryResponse(index, error=str(exc))
+        return _with_lineage(engine, analyst,
+                             QueryResponse(index, error=str(exc)))
 
 
 def execute_planned(engine: DProvDB, analyst: str,
@@ -73,11 +128,17 @@ def execute_planned(engine: DProvDB, analyst: str,
             analyst, item.statement, item.view, item.query, item.target,
             sql_text=(item.request.sql
                       if isinstance(item.request.sql, str) else None))
-        return QueryResponse(item.index, answer=answer)
+        return _with_lineage(engine, analyst,
+                             QueryResponse(item.index, answer=answer))
     except QueryRejected as exc:
-        return QueryResponse(item.index, error=str(exc), rejected=True)
+        return _with_lineage(engine, analyst,
+                             QueryResponse(item.index, error=str(exc),
+                                           rejected=True),
+                             view=item.view.name)
     except ReproError as exc:
-        return QueryResponse(item.index, error=str(exc))
+        return _with_lineage(engine, analyst,
+                             QueryResponse(item.index, error=str(exc)),
+                             view=item.view.name)
 
 
 def execute_planned_group(engine: DProvDB, analyst: str,
@@ -101,6 +162,12 @@ def execute_planned_group(engine: DProvDB, analyst: str,
     response lands — the multiprocessing backend's fault-injection hook
     (a test worker SIGKILLs itself after N answers to exercise the
     parent's crash recovery).
+
+    Tracing reports per *group*, not per query: one ``decisions`` event
+    tallies the outcomes (fresh/cached/fast_lane/...) from the lineage
+    already attached to each response, so the per-answer hot path
+    carries no span machinery (fresh releases and rejections get their
+    own spans inside the engine — they are rare and expensive).
     """
     done = 0
 
@@ -114,6 +181,7 @@ def execute_planned_group(engine: DProvDB, analyst: str,
     note()
     rest = items[1:]
     if not rest:
+        _note_group_decisions(view_name, items, responses)
         return
     lane: list[PlannedQuery] = []
     if view_name is not None and engine.fast_lane:
@@ -130,13 +198,36 @@ def execute_planned_group(engine: DProvDB, analyst: str,
             [(item.query, item.target) for item in lane], sql_texts)
         for item, answer in zip(lane, answers):
             if answer is not None:
-                responses[item.index] = QueryResponse(item.index,
-                                                      answer=answer)
+                responses[item.index] = _with_lineage(
+                    engine, analyst,
+                    QueryResponse(item.index, answer=answer),
+                    source="fast_lane")
                 note()
     for item in rest:
         if responses[item.index] is None:
             responses[item.index] = execute_planned(engine, analyst, item)
             note()
+    _note_group_decisions(view_name, items, responses)
+
+
+def _note_group_decisions(view_name: str | None,
+                          items: list[PlannedQuery],
+                          responses: list) -> None:
+    """One aggregated trace event per executed group.  Derived post-hoc
+    from the responses' lineage, so the zero-trace path pays exactly one
+    ``ContextVar`` read per group and the per-query path pays nothing.
+    """
+    if tracing.current_trace() is None:
+        return
+    tally: dict[str, int] = {}
+    for item in items:
+        response = responses[item.index]
+        if response is None or response.lineage is None:
+            continue
+        source = response.lineage.source
+        tally[source] = tally.get(source, 0) + 1
+    if tally:
+        tracing.event("decisions", view=view_name, **tally)
 
 
 __all__ = ["execute_planned", "execute_planned_group", "execute_request"]

@@ -64,10 +64,12 @@ from repro.core.engine import Answer
 from repro.core.synopsis import Synopsis
 from repro.db.sql.unparse import to_sql
 from repro.exceptions import QueryRejected, ReproError, ServiceClosed
+from repro.metrics import tracing
+from repro.metrics.tracing import Trace
 from repro.service.cache import LruSynopsisStore
 from repro.service.executor import execute_planned_group
 from repro.service.planner import PlannedQuery, _plan_one, plan_batch
-from repro.service.session import QueryRequest, QueryResponse
+from repro.service.session import Lineage, QueryRequest, QueryResponse
 
 #: Default worker count: enough to cover the bench's four-analyst view
 #: spread without forking a process per core on large hosts.
@@ -87,7 +89,30 @@ def _pack_answer(answer: Answer) -> tuple:
             answer.answer_variance, answer.cache_hit)
 
 
-def _pack_response(response: QueryResponse) -> tuple:
+def _pack_lineage(lineage: Lineage | None, worker: int,
+                  incarnation: int) -> tuple | None:
+    """Flatten a lineage record, stamping the computing process's
+    identity — the one lineage fact only the worker knows."""
+    if lineage is None:
+        return None
+    return (lineage.view, lineage.source, lineage.epsilon,
+            lineage.mechanism, lineage.composition,
+            lineage.synopsis_generation, lineage.ledger_seq,
+            worker, incarnation, lineage.trace_id)
+
+
+def _unpack_lineage(packed: tuple | None) -> Lineage | None:
+    if packed is None:
+        return None
+    return Lineage(view=packed[0], source=packed[1], epsilon=packed[2],
+                   mechanism=packed[3], composition=packed[4],
+                   synopsis_generation=packed[5], ledger_seq=packed[6],
+                   worker=packed[7], incarnation=packed[8],
+                   trace_id=packed[9])
+
+
+def _pack_response(response: QueryResponse, worker: int,
+                   incarnation: int) -> tuple:
     """Flatten one response to plain tuples for the ``done`` payload.
 
     Pickling the nested ``QueryResponse``/``Answer`` dataclasses costs
@@ -96,22 +121,27 @@ def _pack_response(response: QueryResponse) -> tuple:
     one per query — on a single-CPU host that serialisation tax is a
     visible slice of the whole mp overhead budget.
     """
+    lineage = _pack_lineage(response.lineage, worker, incarnation)
     if response.answer is not None:
-        return (response.index, 0, _pack_answer(response.answer))
+        return (response.index, 0, _pack_answer(response.answer), lineage)
     if response.groups is not None:
         return (response.index, 1, tuple(
-            (key, _pack_answer(answer)) for key, answer in response.groups))
-    return (response.index, 2, response.error, response.rejected)
+            (key, _pack_answer(answer)) for key, answer in response.groups),
+            lineage)
+    return (response.index, 2, response.error, response.rejected, lineage)
 
 
 def _unpack_response(packed: tuple) -> QueryResponse:
     index, shape = packed[0], packed[1]
     if shape == 0:
-        return QueryResponse(index, answer=Answer(*packed[2]))
+        return QueryResponse(index, answer=Answer(*packed[2]),
+                             lineage=_unpack_lineage(packed[3]))
     if shape == 1:
         return QueryResponse(index, groups=tuple(
-            (key, Answer(*fields)) for key, fields in packed[2]))
-    return QueryResponse(index, error=packed[2], rejected=packed[3])
+            (key, Answer(*fields)) for key, fields in packed[2]),
+            lineage=_unpack_lineage(packed[3]))
+    return QueryResponse(index, error=packed[2], rejected=packed[3],
+                         lineage=_unpack_lineage(packed[4]))
 
 
 class _Shard:
@@ -204,9 +234,10 @@ class _WorkerProvenance:
     def reserve(self, analyst: str, view: str, epsilon: float, constraints, *,
                 column_mode: str = "sum", meta=None) -> _BrokeredReservation:
         cid = next(self._cids)
-        self.conn.send(("charge", cid, analyst, view, epsilon, column_mode,
-                        dict(meta) if meta else None))
-        reply = self.conn.recv()
+        with tracing.span("broker_charge", view=view):
+            self.conn.send(("charge", cid, analyst, view, epsilon,
+                            column_mode, dict(meta) if meta else None))
+            reply = self.conn.recv()
         if reply[0] == "charge_rejected":
             raise QueryRejected(reply[2], constraint=reply[3])
         if reply[0] != "charge_ok":  # pragma: no cover - protocol guard
@@ -355,9 +386,9 @@ class _Worker:
                     break
                 kind = msg[0]
                 if kind == "batch":
-                    self.serve_batch(msg[1], msg[2], msg[3], msg[4])
+                    self.serve_batch(msg[1], msg[2], msg[3], msg[4], msg[5])
                 elif kind == "raw":
-                    self.serve_raw(msg[1], msg[2], msg[3])
+                    self.serve_raw(msg[1], msg[2], msg[3], msg[4])
                 elif kind == "ping":
                     self.conn.send(("pong", os.getpid()))
                 elif kind == "crash_after":
@@ -429,24 +460,37 @@ class _Worker:
                     responses[item.index] = QueryResponse(
                         item.index, error=str(exc))
 
+    def _batch_trace(self, trace_id: str | None) -> Trace | None:
+        """A worker-local trace for one conversation (``None`` when the
+        parent sent no id).  The worker's spans are relative to its own
+        clock origin; the parent grafts the export under its dispatch
+        span, re-basing the offsets (see :meth:`Trace.graft`)."""
+        return Trace(trace_id) if trace_id is not None else None
+
     def serve_batch(self, analyst: str, groups, new_sql: dict,
-                    new_plans: dict) -> None:
+                    new_plans: dict, trace_id: str | None) -> None:
         self.sql_by_id.update(new_sql)
         self._seed_plans(new_plans)
         engine = self.engine
         top = max(entry[0] for _, entries in groups for entry in entries)
         responses: list[QueryResponse | None] = [None] * (top + 1)
+        trace = self._batch_trace(trace_id)
         marks = self._begin_batch()
-        for view_name, entries in groups:
-            items: list[PlannedQuery] = []
-            for index, sid, accuracy, epsilon in entries:
-                request = QueryRequest(self.sql_by_id[sid],
-                                       accuracy=accuracy, epsilon=epsilon)
-                items.append(_plan_one(engine, index, request))
-            self._run_group(analyst, view_name, items, responses)
-        self._send_done(marks, responses)
+        with tracing.activate(trace), \
+                tracing.span("worker.serve", worker=self.index,
+                             incarnation=self.incarnation):
+            for view_name, entries in groups:
+                items: list[PlannedQuery] = []
+                for index, sid, accuracy, epsilon in entries:
+                    request = QueryRequest(self.sql_by_id[sid],
+                                           accuracy=accuracy,
+                                           epsilon=epsilon)
+                    items.append(_plan_one(engine, index, request))
+                self._run_group(analyst, view_name, items, responses)
+        self._send_done(marks, responses, trace)
 
-    def serve_raw(self, analyst: str, entries, new_sql: dict) -> None:
+    def serve_raw(self, analyst: str, entries, new_sql: dict,
+                  trace_id: str | None) -> None:
         """Single-worker fast path: the *worker* runs the batch planner.
 
         With one worker every view routes to this process, so the parent
@@ -463,24 +507,31 @@ class _Worker:
         batch = [QueryRequest(self.sql_by_id[sid],
                               accuracy=accuracy, epsilon=epsilon)
                  for _index, sid, accuracy, epsilon in entries]
+        trace = self._batch_trace(trace_id)
         marks = self._begin_batch()
-        plan = plan_batch(engine, batch)
-        responses: list[QueryResponse | None] = [None] * len(batch)
-        groups: dict[str | None, list[PlannedQuery]] = {}
-        for item in plan.ordered:
-            groups.setdefault(item.view_name, []).append(item)
-        for view_name, items in groups.items():
-            self._run_group(analyst, view_name, items, responses)
-        self._send_done(marks, responses)
+        with tracing.activate(trace), \
+                tracing.span("worker.serve", worker=self.index,
+                             incarnation=self.incarnation):
+            with tracing.span("plan", queries=len(batch)):
+                plan = plan_batch(engine, batch)
+            responses: list[QueryResponse | None] = [None] * len(batch)
+            groups: dict[str | None, list[PlannedQuery]] = {}
+            for item in plan.ordered:
+                groups.setdefault(item.view_name, []).append(item)
+            for view_name, items in groups.items():
+                self._run_group(analyst, view_name, items, responses)
+        self._send_done(marks, responses, trace)
 
-    def _send_done(self, marks: tuple, responses: list) -> None:
+    def _send_done(self, marks: tuple, responses: list,
+                   trace: Trace | None = None) -> None:
         engine = self.engine
         mech = engine.mechanism
         log_base, fast0, stats, cache0 = marks
         touched = self.recorder.touched
         payload = {
-            "responses": [_pack_response(r) for r in responses
-                          if r is not None],
+            "responses": [_pack_response(r, self.index, self.incarnation)
+                          for r in responses if r is not None],
+            "spans": trace.export() if trace is not None else None,
             "committed": list(self.proxy.committed),
             "synopses": list(self.recorder.records.values()),
             "generation": {v: g for v, g in mech._generation.items()
@@ -721,17 +772,20 @@ class MpBackend:
             by_shard = {}
         tasks = sorted(by_shard.items())
         futures = []
+        # Dispatch-pool threads don't inherit this thread's context-var
+        # state; the captured trace context rides along explicitly.
+        trace_ctx = tracing.capture()
         if len(tasks) > 1:
             pool = self._ensure_pool()
             futures = [pool.submit(self._run_conversation,
                                    self._shards[index], analyst, sgroups,
-                                   responses)
+                                   responses, trace_ctx)
                        for index, sgroups in tasks[1:]]
         first_error: BaseException | None = None
         try:
             if tasks:
                 self._run_conversation(self._shards[tasks[0][0]], analyst,
-                                       tasks[0][1], responses)
+                                       tasks[0][1], responses, trace_ctx)
             for items in inline:
                 execute_planned_group(self.service.engine, analyst, None,
                                       items, responses)
@@ -797,17 +851,22 @@ class MpBackend:
                 compiled.strictest)
 
     def _run_conversation(self, shard: _Shard, analyst: str, sgroups,
-                          responses: list) -> None:
-        with shard.lock:
+                          responses: list, trace_ctx=None) -> None:
+        with tracing.activate_context(trace_ctx), \
+                tracing.span("mp_conversation", shard=shard.index), \
+                shard.lock:
             if self._closed:
                 self._fail_groups(shard, sgroups, responses,
                                   "service is closed")
                 return
             self.conversations += 1
+            trace = tracing.current_trace()
             payload, new_sql, new_plans = self._encode(shard, sgroups)
             try:
                 shard.conn.send(("batch", analyst, payload, new_sql,
-                                 new_plans))
+                                 new_plans,
+                                 trace.trace_id if trace is not None
+                                 else None))
                 self._pump(shard, responses)
             except (EOFError, OSError, BrokenPipeError):
                 self._handle_crash(shard, sgroups, responses)
@@ -858,12 +917,14 @@ class MpBackend:
                                         per_bin_target=None,
                                         is_group_by=False)
                            for i, request in enumerate(batch)])]
-        with shard.lock:
+        with tracing.span("mp_conversation", shard=0, raw=True), \
+                shard.lock:
             if self._closed:
                 self._fail_groups(shard, sgroups, responses,
                                   "service is closed")
                 return True
             self.conversations += 1
+            trace = tracing.current_trace()
             entries = []
             new_sql: dict[int, str] = {}
             with self._sql_lock:
@@ -879,7 +940,9 @@ class MpBackend:
                     entries.append((i, sid, request.accuracy,
                                     request.epsilon))
             try:
-                shard.conn.send(("raw", analyst, entries, new_sql))
+                shard.conn.send(("raw", analyst, entries, new_sql,
+                                 trace.trace_id if trace is not None
+                                 else None))
                 self._pump(shard, responses)
             except (EOFError, OSError, BrokenPipeError):
                 self._handle_crash(shard, sgroups, responses)
@@ -981,6 +1044,14 @@ class MpBackend:
                                   delegated_from=delegated)
         for packed in payload["responses"]:
             responses[packed[0]] = _unpack_response(packed)
+        # 4. Graft the worker's span export under this conversation's
+        #    span: the worker's clock origin is its batch receipt, which
+        #    the conversation span's start approximates on this side.
+        exported = payload.get("spans")
+        trace_ctx = tracing.capture()
+        if exported and trace_ctx is not None:
+            trace_ctx[0].graft(exported, trace_ctx[1],
+                               tracing.current_span_start())
         if hook_error is not None:
             raise hook_error
 

@@ -40,7 +40,7 @@ import contextlib
 import itertools
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.core.analyst import Analyst
@@ -48,7 +48,9 @@ from repro.core.engine import Answer, DProvDB
 from repro.core.synopsis import SynopsisStore
 from repro.datasets.base import DatasetBundle
 from repro.exceptions import ReproError, ServiceClosed, SessionClosed
+from repro.metrics import tracing
 from repro.metrics.runtime import CacheStats, CompensatedSum
+from repro.metrics.tracing import Tracer
 from repro.persistence.schema import provenance_summary
 from repro.service.cache import LruSynopsisStore
 from repro.service.executor import (
@@ -158,7 +160,8 @@ class QueryService:
                  shards: int = DEFAULT_NUM_SHARDS,
                  backend: str = "threaded",
                  workers: int | None = None,
-                 durability=None) -> None:
+                 durability=None,
+                 tracer: Tracer | None = None) -> None:
         if execution not in EXECUTION_MODES:
             raise ReproError(f"unknown execution mode {execution!r}; "
                              f"choose from {EXECUTION_MODES}")
@@ -199,6 +202,13 @@ class QueryService:
         engine.mechanism.store = LruSynopsisStore(max_cached_synopses,
                                                   self.cache_stats)
         self.stats = ServiceStats()
+        #: Request tracer (see :mod:`repro.metrics.tracing`).  Direct
+        #: in-process submissions mint their own trace here; the HTTP
+        #: daemon mints one per request up front (propagating the
+        #: client's id) and this tracer just keeps the ring.  Pass
+        #: ``Tracer(enabled=False)`` to strip tracing to a single
+        #: context-var read per span site.
+        self.tracer = tracer if tracer is not None else Tracer()
         self._backend = backend
         if backend == "mp":
             # Imported lazily: the mp backend needs POSIX fork +
@@ -245,13 +255,14 @@ class QueryService:
               backend: str = "threaded",
               workers: int | None = None,
               durability=None,
+              tracer: Tracer | None = None,
               **engine_kwargs) -> "QueryService":
         """Construct an engine and wrap it in one step."""
         return cls(DProvDB(bundle, analysts, epsilon, **engine_kwargs),
                    max_cached_synopses=max_cached_synopses,
                    execution=execution, shards=shards,
                    backend=backend, workers=workers,
-                   durability=durability)
+                   durability=durability, tracer=tracer)
 
     @property
     def engine(self) -> DProvDB:
@@ -402,6 +413,21 @@ class QueryService:
         return live
 
     # -- submission -----------------------------------------------------------
+    def _maybe_trace(self):
+        """Mint a trace for one submission, or ``None``.
+
+        ``None`` — the overwhelmingly common outcome (tracer disabled,
+        sampled out, or the caller already activated a trace that our
+        spans will nest under) — costs two attribute reads, a
+        context-var read, and a counter tick.  This is deliberately a
+        plain branch rather than a ``@contextmanager``: the generator
+        protocol alone costs ~3us per submission, which is ~12% of a
+        warm fast-lane answer.
+        """
+        if not self.tracer.enabled or tracing.current_trace() is not None:
+            return None
+        return self.tracer.start()
+
     def submit(self, session: Session | int, sql,
                accuracy: float | None = None,
                epsilon: float | None = None) -> QueryResponse:
@@ -409,8 +435,17 @@ class QueryService:
         failures — inspect :attr:`QueryResponse.error`."""
         self._check_open()
         request = QueryRequest(sql, accuracy=accuracy, epsilon=epsilon)
-        with self._critical_section():
-            return self._submit_one(session, request)
+        trace = self._maybe_trace()
+        if trace is None:
+            with self._critical_section():
+                return self._submit_one(session, request)
+        try:
+            with tracing.activate(trace), \
+                    tracing.span("service.submit"), \
+                    self._critical_section():
+                return self._submit_one(session, request)
+        finally:
+            self.tracer.finish(trace)
 
     def _submit_one(self, session: Session | int,
                     request: QueryRequest) -> QueryResponse:
@@ -419,7 +454,8 @@ class QueryService:
         if self._backend_impl is not None:
             # mp backend: route even a single query through the planner
             # so it lands on its view's worker process.
-            item = _plan_one(self._engine, 0, request)
+            with tracing.span("plan"):
+                item = _plan_one(self._engine, 0, request)
             responses: list[QueryResponse | None] = [None]
             self._backend_impl.execute_batch(
                 live.analyst, {item.view_name: [item]}, responses)
@@ -428,6 +464,7 @@ class QueryService:
             response = execute_request(self._engine, live.analyst, 0,
                                        request, is_group_by=None)
         elapsed = time.perf_counter() - started
+        response = self._seal_lineage(response)
         self._account(live, response, elapsed)
         return response
 
@@ -445,9 +482,20 @@ class QueryService:
         self._check_open()
         batch = [r if isinstance(r, QueryRequest) else QueryRequest(r)
                  for r in requests]
-        with self._critical_section():
-            return self._submit_batch_inner(
-                session, batch, parallel=self._execution == "sharded")
+        parallel = self._execution == "sharded"
+        trace = self._maybe_trace()
+        if trace is None:
+            with self._critical_section():
+                return self._submit_batch_inner(session, batch,
+                                                parallel=parallel)
+        try:
+            with tracing.activate(trace), \
+                    tracing.span("service.submit"), \
+                    self._critical_section():
+                return self._submit_batch_inner(session, batch,
+                                                parallel=parallel)
+        finally:
+            self.tracer.finish(trace)
 
     def _submit_batch_inner(self, session: Session | int,
                             batch: list[QueryRequest],
@@ -464,7 +512,8 @@ class QueryService:
                                                    responses):
             return self._account_batch(live, responses, started)
 
-        plan = plan_batch(self._engine, batch)
+        with tracing.span("plan", queries=len(batch)):
+            plan = plan_batch(self._engine, batch)
         groups: dict[str | None, list[PlannedQuery]] = {}
         for item in plan.ordered:
             groups.setdefault(item.view_name, []).append(item)
@@ -472,10 +521,17 @@ class QueryService:
         if self._backend_impl is not None:
             self._backend_impl.execute_batch(live.analyst, groups, responses)
         else:
+            # Shard-pool threads don't inherit this thread's context-var
+            # state, so the trace context rides into the closure.
+            trace_ctx = tracing.capture()
+
             def run_group(view_name: str | None,
                           items: list[PlannedQuery]) -> None:
-                execute_planned_group(self._engine, live.analyst, view_name,
-                                      items, responses)
+                with tracing.activate_context(trace_ctx), \
+                        tracing.span("shard_group", view=view_name,
+                                     items=len(items)):
+                    execute_planned_group(self._engine, live.analyst,
+                                          view_name, items, responses)
 
             if parallel and self.sharding is not None and len(groups) > 1:
                 self.sharding.run_groups(list(groups.items()), run_group)
@@ -489,12 +545,31 @@ class QueryService:
         elapsed = time.perf_counter() - started
         with self._stats_lock:
             for index in range(len(responses)):
-                self._account_locked(live, self._ensure_response(responses,
-                                                                 index))
+                response = self._seal_lineage(
+                    self._ensure_response(responses, index))
+                responses[index] = response
+                self._account_locked(live, response)
             live.batches += 1
             self.stats.batches += 1
             self.stats.busy_seconds += elapsed
         return responses  # type: ignore[return-value]
+
+    def _seal_lineage(self, response: QueryResponse) -> QueryResponse:
+        """Stamp the durable ledger's high-water mark into the lineage at
+        accounting time.
+
+        By now every charge this response caused has committed (the mp
+        parent commits brokered charges before unpacking responses; the
+        threaded path journals inside execution), so recovery to at least
+        this sequence provably includes the answer's charge.  Descriptive
+        only — nothing downstream reads it back.
+        """
+        lineage = response.lineage
+        if lineage is None or lineage.ledger_seq is not None or \
+                self.durability is None:
+            return response
+        return replace(response, lineage=lineage._replace(
+            ledger_seq=self.durability.ledger_seq))
 
     @staticmethod
     def _ensure_response(responses: list, index: int) -> QueryResponse:
@@ -623,6 +698,25 @@ class QueryService:
         registry.gauge("repro_view_routing_hit_rate",
                        "View-routing cache hit rate",
                        lambda: routing.routing_counters()["hit_rate"])
+        registry.gauge("repro_view_routing_total",
+                       "Memoized view-routing lookups, by result",
+                       lambda: {"hit": routing.routing_counters()["hits"],
+                                "miss":
+                                routing.routing_counters()["misses"]},
+                       expand_label="result")
+        registry.gauge("repro_view_routing_entries",
+                       "Entries in the view-routing memo",
+                       lambda: routing.routing_counters()["entries"])
+        registry.gauge("repro_view_routing_generation",
+                       "View-routing memo invalidation generation",
+                       lambda: routing.routing_counters()["generation"])
+        tracer = self.tracer
+        registry.gauge("repro_traces_started_total",
+                       "Request traces started",
+                       lambda: tracer.counters()["started"])
+        registry.gauge("repro_traces_retained",
+                       "Finished traces held in the /v1/trace ring",
+                       lambda: tracer.counters()["retained"])
         if self._backend_impl is not None:
             backend = self._backend_impl
             registry.gauge("repro_mp_workers",
@@ -637,6 +731,19 @@ class QueryService:
             registry.gauge("repro_mp_brokered_charges_total",
                            "Provenance charges brokered for workers",
                            lambda: backend.brokered_charges)
+            registry.gauge("repro_mp_charge_rejections_total",
+                           "Brokered charges the parent refused",
+                           lambda: backend.charge_rejections)
+            registry.gauge("repro_mp_conversations_total",
+                           "Batch conversations dispatched to workers",
+                           lambda: backend.conversations)
+            registry.gauge("repro_mp_worker_incarnation",
+                           "Per-shard worker incarnation (bumps on "
+                           "respawn)",
+                           lambda: {str(i): inc for i, inc in
+                                    enumerate(backend.describe()
+                                              ["incarnations"])},
+                           expand_label="shard")
         if self.sharding is not None:
             sharding = self.sharding
             registry.gauge("repro_shard_groups_total",
@@ -685,6 +792,7 @@ class QueryService:
             # Satellite of the mp work: memoized view-routing decisions
             # (per registry generation) with hit counters.
             "view_routing": self._engine.registry.routing_counters(),
+            "tracing": self.tracer.counters(),
             "closed": self._closed,
             # The same block the checkpoint file embeds — one builder,
             # one schema, so the live snapshot and the durable record

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.core.engine import Answer
 from repro.db.sql.ast import SelectStatement
@@ -22,6 +23,43 @@ class QueryRequest:
     epsilon: float | None = None
 
 
+class Lineage(NamedTuple):
+    """How an answer came to be — derived strictly from what already
+    happened, never steering execution.  A ``NamedTuple`` rather than a
+    frozen dataclass: one is built per answer on the hot path, and
+    C-level tuple construction keeps that measurably cheaper than ten
+    ``object.__setattr__`` calls.
+
+    ``source`` is one of ``fresh`` (new noisy release), ``cached``
+    (slow-path cache hit), ``fast_lane`` (lock-free memoized-answer
+    lane), ``rejected`` (constraint refusal), or ``error``.  A
+    fast-lane-disabled replay reports ``cached`` where the enabled run
+    reports ``fast_lane`` — both are non-fresh, and the bit-equality
+    invariant compares the fresh/non-fresh boolean, not the label.
+
+    ``ledger_seq`` is the durable ledger's high-water mark at accounting
+    time (recovery to at least this sequence includes this answer's
+    charge); ``None`` without durability.  ``worker``/``incarnation``
+    identify the mp worker process that computed the answer; ``None``
+    under the threaded backend.
+
+    Field order puts the seven per-answer fields first so the executor's
+    hot-path construction is fully positional (no kwargs dict); the
+    trailing three are stamped later by ``_replace``/the mp parent.
+    """
+
+    view: str | None = None
+    source: str = "fresh"
+    epsilon: float = 0.0
+    mechanism: str | None = None
+    composition: str | None = None
+    synopsis_generation: int = 0
+    trace_id: str | None = None
+    ledger_seq: int | None = None
+    worker: int | None = None
+    incarnation: int | None = None
+
+
 @dataclass(frozen=True)
 class QueryResponse:
     """Outcome of one request, in the batch's original position.
@@ -29,7 +67,9 @@ class QueryResponse:
     Scalar queries carry ``answer``; GROUP BY queries carry ``groups`` (the
     ``[(key, Answer), ...]`` list of the engine's full-domain semantics).
     Refused or failed queries carry ``error`` with ``rejected`` marking a
-    constraint refusal as opposed to a malformed request.
+    constraint refusal as opposed to a malformed request.  ``lineage``
+    explains the outcome; it defaults to ``None`` so pre-lineage
+    constructors and old wire clients are untouched.
     """
 
     index: int
@@ -37,6 +77,7 @@ class QueryResponse:
     groups: tuple[tuple[tuple, Answer], ...] | None = None
     error: str | None = None
     rejected: bool = False
+    lineage: Lineage | None = None
 
     @property
     def ok(self) -> bool:
@@ -93,4 +134,4 @@ class Session:
                 self.cache_hits += 1
 
 
-__all__ = ["QueryRequest", "QueryResponse", "Session"]
+__all__ = ["Lineage", "QueryRequest", "QueryResponse", "Session"]
