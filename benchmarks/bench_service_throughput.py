@@ -36,10 +36,12 @@ import argparse
 
 from repro.service.sharding import DEFAULT_NUM_SHARDS
 from repro.experiments.service_throughput import (
+    AUDIT_OVERHEAD_FLOOR,
     DURABILITY_OFF_FLOOR,
     FASTPATH_SPEEDUP_TARGET,
     SPEEDUP_TARGET,
     TRACE_OVERHEAD_FLOOR,
+    check_audit_overhead,
     check_durability_matches_baseline,
     check_fastpath_speedup,
     check_overload,
@@ -55,7 +57,9 @@ from repro.experiments.service_throughput import (
     format_remote_comparison,
     format_service_throughput,
     format_sharding_comparison,
+    format_audit_overhead,
     format_trace_overhead,
+    run_audit_overhead,
     run_durability_comparison,
     run_fastpath_comparison,
     run_overload_experiment,
@@ -263,6 +267,14 @@ def main(argv: list[str] | None = None) -> int:
                              "bit-identical answers plus the >= %.2fx "
                              "q/s floor (floor skipped at --tiny)"
                              % TRACE_OVERHEAD_FLOOR)
+    parser.add_argument("--audit-overhead", action="store_true",
+                        help="also replay the workload with the budget-"
+                             "audit tailer enabled vs disabled "
+                             "(interleaved cold pairs) and assert "
+                             "bit-identical answers, zero fast-lane "
+                             "audit events, plus the >= %.2fx fresh-path "
+                             "q/s floor (floor skipped at --tiny)"
+                             % AUDIT_OVERHEAD_FLOOR)
     parser.add_argument("--durability", action="store_true",
                         help="also measure the write-ahead ledger's "
                              "fsync-policy q/s tax (none vs "
@@ -500,6 +512,36 @@ def main(argv: list[str] | None = None) -> int:
             print(f"ok: tracing keeps >= {TRACE_OVERHEAD_FLOOR:.2f}x of "
                   f"the untraced q/s with bit-identical answers")
 
+    audit_overhead = None
+    if args.audit_overhead:
+        audit_kwargs = dict(seed=kwargs["seed"])
+        if args.shards is not None:
+            audit_kwargs["shards"] = args.shards
+        if args.tiny:
+            # Functional pass: the structural claims (bit-identical
+            # answers, zero fast-lane events) hold at any scale; only
+            # the q/s ratio needs the calibrated length.
+            audit_kwargs.update(num_rows=2000, num_analysts=4,
+                                queries_per_analyst=40, repeats=2)
+        audit_overhead = run_audit_overhead(**audit_kwargs)
+        print()
+        print(format_audit_overhead(audit_overhead))
+        if args.tiny:
+            assert audit_overhead["answers_bitwise_identical"], \
+                "the audit tailer changed the replayed answers (it " \
+                "must only observe committed charges)"
+            assert audit_overhead["charges_recorded"] > 0
+            assert audit_overhead["fast_lane_audit_events"] == 0, \
+                "memoized answers must never reach the audit tailer"
+            print("ok: the audit trail observed without steering — "
+                  "bit-identical answers, zero fast-lane events "
+                  "(q/s floor skipped at --tiny)")
+        else:
+            check_audit_overhead(audit_overhead)
+            print(f"ok: auditing keeps >= {AUDIT_OVERHEAD_FLOOR:.2f}x "
+                  f"of the audit-off fresh-path q/s with bit-identical "
+                  f"answers and zero fast-lane events")
+
     durability = None
     if args.durability:
         durability_kwargs = dict(DURABILITY_KWARGS)
@@ -527,6 +569,7 @@ def main(argv: list[str] | None = None) -> int:
                             fast_path=fast_path_comparable,
                             overload=overload, mp=mp_comparison,
                             trace_overhead=trace_overhead,
+                            audit_overhead=audit_overhead,
                             fastpath_same_window=fastpath_same_window)
         print(f"wrote {args.json}")
     return 0

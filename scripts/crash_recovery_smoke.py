@@ -11,8 +11,11 @@ Black-box, process-level, the durability sibling of ``server_smoke.py``:
    received);
 3. SIGKILL the daemon mid-workload — no drain, no checkpoint, quite
    possibly a torn final ledger append;
-4. restart with ``--recover permissive`` and read the recovered
-   accounting;
+4. restart with ``--recover permissive``, read the recovered
+   accounting, and run ``repro audit --verify`` against the live
+   daemon — the offline ledger fold must reproduce the recovered
+   totals exactly (the daemon holds the data-dir lock, so this also
+   exercises the audit's lockless read);
 5. replay the *acknowledged* prefix of each stream through an
    identically-built in-process service, and assert the sandwich::
 
@@ -232,6 +235,21 @@ def main() -> int:
         print("smoke: restarting with --recover permissive")
         daemon, url = start_daemon(data_dir, recover="permissive")
         recovered = epsilon_by_analyst(url)
+
+        # The audit fold must reproduce the recovered daemon's totals
+        # *exactly* from the same ledger chain.  The daemon holds the
+        # data-dir flock, so this also exercises the lockless fallback;
+        # --permissive matches the recovery mode across the torn tail.
+        print("smoke: repro audit --verify against the recovered daemon")
+        audit = subprocess.run(
+            [sys.executable, "-m", "repro", "audit", "--data-dir",
+             data_dir, "--permissive", "--verify", url],
+            capture_output=True, text=True)
+        sys.stdout.write("".join(f"  [audit] {line}\n" for line in
+                                 audit.stdout.splitlines()[:12]))
+        assert audit.returncode == 0, \
+            f"repro audit --verify failed ({audit.returncode}):\n" \
+            f"{audit.stdout}\n{audit.stderr}"
 
         floor = replay_inproc(bundle, {w.analyst: w.calls[:w.acked]
                                        for w in workers})

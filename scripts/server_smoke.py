@@ -160,12 +160,19 @@ def check_metrics(observer: RemoteAnalyst, snapshot: dict) -> None:
         float(service["submitted"]), metrics["repro_service_submitted_total"]
     assert metrics["repro_service_answered_total"][()] == \
         float(service["answered"]), metrics["repro_service_answered_total"]
+    # The spent counter family is labeled {analyst,view,mechanism};
+    # per-analyst totals are the sum over an analyst's cells (and are
+    # also exported directly as repro_epsilon_row_total).
     spent = metrics["repro_epsilon_spent_total"]
+    rows = metrics["repro_epsilon_row_total"]
     for analyst, epsilon in snapshot["provenance"][
             "epsilon_by_analyst"].items():
-        exported = spent.get((("analyst", analyst),), 0.0)
+        exported = sum(value for labels, value in spent.items()
+                       if dict(labels).get("analyst") == analyst)
         assert abs(exported - epsilon) < 1e-9, \
             f"metrics epsilon for {analyst}: {exported} != {epsilon}"
+        assert rows.get((("analyst", analyst),), 0.0) == epsilon, \
+            f"row total for {analyst} diverged from the snapshot"
     assert metrics["repro_open_sessions"][()] == 0.0
     assert metrics["repro_uptime_seconds"][()] > 0.0
     print(f"smoke: /v1/metrics matches the snapshot "

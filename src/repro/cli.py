@@ -30,7 +30,11 @@ journals every finalised charge to a write-ahead budget ledger
 (``--recover strict|permissive``), and checkpoints on drain;
 ``--tokens`` loads the auth table from a (non-world-readable) JSON
 file.  ``recover`` and ``checkpoint`` are the matching offline tools
-for a stopped daemon's data directory.
+for a stopped daemon's data directory; ``audit`` replays the same
+ledger chain into per-analyst spend timelines (and ``--verify``
+cross-checks a live daemon's ``/v1/metrics`` under exact equality),
+while ``monitor`` watches a running daemon and can alert on projected
+budget exhaustion (``--exhaustion-horizon``).
 """
 
 from __future__ import annotations
@@ -257,6 +261,25 @@ def _bench_service(args) -> str:
         )
         check_trace_overhead(trace_overhead)
         report += "\n\n" + format_trace_overhead(trace_overhead)
+    audit_overhead = None
+    if args.audit_overhead:
+        from repro.experiments.service_throughput import (
+            check_audit_overhead,
+            format_audit_overhead,
+            run_audit_overhead,
+        )
+
+        # Same calibration rule as --trace-overhead: the axis resolves
+        # a ~1% effect, so never shrink the replay below the floor.
+        audit_overhead = run_audit_overhead(
+            dataset=args.dataset, num_rows=args.rows,
+            num_analysts=args.analysts,
+            queries_per_analyst=max(args.queries, 240),
+            batch_size=args.batch_size, epsilon=args.epsilon,
+            seed=args.seed, shards=args.shards, workload=args.workload,
+        )
+        check_audit_overhead(audit_overhead)
+        report += "\n\n" + format_audit_overhead(audit_overhead)
     overload = None
     if args.overload:
         from repro.experiments.service_throughput import (
@@ -293,7 +316,8 @@ def _bench_service(args) -> str:
                             durability, profile=profile,
                             fast_path=fast_path_comparable,
                             overload=overload, mp=mp_comparison,
-                            trace_overhead=trace_overhead)
+                            trace_overhead=trace_overhead,
+                            audit_overhead=audit_overhead)
         report += f"\nwrote {args.json}"
     return report
 
@@ -360,7 +384,8 @@ def _serve(args) -> str:
                              request_timeout=args.request_timeout,
                              max_body_bytes=args.max_body,
                              tls_cert=args.tls_cert,
-                             tls_key=args.tls_key)
+                             tls_key=args.tls_key,
+                             log_json=args.log_json)
     except ReproError:
         service.close()
         raise
@@ -383,6 +408,11 @@ def _serve(args) -> str:
               "into planner batches under pressure", flush=True)
     print(f"  metrics: GET {server.url}/v1/metrics (Prometheus text)",
           flush=True)
+    print(f"  audit: GET {server.url}/v1/audit (spend timeline, burn "
+          f"rates, exhaustion forecasts)", flush=True)
+    if args.log_json:
+        print("  access log: one JSON line per request on stderr",
+              flush=True)
     if service.durability is not None:
         print(f"  durability: data_dir={args.data_dir} fsync={args.fsync} "
               f"recover={args.recover}", flush=True)
@@ -442,6 +472,7 @@ def _monitor(args) -> str:
         timeout=args.timeout, max_ledger_lag=args.max_ledger_lag,
         max_ledger_lag_growth=args.max_ledger_lag_growth,
         max_rate_limited_rate=args.max_429_rate,
+        exhaustion_horizon=args.exhaustion_horizon,
         webhook_path=args.webhook_file)
     if fired:
         raise ReproError(f"{fired} alert(s) fired")
@@ -511,6 +542,69 @@ def _checkpoint(args) -> str:
                   f"ledger compacted")
     finally:
         service.close()
+
+
+def _audit(args) -> str:
+    """Offline budget audit: fold a data dir's checkpoint + ledger chain
+    into per-(analyst, view) spend timelines.
+
+    Unlike ``recover``/``checkpoint`` this never rebuilds the dataset or
+    service — the ledger chain alone carries the accounting, so the fold
+    is cheap enough for cron.  Strictly read-only: no ledger writer
+    opens, a torn tail is not repaired.  With ``--verify`` the replayed
+    totals are cross-checked against a live daemon's ``/v1/metrics``
+    exposition under **exact** float equality (both sides execute the
+    identical op sequence; any mismatch is an accounting bug, not
+    rounding).
+    """
+    import json as json_module
+    import os
+
+    from repro.metrics.audit import (
+        fold_data_dir,
+        format_audit_report,
+        verify_report,
+    )
+
+    if not os.path.isdir(args.data_dir):
+        raise ReproError(f"data directory {args.data_dir} does not exist "
+                         f"(it is created by `repro serve --data-dir`)")
+    mode = "permissive" if args.permissive else "strict"
+    report = fold_data_dir(args.data_dir, mode=mode)
+    problems: list[str] = []
+    verified = False
+    if args.verify:
+        from repro.metrics.monitor import scrape
+
+        # The daemon keeps serving while we fold, so a charge can land
+        # between the fold and the scrape and make the totals diverge
+        # legitimately.  Re-fold against the moved ledger and re-scrape
+        # until a quiescent pair agrees (first try on an idle daemon).
+        for attempt in range(5):
+            families = scrape(args.verify, timeout=args.timeout)
+            problems = verify_report(report, families)
+            if not problems:
+                verified = True
+                break
+            report = fold_data_dir(args.data_dir, mode=mode)
+    if args.json:
+        payload = report.as_dict()
+        if args.verify:
+            payload["verify"] = {"url": args.verify,
+                                 "verified": verified,
+                                 "problems": problems}
+        out = json_module.dumps(payload, indent=2, sort_keys=True)
+    else:
+        out = format_audit_report(report, analyst=args.analyst,
+                                  limit=args.limit)
+        if verified:
+            out += (f"\n  verify: totals match {args.verify} "
+                    f"/v1/metrics exactly")
+    if problems:
+        raise ReproError(
+            "audit verification failed — replayed totals diverge from "
+            "the live daemon:\n  " + "\n  ".join(problems))
+    return out
 
 
 COMMANDS: dict[str, tuple[Callable, str]] = {
@@ -607,6 +701,13 @@ def build_parser() -> argparse.ArgumentParser:
                                   "on vs off, asserting bit-identical "
                                   "answers and q/s no worse than the "
                                   "0.95x floor")
+            cmd.add_argument("--audit-overhead", action="store_true",
+                             help="also replay the workload with the "
+                                  "budget-audit tailer on vs off, "
+                                  "asserting bit-identical answers, "
+                                  "fresh-path q/s no worse than the "
+                                  "0.95x floor, and zero audit events "
+                                  "on the memoized fast lane")
             cmd.add_argument("--profile", action="store_true",
                              help="cProfile one inline replay and print "
                                   "the top-20 cumulative hotspot table "
@@ -706,6 +807,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "serves https (TLS >= 1.2)")
     serve.add_argument("--tls-key", default=None, metavar="PEM",
                        help="TLS private key (pair of --tls-cert)")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit one structured JSON access-log line "
+                            "per request to stderr (route, status, "
+                            "latency, analyst, trace id); the default "
+                            "human format is unchanged without it")
     serve.add_argument("--ledger-segment-bytes", type=int, default=None,
                        metavar="BYTES",
                        help="with --data-dir: seal the active ledger "
@@ -729,6 +835,37 @@ def build_parser() -> argparse.ArgumentParser:
     checkpoint.add_argument("--permissive", action="store_true",
                             help="recover past a torn ledger tail before "
                                  "folding")
+
+    audit = sub.add_parser(
+        "audit", help="offline budget audit: replay a --data-dir's "
+                      "checkpoint + ledger chain into per-analyst/view "
+                      "spend timelines; --verify cross-checks a live "
+                      "daemon's /v1/metrics under exact equality")
+    audit.add_argument("--data-dir", required=True, metavar="PATH",
+                       help="durability directory to audit (write-ahead "
+                            "budget ledger + checkpoint)")
+    audit.add_argument("--permissive", action="store_true",
+                       help="audit past a torn ledger tail (matching "
+                            "permissive recovery: over-counts at most "
+                            "the unacknowledged tail)")
+    audit.add_argument("--analyst", default=None, metavar="NAME",
+                       help="restrict the report to one analyst")
+    audit.add_argument("--limit", type=int, default=20, metavar="N",
+                       help="newest timeline events to print "
+                            "(default: 20)")
+    audit.add_argument("--json", action="store_true",
+                       help="emit the full machine-readable report "
+                            "(cells, row totals, ordered events) "
+                            "instead of the human table")
+    audit.add_argument("--verify", default=None, metavar="URL",
+                       help="scrape URL's /v1/metrics and require the "
+                            "replayed totals to match exactly (nonzero "
+                            "exit on any divergence); works against a "
+                            "live daemon via the lockless fold")
+    audit.add_argument("--timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="per-scrape HTTP timeout for --verify "
+                            "(default: 5)")
 
     monitor = sub.add_parser(
         "monitor", help="heartbeat watcher: scrape a daemon's "
@@ -763,6 +900,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="alert when admission-control refusals "
                               "exceed this rate between scrapes "
                               "(default: 5/s)")
+    monitor.add_argument("--exhaustion-horizon", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="alert when any analyst's projected "
+                              "seconds-to-budget-exhaustion (the audit "
+                              "trail's repro_exhaustion_seconds gauge) "
+                              "falls below this horizon (default: 0 = "
+                              "disabled)")
     monitor.add_argument("--webhook-file", default=None, metavar="PATH",
                          help="append each alert as a JSON line to this "
                               "file (a forwarder can tail it into a "
@@ -775,6 +919,7 @@ _DAEMON_COMMANDS = {
     "recover": _recover,
     "checkpoint": _checkpoint,
     "monitor": _monitor,
+    "audit": _audit,
 }
 
 
@@ -790,6 +935,8 @@ def main(argv: list[str] | None = None) -> int:
               "checkpoint")
         print("monitor  heartbeat watcher over a running daemon's "
               "/v1/metrics (alerts + nonzero exit)")
+        print("audit    offline budget audit of a durability data-dir "
+              "(spend timelines; --verify cross-checks a live daemon)")
         return 0
     if getattr(args, "rows", None) == 0:
         args.rows = None

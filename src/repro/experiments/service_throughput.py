@@ -124,6 +124,11 @@ FASTPATH_SAME_WINDOW_TARGET = 1.2
 #: untraced hot path.
 TRACE_OVERHEAD_FLOOR = 0.95
 
+#: ``--audit-overhead`` q/s floor: the audit tailer may cost at most 5%
+#: on the fresh (charging) path.  The fast lane is gated structurally —
+#: zero audit charge events on a warm replay — not by a stopwatch.
+AUDIT_OVERHEAD_FLOOR = 0.95
+
 #: The value is the *measured* single-CPU floor, not an aspiration.
 #: On the 1-core reference container the boundary cost — request
 #: forwarding, brokered charges, the end-of-batch fold of synopses,
@@ -712,6 +717,140 @@ def format_trace_overhead(overhead: dict) -> str:
             f"{overhead['traces_started']} traces recorded")
 
 
+def run_audit_overhead(dataset: str = "adult",
+                       num_rows: int | None = 12000,
+                       num_analysts: int = 8,
+                       queries_per_analyst: int = 240,
+                       batch_size: int = 32,
+                       epsilon: float = 12.0,
+                       accuracy: float = 40000.0,
+                       seed: int = 0,
+                       shards: int = DEFAULT_NUM_SHARDS,
+                       workload: str = "mixed",
+                       view_width: int = 2,
+                       repeats: int = 5) -> dict:
+    """The ``--audit-overhead`` axis: audit tailer on vs off.
+
+    The tailer only runs where a charge commits, so the cost under test
+    lives on the *fresh* path — every timed slice is a cold replay
+    through a freshly built, identically seeded service, alternating
+    off/on so the paired estimator doesn't confound the axis with
+    host drift.  Answers must be bitwise identical across the axes:
+    the tailer observes committed charges, it never steers them.  The
+    same two one-sided estimators as the tracing gate are used (median
+    of adjacent-slice ratios, ratio of per-axis best slices; cgroup
+    throttling bursts only ever *depress* a slice, so max() of the two
+    rejects whichever a burst hit).
+
+    The fast lane is gated structurally rather than by a stopwatch: a
+    warm replay of the same workload serves every answer from the
+    memoized hot path, never charges, and therefore must leave the
+    audit trail's charge-event count untouched — the tailer's warm-path
+    cost is exactly the work it is never asked to do.
+    """
+    seed = int(seed)
+    bundle = _load_bundle(dataset, num_rows, seed)
+    analysts = make_service_analysts(num_analysts)
+    attribute_sets, streams = _build_workload(
+        bundle, analysts, queries_per_analyst, accuracy, workload,
+        view_width, seed)
+
+    def build(axis: str) -> QueryService:
+        return _build_service(
+            bundle, analysts, epsilon, "additive", 256, "sharded",
+            shards, seed, attribute_sets, audit=(axis == "on"))
+
+    qps = {"off": 0.0, "on": 0.0}
+    warm_qps = {"off": 0.0, "on": 0.0}
+    slice_ratios: list[float] = []
+    answer_traces: dict[str, list] = {}
+    charges_recorded = 0
+    fast_lane_events: int | None = None
+    for slice_no in range(max(1, repeats)):
+        pair: dict[str, float] = {}
+        for axis in ("off", "on"):
+            service = build(axis)
+            try:
+                result, trace = run_sequential_replay(
+                    service, analysts, streams, batch_size=batch_size)
+                pair[axis] = result.queries_per_second
+                qps[axis] = max(qps[axis], pair[axis])
+                if slice_no == 0:
+                    answer_traces[axis] = trace
+                    before = (service.audit.describe()["charges"]
+                              if service.audit is not None else 0)
+                    warm, _ = run_sequential_replay(
+                        service, analysts, streams,
+                        batch_size=batch_size)
+                    warm_qps[axis] = warm.queries_per_second
+                    after = (service.audit.describe()["charges"]
+                             if service.audit is not None else 0)
+                    if axis == "on":
+                        fast_lane_events = after - before
+                if axis == "on" and service.audit is not None:
+                    charges_recorded = max(
+                        charges_recorded,
+                        service.audit.describe()["charges"])
+            finally:
+                service.close()
+        if pair["off"] > 0:
+            slice_ratios.append(pair["on"] / pair["off"])
+    median_paired = statistics.median(slice_ratios) if slice_ratios \
+        else None
+    best_of = qps["on"] / qps["off"] if qps["off"] > 0 else None
+    candidates = [r for r in (median_paired, best_of) if r is not None]
+    return {
+        "queries_per_second": qps,
+        "warm_queries_per_second": warm_qps,
+        "ratio": max(candidates) if candidates else None,
+        "median_paired_ratio": median_paired,
+        "best_of_ratio": best_of,
+        "slice_ratios": slice_ratios,
+        "floor": AUDIT_OVERHEAD_FLOOR,
+        "answers_bitwise_identical":
+            answer_traces["on"] == answer_traces["off"],
+        "charges_recorded": charges_recorded,
+        "fast_lane_audit_events": fast_lane_events,
+    }
+
+
+def check_audit_overhead(overhead: dict,
+                         floor: float = AUDIT_OVERHEAD_FLOOR) -> None:
+    """Assert the audit acceptance bar: bit-identical answers with the
+    tailer on or off, zero tailer events on the fast lane, and fresh-path
+    q/s no worse than ``floor`` times the audit-off replay."""
+    assert overhead["answers_bitwise_identical"], \
+        "the audit tailer changed the replayed answers (it must only " \
+        "observe committed charges)"
+    assert overhead["charges_recorded"] > 0, \
+        "the audit-enabled run recorded no charge events"
+    assert overhead["fast_lane_audit_events"] == 0, \
+        (f"a warm (fast-lane) replay added "
+         f"{overhead['fast_lane_audit_events']} audit charge events; "
+         f"memoized answers must never reach the tailer")
+    ratio = overhead["ratio"]
+    assert ratio is not None and ratio >= floor, \
+        (f"audit-enabled run reached only {ratio:.3f}x of the "
+         f"audit-off fresh-path q/s (floor {floor:.2f}x)")
+
+
+def format_audit_overhead(overhead: dict) -> str:
+    """The ``--audit-overhead`` report block."""
+    qps = overhead["queries_per_second"]
+    warm = overhead["warm_queries_per_second"]
+    return (f"audit overhead (fresh path): on={qps['on']:.0f} q/s "
+            f"off={qps['off']:.0f} q/s "
+            f"ratio={overhead['ratio']:.3f}x (floor "
+            f"{overhead['floor']:.2f}x; "
+            f"median-paired {overhead['median_paired_ratio']:.3f}, "
+            f"best-of {overhead['best_of_ratio']:.3f}); "
+            f"answers {'bitwise identical' if overhead['answers_bitwise_identical'] else 'DIVERGED'}; "
+            f"{overhead['charges_recorded']} charges audited; "
+            f"fast lane: on={warm['on']:.0f} q/s off={warm['off']:.0f} "
+            f"q/s with {overhead['fast_lane_audit_events']} audit "
+            f"events (structurally zero)")
+
+
 def mp_speedup(results: list[ThroughputResult]) -> float | None:
     """Best mp q/s over best threaded q/s (``None`` if either absent)."""
     mp = [r.queries_per_second for r in results if r.backend == "mp"]
@@ -1217,6 +1356,7 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
                         overload: tuple[OverloadResult, dict] | None = None,
                         mp: tuple[list[ThroughputResult], dict] | None = None,
                         trace_overhead: dict | None = None,
+                        audit_overhead: dict | None = None,
                         fastpath_same_window: dict | None = None
                         ) -> None:
     """Write ``BENCH_service_throughput.json``: per-run rows + summary.
@@ -1314,6 +1454,8 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
         }
     if trace_overhead:
         summary["trace_overhead"] = dict(trace_overhead)
+    if audit_overhead:
+        summary["audit_overhead"] = dict(audit_overhead)
     if durability:
         tax = durability_tax(durability)
         best_by_axis = best_qps_by_axis(durability)
@@ -1336,6 +1478,7 @@ def write_json_artifact(path: str, results: list[ThroughputResult],
 
 
 __all__ = [
+    "AUDIT_OVERHEAD_FLOOR",
     "DURABILITY_AXES",
     "DURABILITY_OFF_FLOOR",
     "FASTPATH_BASELINE_CONFIG",
@@ -1349,6 +1492,7 @@ __all__ = [
     "TRACE_OVERHEAD_FLOOR",
     "WORKLOADS",
     "best_qps_by_axis",
+    "check_audit_overhead",
     "check_durability_matches_baseline",
     "check_fastpath_speedup",
     "check_mp_matches_threaded",
@@ -1358,6 +1502,7 @@ __all__ = [
     "durability_tax",
     "fastpath_comparable",
     "fastpath_speedup",
+    "format_audit_overhead",
     "format_durability_comparison",
     "format_fastpath_comparison",
     "format_mp_comparison",
@@ -1370,6 +1515,7 @@ __all__ = [
     "make_service_analysts",
     "mp_speedup",
     "remote_overhead",
+    "run_audit_overhead",
     "run_durability_comparison",
     "run_fastpath_comparison",
     "run_mp_comparison",

@@ -1,0 +1,631 @@
+"""Privacy-budget audit trail: ledger fold, burn rates, forecasts.
+
+DProvDB's contribution is *accounting* — yet totals alone don't tell an
+operator how the budget got spent or when an analyst will hit their cap.
+This module derives that story from state the system already keeps:
+
+:func:`fold_data_dir` (offline)
+    Replays a durability data directory — checkpoint ⊕ sealed segments ⊕
+    active ledger tail — into an :class:`AuditReport`: an ordered spend
+    timeline plus per-(analyst, view, mechanism) cumulative totals.  The
+    fold mirrors :func:`repro.persistence.recovery.recover_service`'s
+    arithmetic *exactly* (checkpoint entries in stored order, then tail
+    records in sequence order, then the permissive-mode salvage), so its
+    totals are bit-for-bit equal to what a recovering daemon would serve
+    — the property ``repro audit --verify`` asserts against a live
+    ``/v1/metrics``.  The fold takes the data-dir flock when free; when a
+    live daemon holds it, it falls back to a lockless optimistic read
+    that re-checks the checkpoint sequence after reading the chain and
+    retries if a concurrent compaction moved it (reading the checkpoint
+    and the ledger across a compaction would under-count).
+
+:class:`AuditTrail` (live)
+    An incremental tailer the service attaches *after* durability binds:
+    it wraps ``ProvenanceTable.on_commit`` / ``DelegationManager
+    .on_event`` in a fan-out (durability journals first — it assigns the
+    sequence number — then the trail records; ``try/finally`` keeps the
+    trail aligned with the in-memory table even when the journal append
+    raises).  Hooks fire outside the provenance/delegation locks, the
+    same discipline durability relies on.  The trail maintains a bounded
+    in-RAM event ring (the ``GET /v1/audit`` pages), per-analyst sliding
+    burn-rate windows (ε/min), and linear exhaustion forecasts
+    (seconds-to-cap per analyst / coalition / table, ``inf`` when idle).
+    The fast lane never charges, so it never enters the trail — the
+    tailer's hot-path cost on memoized answers is structurally zero.
+
+The cumulative ``repro_epsilon_spent_total{analyst,view,mechanism}``
+counter family is deliberately *not* double-booked in the trail: the
+scrape callback reads the provenance table itself (see
+``QueryService.bind_telemetry``), so the wire can never disagree with
+the accounting it reports.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+import weakref
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import DurabilityError, RecoveryError
+from repro.persistence.checkpoint import read_checkpoint
+from repro.persistence.manager import (
+    acquire_data_dir_lock,
+    release_data_dir_lock,
+)
+from repro.persistence.recovery import (
+    CHECKPOINT_FILE,
+    RECOVERY_MODES,
+    read_accounting_state,
+)
+
+#: Sliding burn-rate windows (seconds) the live tailer maintains.  The
+#: shortest drives the exhaustion forecasts (most responsive to the
+#: current spend pattern); all are exported as labelled gauge series.
+DEFAULT_WINDOWS = (60.0, 300.0)
+
+#: How many recent events ``/v1/audit`` retains in RAM.
+DEFAULT_RING = 2048
+
+#: Hard per-analyst cap on retained window samples: bounds memory under
+#: pathological charge rates at the cost of under-counting the burn rate
+#: (never the budget — windows are telemetry, the ledger is accounting).
+_MAX_WINDOW_EVENTS = 65536
+
+#: How many times the lockless fold retries when a live daemon keeps
+#: compacting between the checkpoint read and the chain read.
+_LOCKLESS_RETRIES = 8
+
+
+def classify_charge(fields) -> str:
+    """Mechanism label for one charge record (or commit-hook ``meta``).
+
+    Every zCDP charge carries ``rho``, every additive charge carries
+    ``global_after``, and vanilla charges carry neither — invariants of
+    the three mechanisms' single charge sites, so this classification
+    agrees exactly with ``engine.mechanism.name`` for every record the
+    engine ever journals.
+    """
+    if fields.get("rho") is not None:
+        return "vanilla_zcdp"
+    if fields.get("global_after") is not None:
+        return "additive"
+    return "vanilla"
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """One offline fold of a data directory into a spend timeline."""
+
+    data_dir: str
+    mode: str
+    locked: bool
+    checkpoint_found: bool
+    checkpoint_seq: int
+    checkpoint_ts: float | None
+    mechanism: str | None
+    torn_tail: bool
+    salvaged_charges: int
+    records_seen: int
+    charges: int
+    sessions: int
+    grants: int
+    last_seq: int
+    #: (analyst, view, mechanism) -> cumulative epsilon, folded with the
+    #: exact float-op order recovery uses (bitwise comparable to a live
+    #: table rebuilt from the same chain).
+    cells: dict = field(default_factory=dict)
+    row_totals: dict = field(default_factory=dict)
+    table_total: float = 0.0
+    #: Ordered post-checkpoint timeline: charge / session / grant dicts.
+    events: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "data_dir": self.data_dir, "mode": self.mode,
+            "locked": self.locked,
+            "checkpoint_found": self.checkpoint_found,
+            "checkpoint_seq": self.checkpoint_seq,
+            "checkpoint_ts": self.checkpoint_ts,
+            "mechanism": self.mechanism,
+            "torn_tail": self.torn_tail,
+            "salvaged_charges": self.salvaged_charges,
+            "records_seen": self.records_seen,
+            "charges": self.charges, "sessions": self.sessions,
+            "grants": self.grants, "last_seq": self.last_seq,
+            "cells": [{"analyst": analyst, "view": view,
+                       "mechanism": mechanism, "eps": eps}
+                      for (analyst, view, mechanism), eps
+                      in sorted(self.cells.items())],
+            "row_totals": dict(sorted(self.row_totals.items())),
+            "table_total": self.table_total,
+            "events": list(self.events),
+        }
+
+
+def fold_data_dir(data_dir: str | Path, mode: str = "strict") -> AuditReport:
+    """Fold ``data_dir`` into an :class:`AuditReport`; see module doc.
+
+    Read-only: takes the data-dir flock when free (consistent view), and
+    degrades to the lockless optimistic read when a live daemon holds it
+    — the ``--verify`` deployment mode.  ``mode`` follows recovery:
+    ``strict`` refuses a torn tail, ``permissive`` salvages past it;
+    interior corruption is refused in both.
+    """
+    if mode not in RECOVERY_MODES:
+        raise RecoveryError(f"unknown audit mode {mode!r}; "
+                            f"choose from {RECOVERY_MODES}")
+    data_dir = Path(data_dir)
+    if not data_dir.is_dir():
+        raise DurabilityError(f"data directory {data_dir} does not exist")
+    try:
+        lock = acquire_data_dir_lock(data_dir)
+    except DurabilityError:
+        lock = None  # a live daemon owns it: lockless optimistic read
+    try:
+        if lock is not None:
+            checkpoint, records, tail = read_accounting_state(data_dir)
+            return _fold(data_dir, mode, checkpoint, records, tail,
+                         locked=True)
+        for _ in range(_LOCKLESS_RETRIES):
+            checkpoint, records, tail = read_accounting_state(data_dir)
+            recheck = read_checkpoint(data_dir / CHECKPOINT_FILE)
+            before = checkpoint["ledger_seq"] if checkpoint else 0
+            after = recheck["ledger_seq"] if recheck else 0
+            if before == after:
+                return _fold(data_dir, mode, checkpoint, records, tail,
+                             locked=False)
+        raise DurabilityError(
+            f"data directory {data_dir} kept compacting under the "
+            f"lockless read; retry when the daemon is less busy")
+    finally:
+        release_data_dir_lock(lock)
+
+
+def _fold(data_dir: Path, mode: str, checkpoint: dict | None,
+          records: list, tail, *, locked: bool) -> AuditReport:
+    """The pure fold: recovery's replay rules, accounting-only.
+
+    Float discipline: one running accumulator per cell / row / table,
+    advanced in exactly the order ``restore_engine_state`` +
+    ``recover_service`` advance the live table — checkpoint entries in
+    stored (analyst-major) order, then records in sequence order, then
+    the salvage.  IEEE addition is order-sensitive; matching the order
+    is what makes ``--verify``'s exact-equality contract possible.
+    """
+    rows: dict[str, float] = {}
+    cells: dict[tuple, float] = {}
+    table = 0.0
+    events: list[dict] = []
+
+    checkpoint_seq = 0
+    checkpoint_ts = None
+    mechanism = None
+    if checkpoint is not None:
+        checkpoint_seq = int(checkpoint["ledger_seq"])
+        checkpoint_ts = checkpoint.get("created_ts")
+        engine_state = checkpoint.get("engine", {})
+        mechanism = engine_state.get("mechanism")
+        for analyst, row in engine_state.get("provenance", {}).items():
+            for view, eps in row.items():
+                eps = float(eps)
+                rows[analyst] = rows.get(analyst, 0.0) + eps
+                key = (analyst, view, mechanism)
+                cells[key] = cells.get(key, 0.0) + eps
+                table += eps
+
+    if tail.status == "corrupt":
+        raise RecoveryError(
+            f"ledger in {data_dir} line {tail.line_no} is damaged "
+            f"({tail.reason}) but valid records follow — interior "
+            f"corruption; refusing to audit (skipping the record would "
+            f"under-count spent budget)")
+    torn = tail.status == "torn"
+    if torn and mode != "permissive":
+        raise RecoveryError(
+            f"ledger in {data_dir} has a torn tail at line "
+            f"{tail.line_no} ({tail.reason}); rerun with --permissive "
+            f"to audit past it (matching permissive recovery)")
+
+    charges = sessions = grants = 0
+    last_seq = checkpoint_seq
+
+    def apply_charge(record: dict, salvaged: bool = False) -> None:
+        nonlocal table, charges
+        analyst = record["analyst"]
+        view = record["view"]
+        eps = float(record["eps"])
+        label = classify_charge(record)
+        rows[analyst] = rows.get(analyst, 0.0) + eps
+        key = (analyst, view, label)
+        cells[key] = cells.get(key, 0.0) + eps
+        table += eps
+        charges += 1
+        event = {"seq": record["seq"], "ts": record.get("ts"),
+                 "kind": "charge", "analyst": analyst, "view": view,
+                 "eps": eps, "mode": record.get("mode"),
+                 "mechanism": label, "cumulative": rows[analyst]}
+        if salvaged:
+            event["salvaged"] = True
+        events.append(event)
+
+    for record in records:
+        last_seq = max(last_seq, record["seq"])
+        if record["seq"] <= checkpoint_seq:
+            continue  # already folded into the checkpoint
+        kind = record["t"]
+        if kind == "charge":
+            apply_charge(record)
+        elif kind == "grant":
+            grants += 1
+            events.append({
+                "seq": record["seq"], "ts": record.get("ts"),
+                "kind": "grant", "event": record.get("event"),
+                "grant_id": record.get("grant_id"),
+                "grantor": record.get("grantor"),
+                "grantee": record.get("grantee"),
+                "analyst": record.get("grantee"),
+                "eps": (float(record["eps"])
+                        if record.get("eps") is not None else None)})
+        else:
+            sessions += 1
+            events.append({
+                "seq": record["seq"], "ts": record.get("ts"),
+                "kind": "session", "event": record.get("event"),
+                "session_id": record.get("session_id"),
+                "analyst": record.get("analyst")})
+
+    salvaged_charges = 0
+    if torn and tail.salvage is not None:
+        seq = tail.salvage["seq"]
+        if seq > checkpoint_seq:
+            apply_charge(tail.salvage, salvaged=True)
+            salvaged_charges = 1
+            last_seq = max(last_seq, seq)
+
+    return AuditReport(
+        data_dir=str(data_dir), mode=mode, locked=locked,
+        checkpoint_found=checkpoint is not None,
+        checkpoint_seq=checkpoint_seq, checkpoint_ts=checkpoint_ts,
+        mechanism=mechanism, torn_tail=torn,
+        salvaged_charges=salvaged_charges,
+        records_seen=len(records) + salvaged_charges,
+        charges=charges, sessions=sessions, grants=grants,
+        last_seq=last_seq, cells=cells, row_totals=rows,
+        table_total=table, events=events)
+
+
+def format_audit_report(report: AuditReport, *, analyst: str | None = None,
+                        limit: int = 20) -> str:
+    """Operator-facing table: totals first, then the newest events."""
+    lines = [f"audit ({report.mode}) of {report.data_dir} "
+             f"[{'flock' if report.locked else 'lockless'}]:"]
+    checkpoint = (f"seq <= {report.checkpoint_seq}"
+                  if report.checkpoint_found else "none")
+    lines.append(f"  checkpoint: {checkpoint}")
+    lines.append(f"  ledger: {report.records_seen} record(s) — "
+                 f"{report.charges} charge(s), {report.sessions} "
+                 f"session event(s), {report.grants} grant event(s)")
+    if report.torn_tail:
+        lines.append(f"  torn tail: yes — {report.salvaged_charges} "
+                     f"charge(s) salvaged")
+    names = [analyst] if analyst is not None else sorted(report.row_totals)
+    for name in names:
+        lines.append(f"  {name}: eps {report.row_totals.get(name, 0.0):.6f}")
+        for (owner, view, mechanism), eps in sorted(report.cells.items()):
+            if owner == name:
+                lines.append(f"    {view} [{mechanism}]: eps {eps:.6f}")
+    lines.append(f"  table total: {report.table_total:.6f}")
+    shown = [event for event in report.events
+             if analyst is None or event.get("analyst") == analyst]
+    if shown:
+        lines.append(f"  newest events (of {len(shown)}):")
+        for event in shown[-max(0, limit):]:
+            if event["kind"] == "charge":
+                lines.append(
+                    f"    seq {event['seq']}: charge {event['analyst']} "
+                    f"{event['view']} eps {event['eps']:.6f} "
+                    f"[{event['mechanism']}] -> {event['cumulative']:.6f}")
+            elif event["kind"] == "session":
+                lines.append(
+                    f"    seq {event['seq']}: session {event['event']} "
+                    f"#{event['session_id']} ({event['analyst']})")
+            else:
+                lines.append(
+                    f"    seq {event['seq']}: grant {event['event']} "
+                    f"#{event['grant_id']}")
+    return "\n".join(lines)
+
+
+def verify_report(report: AuditReport, families: dict) -> list[str]:
+    """Cross-check a fold against a live ``/v1/metrics`` scrape.
+
+    ``families`` is :func:`repro.metrics.telemetry.parse_exposition`
+    output.  Returns human-readable mismatch lines (empty == verified).
+    Every comparison is **exact** float equality: both sides execute the
+    identical op sequence and ``repr(float)`` round-trips through the
+    exposition, so any difference means the wire changed accounting.
+    """
+    problems: list[str] = []
+    live_cells = {}
+    for labels, value in families.get("repro_epsilon_spent_total",
+                                      {}).items():
+        by = dict(labels)
+        live_cells[(by.get("analyst"), by.get("view"),
+                    by.get("mechanism"))] = value
+    for key in sorted(set(live_cells) | set(report.cells)):
+        mine = report.cells.get(key, 0.0)
+        theirs = live_cells.get(key, 0.0)
+        if mine != theirs:
+            problems.append(
+                f"cell {key}: replay {mine!r} != live {theirs!r}")
+
+    live_rows = {dict(labels).get("analyst"): value
+                 for labels, value in
+                 families.get("repro_epsilon_row_total", {}).items()}
+    for name in sorted(set(live_rows) | set(report.row_totals)):
+        mine = report.row_totals.get(name, 0.0)
+        theirs = live_rows.get(name, 0.0)
+        if mine != theirs:
+            problems.append(
+                f"analyst {name!r}: replay {mine!r} != live {theirs!r}")
+
+    live_table = families.get("repro_epsilon_table_total", {})
+    if live_table:
+        theirs = next(iter(live_table.values()))
+        if report.table_total != theirs:
+            problems.append(f"table total: replay {report.table_total!r} "
+                            f"!= live {theirs!r}")
+    else:
+        problems.append("live metrics carry no repro_epsilon_table_total "
+                        "gauge; is the URL a repro daemon?")
+    return problems
+
+
+class AuditTrail:
+    """Live budget tailer: event ring, burn windows, forecasts.
+
+    One instance per :class:`~repro.service.service.QueryService`;
+    :meth:`attach` wires it behind whatever hooks are already installed
+    (durability's, or none).  All mutators take one small internal lock
+    — the commit-hook path is a handful of dict/deque updates, cheap
+    against the noise-release work a fresh charge already paid for.
+
+    ``time_fn`` is injectable so burn-window tests are deterministic.
+    """
+
+    def __init__(self, engine, durability=None, *,
+                 windows=DEFAULT_WINDOWS, ring: int = DEFAULT_RING,
+                 time_fn=time.time) -> None:
+        spans = tuple(sorted(float(w) for w in windows))
+        if not spans or any(w <= 0 for w in spans):
+            raise ValueError(f"burn windows must be positive, got {windows}")
+        # Weakly held: attach() installs closures over this trail into
+        # ``provenance.on_commit`` — a strong engine reference here
+        # would close the cycle trail -> engine -> provenance -> trail
+        # and keep a dropped service (and its durability flock) alive
+        # until a mark-and-sweep pass instead of dying by refcount.
+        self._engine_ref = weakref.ref(engine)
+        self.durability = durability
+        self.windows = spans
+        self._time = time_fn
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=max(1, int(ring)))
+        self._event_seq = 0
+        self._spend: dict[str, deque] = {}
+        self._charges = 0
+        self._sessions = 0
+        self._grants = 0
+
+    @property
+    def engine(self):
+        """The audited engine (``None`` once its service is gone)."""
+        return self._engine_ref()
+
+    # -- wiring ----------------------------------------------------------------
+    def attach(self, service) -> None:
+        """Fan the provenance/delegation hooks out through this trail.
+
+        Must run *after* durability binds (recovery refuses to replay
+        through live hooks, and the ledger append should keep assigning
+        the sequence number before the trail reads it).  ``try/finally``
+        records the charge even when the prior hook raises: the
+        in-memory table already committed it, and the trail must never
+        under-report relative to the table it narrates.
+        """
+        provenance = service.engine.provenance
+        delegations = service.engine.delegations
+
+        prior_commit = provenance.on_commit
+
+        def _commit(analyst, view, epsilon, mode, meta,
+                    _prior=prior_commit, _record=self.record_charge):
+            if _prior is None:
+                _record(analyst, view, epsilon, mode, meta)
+                return
+            try:
+                _prior(analyst, view, epsilon, mode, meta)
+            finally:
+                _record(analyst, view, epsilon, mode, meta)
+
+        provenance.on_commit = _commit
+
+        prior_event = delegations.on_event
+
+        def _event(event, payload,
+                   _prior=prior_event, _record=self.record_grant):
+            if _prior is None:
+                _record(event, payload)
+                return
+            try:
+                _prior(event, payload)
+            finally:
+                _record(event, payload)
+
+        delegations.on_event = _event
+
+    # -- mutators (hot path for charges) ---------------------------------------
+    def record_charge(self, analyst: str, view: str, epsilon: float,
+                      mode: str, meta=None) -> None:
+        now = self._time()
+        epsilon = float(epsilon)
+        mechanism = classify_charge(meta or {})
+        ledger_seq = (self.durability.ledger_seq
+                      if self.durability is not None else None)
+        engine = self.engine
+        cumulative = (engine.provenance.row_total(analyst)
+                      if engine is not None else 0.0)
+        with self._lock:
+            self._charges += 1
+            self._event_seq += 1
+            spend = self._spend.get(analyst)
+            if spend is None:
+                spend = self._spend[analyst] = \
+                    deque(maxlen=_MAX_WINDOW_EVENTS)
+            spend.append((now, epsilon))
+            self._prune_locked(spend, now)
+            self._events.append({
+                "audit_seq": self._event_seq, "ts": now,
+                "kind": "charge", "analyst": analyst, "view": view,
+                "eps": epsilon, "mode": mode, "mechanism": mechanism,
+                "cumulative": cumulative, "ledger_seq": ledger_seq})
+
+    def record_session(self, event: str, session_id: int, analyst: str,
+                       epsilon_spent: float = 0.0) -> None:
+        now = self._time()
+        with self._lock:
+            self._sessions += 1
+            self._event_seq += 1
+            self._events.append({
+                "audit_seq": self._event_seq, "ts": now,
+                "kind": "session", "event": event,
+                "session_id": int(session_id), "analyst": analyst,
+                "eps": float(epsilon_spent)})
+
+    def record_grant(self, event: str, payload: dict) -> None:
+        now = self._time()
+        with self._lock:
+            self._grants += 1
+            self._event_seq += 1
+            entry = {"audit_seq": self._event_seq, "ts": now,
+                     "kind": "grant", "event": event,
+                     "analyst": payload.get("grantee")}
+            entry.update(payload)
+            self._events.append(entry)
+
+    def _prune_locked(self, spend: deque, now: float) -> None:
+        horizon = now - self.windows[-1]
+        while spend and spend[0][0] < horizon:
+            spend.popleft()
+
+    # -- reads -----------------------------------------------------------------
+    def events(self, *, analyst: str | None = None, since_seq: int = 0,
+               limit: int = 256) -> list[dict]:
+        """Oldest-first page of retained events after ``since_seq``.
+
+        ``audit_seq`` is the page cursor (trail-local, monotonic; the
+        durable ``ledger_seq`` rides along on charge events).  The ring
+        is bounded, so a lagging consumer can miss events — the cursor
+        gap makes that detectable.
+        """
+        with self._lock:
+            items = list(self._events)
+        page = [dict(event) for event in items
+                if event["audit_seq"] > since_seq
+                and (analyst is None or event.get("analyst") == analyst)]
+        return page[:max(0, int(limit))]
+
+    def burn_rates(self, window: float | None = None) -> dict[str, float]:
+        """ε/min per analyst over the trailing ``window`` seconds."""
+        span = self.windows[0] if window is None else float(window)
+        now = self._time()
+        cutoff = now - span
+        out: dict[str, float] = {}
+        with self._lock:
+            for analyst, spend in self._spend.items():
+                self._prune_locked(spend, now)
+                total = sum(eps for ts, eps in spend if ts >= cutoff)
+                out[analyst] = total * 60.0 / span
+        return out
+
+    def exhaustion(self, window: float | None = None) -> dict[str, float]:
+        """Projected seconds until each analyst's cap at the current
+        burn rate: ``inf`` when idle, ``0.0`` when already at/over."""
+        engine = self.engine
+        if engine is None:
+            return {}
+        rates = self.burn_rates(window)
+        constraints = engine.constraints
+        rows = engine.provenance.row_totals()
+        out: dict[str, float] = {}
+        for analyst in constraints.analyst:
+            out[analyst] = _project(
+                constraints.analyst_limit(analyst) - rows.get(analyst, 0.0),
+                rates.get(analyst, 0.0) / 60.0)
+        return out
+
+    def table_exhaustion(self, window: float | None = None) -> float:
+        """Projected seconds until the table cap at the summed rate."""
+        engine = self.engine
+        if engine is None:
+            return math.inf
+        rate = sum(self.burn_rates(window).values()) / 60.0
+        remaining = (engine.constraints.table
+                     - engine.provenance.table_total())
+        return _project(remaining, rate)
+
+    def group_exhaustion(self, window: float | None = None) \
+            -> dict[str, float]:
+        """Per-coalition forecasts (Sec. 7.1 groups); empty without
+        groups.  Keys are coalition indices as strings (stable labels)."""
+        engine = self.engine
+        if engine is None:
+            return {}
+        constraints = engine.constraints
+        if not constraints.groups:
+            return {}
+        rates = self.burn_rates(window)
+        rows = engine.provenance.row_totals()
+        out: dict[str, float] = {}
+        for index, group in enumerate(constraints.groups):
+            rate = sum(rates.get(name, 0.0) for name in group) / 60.0
+            spent = sum(rows.get(name, 0.0) for name in group)
+            out[str(index)] = _project(constraints.group_limit - spent,
+                                       rate)
+        return out
+
+    def describe(self) -> dict:
+        """JSON-native block for ``/v1/audit`` and ``snapshot()``."""
+        with self._lock:
+            return {
+                "enabled": True,
+                "charges": self._charges,
+                "sessions": self._sessions,
+                "grants": self._grants,
+                "retained_events": len(self._events),
+                "next_seq": self._event_seq + 1,
+                "windows": list(self.windows),
+            }
+
+
+def _project(remaining: float, rate_per_sec: float) -> float:
+    if remaining <= 0.0:
+        return 0.0
+    if rate_per_sec <= 0.0:
+        return math.inf
+    return remaining / rate_per_sec
+
+
+__all__ = [
+    "AuditReport",
+    "AuditTrail",
+    "DEFAULT_RING",
+    "DEFAULT_WINDOWS",
+    "classify_charge",
+    "fold_data_dir",
+    "format_audit_report",
+    "verify_report",
+]

@@ -14,6 +14,10 @@ conditions an operator actually pages on:
   (each one is a SIGKILLed/faulted mp worker the parent restarted).
 * **429 spike** — ``repro_rate_limited_total`` climbing faster than the
   allowed rate (admission control refusing a meaningful share of load).
+* **budget exhaustion** — any ``repro_exhaustion_seconds`` forecast
+  (the audit trail's linear seconds-to-cap projection, per analyst)
+  dropping below ``--exhaustion-horizon`` (0 disables the check; idle
+  analysts project ``+Inf`` and never alert).
 
 Alerts go to stderr and (optionally) a webhook file — one JSON object
 per line, the shape a thin forwarder can tail into a real pager.  The
@@ -50,6 +54,10 @@ DEFAULT_MAX_LEDGER_LAG_GROWTH = 1_000
 #: Largest tolerated 429 rate (refusals/second) between scrapes.
 DEFAULT_MAX_RATE_LIMITED_RATE = 5.0
 
+#: Exhaustion-forecast alert horizon in seconds (0 = disabled): warn
+#: when any analyst's projected seconds-to-cap falls below it.
+DEFAULT_EXHAUSTION_HORIZON = 0.0
+
 #: Parsed exposition: ``{metric_name: {label_key: value}}``.
 Sample = dict
 
@@ -76,6 +84,7 @@ def evaluate(prev: Sample | None, cur: Sample, *,
              max_ledger_lag: float = DEFAULT_MAX_LEDGER_LAG,
              max_ledger_lag_growth: float = DEFAULT_MAX_LEDGER_LAG_GROWTH,
              max_rate_limited_rate: float = DEFAULT_MAX_RATE_LIMITED_RATE,
+             exhaustion_horizon: float = DEFAULT_EXHAUSTION_HORIZON,
              ) -> list[str]:
     """Alert strings for the sample ``cur`` given the previous one.
 
@@ -91,10 +100,25 @@ def evaluate(prev: Sample | None, cur: Sample, *,
                       f"{max_ledger_lag:.0f}-record bound (checkpoint "
                       f"compaction is not keeping up)")
 
+    if exhaustion_horizon > 0.0:
+        for labels, seconds in sorted(
+                cur.get("repro_exhaustion_seconds", {}).items()):
+            if seconds < exhaustion_horizon:
+                analyst = dict(labels).get("analyst", "?")
+                alerts.append(
+                    f"analyst {analyst!r} is projected to exhaust its "
+                    f"budget in {seconds:.0f}s (< {exhaustion_horizon:.0f}s "
+                    f"horizon) at the current burn rate")
+
     if prev is not None:
         uptime_prev = family_total(prev, "repro_uptime_seconds")
         uptime_cur = family_total(cur, "repro_uptime_seconds")
-        if uptime_cur <= uptime_prev:
+        # uptime_prev == 0.0 means the prior sample carried no uptime
+        # evidence at all (family_total reads an absent family as 0.0 —
+        # e.g. a monitor primed with an empty first sample): with
+        # nothing to compare against, "did not advance" would be a
+        # false staleness page on the very first real scrape.
+        if uptime_prev > 0.0 and uptime_cur <= uptime_prev:
             alerts.append(
                 f"server uptime did not advance between scrapes "
                 f"({uptime_prev:.1f}s -> {uptime_cur:.1f}s): stale "
@@ -146,6 +170,7 @@ def run_monitor(url: str, *,
                 DEFAULT_MAX_LEDGER_LAG_GROWTH,
                 max_rate_limited_rate: float =
                 DEFAULT_MAX_RATE_LIMITED_RATE,
+                exhaustion_horizon: float = DEFAULT_EXHAUSTION_HORIZON,
                 webhook_path: str | None = None,
                 sleep=time.sleep) -> int:
     """Scrape-evaluate-report until ``samples`` scrapes have run
@@ -168,7 +193,8 @@ def run_monitor(url: str, *,
                 prev, cur, interval=interval,
                 max_ledger_lag=max_ledger_lag,
                 max_ledger_lag_growth=max_ledger_lag_growth,
-                max_rate_limited_rate=max_rate_limited_rate)
+                max_rate_limited_rate=max_rate_limited_rate,
+                exhaustion_horizon=exhaustion_horizon)
         taken += 1
         if cur is not None:
             prev = cur
@@ -189,6 +215,7 @@ def run_monitor(url: str, *,
 
 
 __all__ = [
+    "DEFAULT_EXHAUSTION_HORIZON",
     "DEFAULT_INTERVAL",
     "DEFAULT_MAX_LEDGER_LAG",
     "DEFAULT_MAX_LEDGER_LAG_GROWTH",

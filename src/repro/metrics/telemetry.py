@@ -256,6 +256,38 @@ class Histogram:
             yield "_sum", labels, total
 
 
+class _CallbackCounterFamily:
+    """Counter family whose values are pulled at scrape time.
+
+    For monotone totals whose authoritative accumulators already live in
+    another subsystem (the provenance table behind the budget-audit
+    counter family): double-booking them on the hot path could drift by
+    a float ulp under concurrency, and the whole point of the exposition
+    is that it can *never* disagree with the accounting it reports.  The
+    callback returns ``(labels_dict, value)`` rows; the rendered TYPE is
+    ``counter`` because the underlying quantities only ever grow.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._sources: list[Callable] = []
+
+    def add(self, fn: Callable) -> None:
+        self._sources.append(fn)
+
+    def samples(self) -> Iterable[tuple[dict[str, str], float]]:
+        for fn in list(self._sources):
+            try:
+                rows = fn()
+            except Exception:
+                continue  # a scrape must never fail with the service
+            for labels, value in rows:
+                yield dict(labels), float(value)
+
+
 class _GaugeGroup:
     """Callback-backed gauge: values are pulled at scrape time."""
 
@@ -319,6 +351,23 @@ class TelemetryRegistry:
                   buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
         return self._get_or_create(
             name, lambda: Histogram(name, help_text, buckets), "histogram")
+
+    def counter_family(self, name: str, help_text: str,
+                       fn: Callable) -> None:
+        """Register a scrape-time callback rendered as a counter family.
+
+        ``fn`` returns an iterable of ``(labels_dict, value)`` rows —
+        arbitrary label sets, unlike :meth:`gauge`'s single
+        ``expand_label``.  Use only for quantities that are genuinely
+        monotone at their source.
+        """
+        group = self._get_or_create(
+            name, lambda: _CallbackCounterFamily(name, help_text),
+            "counter")
+        if not isinstance(group, _CallbackCounterFamily):
+            raise ValueError(f"metric {name!r} already registered as a "
+                             f"push-style Counter")
+        group.add(fn)
 
     def gauge(self, name: str, help_text: str, fn: Callable, *,
               expand_label: str | None = None, **labels: str) -> None:

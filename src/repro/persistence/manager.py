@@ -32,7 +32,9 @@ drain — as ``repro serve`` does — for an exact fold.
 
 from __future__ import annotations
 
+import math
 import threading
+import time
 import weakref
 from pathlib import Path
 
@@ -145,6 +147,10 @@ class DurabilityManager:
         #: before any); ``ledger_lag`` = records written past it, i.e.
         #: how much tail the next boot would replay.
         self.last_checkpoint_seq = 0
+        #: Wall-clock ``created_ts`` of the newest checkpoint this
+        #: manager knows of — restored from disk at bind, refreshed by
+        #: :meth:`checkpoint` — behind the checkpoint-age gauge.
+        self.last_checkpoint_ts: float | None = None
 
     @property
     def _service(self):
@@ -203,6 +209,7 @@ class DurabilityManager:
             self._service_ref = weakref.ref(service)
             self.last_recovery = report
             self.last_checkpoint_seq = report.checkpoint_seq
+            self.last_checkpoint_ts = report.checkpoint_ts
             return report
 
     def _release_dir_lock(self) -> None:
@@ -282,6 +289,7 @@ class DurabilityManager:
                 write_checkpoint(self.checkpoint_path, payload)
                 self._writer.compact(keep_after_seq=seq)
                 self.last_checkpoint_seq = seq
+                self.last_checkpoint_ts = payload["created_ts"]
                 return payload
             finally:
                 if reacquired is not None:
@@ -299,6 +307,31 @@ class DurabilityManager:
         next boot would replay (the ``/v1/metrics`` ledger-lag gauge)."""
         return max(0, self.ledger_seq - self.last_checkpoint_seq)
 
+    def sealed_segments(self) -> int:
+        """How many sealed ``ledger.NNNNNN.jsonl`` segments exist."""
+        return len(segment_paths(self.ledger_path))
+
+    def active_ledger_bytes(self) -> int:
+        """On-disk size of the active ledger file (0 when absent)."""
+        try:
+            return self.ledger_path.stat().st_size
+        except OSError:
+            return 0
+
+    def checkpoint_age_seconds(self) -> float:
+        """Seconds since the newest checkpoint fold; ``+inf`` when the
+        directory has never been checkpointed (the honest reading — the
+        next boot replays the entire ledger)."""
+        if self.last_checkpoint_ts is None:
+            return math.inf
+        return max(0.0, time.time() - float(self.last_checkpoint_ts))
+
+    def recovered_records(self) -> int:
+        """Ledger records the bind-time recovery pass read (0 before
+        bind or on a fresh directory)."""
+        return self.last_recovery.records_seen if self.last_recovery \
+            else 0
+
     def describe(self) -> dict:
         """JSON-native block for ``QueryService.snapshot()``."""
         return {
@@ -309,9 +342,11 @@ class DurabilityManager:
             "ledger_seq": self.ledger_seq,
             "ledger_lag": int(self.ledger_lag),
             "segment_bytes": self.segment_bytes,
-            "segments": len(segment_paths(self.ledger_path)),
+            "segments": self.sealed_segments(),
+            "active_bytes": self.active_ledger_bytes(),
             "recovered_charges": (self.last_recovery.charges_applied
                                   if self.last_recovery else 0),
+            "recovered_records": self.recovered_records(),
         }
 
 

@@ -75,6 +75,9 @@ class RecoveryReport:
     next_seq: int
     grants_replayed: int = 0
     provenance: dict = field(default_factory=dict)
+    #: ``created_ts`` of the restored checkpoint (None without one) —
+    #: seeds the daemon's checkpoint-age gauge across a restart.
+    checkpoint_ts: float | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -90,6 +93,7 @@ class RecoveryReport:
             "next_seq": self.next_seq,
             "grants_replayed": self.grants_replayed,
             "provenance": self.provenance,
+            "checkpoint_ts": self.checkpoint_ts,
         }
 
 
@@ -120,6 +124,22 @@ def format_recovery_report(report: RecoveryReport) -> str:
     return "\n".join(lines)
 
 
+def read_accounting_state(data_dir: str | Path):
+    """Read-only ``(checkpoint, records, tail)`` view of a data dir —
+    the fold entry point for offline audit tooling.
+
+    Performs no locking and mutates nothing: callers either hold the
+    data-dir flock or run an optimistic re-check around this call (see
+    :func:`repro.metrics.audit.fold_data_dir`).  The torn/corrupt-tail
+    doctrine stays with the caller; this only surfaces what the reader
+    found.
+    """
+    data_dir = Path(data_dir)
+    checkpoint = read_checkpoint(data_dir / CHECKPOINT_FILE)
+    records, tail = read_ledger_chain(data_dir / LEDGER_FILE)
+    return checkpoint, records, tail
+
+
 def recover_service(service, data_dir: str | Path,
                     mode: str = "strict") -> RecoveryReport:
     """Rebuild ``service``'s accounting from ``data_dir``; see module doc.
@@ -141,7 +161,9 @@ def recover_service(service, data_dir: str | Path,
 
     checkpoint = read_checkpoint(data_dir / CHECKPOINT_FILE)
     checkpoint_seq = 0
+    checkpoint_ts = None
     if checkpoint is not None:
+        checkpoint_ts = checkpoint.get("created_ts")
         try:
             restore_engine_state(engine, checkpoint["engine"])
         except ReproError as exc:
@@ -222,6 +244,7 @@ def recover_service(service, data_dir: str | Path,
         next_seq=last_seq + 1,
         grants_replayed=grants_replayed,
         provenance=provenance_summary(engine),
+        checkpoint_ts=checkpoint_ts,
     )
 
 
@@ -317,5 +340,6 @@ __all__ = [
     "RECOVERY_MODES",
     "RecoveryReport",
     "format_recovery_report",
+    "read_accounting_state",
     "recover_service",
 ]

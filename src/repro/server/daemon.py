@@ -8,6 +8,7 @@ resource tree::
     GET    /v1/health                  liveness + protocol + stats summary
     GET    /v1/snapshot                QueryService.snapshot() verbatim
     GET    /v1/metrics                 Prometheus text exposition
+    GET    /v1/audit                   budget-audit timeline + forecasts
     POST   /v1/sessions                {"token": ...} -> open a session
     DELETE /v1/sessions/<id>           close a session (idempotent)
     POST   /v1/sessions/<id>/query     one encoded QueryRequest
@@ -59,12 +60,15 @@ close.  SIGTERM wiring lives in the CLI (``python -m repro serve``).
 from __future__ import annotations
 
 import json
+import math
 import os
 import re
 import ssl
 import stat
+import sys
 import threading
 import time
+from urllib.parse import unquote
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Mapping
@@ -346,11 +350,20 @@ class _MicroBatcher:
                 pending.done.set()
 
 
+def _finite(value: float) -> float | None:
+    """Strict-JSON coercion for forecasts: ``inf`` (idle) -> ``None``."""
+    return float(value) if math.isfinite(value) else None
+
+
+def _json_finite(forecast: dict) -> dict:
+    return {key: _finite(value) for key, value in forecast.items()}
+
+
 #: Bounded-cardinality route labels for the request metrics.
 def _route_label(method: str, path: str) -> str:
     path = path.partition("?")[0]
     if path in ("/v1/health", "/v1/snapshot", "/v1/metrics",
-                "/v1/trace", "/v1/sessions"):
+                "/v1/trace", "/v1/audit", "/v1/sessions"):
         return f"{method} {path}"
     match = _SESSION_PATH.match(path)
     if match is not None:
@@ -389,7 +402,8 @@ class ReproServer:
                  max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
                  tls_cert: str | Path | None = None,
                  tls_key: str | Path | None = None,
-                 telemetry: TelemetryRegistry | None = None) -> None:
+                 telemetry: TelemetryRegistry | None = None,
+                 log_json: bool = False) -> None:
         if tokens is None:
             tokens = {name: name for name in service.engine.analysts}
         unknown = sorted(set(tokens.values())
@@ -463,6 +477,12 @@ class ReproServer:
         #: the same thread, once the payload (and its propagated trace
         #: id) has been parsed.
         self._handler_local = threading.local()
+        #: ``serve --log-json``: one structured access-log line per
+        #: request to stderr (route, status, latency, analyst, trace id)
+        #: — machine-grep-able and correlated with ``/v1/trace`` by the
+        #: trace id.  Off by default: the human format (silence) is
+        #: unchanged, and the hot path pays nothing when disabled.
+        self.log_json = bool(log_json)
         self.request_timeout = request_timeout
         self.max_body_bytes = int(max_body_bytes)
         self.micro_batch_threshold = int(micro_batch_threshold)
@@ -674,6 +694,8 @@ class ReproServer:
             return 200, {"protocol": PROTOCOL_VERSION,
                          "tracing": tracer.counters(),
                          "traces": json_ready(tracer.recent(limit))}
+        if method == "GET" and path == "/v1/audit":
+            return 200, self._audit(query)
         if method == "POST" and path == "/v1/sessions":
             return self._open_session(self._json(body))
         match = _SESSION_PATH.match(path)
@@ -681,6 +703,7 @@ class ReproServer:
             session_id, action = int(match.group(1)), match.group(2)
             if method == "DELETE" and action is None:
                 closed = self.service.close_session(session_id)
+                self._note_analyst(closed.analyst)
                 return 200, {"protocol": PROTOCOL_VERSION,
                              "session_id": closed.session_id,
                              "closed": True}
@@ -720,6 +743,76 @@ class ReproServer:
             payload["checkpoint_failures"] = self.checkpoint_failures
         return payload
 
+    def _audit(self, query: str) -> dict:
+        """``GET /v1/audit``: the live trail's event pages + forecasts.
+
+        Served from RAM (the daemon holds the data-dir flock, so an
+        offline fold against its directory uses the lockless fallback).
+        ``?analyst=`` filters, ``?since_seq=`` pages on the trail-local
+        ``audit_seq`` cursor, ``?limit=`` caps the page; the response's
+        ``next_since_seq`` continues the walk.  Non-finite forecasts
+        (idle analysts) ship as ``null`` — strict JSON has no ``inf``.
+        """
+        trail = self.service.audit
+        if trail is None:
+            return {"protocol": PROTOCOL_VERSION,
+                    "audit": {"enabled": False}, "events": []}
+        analyst = None
+        match = re.search(r"(?:^|&)analyst=([^&]*)", query)
+        if match is not None:
+            analyst = unquote(match.group(1))
+        match = re.search(r"(?:^|&)since_seq=(\d+)", query)
+        since_seq = int(match.group(1)) if match is not None else 0
+        match = re.search(r"(?:^|&)limit=(\d+)", query)
+        limit = int(match.group(1)) if match is not None else 256
+        events = trail.events(analyst=analyst, since_seq=since_seq,
+                              limit=limit)
+        payload = {
+            "protocol": PROTOCOL_VERSION,
+            "audit": trail.describe(),
+            "events": json_ready(events),
+            "next_since_seq": (events[-1]["audit_seq"] if events
+                               else since_seq),
+            "burn_rates": {f"{window:g}": trail.burn_rates(window)
+                           for window in trail.windows},
+            "exhaustion": _json_finite(trail.exhaustion()),
+            "table_exhaustion": _finite(trail.table_exhaustion()),
+            "group_exhaustion": _json_finite(trail.group_exhaustion()),
+        }
+        if analyst is not None:
+            payload["analyst"] = analyst
+        return payload
+
+    def _note_analyst(self, analyst: str | None) -> None:
+        """Stash the acting analyst for this thread's access-log line."""
+        if self.log_json:
+            self._handler_local.log_analyst = analyst
+
+    def _note_session_analyst(self, session_id: int) -> None:
+        if not self.log_json:
+            return
+        try:
+            self._handler_local.log_analyst = \
+                self.service._resolve_session(session_id).analyst
+        except ReproError:
+            pass  # unknown/closed session: the route reports it precisely
+
+    def _emit_access_log(self, method: str, path: str, route: str,
+                         status: int, elapsed: float) -> None:
+        """One JSON access-log line to stderr (``serve --log-json``)."""
+        local = self._handler_local
+        record = {
+            "ts": round(time.time(), 6),
+            "method": method,
+            "path": path.partition("?")[0],
+            "route": route,
+            "status": int(status),
+            "latency_ms": round(elapsed * 1000.0, 3),
+            "analyst": getattr(local, "log_analyst", None),
+            "trace": getattr(local, "log_trace", None),
+        }
+        print(json.dumps(record), file=sys.stderr, flush=True)
+
     def _analyst_for(self, payload: dict) -> str:
         token = payload.get("token")
         if not isinstance(token, str):
@@ -755,6 +848,7 @@ class ReproServer:
 
     def _open_session(self, payload: dict) -> tuple[int, dict]:
         analyst = self._analyst_for(payload)
+        self._note_analyst(analyst)
         if not self._gate.try_enter():
             return 503, encode_error("server is draining", "draining")
         try:
@@ -785,6 +879,8 @@ class ReproServer:
         trace_id = payload.get("trace")
         trace = tracer.start(trace_id if isinstance(trace_id, str)
                              and trace_id else None)
+        if self.log_json:
+            self._handler_local.log_trace = trace.trace_id
         body_read = getattr(self._handler_local, "body_read", None)
         self._handler_local.body_read = None
         if body_read is not None:
@@ -799,6 +895,7 @@ class ReproServer:
 
     def _submit(self, session_id: int, payload: dict) -> tuple[int, dict]:
         request = decode_request(payload)
+        self._note_session_analyst(session_id)
         with self._traced(payload, "query"):
             with tracing.span("admission"):
                 refusal = self._admit(session_id, 1.0)
@@ -825,6 +922,7 @@ class ReproServer:
         if not isinstance(raw, list):
             raise WireFormatError("batch body needs a 'requests' list")
         requests = [decode_request(entry) for entry in raw]
+        self._note_session_analyst(session_id)
         with self._traced(payload, "batch"):
             with tracing.span("admission"):
                 refusal = self._admit(session_id,
@@ -911,6 +1009,9 @@ def _build_handler(server: ReproServer) -> type:
         def _dispatch(self, method: str) -> None:
             started = time.perf_counter()
             server._handler_local.body_read = None
+            if server.log_json:
+                server._handler_local.log_analyst = None
+                server._handler_local.log_trace = None
             route = _route_label(method, self.path)
             server._m_requests.inc(route=route)
             self._status = 500
@@ -939,8 +1040,11 @@ def _build_handler(server: ReproServer) -> type:
                 self.wfile.write(data)
             finally:
                 server._m_responses.inc(status=str(self._status))
-                server._m_latency.observe(
-                    time.perf_counter() - started, route=route)
+                elapsed = time.perf_counter() - started
+                server._m_latency.observe(elapsed, route=route)
+                if server.log_json:
+                    server._emit_access_log(method, self.path, route,
+                                            self._status, elapsed)
 
         def do_GET(self) -> None:
             self._dispatch("GET")

@@ -49,6 +49,7 @@ from repro.core.synopsis import SynopsisStore
 from repro.datasets.base import DatasetBundle
 from repro.exceptions import ReproError, ServiceClosed, SessionClosed
 from repro.metrics import tracing
+from repro.metrics.audit import AuditTrail
 from repro.metrics.runtime import CacheStats, CompensatedSum
 from repro.metrics.tracing import Tracer
 from repro.persistence.schema import provenance_summary
@@ -161,7 +162,8 @@ class QueryService:
                  backend: str = "threaded",
                  workers: int | None = None,
                  durability=None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 audit: bool = True) -> None:
         if execution not in EXECUTION_MODES:
             raise ReproError(f"unknown execution mode {execution!r}; "
                              f"choose from {EXECUTION_MODES}")
@@ -245,6 +247,15 @@ class QueryService:
                 if self._backend_impl is not None:
                     self._backend_impl.close()
                 raise
+        #: Live budget-audit tailer (:mod:`repro.metrics.audit`):
+        #: attached *after* durability so the ledger keeps assigning
+        #: sequence numbers before the trail reads them, and so recovery
+        #: never replays through a live hook.  ``audit=False`` strips it
+        #: entirely — the control arm of ``bench-service
+        #: --audit-overhead``.
+        self.audit = AuditTrail(engine, durability) if audit else None
+        if self.audit is not None:
+            self.audit.attach(self)
 
     @classmethod
     def build(cls, bundle: DatasetBundle, analysts: Sequence[Analyst],
@@ -256,13 +267,14 @@ class QueryService:
               workers: int | None = None,
               durability=None,
               tracer: Tracer | None = None,
+              audit: bool = True,
               **engine_kwargs) -> "QueryService":
         """Construct an engine and wrap it in one step."""
         return cls(DProvDB(bundle, analysts, epsilon, **engine_kwargs),
                    max_cached_synopses=max_cached_synopses,
                    execution=execution, shards=shards,
                    backend=backend, workers=workers,
-                   durability=durability, tracer=tracer)
+                   durability=durability, tracer=tracer, audit=audit)
 
     @property
     def engine(self) -> DProvDB:
@@ -370,6 +382,8 @@ class QueryService:
                 with self._sessions_lock:
                     self._sessions.pop(session.session_id, None)
                 raise
+        if self.audit is not None:
+            self.audit.record_session("open", session.session_id, analyst)
         return session
 
     def close_session(self, session: Session | int) -> Session:
@@ -390,6 +404,10 @@ class QueryService:
         if self.durability is not None:
             self.durability.record_session_event(
                 "close", closed.session_id, closed.analyst)
+        if self.audit is not None:
+            self.audit.record_session("close", closed.session_id,
+                                      closed.analyst,
+                                      epsilon_spent=closed.epsilon_spent)
         return closed
 
     def active_sessions(self) -> tuple[Session, ...]:
@@ -664,9 +682,32 @@ class QueryService:
         registry.gauge("repro_fresh_releases_total",
                        "Answers that required a fresh noisy release",
                        lambda: stats.fresh_releases)
-        registry.gauge("repro_epsilon_spent_total",
-                       "Epsilon charged, per analyst",
-                       lambda: stats.epsilon_by_analyst,
+        # The spend family reads the provenance table itself at scrape
+        # time: the table is the accounting of record, so the exposition
+        # can never drift from it — not even by a float ulp — which is
+        # what lets `repro audit --verify` demand *exact* equality
+        # against an offline ledger fold.  The mechanism label is the
+        # engine's (one mechanism per engine; the per-record classifier
+        # in repro.metrics.audit provably agrees).
+        provenance = self._engine.provenance
+        mechanism = self._engine.mechanism
+
+        def _spent_cells():
+            label = mechanism.name
+            return [({"analyst": analyst, "view": view,
+                      "mechanism": label}, spent)
+                    for analyst in provenance.analysts
+                    for view in provenance.views
+                    if (spent := provenance.get(analyst, view)) != 0.0]
+
+        registry.counter_family(
+            "repro_epsilon_spent_total",
+            "Cumulative epsilon charged, per analyst/view/mechanism",
+            _spent_cells)
+        registry.gauge("repro_epsilon_row_total",
+                       "Epsilon charged, per analyst (provenance row "
+                       "totals)",
+                       lambda: provenance.row_totals(),
                        expand_label="analyst")
         registry.gauge("repro_epsilon_table_total",
                        "Epsilon charged against the whole table",
@@ -752,6 +793,29 @@ class QueryService:
             registry.gauge("repro_shard_parallel_batches_total",
                            "Group batches that ran on the worker pool",
                            lambda: sharding.parallel_batches)
+        if self.audit is not None:
+            trail = self.audit
+            for window in trail.windows:
+                registry.gauge("repro_epsilon_burn_rate_per_min",
+                               "Epsilon per minute, per analyst, over a "
+                               "sliding window (seconds, labelled)",
+                               (lambda w=window: trail.burn_rates(w)),
+                               expand_label="analyst",
+                               window=f"{window:g}")
+            registry.gauge("repro_exhaustion_seconds",
+                           "Projected seconds until an analyst's budget "
+                           "cap at the current burn rate (+Inf idle)",
+                           lambda: trail.exhaustion(),
+                           expand_label="analyst")
+            registry.gauge("repro_table_exhaustion_seconds",
+                           "Projected seconds until the table-level cap "
+                           "(+Inf idle)",
+                           lambda: trail.table_exhaustion())
+            registry.gauge("repro_group_exhaustion_seconds",
+                           "Projected seconds until a coalition cap "
+                           "(Sec. 7.1 groups; absent without groups)",
+                           lambda: trail.group_exhaustion(),
+                           expand_label="group")
         if self.durability is not None:
             durability = self.durability
             registry.gauge("repro_ledger_seq",
@@ -761,6 +825,19 @@ class QueryService:
                            "Ledger records not yet folded into a "
                            "checkpoint",
                            lambda: durability.ledger_lag)
+            registry.gauge("repro_ledger_segments",
+                           "Sealed ledger segments on disk",
+                           lambda: durability.sealed_segments())
+            registry.gauge("repro_ledger_active_bytes",
+                           "Bytes in the active ledger file",
+                           lambda: durability.active_ledger_bytes())
+            registry.gauge("repro_checkpoint_age_seconds",
+                           "Seconds since the newest checkpoint fold "
+                           "(+Inf before any)",
+                           lambda: durability.checkpoint_age_seconds())
+            registry.gauge("repro_recovery_replayed_records",
+                           "Ledger records read by bind-time recovery",
+                           lambda: durability.recovered_records())
 
     def snapshot(self) -> dict:
         """Point-in-time service metrics (service, cache, provenance).
@@ -801,6 +878,8 @@ class QueryService:
             "durability": (self.durability.describe()
                            if self.durability is not None
                            else {"enabled": False}),
+            "audit": (self.audit.describe() if self.audit is not None
+                      else {"enabled": False}),
         }
 
 

@@ -303,8 +303,10 @@ class TestMetrics:
             spent = families["repro_epsilon_spent_total"]
             for analyst, eps in \
                     snapshot["service"]["epsilon_by_analyst"].items():
-                assert spent[(("analyst", analyst),)] == \
-                    pytest.approx(eps)
+                by_analyst = sum(
+                    value for labels, value in spent.items()
+                    if dict(labels).get("analyst") == analyst)
+                assert by_analyst == pytest.approx(eps)
             assert families["repro_rate_limited_total"][
                 (("analyst", "analyst_00"),)] == 1.0
             assert families["repro_open_sessions"][()] == 1.0

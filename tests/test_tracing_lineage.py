@@ -508,3 +508,102 @@ class TestMonitorEvaluate:
             (("analyst", "a"),): 3.0, (("analyst", "b"),): 4.0}}
         assert family_total(cur, "repro_rate_limited_total") == 7.0
         assert family_total(cur, "missing") == 0.0
+
+    def test_prev_without_uptime_is_not_stale(self):
+        # A prior sample with no uptime family at all (e.g. a monitor
+        # primed with an empty first sample) reads as 0.0 — there is no
+        # evidence to compare against, so the very first real scrape
+        # must not page "did not advance".
+        prev: dict = {}
+        cur = sample(repro_uptime_seconds=0.4)
+        assert evaluate(prev, cur) == []
+        prev = sample(repro_uptime_seconds=0.0)
+        assert evaluate(prev, sample(repro_uptime_seconds=0.0)) == []
+
+    def test_exhaustion_horizon_off_by_default(self):
+        cur = {"repro_exhaustion_seconds": {(("analyst", "a"),): 12.0}}
+        assert evaluate(None, cur) == []
+
+    def test_exhaustion_alert_below_horizon(self):
+        cur = {"repro_exhaustion_seconds": {
+            (("analyst", "a"),): 90.0,
+            (("analyst", "b"),): 7200.0}}
+        alerts = evaluate(None, cur, exhaustion_horizon=600.0)
+        assert len(alerts) == 1
+        assert "'a'" in alerts[0] and "exhaust its budget in 90s" \
+            in alerts[0]
+
+    def test_exhaustion_idle_inf_never_alerts(self):
+        cur = {"repro_exhaustion_seconds": {
+            (("analyst", "idle"),): float("inf")}}
+        assert evaluate(None, cur, exhaustion_horizon=1e9) == []
+
+
+# ---------------------------------------------------------------------------
+# Exposition escaping + the monitor's scrape path (pure telemetry)
+# ---------------------------------------------------------------------------
+
+class TestLabelEscaping:
+    def test_counter_escaped_label_values_roundtrip(self):
+        registry = TelemetryRegistry()
+        counter = registry.counter("repro_weird_total", "w")
+        gnarly = 'quote:" slash:\\ newline:\nend'
+        counter.inc(3.0, analyst=gnarly)
+        counter.inc(2.0, analyst="plain")
+        rendered = registry.render()
+        assert '\\"' in rendered and "\\n" in rendered
+        values = parse_exposition(rendered)["repro_weird_total"]
+        assert {dict(labels)["analyst"]: value
+                for labels, value in values.items()} == \
+            {gnarly: 3.0, "plain": 2.0}
+
+    def test_counter_family_escaped_labels_roundtrip(self):
+        registry = TelemetryRegistry()
+        registry.counter_family(
+            "repro_cells_total", "c",
+            lambda: [({"analyst": 'a"b', "view": "x\ny"}, 1.5)])
+        parsed = parse_exposition(registry.render())
+        (labels, value), = parsed["repro_cells_total"].items()
+        assert dict(labels) == {"analyst": 'a"b', "view": "x\ny"}
+        assert value == 1.5
+
+    def test_counter_family_refuses_push_counter_name(self):
+        registry = TelemetryRegistry()
+        registry.counter("repro_mixed_total", "m").inc()
+        with pytest.raises(ValueError, match="push-style"):
+            registry.counter_family("repro_mixed_total", "m",
+                                    lambda: [])
+
+
+class TestScrapePath:
+    def test_histogram_roundtrip_through_monitor_scrape(self,
+                                                        monkeypatch):
+        """A Histogram survives the monitor's actual scrape path
+        (URL normalisation -> HTTP body -> parse_exposition)."""
+        import io
+
+        from repro.metrics import monitor
+
+        registry = TelemetryRegistry()
+        hist = registry.histogram("repro_request_seconds", "latency",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05, route="query")
+        hist.observe(0.7, route="query")
+        hist.observe(9.0, route="batch")
+        seen: list[str] = []
+
+        def fake_urlopen(url, timeout=None):
+            seen.append(url)
+            return io.BytesIO(registry.render().encode("utf-8"))
+
+        monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+        families = monitor.scrape("http://daemon.invalid:9")
+        assert seen == ["http://daemon.invalid:9/v1/metrics"]
+        buckets = families["repro_request_seconds_bucket"]
+        assert buckets[(("le", "0.1"), ("route", "query"))] == 1.0
+        assert buckets[(("le", "1"), ("route", "query"))] == 2.0
+        assert buckets[(("le", "+Inf"), ("route", "batch"))] == 1.0
+        assert families["repro_request_seconds_count"][
+            (("route", "batch"),)] == 1.0
+        assert families["repro_request_seconds_sum"][
+            (("route", "query"),)] == pytest.approx(0.75)
