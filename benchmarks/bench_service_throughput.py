@@ -282,8 +282,9 @@ def main(argv: list[str] | None = None) -> int:
                              "accounting and the fsync=off >= 0.9x floor")
     parser.add_argument("--profile", action="store_true",
                         help="also cProfile one inline (single-thread) "
-                             "replay and print/emit the top-20 cumulative "
-                             "hotspot table (a 'profile' block in the "
+                             "replay and print/emit the top-20 hotspot "
+                             "tables, by cumulative and by own-body "
+                             "(tottime) cost (a 'profile' block in the "
                              "--json artifact) so perf work stays "
                              "profile-driven")
     parser.add_argument("--no-fast-lane", action="store_true",

@@ -175,8 +175,43 @@ def check_metrics(observer: RemoteAnalyst, snapshot: dict) -> None:
             f"row total for {analyst} diverged from the snapshot"
     assert metrics["repro_open_sessions"][()] == 0.0
     assert metrics["repro_uptime_seconds"][()] > 0.0
+    # Hot-path cache families (PR 10): the statement cache and the
+    # view-routing memo must be exported, cross-check the snapshot, and
+    # have actually moved under the replayed workload.
+    compiled = snapshot["compiled_statements"]
+    cache = metrics["repro_statement_cache_total"]
+    assert cache[(("result", "hit"),)] == float(compiled["hits"]), cache
+    assert cache[(("result", "miss"),)] == float(compiled["misses"]), cache
+    assert cache[(("result", "hit"),)] + cache[(("result", "miss"),)] > 0.0
+    assert metrics["repro_statement_cache_entries"][()] == \
+        float(compiled["entries"])
+    assert metrics["repro_statement_cache_entries"][()] > 0.0
+    assert metrics["repro_statement_cache_hit_rate"][()] == \
+        float(compiled["hit_rate"])
+    assert metrics["repro_statement_cache_evictions_total"][()] == \
+        float(compiled["evictions"])
+    compile_calls = metrics["repro_compile_calls_total"][()]
+    assert compile_calls > 0.0, "no statement was ever resolved?"
+    # One resolution per query: the engine may compile a handful of
+    # extra statements outside the serving path (view registration),
+    # never the other way around.
+    assert compile_calls >= cache[(("result", "hit"),)] + \
+        cache[(("result", "miss"),)] - 1e-9, compile_calls
+    routing = snapshot["view_routing"]
+    routed = metrics["repro_view_routing_total"]
+    assert routed[(("result", "hit"),)] == float(routing["hits"]), routed
+    assert routed[(("result", "miss"),)] == float(routing["misses"]), routed
+    # Hits can legitimately be zero (the statement cache absorbs exact
+    # repeats before routing is consulted), but the memo must have been
+    # exercised: every unique statement misses once.
+    assert routed[(("result", "hit"),)] + \
+        routed[(("result", "miss"),)] > 0.0, \
+        "view-routing memo never consulted under the workload"
+    assert metrics["repro_view_routing_entries"][()] == \
+        float(routing["entries"])
     print(f"smoke: /v1/metrics matches the snapshot "
-          f"({len(metrics)} metric families)")
+          f"({len(metrics)} metric families; statement cache and "
+          f"view routing exported and moving)")
 
 
 def overload_burst(url: str, streams) -> None:

@@ -20,6 +20,7 @@ verification for tests against throwaway self-signed certs.
 
 from __future__ import annotations
 
+import gzip
 import http.client
 import itertools
 import json
@@ -77,6 +78,26 @@ class RateLimited(RemoteError):
                  retry_after: float | None = None) -> None:
         super().__init__(message, status=429, kind="rate_limited")
         self.retry_after = retry_after
+
+
+def _inflate(reply, raw: bytes, context: str) -> bytes:
+    """Undo the server's negotiated ``Content-Encoding``.
+
+    Protocol v2 servers gzip-compress large bodies when the client
+    offers it; v1 servers (and small bodies) stay identity-encoded.
+    """
+    encoding = (reply.getheader("Content-Encoding") or "").lower()
+    if encoding in ("", "identity"):
+        return raw
+    if encoding != "gzip":
+        raise RemoteError(f"{context}: server sent unsupported "
+                          f"Content-Encoding {encoding!r}",
+                          status=reply.status)
+    try:
+        return gzip.decompress(raw)
+    except OSError as exc:
+        raise RemoteError(f"{context}: bad gzip body ({exc})",
+                          status=reply.status) from None
 
 
 @dataclass(frozen=True)
@@ -212,7 +233,10 @@ class RemoteAnalyst:
     def _request_once(self, method: str, path: str,
                       payload: dict | None = None) -> dict:
         body = None if payload is None else json.dumps(payload)
-        headers = {"Content-Type": "application/json"}
+        # Offering gzip is protocol v2; v1 servers ignore the header and
+        # answer identity-encoded, so the offer is always safe to make.
+        headers = {"Content-Type": "application/json",
+                   "Accept-Encoding": "gzip"}
         for attempt in (1, 2):  # one transparent reconnect on a dead socket
             conn = self._connection()
             try:
@@ -240,6 +264,7 @@ class RemoteAnalyst:
                     raise RemoteError(
                         f"{method} {path} failed after the request was "
                         f"sent: {exc}") from exc
+        raw = _inflate(reply, raw, f"{method} {path}")
         try:
             decoded = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -342,7 +367,8 @@ class RemoteAnalyst:
         for attempt in (1, 2):
             conn = self._connection()
             try:
-                conn.request("GET", "/v1/metrics")
+                conn.request("GET", "/v1/metrics",
+                             headers={"Accept-Encoding": "gzip"})
                 reply = conn.getresponse()
                 raw = reply.read()
                 break
@@ -354,7 +380,7 @@ class RemoteAnalyst:
         if reply.status != 200:
             raise RemoteError(f"GET /v1/metrics returned {reply.status}",
                               status=reply.status)
-        return raw.decode("utf-8")
+        return _inflate(reply, raw, "GET /v1/metrics").decode("utf-8")
 
 
 def _session_id(session: RemoteSession | int) -> int:

@@ -22,12 +22,25 @@ rate to ~0 for no saved work.
 The cache is invalidated wholesale when a view is registered (the
 cheapest-view minimisation may now pick differently); view registration
 is an administrative operation, so this is never on the hot path.
+
+Concurrency model
+-----------------
+The hit path takes no lock.  :meth:`StatementCache.get` snapshots the
+entries dict, probes it, and then re-checks that ``self._entries`` is
+still the *same object* — :meth:`clear` replaces the dict wholesale (it
+never mutates the old one destructively), so an unchanged identity
+proves the probed entry belongs to the live view set.  This is the same
+versioned-read discipline as the engine's memoized-answer fast lane.
+Recency is a per-entry access tick written without a lock (a benign
+race: a lost tick can only make an entry *look* slightly colder);
+:meth:`put` — the rare path — still runs under a mutex and evicts the
+minimum-tick entry.  Hit/miss counters are plain-int increments, exact
+under sequential use and at-worst slightly undercounted under races.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.db.sql.ast import SelectStatement
@@ -79,8 +92,19 @@ class CompiledStatement:
         return 1
 
 
+class _Slot:
+    """One cache slot: the (frozen) entry plus its mutable access tick."""
+
+    __slots__ = ("entry", "tick")
+
+    def __init__(self, entry: CompiledStatement, tick: int) -> None:
+        self.entry = entry
+        self.tick = tick
+
+
 class StatementCache:
-    """Thread-safe LRU of :class:`CompiledStatement` keyed by SQL text.
+    """LRU of :class:`CompiledStatement` keyed by SQL text, with a
+    lock-free hit path.
 
     The bound is on total **cost** (retained weight vectors, see
     :attr:`CompiledStatement.cost`), so a wide GROUP BY entry counts as
@@ -88,22 +112,25 @@ class StatementCache:
     the whole bound is still admitted alone — refusing it would make
     such statements uncacheable and defeat the cache exactly where
     compilation is most expensive.  ``max_entries=None`` disables
-    eviction (statistics still tracked).  Hit/miss/eviction counters are
-    exact (mutated under the same lock as the recency list) and exposed
-    via :meth:`counters` — the service's ``snapshot()`` ships them for
+    eviction (statistics still tracked); ``max_entries=0`` disables the
+    cache entirely — every probe misses and nothing is retained, which
+    is how the perf gate's same-window baseline re-measures the
+    cacheless pre-overhaul configuration.  Counters are exposed via
+    :meth:`counters` — the service's ``snapshot()`` ships them for
     monitoring.
     """
 
     def __init__(self, max_entries: int | None = DEFAULT_STATEMENT_CACHE
                  ) -> None:
-        if max_entries is not None and max_entries < 1:
+        if max_entries is not None and max_entries < 0:
             raise ReproError(
-                f"max_entries must be >= 1 or None, got {max_entries}")
+                f"max_entries must be >= 0 or None, got {max_entries}")
         self.max_entries = max_entries
         self._lock = threading.Lock()
-        self._entries: OrderedDict[str, CompiledStatement] = OrderedDict()
+        self._entries: dict[str, _Slot] = {}
         self._total_cost = 0
         self._epoch = 0
+        self._tick = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -121,56 +148,71 @@ class StatementCache:
         return self._epoch
 
     def get(self, sql_text: str) -> CompiledStatement | None:
-        with self._lock:
-            entry = self._entries.get(sql_text)
-            if entry is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(sql_text)
-            self.hits += 1
-            return entry
+        """Lock-free probe (see the module docstring's versioned-read
+        discipline): snapshot the dict, probe, re-check identity."""
+        entries = self._entries
+        slot = entries.get(sql_text)
+        if slot is None or self._entries is not entries:
+            # Absent, or the snapshot was invalidated mid-probe by a
+            # concurrent clear(): treat as a miss, never serve stale.
+            self.misses += 1
+            return None
+        slot.tick = self._tick = self._tick + 1
+        self.hits += 1
+        return slot.entry
 
     def put(self, sql_text: str, entry: CompiledStatement,
             epoch: int | None = None) -> None:
+        if self.max_entries == 0:
+            return  # cache disabled: never retain anything
         with self._lock:
             if epoch is not None and epoch != self._epoch:
                 return  # compiled against an invalidated view set
-            previous = self._entries.pop(sql_text, None)
+            entries = self._entries
+            previous = entries.get(sql_text)
             if previous is not None:
-                self._total_cost -= previous.cost
-            self._entries[sql_text] = entry
+                self._total_cost -= previous.entry.cost
+            self._tick += 1
+            entries[sql_text] = _Slot(entry, self._tick)
             self._total_cost += entry.cost
             while self.max_entries is not None \
                     and self._total_cost > self.max_entries \
-                    and len(self._entries) > 1:
-                _, evicted = self._entries.popitem(last=False)
-                self._total_cost -= evicted.cost
+                    and len(entries) > 1:
+                # Evictions are rare (invalidation-or-capacity events);
+                # a min-tick scan here buys the lock-free get above.
+                victim = min(entries.items(), key=lambda kv: kv[1].tick)[0]
+                self._total_cost -= entries.pop(victim).entry.cost
                 self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (view-registration invalidation); counters
-        survive so monitoring sees the full history."""
+        survive so monitoring sees the full history.
+
+        Replaces the entries dict instead of clearing it in place — the
+        old object stays intact for any in-flight lock-free probe, whose
+        identity re-check then reports the miss.
+        """
         with self._lock:
-            self._entries.clear()
-            self._total_cost = 0
             self._epoch += 1
+            self._entries = {}
+            self._total_cost = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def counters(self) -> dict:
         """Strictly JSON-native counter block for ``snapshot()``."""
-        with self._lock:
-            lookups = self.hits + self.misses
-            return {
-                "entries": len(self._entries),
-                "cost": self._total_cost,
-                "max_entries": self.max_entries,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "hit_rate": (self.hits / lookups) if lookups else 0.0,
-            }
+        hits, misses = self.hits, self.misses
+        lookups = hits + misses
+        return {
+            "entries": len(self._entries),
+            "cost": self._total_cost,
+            "max_entries": self.max_entries,
+            "hits": hits,
+            "misses": misses,
+            "evictions": self.evictions,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }
 
 
 __all__ = ["DEFAULT_STATEMENT_CACHE", "KINDS", "CompiledStatement",

@@ -146,6 +146,22 @@ class DProvDB:
         #: transform products.  Invalidated wholesale whenever a view is
         #: registered (the cheapest-view choice may change).
         self.statement_cache = StatementCache(statement_cache_size)
+        #: Times :meth:`compile_statement` resolved a statement (cache
+        #: hit or fresh compile).  The serving layers promise exactly
+        #: one resolution per query — the planner compiles, then hands
+        #: the :class:`CompiledStatement` down so no submit path ever
+        #: re-probes (a regression here is how the profile grew a
+        #: ~1.55x/query probe multiplier).  Plain-int increment: exact
+        #: sequentially, at worst undercounted under racing threads.
+        self.compile_calls = 0
+        #: Dispatch toggle for the one-resolution promise.  When False
+        #: the serving layers forget each resolution instead of handing
+        #: it down, so every submit layer re-probes the statement cache
+        #: exactly as the pre-overhaul dispatch did — the same-window
+        #: perf gate's baseline axis turns this off (together with the
+        #: cache and the fast lane) to re-measure the pre-overhaul
+        #: configuration on today's hardware.
+        self.thread_compiled = True
         #: Memoized-answer fast lane toggle.  When on, requests an
         #: analyst's cached local synopsis already satisfies are answered
         #: through a versioned lock-free lookup that skips the view
@@ -338,6 +354,7 @@ class DProvDB:
         :class:`SelectStatement` has no stable cheap key); compile
         *failures* are not cached and re-raise each time.
         """
+        self.compile_calls += 1
         sql_text = sql if isinstance(sql, str) else None
         if sql_text is not None:
             entry = self.statement_cache.get(sql_text)
@@ -430,16 +447,22 @@ class DProvDB:
 
     def submit(self, analyst: str, sql, accuracy: float | None = None,
                epsilon: float | None = None,
-               delegation: int | None = None) -> Answer:
+               delegation: int | None = None,
+               compiled: CompiledStatement | None = None) -> Answer:
         """Answer a scalar query; raises :class:`QueryRejected` on refusal.
 
         With ``delegation=<grant id>``, the query runs under the *grantor's*
         identity (their constraints, synopses, and provenance row are used
         and charged) while the answer is returned to the submitting grantee
         — the paper's "grant" operator (Sec. 9).
+
+        ``compiled`` lets a caller that already resolved the statement
+        (the planner, or the executor's classification step) hand the
+        entry in, upholding the one-resolution-per-query contract.
         """
         self._check_analyst(analyst)
-        compiled = self.compile_statement(sql)
+        if compiled is None:
+            compiled = self.compile_statement(sql)
         if compiled.kind == "avg":
             if delegation is not None:
                 raise ReproError("delegation supports plain scalar queries")
@@ -609,15 +632,19 @@ class DProvDB:
 
     def submit_group_by(self, analyst: str, sql,
                         accuracy: float | None = None,
-                        epsilon: float | None = None
+                        epsilon: float | None = None,
+                        compiled: CompiledStatement | None = None
                         ) -> list[tuple[tuple, Answer]]:
         """Answer a GROUP BY query with full-domain semantics (Appendix D).
 
         ``accuracy`` applies per group.  All groups are answered from the
         same synopsis, so after the first group the rest are cache hits.
+        ``compiled`` skips re-resolving when the caller already holds the
+        compiled entry (one resolution per query, see :meth:`submit`).
         """
         self._check_analyst(analyst)
-        compiled = self.compile_statement(sql)
+        if compiled is None:
+            compiled = self.compile_statement(sql)
         if compiled.kind != "group_by":
             raise UnanswerableQuery("statement has no GROUP BY keys")
         view = compiled.view

@@ -59,6 +59,7 @@ close.  SIGTERM wiring lives in the CLI (``python -m repro serve``).
 
 from __future__ import annotations
 
+import gzip
 import json
 import math
 import os
@@ -110,6 +111,14 @@ DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 #: In-flight requests above which single queries are coalesced into
 #: planner micro-batches (when micro-batching is enabled).
 DEFAULT_MICRO_BATCH_THRESHOLD = 4
+
+#: Smallest response body worth gzip-compressing when the client offers
+#: ``Accept-Encoding: gzip`` (protocol v2).  Below this the gzip header
+#: plus the deflate call cost more than the bytes saved; above it —
+#: large GROUP BY result sets, metrics scrapes — JSON compresses ~5-10x.
+#: Clients that send no ``Accept-Encoding`` get identity bodies exactly
+#: as before, so v1 clients interoperate unchanged.
+GZIP_MIN_BYTES = 2048
 
 #: How long the micro-batcher lets a window fill before dispatching.
 DEFAULT_MICRO_BATCH_WAIT = 0.002
@@ -1029,8 +1038,18 @@ def _build_handler(server: ReproServer) -> type:
                     data = json.dumps(payload).encode("utf-8")
                     content_type = "application/json"
                 self._status = status
+                encoding = None
+                if len(data) >= GZIP_MIN_BYTES and "gzip" in \
+                        (self.headers.get("Accept-Encoding") or "").lower():
+                    # mtime=0 keeps the body deterministic (same answer,
+                    # same bytes) — useful for replay comparison and
+                    # cache-friendly anyway.
+                    data = gzip.compress(data, compresslevel=6, mtime=0)
+                    encoding = "gzip"
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
+                if encoding is not None:
+                    self.send_header("Content-Encoding", encoding)
                 self.send_header("Content-Length", str(len(data)))
                 if status == 429 and isinstance(
                         payload.get("retry_after"), (int, float)):

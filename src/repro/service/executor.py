@@ -75,8 +75,14 @@ def _with_lineage(engine: DProvDB, analyst: str, response: QueryResponse,
 
 def execute_request(engine: DProvDB, analyst: str, index: int,
                     request: QueryRequest, is_group_by: bool | None,
-                    statement=None) -> QueryResponse:
-    """Run one request against the engine (which self-locks per view)."""
+                    statement=None, compiled=None) -> QueryResponse:
+    """Run one request against the engine (which self-locks per view).
+
+    ``compiled`` is the already-resolved :class:`CompiledStatement` when
+    the caller planned ahead; when absent and classification is needed,
+    the one resolution made here is handed down to the engine so no
+    submit path re-probes — each query compiles/probes exactly once.
+    """
     # Prefer the raw SQL text when we have it: it is the compiled-
     # statement cache's key, so the engine skips re-parsing AND
     # re-compiling; a pre-resolved statement has no cheap cache key.
@@ -84,26 +90,29 @@ def execute_request(engine: DProvDB, analyst: str, index: int,
         else (statement if statement is not None else request.sql)
     try:
         if is_group_by is None:
-            if isinstance(sql, str):
-                # String SQL: classification is a statement-cache
-                # lookup, and the engine's own compile below hits
-                # the same entry.
-                is_group_by = \
-                    engine.compile_statement(sql).kind == "group_by"
+            if compiled is None and isinstance(sql, str):
+                compiled = engine.compile_statement(sql)
+            if compiled is not None:
+                is_group_by = compiled.kind == "group_by"
             else:
                 # Pre-resolved statements have no cache key; their
                 # routing kind is a plain attribute read — compiling
                 # here would only throw the work away.
                 is_group_by = bool(sql.group_by)
+        if not engine.thread_compiled:
+            # Gate-baseline dispatch: forget the resolution so every
+            # submit layer re-probes, as the pre-overhaul path did.
+            compiled = None
         if is_group_by:
             groups = engine.submit_group_by(
                 analyst, sql, accuracy=request.accuracy,
-                epsilon=request.epsilon)
+                epsilon=request.epsilon, compiled=compiled)
             return _with_lineage(engine, analyst,
                                  QueryResponse(index, groups=tuple(groups)))
         answer = engine.submit(analyst, sql,
                                accuracy=request.accuracy,
-                               epsilon=request.epsilon)
+                               epsilon=request.epsilon,
+                               compiled=compiled)
         return _with_lineage(engine, analyst,
                              QueryResponse(index, answer=answer))
     except QueryRejected as exc:
@@ -122,7 +131,9 @@ def execute_planned(engine: DProvDB, analyst: str,
     if not item.compiled:
         return execute_request(engine, analyst, item.index, item.request,
                                is_group_by=item.is_group_by,
-                               statement=item.statement)
+                               statement=item.statement,
+                               compiled=item.entry
+                               if engine.thread_compiled else None)
     try:
         answer = engine.submit_compiled(
             analyst, item.statement, item.view, item.query, item.target,

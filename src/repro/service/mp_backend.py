@@ -14,22 +14,33 @@ interpreter lock.  ``QueryService(backend="mp")`` replaces the shard
   zero-copy numpy arrays and publish synopsis values back to the
   parent without pickling a single histogram;
 * **all accounting stays in the parent.**  Workers never charge the
-  authoritative provenance table: a fresh release sends a compact
-  ``charge`` message up the shard's pipe, the parent runs the real
+  authoritative provenance table: each conversation ships the worker an
+  authoritative snapshot of the cross-shard tallies (analyst row sum,
+  table totals, delta-ledger count), the worker runs every budget check
+  against its synced local *mirror* and records an ordered op list
+  (reserve verdicts, rollbacks), and the parent **replays every op
+  itself** against the real
   :meth:`repro.core.provenance.ProvenanceTable.reserve` (same checks,
   same row -> column -> totals lock order, same ``on_commit``
-  durability hook at commit), and the worker proceeds only on the
-  parent's verdict.  One accounting domain, one ledger.
+  durability hook at commit) when the end-of-batch ``done`` message
+  arrives.  One accounting domain, one ledger — and zero per-charge
+  pipe round-trips: all charge traffic for a batch rides the two
+  messages the batch already costs (the dispatch down, the ``done``
+  up).
 
-Commit timing is the crash-safety hinge: the parent keeps every
-brokered reservation *pending* until the worker's end-of-batch ``done``
-message arrives, and only then commits them (in the worker's commit
-order, outside all table locks, firing the durability hook exactly as
-the threaded path does).  A worker that dies mid-batch therefore leaves
-only pending reservations behind — the parent rolls them back, returns
-the delta-ledger slots, fails the batch's unanswered queries with a
-tagged error, and forks a replacement worker from its own up-to-date
-mirror state.  No budget is ever charged for an answer nobody received.
+Deferred settlement is the crash-safety hinge: the parent charges
+nothing until the worker's ``done`` arrives, then replays the ops under
+its state lock, verifying the worker's accept/reject verdict (and the
+rejection reason) op by op, and finally commits in the worker's commit
+order (outside all table locks, firing the durability hook exactly as
+the threaded path does).  A worker that dies mid-batch therefore never
+charged anything; the parent fails the batch's queries with a tagged
+error and forks a replacement worker from its own authoritative state.
+A verdict mismatch — possible only under concurrent same-analyst
+traffic across *different* shards, where the snapshot a worker checked
+against has moved — is handled the same way: every replayed charge of
+that batch is unwound and the worker is respawned fresh.  No budget is
+ever charged for an answer nobody received.
 
 Determinism: with ``noise_streams="per_view"`` (see
 :data:`repro.core.mechanism.NOISE_STREAMS`) each view's noise sequence
@@ -148,7 +159,7 @@ class _Shard:
     """Parent-side handle for one worker process."""
 
     __slots__ = ("index", "lock", "conn", "process", "incarnation",
-                 "sent_ids", "pending")
+                 "sent_ids")
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -163,21 +174,20 @@ class _Shard:
         #: Statement ids already shipped to the live worker process
         #: (reset on respawn — a fresh fork knows nothing).
         self.sent_ids: set[int] = set()
-        #: cid -> parent-side pending Reservation for the conversation
-        #: in flight.
-        self.pending: dict[int, object] = {}
 
 
 class _BrokeredReservation:
-    """Worker-side face of one parent-brokered provenance charge.
+    """Worker-side face of one deferred-settlement provenance charge.
 
     Duck-types :class:`repro.core.provenance.Reservation` for the
     mechanism code: context manager, :meth:`commit`, :meth:`rollback`,
     ``state``.  ``commit`` finalises the worker's local mirror charge
     and records the cid for the end-of-batch ``done`` message — the
-    parent's authoritative commit (and the durability hook) happens
-    there.  ``rollback`` undoes the mirror and tells the parent
-    immediately.
+    parent's authoritative reserve-and-commit (and the durability hook)
+    happens there.  ``rollback`` undoes the mirror and appends a
+    rollback op, *in order*: budget freed by a rollback may be what
+    lets a later reserve in the same batch pass, so the parent must
+    replay the two in the order the worker decided them.
     """
 
     __slots__ = ("_proxy", "_cid", "_local")
@@ -201,7 +211,7 @@ class _BrokeredReservation:
         if self._local.state == "rolled_back":
             return
         self._local.rollback()
-        self._proxy.conn.send(("charge_rollback", self._cid))
+        self._proxy.ops.append(("rollback", self._cid))
 
     def __enter__(self) -> "_BrokeredReservation":
         return self
@@ -212,15 +222,18 @@ class _BrokeredReservation:
 
 
 class _WorkerProvenance:
-    """Provenance proxy installed in workers: charges go to the parent.
+    """Provenance proxy installed in workers: charges settle in the parent.
 
     Reads (``get``, totals, ``check``) serve from the worker's
     inherited table copy — exact for the worker's own views, since one
-    worker owns all traffic on a view's column — while ``reserve``
-    brokers the authoritative check-and-charge through the pipe and
-    applies the same charge to the local mirror only after the parent
-    accepted it.  The local mirror's tallies are always <= the
-    parent's, so any check the mirror fails the parent would fail too.
+    worker owns all traffic on a view's column, and exact for the
+    cross-shard tallies too, because every conversation starts by
+    syncing them from the parent's authoritative snapshot
+    (:meth:`_Worker._apply_sync`).  ``reserve`` therefore runs the real
+    check-and-charge against the local mirror *immediately* — no pipe
+    round-trip — and records the op (arguments plus verdict) for the
+    end-of-batch ``done`` payload, where the parent replays it against
+    the authoritative table and verifies the verdict matches.
     """
 
     def __init__(self, inner, conn) -> None:
@@ -230,27 +243,28 @@ class _WorkerProvenance:
         #: cids committed this batch, in commit order (shipped in
         #: ``done``; the parent commits in exactly this order).
         self.committed: list[int] = []
+        #: Ordered charge ops this batch: ``("reserve", cid, analyst,
+        #: view, epsilon, column_mode, meta, accepted, reason,
+        #: constraint)`` and ``("rollback", cid)``.
+        self.ops: list[tuple] = []
 
     def reserve(self, analyst: str, view: str, epsilon: float, constraints, *,
                 column_mode: str = "sum", meta=None) -> _BrokeredReservation:
         cid = next(self._cids)
-        with tracing.span("broker_charge", view=view):
-            self.conn.send(("charge", cid, analyst, view, epsilon,
-                            column_mode, dict(meta) if meta else None))
-            reply = self.conn.recv()
-        if reply[0] == "charge_rejected":
-            raise QueryRejected(reply[2], constraint=reply[3])
-        if reply[0] != "charge_ok":  # pragma: no cover - protocol guard
-            raise ReproError(f"unexpected broker reply {reply[0]!r}")
+        meta_copy = dict(meta) if meta else None
         try:
             local = self._inner.reserve(analyst, view, epsilon, constraints,
                                         column_mode=column_mode, meta=meta)
-        except BaseException:
-            # The mirror disagreed with the parent (should be
-            # impossible: mirror tallies <= parent tallies).  Return
-            # the parent's charge and surface the local error.
-            self.conn.send(("charge_rollback", cid))
+        except QueryRejected as exc:
+            # Record the rejection too: the parent replays it to confirm
+            # the authoritative table agrees (reason and all) — a silent
+            # drop would let mirror drift go unnoticed.
+            self.ops.append(("reserve", cid, analyst, view, epsilon,
+                             column_mode, meta_copy, False,
+                             exc.reason, exc.constraint))
             raise
+        self.ops.append(("reserve", cid, analyst, view, epsilon,
+                         column_mode, meta_copy, True, None, None))
         return _BrokeredReservation(self, cid, local)
 
     def add(self, *args, **kwargs):
@@ -386,9 +400,10 @@ class _Worker:
                     break
                 kind = msg[0]
                 if kind == "batch":
-                    self.serve_batch(msg[1], msg[2], msg[3], msg[4], msg[5])
+                    self.serve_batch(msg[1], msg[2], msg[3], msg[4], msg[5],
+                                     msg[6])
                 elif kind == "raw":
-                    self.serve_raw(msg[1], msg[2], msg[3], msg[4])
+                    self.serve_raw(msg[1], msg[2], msg[3], msg[4], msg[5])
                 elif kind == "ping":
                     self.conn.send(("pong", os.getpid()))
                 elif kind == "crash_after":
@@ -437,11 +452,36 @@ class _Worker:
                                       strictest=strictest)
             cache.put(self.sql_by_id[sid], entry, epoch=cache.epoch)
 
+    def _apply_sync(self, analyst: str, sync: tuple) -> None:
+        """Adopt the parent's authoritative cross-shard tallies.
+
+        A worker's mirror is exact for its own views' column sums (it
+        performs every charge on them, and the parent replays the same
+        ops), but the *analyst row sum*, the *table totals*, and the
+        *delta-ledger count* move with every other shard's traffic too.
+        The parent snapshots them under its state lock at dispatch; the
+        worker overwrites its mirror before running the batch, so every
+        budget check it performs is against the very tallies the
+        parent's replay will check against — which is what makes the
+        local verdict authoritative in the sequential case.
+        """
+        row_sum, table_sum, table_max_sum, release_count = sync
+        inner = self.proxy._inner
+        inner._row_sum[analyst] = row_sum
+        inner._table_sum = table_sum
+        inner._table_max_sum = table_max_sum
+        mech = self.engine.mechanism
+        if release_count:
+            mech._release_counts[analyst] = release_count
+        else:
+            mech._release_counts.pop(analyst, None)
+
     def _begin_batch(self) -> tuple:
         """Reset per-batch collectors; returns the counter marks the
         end-of-batch payload diffs against."""
         engine = self.engine
         self.proxy.committed = []
+        self.proxy.ops = []
         self.recorder.begin()
         stats = getattr(engine.mechanism.store, "stats", None)
         return (len(engine.log),
@@ -468,9 +508,11 @@ class _Worker:
         return Trace(trace_id) if trace_id is not None else None
 
     def serve_batch(self, analyst: str, groups, new_sql: dict,
-                    new_plans: dict, trace_id: str | None) -> None:
+                    new_plans: dict, sync: tuple,
+                    trace_id: str | None) -> None:
         self.sql_by_id.update(new_sql)
         self._seed_plans(new_plans)
+        self._apply_sync(analyst, sync)
         engine = self.engine
         top = max(entry[0] for _, entries in groups for entry in entries)
         responses: list[QueryResponse | None] = [None] * (top + 1)
@@ -489,7 +531,7 @@ class _Worker:
                 self._run_group(analyst, view_name, items, responses)
         self._send_done(marks, responses, trace)
 
-    def serve_raw(self, analyst: str, entries, new_sql: dict,
+    def serve_raw(self, analyst: str, entries, new_sql: dict, sync: tuple,
                   trace_id: str | None) -> None:
         """Single-worker fast path: the *worker* runs the batch planner.
 
@@ -503,6 +545,7 @@ class _Worker:
         threaded replay.
         """
         self.sql_by_id.update(new_sql)
+        self._apply_sync(analyst, sync)
         engine = self.engine
         batch = [QueryRequest(self.sql_by_id[sid],
                               accuracy=accuracy, epsilon=epsilon)
@@ -532,6 +575,7 @@ class _Worker:
             "responses": [_pack_response(r, self.index, self.incarnation)
                           for r in responses if r is not None],
             "spans": trace.export() if trace is not None else None,
+            "ops": list(self.proxy.ops),
             "committed": list(self.proxy.committed),
             "synopses": list(self.recorder.records.values()),
             "generation": {v: g for v, g in mech._generation.items()
@@ -607,6 +651,17 @@ class MpBackend:
         self.brokered_charges = 0
         self.charge_rejections = 0
         self.conversations = 0
+        #: Standalone charge-traffic pipe messages.  Deferred settlement
+        #: coalesces *all* of a batch's reserve/rollback traffic into the
+        #: ``done`` payload, so this stays 0 — the bench's mp-comparison
+        #: gate asserts it stays strictly below ``brokered_charges``
+        #: (one-message-per-charge is the regression this guards).
+        self.charge_messages = 0
+        #: Batches whose replayed op verdicts diverged from the
+        #: authoritative ledger (concurrent same-analyst cross-shard
+        #: traffic); every such batch is fully unwound and its worker
+        #: respawned.
+        self.charge_mismatches = 0
 
     # -- lifecycle -----------------------------------------------------------
     def ensure_started(self) -> None:
@@ -663,7 +718,6 @@ class MpBackend:
         parent_conn, child_conn = self._ctx.Pipe()
         shard.conn = parent_conn
         shard.sent_ids = set()
-        shard.pending = {}
         process = self._ctx.Process(
             target=_worker_main,
             args=(self, shard.index, child_conn, shard.incarnation),
@@ -821,7 +875,7 @@ class MpBackend:
                     if sid not in shard.sent_ids:
                         new_sql[sid] = text
                         shard.sent_ids.add(sid)
-                        plan = self._export_plan(text)
+                        plan = self._export_plan(item)
                         if plan is not None:
                             new_plans[sid] = plan
                     entries.append((item.index, sid, item.request.accuracy,
@@ -829,26 +883,37 @@ class MpBackend:
                 payload.append((view_name, entries))
         return payload, new_sql, new_plans
 
-    def _export_plan(self, text: str):
-        """The parent's compiled plan for ``text``, view swapped for its
-        name (see :meth:`_Worker._seed_plans`).  Normally a statement-
-        cache hit — the planner compiled this very text moments ago.
-        ``None`` (worker compiles on its own) when compilation fails,
-        e.g. the entry was evicted and the text stopped compiling.
+    def _export_plan(self, item: PlannedQuery):
+        """The parent's compiled plan for one planned item, view swapped
+        for its name (see :meth:`_Worker._seed_plans`).  The planner's
+        :class:`CompiledStatement` rides on ``item.entry`` — exporting
+        it costs zero extra cache probes.  ``None`` (worker compiles on
+        its own) when planning could not compile the statement.
 
         Scalar plans drop the statement AST: pickling the nested node
         dataclasses costs more than everything else in the plan, and the
         scalar execution path never reads it when the raw SQL text is
         available (the text is the log/cache key).  GROUP BY and AVG
         keep theirs — their engine paths re-enter via the statement."""
-        try:
-            compiled = self.service.engine.compile_statement(text)
-        except ReproError:
+        compiled = item.entry
+        if compiled is None:
             return None
         statement = None if compiled.kind == "scalar" else compiled.statement
         return (compiled.kind, compiled.view.name, statement,
                 compiled.query, compiled.group_parts, compiled.avg_parts,
                 compiled.strictest)
+
+    def _sync_for(self, analyst: str) -> tuple:
+        """Authoritative cross-shard tallies for one dispatch (see
+        :meth:`_Worker._apply_sync`), snapshotted under the state lock so
+        a concurrent replay can never be bisected."""
+        engine = self.service.engine
+        prov = engine.provenance
+        mech = engine.mechanism
+        with self._state_lock:
+            return (prov._row_sum.get(analyst, 0.0), prov._table_sum,
+                    prov._table_max_sum,
+                    mech._release_counts.get(analyst, 0))
 
     def _run_conversation(self, shard: _Shard, analyst: str, sgroups,
                           responses: list, trace_ctx=None) -> None:
@@ -864,27 +929,23 @@ class MpBackend:
             payload, new_sql, new_plans = self._encode(shard, sgroups)
             try:
                 shard.conn.send(("batch", analyst, payload, new_sql,
-                                 new_plans,
+                                 new_plans, self._sync_for(analyst),
                                  trace.trace_id if trace is not None
                                  else None))
-                self._pump(shard, responses)
+                self._pump(shard, sgroups, responses)
             except (EOFError, OSError, BrokenPipeError):
                 self._handle_crash(shard, sgroups, responses)
 
-    def _pump(self, shard: _Shard, responses: list) -> None:
-        """Serve the worker's charge traffic until its ``done`` arrives."""
+    def _pump(self, shard: _Shard, sgroups, responses: list) -> None:
+        """Wait out the worker's ``done`` (all charge traffic rides it)."""
         while True:
             msg = shard.conn.recv()
             kind = msg[0]
-            if kind == "charge":
-                shard.conn.send(self._handle_charge(shard, msg))
-            elif kind == "charge_rollback":
-                self._handle_rollback(shard, msg[1])
-            elif kind == "done":
-                self._finish(shard, msg[1], responses)
+            if kind == "done":
+                self._finish(shard, msg[1], sgroups, responses)
                 return
-            else:  # pragma: no cover - protocol guard
-                raise ReproError(f"unexpected worker message {kind!r}")
+            raise ReproError(  # pragma: no cover - protocol guard
+                f"unexpected worker message {kind!r}")
 
     def try_execute_raw(self, analyst: str,
                         batch: list[QueryRequest], responses: list) -> bool:
@@ -941,52 +1002,111 @@ class MpBackend:
                                     request.epsilon))
             try:
                 shard.conn.send(("raw", analyst, entries, new_sql,
+                                 self._sync_for(analyst),
                                  trace.trace_id if trace is not None
                                  else None))
-                self._pump(shard, responses)
+                self._pump(shard, sgroups, responses)
             except (EOFError, OSError, BrokenPipeError):
                 self._handle_crash(shard, sgroups, responses)
         return True
 
-    def _handle_charge(self, shard: _Shard, msg) -> tuple:
-        _, cid, analyst, view, epsilon, column_mode, meta = msg
+    def _unwind(self, pending: dict, reason: str) -> str:
+        """Roll back every replayed-but-uncommitted charge (reverse
+        order) and return the slots; callers hold ``_state_lock``."""
         mech = self.service.engine.mechanism
-        with self._state_lock:
+        for _, reservation in reversed(list(pending.items())):
+            try:
+                reservation.rollback()
+            except ReproError:  # pragma: no cover - defensive
+                pass
+            mech._release_release_slot(reservation.analyst)
+        pending.clear()
+        return reason
+
+    def _replay_ops(self, ops, pending: dict) -> str | None:
+        """Replay the worker's charge ops against the authoritative
+        table (callers hold ``_state_lock``).
+
+        Every accepted reserve becomes a real pending
+        :class:`~repro.core.provenance.Reservation` in ``pending``;
+        every worker-side rejection must reject here too, with the same
+        reason — the checks are deterministic functions of tallies the
+        dispatch synced, so any divergence means another shard's
+        traffic moved them mid-batch.  Returns the mismatch reason
+        (with ``pending`` already unwound) or ``None`` on clean replay.
+        """
+        engine = self.service.engine
+        prov = engine.provenance
+        mech = engine.mechanism
+        for op in ops:
+            if op[0] == "rollback":
+                reservation = pending.pop(op[1], None)
+                if reservation is None:  # pragma: no cover - protocol guard
+                    return self._unwind(pending,
+                                        "rollback of an unknown charge")
+                reservation.rollback()
+                mech._release_release_slot(reservation.analyst)
+                continue
+            (_, cid, analyst, view, epsilon, column_mode, meta,
+             worker_ok, worker_reason, _worker_constraint) = op
             try:
                 mech._reserve_release_slot(analyst)
             except QueryRejected as exc:
-                self.charge_rejections += 1
-                return ("charge_rejected", cid, exc.reason, exc.constraint)
+                # The worker's (synced) ledger accepted this slot.
+                return self._unwind(pending,
+                                    f"delta ledger diverged: {exc.reason}")
             try:
-                reservation = self.service.engine.provenance.reserve(
-                    analyst, view, epsilon, mech.constraints,
-                    column_mode=column_mode, meta=meta)
+                reservation = prov.reserve(analyst, view, epsilon,
+                                           mech.constraints,
+                                           column_mode=column_mode,
+                                           meta=meta)
             except QueryRejected as exc:
                 mech._release_release_slot(analyst)
+                if worker_ok or exc.reason != worker_reason:
+                    return self._unwind(
+                        pending, f"provenance verdict diverged: {exc.reason}")
                 self.charge_rejections += 1
-                return ("charge_rejected", cid, exc.reason, exc.constraint)
-            shard.pending[cid] = reservation
+                continue
+            if not worker_ok:
+                reservation.rollback()
+                mech._release_release_slot(analyst)
+                return self._unwind(
+                    pending, "worker rejected a charge the ledger accepts")
+            pending[cid] = reservation
             self.brokered_charges += 1
-            return ("charge_ok", cid)
+        return None
 
-    def _handle_rollback(self, shard: _Shard, cid: int) -> None:
-        reservation = shard.pending.pop(cid, None)
-        if reservation is None:  # pragma: no cover - protocol guard
-            return
+    def _finish(self, shard: _Shard, payload: dict, sgroups,
+                responses: list) -> None:
+        engine = self.service.engine
+        mech = engine.mechanism
+        # 1. Replay the worker's charge ops in decision order against
+        #    the authoritative table, verifying every verdict.  A
+        #    mismatch (concurrent same-analyst cross-shard traffic moved
+        #    the tallies mid-batch) unwinds the whole batch — the
+        #    worker's published answers assumed charges that never
+        #    settled, so nothing it computed may be returned.
+        pending: dict[int, object] = {}
         with self._state_lock:
-            reservation.rollback()
-            self.service.engine.mechanism._release_release_slot(
-                reservation.analyst)
-
-    def _finish(self, shard: _Shard, payload: dict, responses: list) -> None:
-        # 1. Authoritative commits, in the worker's commit order, outside
+            mismatch = self._replay_ops(payload["ops"], pending)
+            if mismatch is not None:
+                self.charge_mismatches += 1
+        if mismatch is not None:
+            self._fail_groups(
+                shard, sgroups, responses,
+                f"mp worker for shard {shard.index} diverged from the "
+                f"authoritative ledger ({mismatch}); nothing was charged "
+                f"for this query")
+            self._respawn(shard)
+            return
+        # 2. Authoritative commits, in the worker's commit order, outside
         #    every lock — the durability hook fires here, exactly as the
         #    threaded path's Reservation.commit does.  A hook failure is
         #    re-raised after the batch is fully folded: the charge
         #    stands (over-counting direction), never re-granted.
         hook_error: BaseException | None = None
         for cid in payload["committed"]:
-            reservation = shard.pending.pop(cid, None)
+            reservation = pending.pop(cid, None)
             if reservation is None:  # pragma: no cover - protocol guard
                 continue
             try:
@@ -994,13 +1114,11 @@ class MpBackend:
             except BaseException as exc:  # noqa: BLE001
                 if hook_error is None:
                     hook_error = exc
-        # 2. Anything still pending was neither committed nor rolled
+        # 3. Anything still pending was neither committed nor rolled
         #    back by the worker (a worker-side bug swallowed it): refuse
         #    to let the charge leak.
-        leftovers = list(shard.pending.items())
-        shard.pending.clear()
-        engine = self.service.engine
-        mech = engine.mechanism
+        leftovers = list(pending.items())
+        pending.clear()
         for _, reservation in reversed(leftovers):
             with self._state_lock:
                 try:
@@ -1008,7 +1126,7 @@ class MpBackend:
                 except ReproError:  # pragma: no cover - defensive
                     pass
                 mech._release_release_slot(reservation.analyst)
-        # 3. Fold the worker's mirror deltas into the parent state:
+        # 4. Fold the worker's mirror deltas into the parent state:
         #    synopsis values from the shared slab (one copy, no pickle),
         #    mechanism bookkeeping, fast-lane/cache counters, audit log.
         with self._state_lock:
@@ -1044,7 +1162,7 @@ class MpBackend:
                                   delegated_from=delegated)
         for packed in payload["responses"]:
             responses[packed[0]] = _unpack_response(packed)
-        # 4. Graft the worker's span export under this conversation's
+        # 5. Graft the worker's span export under this conversation's
         #    span: the worker's clock origin is its batch receipt, which
         #    the conversation span's start approximates on this side.
         exported = payload.get("spans")
@@ -1056,17 +1174,13 @@ class MpBackend:
             raise hook_error
 
     def _handle_crash(self, shard: _Shard, sgroups, responses) -> None:
-        """A worker died mid-conversation: refund, fail, respawn."""
+        """A worker died mid-conversation: fail the batch, respawn.
+
+        Deferred settlement means there is nothing to refund — the
+        parent replays charges only from a completed ``done`` payload,
+        so a worker that died before sending one never charged a thing.
+        """
         with self._state_lock:
-            pending = list(shard.pending.items())
-            shard.pending.clear()
-            mech = self.service.engine.mechanism
-            for _, reservation in reversed(pending):
-                try:
-                    reservation.rollback()
-                except ReproError:  # pragma: no cover - defensive
-                    pass
-                mech._release_release_slot(reservation.analyst)
             self.crashes += 1
         self._fail_groups(
             shard, sgroups, responses,
@@ -1120,6 +1234,8 @@ class MpBackend:
             "conversations": int(self.conversations),
             "brokered_charges": int(self.brokered_charges),
             "charge_rejections": int(self.charge_rejections),
+            "charge_messages": int(self.charge_messages),
+            "charge_mismatches": int(self.charge_mismatches),
             "incarnations": [int(s.incarnation) for s in self._shards],
         }
 

@@ -33,7 +33,9 @@ class PlannedQuery:
     error at execution time.  For plain scalar queries the compiled
     ``view``/``query``/``target`` triple is kept so execution can go through
     :meth:`DProvDB.submit_compiled` without re-compiling; GROUP BY and AVG
-    requests (``view is None``) take the engine's general path.
+    requests (``view is None``) take the engine's general path, carrying
+    the full compiled ``entry`` so that path never re-resolves either —
+    planning is the one and only ``compile_statement`` call per query.
     """
 
     index: int
@@ -45,6 +47,7 @@ class PlannedQuery:
     view: object | None = None
     query: object | None = None
     target: float | None = None
+    entry: object | None = None
 
     @property
     def compiled(self) -> bool:
@@ -93,13 +96,15 @@ def _plan_one(engine: DProvDB, index: int, request: QueryRequest
                 per_bin = compiled.strictest.per_bin_variance_for(target)
             return PlannedQuery(index, request, compiled.statement,
                                 view.name, per_bin,
-                                compiled.kind == "group_by")
+                                compiled.kind == "group_by",
+                                entry=compiled)
         query = compiled.query
         target = engine._accuracy_for(query, request.accuracy,
                                       request.epsilon, view)
         return PlannedQuery(index, request, compiled.statement, view.name,
                             query.per_bin_variance_for(target), False,
-                            view=view, query=query, target=target)
+                            view=view, query=query, target=target,
+                            entry=compiled)
     except ReproError:
         return PlannedQuery(index, request, compiled.statement, None,
                             math.inf, compiled.kind == "group_by")

@@ -732,6 +732,25 @@ class QueryService:
                        "Shard count (0 = global execution)",
                        lambda: (self.sharding.num_shards
                                 if self.sharding else 0))
+        statements = self._engine.statement_cache
+        registry.gauge("repro_statement_cache_total",
+                       "Compiled-statement cache lookups, by result",
+                       lambda: {"hit": statements.counters()["hits"],
+                                "miss": statements.counters()["misses"]},
+                       expand_label="result")
+        registry.gauge("repro_statement_cache_hit_rate",
+                       "Compiled-statement cache hit rate",
+                       lambda: statements.counters()["hit_rate"])
+        registry.gauge("repro_statement_cache_entries",
+                       "Entries in the compiled-statement cache",
+                       lambda: statements.counters()["entries"])
+        registry.gauge("repro_statement_cache_evictions_total",
+                       "Compiled statements evicted by cost pressure",
+                       lambda: statements.counters()["evictions"])
+        registry.gauge("repro_compile_calls_total",
+                       "Statement resolutions the engine performed "
+                       "(the serving layers promise one per query)",
+                       lambda: self._engine.compile_calls)
         routing = self._engine.registry
         registry.gauge("repro_view_routing_hits_total",
                        "Memoized view-routing decisions reused",
@@ -775,6 +794,14 @@ class QueryService:
             registry.gauge("repro_mp_charge_rejections_total",
                            "Brokered charges the parent refused",
                            lambda: backend.charge_rejections)
+            registry.gauge("repro_mp_charge_messages_total",
+                           "Standalone per-charge pipe messages (0 under "
+                           "coalesced settlement)",
+                           lambda: backend.charge_messages)
+            registry.gauge("repro_mp_charge_mismatches_total",
+                           "Worker charge replays that diverged from the "
+                           "authoritative ledger (unwound, respawned)",
+                           lambda: backend.charge_mismatches)
             registry.gauge("repro_mp_conversations_total",
                            "Batch conversations dispatched to workers",
                            lambda: backend.conversations)

@@ -16,7 +16,6 @@ import numpy as np
 from repro.db.database import Database
 from repro.db.schema import Schema
 from repro.db.sql.ast import SelectStatement
-from repro.db.sql.unparse import to_sql
 from repro.exceptions import SchemaError, UnanswerableQuery
 from repro.views.hierarchical import HierarchicalView
 from repro.views.histogram import HistogramView, attribute_views
@@ -46,10 +45,15 @@ class ViewRegistry:
         # compilation dominate :meth:`compile`/:meth:`select` (profiling
         # shows ~5 probes per query on the serving path), yet the
         # decision is a pure function of (registered views, statement).
-        # Entries are keyed by the routing *generation* — bumped on every
-        # view registration — so a new view can never resurrect a stale
-        # choice.  Reads are lock-free (dict lookups are atomic in
-        # CPython); counters take a short dedicated lock.
+        # Entries are keyed by the statement *object* (every AST node is
+        # a frozen, hashable dataclass, so structurally equivalent
+        # statements share one entry without paying an unparse per
+        # probe) plus the routing *generation* — bumped on every view
+        # registration — so a new view can never resurrect a stale
+        # choice.  The probe path is entirely lock-free: dict lookups
+        # are atomic in CPython and the hit/miss counters are plain-int
+        # increments (exact sequentially; at worst undercounted by a
+        # race); only stores take the lock.
         self._route_generation = 0
         self._route_cache: dict[tuple, tuple] = {}
         self._route_lock = threading.Lock()
@@ -137,11 +141,10 @@ class ViewRegistry:
     def _route_lookup(self, key: tuple):
         """Lock-free probe of the routing cache; counts the outcome."""
         hit = self._route_cache.get(key)
-        with self._route_lock:
-            if hit is not None:
-                self._route_hits += 1
-            else:
-                self._route_misses += 1
+        if hit is not None:
+            self._route_hits += 1
+        else:
+            self._route_misses += 1
         return hit
 
     def _route_store(self, key: tuple, value: tuple) -> None:
@@ -152,9 +155,8 @@ class ViewRegistry:
 
     def routing_counters(self) -> dict:
         """JSON-native view-routing cache statistics for snapshots."""
-        with self._route_lock:
-            hits, misses = self._route_hits, self._route_misses
-            entries = len(self._route_cache)
+        hits, misses = self._route_hits, self._route_misses
+        entries = len(self._route_cache)
         total = hits + misses
         return {
             "hits": hits,
@@ -171,9 +173,9 @@ class ViewRegistry:
         support; scalar counting queries should go through :meth:`compile`,
         which also considers hierarchical views with a cost criterion.
         Decisions are memoized per routing generation (the choice is a
-        pure function of the catalog and the statement text).
+        pure function of the catalog and the statement).
         """
-        key = (self._route_generation, "select", to_sql(statement))
+        key = (self._route_generation, "select", statement)
         cached = self._route_lookup(key)
         if cached is not None:
             return self._views[cached[0]]
@@ -203,7 +205,7 @@ class ViewRegistry:
         full candidate sweep.  Failures are never cached (they may carry
         statement-specific diagnostics and are off the hot path).
         """
-        key = (self._route_generation, "compile", to_sql(statement), clip)
+        key = (self._route_generation, "compile", statement, clip)
         cached = self._route_lookup(key)
         if cached is not None:
             return cached

@@ -49,9 +49,19 @@ class TestStatementCache:
         assert len(cache) == 500
         assert cache.counters()["evictions"] == 0
 
-    def test_rejects_nonpositive_bound(self):
+    def test_rejects_negative_bound(self):
         with pytest.raises(ReproError):
-            StatementCache(max_entries=0)
+            StatementCache(max_entries=-1)
+
+    def test_zero_bound_disables_caching(self):
+        # The same-window perf-gate baseline relies on 0 meaning "no
+        # cache at all": every probe misses, nothing is retained.
+        cache = StatementCache(max_entries=0)
+        cache.put("a", CompiledStatement(None, "scalar", None))
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        counters = cache.counters()
+        assert counters["hits"] == 0 and counters["misses"] == 1
 
     def test_clear_keeps_counters(self):
         cache = StatementCache()
@@ -178,6 +188,76 @@ class TestEngineIntegration:
         assert counters["misses"] == misses  # second plan: all hits
         scalar = next(p for p in plan.ordered if not p.is_group_by)
         assert scalar.compiled and scalar.target is not None
+
+
+class TestOneCompilePerQuery:
+    """The serving layers resolve each statement exactly once — the
+    planner (or the executor's classification step) compiles, then hands
+    the :class:`CompiledStatement` down every submit path.  The profile's
+    historical ~1.55x/query probe multiplier must not come back."""
+
+    def test_single_submission_resolves_once(self, engine, adult_bundle):
+        from repro.service.executor import execute_request
+        from repro.service.session import QueryRequest
+
+        table = adult_bundle.fact_table
+        for sql in (f"SELECT COUNT(*) FROM {table} WHERE age >= 40",
+                    f"SELECT sex, COUNT(*) FROM {table} GROUP BY sex",
+                    f"SELECT AVG(age) FROM {table} WHERE age >= 30"):
+            before = engine.compile_calls
+            response = execute_request(engine, "low", 0,
+                                       QueryRequest(sql, accuracy=1e6),
+                                       is_group_by=None)
+            assert response.error is None
+            assert engine.compile_calls - before == 1
+
+    def test_planned_batch_resolves_once_per_query(self, engine,
+                                                   adult_bundle):
+        from repro.service.executor import execute_planned_group
+        from repro.service.planner import plan_batch
+        from repro.service.session import QueryRequest
+
+        table = adult_bundle.fact_table
+        requests = [QueryRequest(f"SELECT COUNT(*) FROM {table} "
+                                 f"WHERE age >= {40 + i}", accuracy=1e6)
+                    for i in range(3)]
+        requests += [QueryRequest(f"SELECT sex, COUNT(*) FROM {table} "
+                                  f"GROUP BY sex", accuracy=1e6),
+                     QueryRequest(f"SELECT AVG(age) FROM {table} "
+                                  f"WHERE age >= 30", accuracy=1e6)]
+        before = engine.compile_calls
+        plan = plan_batch(engine, list(requests))
+        responses: list = [None] * len(requests)
+        groups: dict = {}
+        for item in plan.ordered:
+            groups.setdefault(item.view_name, []).append(item)
+        for view_name, items in groups.items():
+            execute_planned_group(engine, "low", view_name, items, responses)
+        assert all(r is not None and r.error is None for r in responses)
+        assert engine.compile_calls - before == len(requests)
+
+    def test_thread_compiled_off_reprobes_per_layer(self, engine,
+                                                    adult_bundle):
+        # The same-window perf gate's baseline axis relies on this
+        # toggle actually restoring the pre-overhaul dispatch: the
+        # resolution made for classification is forgotten, so the
+        # submit layer probes (and, with the cache disabled, compiles)
+        # again.
+        from repro.service.executor import execute_request
+        from repro.service.session import QueryRequest
+
+        table = adult_bundle.fact_table
+        sql = f"SELECT sex, COUNT(*) FROM {table} GROUP BY sex"
+        engine.thread_compiled = False
+        try:
+            before = engine.compile_calls
+            response = execute_request(engine, "low", 0,
+                                       QueryRequest(sql, accuracy=1e6),
+                                       is_group_by=None)
+        finally:
+            engine.thread_compiled = True
+        assert response.error is None
+        assert engine.compile_calls - before == 2
 
 
 class TestBenchRegressionGate:

@@ -20,8 +20,9 @@ from repro.db.sql.ast import (
     SelectStatement,
 )
 from repro.db.sql.executor import predicate_mask
-from repro.db.sql.lexer import KEYWORDS
+from repro.db.sql.lexer import KEYWORDS, _scan, _scan_reference, tokenize
 from repro.db.sql.parser import parse
+from repro.exceptions import SQLError
 from repro.db.sql.unparse import to_sql
 from repro.db.table import Table
 from repro.views.transform import is_answerable, transform
@@ -186,6 +187,69 @@ class TestSqlRoundTrip:
         """Canonical text is a fixed point: unparse . parse . unparse = id."""
         text = to_sql(statement)
         assert to_sql(parse(text)) == text
+
+
+# ---------------------------------------------------------------------------
+# Regex lexer vs the reference per-character scanner (golden equality).
+# ---------------------------------------------------------------------------
+
+def _lex_outcome(scanner, text: str):
+    """Token stream, or the (type, message) of the raised error."""
+    try:
+        return list(scanner(text))
+    except SQLError as exc:
+        return ("SQLError", str(exc))
+
+
+class TestLexerGoldenEquality:
+    """The regex scanner must be observably identical to the reference
+    scanner it replaced: same tokens (type, value, position) on valid
+    input, same error class/message/position on malformed input."""
+
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(select_statements())
+    def test_token_streams_match_on_unparsed_statements(self, statement):
+        text = to_sql(statement)
+        assert list(_scan(text)) == list(_scan_reference(text))
+
+    @settings(max_examples=300, deadline=None, derandomize=True)
+    @given(st.text(alphabet=st.sampled_from(
+        "abcXYZ019 _-.'%()<>=!,*\t\n;&\\\""), max_size=40))
+    def test_arbitrary_ascii_matches_including_errors(self, text):
+        assert _lex_outcome(_scan, text) == \
+            _lex_outcome(_scan_reference, text)
+
+    @pytest.mark.parametrize("text", [
+        "'abc",                    # unterminated literal
+        "'a''",                    # trailing escape pair stays open
+        "''''",                    # one escaped quote, terminated
+        "'a'''",                   # literal then escape-terminated
+        "'ab''cd'ef",              # escape inside, trailing ident
+        "SELECT COUNT(*) FROM t WHERE c = 'it''s'",
+        "a;b",                     # bad character mid-stream
+        "-5 -x 1.2.3 -",           # numbers, negatives, stray minus
+        "<=>=!=<>=<>",             # operator maximal munch
+    ])
+    def test_pinned_edge_cases(self, text):
+        assert _lex_outcome(_scan, text) == \
+            _lex_outcome(_scan_reference, text)
+
+    def test_error_positions_are_exact(self):
+        for scanner in (_scan, _scan_reference):
+            with pytest.raises(SQLError,
+                               match="unterminated string literal "
+                                     "at position 7"):
+                list(scanner("SELECT 'oops"))
+            with pytest.raises(SQLError,
+                               match=r"unexpected character ';' "
+                                     r"at position 5"):
+                list(scanner("SELEC;T"))
+
+    def test_non_ascii_routes_through_reference(self):
+        # tokenize() must accept what the reference accepts (e.g. a
+        # unicode identifier isalpha admits) with identical streams.
+        text = "SELECT COUNT(*) FROM tablé"
+        assert tokenize(text) == list(_scan_reference(text))
 
 
 # ---------------------------------------------------------------------------

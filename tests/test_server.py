@@ -11,6 +11,7 @@ idempotent session close, graceful drain, and the snapshot endpoint.
 
 from __future__ import annotations
 
+import gzip
 import http.client
 import json
 import threading
@@ -237,6 +238,91 @@ class TestStatusMapping:
             with pytest.raises(ServiceClosed):
                 client.open_session()
         server.shutdown()
+
+
+class TestGzipNegotiation:
+    """Protocol v2 content negotiation: bodies at or above
+    ``GZIP_MIN_BYTES`` gzip-compress when the client offers
+    ``Accept-Encoding: gzip``; old clients (no header) and small bodies
+    keep identity encoding, so v1 clients never see compressed bytes.
+    """
+
+    @staticmethod
+    def _raw(server, method, path, body=None, accept_gzip=False):
+        conn = http.client.HTTPConnection(server.host, server.port)
+        headers = {"Content-Type": "application/json"}
+        if accept_gzip:
+            headers["Accept-Encoding"] = "gzip"
+        conn.request(method, path, body=body, headers=headers)
+        reply = conn.getresponse()
+        raw = reply.read()
+        conn.close()
+        return reply, raw
+
+    def _batch(self, server, bundle, count):
+        """Open a session over the raw wire and build a batch body big
+        enough to cross the compression threshold."""
+        table = bundle.fact_table
+        reply, raw = self._raw(server, "POST", "/v1/sessions",
+                               body=json.dumps({"token": "analyst_00"}))
+        assert reply.status == 200
+        session_id = json.loads(raw)["session_id"]
+        requests = []
+        for index in range(count):
+            if index % 2:
+                requests.append({
+                    "sql": f"SELECT sex, COUNT(*) FROM {table} "
+                           f"GROUP BY sex", "accuracy": 4e4})
+            else:
+                requests.append({"sql": f"SELECT COUNT(*) FROM {table}",
+                                 "accuracy": 4e4})
+        return (f"/v1/sessions/{session_id}/batch",
+                json.dumps({"requests": requests}))
+
+    def test_old_client_keeps_identity_encoding(self, server, bundle):
+        path, body = self._batch(server, bundle, 40)
+        reply, raw = self._raw(server, "POST", path, body=body)
+        assert reply.status == 200
+        assert reply.getheader("Content-Encoding") is None
+        from repro.server.daemon import GZIP_MIN_BYTES
+        assert len(raw) >= GZIP_MIN_BYTES, \
+            "test body too small to exercise the negotiation"
+        decoded = json.loads(raw)
+        assert len(decoded["responses"]) == 40
+
+    def test_large_body_round_trips_gzipped(self, server, bundle):
+        path, body = self._batch(server, bundle, 40)
+        reply, raw = self._raw(server, "POST", path, body=body,
+                               accept_gzip=True)
+        assert reply.status == 200
+        assert reply.getheader("Content-Encoding") == "gzip"
+        inflated = gzip.decompress(raw)
+        assert len(raw) < len(inflated)
+        assert int(reply.getheader("Content-Length")) == len(raw)
+        decoded = json.loads(inflated)
+        assert len(decoded["responses"]) == 40
+        for entry in decoded["responses"]:
+            assert "error" not in entry or entry["error"] is None
+
+    def test_small_body_stays_identity_even_when_offered(self, server):
+        reply, raw = self._raw(server, "GET", "/v1/health",
+                               accept_gzip=True)
+        assert reply.status == 200
+        assert reply.getheader("Content-Encoding") is None
+        assert json.loads(raw)["status"] == "ok"
+
+    def test_remote_client_decompresses_transparently(self, server,
+                                                      bundle):
+        table = bundle.fact_table
+        with RemoteAnalyst(server.url, token="analyst_00") as client:
+            session = client.open_session()
+            requests = [QueryRequest(f"SELECT COUNT(*) FROM {table}",
+                                     accuracy=4e4)] * 40
+            responses = client.submit_batch(session, requests)
+            assert len(responses) == 40
+            assert all(r.ok for r in responses)
+            # Metrics text also speaks the negotiated encoding.
+            assert "repro_" in client.metrics_text()
 
 
 class TestDrain:
